@@ -1,0 +1,65 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper's Section V.
+The heavy artifacts — the simulated campaign and its feature matrix — are
+computed once per pytest session and shared.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable:
+
+* ``small`` (default): 6 users x 3 sessions x 5 repetitions — fast, same
+  protocol shapes as the paper;
+* ``full``: the paper's 10 users x 5 sessions x 25 repetitions = 10,000
+  samples (minutes of compute).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import CampaignConfig, CampaignGenerator
+from repro.eval.protocols import compute_features
+
+
+def _scale() -> dict:
+    scale = os.environ.get("REPRO_SCALE", "small").lower()
+    if scale == "full":
+        return {"n_users": 10, "n_sessions": 5, "repetitions": 25}
+    if scale == "medium":
+        return {"n_users": 8, "n_sessions": 4, "repetitions": 10}
+    return {"n_users": 6, "n_sessions": 3, "repetitions": 5}
+
+
+@pytest.fixture(scope="session")
+def campaign_scale() -> dict:
+    """The active campaign dimensions."""
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def generator(campaign_scale) -> CampaignGenerator:
+    """The session-wide campaign generator (paper seed 2020)."""
+    return CampaignGenerator(CampaignConfig(seed=2020, **campaign_scale))
+
+
+@pytest.fixture(scope="session")
+def main_corpus(generator):
+    """The main campaign: users x sessions x 8 gestures x repetitions."""
+    return generator.main_campaign()
+
+
+@pytest.fixture(scope="session")
+def main_features(main_corpus) -> np.ndarray:
+    """Full-registry feature matrix of the main corpus."""
+    return compute_features(main_corpus)
+
+
+def print_header(title: str, paper_claim: str) -> None:
+    """Uniform banner for every reproduced table/figure."""
+    print()
+    print("=" * 72)
+    print(title)
+    print(f"paper: {paper_claim}")
+    print("=" * 72)

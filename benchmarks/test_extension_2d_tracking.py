@@ -1,0 +1,93 @@
+"""Extension — 2-D tracking on the cross array (Section VI future work).
+
+"We would like to build a sensor with more number of LEDs and PDs along
+with other posited distributions to construct a multi-dimensional sensing
+area and improve input resolution, which enables to expand the gesture
+set."  This bench evaluates exactly that: swipes at twelve compass angles
+over the two-axis cross array, tracked by the energy-centroid
+:class:`~repro.core.tracking2d.PlanarTracker`.
+
+Two target conditions are reported: an instrumented bare fingertip (the
+sensor concept's ceiling) and the natural hand, whose trailing pinch
+complex biases the centroid — a concrete design finding for the proposed
+extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition import SensorSampler
+from repro.core.sbc import prefilter
+from repro.core.tracking2d import PlanarTracker, compass_bin
+from repro.hand.finger import fingertip_patch, scene_for_trajectory
+from repro.hand.swipes import synthesize_swipe
+from repro.noise.ambient import indoor_ambient
+from repro.optics.array import cross_array
+from repro.optics.scene import Scene
+
+from conftest import print_header
+
+ANGLES = tuple(range(0, 360, 30))
+
+
+def _capture(angle: float, seed: int, sampler: SensorSampler,
+             bare_tip: bool) -> np.ndarray:
+    traj = synthesize_swipe(angle, rng=seed, tremor_mm=0.15)
+    if bare_tip:
+        scene = Scene(times_s=traj.times_s,
+                      patches=[fingertip_patch(traj)])
+    else:
+        amb = indoor_ambient().irradiance(traj.times_s, rng=seed)
+        scene = scene_for_trajectory(traj, ambient_mw_mm2=amb, rng=seed)
+    rec = sampler.record(scene, rng=seed)
+    return prefilter(rec.rss, 5)
+
+
+def _evaluate(bare_tip: bool, reps: int = 4) -> tuple[float, float, float]:
+    """(median |angle error| deg, 12-way accuracy, 4-way accuracy)."""
+    sampler = SensorSampler(array=cross_array())
+    tracker = PlanarTracker()
+    errors = []
+    hits12 = hits4 = 0
+    total = 0
+    for angle in ANGLES:
+        for seed in range(reps):
+            result = tracker.track(_capture(angle, seed, sampler, bare_tip))
+            total += 1
+            if not result.confident:
+                continue
+            err = (result.angle_deg - angle + 180) % 360 - 180
+            errors.append(abs(err))
+            hits12 += compass_bin(result.angle_deg, 12) == compass_bin(angle, 12)
+            hits4 += compass_bin(result.angle_deg, 4) == compass_bin(angle, 4)
+    return float(np.median(errors)), hits12 / total, hits4 / total
+
+
+def test_extension_2d_tracking(benchmark):
+    print_header(
+        "Extension — 2-D finger tracking on the cross array",
+        "Section VI: a multi-dimensional sensing area expands the gesture set")
+
+    def run():
+        return {
+            "instrumented tip": _evaluate(bare_tip=True),
+            "natural hand": _evaluate(bare_tip=False),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'condition':<18} {'median |err|':>13} "
+          f"{'12-way acc':>11} {'4-way acc':>10}")
+    for name, (err, acc12, acc4) in results.items():
+        print(f"{name:<18} {err:>11.1f}° {acc12:>10.0%} {acc4:>9.0%}")
+    print("\nthe trailing hand mass biases the energy centroid — input "
+          "resolution\nof the proposed extension depends on compensating "
+          "the hand shadow.")
+
+    tip_err, tip_acc12, tip_acc4 = results["instrumented tip"]
+    hand_err, hand_acc12, hand_acc4 = results["natural hand"]
+    assert tip_err < 12.0
+    assert tip_acc12 > 0.85
+    # the natural hand still resolves most of the four primary directions
+    # (off-cardinal swipes suffer the hand-shadow bias — the finding above)
+    assert hand_acc4 > 0.6

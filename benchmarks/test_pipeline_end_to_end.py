@@ -1,0 +1,90 @@
+"""End-to-end pipeline benchmark: the deployed-system error rate.
+
+The paper's per-figure evaluations score pre-segmented samples; a worn
+device is judged on the full chain — on-line segmentation, detect/track
+dispatch, interference filtering and classification, all from the raw
+100 Hz stream.  This bench trains the stack, replays labelled streams
+(gestures, scrolls and unintentional motions interleaved with idle), and
+reports detection recall, end-to-end recognition accuracy and spurious
+events — plus the real-time margin (how much faster than 100 Hz the whole
+stack runs).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.detector import DetectAimedRecognizer
+from repro.core.interference import InterferenceFilter
+from repro.core.pipeline import AirFinger
+from repro.eval.protocols import DETECT_GESTURES_SET
+from repro.eval.stream_protocols import evaluate_streams
+
+
+from conftest import print_header
+
+SEQUENCE = ["circle", "click", "scroll_up", "scratch", "double_click",
+            "rub", "scroll_down", "double_rub", "extend", "double_circle"]
+
+
+def test_pipeline_end_to_end(generator, main_corpus, main_features,
+                             benchmark):
+    print_header(
+        "End-to-end pipeline — stream in, decisions out",
+        "real-time recognition from the raw 100 Hz stream (Fig. 4 data flow)")
+
+    # train the stack on campaign data cut by the same DT segmenter the
+    # live pipeline uses, so the classifier sees matching extents
+    mask = np.array([s.label in DETECT_GESTURES_SET for s in main_corpus])
+    detect = main_corpus.subset(mask)
+    train_signals = [s.segmented_signal() for s in detect]
+    detector = DetectAimedRecognizer().fit(train_signals, detect.labels)
+    inter = generator.interference_campaign(
+        users=(0, 1, 2), sessions=(0,),
+        gestures_per_session=12, nongestures_per_session=12)
+    inter_filter = InterferenceFilter().fit(
+        inter.signals(), [s.is_gesture for s in inter])
+
+    engine = AirFinger(detector=detector, interference_filter=inter_filter,
+                       live_update_every=0)
+    unfiltered = AirFinger(detector=detector, live_update_every=0)
+    streams = [generator.stream(uid, SEQUENCE, idle_s=1.0,
+                                condition=f"e2e-{uid}")
+               for uid in range(min(4, generator.config.n_users))]
+
+    def run():
+        return evaluate_streams(engine, streams)
+
+    score = benchmark.pedantic(run, rounds=1, iterations=1)
+    raw_score = evaluate_streams(unfiltered, streams)
+
+    print(f"\nstreams: {len(streams)} x {len(SEQUENCE)} events "
+          f"(incl. unintentional motions)")
+    print(f"detection recall:       {score.detection_recall:.1%}")
+    print(f"end-to-end accuracy:    {score.recognition_accuracy:.1%}")
+    print(f"spurious events:        {score.spurious_events} with the "
+          f"interference filter, {raw_score.spurious_events} without "
+          f"(hand transitions between poses are segmented too — the filter "
+          f"is what absorbs them, Section IV-F)")
+    print(f"\n{'gesture':<14} {'end-to-end accuracy':>20}")
+    for name, acc in score.per_gesture_accuracy().items():
+        bar = "#" * int(round(acc * 30))
+        print(f"{name:<14} {acc:>19.0%} {bar}")
+
+    # real-time margin
+    total_samples = sum(s.recording.n_samples for s in streams)
+    t0 = time.perf_counter()
+    for stream in streams:
+        engine.reset()
+        engine.feed_recording(stream.recording)
+    elapsed = time.perf_counter() - t0
+    margin = (total_samples / 100.0) / elapsed
+    print(f"\nreal-time margin: {margin:.0f}x "
+          f"({total_samples} samples in {elapsed:.2f} s)")
+
+    assert score.detection_recall > 0.75
+    assert score.recognition_accuracy > 0.5
+    assert score.spurious_events <= raw_score.spurious_events
+    assert margin > 5.0

@@ -1,0 +1,52 @@
+"""Section V-A — the 24 mW sensing-front-end power claim, plus projections.
+
+"The total power consumed by the PDs and LEDs is highly efficient, 24 mW
+excluding the consumption of microcontroller."  This bench reproduces the
+figure from component operating points and extends it with the Section VI
+optimizations: strobed LEDs, MCU sleep scheduling and a wristband battery
+projection.
+"""
+
+from __future__ import annotations
+
+from repro.power import DutyCycle, PowerBudget, battery_life_hours
+
+from conftest import print_header
+
+
+def test_power_budget(benchmark):
+    print_header(
+        "Section V-A — sensing front-end power budget",
+        "24 mW for the LEDs, PDs and analog chain, excluding the MCU")
+
+    def run():
+        return {
+            "always-on (paper)": PowerBudget(duty=DutyCycle.always_on()),
+            "strobed LEDs": PowerBudget(duty=DutyCycle.strobed()),
+            "wristband + BLE": PowerBudget(duty=DutyCycle.wristband()),
+        }
+
+    budgets = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    paper_budget = budgets["always-on (paper)"]
+    print(f"\ncomponent breakdown (always-on):")
+    for name, mw in paper_budget.breakdown().items():
+        bar = "#" * int(round(mw))
+        print(f"  {name:<14} {mw:>7.2f} mW {bar}")
+    front_end = paper_budget.sensing_front_end_mw()
+    print(f"\nsensing front end: {front_end:.1f} mW (paper: 24 mW)")
+    assert 20.0 <= front_end <= 28.0
+
+    print(f"\n{'scheme':<20} {'front end':>10} {'total':>10} "
+          f"{'100 mAh life':>14}")
+    for name, budget in budgets.items():
+        life = battery_life_hours(budget)
+        print(f"{name:<20} {budget.sensing_front_end_mw():>8.1f}mW "
+              f"{budget.total_mw():>8.1f}mW {life:>12.1f}h")
+
+    # duty cycling must pay off
+    assert (budgets["strobed LEDs"].total_mw()
+            < budgets["always-on (paper)"].total_mw())
+    per_gesture = paper_budget.energy_per_gesture_mj(1.2)
+    print(f"\nenergy per 1.2 s gesture (always-on, incl. MCU): "
+          f"{per_gesture:.0f} mJ")

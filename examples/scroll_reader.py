@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""News-reader scrolling demo: live finger tracking drives a scroll bar.
+
+The paper's Section V-G demo maps track-aimed gestures onto a news page on
+a tablet and asks users to rate the fluency.  This example reproduces the
+interaction loop in the terminal: a simulated user scrolls up and down
+through a list of headlines, the ZEBRA tracker estimates direction,
+velocity and displacement in real time, and a text viewport follows.
+
+Run with::
+
+    python examples/scroll_reader.py
+"""
+
+from __future__ import annotations
+
+from repro import AirFinger, CampaignConfig, CampaignGenerator
+from repro.core.events import ScrollUpdate
+from repro.eval.rating import ScrollObservation, rate_tracking_session
+
+HEADLINES = [
+    "NIR sensing brings micro gestures to smartwatches",
+    "Photodiode arrays cheaper than ever, say suppliers",
+    "Otsu thresholding: a 1979 idea that keeps on giving",
+    "Random forests still competitive on embedded devices",
+    "How a 3D-printed shield fixed our noise problem",
+    "ZEBRA algorithm tracks fingers with two LEDs",
+    "Wearables that read your thumb: privacy implications",
+    "The 940 nm sweet spot: why skin reflects NIR",
+    "Arduino at 100 Hz: real-time gesture pipelines",
+    "From RSS to UX: mapping displacement to pixels",
+    "Energy budgets of always-on optical sensing",
+    "Field test: gesturing while walking works fine",
+]
+
+VIEWPORT = 4          # headlines visible at once
+PIXELS_PER_MM = 0.35  # display gain: how far one millimetre scrolls
+
+
+def render(offset: float) -> None:
+    top = int(max(0, min(offset, len(HEADLINES) - VIEWPORT)))
+    print("      +" + "-" * 56 + "+")
+    for line in HEADLINES[top:top + VIEWPORT]:
+        print(f"      | {line:<54} |")
+    print("      +" + "-" * 56 + "+")
+
+
+def main() -> None:
+    print("=== scroll reader demo (Section V-G) ===\n")
+    generator = CampaignGenerator(CampaignConfig(
+        n_users=2, n_sessions=1, repetitions=3, seed=7))
+
+    sequence = ["scroll_down", "scroll_down", "scroll_up", "scroll_down",
+                "scroll_up", "scroll_up"]
+    stream = generator.stream(user_id=0, gesture_sequence=sequence,
+                              idle_s=1.2)
+    segments = stream.recording.meta["segments"]
+    segment_meta = stream.recording.meta["segment_meta"]
+    truth = [(name, start, end, meta)
+             for (name, start, end), meta in zip(segments, segment_meta)
+             if name.startswith("scroll")]
+
+    def truth_for(event: ScrollUpdate):
+        """Ground-truth scroll overlapping this event's extent."""
+        best, best_overlap = None, 0
+        for name, start, end, meta in truth:
+            overlap = (min(end, event.segment.end_index)
+                       - max(start, event.segment.start_index))
+            if overlap > best_overlap:
+                best, best_overlap = (name, meta), overlap
+        return best
+
+    engine = AirFinger(live_update_every=4)
+    offset = float(len(HEADLINES) // 2)
+    observations = []
+    print("starting position:")
+    render(offset)
+
+    scroll_idx = 0
+    for event in engine.feed_recording(stream.recording):
+        if not isinstance(event, ScrollUpdate) or not event.final:
+            continue
+        matched = truth_for(event)
+        if matched is None:
+            continue
+        name, meta = matched
+        scroll_idx += 1
+        # scrolling up moves the viewport towards earlier headlines
+        offset -= event.displacement_mm * PIXELS_PER_MM
+        offset = max(0.0, min(offset, float(len(HEADLINES) - VIEWPORT)))
+        print(f"\n  scroll #{scroll_idx}: tracked {event.direction_name} "
+              f"at {event.velocity_mm_s:.0f} mm/s "
+              f"(truth: {name} over {meta.get('travel_mm', 0):.0f} mm)")
+        render(offset)
+
+        observations.append(ScrollObservation(
+            estimated_direction=event.direction,
+            true_direction=+1 if name == "scroll_up" else -1,
+            estimated_displacement_mm=abs(event.displacement_mm),
+            true_displacement_mm=float(meta.get("travel_mm", 40.0))))
+
+    if observations:
+        rating = rate_tracking_session(observations)
+        print(f"\nfluency rating: {rating['average_rating']:.1f} / 3.0 "
+              f"({rating['fraction_matched']:.0%} matched scrolling; "
+              f"the paper reports 2.6 / 3.0 and 90%)")
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Power-on sensor self-test: calibration, gain trim and fault isolation.
+
+A shipped airFinger wearable must verify its own photodiodes before it
+trusts them.  This example simulates a power-on sequence:
+
+1. capture a short idle window from the simulated sensor;
+2. run :class:`~repro.core.calibration.SensorCalibrator` to estimate
+   per-channel baselines, trim part-to-part sensitivity spread, and grade
+   every channel's health;
+3. inject two faults — a disconnected photodiode and one blinded by
+   direct sunlight — and show the health check isolating them;
+4. demonstrate that recognition still works on the surviving channels.
+
+Run with::
+
+    python examples/sensor_health_check.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CampaignConfig, CampaignGenerator
+from repro.acquisition import SensorSampler
+from repro.core import AirFinger, SensorCalibrator
+from repro.core.detector import DetectAimedRecognizer
+from repro.core.events import GestureEvent
+from repro.hand import idle_trajectory, scene_for_trajectory
+from repro.noise import indoor_ambient
+from repro.optics import airfinger_array
+
+
+def print_health(result) -> None:
+    print(f"  {'channel':<8} {'baseline':>9} {'noise RMS':>10} "
+          f"{'saturated':>10} {'status':>10}")
+    for h in result.health:
+        print(f"  {h.name:<8} {h.baseline:>9.1f} {h.noise_rms:>10.2f} "
+              f"{h.saturation_fraction:>9.1%} {h.status:>10}")
+    verdict = "all channels usable" if result.all_usable \
+        else "DEGRADED — see flags above"
+    print(f"  => {verdict}\n")
+
+
+def capture_idle(sampler, seconds: float = 4.0, seed: int = 7):
+    """Record an idle window: resting hand, indoor ambient, no gestures."""
+    traj = idle_trajectory(seconds, sampler.sample_rate_hz,
+                           rest_position_mm=(0.0, 20.0, 45.0))
+    ambient = indoor_ambient().irradiance(traj.times_s, rng=seed)
+    scene = scene_for_trajectory(traj, ambient_mw_mm2=ambient, rng=seed)
+    return sampler.record(scene, rng=seed)
+
+
+def main() -> None:
+    print("=== airFinger power-on self-test ===\n")
+    sampler = SensorSampler(array=airfinger_array())
+
+    # ------------------------------------------------------------------
+    # 1-2. healthy power-on
+    # ------------------------------------------------------------------
+    print("[1/4] idle capture on a healthy board...")
+    recording = capture_idle(sampler)
+    calibrator = SensorCalibrator()
+    healthy = calibrator.calibrate(recording.rss,
+                                   channel_names=recording.channel_names)
+    print_health(healthy)
+
+    trimmed = healthy.apply(recording.rss)
+    rms = trimmed.std(axis=0)
+    print(f"  post-trim noise RMS per channel: "
+          f"{np.array2string(rms, precision=2)}")
+    print(f"  spread before trim: "
+          f"{np.ptp(recording.rss.std(axis=0)):.2f} counts, "
+          f"after: {np.ptp(rms):.2f} counts\n")
+
+    # ------------------------------------------------------------------
+    # 3. fault injection
+    # ------------------------------------------------------------------
+    print("[2/4] same board with P2 disconnected...")
+    dead = recording.rss.copy()
+    dead[:, 1] = 0.0
+    print_health(calibrator.calibrate(dead,
+                                      channel_names=recording.channel_names))
+
+    print("[3/4] same board with P3 staring into direct sun...")
+    blinded = recording.rss.copy()
+    blinded[:, 2] = 1023.0
+    print_health(calibrator.calibrate(
+        blinded, channel_names=recording.channel_names))
+
+    # ------------------------------------------------------------------
+    # 4. recognition on the surviving channels
+    # ------------------------------------------------------------------
+    print("[4/4] recognition with one stuck photodiode...")
+    generator = CampaignGenerator(CampaignConfig(
+        n_users=3, n_sessions=2, repetitions=5, seed=2020))
+    corpus = generator.main_campaign()
+    detect_only = corpus.filter(lambda s: not s.is_track_aimed)
+    detector = DetectAimedRecognizer().fit(
+        detect_only.signals(), detect_only.labels)
+
+    sequence = ["click", "circle", "double_click", "rub"]
+    healthy_hits = degraded_hits = 0
+    n = 0
+    for user in range(3):
+        stream = generator.stream(user, sequence, idle_s=1.0)
+        rec = stream.recording
+        truth = [name for name, _, _ in rec.meta["segments"]
+                 if name in sequence]
+        n += len(truth)
+        for degraded in (False, True):
+            fed = rec.rss.copy()
+            if degraded:
+                fed[:, -1] = fed[:64].mean()  # last PD stuck at idle level
+            events = AirFinger(detector=detector).feed_recording(
+                type(rec)(times_s=rec.times_s, rss=fed,
+                          channel_names=rec.channel_names,
+                          sample_rate_hz=rec.sample_rate_hz,
+                          label=rec.label, meta=rec.meta))
+            labels = [e.label for e in events if isinstance(e, GestureEvent)]
+            hits = sum(1 for name in truth if name in labels)
+            if degraded:
+                degraded_hits += hits
+            else:
+                healthy_hits += hits
+    print(f"  healthy board : {healthy_hits}/{n} gestures recognized")
+    print(f"  stuck last PD : {degraded_hits}/{n} gestures recognized")
+    print("\nDone: faults are isolated at power-on, and even with a stuck "
+          "photodiode the\nremaining channels keep recognition usable — "
+          "degradation, not failure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Wristband demo: recognition while sitting, standing and walking.
+
+Reproduces the interaction of the paper's Section V-K in simulation: the
+sensor board is worn on the wrist, so the whole scene sways with the arm.
+A recognizer trained on desk-mounted data is evaluated under each wearing
+condition, showing that arm sway barely dents accuracy (the paper reports
+97.17% on the wristband).
+
+Run with::
+
+    python examples/wristband_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CampaignConfig, CampaignGenerator
+from repro.core.detector import DetectAimedRecognizer
+from repro.noise.motion import WRISTBAND_CONDITIONS
+
+
+def main() -> None:
+    print("=== wristband demo (Section V-K) ===\n")
+    generator = CampaignGenerator(CampaignConfig(
+        n_users=4, n_sessions=2, repetitions=4, seed=2020))
+
+    print("[1/2] training on desk-mounted recordings...")
+    train = generator.main_campaign(
+        gestures=("circle", "rub", "click", "double_click"))
+    detector = DetectAimedRecognizer().fit(train.signals(), train.labels)
+    print(f"      {len(train)} training samples")
+
+    print("[2/2] evaluating on worn-sensor recordings...\n")
+    worn = generator.wristband_campaign(
+        users=(0, 1, 2, 3), repetitions=4,
+        gestures=("circle", "rub", "click", "double_click"))
+    labels = worn.labels
+    predictions = detector.predict(worn.signals())
+    conditions = worn.conditions
+
+    print(f"  {'condition':<12} {'accuracy':>10}   worst gesture")
+    print("  " + "-" * 44)
+    for condition in WRISTBAND_CONDITIONS:
+        mask = conditions == condition
+        correct = predictions[mask] == labels[mask]
+        per_gesture = {}
+        for gesture in sorted(set(labels[mask])):
+            g_mask = mask & (labels == gesture)
+            per_gesture[gesture] = float(
+                np.mean(predictions[g_mask] == labels[g_mask]))
+        worst = min(per_gesture, key=per_gesture.get)
+        print(f"  {condition:<12} {np.mean(correct):>9.1%}   "
+              f"{worst} ({per_gesture[worst]:.0%})")
+
+    overall = float(np.mean(predictions == labels))
+    print(f"\n  overall worn accuracy: {overall:.1%} "
+          f"(paper: 97.17% across sitting/standing/walking)")
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

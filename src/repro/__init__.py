@@ -1,0 +1,81 @@
+"""airFinger reproduction: micro finger gesture recognition via NIR sensing.
+
+A full-stack, simulation-backed reproduction of *airFinger* (ICDCS 2020):
+the custom NIR sensor, the finger-kinematics data campaign, the SBC / DT /
+ZEBRA algorithms, the Random-Forest recognition stack, and every evaluation
+of the paper's Section V.
+
+Quickstart::
+
+    from repro import CampaignGenerator, CampaignConfig, AirFinger
+    from repro.core import DetectAimedRecognizer
+
+    gen = CampaignGenerator(CampaignConfig(n_users=3, repetitions=5))
+    corpus = gen.main_campaign()
+    detector = DetectAimedRecognizer().fit(corpus.signals(), corpus.labels)
+
+    stream = gen.stream(user_id=0, gesture_sequence=["circle", "scroll_up"])
+    engine = AirFinger(detector=detector)
+    for event in engine.feed_recording(stream.recording):
+        print(event)
+
+Subpackages
+-----------
+``repro.optics``
+    NIR radiometry (LEDs, photodiodes, shield, forward model).
+``repro.hand``
+    Parametric gesture/non-gesture kinematics and user diversity.
+``repro.noise``
+    Ambient NIR, hardware noise, motion interference.
+``repro.acquisition``
+    Amplifier, ADC, 100 Hz sampler, frame streaming.
+``repro.features``
+    The 25 Table-I feature families and importance-based selection.
+``repro.ml``
+    From-scratch RF / decision tree / logistic regression / Bernoulli NB.
+``repro.core``
+    The airFinger algorithms: SBC, dynamic-threshold segmentation,
+    detect-aimed recognition, ZEBRA tracking, dispatch, interference
+    filtering, and the real-time pipeline.
+``repro.datasets``
+    The simulated data-collection campaigns.
+``repro.eval``
+    One protocol per paper table/figure.
+"""
+
+from repro.acquisition import Recording, SensorSampler
+from repro.core import (
+    AirFinger,
+    AirFingerConfig,
+    DetectAimedRecognizer,
+    InterferenceFilter,
+    ZebraTracker,
+)
+from repro.datasets import CampaignConfig, CampaignGenerator, GestureCorpus
+from repro.features import FeatureExtractor, FeatureSelector
+from repro.hand import GESTURE_NAMES, GestureSpec, synthesize_gesture
+from repro.ml import RandomForestClassifier
+from repro.optics import airfinger_array
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Recording",
+    "SensorSampler",
+    "AirFinger",
+    "AirFingerConfig",
+    "DetectAimedRecognizer",
+    "InterferenceFilter",
+    "ZebraTracker",
+    "CampaignConfig",
+    "CampaignGenerator",
+    "GestureCorpus",
+    "FeatureExtractor",
+    "FeatureSelector",
+    "GESTURE_NAMES",
+    "GestureSpec",
+    "synthesize_gesture",
+    "RandomForestClassifier",
+    "airfinger_array",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Sensing front-end substrate: amplifier, ADC and the 100 Hz sampler.
+
+The paper measures the photodiode RSS with amplifiers and an Arduino UNO at
+100 Hz.  This subpackage turns photocurrents from the radiometric engine
+into exactly what the recognition pipeline would receive on hardware:
+10-bit ADC counts per photodiode channel, clocked at the sample rate, with
+amplifier offset/rails and quantization applied.
+"""
+
+from repro.acquisition.amplifier import TransimpedanceAmplifier
+from repro.acquisition.adc import Adc
+from repro.acquisition.sampler import Recording, SensorSampler
+from repro.acquisition.stream import RssFrame, stream_frames
+from repro.acquisition.protocol import (
+    DEFAULT_QUANTUM,
+    FrameDecoder,
+    LinkStats,
+    crc8,
+    encode_frame,
+    encode_recording,
+)
+
+__all__ = [
+    "TransimpedanceAmplifier",
+    "Adc",
+    "Recording",
+    "SensorSampler",
+    "RssFrame",
+    "stream_frames",
+    "DEFAULT_QUANTUM",
+    "FrameDecoder",
+    "LinkStats",
+    "crc8",
+    "encode_frame",
+    "encode_recording",
+]

@@ -1,0 +1,80 @@
+"""Successive-approximation ADC model (the Arduino UNO's 10-bit converter)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Adc"]
+
+
+@dataclass(frozen=True)
+class Adc:
+    """An n-bit ADC with full-scale reference and optional input noise.
+
+    Parameters
+    ----------
+    n_bits:
+        Resolution; the UNO's converter is 10-bit (0..1023 counts).
+    vref_mv:
+        Full-scale reference voltage.
+    input_noise_counts:
+        RMS of converter-referred noise in counts (reference ripple, S/H
+        jitter).  Applied before quantization so it acts as dither.
+    """
+
+    n_bits: int = 10
+    vref_mv: float = 5000.0
+    input_noise_counts: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.n_bits <= 24:
+            raise ValueError(f"n_bits must be within [4, 24], got {self.n_bits}")
+        if self.vref_mv <= 0:
+            raise ValueError("vref_mv must be positive")
+        if self.input_noise_counts < 0:
+            raise ValueError("input_noise_counts must be non-negative")
+
+    @property
+    def full_scale(self) -> int:
+        """Maximum output code."""
+        return (1 << self.n_bits) - 1
+
+    @property
+    def lsb_mv(self) -> float:
+        """Voltage per count."""
+        return self.vref_mv / (1 << self.n_bits)
+
+    def convert(self, voltages_mv: np.ndarray | float,
+                rng: np.random.Generator | None = None,
+                subsamples: int = 1) -> np.ndarray:
+        """Quantize *voltages_mv* to counts (returned as float64).
+
+        Out-of-range inputs clip to 0 or full scale — this is the saturation
+        mechanism that degrades very-close gestures and direct-sunlight
+        operation (Section VI of the paper).
+
+        ``subsamples > 1`` emulates MCU oversampling: the average of k
+        dithered conversions resolves ~1/k of a count, so the output is
+        rounded on a 1/k-count grid and the converter noise shrinks by
+        ``sqrt(k)``.
+        """
+        if subsamples < 1:
+            raise ValueError("subsamples must be >= 1")
+        voltages = np.asarray(voltages_mv, dtype=np.float64)
+        counts = voltages / self.lsb_mv
+        if rng is not None and self.input_noise_counts > 0:
+            counts = counts + rng.normal(
+                0.0, self.input_noise_counts / np.sqrt(subsamples),
+                size=counts.shape)
+        quantized = np.round(counts * subsamples) / subsamples
+        return np.clip(quantized, 0, self.full_scale)
+
+    def saturation_fraction(self, counts: np.ndarray) -> float:
+        """Fraction of samples pinned at either end of the code range."""
+        counts = np.asarray(counts)
+        if counts.size == 0:
+            return 0.0
+        pinned = (counts <= 0) | (counts >= self.full_scale)
+        return float(np.mean(pinned))

@@ -1,0 +1,187 @@
+"""Wire protocol between the sensing MCU and the host.
+
+The prototype streams RSS frames from the Arduino to a laptop (over USB
+serial on the desk rig, over Bluetooth in the wristband demo of Section
+V-K).  Any real deployment needs a framed, checksummed link that survives
+byte loss, so this module defines one and implements a resynchronizing
+decoder:
+
+``frame := SYNC0 SYNC1 | seq (1B) | n_channels (1B) |``
+``         payload (2B little-endian per channel) | crc8``
+
+* 10-bit ADC counts fit a uint16 payload word; with oversampling the MCU
+  averages fast conversions to 1/8-count resolution, so the recording
+  transport ships fixed-point words (``quantum`` = 0.125 counts) — still
+  comfortably inside uint16;
+* ``seq`` wraps at 256 and exposes dropped frames to the receiver;
+* CRC-8 (polynomial 0x07) over everything after the sync word;
+* the decoder scans for the sync word after any corruption, so a single
+  flipped byte costs one frame, not the session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["SYNC", "DEFAULT_QUANTUM", "crc8", "encode_frame",
+           "encode_recording", "FrameDecoder", "LinkStats"]
+
+SYNC = b"\xaa\x55"
+_CRC_POLY = 0x07
+
+
+def crc8(data: bytes) -> int:
+    """CRC-8/ATM (polynomial 0x07, init 0)."""
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = ((crc << 1) ^ _CRC_POLY) & 0xFF if crc & 0x80 \
+                else (crc << 1) & 0xFF
+    return crc
+
+
+def encode_frame(seq: int, values) -> bytes:
+    """One wire frame for ADC counts *values* with sequence number *seq*."""
+    values = [int(round(v)) for v in values]
+    if not values:
+        raise ValueError("a frame needs at least one channel")
+    if len(values) > 255:
+        raise ValueError("too many channels for one frame")
+    for v in values:
+        if not 0 <= v <= 0xFFFF:
+            raise ValueError(f"channel value {v} does not fit uint16")
+    seq &= 0xFF
+    body = bytes([seq, len(values)])
+    for v in values:
+        body += bytes([v & 0xFF, (v >> 8) & 0xFF])
+    return SYNC + body + bytes([crc8(body)])
+
+
+DEFAULT_QUANTUM = 0.125  # counts per wire unit (1/8 LSB at 8x oversampling)
+
+
+def encode_recording(recording, quantum: float = DEFAULT_QUANTUM) -> bytes:
+    """The full wire stream for a :class:`~repro.acquisition.Recording`.
+
+    Counts are shipped as fixed-point words of *quantum* counts each, so
+    the oversampled converter's sub-count resolution survives the link.
+    """
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    out = bytearray()
+    for i, row in enumerate(recording.rss):
+        out += encode_frame(i, np.round(np.asarray(row) / quantum))
+    return bytes(out)
+
+
+@dataclass
+class LinkStats:
+    """Receiver-side health counters."""
+
+    frames_ok: int = 0
+    crc_errors: int = 0
+    resyncs: int = 0
+    dropped_frames: int = 0
+
+
+@dataclass
+class FrameDecoder:
+    """Streaming decoder with resynchronization and drop accounting."""
+
+    stats: LinkStats = field(default_factory=LinkStats)
+    _buffer: bytearray = field(default_factory=bytearray)
+    _last_seq: int | None = field(default=None)
+
+    def push(self, data: bytes) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """Feed received bytes; yields ``(seq, channel_values)`` frames."""
+        self._buffer += data
+        while True:
+            frame = self._try_decode()
+            if frame is None:
+                return
+            yield frame
+
+    def _try_decode(self) -> tuple[int, tuple[int, ...]] | None:
+        buf = self._buffer
+        while True:
+            start = buf.find(SYNC)
+            if start < 0:
+                # keep the last byte: it may be the first half of a sync word
+                del buf[:-1]
+                return None
+            if start > 0:
+                self.stats.resyncs += 1
+                del buf[:start]
+            if len(buf) < 4:
+                return None  # need header
+            n_channels = buf[3]
+            frame_len = 2 + 2 + 2 * n_channels + 1
+            if n_channels == 0:
+                self.stats.crc_errors += 1
+                del buf[:2]
+                continue
+            if len(buf) < frame_len:
+                return None
+            body = bytes(buf[2:frame_len - 1])
+            if crc8(body) != buf[frame_len - 1]:
+                self.stats.crc_errors += 1
+                del buf[:2]  # skip this sync word, rescan
+                continue
+            seq = body[0]
+            values = tuple(
+                body[2 + 2 * c] | (body[3 + 2 * c] << 8)
+                for c in range(n_channels))
+            del buf[:frame_len]
+            self._account_seq(seq)
+            self.stats.frames_ok += 1
+            return seq, values
+
+    def _account_seq(self, seq: int) -> None:
+        if self._last_seq is not None:
+            gap = (seq - self._last_seq - 1) & 0xFF
+            self.stats.dropped_frames += gap
+        self._last_seq = seq
+
+    def flush(self) -> list[tuple[int, tuple[int, ...]]]:
+        """Drain the buffer at end of stream.
+
+        A corrupted length byte can leave the decoder waiting for bytes
+        that will never arrive while complete frames sit behind it; once
+        the stream has ended, the pending sync word is abandoned (counted
+        as a CRC error) and decoding resumes on the remainder.
+        """
+        frames: list[tuple[int, tuple[int, ...]]] = []
+        while self._buffer:
+            frame = self._try_decode()
+            if frame is not None:
+                frames.append(frame)
+                continue
+            if len(self._buffer) >= 2 and self._buffer[:2] == bytearray(SYNC):
+                self.stats.crc_errors += 1
+                del self._buffer[:2]
+                continue
+            break
+        return frames
+
+    def decode_all(self, data: bytes,
+                   quantum: float = DEFAULT_QUANTUM) -> np.ndarray:
+        """Decode a complete byte stream into a ``(frames, channels)`` array.
+
+        *quantum* must match the encoder's; it converts the fixed-point
+        wire words back to ADC counts.
+        """
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        rows = [values for _, values in self.push(data)]
+        rows += [values for _, values in self.flush()]
+        if not rows:
+            return np.zeros((0, 0))
+        width = max(len(r) for r in rows)
+        out = np.zeros((len(rows), width))
+        for i, row in enumerate(rows):
+            out[i, :len(row)] = row
+        return out * quantum

@@ -1,0 +1,64 @@
+"""Frame-by-frame streaming view of a recording.
+
+The real-time pipeline (Section IV of the paper) consumes samples as they
+arrive from the MCU.  :func:`stream_frames` replays a :class:`Recording`
+one :class:`RssFrame` at a time so the on-line algorithms are exercised on
+exactly the interface they would see on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+from repro.acquisition.sampler import Recording
+
+__all__ = ["RssFrame", "stream_frames"]
+
+
+@dataclass(frozen=True)
+class RssFrame:
+    """One ADC conversion cycle across all photodiode channels.
+
+    Parameters
+    ----------
+    index:
+        Sample index since stream start.
+    time_s:
+        Timestamp.
+    values:
+        ADC counts per channel, in the recording's channel order.
+    """
+
+    index: int
+    time_s: float
+    values: tuple[float, ...]
+
+    def value(self, channel: int) -> float:
+        """The count for *channel* (bounds-checked)."""
+        if not 0 <= channel < len(self.values):
+            raise IndexError(
+                f"channel {channel} out of range for {len(self.values)} channels")
+        return self.values[channel]
+
+    @property
+    def combined(self) -> float:
+        """Channel-summed RSS."""
+        return float(sum(self.values))
+
+
+def stream_frames(recording: Recording,
+                  start: int = 0,
+                  stop: int | None = None) -> Iterator[RssFrame]:
+    """Yield the recording's samples as frames, in time order."""
+    stop = recording.n_samples if stop is None else stop
+    if not 0 <= start <= stop <= recording.n_samples:
+        raise ValueError(
+            f"invalid frame range [{start}, {stop}) for "
+            f"{recording.n_samples} samples")
+    rss = recording.rss
+    times = recording.times_s
+    for i in range(start, stop):
+        yield RssFrame(index=i, time_s=float(times[i]),
+                       values=tuple(float(v) for v in rss[i]))

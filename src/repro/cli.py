@@ -1,0 +1,220 @@
+"""Command-line interface: generate, train, evaluate, demo, power.
+
+Everything a downstream user needs without writing Python::
+
+    airfinger generate --users 3 --sessions 2 --reps 5 --out corpus.npz
+    airfinger train --corpus corpus.npz --out stack.json
+    airfinger evaluate --corpus corpus.npz --protocol overall
+    airfinger demo --stack stack.json --gestures click,scroll_up,circle
+    airfinger power
+
+(Installed as the ``airfinger`` console script; also runnable as
+``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="airfinger",
+        description="airFinger (ICDCS 2020) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate",
+                         help="simulate a data-collection campaign")
+    gen.add_argument("--users", type=int, default=3)
+    gen.add_argument("--sessions", type=int, default=2)
+    gen.add_argument("--reps", type=int, default=5)
+    gen.add_argument("--seed", type=int, default=2020)
+    gen.add_argument("--out", type=Path, required=True,
+                     help="output corpus .npz path")
+
+    train = sub.add_parser("train",
+                           help="train the recognition stack from a corpus")
+    train.add_argument("--corpus", type=Path, required=True)
+    train.add_argument("--out", type=Path, required=True,
+                       help="output stack .json path")
+    train.add_argument("--trees", type=int, default=60)
+
+    ev = sub.add_parser("evaluate", help="run a paper protocol on a corpus")
+    ev.add_argument("--corpus", type=Path, required=True)
+    ev.add_argument("--protocol",
+                    choices=("overall", "diversity", "inconsistency",
+                             "tracking", "distinguisher"),
+                    default="overall")
+
+    demo = sub.add_parser("demo",
+                          help="stream a synthetic session through a stack")
+    demo.add_argument("--stack", type=Path, required=True)
+    demo.add_argument("--gestures", type=str,
+                      default="click,circle,scroll_up")
+    demo.add_argument("--user", type=int, default=0)
+    demo.add_argument("--seed", type=int, default=2020)
+
+    report = sub.add_parser(
+        "report", help="write a markdown evaluation report for a corpus")
+    report.add_argument("--corpus", type=Path, required=True)
+    report.add_argument("--out", type=Path, required=True)
+
+    sub.add_parser("power", help="print the power budget table")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+def _cmd_generate(args) -> int:
+    from repro.datasets import CampaignConfig, CampaignGenerator
+    generator = CampaignGenerator(CampaignConfig(
+        n_users=args.users, n_sessions=args.sessions,
+        repetitions=args.reps, seed=args.seed))
+    corpus = generator.main_campaign()
+    corpus.save(args.out)
+    print(f"wrote {len(corpus)} samples to {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core.detector import DetectAimedRecognizer
+    from repro.core.persistence import save_stack
+    from repro.datasets import GestureCorpus
+    from repro.ml.forest import RandomForestClassifier
+
+    corpus = GestureCorpus.load(args.corpus)
+    detect = corpus.filter(lambda s: not s.is_track_aimed)
+    if len(detect) == 0:
+        print("corpus holds no detect-aimed samples", file=sys.stderr)
+        return 1
+    detector = DetectAimedRecognizer(
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=args.trees, random_state=7))
+    detector.fit(detect.signals(), detect.labels)
+    save_stack(args.out, detector=detector)
+    print(f"trained on {len(detect)} samples "
+          f"({len(set(detect.labels))} gestures); stack -> {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.datasets import GestureCorpus
+    from repro.eval.protocols import (
+        compute_features,
+        distinguisher_performance,
+        gesture_inconsistency,
+        individual_diversity,
+        overall_detect_performance,
+        track_direction_accuracy,
+    )
+    from repro.eval.report import format_confusion
+
+    corpus = GestureCorpus.load(args.corpus)
+    if args.protocol == "tracking":
+        result = track_direction_accuracy(corpus)
+        for name, acc in result.direction_accuracy.items():
+            print(f"{name:<14} {acc:.2%}")
+        print(f"average        {result.average_direction_accuracy:.2%}")
+        return 0
+    if args.protocol == "distinguisher":
+        result = distinguisher_performance(corpus)
+        print(str(result.summary))
+        return 0
+    X = compute_features(corpus)
+    protocol = {
+        "overall": overall_detect_performance,
+        "diversity": individual_diversity,
+        "inconsistency": gesture_inconsistency,
+    }[args.protocol]
+    try:
+        result = protocol(corpus, X=X)
+    except ValueError as exc:
+        print(f"cannot run {args.protocol!r} on this corpus: {exc}",
+              file=sys.stderr)
+        return 1
+    print(format_confusion(result.summary.labels, result.summary.confusion))
+    print()
+    print(str(result.summary))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
+    from repro.core.persistence import load_stack
+    from repro.datasets import CampaignConfig, CampaignGenerator
+
+    stack = load_stack(args.stack)
+    engine = stack["engine"]
+    gestures = [g.strip() for g in args.gestures.split(",") if g.strip()]
+    generator = CampaignGenerator(CampaignConfig(
+        n_users=max(args.user + 1, 1), seed=args.seed))
+    stream = generator.stream(args.user, gestures)
+    truth = [n for n, _, _ in stream.recording.meta["segments"]
+             if n != "idle"]
+    print(f"ground truth: {truth}")
+    for event in engine.feed_recording(stream.recording):
+        if isinstance(event, SegmentEvent):
+            print(f"t={event.start_time_s:6.2f}s segment "
+                  f"[{event.start_index}, {event.end_index})")
+        elif isinstance(event, GestureEvent):
+            tag = "gesture" if event.accepted else "rejected"
+            print(f"    -> {tag} {event.label!r} ({event.confidence:.0%})")
+        elif isinstance(event, ScrollUpdate) and event.final:
+            print(f"    -> {event.direction_name} at "
+                  f"{event.velocity_mm_s:.0f} mm/s")
+    return 0
+
+
+def _cmd_power(args) -> int:
+    from repro.power import DutyCycle, PowerBudget, battery_life_hours
+    schemes = {
+        "always-on (paper)": DutyCycle.always_on(),
+        "strobed LEDs": DutyCycle.strobed(),
+        "wristband + BLE": DutyCycle.wristband(),
+    }
+    print(f"{'scheme':<20} {'front end':>10} {'total':>10} {'100mAh life':>12}")
+    for name, duty in schemes.items():
+        budget = PowerBudget(duty=duty)
+        print(f"{name:<20} {budget.sensing_front_end_mw():>8.1f}mW "
+              f"{budget.total_mw():>8.1f}mW "
+              f"{battery_life_hours(budget):>10.1f}h")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.datasets import GestureCorpus
+    from repro.eval.report_markdown import generate_report
+
+    corpus = GestureCorpus.load(args.corpus)
+    path = generate_report(corpus, args.out)
+    print(f"report for {len(corpus)} samples -> {path}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "demo": _cmd_demo,
+    "report": _cmd_report,
+    "power": _cmd_power,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

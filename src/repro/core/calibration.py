@@ -1,0 +1,155 @@
+"""Sensor self-calibration: baselines, channel gains and health checks.
+
+A shipped sensor must calibrate itself at power-on — the paper's prototype
+relies on the dynamic threshold to absorb environment changes, but a real
+integration also wants:
+
+* a **baseline estimate** per channel (the static floor: crosstalk, hand
+  rest, standing ambient) so excursions can be reported in physical-ish
+  units;
+* **channel gain trim**: part-to-part photodiode sensitivity spreads by
+  tens of percent; matching the channels keeps ZEBRA's differential
+  statistics unbiased;
+* a **health check** that flags dead, saturated or noise-swamped channels
+  before the pipeline trusts them.
+
+Calibration runs on an idle capture (no gestures), which the wearable can
+collect whenever the segmenter has been quiet for a few seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acquisition.adc import Adc
+
+__all__ = ["ChannelHealth", "CalibrationResult", "SensorCalibrator"]
+
+
+@dataclass(frozen=True)
+class ChannelHealth:
+    """Power-on health verdict for one photodiode channel."""
+
+    name: str
+    baseline: float
+    noise_rms: float
+    saturation_fraction: float
+    status: str  # "ok" | "dead" | "saturated" | "noisy"
+
+    @property
+    def usable(self) -> bool:
+        """True when the channel can feed the pipeline."""
+        return self.status == "ok"
+
+
+@dataclass
+class CalibrationResult:
+    """Output of :meth:`SensorCalibrator.calibrate`."""
+
+    baselines: np.ndarray
+    gains: np.ndarray
+    health: list[ChannelHealth]
+
+    @property
+    def all_usable(self) -> bool:
+        """True when every channel passed the health check."""
+        return all(h.usable for h in self.health)
+
+    def apply(self, rss: np.ndarray) -> np.ndarray:
+        """Baseline-subtract and gain-trim a raw RSS matrix."""
+        rss = np.atleast_2d(np.asarray(rss, dtype=np.float64))
+        if rss.shape[1] != self.baselines.size:
+            raise ValueError(
+                f"rss has {rss.shape[1]} channels, calibration has "
+                f"{self.baselines.size}")
+        return (rss - self.baselines) * self.gains
+
+
+@dataclass
+class SensorCalibrator:
+    """Derives a :class:`CalibrationResult` from an idle capture.
+
+    Parameters
+    ----------
+    adc:
+        Converter model (for the saturation codes).
+    dead_noise_rms:
+        Channels whose noise RMS falls below this are considered
+        disconnected (a live photodiode always shows shot noise).
+    max_noise_rms:
+        Channels noisier than this are flagged unusable.
+    max_saturation:
+        Maximum tolerable fraction of pinned samples.
+    reference:
+        Gain-trim target: ``"median"`` scales every channel's observed
+        noise RMS to the median channel's (photocurrent noise tracks
+        responsivity, so it doubles as a relative-sensitivity probe).
+    """
+
+    adc: Adc = field(default_factory=Adc)
+    dead_noise_rms: float = 1e-3
+    max_noise_rms: float = 40.0
+    max_saturation: float = 0.05
+    reference: str = "median"
+
+    def __post_init__(self) -> None:
+        if self.dead_noise_rms <= 0:
+            raise ValueError("dead_noise_rms must be positive")
+        if self.max_noise_rms <= self.dead_noise_rms:
+            raise ValueError("max_noise_rms must exceed dead_noise_rms")
+        if not 0.0 <= self.max_saturation <= 1.0:
+            raise ValueError("max_saturation must be within [0, 1]")
+        if self.reference != "median":
+            raise ValueError("only the 'median' reference is implemented")
+
+    def calibrate(self, idle_rss: np.ndarray,
+                  channel_names: tuple[str, ...] | None = None
+                  ) -> CalibrationResult:
+        """Calibrate from an idle multi-channel capture ``(T, C)``."""
+        rss = np.atleast_2d(np.asarray(idle_rss, dtype=np.float64))
+        if rss.shape[0] < 16:
+            raise ValueError("idle capture too short to calibrate (need >=16)")
+        n_channels = rss.shape[1]
+        names = channel_names or tuple(f"P{i + 1}" for i in range(n_channels))
+        if len(names) != n_channels:
+            raise ValueError(
+                f"{len(names)} names for {n_channels} channels")
+
+        baselines = np.median(rss, axis=0)
+        detrended = rss - baselines
+        noise = detrended.std(axis=0)
+        saturation = np.array([
+            self.adc.saturation_fraction(rss[:, c]) for c in range(n_channels)])
+
+        health: list[ChannelHealth] = []
+        high_rail = 0.5 * self.adc.full_scale
+        for c, name in enumerate(names):
+            flat = (noise[c] < self.dead_noise_rms
+                    and np.ptp(rss[:, c]) == 0.0)
+            # a flat channel sits on one of the rails: the bottom rail is a
+            # broken wire, the top rail is an optically blinded photodiode
+            if flat and baselines[c] < high_rail:
+                status = "dead"
+            elif saturation[c] > self.max_saturation:
+                status = "saturated"
+            elif noise[c] > self.max_noise_rms:
+                status = "noisy"
+            else:
+                status = "ok"
+            health.append(ChannelHealth(
+                name=name, baseline=float(baselines[c]),
+                noise_rms=float(noise[c]),
+                saturation_fraction=float(saturation[c]),
+                status=status))
+
+        usable = np.array([h.usable for h in health])
+        gains = np.ones(n_channels)
+        if usable.any():
+            reference_rms = float(np.median(noise[usable]))
+            for c in range(n_channels):
+                if usable[c] and noise[c] > 1e-12:
+                    gains[c] = reference_rms / noise[c]
+        return CalibrationResult(baselines=baselines, gains=gains,
+                                 health=health)

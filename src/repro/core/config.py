@@ -1,0 +1,136 @@
+"""Configuration of the airFinger stack — the paper's Section V-A settings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AirFingerConfig"]
+
+
+@dataclass(frozen=True)
+class AirFingerConfig:
+    """All tunables of the recognition stack, with paper defaults.
+
+    Parameters
+    ----------
+    sample_rate_hz:
+        ADC sampling rate (100 Hz in the prototype).
+    prefilter_window_s:
+        Moving-average smoothing applied to the RSS before SBC — the
+        digital stand-in for the analog low-pass at the amplifier output.
+        Micro gestures live well below 10 Hz, so 50 ms of smoothing costs
+        no gesture bandwidth while suppressing sample-level noise.
+    sbc_window_s:
+        SBC sliding-window size ``w`` (10 ms).
+    envelope_window_s:
+        Moving-average applied to ΔRSS² before thresholding, turning the
+        spiky squared-derivative into an energy envelope.  Periodic
+        gestures pass through zero-derivative instants (ΔRSS² dips to
+        zero); the envelope bridges those dips so one gesture stays one
+        segment.
+    cluster_gap_s:
+        ``t_e``: segments separated by less than this are clustered into a
+        single gesture (100 ms).
+    dispatch_threshold_s:
+        ``I_g``: if per-photodiode onsets spread less than this, the gesture
+        is detect-aimed; otherwise track-aimed (30 ms).
+    initial_threshold:
+        ``I'_seg``: the segmentation threshold before enough data has
+        accumulated for Otsu calibration (in ΔRSS² units).
+    min_segment_s:
+        Segments shorter than this are discarded as glitches.
+    max_segment_s:
+        Safety cap on a single segment's duration.
+    default_scroll_speed_mm_s:
+        ``v'``: the experience velocity used when Δt is incalculable
+        (80 mm/s, Section V-G).
+    otsu_bins:
+        Histogram resolution of the Otsu threshold search.
+    otsu_refresh_samples:
+        Recompute the dynamic threshold every this many samples.
+    history_s:
+        Length of the rolling ΔRSS² history used for threshold calibration.
+    threshold_floor_factor:
+        The dynamic threshold never sinks below this multiple of the
+        history's 60th percentile — a guard against Otsu splitting the
+        noise distribution when no gesture is in view.
+    """
+
+    sample_rate_hz: float = 100.0
+    prefilter_window_s: float = 0.05
+    sbc_window_s: float = 0.010
+    envelope_window_s: float = 0.15
+    cluster_gap_s: float = 0.100
+    dispatch_threshold_s: float = 0.030
+    initial_threshold: float = 10.0
+    min_segment_s: float = 0.22
+    max_segment_s: float = 5.0
+    default_scroll_speed_mm_s: float = 80.0
+    otsu_bins: int = 128
+    otsu_refresh_samples: int = 25
+    history_s: float = 8.0
+    threshold_floor_factor: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        if self.prefilter_window_s < 0:
+            raise ValueError("prefilter_window_s must be non-negative")
+        if self.envelope_window_s < 0:
+            raise ValueError("envelope_window_s must be non-negative")
+        if self.sbc_window_s <= 0:
+            raise ValueError("sbc_window_s must be positive")
+        if self.cluster_gap_s < 0:
+            raise ValueError("cluster_gap_s must be non-negative")
+        if self.dispatch_threshold_s <= 0:
+            raise ValueError("dispatch_threshold_s must be positive")
+        if self.initial_threshold <= 0:
+            raise ValueError("initial_threshold must be positive")
+        if not 0 < self.min_segment_s < self.max_segment_s:
+            raise ValueError(
+                "min_segment_s must be positive and below max_segment_s")
+        if self.default_scroll_speed_mm_s <= 0:
+            raise ValueError("default_scroll_speed_mm_s must be positive")
+        if self.otsu_bins < 8:
+            raise ValueError("otsu_bins must be >= 8")
+        if self.otsu_refresh_samples < 1:
+            raise ValueError("otsu_refresh_samples must be >= 1")
+        if self.history_s <= 0:
+            raise ValueError("history_s must be positive")
+        if self.threshold_floor_factor <= 0:
+            raise ValueError("threshold_floor_factor must be positive")
+
+    @property
+    def prefilter_samples(self) -> int:
+        """Prefilter length in samples (at least 1 == no filtering)."""
+        return max(1, int(round(self.prefilter_window_s * self.sample_rate_hz)))
+
+    @property
+    def sbc_window_samples(self) -> int:
+        """``w`` in samples (at least 1)."""
+        return max(1, int(round(self.sbc_window_s * self.sample_rate_hz)))
+
+    @property
+    def envelope_samples(self) -> int:
+        """Envelope window in samples (at least 1)."""
+        return max(1, int(round(self.envelope_window_s * self.sample_rate_hz)))
+
+    @property
+    def cluster_gap_samples(self) -> int:
+        """``t_e`` in samples."""
+        return int(round(self.cluster_gap_s * self.sample_rate_hz))
+
+    @property
+    def min_segment_samples(self) -> int:
+        """Minimum segment length in samples."""
+        return max(2, int(round(self.min_segment_s * self.sample_rate_hz)))
+
+    @property
+    def max_segment_samples(self) -> int:
+        """Maximum segment length in samples."""
+        return int(round(self.max_segment_s * self.sample_rate_hz))
+
+    @property
+    def history_samples(self) -> int:
+        """Rolling calibration-history length in samples."""
+        return int(round(self.history_s * self.sample_rate_hz))

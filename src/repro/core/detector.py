@@ -1,0 +1,114 @@
+"""Detect-aimed gesture recognition — Section IV-C.
+
+A Random Forest over the selected Table-I feature families, extracted from
+the SBC-processed (ΔRSS²) signal of each segmented gesture.  The classifier
+is swappable so the Fig. 9 comparison (RF vs LR vs DT vs BNB) reuses the
+same feature machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.features.extractor import FeatureExtractor
+from repro.features.selection import FeatureSelector
+from repro.ml.forest import RandomForestClassifier
+
+__all__ = ["DetectAimedRecognizer"]
+
+
+def _default_model() -> RandomForestClassifier:
+    return RandomForestClassifier(n_estimators=60, random_state=7)
+
+
+@dataclass
+class DetectAimedRecognizer:
+    """Feature extraction + classification for detect-aimed gestures.
+
+    Parameters
+    ----------
+    extractor:
+        Feature extractor applied to each ΔRSS² segment; defaults to the
+        full registry (all 25 Table-I families).
+    model_factory:
+        Builds the classifier; defaults to the paper's Random Forest.
+    selector:
+        Optional importance-based selector fitted during :meth:`fit`; when
+        given, the model trains on the selected columns only.
+    """
+
+    extractor: FeatureExtractor = field(default_factory=FeatureExtractor.full)
+    model_factory: Callable[[], object] = _default_model
+    selector: FeatureSelector | None = None
+
+    model_: object = field(init=False, repr=False, default=None)
+    classes_: np.ndarray = field(init=False, repr=False, default=None)
+
+    # ------------------------------------------------------------------
+    def _features(self, signals: Sequence[np.ndarray]) -> np.ndarray:
+        X = self.extractor.extract_many(signals)
+        if self.selector is not None and self.selector.column_mask_ is not None:
+            X = self.selector.transform(X)
+        return X
+
+    def fit(self, signals: Sequence[np.ndarray],
+            labels: Sequence[str]) -> "DetectAimedRecognizer":
+        """Train on segmented ΔRSS² signals with gesture labels."""
+        if len(signals) != len(labels):
+            raise ValueError(
+                f"{len(signals)} signals but {len(labels)} labels")
+        if len(signals) == 0:
+            raise ValueError("cannot fit on zero signals")
+        X = self.extractor.extract_many(signals)
+        y = np.asarray(labels)
+        if self.selector is not None:
+            X = self.selector.fit_transform(X, y, self.extractor)
+        self.model_ = self.model_factory()
+        self.model_.fit(X, y)
+        self.classes_ = self.model_.classes_
+        return self
+
+    def fit_features(self, X: np.ndarray,
+                     labels: Sequence[str]) -> "DetectAimedRecognizer":
+        """Train directly on a precomputed full-registry feature matrix."""
+        y = np.asarray(labels)
+        if self.selector is not None:
+            X = self.selector.fit_transform(np.asarray(X), y, self.extractor)
+        self.model_ = self.model_factory()
+        self.model_.fit(X, y)
+        self.classes_ = self.model_.classes_
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.model_ is None:
+            raise RuntimeError("recognizer is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    def predict(self, signals: Sequence[np.ndarray]) -> np.ndarray:
+        """Predicted gesture labels for a batch of ΔRSS² segments."""
+        self._check_fitted()
+        return self.model_.predict(self._features(signals))
+
+    def predict_features(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels for a precomputed full-registry feature matrix."""
+        self._check_fitted()
+        X = np.asarray(X)
+        if self.selector is not None and self.selector.column_mask_ is not None:
+            X = self.selector.transform(X)
+        return self.model_.predict(X)
+
+    def predict_one(self, signal: np.ndarray) -> tuple[str, float]:
+        """``(label, confidence)`` for one segment."""
+        self._check_fitted()
+        X = self._features([signal])
+        proba = self.model_.predict_proba(X)[0]
+        k = int(np.argmax(proba))
+        return str(self.model_.classes_[k]), float(proba[k])
+
+    def score(self, signals: Sequence[np.ndarray],
+              labels: Sequence[str]) -> float:
+        """Mean accuracy on labelled segments."""
+        return float(np.mean(self.predict(signals) == np.asarray(labels)))

@@ -1,0 +1,90 @@
+"""Events emitted by the real-time pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SegmentEvent", "GestureEvent", "ScrollUpdate"]
+
+
+@dataclass(frozen=True)
+class SegmentEvent:
+    """A gesture candidate was segmented out of the stream.
+
+    Indices are absolute sample indices since the pipeline started.
+    """
+
+    start_index: int
+    end_index: int
+    start_time_s: float
+    end_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_index <= self.start_index:
+            raise ValueError("end_index must exceed start_index")
+
+    @property
+    def duration_s(self) -> float:
+        """Segment duration."""
+        return self.end_time_s - self.start_time_s
+
+
+@dataclass(frozen=True)
+class GestureEvent:
+    """A recognized detect-aimed gesture (or a rejected non-gesture).
+
+    Parameters
+    ----------
+    label:
+        Gesture name, or ``"non_gesture"`` when the interference filter
+        rejected the segment.
+    confidence:
+        Classifier probability of *label*.
+    segment:
+        The extent the decision covers.
+    accepted:
+        False when the interference filter rejected the segment.
+    """
+
+    label: str
+    confidence: float
+    segment: SegmentEvent
+    accepted: bool = True
+
+
+@dataclass(frozen=True)
+class ScrollUpdate:
+    """Track-aimed output: live or final scroll state.
+
+    Parameters
+    ----------
+    direction:
+        +1 scroll up, -1 scroll down, 0 undecided.
+    velocity_mm_s:
+        Current speed estimate.
+    displacement_mm:
+        Signed displacement ``D_t`` at ``time_s``.
+    time_s:
+        Stream time of this update.
+    final:
+        True for the gesture-end summary update, False for live updates
+        emitted while the finger is still moving.
+    segment:
+        The extent covered so far.
+    """
+
+    direction: int
+    velocity_mm_s: float
+    displacement_mm: float
+    time_s: float
+    final: bool
+    segment: SegmentEvent
+
+    @property
+    def direction_name(self) -> str:
+        """``"scroll_up"``, ``"scroll_down"`` or ``"unknown"``."""
+        if self.direction > 0:
+            return "scroll_up"
+        if self.direction < 0:
+            return "scroll_down"
+        return "unknown"

@@ -1,0 +1,285 @@
+"""The real-time airFinger engine: frames in, recognition events out.
+
+This module wires the whole Fig. 4 data flow together for streaming use:
+each :class:`~repro.acquisition.stream.RssFrame` is pushed through SBC and
+the dynamic-threshold segmenter; when a gesture segment closes, the
+dispatcher routes it either through the interference filter + detect-aimed
+recognizer (emitting a :class:`~repro.core.events.GestureEvent`) or through
+ZEBRA (emitting a final :class:`~repro.core.events.ScrollUpdate`).  While a
+track-aimed gesture is still in progress the engine emits live
+``ScrollUpdate`` events, reproducing the paper's claim that scroll
+direction is identified "in real-time, without waiting for the end of this
+gesture".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.acquisition.sampler import Recording
+from repro.acquisition.stream import RssFrame, stream_frames
+from repro.core.config import AirFingerConfig
+from repro.core.detector import DetectAimedRecognizer
+from repro.core.dispatcher import GestureDispatcher
+from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
+from repro.core.interference import InterferenceFilter
+from repro.core.sbc import (
+    StreamingMovingAverage,
+    StreamingSbc,
+    prefilter,
+    sbc_transform,
+)
+from repro.core.segmentation import DynamicThresholdSegmenter, Segment
+from repro.core.zebra import ZebraTracker
+
+__all__ = ["AirFinger"]
+
+
+@dataclass
+class AirFinger:
+    """The end-to-end streaming recognizer.
+
+    Parameters
+    ----------
+    config:
+        Stack configuration (paper defaults).
+    detector:
+        A fitted :class:`DetectAimedRecognizer`; without one, detect-aimed
+        segments still produce :class:`SegmentEvent` but no gesture label.
+    interference_filter:
+        Optional fitted gesture/non-gesture filter applied before the
+        detector.
+    tracker:
+        ZEBRA tracker; constructed from the config when omitted.
+    live_update_every:
+        Emit a live ScrollUpdate every this many frames while a track-aimed
+        gesture is open (0 disables live updates).
+    gate_fraction:
+        Per-channel onset gate as a fraction of the combined-signal
+        segmentation threshold (channels are quieter individually than the
+        channel sum).
+    """
+
+    config: AirFingerConfig = field(default_factory=AirFingerConfig)
+    detector: DetectAimedRecognizer | None = None
+    interference_filter: InterferenceFilter | None = None
+    tracker: ZebraTracker | None = None
+    live_update_every: int = 5
+    gate_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.live_update_every < 0:
+            raise ValueError("live_update_every must be >= 0")
+        if not 0.0 < self.gate_fraction <= 1.0:
+            raise ValueError("gate_fraction must be in (0, 1]")
+        if self.tracker is None:
+            self.tracker = ZebraTracker(config=self.config)
+        self._segmenter = DynamicThresholdSegmenter(self.config)
+        self._dispatcher = GestureDispatcher(self.config)
+        self._combined_sbc = StreamingSbc(self.config.sbc_window_samples)
+        self._prefilters: list[StreamingMovingAverage] = []
+        history = (self.config.max_segment_samples
+                   + 2 * self.config.cluster_gap_samples + 64)
+        self._raw: deque[tuple[float, ...]] = deque(maxlen=history)
+        self._delta: deque[float] = deque(maxlen=history)
+        self._fed = 0
+        self._last_time_s = 0.0
+        self._live_cooldown = 0
+        self._live_track_open = False
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def frames_fed(self) -> int:
+        """Total frames ingested."""
+        return self._fed
+
+    @property
+    def segmentation_threshold(self) -> float:
+        """Current dynamic threshold on the combined ΔRSS²."""
+        return self._segmenter.threshold
+
+    def _gate(self) -> float:
+        return self._segmenter.threshold * self.gate_fraction
+
+    def _history_offset(self) -> int:
+        return self._fed - len(self._raw)
+
+    def _slice_raw(self, start: int, end: int) -> np.ndarray:
+        offset = self._history_offset()
+        lo = max(start - offset, 0)
+        hi = min(end - offset, len(self._raw))
+        if hi <= lo:
+            return np.zeros((0, 0))
+        rows = list(self._raw)[lo:hi]
+        return np.asarray(rows, dtype=np.float64)
+
+    def _slice_delta(self, start: int, end: int) -> np.ndarray:
+        offset = self._history_offset()
+        lo = max(start - offset, 0)
+        hi = min(end - offset, len(self._delta))
+        if hi <= lo:
+            return np.zeros(0)
+        return np.asarray(list(self._delta)[lo:hi], dtype=np.float64)
+
+    def _segment_event(self, segment: Segment) -> SegmentEvent:
+        rate = self.config.sample_rate_hz
+        return SegmentEvent(
+            start_index=segment.start,
+            end_index=segment.end,
+            start_time_s=segment.start / rate,
+            end_time_s=segment.end / rate)
+
+    # ------------------------------------------------------------------
+    # main entry points
+    # ------------------------------------------------------------------
+    def feed(self, frame: RssFrame) -> list:
+        """Ingest one frame; returns the events it triggered.
+
+        The stored history and everything downstream (segmentation, onset
+        analysis, features) operate on the prefiltered RSS.
+        """
+        if len(self._prefilters) != len(frame.values):
+            self._prefilters = [
+                StreamingMovingAverage(self.config.prefilter_samples)
+                for _ in frame.values]
+        filtered = tuple(f.push(v) for f, v in zip(self._prefilters,
+                                                   frame.values))
+        self._raw.append(filtered)
+        self._last_time_s = frame.time_s
+        combined = float(sum(filtered))
+        delta = self._combined_sbc.push(combined)
+        self._delta.append(delta)
+        self._fed += 1
+
+        events: list = []
+        finished = self._segmenter.push(delta)
+        if finished is not None:
+            events.extend(self._handle_segment(finished))
+            self._live_track_open = False
+        elif self.live_update_every:
+            live = self._maybe_live_update()
+            if live is not None:
+                events.append(live)
+        return events
+
+    def feed_recording(self, recording: Recording) -> list:
+        """Replay a full recording; returns all events plus end-of-stream flush."""
+        events: list = []
+        for frame in stream_frames(recording):
+            events.extend(self.feed(frame))
+        events.extend(self.flush())
+        return events
+
+    def flush(self) -> list:
+        """Close any open segment at end of stream."""
+        tail = self._segmenter.flush()
+        if tail is None:
+            return []
+        out = self._handle_segment(tail)
+        self._live_track_open = False
+        return out
+
+    def reset(self) -> None:
+        """Drop all stream state (models are kept)."""
+        self._segmenter.reset()
+        self._combined_sbc.reset()
+        self._prefilters = []
+        self._raw.clear()
+        self._delta.clear()
+        self._fed = 0
+        self._last_time_s = 0.0
+        self._live_cooldown = 0
+        self._live_track_open = False
+
+    # ------------------------------------------------------------------
+    # segment handling
+    # ------------------------------------------------------------------
+    def _handle_segment(self, segment: Segment) -> list:
+        event = self._segment_event(segment)
+        rss = self._slice_raw(segment.start, segment.end)
+        out: list = [event]
+        if rss.size == 0:
+            return out
+        gate = self._gate()
+        kind = self._dispatcher.classify(rss, gate)
+        if kind == "track":
+            result = self.tracker.track(rss, gate)
+            out.append(ScrollUpdate(
+                direction=result.direction,
+                velocity_mm_s=result.velocity_mm_s,
+                displacement_mm=result.total_displacement_mm,
+                time_s=event.end_time_s,
+                final=True,
+                segment=event))
+            return out
+        signal = self._slice_delta(segment.start, segment.end)
+        if self.interference_filter is not None:
+            if self.interference_filter.gesture_probability(signal) < 0.5:
+                out.append(GestureEvent(
+                    label="non_gesture", confidence=1.0, segment=event,
+                    accepted=False))
+                return out
+        if self.detector is not None:
+            label, confidence = self.detector.predict_one(signal)
+            out.append(GestureEvent(
+                label=label, confidence=confidence, segment=event,
+                accepted=True))
+        return out
+
+    def _maybe_live_update(self) -> ScrollUpdate | None:
+        open_start = self._segmenter._open_start
+        if open_start is None:
+            self._live_cooldown = 0
+            return None
+        self._live_cooldown += 1
+        if self._live_cooldown % self.live_update_every:
+            return None
+        elapsed = self._fed - open_start
+        if elapsed < 2 * self.config.sbc_window_samples + 4:
+            return None
+        rss = self._slice_raw(open_start, self._fed)
+        if rss.size == 0:
+            return None
+        gate = self._gate()
+        kind = self._dispatcher.classify(rss, gate)
+        if kind != "track" and not self._live_track_open:
+            return None
+        self._live_track_open = True
+        result = self.tracker.track(rss, gate)
+        elapsed_s = elapsed / self.config.sample_rate_hz
+        event = SegmentEvent(
+            start_index=open_start,
+            end_index=self._fed,
+            start_time_s=open_start / self.config.sample_rate_hz,
+            end_time_s=self._fed / self.config.sample_rate_hz)
+        return ScrollUpdate(
+            direction=result.direction,
+            velocity_mm_s=result.velocity_mm_s,
+            displacement_mm=result.direction * result.velocity_mm_s * elapsed_s,
+            time_s=self._last_time_s,
+            final=False,
+            segment=event)
+
+    # ------------------------------------------------------------------
+    # offline convenience
+    # ------------------------------------------------------------------
+    def segment_recording(self, recording: Recording
+                          ) -> list[tuple[Segment, np.ndarray, np.ndarray]]:
+        """Offline segmentation: ``(segment, rss_slice, delta_slice)`` triples.
+
+        Uses a fresh segmenter so pipeline streaming state is untouched.
+        """
+        filtered = prefilter(recording.rss, self.config.prefilter_samples)
+        combined = filtered.sum(axis=1)
+        delta = sbc_transform(combined, self.config.sbc_window_samples)
+        segmenter = DynamicThresholdSegmenter(self.config)
+        out = []
+        for seg in segmenter.segment(delta):
+            out.append((seg,
+                        filtered[seg.start:seg.end].copy(),
+                        delta[seg.start:seg.end].copy()))
+        return out

@@ -1,0 +1,144 @@
+"""Square Based Calculation (SBC) — Section IV-B1 of the paper.
+
+A sliding window of size ``w`` scans the real-time RSS; the mean of the
+current window is subtracted from the mean of the previous window and the
+difference is squared::
+
+    ΔRSS²[i] = ( mean(x[i-w+1 .. i]) - mean(x[i-2w+1 .. i-w]) )²
+
+The differencing removes the static offset ``N_static`` exactly and
+attenuates slow dynamic noise, while squaring relatively enhances the large
+gesture-driven excursions ``S_ges`` over the small residual noise — and
+makes the output sign-free, which is what the Otsu-style threshold expects.
+The whole transform is O(n) via prefix sums.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["sbc_transform", "StreamingSbc", "StreamingMovingAverage", "prefilter"]
+
+
+def prefilter(signal: np.ndarray, window: int) -> np.ndarray:
+    """Causal moving-average smoothing applied to raw RSS before SBC.
+
+    The hardware pendant is the analog low-pass at the amplifier output;
+    micro gestures occupy only a few hertz, so a short average costs no
+    gesture bandwidth while suppressing sample-level converter noise.
+    Multi-channel ``(T, C)`` inputs are filtered per channel.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    x = np.asarray(signal, dtype=np.float64)
+    if window == 1 or len(x) == 0:
+        return x.copy()
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[:, None]
+    n = len(x)
+    s0 = np.concatenate([np.zeros((1, x.shape[1])), np.cumsum(x, axis=0)])
+    idx_hi = np.arange(1, n + 1)
+    idx_lo = np.maximum(idx_hi - window, 0)
+    out = (s0[idx_hi] - s0[idx_lo]) / (idx_hi - idx_lo)[:, None]
+    return out[:, 0] if squeeze else out
+
+
+class StreamingMovingAverage:
+    """O(1)-per-sample causal moving average (the streaming prefilter)."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._buffer: deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    def push(self, value: float) -> float:
+        """Ingest one sample; returns the mean of the last ``window`` samples."""
+        value = float(value)
+        if len(self._buffer) == self.window:
+            self._sum -= self._buffer[0]
+        self._buffer.append(value)
+        self._sum += value
+        return self._sum / len(self._buffer)
+
+    def reset(self) -> None:
+        """Forget buffered samples."""
+        self._buffer.clear()
+        self._sum = 0.0
+
+
+def sbc_transform(signal: np.ndarray, window: int = 1) -> np.ndarray:
+    """Offline SBC: ΔRSS² of *signal* (same length; warm-up samples are 0).
+
+    Parameters
+    ----------
+    signal:
+        Raw RSS readings ``(T,)`` or multi-channel ``(T, C)`` (each channel
+        is transformed independently).
+    window:
+        ``w`` in samples; at 100 Hz the paper's 10 ms is one sample, making
+        SBC the squared first difference.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    x = np.asarray(signal, dtype=np.float64)
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[:, None]
+    n = len(x)
+    out = np.zeros_like(x)
+    if n >= 2 * window:
+        # S0[k] = sum of x[0 .. k-1]; window sum ending at i is S0[i+1]-S0[i+1-w]
+        s0 = np.concatenate([np.zeros((1, x.shape[1])), np.cumsum(x, axis=0)])
+        w = window
+        cur = s0[2 * w: n + 1] - s0[w: n - w + 1]
+        prev = s0[w: n - w + 1] - s0[0: n - 2 * w + 1]
+        delta = (cur - prev) / w
+        out[2 * w - 1:] = delta * delta
+    return out[:, 0] if squeeze else out
+
+
+class StreamingSbc:
+    """On-line SBC over one channel: push a sample, get ΔRSS² back.
+
+    Keeps two running window sums; each :meth:`push` is O(1), matching the
+    O(n) complexity the paper claims for the full stream.
+    """
+
+    def __init__(self, window: int = 1) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._buffer: deque[float] = deque(maxlen=2 * window)
+        self._count = 0
+
+    def push(self, value: float) -> float:
+        """Ingest one RSS sample; returns ΔRSS² (0.0 during warm-up)."""
+        value = float(value)
+        self._buffer.append(value)
+        self._count += 1
+        if len(self._buffer) < 2 * self.window:
+            return 0.0
+        buf = self._buffer
+        prev_sum = sum(list(buf)[: self.window])
+        cur_sum = sum(list(buf)[self.window:])
+        delta = (cur_sum - prev_sum) / self.window
+        return delta * delta
+
+    def push_many(self, values: np.ndarray) -> np.ndarray:
+        """Ingest a batch, returning one ΔRSS² per input sample."""
+        return np.array([self.push(v) for v in np.asarray(values).ravel()])
+
+    def reset(self) -> None:
+        """Forget all buffered samples."""
+        self._buffer.clear()
+        self._count = 0
+
+    @property
+    def samples_seen(self) -> int:
+        """Total samples pushed since construction or reset."""
+        return self._count

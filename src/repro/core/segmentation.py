@@ -1,0 +1,265 @@
+"""Dynamic Threshold (DT) gesture segmentation — Section IV-B2.
+
+The segmenter thresholds the ΔRSS² stream into gesture (G) and non-gesture
+(NG) classes.  A fixed threshold cannot work because the ΔRSS² range shifts
+with finger distance, so the threshold ``I_seg`` is recomputed on-line by
+maximizing the inter-class variance ``ω0·ω1·(μ0-μ1)²`` over accumulated
+readings — Otsu's method (the paper cites the background/foreground
+segmentation analogy of computer vision).
+
+Start/end detection follows the paper exactly: a sample exceeding ``I_seg``
+opens a segment, a sample at or below it closes one, and segments separated
+by less than ``t_e`` are clustered into a single gesture.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import AirFingerConfig
+
+__all__ = ["otsu_threshold", "Segment", "DynamicThresholdSegmenter"]
+
+
+def otsu_threshold(values: np.ndarray,
+                   n_bins: int = 128,
+                   initial: float = 10.0) -> float:
+    """The threshold maximizing inter-class variance over *values*.
+
+    Parameters
+    ----------
+    values:
+        Accumulated ΔRSS² readings.
+    n_bins:
+        Histogram resolution of the candidate-threshold search.
+    initial:
+        Returned when *values* is too small or degenerate for calibration
+        (the paper's initial threshold ``I'_seg``).
+
+    Notes
+    -----
+    ΔRSS² is heavy-tailed over several decades (quiet floor vs gesture
+    excursions), so the entire Otsu computation — histogram, class weights,
+    class means, inter-class variance — runs in **log space**.  In linear
+    space the enormous gesture values dominate the class means and push the
+    split far into the gesture mode; in log space the two modes are
+    comparably sized and the maximizer lands in the valley between them.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    values = values[np.isfinite(values) & (values >= 0.0)]
+    if values.size < 16:
+        return float(initial)
+    positive = values[values > 0.0]
+    if positive.size < 16 or float(np.ptp(np.log(positive))) < 1e-9:
+        return float(initial)
+    log_vals = np.log(positive)
+    lo, hi = float(log_vals.min()), float(log_vals.max())
+    edges = np.linspace(lo, hi, n_bins + 1)
+    hist, _ = np.histogram(log_vals, bins=edges)
+    total = hist.sum()
+    if total == 0:
+        return float(initial)
+    centers = 0.5 * (edges[:-1] + edges[1:])  # log-space bin centres
+    w_cum = np.cumsum(hist)
+    mass_cum = np.cumsum(hist * centers)
+    mass_total = mass_cum[-1]
+    # candidate threshold after each bin: class NG = bins <= k, G = bins > k
+    w1 = w_cum[:-1] / total                       # NG weight
+    w0 = 1.0 - w1                                 # G weight
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mu1 = mass_cum[:-1] / np.maximum(w_cum[:-1], 1)
+        mu0 = (mass_total - mass_cum[:-1]) / np.maximum(total - w_cum[:-1], 1)
+    score = w0 * w1 * (mu0 - mu1) ** 2
+    score[~np.isfinite(score)] = -1.0
+    k = int(np.argmax(score))
+    if score[k] <= 0:
+        return float(initial)
+    return float(np.exp(edges[k + 1]))
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A detected gesture extent, in sample indices ``[start, end)``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise ValueError(f"invalid segment [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        """Number of samples covered."""
+        return self.end - self.start
+
+    def gap_to(self, other: "Segment") -> int:
+        """Samples between this segment's end and *other*'s start (>= 0)."""
+        if other.start < self.end:
+            return 0
+        return other.start - self.end
+
+    def merged(self, other: "Segment") -> "Segment":
+        """The union-extent of two segments."""
+        return Segment(min(self.start, other.start), max(self.end, other.end))
+
+
+class DynamicThresholdSegmenter:
+    """On-line gesture segmentation over a ΔRSS² stream.
+
+    Usage (streaming)::
+
+        seg = DynamicThresholdSegmenter(config)
+        for i, value in enumerate(delta_sq_stream):
+            finished = seg.push(value)
+            if finished is not None:
+                ...  # a gesture spanning finished.start..finished.end
+
+    or offline via :meth:`segment`.
+    """
+
+    def __init__(self, config: AirFingerConfig | None = None) -> None:
+        self.config = config or AirFingerConfig()
+        self._history: deque[float] = deque(maxlen=self.config.history_samples)
+        self._threshold = float(self.config.initial_threshold)
+        self._since_refresh = 0
+        self._index = 0
+        self._open_start: int | None = None
+        self._pending: Segment | None = None
+        self._gap = 0
+        self._env_buffer: deque[float] = deque(maxlen=self.config.envelope_samples)
+        self._env_sum = 0.0
+        # causal envelope delays the apparent onset by ~half the window
+        self._backdate = self.config.envelope_samples // 2
+
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        """The current dynamic threshold ``I_seg``."""
+        return self._threshold
+
+    @property
+    def samples_seen(self) -> int:
+        """Total ΔRSS² samples pushed."""
+        return self._index
+
+    def _refresh_threshold(self) -> None:
+        history = np.fromiter(self._history, dtype=np.float64)
+        # Otsu needs both modes (noise and gesture) in view to be
+        # meaningful; hold the initial threshold until a second of data has
+        # accumulated.
+        if history.size < self.config.sample_rate_hz:
+            return
+        # The noise floor is estimated from the 25th percentile: even with a
+        # heavy gesture duty cycle most history samples are quiet, so this
+        # quantile tracks the noise mode and never creeps up with gestures.
+        noise_level = float(np.quantile(history, 0.25))
+        floor = max(self.config.threshold_floor_factor * noise_level, 1e-9)
+        otsu = otsu_threshold(history,
+                              n_bins=self.config.otsu_bins,
+                              initial=self.config.initial_threshold)
+        if otsu > 100.0 * floor:
+            # Otsu split inside the gesture mode (e.g. the history holds
+            # mostly strong gestures); fall back to the noise-based floor.
+            self._threshold = floor
+        else:
+            self._threshold = max(otsu, floor)
+
+    # ------------------------------------------------------------------
+    def push(self, value: float) -> Segment | None:
+        """Ingest one ΔRSS² sample; returns a finished gesture segment or None.
+
+        A segment is only emitted once it has been closed for more than
+        ``t_e`` samples (otherwise a following burst would have been
+        clustered into it) and it passes the minimum-length filter.
+        """
+        raw = float(value)
+        if len(self._env_buffer) == self._env_buffer.maxlen:
+            self._env_sum -= self._env_buffer[0]
+        self._env_buffer.append(raw)
+        self._env_sum += raw
+        value = self._env_sum / len(self._env_buffer)
+        self._history.append(value)
+        self._since_refresh += 1
+        if self._since_refresh >= self.config.otsu_refresh_samples:
+            self._refresh_threshold()
+            self._since_refresh = 0
+
+        i = self._index
+        self._index += 1
+        emitted: Segment | None = None
+
+        above = value > self._threshold
+        if above:
+            if self._open_start is None:
+                if self._pending is not None and self._gap < self.config.cluster_gap_samples:
+                    # cluster with the previous burst (gap < t_e)
+                    self._open_start = self._pending.start
+                    self._pending = None
+                else:
+                    emitted = self._take_pending()
+                    self._open_start = i
+            if (self._open_start is not None
+                    and i - self._open_start + 1 >= self.config.max_segment_samples):
+                self._pending = Segment(self._open_start, i + 1)
+                self._open_start = None
+                self._gap = 0
+        else:
+            if self._open_start is not None:
+                self._pending = Segment(self._open_start, i)
+                self._open_start = None
+                self._gap = 0
+            elif self._pending is not None:
+                self._gap += 1
+                if self._gap >= self.config.cluster_gap_samples:
+                    emitted = self._take_pending()
+        return emitted
+
+    def _take_pending(self) -> Segment | None:
+        if self._pending is None:
+            return None
+        segment = self._pending
+        self._pending = None
+        self._gap = 0
+        if segment.length < self.config.min_segment_samples:
+            return None
+        # compensate the causal envelope's onset delay
+        start = max(0, segment.start - self._backdate)
+        end = max(start + 1, segment.end - self._backdate)
+        return Segment(start, end)
+
+    def flush(self) -> Segment | None:
+        """Close any open or pending segment at end of stream."""
+        if self._open_start is not None:
+            self._pending = Segment(self._open_start, self._index)
+            self._open_start = None
+        return self._take_pending()
+
+    def reset(self) -> None:
+        """Forget all state (threshold history included)."""
+        self._history.clear()
+        self._threshold = float(self.config.initial_threshold)
+        self._since_refresh = 0
+        self._index = 0
+        self._open_start = None
+        self._pending = None
+        self._gap = 0
+        self._env_buffer.clear()
+        self._env_sum = 0.0
+
+    # ------------------------------------------------------------------
+    def segment(self, delta_sq: np.ndarray) -> list[Segment]:
+        """Offline segmentation of a full ΔRSS² array."""
+        self.reset()
+        segments: list[Segment] = []
+        for value in np.asarray(delta_sq, dtype=np.float64).ravel():
+            done = self.push(value)
+            if done is not None:
+                segments.append(done)
+        tail = self.flush()
+        if tail is not None:
+            segments.append(tail)
+        return segments

@@ -1,0 +1,173 @@
+"""User-defined custom gestures — the paper's Section VI extension.
+
+"It is an interesting option to enable user-self-defined gestures.  Users
+might be willing to define customized gestures on their own.  Like
+personalized icons, customized gestures can provide more space for users
+to interact with their smart devices and somehow preserve both personality
+and privacy."
+
+The classifier route needs dozens of repetitions per class; a personal
+gesture should enrol from a handful.  This module implements few-shot
+enrolment with DTW template matching: each enrolment stores length- and
+amplitude-normalized exemplars of the processed ΔRSS² signal, recognition
+returns the nearest enrolled gesture, and an open-set threshold (fitted
+from the enrolment data itself) rejects inputs that match nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.dtw import dtw_distance
+
+__all__ = ["GestureTemplate", "TemplateRecognizer"]
+
+
+@dataclass
+class GestureTemplate:
+    """One enrolled custom gesture.
+
+    Parameters
+    ----------
+    name:
+        User-chosen gesture name.
+    exemplars:
+        Normalized enrolment signals.
+    rejection_distance:
+        Matches farther than this are treated as "no such gesture".
+    """
+
+    name: str
+    exemplars: list[np.ndarray]
+    rejection_distance: float
+
+    def distance_to(self, signal: np.ndarray,
+                    band_fraction: float = 0.15) -> float:
+        """Distance of *signal* to the closest exemplar."""
+        return min(dtw_distance(signal, ex, band_fraction)
+                   for ex in self.exemplars)
+
+
+@dataclass
+class TemplateRecognizer:
+    """Few-shot, open-set recognition of user-defined gestures.
+
+    Usage::
+
+        rec = TemplateRecognizer()
+        rec.enroll("my-zigzag", [sig1, sig2, sig3])
+        rec.enroll("my-tap-tap", [sig4, sig5, sig6])
+        name, distance = rec.recognize(new_signal)   # name may be None
+
+    Parameters
+    ----------
+    band_fraction:
+        DTW warping band.
+    max_length:
+        Signals are resampled to at most this many points before matching.
+    rejection_margin:
+        The per-gesture open-set threshold is ``margin`` times the largest
+        intra-enrolment distance — larger margins are more permissive.
+    compress:
+        Apply ``sqrt(|x|)`` before matching.  ΔRSS² signals span decades,
+        and DTW on the raw values is dominated by the tallest spike;
+        compression makes the whole waveform shape count, which is what
+        tightens open-set rejection.
+    """
+
+    band_fraction: float = 0.15
+    max_length: int = 128
+    rejection_margin: float = 1.3
+    compress: bool = True
+
+    templates: dict[str, GestureTemplate] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.band_fraction <= 1.0:
+            raise ValueError("band_fraction must be in (0, 1]")
+        if self.max_length < 8:
+            raise ValueError("max_length must be >= 8")
+        if self.rejection_margin <= 0:
+            raise ValueError("rejection_margin must be positive")
+
+    # ------------------------------------------------------------------
+    def _condense(self, signal: np.ndarray) -> np.ndarray:
+        signal = np.asarray(signal, dtype=np.float64).ravel()
+        if signal.size < 4:
+            raise ValueError("signal too short to enrol or match")
+        if self.compress:
+            signal = np.sqrt(np.abs(signal))
+        if len(signal) <= self.max_length:
+            return signal
+        grid = np.linspace(0, len(signal) - 1, self.max_length)
+        return np.interp(grid, np.arange(len(signal)), signal)
+
+    def enroll(self, name: str, signals) -> GestureTemplate:
+        """Register a custom gesture from a handful of repetitions.
+
+        The open-set rejection threshold is derived from the enrolment's
+        own spread: anything much farther from the exemplars than they are
+        from each other is not this gesture.
+        """
+        if not name:
+            raise ValueError("gesture name must be non-empty")
+        if name in self.templates:
+            raise ValueError(f"gesture {name!r} is already enrolled")
+        if len(signals) < 2:
+            raise ValueError("enrolment needs at least 2 repetitions")
+        exemplars = [self._condense(s) for s in signals]
+        intra = [
+            dtw_distance(exemplars[i], exemplars[j], self.band_fraction)
+            for i in range(len(exemplars))
+            for j in range(i + 1, len(exemplars))]
+        spread = max(max(intra), 1e-6)
+        template = GestureTemplate(
+            name=name,
+            exemplars=exemplars,
+            rejection_distance=self.rejection_margin * spread)
+        self.templates[name] = template
+        return template
+
+    def forget(self, name: str) -> None:
+        """Remove an enrolled gesture."""
+        if name not in self.templates:
+            raise KeyError(f"no enrolled gesture named {name!r}")
+        del self.templates[name]
+
+    @property
+    def enrolled(self) -> tuple[str, ...]:
+        """Names of all enrolled gestures."""
+        return tuple(self.templates)
+
+    # ------------------------------------------------------------------
+    def recognize(self, signal) -> tuple[str | None, float]:
+        """``(name, distance)`` of the best match, or ``(None, distance)``.
+
+        ``None`` means the input matched no enrolled gesture closely
+        enough (open-set rejection).
+        """
+        if not self.templates:
+            raise RuntimeError("no gestures enrolled")
+        query = self._condense(signal)
+        best_name: str | None = None
+        best_distance = float("inf")
+        for template in self.templates.values():
+            d = template.distance_to(query, self.band_fraction)
+            if d < best_distance:
+                best_name, best_distance = template.name, d
+        assert best_name is not None
+        if best_distance > self.templates[best_name].rejection_distance:
+            return None, best_distance
+        return best_name, best_distance
+
+    def score(self, signals, labels) -> float:
+        """Closed-set accuracy over labelled signals."""
+        if len(signals) != len(labels):
+            raise ValueError(f"{len(signals)} signals but {len(labels)} labels")
+        hits = 0
+        for signal, label in zip(signals, labels):
+            name, _ = self.recognize(signal)
+            hits += name == label
+        return hits / len(signals)

@@ -1,0 +1,173 @@
+"""Two-dimensional finger tracking on the cross array (Section VI).
+
+The paper's Section VI proposes more LEDs/photodiodes "to construct a
+multi-dimensional sensing area".  On the cross array of
+:func:`repro.optics.array.cross_array` the five photodiode excursions act
+like a coarse touch grid: the energy-weighted centroid of their board
+positions estimates the finger's lateral position each frame, and a
+weighted least-squares fit over the position trace yields the swipe's
+velocity vector — direction (any compass angle, not just up/down) and
+speed.
+
+A caveat this simulation surfaces: the asymmetric pinch complex (the hand
+mass trails the fingertip) biases the centroid, so angle estimates are
+much sharper for an instrumented bare-tip target than for a natural hand —
+see ``benchmarks/test_extension_2d_tracking.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import AirFingerConfig
+
+__all__ = ["PlanarTrackResult", "PlanarTracker", "compass_bin"]
+
+
+def compass_bin(angle_deg: float, n_bins: int = 8) -> int:
+    """Nearest compass bin index for *angle_deg* (bin 0 centred on +x)."""
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    width = 360.0 / n_bins
+    return int(round((angle_deg % 360.0) / width)) % n_bins
+
+
+@dataclass(frozen=True)
+class PlanarTrackResult:
+    """A tracked 2-D swipe.
+
+    Parameters
+    ----------
+    angle_deg:
+        Estimated motion direction, degrees CCW from +x, in [0, 360).
+    speed_mm_s:
+        Estimated speed along that direction.
+    velocity_mm_s:
+        The full ``(vx, vy)`` estimate.
+    confident:
+        False when too little energy crossed the board to fit a motion.
+    """
+
+    angle_deg: float
+    speed_mm_s: float
+    velocity_mm_s: tuple[float, float]
+    confident: bool
+
+    def unit_vector(self) -> np.ndarray:
+        """The estimated motion direction as an ``(x, y)`` unit vector."""
+        a = math.radians(self.angle_deg)
+        return np.array([math.cos(a), math.sin(a)])
+
+    def compass(self, n_bins: int = 8) -> int:
+        """Nearest compass bin of the estimate."""
+        return compass_bin(self.angle_deg, n_bins)
+
+
+@dataclass
+class PlanarTracker:
+    """Energy-centroid 2-D tracking over cross-array recordings.
+
+    Parameters
+    ----------
+    config:
+        Timing configuration (sample rate).
+    pd_positions_mm:
+        Board positions of the photodiode channels, ``(C, 2)``; defaults to
+        the 6 mm-pitch cross array's ``P1, P2, P3, P4, P5``.
+    smooth_window:
+        Excursion smoothing before the centroid.
+    energy_gate:
+        Frames whose summed excursion falls below this fraction of the
+        95th-percentile total are excluded from the velocity fit (the
+        finger is off-board).
+    min_frames:
+        Minimum gated frames for a confident fit.
+    """
+
+    config: AirFingerConfig = field(default_factory=AirFingerConfig)
+    pd_positions_mm: np.ndarray = field(default_factory=lambda: np.array(
+        [[-12.0, 0.0], [0.0, 0.0], [12.0, 0.0],
+         [0.0, -12.0], [0.0, 12.0]]))
+    smooth_window: int = 7
+    energy_gate: float = 0.25
+    min_frames: int = 5
+    min_travel_mm: float = 4.0
+    min_fit_r2: float = 0.35
+
+    def __post_init__(self) -> None:
+        self.pd_positions_mm = np.asarray(self.pd_positions_mm,
+                                          dtype=np.float64)
+        if self.pd_positions_mm.ndim != 2 or self.pd_positions_mm.shape[1] != 2:
+            raise ValueError("pd_positions_mm must be (C, 2)")
+        if self.smooth_window < 1:
+            raise ValueError("smooth_window must be >= 1")
+        if not 0.0 < self.energy_gate < 1.0:
+            raise ValueError("energy_gate must be in (0, 1)")
+        if self.min_frames < 3:
+            raise ValueError("min_frames must be >= 3")
+        if self.min_travel_mm < 0:
+            raise ValueError("min_travel_mm must be non-negative")
+        if not 0.0 <= self.min_fit_r2 < 1.0:
+            raise ValueError("min_fit_r2 must be within [0, 1)")
+
+    def positions(self, rss: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-frame position estimates and their energy weights.
+
+        Returns ``(positions, weights)`` where positions is ``(T, 2)`` and
+        frames below the energy gate carry weight 0.
+        """
+        rss = np.atleast_2d(np.asarray(rss, dtype=np.float64))
+        n_ch = self.pd_positions_mm.shape[0]
+        if rss.shape[1] != n_ch:
+            raise ValueError(
+                f"expected {n_ch} channels, got {rss.shape[1]}")
+        exc = np.maximum(rss - np.quantile(rss, 0.1, axis=0), 0.0)
+        if self.smooth_window > 1 and len(exc) >= self.smooth_window:
+            kernel = np.ones(self.smooth_window) / self.smooth_window
+            exc = np.stack([np.convolve(exc[:, c], kernel, mode="same")
+                            for c in range(n_ch)], axis=1)
+        total = exc.sum(axis=1)
+        gate = self.energy_gate * float(np.quantile(total, 0.95))
+        weights = np.where(total > max(gate, 1e-12), total, 0.0)
+        safe = np.maximum(total, 1e-12)[:, None]
+        positions = (exc @ self.pd_positions_mm) / safe
+        return positions, weights
+
+    def track(self, rss: np.ndarray) -> PlanarTrackResult:
+        """Track one segmented swipe from prefiltered ``(T, C)`` RSS."""
+        positions, weights = self.positions(rss)
+        active = weights > 0
+        if active.sum() < self.min_frames:
+            return PlanarTrackResult(0.0, 0.0, (0.0, 0.0), confident=False)
+        t = np.nonzero(active)[0] / self.config.sample_rate_hz
+        w = weights[active]
+        pos = positions[active]
+        # a real swipe moves the centroid across the board; noise hovers
+        travel = float(np.linalg.norm(np.ptp(pos, axis=0)))
+        if travel < self.min_travel_mm:
+            return PlanarTrackResult(0.0, 0.0, (0.0, 0.0), confident=False)
+        t_c = np.average(t, weights=w)
+        tw = t - t_c
+        denom = np.average(tw * tw, weights=w)
+        if denom < 1e-12:
+            return PlanarTrackResult(0.0, 0.0, (0.0, 0.0), confident=False)
+        vx = float(np.average(tw * pos[:, 0], weights=w) / denom)
+        vy = float(np.average(tw * pos[:, 1], weights=w) / denom)
+        speed = math.hypot(vx, vy)
+        if speed < 1e-9:
+            return PlanarTrackResult(0.0, 0.0, (vx, vy), confident=False)
+        # fit quality: a genuine swipe moves the centroid linearly in time;
+        # noise positions scatter and explain almost none of their variance
+        centre = np.average(pos, axis=0, weights=w)
+        ss_tot = float(np.average(np.sum((pos - centre) ** 2, axis=1),
+                                  weights=w))
+        model = np.outer(tw, [vx, vy])
+        ss_model = float(np.average(np.sum(model ** 2, axis=1), weights=w))
+        r2 = ss_model / ss_tot if ss_tot > 1e-12 else 0.0
+        if r2 < self.min_fit_r2:
+            return PlanarTrackResult(0.0, 0.0, (vx, vy), confident=False)
+        angle = math.degrees(math.atan2(vy, vx)) % 360.0
+        return PlanarTrackResult(angle, speed, (vx, vy), confident=True)

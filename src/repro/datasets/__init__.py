@@ -1,0 +1,20 @@
+"""Synthetic data-collection campaigns mirroring the paper's Section V-B.
+
+The paper collects 10,000 samples: 10 volunteers x 8 gestures x 5 sessions
+x 25 repetitions, plus side campaigns (non-gestures, distance sweep,
+time-of-day sweep, non-dominant hand, wristband).  This subpackage runs the
+same campaigns against the simulated sensing chain and packages the result
+as a :class:`~repro.datasets.corpus.GestureCorpus` whose samples carry the
+ground-truth user / session / repetition annotations every evaluation
+protocol needs.
+"""
+
+from repro.datasets.corpus import GestureCorpus, GestureSample
+from repro.datasets.generator import CampaignConfig, CampaignGenerator
+
+__all__ = [
+    "GestureCorpus",
+    "GestureSample",
+    "CampaignConfig",
+    "CampaignGenerator",
+]

@@ -1,0 +1,62 @@
+"""Experiment harness: one callable per paper experiment.
+
+Each protocol in :mod:`repro.eval.protocols` reproduces one table or figure
+of the paper's Section V against a synthetic corpus;
+:mod:`repro.eval.report` renders the same confusion matrices and
+accuracy/recall/precision tables the paper prints, and
+:mod:`repro.eval.rating` maps tracking fidelity onto the paper's 1-3
+scroll-fluency rating scale.
+"""
+
+from repro.eval.protocols import (
+    DETECT_GESTURES_SET,
+    compute_features,
+    overall_detect_performance,
+    individual_diversity,
+    gesture_inconsistency,
+    classifier_comparison,
+    distance_accuracy,
+    track_direction_accuracy,
+    distinguisher_performance,
+    unintentional_motion_performance,
+    condition_accuracy,
+    hybrid_predictions,
+    performance_summary,
+)
+from repro.eval.report import (
+    format_confusion,
+    format_accuracy_table,
+    format_ranking,
+)
+from repro.eval.rating import fluency_rating, rate_tracking_session
+from repro.eval.report_markdown import generate_report
+from repro.eval.stream_protocols import (
+    StreamScore,
+    evaluate_stream,
+    evaluate_streams,
+)
+
+__all__ = [
+    "DETECT_GESTURES_SET",
+    "compute_features",
+    "overall_detect_performance",
+    "individual_diversity",
+    "gesture_inconsistency",
+    "classifier_comparison",
+    "distance_accuracy",
+    "track_direction_accuracy",
+    "distinguisher_performance",
+    "unintentional_motion_performance",
+    "condition_accuracy",
+    "hybrid_predictions",
+    "performance_summary",
+    "format_confusion",
+    "format_accuracy_table",
+    "format_ranking",
+    "fluency_rating",
+    "rate_tracking_session",
+    "generate_report",
+    "StreamScore",
+    "evaluate_stream",
+    "evaluate_streams",
+]

@@ -1,0 +1,505 @@
+"""Evaluation protocols: one function per experiment of the paper's Section V.
+
+Every protocol consumes a :class:`~repro.datasets.corpus.GestureCorpus`
+(plus an optional precomputed feature matrix so expensive extraction is
+shared across experiments) and returns a small result object with the
+numbers the corresponding paper table/figure reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import AirFingerConfig
+from repro.core.dispatcher import GestureDispatcher
+from repro.core.zebra import ZebraTracker
+from repro.datasets.corpus import GestureCorpus
+from repro.features.extractor import FeatureExtractor
+from repro.hand.gestures import DETECT_GESTURES, TRACK_GESTURES
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import ClassificationSummary, classification_summary
+from repro.ml.model_selection import (
+    StratifiedKFold,
+    leave_one_group_out,
+    train_test_split,
+)
+
+__all__ = [
+    "DETECT_GESTURES_SET",
+    "compute_features",
+    "EvaluationResult",
+    "overall_detect_performance",
+    "individual_diversity",
+    "gesture_inconsistency",
+    "classifier_comparison",
+    "distance_accuracy",
+    "track_direction_accuracy",
+    "TrackingResult",
+    "distinguisher_performance",
+    "unintentional_motion_performance",
+    "condition_accuracy",
+    "performance_summary",
+]
+
+DETECT_GESTURES_SET = frozenset(DETECT_GESTURES)
+
+
+def default_model_factory() -> RandomForestClassifier:
+    """The paper's classifier: a Random Forest."""
+    return RandomForestClassifier(n_estimators=60, random_state=7)
+
+
+def compute_features(corpus: GestureCorpus,
+                     extractor: FeatureExtractor | None = None) -> np.ndarray:
+    """Full-registry feature matrix for every sample of *corpus*."""
+    extractor = extractor or FeatureExtractor.full()
+    return extractor.extract_many(corpus.signals())
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of a classification protocol.
+
+    Parameters
+    ----------
+    name:
+        Protocol identifier (e.g. ``"overall"``).
+    summary:
+        Pooled metrics over all held-out predictions.
+    per_group:
+        Per-fold / per-user / per-session / per-condition summaries.
+    """
+
+    name: str
+    summary: ClassificationSummary
+    per_group: dict = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        """Pooled accuracy."""
+        return self.summary.accuracy
+
+    def group_accuracies(self) -> dict:
+        """Accuracy per group key."""
+        return {k: v.accuracy for k, v in self.per_group.items()}
+
+
+def _pooled_result(name: str,
+                   y_true: list, y_pred: list,
+                   per_group: dict) -> EvaluationResult:
+    return EvaluationResult(
+        name=name,
+        summary=classification_summary(np.array(y_true), np.array(y_pred)),
+        per_group=per_group)
+
+
+# ---------------------------------------------------------------------------
+# Figs. 10-12: detect-aimed gesture evaluations
+# ---------------------------------------------------------------------------
+
+def _detect_subset(corpus: GestureCorpus,
+                   X: np.ndarray | None,
+                   extractor: FeatureExtractor | None
+                   ) -> tuple[GestureCorpus, np.ndarray]:
+    mask = np.array([s.label in DETECT_GESTURES_SET for s in corpus])
+    if X is None:
+        X = compute_features(corpus, extractor)
+    return corpus.subset(mask), np.asarray(X)[mask]
+
+
+def overall_detect_performance(corpus: GestureCorpus,
+                               X: np.ndarray | None = None,
+                               extractor: FeatureExtractor | None = None,
+                               model_factory: Callable = default_model_factory,
+                               n_splits: int = 5,
+                               random_state: int = 0) -> EvaluationResult:
+    """Fig. 10: stratified k-fold CV over the six detect-aimed gestures."""
+    sub, Xs = _detect_subset(corpus, X, extractor)
+    y = sub.labels
+    y_true: list = []
+    y_pred: list = []
+    per_fold: dict = {}
+    for k, (train_idx, test_idx) in enumerate(
+            StratifiedKFold(n_splits=n_splits,
+                            random_state=random_state).split(y)):
+        model = model_factory()
+        model.fit(Xs[train_idx], y[train_idx])
+        pred = model.predict(Xs[test_idx])
+        y_true.extend(y[test_idx])
+        y_pred.extend(pred)
+        per_fold[f"fold{k}"] = classification_summary(y[test_idx], pred)
+    return _pooled_result("overall", y_true, y_pred, per_fold)
+
+
+def _leave_one_group(corpus: GestureCorpus,
+                     X: np.ndarray,
+                     groups: np.ndarray,
+                     name: str,
+                     model_factory: Callable) -> EvaluationResult:
+    y = corpus.labels
+    y_true: list = []
+    y_pred: list = []
+    per_group: dict = {}
+    for g, train_idx, test_idx in leave_one_group_out(groups):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        pred = model.predict(X[test_idx])
+        y_true.extend(y[test_idx])
+        y_pred.extend(pred)
+        per_group[g] = classification_summary(y[test_idx], pred)
+    return _pooled_result(name, y_true, y_pred, per_group)
+
+
+def individual_diversity(corpus: GestureCorpus,
+                         X: np.ndarray | None = None,
+                         extractor: FeatureExtractor | None = None,
+                         model_factory: Callable = default_model_factory
+                         ) -> EvaluationResult:
+    """Fig. 11: leave-one-user-out over the detect-aimed gestures."""
+    sub, Xs = _detect_subset(corpus, X, extractor)
+    return _leave_one_group(sub, Xs, sub.users, "individual_diversity",
+                            model_factory)
+
+
+def gesture_inconsistency(corpus: GestureCorpus,
+                          X: np.ndarray | None = None,
+                          extractor: FeatureExtractor | None = None,
+                          model_factory: Callable = default_model_factory
+                          ) -> EvaluationResult:
+    """Fig. 12: leave-one-session-out over the detect-aimed gestures."""
+    sub, Xs = _detect_subset(corpus, X, extractor)
+    return _leave_one_group(sub, Xs, sub.sessions, "gesture_inconsistency",
+                            model_factory)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: classifier comparison
+# ---------------------------------------------------------------------------
+
+def classifier_comparison(corpus: GestureCorpus,
+                          classifiers: Mapping[str, Callable],
+                          test_fractions: Sequence[float] = (
+                              0.15, 0.25, 0.35, 0.50),
+                          X: np.ndarray | None = None,
+                          extractor: FeatureExtractor | None = None,
+                          random_state: int = 0
+                          ) -> dict[str, dict[float, float]]:
+    """Fig. 9: accuracy of each classifier at each test-data percentage.
+
+    Returns ``{classifier_name: {test_fraction: accuracy}}``.
+    """
+    if not classifiers:
+        raise ValueError("need at least one classifier")
+    if X is None:
+        X = compute_features(corpus, extractor)
+    X = np.asarray(X)
+    y = corpus.labels
+    results: dict[str, dict[float, float]] = {n: {} for n in classifiers}
+    for fraction in test_fractions:
+        train_idx, test_idx = train_test_split(
+            len(y), fraction, y=y, rng=random_state)
+        for cname, factory in classifiers.items():
+            model = factory()
+            model.fit(X[train_idx], y[train_idx])
+            acc = float(np.mean(model.predict(X[test_idx]) == y[test_idx]))
+            results[cname][float(fraction)] = acc
+    return results
+
+
+# ---------------------------------------------------------------------------
+# hybrid scoring: RF for detect-aimed samples, ZEBRA for track-aimed
+# ---------------------------------------------------------------------------
+
+def _zebra_label(sample, config: AirFingerConfig,
+                 tracker: ZebraTracker, gate: float = 2.0) -> str:
+    """ZEBRA's label for a track-aimed sample, in the *user's* frame.
+
+    Mirrored (left-hand) performances flip the spatial direction; the
+    paper re-orients the prototype for the off-hand sessions, which in the
+    sensor frame is exactly a direction negation.
+    """
+    result = tracker.track(sample.filtered_rss(config), gate)
+    direction = result.direction
+    if sample.recording.meta.get("mirrored"):
+        direction = -direction
+    if direction > 0:
+        return "scroll_up"
+    if direction < 0:
+        return "scroll_down"
+    return "unknown"
+
+
+def hybrid_predictions(train_corpus: GestureCorpus,
+                       X_train: np.ndarray,
+                       test_corpus: GestureCorpus,
+                       X_test: np.ndarray,
+                       model_factory: Callable = default_model_factory,
+                       config: AirFingerConfig | None = None) -> np.ndarray:
+    """Deployed-semantics predictions for *test_corpus*.
+
+    Detect-aimed samples are classified by the Random Forest (trained on
+    the detect-aimed part of *train_corpus*); track-aimed samples are
+    labelled by ZEBRA's direction — exactly how the running pipeline
+    splits the work (Fig. 4), so condition experiments measure what a user
+    would experience.
+    """
+    config = config or AirFingerConfig()
+    train_mask = np.array([s.label in DETECT_GESTURES_SET
+                           for s in train_corpus])
+    model = model_factory()
+    model.fit(np.asarray(X_train)[train_mask],
+              train_corpus.labels[train_mask])
+
+    test_mask = np.array([s.label in DETECT_GESTURES_SET
+                          for s in test_corpus])
+    predictions = np.empty(len(test_corpus), dtype=object)
+    if test_mask.any():
+        predictions[test_mask] = model.predict(
+            np.asarray(X_test)[test_mask])
+    tracker = ZebraTracker(config=config, baseline_mm=24.0)
+    for i, sample in enumerate(test_corpus):
+        if not test_mask[i]:
+            predictions[i] = _zebra_label(sample, config, tracker)
+    return predictions.astype(str)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8: sensing distance
+# ---------------------------------------------------------------------------
+
+def distance_accuracy(train_corpus: GestureCorpus,
+                      sweep_corpus: GestureCorpus,
+                      X_train: np.ndarray | None = None,
+                      X_sweep: np.ndarray | None = None,
+                      extractor: FeatureExtractor | None = None,
+                      model_factory: Callable = default_model_factory
+                      ) -> dict[float, float]:
+    """Fig. 8: accuracy per sensing distance.
+
+    A classifier is trained on the regular campaign (users at their
+    preferred distances) and tested on sweep samples grouped by their
+    ``distance=...`` condition tag; track-aimed samples are scored via
+    ZEBRA (the deployed path).
+    """
+    if X_train is None:
+        X_train = compute_features(train_corpus, extractor)
+    if X_sweep is None:
+        X_sweep = compute_features(sweep_corpus, extractor)
+    pred = hybrid_predictions(train_corpus, X_train, sweep_corpus, X_sweep,
+                              model_factory=model_factory)
+    y = sweep_corpus.labels
+    out: dict[float, float] = {}
+    conditions = sweep_corpus.conditions
+    for condition in sorted(set(conditions)):
+        if not condition.startswith("distance="):
+            continue
+        mask = conditions == condition
+        out[float(condition.split("=", 1)[1])] = float(
+            np.mean(pred[mask] == y[mask]))
+    return dict(sorted(out.items()))
+
+
+# ---------------------------------------------------------------------------
+# Section V-G: track-aimed gestures
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TrackingResult:
+    """Scroll-direction accuracy and velocity statistics (Section V-G)."""
+
+    direction_accuracy: dict
+    velocity_estimates: dict
+    velocity_truth: dict
+    n_samples: int
+
+    @property
+    def average_direction_accuracy(self) -> float:
+        """Mean of the per-direction accuracies."""
+        return float(np.mean(list(self.direction_accuracy.values())))
+
+
+def track_direction_accuracy(corpus: GestureCorpus,
+                             config: AirFingerConfig | None = None,
+                             baseline_mm: float = 24.0,
+                             gate: float = 2.0) -> TrackingResult:
+    """Section V-G: run ZEBRA on every track-aimed sample."""
+    config = config or AirFingerConfig()
+    tracker = ZebraTracker(config=config, baseline_mm=baseline_mm)
+    correct = {name: 0 for name in TRACK_GESTURES}
+    totals = {name: 0 for name in TRACK_GESTURES}
+    velocities: dict[str, list[float]] = {name: [] for name in TRACK_GESTURES}
+    truths: dict[str, list[float]] = {name: [] for name in TRACK_GESTURES}
+    n = 0
+    for sample in corpus:
+        if sample.label not in TRACK_GESTURES:
+            continue
+        n += 1
+        result = tracker.track(sample.filtered_rss(config), gate)
+        truth = +1 if sample.label == "scroll_up" else -1
+        totals[sample.label] += 1
+        if result.direction == truth:
+            correct[sample.label] += 1
+        velocities[sample.label].append(result.velocity_mm_s)
+        truth_v = sample.recording.meta.get("plateau_speed_mm_s")
+        if truth_v is not None:
+            truths[sample.label].append(float(truth_v))
+    if n == 0:
+        raise ValueError("corpus contains no track-aimed samples")
+    accuracy = {name: (correct[name] / totals[name]) if totals[name] else 0.0
+                for name in TRACK_GESTURES}
+    return TrackingResult(
+        direction_accuracy=accuracy,
+        velocity_estimates={k: np.array(v) for k, v in velocities.items()},
+        velocity_truth={k: np.array(v) for k, v in truths.items()},
+        n_samples=n)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13: distinguishing detect-aimed vs track-aimed
+# ---------------------------------------------------------------------------
+
+def distinguisher_performance(corpus: GestureCorpus,
+                              config: AirFingerConfig | None = None,
+                              calibrate: bool = False,
+                              calibrate_fraction: float = 0.3,
+                              gate: float = 2.0,
+                              random_state: int = 0) -> EvaluationResult:
+    """Fig. 13: accuracy of the detect/track dispatcher over all gestures.
+
+    By default the fixed threshold rule is evaluated over the whole corpus
+    (its thresholds were tuned once, like the paper's settings "learned
+    from the collected samples").  With ``calibrate=True`` a decision tree
+    is instead fitted on a held-out fraction and evaluated on the rest.
+    """
+    config = config or AirFingerConfig()
+    kinds = np.array(["track" if s.is_track_aimed else "detect"
+                      for s in corpus])
+    rss = [s.filtered_rss(config) for s in corpus]
+    dispatcher = GestureDispatcher(config)
+    if calibrate:
+        train_idx, test_idx = train_test_split(
+            len(kinds), 1.0 - calibrate_fraction, y=kinds, rng=random_state)
+        # train_test_split holds out `test_fraction`; the *calibration*
+        # set is the small side.
+        calib_idx, eval_idx = test_idx, train_idx
+        dispatcher.calibrate([rss[i] for i in calib_idx], kinds[calib_idx])
+    else:
+        eval_idx = np.arange(len(kinds))
+    pred = np.array([dispatcher.classify(rss[i], gate) for i in eval_idx])
+    return EvaluationResult(
+        name="distinguisher",
+        summary=classification_summary(kinds[eval_idx], pred))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14: unintentional motions
+# ---------------------------------------------------------------------------
+
+def unintentional_motion_performance(corpus: GestureCorpus,
+                                     model_factory: Callable | None = None,
+                                     n_splits: int = 3,
+                                     random_state: int = 0
+                                     ) -> EvaluationResult:
+    """Fig. 14: gesture / non-gesture filtering with the bold-9 features."""
+    from repro.core.interference import InterferenceFilter
+
+    signals = corpus.signals()
+    flags = np.array([s.is_gesture for s in corpus])
+    labels = np.where(flags, "gesture", "non_gesture")
+    y_true: list = []
+    y_pred: list = []
+    per_fold: dict = {}
+    for k, (train_idx, test_idx) in enumerate(
+            StratifiedKFold(n_splits=n_splits,
+                            random_state=random_state).split(labels)):
+        if model_factory is None:
+            filt = InterferenceFilter()
+        else:
+            filt = InterferenceFilter(model_factory=model_factory)
+        filt.fit([signals[i] for i in train_idx], flags[train_idx])
+        pred_flags = filt.predict_is_gesture([signals[i] for i in test_idx])
+        pred = np.where(pred_flags, "gesture", "non_gesture")
+        y_true.extend(labels[test_idx])
+        y_pred.extend(pred)
+        per_fold[f"fold{k}"] = classification_summary(labels[test_idx], pred)
+    return _pooled_result("unintentional", y_true, y_pred, per_fold)
+
+
+# ---------------------------------------------------------------------------
+# Figs. 15-17: condition-bucketed evaluations
+# ---------------------------------------------------------------------------
+
+def condition_accuracy(corpus: GestureCorpus,
+                       X: np.ndarray | None = None,
+                       extractor: FeatureExtractor | None = None,
+                       model_factory: Callable = default_model_factory,
+                       n_splits: int = 3,
+                       random_state: int = 0) -> EvaluationResult:
+    """Figs. 15-17: k-fold CV with per-condition accuracy buckets.
+
+    Used for the ambient (hour buckets), non-dominant-hand, and wristband
+    (sitting/standing/walking) campaigns.  Detect-aimed samples go through
+    the Random Forest; track-aimed samples are scored by ZEBRA, matching
+    the deployed data flow of Fig. 4.
+    """
+    if X is None:
+        X = compute_features(corpus, extractor)
+    X = np.asarray(X)
+    y = corpus.labels
+    conditions = corpus.conditions
+    y_true: list = []
+    y_pred: list = []
+    cond_true: dict[str, list] = {}
+    cond_pred: dict[str, list] = {}
+    for train_idx, test_idx in StratifiedKFold(
+            n_splits=n_splits, random_state=random_state).split(y):
+        train_mask = np.zeros(len(y), dtype=bool)
+        train_mask[train_idx] = True
+        test_mask = ~train_mask
+        pred = hybrid_predictions(
+            corpus.subset(train_mask), X[train_idx],
+            corpus.subset(test_mask), X[test_idx],
+            model_factory=model_factory)
+        y_true.extend(y[test_idx])
+        y_pred.extend(pred)
+        for i, p in zip(test_idx, pred):
+            cond_true.setdefault(conditions[i], []).append(y[i])
+            cond_pred.setdefault(conditions[i], []).append(p)
+    per_group = {
+        cond: classification_summary(np.array(cond_true[cond]),
+                                     np.array(cond_pred[cond]))
+        for cond in sorted(cond_true)}
+    return _pooled_result("condition", y_true, y_pred, per_group)
+
+
+# ---------------------------------------------------------------------------
+# Table II: performance summary
+# ---------------------------------------------------------------------------
+
+def performance_summary(detect_result: EvaluationResult,
+                        tracking_result: TrackingResult,
+                        rating: float | None = None) -> dict:
+    """Assemble the Table II summary.
+
+    Returns a dict with per-gesture accuracies, the detect/track averages,
+    and the overall average accuracy over all eight gestures.
+    """
+    per_gesture = dict(detect_result.summary.recall)
+    detect_avg = detect_result.summary.accuracy
+    track_acc = dict(tracking_result.direction_accuracy)
+    track_avg = tracking_result.average_direction_accuracy
+    n_detect = len(per_gesture)
+    n_track = len(track_acc)
+    overall = ((detect_avg * n_detect + track_avg * n_track)
+               / (n_detect + n_track))
+    return {
+        "detect_per_gesture": per_gesture,
+        "detect_average": detect_avg,
+        "track_per_gesture": track_acc,
+        "track_average": track_avg,
+        "scroll_rating": rating,
+        "overall_average": overall,
+    }

@@ -1,0 +1,79 @@
+"""Scroll-fluency rating: the quantitative stand-in for Section V-G's survey.
+
+The paper asks volunteers to rate the real-time scrolling interface from 1
+("noticeable un-matched scrolling") to 3 ("fluent matched scrolling"), and
+reports an average of 2.6.  Without human raters we score each tracked
+scroll by how faithfully its ZEBRA output matches the kinematic ground
+truth — direction correctness and relative displacement error — and map
+the score onto the same 1-3 scale:
+
+* direction wrong ............................... 1 (noticeable mismatch)
+* direction right, displacement error > 40% ..... 2 (standard)
+* direction right, displacement error <= 40% .... 3 (fluent)
+
+Displacement error is evaluated after a single session-level gain is
+fitted, because the paper itself maps displacement "to different scales
+according to different application demands" — the UI gain is a free
+parameter; what users perceive is direction and *consistency*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["fluency_rating", "rate_tracking_session", "ScrollObservation"]
+
+
+@dataclass(frozen=True)
+class ScrollObservation:
+    """One tracked scroll paired with its kinematic ground truth."""
+
+    estimated_direction: int
+    true_direction: int
+    estimated_displacement_mm: float
+    true_displacement_mm: float
+
+    def __post_init__(self) -> None:
+        if self.true_direction not in (-1, 1):
+            raise ValueError("true_direction must be +-1")
+        if self.true_displacement_mm <= 0:
+            raise ValueError("true_displacement_mm must be positive")
+
+
+def fluency_rating(direction_correct: bool,
+                   relative_displacement_error: float) -> int:
+    """Map one scroll's tracking fidelity to the paper's 1-3 scale."""
+    if relative_displacement_error < 0:
+        raise ValueError("relative_displacement_error must be non-negative")
+    if not direction_correct:
+        return 1
+    return 3 if relative_displacement_error <= 0.40 else 2
+
+
+def rate_tracking_session(observations: list[ScrollObservation]) -> dict:
+    """Score a batch of tracked scrolls.
+
+    Returns the average rating, the fraction of ratings >= 2 (the paper's
+    "90% of users do not feel un-matching scrolling"), and the fitted gain.
+    """
+    if not observations:
+        raise ValueError("need at least one observation")
+    # fit one global gain between estimated and true displacement magnitudes
+    est = np.array([abs(o.estimated_displacement_mm) for o in observations])
+    true = np.array([o.true_displacement_mm for o in observations])
+    denom = float(np.sum(est * est))
+    gain = float(np.sum(est * true) / denom) if denom > 1e-12 else 1.0
+    ratings = []
+    for o, e, t in zip(observations, est, true):
+        direction_ok = o.estimated_direction == o.true_direction
+        rel_err = abs(gain * e - t) / t
+        ratings.append(fluency_rating(direction_ok, rel_err))
+    ratings_arr = np.array(ratings, dtype=np.float64)
+    return {
+        "average_rating": float(ratings_arr.mean()),
+        "fraction_matched": float(np.mean(ratings_arr >= 2)),
+        "gain": gain,
+        "ratings": ratings,
+    }

@@ -1,0 +1,57 @@
+"""Text rendering of the paper's tables and confusion matrices."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_confusion", "format_accuracy_table", "format_ranking"]
+
+
+def format_confusion(labels: Sequence, matrix: np.ndarray,
+                     title: str = "Confusion matrix") -> str:
+    """Render a row-normalized confusion matrix as a text table."""
+    matrix = np.asarray(matrix)
+    if matrix.shape != (len(labels), len(labels)):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {len(labels)} labels")
+    short = [str(l)[:12] for l in labels]
+    width = max(12, max(len(s) for s in short) + 1)
+    lines = [title, "-" * len(title)]
+    header = " " * width + "".join(f"{s:>{width}}" for s in short)
+    lines.append(header)
+    for i, name in enumerate(short):
+        row = "".join(f"{matrix[i, j]:>{width}.2%}" for j in range(len(short)))
+        lines.append(f"{name:<{width}}" + row)
+    return "\n".join(lines)
+
+
+def format_accuracy_table(rows: Mapping, title: str = "Accuracy",
+                          value_format: str = "{:.2%}") -> str:
+    """Render ``{key: value}`` (or ``{key: {col: value}}``) as a table."""
+    lines = [title, "-" * len(title)]
+    items = list(rows.items())
+    if items and isinstance(items[0][1], Mapping):
+        columns = sorted({c for _, sub in items for c in sub})
+        header = f"{'':<18}" + "".join(f"{str(c):>12}" for c in columns)
+        lines.append(header)
+        for key, sub in items:
+            cells = "".join(
+                f"{value_format.format(sub[c]):>12}" if c in sub else f"{'-':>12}"
+                for c in columns)
+            lines.append(f"{str(key):<18}" + cells)
+    else:
+        for key, value in items:
+            lines.append(f"{str(key):<24} {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def format_ranking(ranking: Sequence[tuple], title: str = "Feature ranking",
+                   top: int | None = None) -> str:
+    """Render an importance ranking ``[(name, score), ...]``."""
+    lines = [title, "-" * len(title)]
+    shown = ranking if top is None else ranking[:top]
+    for i, (name, score) in enumerate(shown, 1):
+        lines.append(f"{i:>3}. {name:<32} {score:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Frequency-domain feature families of Table I: FFT and CWT (Ricker).
+
+The FFT features describe the magnitude spectrum of the ``ΔRSS^2`` signal
+(rub gestures concentrate energy at the stroke frequency; clicks are
+broadband; circles are low-frequency).  The continuous wavelet transform
+uses the Ricker ("Mexican hat") wavelet, implemented directly since recent
+scipy versions removed ``scipy.signal.ricker``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "fft_coefficient_abs",
+    "fft_spectral_centroid",
+    "fft_spectral_spread",
+    "fft_spectral_entropy",
+    "fft_peak_frequency_bin",
+    "ricker_wavelet",
+    "cwt_ricker",
+    "cwt_energy",
+    "cwt_peak_width",
+]
+
+
+def _clean(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).ravel()
+    return np.nan_to_num(x, nan=0.0, posinf=0.0, neginf=0.0)
+
+
+def _magnitude_spectrum(x: np.ndarray) -> np.ndarray:
+    """One-sided magnitude spectrum of the mean-removed signal."""
+    x = _clean(x)
+    if x.size < 2:
+        return np.zeros(1)
+    return np.abs(np.fft.rfft(x - x.mean()))
+
+
+# ---------------------------------------------------------------------------
+# FFT family
+# ---------------------------------------------------------------------------
+
+def fft_coefficient_abs(x: np.ndarray, k: int = 1) -> float:
+    """Magnitude of the k-th FFT coefficient, energy-normalized.
+
+    Normalizing by the total spectral magnitude makes the coefficient a
+    *shape* descriptor, invariant to the raw RSS amplitude — exactly the
+    robustness property the paper's selection favours.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    mag = _magnitude_spectrum(x)
+    total = mag.sum()
+    if total < 1e-300 or k >= mag.size:
+        return 0.0
+    return float(mag[k] / total)
+
+
+def fft_spectral_centroid(x: np.ndarray) -> float:
+    """Centroid of the magnitude spectrum in relative frequency (0..0.5)."""
+    mag = _magnitude_spectrum(x)
+    total = mag.sum()
+    if total < 1e-300:
+        return 0.0
+    n_fft = 2 * (mag.size - 1) if mag.size > 1 else 1
+    freqs = np.arange(mag.size) / max(n_fft, 1)
+    return float(np.sum(freqs * mag) / total)
+
+
+def fft_spectral_spread(x: np.ndarray) -> float:
+    """Standard deviation of the spectrum around its centroid."""
+    mag = _magnitude_spectrum(x)
+    total = mag.sum()
+    if total < 1e-300:
+        return 0.0
+    n_fft = 2 * (mag.size - 1) if mag.size > 1 else 1
+    freqs = np.arange(mag.size) / max(n_fft, 1)
+    centroid = np.sum(freqs * mag) / total
+    return float(np.sqrt(np.sum(((freqs - centroid) ** 2) * mag) / total))
+
+
+def fft_spectral_entropy(x: np.ndarray) -> float:
+    """Shannon entropy of the normalized power spectrum (nats)."""
+    mag = _magnitude_spectrum(x)
+    power = mag * mag
+    total = power.sum()
+    if total < 1e-300:
+        return 0.0
+    p = power / total
+    p = p[p > 1e-300]
+    return float(-np.sum(p * np.log(p)))
+
+
+def fft_peak_frequency_bin(x: np.ndarray) -> float:
+    """Relative frequency (0..0.5) of the strongest non-DC component."""
+    mag = _magnitude_spectrum(x)
+    if mag.size < 2:
+        return 0.0
+    k = int(np.argmax(mag[1:])) + 1
+    n_fft = 2 * (mag.size - 1)
+    return float(k / n_fft)
+
+
+# ---------------------------------------------------------------------------
+# CWT family (Ricker / Mexican-hat)
+# ---------------------------------------------------------------------------
+
+def ricker_wavelet(points: int, width: float) -> np.ndarray:
+    """The Ricker wavelet of the given *width* sampled over *points*."""
+    if points < 1:
+        raise ValueError(f"points must be >= 1, got {points}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    a = float(width)
+    norm = 2.0 / (np.sqrt(3.0 * a) * np.pi ** 0.25)
+    t = np.arange(points) - (points - 1) / 2.0
+    gauss = np.exp(-(t * t) / (2.0 * a * a))
+    return norm * (1.0 - (t * t) / (a * a)) * gauss
+
+
+def cwt_ricker(x: np.ndarray, widths: tuple[float, ...] = (2.0, 5.0, 10.0, 20.0)
+               ) -> np.ndarray:
+    """Continuous wavelet transform, one row per width (same length as x)."""
+    x = _clean(x)
+    if x.size == 0:
+        return np.zeros((len(widths), 0))
+    rows = []
+    for w in widths:
+        points = min(10 * int(np.ceil(w)), max(x.size, 1))
+        kernel = ricker_wavelet(points, w)
+        rows.append(np.convolve(x, kernel, mode="same"))
+    return np.stack(rows)
+
+
+def cwt_energy(x: np.ndarray, width: float = 5.0) -> float:
+    """Mean squared CWT response at *width*, normalized by signal energy.
+
+    The normalization removes raw amplitude, leaving a scale-occupancy
+    descriptor: how much of the signal's structure lives at this width.
+    """
+    x = _clean(x)
+    if x.size < 2:
+        return 0.0
+    energy = float(np.mean(x * x))
+    if energy < 1e-300:
+        return 0.0
+    row = cwt_ricker(x, (width,))[0]
+    return float(np.mean(row * row) / energy)
+
+
+def cwt_peak_width(x: np.ndarray,
+                   widths: tuple[float, ...] = (2.0, 4.0, 8.0, 16.0, 32.0)
+                   ) -> float:
+    """The width whose CWT response is strongest (dominant event scale)."""
+    x = _clean(x)
+    if x.size < 2:
+        return 0.0
+    responses = cwt_ricker(x, widths)
+    scores = np.max(np.abs(responses), axis=1)
+    if float(scores.max()) < 1e-300:
+        return 0.0
+    return float(widths[int(np.argmax(scores))])

@@ -1,0 +1,475 @@
+"""The 23 time-domain feature families of Table I, implemented from scratch.
+
+Every function takes a 1-D ``float64`` array and returns a scalar ``float``
+(or is parameterized by keyword arguments declared in the registry).  All
+functions are total: degenerate inputs (empty, constant, too short for the
+requested lag) return well-defined finite values rather than raising, since
+a segmenter occasionally produces very short gesture candidates and the
+classifier must still receive a finite feature vector.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "standard_deviation",
+    "variance",
+    "count_above_mean",
+    "count_below_mean",
+    "last_location_of_maximum",
+    "first_location_of_maximum",
+    "first_location_of_minimum",
+    "partial_autocorrelation",
+    "sample_entropy",
+    "longest_strike_above_mean",
+    "longest_strike_below_mean",
+    "kurtosis",
+    "ar_coefficient",
+    "autocorrelation",
+    "autocorrelation_relative",
+    "number_of_peaks",
+    "quantile",
+    "complexity_invariant_distance",
+    "mean_absolute_change",
+    "time_reversal_asymmetry",
+    "absolute_energy",
+    "energy_ratio_by_chunks",
+    "approximate_entropy",
+    "series_length",
+    "linear_trend_slope",
+    "linear_trend_r2",
+    "augmented_dickey_fuller",
+    "c3",
+]
+
+
+def _clean(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if x.size == 0:
+        return x
+    return np.nan_to_num(x, nan=0.0, posinf=0.0, neginf=0.0)
+
+
+# ---------------------------------------------------------------------------
+# dispersion & location
+# ---------------------------------------------------------------------------
+
+def standard_deviation(x: np.ndarray) -> float:
+    """Population standard deviation."""
+    x = _clean(x)
+    return float(np.std(x)) if x.size else 0.0
+
+
+def variance(x: np.ndarray) -> float:
+    """Population variance."""
+    x = _clean(x)
+    return float(np.var(x)) if x.size else 0.0
+
+
+def count_above_mean(x: np.ndarray) -> float:
+    """Fraction of samples strictly above the mean (length-normalized)."""
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.mean(x > x.mean()))
+
+
+def count_below_mean(x: np.ndarray) -> float:
+    """Fraction of samples strictly below the mean (length-normalized)."""
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.mean(x < x.mean()))
+
+
+def last_location_of_maximum(x: np.ndarray) -> float:
+    """Relative index (0..1) of the last occurrence of the maximum."""
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    return float((x.size - 1 - np.argmax(x[::-1])) / x.size)
+
+
+def first_location_of_maximum(x: np.ndarray) -> float:
+    """Relative index (0..1) of the first occurrence of the maximum."""
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.argmax(x) / x.size)
+
+
+def first_location_of_minimum(x: np.ndarray) -> float:
+    """Relative index (0..1) of the first occurrence of the minimum."""
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.argmin(x) / x.size)
+
+
+def quantile(x: np.ndarray, q: float = 0.5) -> float:
+    """The q-quantile of the series."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be within [0, 1], got {q}")
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.quantile(x, q))
+
+
+def series_length(x: np.ndarray) -> float:
+    """Number of samples ("Length" in Table I)."""
+    return float(np.asarray(x).size)
+
+
+# ---------------------------------------------------------------------------
+# correlation structure
+# ---------------------------------------------------------------------------
+
+def autocorrelation(x: np.ndarray, lag: int = 1) -> float:
+    """Sample autocorrelation at *lag* (0 for degenerate input)."""
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    x = _clean(x)
+    n = x.size
+    if n <= lag + 1:
+        return 0.0
+    v = np.var(x)
+    if v < 1e-300:
+        return 0.0
+    mu = x.mean()
+    return float(np.mean((x[:-lag] - mu) * (x[lag:] - mu)) / v)
+
+
+def autocorrelation_relative(x: np.ndarray, fraction: float = 0.5) -> float:
+    """Autocorrelation at a lag that is a *fraction* of the series length.
+
+    Gesture repetitions scale the whole waveform in time (a double circle
+    is two copies of a circle), so periodicity shows up at length-relative
+    lags rather than at any fixed lag.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    x = _clean(x)
+    lag = max(1, int(round(fraction * x.size)))
+    if x.size <= lag + 1:
+        return 0.0
+    return autocorrelation(x, lag)
+
+
+def partial_autocorrelation(x: np.ndarray, lag: int = 1) -> float:
+    """Partial autocorrelation at *lag* via the Durbin-Levinson recursion."""
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    x = _clean(x)
+    if x.size <= lag + 1:
+        return 0.0
+    rho = np.array([1.0] + [autocorrelation(x, k) for k in range(1, lag + 1)])
+    # Durbin-Levinson
+    phi = np.zeros((lag + 1, lag + 1))
+    phi[1, 1] = rho[1]
+    for k in range(2, lag + 1):
+        num = rho[k] - np.dot(phi[k - 1, 1:k], rho[1:k][::-1])
+        den = 1.0 - np.dot(phi[k - 1, 1:k], rho[1:k])
+        phi[k, k] = num / den if abs(den) > 1e-12 else 0.0
+        for j in range(1, k):
+            phi[k, j] = phi[k - 1, j] - phi[k, k] * phi[k - 1, k - j]
+    return float(np.clip(phi[lag, lag], -1.0, 1.0))
+
+
+def ar_coefficient(x: np.ndarray, k: int = 1, order: int = 4) -> float:
+    """Coefficient *k* of a least-squares AR(*order*) model (k=0 is intercept)."""
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if not 0 <= k <= order:
+        raise ValueError(f"k must be within [0, {order}], got {k}")
+    x = _clean(x)
+    n = x.size
+    if n <= order + 2:
+        return 0.0
+    rows = np.stack([x[order - j - 1: n - j - 1] for j in range(order)], axis=1)
+    design = np.column_stack([np.ones(len(rows)), rows])
+    target = x[order:]
+    coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+    value = float(coeffs[k])
+    return value if math.isfinite(value) else 0.0
+
+
+# ---------------------------------------------------------------------------
+# entropy & complexity
+# ---------------------------------------------------------------------------
+
+def _phi_counts(x: np.ndarray, m: int, r: float, count_self: bool) -> np.ndarray:
+    """Per-template counts of m-length template matches within tolerance r."""
+    n = x.size - m + 1
+    templates = np.lib.stride_tricks.sliding_window_view(x, m)
+    # Chebyshev distance between all template pairs, vectorized
+    diff = np.abs(templates[:, None, :] - templates[None, :, :]).max(axis=2)
+    matches = (diff <= r).sum(axis=1).astype(np.float64)
+    if not count_self:
+        matches -= 1.0
+    return np.maximum(matches, 0.0)
+
+
+def approximate_entropy(x: np.ndarray, m: int = 2, r_factor: float = 0.2) -> float:
+    """ApEn(m, r) with tolerance ``r = r_factor * std(x)``."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    x = _clean(x)
+    n = x.size
+    if n < m + 2 or n > 4000:  # quadratic cost guard
+        x = x[:4000]
+        n = x.size
+        if n < m + 2:
+            return 0.0
+    r = r_factor * np.std(x)
+    if r < 1e-300:
+        return 0.0
+
+    def phi(mm: int) -> float:
+        counts = _phi_counts(x, mm, r, count_self=True)
+        frac = counts / (n - mm + 1)
+        return float(np.mean(np.log(np.maximum(frac, 1e-300))))
+
+    return abs(phi(m) - phi(m + 1))
+
+
+def sample_entropy(x: np.ndarray, m: int = 2, r_factor: float = 0.2) -> float:
+    """SampEn(m, r) with tolerance ``r = r_factor * std(x)``."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    x = _clean(x)
+    n = x.size
+    if n > 4000:
+        x = x[:4000]
+        n = x.size
+    if n < m + 2:
+        return 0.0
+    r = r_factor * np.std(x)
+    if r < 1e-300:
+        return 0.0
+    # B: m-length matches, A: (m+1)-length matches, excluding self-matches
+    b = _phi_counts(x[: n - 1], m, r, count_self=False).sum()
+    a = _phi_counts(x, m + 1, r, count_self=False).sum()
+    if b <= 0.0:
+        return 0.0
+    if a <= 0.0:
+        return float(np.log(b) + 1e-12)  # no (m+1) matches: maximal irregularity proxy
+    return float(-np.log(a / b))
+
+
+def complexity_invariant_distance(x: np.ndarray, normalize: bool = True) -> float:
+    """CID (Batista et al. 2014): ``sqrt(sum(diff(x)^2))``, optionally z-normed."""
+    x = _clean(x)
+    if x.size < 2:
+        return 0.0
+    if normalize:
+        s = np.std(x)
+        if s < 1e-300:
+            return 0.0
+        x = (x - x.mean()) / s
+    return float(np.sqrt(np.sum(np.diff(x) ** 2)))
+
+
+def c3(x: np.ndarray, lag: int = 1) -> float:
+    """The c3 nonlinearity statistic (Schreiber & Schmitz 1997)."""
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    x = _clean(x)
+    n = x.size
+    if n <= 2 * lag:
+        return 0.0
+    return float(np.mean(x[2 * lag:] * x[lag:n - lag] * x[: n - 2 * lag]))
+
+
+def time_reversal_asymmetry(x: np.ndarray, lag: int = 1) -> float:
+    """Time-reversal asymmetry statistic at *lag*."""
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    x = _clean(x)
+    n = x.size
+    if n <= 2 * lag:
+        return 0.0
+    a = x[2 * lag:]
+    b = x[lag: n - lag]
+    c = x[: n - 2 * lag]
+    return float(np.mean(a * a * b - b * c * c))
+
+
+# ---------------------------------------------------------------------------
+# shape & runs
+# ---------------------------------------------------------------------------
+
+def kurtosis(x: np.ndarray) -> float:
+    """Excess kurtosis (Fisher definition)."""
+    x = _clean(x)
+    if x.size < 4:
+        return 0.0
+    s = np.std(x)
+    if s < 1e-300:
+        return 0.0
+    return float(np.mean(((x - x.mean()) / s) ** 4) - 3.0)
+
+
+def _longest_run(mask: np.ndarray) -> int:
+    if mask.size == 0 or not mask.any():
+        return 0
+    padded = np.concatenate([[0], mask.astype(np.int8), [0]])
+    edges = np.diff(padded)
+    starts = np.nonzero(edges == 1)[0]
+    ends = np.nonzero(edges == -1)[0]
+    return int((ends - starts).max())
+
+
+def longest_strike_above_mean(x: np.ndarray) -> float:
+    """Longest run of consecutive samples above the mean (length-normalized)."""
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    return _longest_run(x > x.mean()) / x.size
+
+
+def longest_strike_below_mean(x: np.ndarray) -> float:
+    """Longest run of consecutive samples below the mean (length-normalized)."""
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    return _longest_run(x < x.mean()) / x.size
+
+
+def number_of_peaks(x: np.ndarray, support: int = 3,
+                    smooth: int = 1) -> float:
+    """Count of samples larger than their *support* neighbours on both sides.
+
+    With ``smooth > 1`` the signal is moving-average filtered first, so the
+    count reflects envelope humps (gesture strokes) rather than sample
+    noise — a double circle has twice the humps of a circle regardless of
+    tempo.
+    """
+    if support < 1:
+        raise ValueError(f"support must be >= 1, got {support}")
+    if smooth < 1:
+        raise ValueError(f"smooth must be >= 1, got {smooth}")
+    x = _clean(x)
+    if smooth > 1 and x.size >= smooth:
+        x = np.convolve(x, np.ones(smooth) / smooth, mode="same")
+    n = x.size
+    if n < 2 * support + 1:
+        return 0.0
+    core = x[support: n - support]
+    is_peak = np.ones(core.size, dtype=bool)
+    for k in range(1, support + 1):
+        is_peak &= core > x[support - k: n - support - k]
+        is_peak &= core > x[support + k: n - support + k]
+    return float(is_peak.sum())
+
+
+# ---------------------------------------------------------------------------
+# energy & change
+# ---------------------------------------------------------------------------
+
+def absolute_energy(x: np.ndarray) -> float:
+    """Sum of squared values, normalized by length (mean power)."""
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.mean(x * x))
+
+
+def mean_absolute_change(x: np.ndarray) -> float:
+    """Mean of absolute first differences."""
+    x = _clean(x)
+    if x.size < 2:
+        return 0.0
+    return float(np.mean(np.abs(np.diff(x))))
+
+
+def energy_ratio_by_chunks(x: np.ndarray, n_chunks: int = 10,
+                           chunk: int = 0) -> float:
+    """Energy of chunk *chunk* divided by total energy."""
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    if not 0 <= chunk < n_chunks:
+        raise ValueError(f"chunk must be within [0, {n_chunks}), got {chunk}")
+    x = _clean(x)
+    if x.size == 0:
+        return 0.0
+    total = float(np.sum(x * x))
+    if total < 1e-300:
+        return 0.0
+    parts = np.array_split(x, n_chunks)
+    return float(np.sum(parts[chunk] ** 2) / total)
+
+
+# ---------------------------------------------------------------------------
+# trend & stationarity
+# ---------------------------------------------------------------------------
+
+def _linear_fit(x: np.ndarray) -> tuple[float, float]:
+    """(slope, r^2) of x against its sample index."""
+    n = x.size
+    t = np.arange(n, dtype=np.float64)
+    t -= t.mean()
+    y = x - x.mean()
+    denom = np.sum(t * t)
+    if denom < 1e-300:
+        return 0.0, 0.0
+    slope = float(np.sum(t * y) / denom)
+    ss_tot = float(np.sum(y * y))
+    if ss_tot < 1e-300:
+        return slope, 0.0
+    ss_reg = slope * slope * denom
+    return slope, float(min(ss_reg / ss_tot, 1.0))
+
+
+def linear_trend_slope(x: np.ndarray) -> float:
+    """Slope of the least-squares line through the series."""
+    x = _clean(x)
+    if x.size < 2:
+        return 0.0
+    return _linear_fit(x)[0]
+
+
+def linear_trend_r2(x: np.ndarray) -> float:
+    """R^2 of the least-squares line through the series."""
+    x = _clean(x)
+    if x.size < 2:
+        return 0.0
+    return _linear_fit(x)[1]
+
+
+def augmented_dickey_fuller(x: np.ndarray, max_lag: int = 1) -> float:
+    """ADF test statistic (t-ratio of the unit-root coefficient).
+
+    A fixed-lag implementation of the augmented Dickey-Fuller regression
+    ``Δx_t = α + β x_{t-1} + Σ γ_i Δx_{t-i} + ε``; returns the t-statistic
+    of ``β``.  Strongly negative values indicate stationarity.
+    """
+    if max_lag < 0:
+        raise ValueError(f"max_lag must be >= 0, got {max_lag}")
+    x = _clean(x)
+    n = x.size
+    if n < max_lag + 8:
+        return 0.0
+    dx = np.diff(x)
+    start = max_lag
+    target = dx[start:]
+    cols = [np.ones(target.size), x[start:-1]]
+    for i in range(1, max_lag + 1):
+        cols.append(dx[start - i: dx.size - i])
+    design = np.column_stack(cols)
+    coeffs, residuals, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    dof = target.size - design.shape[1]
+    if dof <= 0 or rank < design.shape[1]:
+        return 0.0
+    resid = target - design @ coeffs
+    sigma2 = float(resid @ resid) / dof
+    try:
+        cov = sigma2 * np.linalg.inv(design.T @ design)
+    except np.linalg.LinAlgError:
+        return 0.0
+    se = math.sqrt(max(cov[1, 1], 1e-300))
+    stat = float(coeffs[1] / se)
+    return stat if math.isfinite(stat) else 0.0

@@ -1,0 +1,65 @@
+"""Finger-kinematics substrate: parametric micro finger gesture synthesis.
+
+This subpackage replaces the paper's human-subject data collection (10
+volunteers x 8 gestures x 5 sessions x 25 repetitions).  Each gesture from
+Fig. 2 of the paper is a closed-form thumb-tip trajectory generator; a
+:class:`~repro.hand.profiles.UserProfile` perturbs speed, scale, preferred
+distance and tilt to model *individual diversity*, and a
+:class:`~repro.hand.profiles.SessionProfile` adds smaller per-session drift
+to model *gesture inconsistency* — the two robustness axes Section V-F of
+the paper evaluates.  Non-gestures (scratching, extending, repositioning,
+Section V-J1) come from separate trajectory families.
+"""
+
+from repro.hand.trajectory import (
+    Trajectory,
+    concatenate_trajectories,
+    idle_trajectory,
+)
+from repro.hand.gestures import (
+    GESTURE_NAMES,
+    DETECT_GESTURES,
+    TRACK_GESTURES,
+    GestureSpec,
+    GestureStyle,
+    synthesize_gesture,
+)
+from repro.hand.nongestures import NONGESTURE_NAMES, synthesize_nongesture
+from repro.hand.swipes import synthesize_swipe
+from repro.hand.profiles import (
+    SessionProfile,
+    UserProfile,
+    make_spec,
+    sample_population,
+    user_style,
+)
+from repro.hand.finger import (
+    fingertip_patch,
+    fingertip_patches,
+    hand_back_patch,
+    scene_for_trajectory,
+)
+
+__all__ = [
+    "Trajectory",
+    "concatenate_trajectories",
+    "idle_trajectory",
+    "GESTURE_NAMES",
+    "DETECT_GESTURES",
+    "TRACK_GESTURES",
+    "GestureSpec",
+    "GestureStyle",
+    "synthesize_gesture",
+    "NONGESTURE_NAMES",
+    "synthesize_nongesture",
+    "synthesize_swipe",
+    "UserProfile",
+    "SessionProfile",
+    "make_spec",
+    "sample_population",
+    "user_style",
+    "fingertip_patch",
+    "fingertip_patches",
+    "hand_back_patch",
+    "scene_for_trajectory",
+]

@@ -1,0 +1,228 @@
+"""Bridge from kinematics to optics: build scene patches from a trajectory.
+
+The sensor does not see an abstract point — it sees the thumb-tip patch
+performing the gesture plus the rest of the hand behind it.  The hand-back
+patch is the physical origin of the paper's quasi-static noise term
+``N_static``: it is large, further away, and moves much less than the tip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hand.profiles import UserProfile
+from repro.hand.trajectory import Trajectory
+from repro.optics.materials import HAND_BACK, Material, SKIN
+from repro.optics.scene import ReflectivePatch, Scene
+from repro.utils import ensure_rng, moving_average
+
+__all__ = ["fingertip_patch", "hand_back_patch", "scene_for_trajectory"]
+
+
+def _scaled_material(base: Material, factor: float) -> Material:
+    """A copy of *base* with all reflectances scaled by *factor* (clipped)."""
+    if abs(factor - 1.0) < 1e-9:
+        return base
+    scaled = tuple(float(np.clip(r * factor, 0.0, 1.0)) for r in base.reflectances)
+    return Material(name=f"{base.name}_x{factor:.2f}",
+                    wavelengths_nm=base.wavelengths_nm,
+                    reflectances=scaled)
+
+
+def fingertip_patch(trajectory: Trajectory,
+                    user: UserProfile | None = None) -> ReflectivePatch:
+    """The thumb-tip reflector following the gesture trajectory (single patch)."""
+    area = user.fingertip_area_mm2 if user is not None else 80.0
+    material = SKIN
+    if user is not None:
+        material = _scaled_material(SKIN, user.skin_tone_factor)
+    return ReflectivePatch(
+        name="fingertip",
+        positions_mm=trajectory.positions_mm,
+        normals=trajectory.normals,
+        area_mm2=area,
+        material=material)
+
+
+_WHOLE_HAND_LABELS = ("scroll_up", "scroll_down", "swipe", "reposition",
+                      "extend", "idle")
+
+
+def _follow_factor(label: str) -> float:
+    """How much of the tip's motion the hand complex follows for *label*."""
+    return 1.0 if label in _WHOLE_HAND_LABELS else 0.3
+
+
+def _followed_positions(trajectory: Trajectory,
+                        complex_follow: float | None) -> np.ndarray:
+    """Complex positions: the tip's path attenuated towards a local anchor.
+
+    Whole-hand motions (scrolls, repositions) translate the complex fully;
+    thumb-only micro gestures barely move it.  For concatenated streams the
+    attenuation is applied per ground-truth segment so each gesture keeps
+    its own biomechanics.
+    """
+    positions = trajectory.positions_mm
+    if complex_follow is not None:
+        if not 0.0 <= complex_follow <= 1.0:
+            raise ValueError("complex_follow must be within [0, 1]")
+        anchor = positions[:1]
+        return anchor + complex_follow * (positions - anchor)
+    segments = trajectory.meta.get("segments")
+    if trajectory.label == "stream" and segments:
+        followed = positions.copy()
+        for label, start, end in segments:
+            factor = _follow_factor(label)
+            if factor >= 1.0:
+                continue
+            anchor = positions[start:start + 1]
+            followed[start:end] = anchor + factor * (
+                positions[start:end] - anchor)
+        return followed
+    factor = _follow_factor(trajectory.label)
+    anchor = positions[:1]
+    return anchor + factor * (positions - anchor)
+
+
+def fingertip_patches(trajectory: Trajectory,
+                      user: UserProfile | None = None,
+                      complex_follow: float | None = None
+                      ) -> list[ReflectivePatch]:
+    """The thumb-tip plus the surrounding pinch complex.
+
+    A micro finger gesture is performed thumb-against-index: the sensor sees
+    not a lone 10 mm tip but a ~25 mm *pinch complex* (thumb, index finger,
+    knuckles).  Two consequences matter for the algorithms:
+
+    * the complex overhangs several board elements, so very-close gestures
+      stay visible (a point patch goes dark between the narrow LED cones);
+    * the complex couples into **every** photodiode at once, so a micro
+      gesture modulates all channels coherently — the physical basis of the
+      paper's detect/track distinction — while the tip's own orbit adds the
+      gesture-specific fine structure.
+
+    Parameters
+    ----------
+    complex_follow:
+        How much of the tip's motion the surrounding complex follows.
+        Whole-hand motions (scrolls, repositions) translate everything
+        (1.0); thumb-only micro gestures barely move the hand (≈0.3).
+        Defaults by trajectory label.
+    """
+    total_area = user.fingertip_area_mm2 if user is not None else 80.0
+    material = SKIN
+    if user is not None:
+        material = _scaled_material(SKIN, user.skin_tone_factor)
+    positions = trajectory.positions_mm
+    followed = _followed_positions(trajectory, complex_follow)
+    # a mirrored (left-hand) performance mirrors the whole hand geometry;
+    # the paper orients the prototype accordingly, so offsets flip with it
+    mirror = -1.0 if trajectory.meta.get("mirrored") else 1.0
+
+    # area split: tip carries the gesture, the complex carries the bulk
+    tip_area = 0.45 * total_area
+    complex_area = 2.4 * total_area   # thumb body + index finger + knuckles
+    spread = 0.6 * float(np.sqrt(total_area / np.pi))
+
+    patches = []
+    tip_offsets = [np.array([0.0, 0.0, 0.0]),
+                   np.array([mirror * spread, 0.0, 0.6]),
+                   np.array([-mirror * spread, 0.0, 0.6])]
+    for k, off in enumerate(tip_offsets):
+        patches.append(ReflectivePatch(
+            name=f"fingertip_{k}",
+            positions_mm=positions + off,
+            normals=trajectory.normals,
+            area_mm2=(tip_area / len(tip_offsets)) * trajectory.area_scale,
+            material=material))
+    complex_offsets = [np.array([mirror * 8.0, 3.0, 2.5]),
+                       np.array([mirror * -8.0, 3.0, 2.5]),
+                       np.array([mirror * 14.0, 7.0, 5.0]),
+                       np.array([mirror * -14.0, 7.0, 5.0]),
+                       np.array([0.0, 10.0, 4.0])]
+    # the thumb sliding over the index finger exposes and shades parts of
+    # the whole pinch complex, so the gesture's area modulation couples
+    # (attenuated) into the complex as well
+    complex_area_scale = 0.6 + 0.4 * trajectory.area_scale
+    for k, off in enumerate(complex_offsets):
+        patches.append(ReflectivePatch(
+            name=f"pinch_complex_{k}",
+            positions_mm=followed + off,
+            normals=trajectory.normals,
+            area_mm2=(complex_area / len(complex_offsets)) * complex_area_scale,
+            material=material))
+    return patches
+
+
+def hand_back_patch(trajectory: Trajectory,
+                    user: UserProfile | None = None,
+                    rng: int | np.random.Generator | None = None,
+                    follow_window_s: float = 0.6) -> ReflectivePatch:
+    """The rest of the hand: big, further from the board, slow-moving.
+
+    The patch trails the fingertip laterally with a strong low-pass filter
+    (the palm barely moves during a micro gesture) and sits ``~30 mm``
+    further from the board, so its reflection is a quasi-static offset on
+    every channel — exactly the paper's ``N_static``.
+    """
+    rng = ensure_rng(rng)
+    n = trajectory.n_samples
+    if n >= 2:
+        window = max(1, int(round(follow_window_s * trajectory.sample_rate_hz)))
+    else:
+        window = 1
+    smoothed = np.stack(
+        [moving_average(trajectory.positions_mm[:, k], window) for k in range(3)],
+        axis=1)
+    mirror = -1.0 if trajectory.meta.get("mirrored") else 1.0
+    lateral_lag = np.array([mirror * rng.uniform(5.0, 15.0),
+                            rng.uniform(12.0, 24.0),
+                            0.0])
+    height_offset = rng.uniform(28.0, 45.0)
+    positions = smoothed * 0.08 + smoothed[:1] * 0.92  # palm barely tracks the tip
+    positions = positions + lateral_lag + np.array([0.0, 0.0, height_offset])
+    # slow breathing-scale sway so N_static is only *quasi* static
+    sway_t = trajectory.times_s if n >= 2 else np.zeros(n)
+    sway = 0.25 * np.sin(2 * np.pi * 0.25 * sway_t + rng.uniform(0, 2 * np.pi))
+    positions = positions + np.stack(
+        [np.zeros(n), np.zeros(n), sway], axis=1)
+    material = HAND_BACK
+    if user is not None:
+        material = _scaled_material(HAND_BACK, user.skin_tone_factor)
+    area = 550.0 if user is None else 450.0 + 2.5 * user.fingertip_area_mm2
+    return ReflectivePatch(
+        name="hand_back",
+        positions_mm=positions,
+        normals=np.array([0.0, 0.0, -1.0]),
+        area_mm2=area,
+        material=material)
+
+
+def scene_for_trajectory(trajectory: Trajectory,
+                         user: UserProfile | None = None,
+                         ambient_mw_mm2: float | np.ndarray = 0.0,
+                         include_hand_back: bool = True,
+                         rng: int | np.random.Generator | None = None,
+                         ) -> Scene:
+    """Assemble the optical scene for one recording.
+
+    Parameters
+    ----------
+    trajectory:
+        Thumb-tip path (from the gesture or non-gesture synthesizers).
+    user:
+        Optional profile; scales fingertip area and skin reflectance.
+    ambient_mw_mm2:
+        Ambient NIR irradiance waveform (see :mod:`repro.noise.ambient`).
+    include_hand_back:
+        Disable to study the gesture signal in isolation.
+    rng:
+        Seed or generator for hand-back pose sampling.
+    """
+    rng = ensure_rng(rng)
+    patches = fingertip_patches(trajectory, user)
+    if include_hand_back:
+        patches.append(hand_back_patch(trajectory, user, rng))
+    return Scene(times_s=trajectory.times_s,
+                 patches=patches,
+                 ambient_mw_mm2=ambient_mw_mm2)

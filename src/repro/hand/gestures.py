@@ -1,0 +1,460 @@
+"""Parametric generators for the eight airFinger micro gestures (Fig. 2).
+
+Detect-aimed gestures: ``circle``, ``double_circle``, ``rub``, ``double_rub``,
+``click``, ``double_click``.  Track-aimed gestures: ``scroll_up``,
+``scroll_down``.
+
+Each generator produces a thumb-tip :class:`~repro.hand.trajectory.Trajectory`
+above the sensor board from a :class:`GestureSpec` that encodes *how* the
+gesture is performed: where, how far from the board, how large, how fast, and
+with how much tremor.  User- and session-level diversity enter purely through
+the spec (see :mod:`repro.hand.profiles`), so the same generator reproduces
+both the paper's clean within-user data and its cross-user diversity data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.hand.trajectory import Trajectory
+from repro.optics.geometry import normalize
+from repro.utils import ensure_rng
+
+__all__ = [
+    "GESTURE_NAMES",
+    "DETECT_GESTURES",
+    "TRACK_GESTURES",
+    "GestureStyle",
+    "GestureSpec",
+    "synthesize_gesture",
+]
+
+DETECT_GESTURES: tuple[str, ...] = (
+    "circle", "double_circle", "rub", "double_rub", "click", "double_click")
+TRACK_GESTURES: tuple[str, ...] = ("scroll_up", "scroll_down")
+GESTURE_NAMES: tuple[str, ...] = DETECT_GESTURES + TRACK_GESTURES
+
+
+@dataclass(frozen=True)
+class GestureStyle:
+    """Stable per-person gesture idiosyncrasies.
+
+    The paper observes that "people exhibit different RSS patterns for the
+    same gesture (individual diversity)": beyond global speed/size factors,
+    each person has their own way of drawing a circle or rubbing.  These
+    parameters are sampled once per user (see
+    :func:`repro.hand.profiles.make_spec`) and held constant across
+    sessions, which is what makes leave-one-user-out evaluation markedly
+    harder than within-population evaluation (Fig. 11 vs Fig. 10).
+    """
+
+    circle_loop_s: float = 1.25
+    circle_area_depth: float = 0.65
+    circle_z_factor: float = 1.5
+    circle_phase_rad: float = 0.0
+    rub_stroke_hz: float = 3.4
+    rub_strokes: float = 4.0
+    rub_area_depth: float = 0.45
+    click_press_s: float = 0.32
+    click_depth_mm: float = 11.0
+    approach_mm: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.circle_loop_s <= 0 or self.click_press_s <= 0:
+            raise ValueError("style durations must be positive")
+        if self.rub_stroke_hz <= 0 or self.rub_strokes <= 0:
+            raise ValueError("rub style parameters must be positive")
+        if not 0.0 <= self.circle_area_depth <= 1.0:
+            raise ValueError("circle_area_depth must be within [0, 1]")
+        if not 0.0 <= self.rub_area_depth <= 1.0:
+            raise ValueError("rub_area_depth must be within [0, 1]")
+        if self.circle_z_factor < 0 or self.click_depth_mm <= 0:
+            raise ValueError("style modulation depths must be positive")
+        if self.approach_mm < 0:
+            raise ValueError("approach_mm must be non-negative")
+
+
+@dataclass(frozen=True)
+class GestureSpec:
+    """Kinematic parameters of one gesture performance.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`GESTURE_NAMES`.
+    distance_mm:
+        Height of the gesture centre above the board (the paper's "sensing
+        distance", optimal 5-60 mm per Section V-D).
+    center_xy_mm:
+        Lateral position of the gesture centre over the board.
+    amplitude_scale:
+        Multiplies all spatial extents (finger-size / gesture-size diversity).
+    speed_scale:
+        Multiplies tempo; >1 is faster.
+    tilt_deg:
+        Inclination of the gesture plane / finger posture.
+    tremor_mm:
+        RMS of the band-limited positional tremor added to the ideal path.
+    pause_scale:
+        Multiplies the inter-burst pause of the ``double_*`` gestures (a slow
+        performer has pause_scale > 1, which is what caused the paper's
+        double-rub-split-into-two-rubs confusions).
+    scroll_coverage:
+        For scrolls: fraction of the array baseline actually traversed.
+        1.0 sweeps past all photodiodes; ~0.35 reproduces the "scroll up only
+        passing P1" partial case of Section IV-D1.
+    sample_rate_hz:
+        Kinematic sampling rate (matched to the ADC rate downstream).
+    """
+
+    name: str
+    distance_mm: float = 25.0
+    center_xy_mm: tuple[float, float] = (0.0, 0.0)
+    amplitude_scale: float = 1.0
+    speed_scale: float = 1.0
+    tilt_deg: float = 30.0
+    tremor_mm: float = 0.35
+    pause_scale: float = 1.0
+    scroll_coverage: float = 1.0
+    sample_rate_hz: float = 100.0
+    style: GestureStyle = field(default_factory=GestureStyle)
+
+    def __post_init__(self) -> None:
+        if self.name not in GESTURE_NAMES:
+            raise ValueError(
+                f"unknown gesture {self.name!r}; expected one of {GESTURE_NAMES}")
+        if self.distance_mm <= 0:
+            raise ValueError(f"distance_mm must be positive, got {self.distance_mm}")
+        if self.amplitude_scale <= 0 or self.speed_scale <= 0:
+            raise ValueError("amplitude_scale and speed_scale must be positive")
+        if self.tremor_mm < 0:
+            raise ValueError("tremor_mm must be non-negative")
+        if self.pause_scale <= 0:
+            raise ValueError("pause_scale must be positive")
+        if not 0.1 <= self.scroll_coverage <= 1.5:
+            raise ValueError(
+                f"scroll_coverage must be within [0.1, 1.5], got {self.scroll_coverage}")
+        if self.sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+
+    def with_name(self, name: str) -> "GestureSpec":
+        """The same performance parameters applied to a different gesture."""
+        return replace(self, name=name)
+
+
+# ---------------------------------------------------------------------------
+# small shaping helpers
+# ---------------------------------------------------------------------------
+
+def _time_base(duration_s: float, rate_hz: float) -> np.ndarray:
+    n = max(4, int(round(duration_s * rate_hz)))
+    return np.arange(n) / rate_hz
+
+
+def _minimum_jerk(s: np.ndarray) -> np.ndarray:
+    """Classic minimum-jerk position ramp on s in [0, 1]."""
+    s = np.clip(s, 0.0, 1.0)
+    return 10.0 * s**3 - 15.0 * s**4 + 6.0 * s**5
+
+
+def _envelope(n: int, ramp_frac: float = 0.15) -> np.ndarray:
+    """Smooth on/off envelope so gestures start and end at rest."""
+    s = np.linspace(0.0, 1.0, n)
+    up = _minimum_jerk(s / max(ramp_frac, 1e-6))
+    down = _minimum_jerk((1.0 - s) / max(ramp_frac, 1e-6))
+    return np.minimum(1.0, np.minimum(up, down))
+
+
+def _smooth_noise(n: int, rng: np.random.Generator,
+                  sigma: float, smooth_window: int = 9) -> np.ndarray:
+    """Band-limited tremor: white noise smoothed by a moving average."""
+    if sigma <= 0.0 or n == 0:
+        return np.zeros(n)
+    raw = rng.normal(0.0, sigma, size=n + smooth_window)
+    kernel = np.ones(smooth_window) / smooth_window
+    smoothed = np.convolve(raw, kernel, mode="same")[:n]
+    # moving-average shrinks variance; restore the requested RMS
+    std = smoothed.std()
+    if std > 1e-12:
+        smoothed *= sigma / std
+    return smoothed
+
+
+def _tremor3(n: int, rng: np.random.Generator, sigma: float) -> np.ndarray:
+    return np.stack([_smooth_noise(n, rng, sigma) for _ in range(3)], axis=1)
+
+
+def _normals_for(positions: np.ndarray,
+                 times: np.ndarray,
+                 tilt_deg: float,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Fingertip normals: board-facing, leaning slightly into the motion."""
+    n = len(positions)
+    base = np.tile(np.array([0.0, 0.0, -1.0]), (n, 1))
+    if n >= 2:
+        vel = np.gradient(positions, times, axis=0)
+        speed = np.linalg.norm(vel, axis=-1, keepdims=True)
+        lean = np.where(speed > 1e-9, vel / np.maximum(speed, 1e-9), 0.0)
+        lean_amount = math.sin(math.radians(min(tilt_deg, 80.0) * 0.25))
+        base = base + lean * lean_amount
+    wobble = _tremor3(n, rng, 0.03)
+    return normalize(base + wobble)
+
+
+def _finish(spec: GestureSpec,
+            times: np.ndarray,
+            positions: np.ndarray,
+            rng: np.random.Generator,
+            meta: dict,
+            area_scale: np.ndarray | None = None) -> Trajectory:
+    positions = positions + _tremor3(len(positions), rng, spec.tremor_mm)
+    normals = _normals_for(positions, times, spec.tilt_deg, rng)
+    meta = {"distance_mm": spec.distance_mm, **meta}
+    if area_scale is not None:
+        area_scale = np.maximum(
+            area_scale + _smooth_noise(len(positions), rng, 0.02), 0.05)
+    return Trajectory(times_s=times, positions_mm=positions,
+                      normals=normals, label=spec.name, meta=meta,
+                      area_scale=area_scale)
+
+
+def _center(spec: GestureSpec) -> np.ndarray:
+    cx, cy = spec.center_xy_mm
+    return np.array([cx, cy, spec.distance_mm], dtype=np.float64)
+
+
+def _with_approach(times: np.ndarray, positions: np.ndarray,
+                   area: np.ndarray,
+                   spec: GestureSpec, rng: np.random.Generator,
+                   approach_mm: float | None = None,
+                   approach_s: float = 0.12
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Prepend an approach and append a retreat to a gesture core.
+
+    Users do not hold the thumb frozen in the gesture pose and then start —
+    the thumb drops onto the index finger just before the stroke and lifts
+    off after.  This short common-mode approach makes the signal-ascending
+    points of all photodiodes nearly simultaneous at gesture start, which is
+    the observation the paper's detect/track distinction rests on.
+    """
+    rate = spec.sample_rate_hz
+    if approach_mm is None:
+        approach_mm = spec.style.approach_mm
+    n_app = max(2, int(round(approach_s / spec.speed_scale * rate)))
+    drop = approach_mm * (1.0 + 0.3 * rng.uniform(-1, 1))
+    s = _minimum_jerk(np.linspace(0.0, 1.0, n_app))
+    pre = np.tile(positions[0], (n_app, 1))
+    pre[:, 2] += drop * (1.0 - s)
+    post = np.tile(positions[-1], (n_app, 1))
+    post[:, 2] += drop * s
+    merged = np.concatenate([pre, positions, post])
+    pre_area = area[0] * (0.85 + 0.15 * s)
+    post_area = area[-1] * (0.85 + 0.15 * s[::-1])
+    merged_area = np.concatenate([pre_area, area, post_area])
+    new_times = np.arange(len(merged)) / rate
+    return new_times, merged, merged_area
+
+
+# ---------------------------------------------------------------------------
+# detect-aimed gestures
+# ---------------------------------------------------------------------------
+
+def _circle(spec: GestureSpec, rng: np.random.Generator,
+            n_loops: int) -> Trajectory:
+    """Thumb-tip drawing *n_loops* circles against the index fingertip.
+
+    The tip's orbit is only millimetres wide; what the sensor mainly sees is
+    the common-mode consequence of the orbit — the tip's height over the
+    index finger and the exposed skin area oscillating once per loop — plus
+    a small lateral centroid wobble.  (A large lateral orbit would sweep the
+    narrow LED cones like a lighthouse and look like a scroll.)
+    """
+    loop_s = spec.style.circle_loop_s / spec.speed_scale
+    duration = n_loops * loop_s
+    times = _time_base(duration, spec.sample_rate_hz)
+    s = times / duration
+    # Slightly non-uniform angular speed: humans accelerate through the
+    # bottom of the stroke.
+    phase_wobble = 0.06 * np.sin(2.0 * np.pi * s * n_loops + rng.uniform(0, 2 * np.pi))
+    # people habitually start their circle at the same point of the loop
+    phi = (2.0 * np.pi * n_loops * (s + phase_wobble)
+           + spec.style.circle_phase_rad + rng.uniform(-0.35, 0.35))
+    radius = 3.6 * spec.amplitude_scale
+    tilt = math.radians(spec.tilt_deg)
+    env = _envelope(len(times), ramp_frac=0.08)
+    lateral = 0.15 * radius
+    x = lateral * env * np.cos(phi)
+    y = lateral * env * np.sin(phi) * math.cos(tilt)
+    z = spec.style.circle_z_factor * radius * math.sin(tilt) * env * np.sin(phi)
+    positions = _center(spec) + np.stack([x, y, z], axis=1)
+    area = 1.0 + spec.style.circle_area_depth * env * np.cos(
+        phi + rng.uniform(-0.4, 0.4))
+    # circles ease in gently — a sharp approach would read like a click
+    times, positions, area = _with_approach(times, positions, area, spec, rng,
+                                            approach_s=0.25)
+    return _finish(spec, times, positions, rng, {"n_loops": n_loops},
+                   area_scale=area)
+
+
+def _rub(spec: GestureSpec, rng: np.random.Generator,
+         n_bursts: int) -> Trajectory:
+    """Thumb rubbing against the index fingertip: fast strokes.
+
+    Like the circle, the rub reads out mostly common-mode: the tip bobs at
+    twice the stroke rate and the exposed skin area oscillates at the
+    stroke rate, with only a small lateral stroke amplitude.
+    """
+    stroke_hz = spec.style.rub_stroke_hz * spec.speed_scale
+    strokes_per_burst = spec.style.rub_strokes
+    burst_s = strokes_per_burst / stroke_hz
+    pause_s = 0.07 * spec.pause_scale if n_bursts > 1 else 0.0
+    amp = 3.2 * spec.amplitude_scale
+
+    parts_t: list[np.ndarray] = []
+    parts_p: list[np.ndarray] = []
+    parts_a: list[np.ndarray] = []
+    t0 = 0.0
+    center = _center(spec)
+    for b in range(n_bursts):
+        times = _time_base(burst_s, spec.sample_rate_hz)
+        env = _envelope(len(times), ramp_frac=0.2)
+        phase = rng.uniform(-0.3, 0.3)
+        x = 0.35 * amp * env * np.sin(2 * np.pi * stroke_hz * times + phase)
+        # the tip rises slightly at stroke reversals -> 2f vertical wobble
+        z = 2.2 * spec.amplitude_scale * env * (
+            1.0 - np.cos(4 * np.pi * stroke_hz * times + 2 * phase)) / 2.0
+        pos = center + np.stack(
+            [x, np.zeros_like(x), z], axis=1)
+        parts_t.append(times + t0)
+        parts_p.append(pos)
+        parts_a.append(1.0 + spec.style.rub_area_depth * env * np.sin(
+            2 * np.pi * stroke_hz * times + phase + rng.uniform(-0.3, 0.3)))
+        t0 += burst_s + (pause_s if b < n_bursts - 1 else 0.0)
+        if b < n_bursts - 1 and pause_s > 0.0:
+            n_pause = max(1, int(round(pause_s * spec.sample_rate_hz)))
+            pt = (np.arange(n_pause) + 1) / spec.sample_rate_hz + parts_t[-1][-1]
+            parts_t.append(pt)
+            parts_p.append(np.tile(center, (n_pause, 1)))
+            parts_a.append(np.ones(n_pause))
+    times = np.concatenate(parts_t)
+    times = np.arange(len(times)) / spec.sample_rate_hz  # re-grid uniformly
+    positions = np.concatenate(parts_p)
+    area = np.concatenate(parts_a)
+    times, positions, area = _with_approach(times, positions, area, spec, rng,
+                                            approach_s=0.18)
+    return _finish(spec, times, positions, rng,
+                   {"n_bursts": n_bursts, "pause_s": pause_s},
+                   area_scale=area)
+
+
+def _click(spec: GestureSpec, rng: np.random.Generator,
+           n_clicks: int) -> Trajectory:
+    """Press-like pulse(s): the tip dips towards the board and returns."""
+    press_s = spec.style.click_press_s / spec.speed_scale
+    gap_s = 0.20 * spec.pause_scale if n_clicks > 1 else 0.0
+    # pressing depth scales with how close the hand hovers: users strike
+    # shallower when the board is near
+    depth = min(spec.style.click_depth_mm * spec.amplitude_scale,
+                spec.distance_mm * 0.45)
+
+    total = n_clicks * press_s + (n_clicks - 1) * gap_s
+    times = _time_base(total, spec.sample_rate_hz)
+    z_off = np.zeros_like(times)
+    for k in range(n_clicks):
+        start = k * (press_s + gap_s)
+        s = (times - start) / press_s
+        in_pulse = (s >= 0) & (s <= 1)
+        z_off[in_pulse] -= depth * np.sin(np.pi * s[in_pulse]) ** 2
+    # repeated presses re-strike nearly the same spot (muscle memory);
+    # lateral drift over the whole gesture stays sub-millimetre
+    drift = 0.35 * _minimum_jerk(times / max(times[-1], 1e-9)) * rng.uniform(-1, 1)
+    positions = _center(spec) + np.stack(
+        [drift, np.zeros_like(times), z_off], axis=1)
+    area = np.ones_like(times)
+    # the hand settles into the press pose before striking, like every
+    # other micro gesture
+    times, positions, area = _with_approach(times, positions, area, spec, rng,
+                                            approach_mm=0.6 * spec.style.approach_mm,
+                                            approach_s=0.10)
+    return _finish(spec, times, positions, rng,
+                   {"n_clicks": n_clicks, "depth_mm": depth},
+                   area_scale=area)
+
+
+# ---------------------------------------------------------------------------
+# track-aimed gestures
+# ---------------------------------------------------------------------------
+
+def _scroll(spec: GestureSpec, rng: np.random.Generator,
+            direction: int) -> Trajectory:
+    """A sweep along the array axis; +1 is scroll up (P1 -> P3)."""
+    half_span = 22.0  # mm past either end of the array
+    speed = 75.0 * spec.speed_scale  # mm/s, constant-velocity plateau
+    coverage = spec.scroll_coverage
+    travel = 2.0 * half_span * coverage
+    duration = travel / speed + 0.2 / spec.speed_scale  # ramps add time
+    times = _time_base(duration, spec.sample_rate_hz)
+    s = _minimum_jerk(times / times[-1])
+    x_start = -half_span if direction > 0 else half_span
+    x = x_start + direction * travel * s
+    # the finger lifts slightly while sweeping and lifts away at the end
+    z_lift = 2.0 * np.sin(np.pi * np.clip(times / times[-1], 0, 1)) ** 2
+    if coverage < 0.8:
+        # partial scroll: the finger lifts out of range after the short pass
+        z_lift = z_lift + 18.0 * _minimum_jerk(
+            np.clip((times / times[-1] - 0.65) / 0.35, 0, 1))
+    positions = _center(spec) + np.stack(
+        [x, np.zeros_like(x), z_lift], axis=1)
+    meta = {
+        "direction": direction,
+        "plateau_speed_mm_s": speed,
+        "travel_mm": travel,
+        "coverage": coverage,
+    }
+    return _finish(spec, times, positions, rng, meta)
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+def synthesize_gesture(spec: GestureSpec,
+                       rng: int | np.random.Generator | None = None,
+                       ) -> Trajectory:
+    """Generate one performance of ``spec.name``.
+
+    Parameters
+    ----------
+    spec:
+        Kinematic parameters (see :class:`GestureSpec`).
+    rng:
+        Seed or generator for the per-repetition micro variation (tremor,
+        phase, drift).  Two calls with the same spec and seed are identical.
+
+    Returns
+    -------
+    Trajectory
+        The thumb-tip path, labelled with the gesture name; scrolls carry
+        ground-truth direction/velocity/travel in ``meta``.
+    """
+    rng = ensure_rng(rng)
+    if spec.name == "circle":
+        return _circle(spec, rng, n_loops=1)
+    if spec.name == "double_circle":
+        return _circle(spec, rng, n_loops=2)
+    if spec.name == "rub":
+        return _rub(spec, rng, n_bursts=1)
+    if spec.name == "double_rub":
+        return _rub(spec, rng, n_bursts=2)
+    if spec.name == "click":
+        return _click(spec, rng, n_clicks=1)
+    if spec.name == "double_click":
+        return _click(spec, rng, n_clicks=2)
+    if spec.name == "scroll_up":
+        return _scroll(spec, rng, direction=+1)
+    if spec.name == "scroll_down":
+        return _scroll(spec, rng, direction=-1)
+    raise ValueError(f"unknown gesture {spec.name!r}")

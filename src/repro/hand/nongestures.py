@@ -1,0 +1,125 @@
+"""Non-gesture finger motions (Section V-J1): scratch, extend, reposition.
+
+These are the unintentional movements that fool naive segmentation — they
+cause significant RSS changes just like gestures do — and that the
+interference-removal classifier of Section IV-F must reject.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hand.gestures import _envelope, _finish, _minimum_jerk, _time_base, GestureSpec
+from repro.hand.trajectory import Trajectory
+from repro.utils import ensure_rng
+
+__all__ = ["NONGESTURE_NAMES", "synthesize_nongesture"]
+
+NONGESTURE_NAMES: tuple[str, ...] = ("scratch", "extend", "reposition")
+
+
+def _scratch(spec: GestureSpec, rng: np.random.Generator) -> Trajectory:
+    """Irregular multi-directional jitter, like scratching an itch."""
+    duration = rng.uniform(0.5, 1.3) / spec.speed_scale
+    times = _time_base(duration, spec.sample_rate_hz)
+    n = len(times)
+    env = _envelope(n, ramp_frac=0.12)
+    # A few incommensurate oscillations with random phases: jerky but not
+    # periodic the way a rub is.
+    x = np.zeros(n)
+    y = np.zeros(n)
+    z = np.zeros(n)
+    for _ in range(5):
+        f = rng.uniform(1.0, 7.0)
+        a = rng.uniform(1.0, 4.0) * spec.amplitude_scale
+        ph = rng.uniform(0, 2 * np.pi)
+        axis = rng.integers(0, 3)
+        # bursty amplitude: scratching waxes and wanes irregularly
+        burst = 0.5 + 0.5 * np.sin(
+            2 * np.pi * rng.uniform(0.4, 1.2) * times + rng.uniform(0, 2 * np.pi))
+        wave = a * burst * np.sin(2 * np.pi * f * times + ph)
+        if axis == 0:
+            x += wave
+        elif axis == 1:
+            y += wave
+        else:
+            z += 0.6 * wave
+    # the whole hand also drifts while scratching
+    drift = rng.uniform(-8.0, 8.0, size=3)
+    s = _minimum_jerk(times / max(times[-1], 1e-9))
+    x += drift[0] * s
+    y += drift[1] * s
+    z += 0.4 * abs(drift[2]) * s
+    positions = (np.array([spec.center_xy_mm[0], spec.center_xy_mm[1],
+                           spec.distance_mm])
+                 + env[:, None] * np.stack([x, y, z], axis=1))
+    traj = _finish(spec, times, positions, rng, {"family": "scratch"})
+    traj.label = "scratch"
+    return traj
+
+
+def _extend(spec: GestureSpec, rng: np.random.Generator) -> Trajectory:
+    """Fingers slowly extending / relaxing: a one-way outward drift."""
+    duration = rng.uniform(0.8, 1.6) / spec.speed_scale
+    times = _time_base(duration, spec.sample_rate_hz)
+    s = _minimum_jerk(times / times[-1])
+    rise = rng.uniform(18.0, 32.0) * spec.amplitude_scale
+    lateral = rng.uniform(-6.0, 6.0)
+    positions = (np.array([spec.center_xy_mm[0], spec.center_xy_mm[1],
+                           spec.distance_mm])
+                 + np.stack([lateral * s,
+                             0.3 * lateral * s,
+                             rise * s], axis=1))
+    traj = _finish(spec, times, positions, rng, {"family": "extend"})
+    traj.label = "extend"
+    return traj
+
+
+def _reposition(spec: GestureSpec, rng: np.random.Generator) -> Trajectory:
+    """The whole hand shifting to a new pose: large, fast, with a vertical bob."""
+    duration = rng.uniform(0.35, 0.8) / spec.speed_scale
+    times = _time_base(duration, spec.sample_rate_hz)
+    s = times / times[-1]
+    # two stitched minimum-jerk legs with different directions: jerkier than
+    # a deliberate scroll and with a pronounced mid-move bob
+    split = rng.uniform(0.35, 0.65)
+    leg1 = _minimum_jerk(np.clip(s / split, 0, 1))
+    leg2 = _minimum_jerk(np.clip((s - split) / (1 - split), 0, 1))
+    d1 = rng.uniform(-18, 18, size=2)
+    d2 = rng.uniform(-18, 18, size=2)
+    x = d1[0] * leg1 + d2[0] * leg2
+    y = d1[1] * leg1 + d2[1] * leg2
+    bob = rng.uniform(6.0, 14.0) * np.sin(np.pi * s) ** 2
+    positions = (np.array([spec.center_xy_mm[0], spec.center_xy_mm[1],
+                           spec.distance_mm])
+                 + np.stack([x, y, bob], axis=1))
+    traj = _finish(spec, times, positions, rng, {"family": "reposition"})
+    traj.label = "reposition"
+    return traj
+
+
+def synthesize_nongesture(name: str,
+                          spec: GestureSpec,
+                          rng: int | np.random.Generator | None = None,
+                          ) -> Trajectory:
+    """Generate one non-gesture of the given family.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`NONGESTURE_NAMES`.
+    spec:
+        Performance parameters reused from the gesture machinery (distance,
+        scales, tremor); its ``name`` field is ignored.
+    rng:
+        Seed or generator for the random shape of this occurrence.
+    """
+    rng = ensure_rng(rng)
+    if name == "scratch":
+        return _scratch(spec, rng)
+    if name == "extend":
+        return _extend(spec, rng)
+    if name == "reposition":
+        return _reposition(spec, rng)
+    raise ValueError(
+        f"unknown non-gesture {name!r}; expected one of {NONGESTURE_NAMES}")

@@ -1,0 +1,72 @@
+"""Directional swipes over the 2-D cross array (Section VI extension).
+
+The paper's Section VI proposes "a sensor with more number of LEDs and PDs
+along with other posited distributions to construct a multi-dimensional
+sensing area and improve input resolution, which enables to expand the
+gesture set".  This module synthesizes straight-line swipes at arbitrary
+compass angles over the board — the workload the 2-D tracker of
+:mod:`repro.core.tracking2d` is evaluated on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hand.gestures import _minimum_jerk, _time_base
+from repro.hand.trajectory import Trajectory
+from repro.optics.geometry import normalize
+from repro.utils import ensure_rng
+
+__all__ = ["synthesize_swipe"]
+
+
+def synthesize_swipe(angle_deg: float,
+                     distance_mm: float = 20.0,
+                     speed_mm_s: float = 75.0,
+                     travel_mm: float = 44.0,
+                     tremor_mm: float = 0.3,
+                     sample_rate_hz: float = 100.0,
+                     rng: int | np.random.Generator | None = None
+                     ) -> Trajectory:
+    """A straight swipe across the board centre at *angle_deg*.
+
+    0 degrees sweeps along +x (the classic scroll up), 90 degrees along +y;
+    the trajectory starts ``travel/2`` before the centre and ends the same
+    distance past it.
+
+    Returns a trajectory whose ``meta`` carries the ground-truth angle and
+    velocity for the 2-D tracking evaluation.
+    """
+    if distance_mm <= 0 or speed_mm_s <= 0 or travel_mm <= 0:
+        raise ValueError("distance, speed and travel must be positive")
+    if sample_rate_hz <= 0:
+        raise ValueError("sample_rate_hz must be positive")
+    rng = ensure_rng(rng)
+    angle = math.radians(angle_deg)
+    direction = np.array([math.cos(angle), math.sin(angle), 0.0])
+
+    duration = travel_mm / speed_mm_s + 0.2
+    times = _time_base(duration, sample_rate_hz)
+    s = _minimum_jerk(times / times[-1])
+    start = -0.5 * travel_mm * direction + np.array([0.0, 0.0, distance_mm])
+    positions = start + np.outer(travel_mm * s, direction)
+    # slight mid-sweep lift, as in the 1-D scrolls
+    positions[:, 2] += 2.0 * np.sin(np.pi * np.clip(times / times[-1], 0, 1)) ** 2
+    if tremor_mm > 0:
+        noise = rng.normal(0.0, tremor_mm, positions.shape)
+        kernel = np.ones(7) / 7.0
+        for k in range(3):
+            noise[:, k] = np.convolve(noise[:, k], kernel, mode="same")
+        positions = positions + noise
+    normals = normalize(np.tile([0.0, 0.0, -1.0], (len(times), 1)))
+    return Trajectory(
+        times_s=times,
+        positions_mm=positions,
+        normals=normals,
+        label="swipe",
+        meta={"angle_deg": float(angle_deg),
+              "plateau_speed_mm_s": float(speed_mm_s),
+              "travel_mm": float(travel_mm),
+              "distance_mm": float(distance_mm)})

@@ -1,0 +1,189 @@
+"""Time-sampled fingertip trajectories.
+
+A :class:`Trajectory` is the kinematic output of the gesture synthesizer and
+the kinematic input of the optics layer: positions and surface normals of the
+thumb-tip patch over time, plus bookkeeping (label, ground-truth kinematics
+for the tracking experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.optics.geometry import normalize
+
+__all__ = ["Trajectory", "concatenate_trajectories", "idle_trajectory"]
+
+
+@dataclass
+class Trajectory:
+    """A sampled fingertip path in the sensor frame (millimetres, seconds).
+
+    Parameters
+    ----------
+    times_s:
+        ``(T,)`` uniformly spaced timestamps starting at 0.
+    positions_mm:
+        ``(T, 3)`` thumb-tip patch centres.
+    normals:
+        ``(T, 3)`` outward patch normals (roughly facing the board).
+    label:
+        Gesture name (one of the eight paper gestures, a non-gesture
+        family name, or ``"idle"``).
+    meta:
+        Free-form ground truth: scroll direction/velocity, user/session ids,
+        distance, etc.  Used only for evaluation, never by the pipeline.
+    """
+
+    times_s: np.ndarray
+    positions_mm: np.ndarray
+    normals: np.ndarray
+    label: str = "unknown"
+    meta: dict[str, Any] = field(default_factory=dict)
+    area_scale: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.times_s = np.asarray(self.times_s, dtype=np.float64).ravel()
+        self.positions_mm = np.atleast_2d(
+            np.asarray(self.positions_mm, dtype=np.float64))
+        n = self.times_s.size
+        normals = np.asarray(self.normals, dtype=np.float64)
+        if normals.ndim == 1:
+            normals = np.broadcast_to(normals, (n, 3)).copy()
+        self.normals = normalize(np.atleast_2d(normals))
+        if self.positions_mm.shape != (n, 3):
+            raise ValueError(
+                f"positions shape {self.positions_mm.shape} does not match "
+                f"{n} timestamps")
+        if self.normals.shape != (n, 3):
+            raise ValueError(
+                f"normals shape {self.normals.shape} does not match "
+                f"{n} timestamps")
+        if n >= 2 and np.any(np.diff(self.times_s) <= 0):
+            raise ValueError("times_s must be strictly increasing")
+        if self.area_scale is None:
+            self.area_scale = np.ones(n)
+        else:
+            self.area_scale = np.asarray(self.area_scale,
+                                         dtype=np.float64).ravel()
+            if self.area_scale.shape != (n,):
+                raise ValueError(
+                    f"area_scale shape {self.area_scale.shape} does not "
+                    f"match {n} timestamps")
+            if np.any(self.area_scale < 0):
+                raise ValueError("area_scale must be non-negative")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples."""
+        return self.times_s.size
+
+    @property
+    def duration_s(self) -> float:
+        """Total duration."""
+        if self.n_samples < 2:
+            return 0.0
+        return float(self.times_s[-1] - self.times_s[0])
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Mean sampling rate."""
+        if self.n_samples < 2:
+            raise ValueError("sample rate undefined for <2 samples")
+        return (self.n_samples - 1) / self.duration_s
+
+    def velocities_mm_s(self) -> np.ndarray:
+        """Finite-difference velocity vectors, ``(T, 3)``."""
+        if self.n_samples < 2:
+            return np.zeros_like(self.positions_mm)
+        return np.gradient(self.positions_mm, self.times_s, axis=0)
+
+    def speed_mm_s(self) -> np.ndarray:
+        """Scalar speed profile, ``(T,)``."""
+        return np.linalg.norm(self.velocities_mm_s(), axis=-1)
+
+    def shifted(self, offset_mm: Sequence[float]) -> "Trajectory":
+        """A copy translated by *offset_mm*."""
+        offset = np.asarray(offset_mm, dtype=np.float64)
+        if offset.shape != (3,):
+            raise ValueError(f"offset must be a 3-vector, got shape {offset.shape}")
+        return Trajectory(
+            times_s=self.times_s.copy(),
+            positions_mm=self.positions_mm + offset,
+            normals=self.normals.copy(),
+            label=self.label,
+            meta=dict(self.meta),
+            area_scale=self.area_scale.copy())
+
+    def mirrored_x(self) -> "Trajectory":
+        """A copy mirrored across the YZ plane (non-dominant-hand model).
+
+        Scroll labels keep their semantics relative to the *user*, so the
+        meta records that the spatial direction flipped.
+        """
+        positions = self.positions_mm.copy()
+        positions[:, 0] *= -1.0
+        norms = self.normals.copy()
+        norms[:, 0] *= -1.0
+        meta = dict(self.meta)
+        meta["mirrored"] = not meta.get("mirrored", False)
+        return Trajectory(
+            times_s=self.times_s.copy(),
+            positions_mm=positions,
+            normals=norms,
+            label=self.label,
+            meta=meta,
+            area_scale=self.area_scale.copy())
+
+
+def idle_trajectory(duration_s: float,
+                    sample_rate_hz: float,
+                    rest_position_mm: Sequence[float] = (0.0, 25.0, 45.0),
+                    ) -> Trajectory:
+    """A stationary finger resting outside the active sensing cone."""
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if sample_rate_hz <= 0:
+        raise ValueError(f"sample_rate_hz must be positive, got {sample_rate_hz}")
+    n = max(2, int(round(duration_s * sample_rate_hz)))
+    times = np.arange(n) / sample_rate_hz
+    pos = np.tile(np.asarray(rest_position_mm, dtype=np.float64), (n, 1))
+    normals = np.tile(np.array([0.0, 0.0, -1.0]), (n, 1))
+    return Trajectory(times_s=times, positions_mm=pos, normals=normals,
+                      label="idle", meta={})
+
+
+def concatenate_trajectories(parts: Sequence[Trajectory]) -> Trajectory:
+    """Join trajectories end-to-end on a common clock.
+
+    The label of the result is ``"stream"``; per-part extents are recorded in
+    ``meta["segments"]`` as ``(label, start_index, end_index)`` tuples, and
+    each part's own ground-truth meta in ``meta["segment_meta"]``, so
+    segmentation and tracking experiments have full ground truth.
+    """
+    if not parts:
+        raise ValueError("need at least one trajectory to concatenate")
+    times: list[np.ndarray] = []
+    segments: list[tuple[str, int, int]] = []
+    segment_meta: list[dict] = []
+    offset_t = 0.0
+    offset_i = 0
+    dt = 1.0 / parts[0].sample_rate_hz
+    for part in parts:
+        if abs(part.sample_rate_hz - 1.0 / dt) > 1e-6:
+            raise ValueError("all parts must share one sample rate")
+        times.append(part.times_s - part.times_s[0] + offset_t)
+        segments.append((part.label, offset_i, offset_i + part.n_samples))
+        segment_meta.append(dict(part.meta))
+        offset_t += part.duration_s + dt
+        offset_i += part.n_samples
+    return Trajectory(
+        times_s=np.concatenate(times),
+        positions_mm=np.concatenate([p.positions_mm for p in parts]),
+        normals=np.concatenate([p.normals for p in parts]),
+        label="stream",
+        meta={"segments": segments, "segment_meta": segment_meta},
+        area_scale=np.concatenate([p.area_scale for p in parts]))

@@ -1,0 +1,45 @@
+"""Shared validation and label-encoding helpers for the classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_X_y", "check_X", "encode_labels"]
+
+
+def check_X(X: np.ndarray) -> np.ndarray:
+    """Validate a feature matrix: 2-D, finite, float64."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if X.size and not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or inf")
+    return X
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix / label vector pair."""
+    X = check_X(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        y = y.ravel()
+    if len(y) != len(X):
+        raise ValueError(f"X has {len(X)} rows but y has {len(y)} labels")
+    if len(y) == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    return X, y
+
+
+def encode_labels(y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map arbitrary labels to 0..K-1 integers.
+
+    Returns
+    -------
+    (classes, encoded):
+        ``classes`` is the sorted unique label array; ``encoded`` the
+        integer codes such that ``classes[encoded] == y``.
+    """
+    classes, encoded = np.unique(np.asarray(y), return_inverse=True)
+    return classes, encoded.astype(np.int64)

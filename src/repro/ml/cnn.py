@@ -1,0 +1,243 @@
+"""A small 1-D convolutional network — the paper's third cost counterpoint.
+
+Section IV-C2 names CNNs (with HMMs and DTW) as the accurate-but-heavy
+alternatives to the Random Forest on wearables.  This is a compact,
+dependency-free implementation: two convolution blocks with ReLU and max
+pooling, global average pooling, and a softmax head, trained with Adam on
+z-normalized, length-resampled signals.  Everything — forward, backward,
+optimizer — is plain numpy, so the computational-cost comparison of
+``benchmarks/test_ablation_classifier_cost.py`` measures a real network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import encode_labels
+from repro.utils import ensure_rng
+
+__all__ = ["Conv1dClassifier"]
+
+
+def _resample(x: np.ndarray, n: int) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if x.size == 0:
+        return np.zeros(n)
+    if x.size == n:
+        out = x
+    else:
+        grid = np.linspace(0, x.size - 1, n)
+        out = np.interp(grid, np.arange(x.size), x)
+    std = out.std()
+    # the constant-signal guard must scale with magnitude: interpolation
+    # of a large constant leaves float dust proportional to its value
+    floor = 1e-9 * max(1.0, float(np.abs(out).max()))
+    return (out - out.mean()) / std if std > floor else np.zeros(n)
+
+
+def _conv1d_forward(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Valid 1-D convolution: x (N,C,L), w (F,C,K) -> (N,F,L-K+1)."""
+    n, c, length = x.shape
+    f, _, k = w.shape
+    out_len = length - k + 1
+    # im2col: (N, C*K, out_len)
+    cols = np.empty((n, c * k, out_len))
+    for i in range(k):
+        cols[:, i::k, :] = x[:, :, i:i + out_len]
+    w_mat = w.reshape(f, c * k)
+    out = np.einsum("fj,njl->nfl", w_mat, cols) + b[None, :, None]
+    return out
+
+
+def _conv1d_backward(x: np.ndarray, w: np.ndarray, grad_out: np.ndarray):
+    """Gradients of the valid convolution w.r.t. x, w, b."""
+    n, c, length = x.shape
+    f, _, k = w.shape
+    out_len = grad_out.shape[2]
+    cols = np.empty((n, c * k, out_len))
+    for i in range(k):
+        cols[:, i::k, :] = x[:, :, i:i + out_len]
+    grad_w = np.einsum("nfl,njl->fj", grad_out, cols).reshape(f, c, k)
+    grad_b = grad_out.sum(axis=(0, 2))
+    w_mat = w.reshape(f, c * k)
+    grad_cols = np.einsum("fj,nfl->njl", w_mat, grad_out)
+    grad_x = np.zeros_like(x)
+    for i in range(k):
+        grad_x[:, :, i:i + out_len] += grad_cols[:, i::k, :]
+    return grad_x, grad_w, grad_b
+
+
+def _maxpool_forward(x: np.ndarray, size: int):
+    n, c, length = x.shape
+    trimmed = length - length % size
+    blocks = x[:, :, :trimmed].reshape(n, c, trimmed // size, size)
+    out = blocks.max(axis=3)
+    argmax = blocks.argmax(axis=3)
+    return out, (argmax, trimmed, size, x.shape)
+
+
+def _maxpool_backward(grad_out: np.ndarray, cache) -> np.ndarray:
+    argmax, trimmed, size, shape = cache
+    n, c, blocks = grad_out.shape
+    grad_x = np.zeros(shape)
+    idx_n, idx_c, idx_b = np.meshgrid(
+        np.arange(n), np.arange(c), np.arange(blocks), indexing="ij")
+    positions = idx_b * size + argmax
+    grad_x[idx_n, idx_c, positions] = grad_out
+    return grad_x
+
+
+@dataclass
+class Conv1dClassifier:
+    """Two-block 1-D CNN with a softmax head.
+
+    Parameters
+    ----------
+    input_length:
+        Signals are resampled to this length before the network.
+    channels:
+        Filters in the two convolution blocks.
+    kernel_sizes:
+        Kernel width per block.
+    pool:
+        Max-pool factor after each block.
+    epochs, batch_size, learning_rate:
+        Adam training schedule.
+    random_state:
+        Weight-initialization seed.
+    """
+
+    input_length: int = 128
+    channels: tuple[int, int] = (8, 16)
+    kernel_sizes: tuple[int, int] = (7, 5)
+    pool: int = 4
+    epochs: int = 30
+    batch_size: int = 32
+    learning_rate: float = 3e-3
+    random_state: int | None = 0
+
+    classes_: np.ndarray = field(init=False, repr=False, default=None)
+    params_: dict = field(init=False, repr=False, default_factory=dict)
+    _adam_m: dict = field(init=False, repr=False, default_factory=dict)
+    _adam_v: dict = field(init=False, repr=False, default_factory=dict)
+    _adam_t: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.input_length < 16:
+            raise ValueError("input_length must be >= 16")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if self.pool < 1:
+            raise ValueError("pool must be >= 1")
+
+    # ------------------------------------------------------------------
+    def _init_params(self, n_classes: int) -> None:
+        rng = ensure_rng(self.random_state)
+        c1, c2 = self.channels
+        k1, k2 = self.kernel_sizes
+        self.params_ = {
+            "w1": rng.normal(0, np.sqrt(2.0 / k1), (c1, 1, k1)),
+            "b1": np.zeros(c1),
+            "w2": rng.normal(0, np.sqrt(2.0 / (c1 * k2)), (c2, c1, k2)),
+            "b2": np.zeros(c2),
+            "w3": rng.normal(0, np.sqrt(2.0 / c2), (c2, n_classes)),
+            "b3": np.zeros(n_classes),
+        }
+        self._adam_m = {k: np.zeros_like(v) for k, v in self.params_.items()}
+        self._adam_v = {k: np.zeros_like(v) for k, v in self.params_.items()}
+        self._adam_t = 0
+
+    def _forward(self, x: np.ndarray, keep_cache: bool = False):
+        p = self.params_
+        z1 = _conv1d_forward(x, p["w1"], p["b1"])
+        a1 = np.maximum(z1, 0.0)
+        p1, cache1 = _maxpool_forward(a1, self.pool)
+        z2 = _conv1d_forward(p1, p["w2"], p["b2"])
+        a2 = np.maximum(z2, 0.0)
+        gap = a2.mean(axis=2)                         # global average pool
+        logits = gap @ p["w3"] + p["b3"]
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        proba = exp / exp.sum(axis=1, keepdims=True)
+        if not keep_cache:
+            return proba, None
+        return proba, (x, z1, a1, p1, cache1, z2, a2, gap)
+
+    def _backward(self, proba: np.ndarray, onehot: np.ndarray, cache) -> dict:
+        x, z1, a1, p1, cache1, z2, a2, gap = cache
+        p = self.params_
+        n = len(x)
+        grad_logits = (proba - onehot) / n
+        grads = {
+            "w3": gap.T @ grad_logits,
+            "b3": grad_logits.sum(axis=0),
+        }
+        grad_gap = grad_logits @ p["w3"].T                 # (N, C2)
+        grad_a2 = (grad_gap[:, :, None]
+                   / a2.shape[2]) * np.ones_like(a2)
+        grad_z2 = grad_a2 * (z2 > 0)
+        grad_p1, grads["w2"], grads["b2"] = _conv1d_backward(
+            p1, p["w2"], grad_z2)
+        grad_a1 = _maxpool_backward(grad_p1, cache1)
+        grad_z1 = grad_a1 * (z1 > 0)
+        _, grads["w1"], grads["b1"] = _conv1d_backward(x, p["w1"], grad_z1)
+        return grads
+
+    def _adam_step(self, grads: dict) -> None:
+        self._adam_t += 1
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        for key, grad in grads.items():
+            self._adam_m[key] = beta1 * self._adam_m[key] + (1 - beta1) * grad
+            self._adam_v[key] = (beta2 * self._adam_v[key]
+                                 + (1 - beta2) * grad * grad)
+            m_hat = self._adam_m[key] / (1 - beta1 ** self._adam_t)
+            v_hat = self._adam_v[key] / (1 - beta2 ** self._adam_t)
+            self.params_[key] -= (self.learning_rate * m_hat
+                                  / (np.sqrt(v_hat) + eps))
+
+    # ------------------------------------------------------------------
+    def _prepare(self, signals) -> np.ndarray:
+        batch = np.stack([_resample(s, self.input_length) for s in signals])
+        return batch[:, None, :]  # (N, 1, L)
+
+    def fit(self, signals, labels) -> "Conv1dClassifier":
+        """Train the network on raw segmented signals."""
+        if len(signals) != len(labels):
+            raise ValueError(f"{len(signals)} signals but {len(labels)} labels")
+        if len(signals) == 0:
+            raise ValueError("cannot fit on zero signals")
+        self.classes_, codes = encode_labels(np.asarray(labels))
+        n_classes = len(self.classes_)
+        self._init_params(n_classes)
+        X = self._prepare(signals)
+        onehot = np.zeros((len(X), n_classes))
+        onehot[np.arange(len(X)), codes] = 1.0
+        rng = ensure_rng(self.random_state)
+        for _ in range(self.epochs):
+            order = rng.permutation(len(X))
+            for start in range(0, len(X), self.batch_size):
+                idx = order[start:start + self.batch_size]
+                proba, cache = self._forward(X[idx], keep_cache=True)
+                grads = self._backward(proba, onehot[idx], cache)
+                self._adam_step(grads)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.params_:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+
+    def predict_proba(self, signals) -> np.ndarray:
+        """Softmax probabilities, ``(N, K)``."""
+        self._check_fitted()
+        proba, _ = self._forward(self._prepare(signals))
+        return proba
+
+    def predict(self, signals) -> np.ndarray:
+        """Predicted labels."""
+        return self.classes_[np.argmax(self.predict_proba(signals), axis=1)]
+
+    def score(self, signals, labels) -> float:
+        """Mean accuracy."""
+        return float(np.mean(self.predict(signals) == np.asarray(labels)))

@@ -1,0 +1,154 @@
+"""Dynamic Time Warping: the paper's computational-cost counterpoint.
+
+Section IV-C2 argues for the Random Forest because "comparing to Hidden
+Markov Models (HMM), Dynamic Time Warping (DTW), and Convolutional Neural
+Networks (CNN), RF has lower computational expense, which is more suitable
+for real-time gesture recognition on wearable smart devices".  To make
+that comparison reproducible this module implements a banded
+(Sakoe-Chiba) DTW distance and a k-NN classifier over it — accurate but
+expensive at prediction time, exactly the trade-off the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["dtw_distance", "KnnDtwClassifier"]
+
+
+def _znorm(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).ravel()
+    std = x.std()
+    if std < 1e-12:
+        return np.zeros_like(x)
+    return (x - x.mean()) / std
+
+
+def dtw_distance(a: np.ndarray, b: np.ndarray,
+                 band_fraction: float = 0.1,
+                 normalize: bool = True) -> float:
+    """Banded DTW distance between two 1-D series.
+
+    Parameters
+    ----------
+    a, b:
+        Input series (any lengths).
+    band_fraction:
+        Sakoe-Chiba band half-width as a fraction of the longer series;
+        constrains warping and cuts cost from O(n*m) to O(n*band).
+    normalize:
+        z-normalize both series first (amplitude invariance) and divide
+        the final cost by the warping-path-length bound so series of
+        different lengths compare fairly.
+    """
+    if not 0.0 < band_fraction <= 1.0:
+        raise ValueError(f"band_fraction must be in (0, 1], got {band_fraction}")
+    x = _znorm(a) if normalize else np.asarray(a, dtype=np.float64).ravel()
+    y = _znorm(b) if normalize else np.asarray(b, dtype=np.float64).ravel()
+    # canonical orientation: the band is laid out relative to the first
+    # series, so order by length to make the distance exactly symmetric
+    if len(y) > len(x) or (len(y) == len(x)
+                           and y.tobytes() < x.tobytes()):
+        x, y = y, x
+    n, m = len(x), len(y)
+    if n == 0 or m == 0:
+        return float("inf")
+    band = max(int(band_fraction * max(n, m)), abs(n - m) + 1)
+
+    inf = float("inf")
+    prev = np.full(m + 1, inf)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        cur = np.full(m + 1, inf)
+        # stay inside the band around the diagonal
+        centre = int(round(i * m / n))
+        lo = max(1, centre - band)
+        hi = min(m, centre + band)
+        xi = x[i - 1]
+        for j in range(lo, hi + 1):
+            cost = (xi - y[j - 1]) ** 2
+            cur[j] = cost + min(prev[j], prev[j - 1], cur[j - 1])
+        prev = cur
+    value = float(prev[m])
+    if normalize and np.isfinite(value):
+        value /= (n + m)
+    return value
+
+
+@dataclass
+class KnnDtwClassifier:
+    """k-nearest-neighbour classification under the DTW distance.
+
+    Unlike the feature-based classifiers this one consumes the raw
+    segmented signals directly (no extraction step), which is its appeal —
+    and its prediction cost scales with the whole training set, which is
+    the paper's argument against it for wearables.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Votes per prediction.
+    band_fraction:
+        Sakoe-Chiba band of the underlying distance.
+    max_reference_length:
+        Training series are decimated to at most this many samples to
+        bound the quadratic DTW cost.
+    """
+
+    n_neighbors: int = 1
+    band_fraction: float = 0.1
+    max_reference_length: int = 128
+
+    _references: list[np.ndarray] = field(init=False, repr=False,
+                                          default_factory=list)
+    _labels: np.ndarray = field(init=False, repr=False, default=None)
+    classes_: np.ndarray = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if self.max_reference_length < 8:
+            raise ValueError("max_reference_length must be >= 8")
+
+    def _condense(self, signal: np.ndarray) -> np.ndarray:
+        signal = np.asarray(signal, dtype=np.float64).ravel()
+        if len(signal) <= self.max_reference_length:
+            return signal
+        grid = np.linspace(0, len(signal) - 1, self.max_reference_length)
+        return np.interp(grid, np.arange(len(signal)), signal)
+
+    def fit(self, signals, labels) -> "KnnDtwClassifier":
+        """Store the training series (lazy learner)."""
+        if len(signals) != len(labels):
+            raise ValueError(f"{len(signals)} signals but {len(labels)} labels")
+        if len(signals) == 0:
+            raise ValueError("cannot fit on zero signals")
+        self._references = [self._condense(s) for s in signals]
+        self._labels = np.asarray(labels)
+        self.classes_ = np.unique(self._labels)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self._references:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+
+    def predict_one(self, signal: np.ndarray) -> str:
+        """Label of the DTW-nearest training neighbours."""
+        self._check_fitted()
+        query = self._condense(signal)
+        distances = np.array([
+            dtw_distance(query, ref, self.band_fraction)
+            for ref in self._references])
+        order = np.argsort(distances)[: self.n_neighbors]
+        votes, counts = np.unique(self._labels[order], return_counts=True)
+        return votes[np.argmax(counts)]
+
+    def predict(self, signals) -> np.ndarray:
+        """Labels for a batch of raw signals."""
+        return np.asarray([self.predict_one(s) for s in signals])
+
+    def score(self, signals, labels) -> float:
+        """Mean accuracy on labelled signals."""
+        return float(np.mean(self.predict(signals) == np.asarray(labels)))

@@ -1,0 +1,237 @@
+"""Gaussian hidden Markov models — the paper's second cost counterpoint.
+
+Section IV-C2 cites HMMs alongside DTW and CNNs as accurate but
+computationally heavier alternatives to the Random Forest.  This module
+implements a left-to-right Gaussian-emission HMM trained per class with
+Baum-Welch (EM) on 1-D sequences, plus a maximum-likelihood classifier
+over a bank of them — the classic sequence-recognition recipe of the
+gesture literature.
+
+All forward/backward passes run in the log domain for numerical safety.
+Sequences are z-normalized and length-normalized log-likelihoods are
+compared, so classes with different typical durations compete fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+__all__ = ["GaussianHmm", "HmmClassifier"]
+
+_LOG_EPS = -1e30
+
+
+def _logsumexp(values: np.ndarray, axis: int | None = None):
+    peak = np.max(values, axis=axis, keepdims=True)
+    peak = np.where(np.isfinite(peak), peak, 0.0)
+    out = peak + np.log(np.sum(np.exp(values - peak), axis=axis,
+                               keepdims=True))
+    if axis is None:
+        return float(out.ravel()[0])
+    return np.squeeze(out, axis=axis)
+
+
+def _znorm(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).ravel()
+    std = x.std()
+    if std < 1e-12:
+        return np.zeros_like(x)
+    return (x - x.mean()) / std
+
+
+@dataclass
+class GaussianHmm:
+    """A left-to-right HMM with scalar Gaussian emissions.
+
+    Parameters
+    ----------
+    n_states:
+        Hidden states; gestures segment naturally into a handful of phases.
+    n_iter:
+        Baum-Welch iterations.
+    min_variance:
+        Variance floor for the emission Gaussians.
+    random_state:
+        Seed for the emission-mean initialization.
+    """
+
+    n_states: int = 5
+    n_iter: int = 12
+    min_variance: float = 1e-3
+    random_state: int | None = 0
+
+    log_start_: np.ndarray = field(init=False, repr=False, default=None)
+    log_trans_: np.ndarray = field(init=False, repr=False, default=None)
+    means_: np.ndarray = field(init=False, repr=False, default=None)
+    variances_: np.ndarray = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.n_states < 1:
+            raise ValueError("n_states must be >= 1")
+        if self.n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        if self.min_variance <= 0:
+            raise ValueError("min_variance must be positive")
+
+    # ------------------------------------------------------------------
+    def _init_params(self, sequences: list[np.ndarray]) -> None:
+        rng = ensure_rng(self.random_state)
+        k = self.n_states
+        # left-to-right: start in state 0, move forward or stay
+        start = np.full(k, 1e-4)
+        start[0] = 1.0
+        self.log_start_ = np.log(start / start.sum())
+        trans = np.full((k, k), 1e-6)
+        for i in range(k):
+            trans[i, i] = 0.6
+            if i + 1 < k:
+                trans[i, i + 1] = 0.4
+            else:
+                trans[i, i] = 1.0
+        self.log_trans_ = np.log(trans / trans.sum(axis=1, keepdims=True))
+        # initialize means from temporal segments of the training data
+        segment_means = []
+        for s in range(k):
+            vals = []
+            for seq in sequences:
+                chunk = np.array_split(seq, k)[s]
+                if chunk.size:
+                    vals.append(chunk.mean())
+            segment_means.append(np.mean(vals) if vals else rng.normal())
+        self.means_ = np.asarray(segment_means, dtype=np.float64)
+        self.variances_ = np.full(k, 1.0)
+
+    def _log_emissions(self, seq: np.ndarray) -> np.ndarray:
+        diff = seq[:, None] - self.means_[None, :]
+        return (-0.5 * np.log(2 * np.pi * self.variances_)[None, :]
+                - 0.5 * diff * diff / self.variances_[None, :])
+
+    def _forward(self, log_b: np.ndarray) -> np.ndarray:
+        n, k = log_b.shape
+        alpha = np.full((n, k), _LOG_EPS)
+        alpha[0] = self.log_start_ + log_b[0]
+        for t in range(1, n):
+            alpha[t] = log_b[t] + _logsumexp(
+                alpha[t - 1][:, None] + self.log_trans_, axis=0)
+        return alpha
+
+    def _backward(self, log_b: np.ndarray) -> np.ndarray:
+        n, k = log_b.shape
+        beta = np.zeros((n, k))
+        for t in range(n - 2, -1, -1):
+            beta[t] = _logsumexp(
+                self.log_trans_ + (log_b[t + 1] + beta[t + 1])[None, :],
+                axis=1)
+        return beta
+
+    # ------------------------------------------------------------------
+    def fit(self, sequences) -> "GaussianHmm":
+        """Baum-Welch over a list of 1-D sequences."""
+        sequences = [_znorm(s) for s in sequences if np.asarray(s).size >= 2]
+        if not sequences:
+            raise ValueError("need at least one non-trivial sequence")
+        self._init_params(sequences)
+        k = self.n_states
+        for _ in range(self.n_iter):
+            trans_num = np.full((k, k), 1e-12)
+            gamma0 = np.full(k, 1e-12)
+            mean_num = np.zeros(k)
+            var_num = np.zeros(k)
+            gamma_sum = np.full(k, 1e-12)
+            for seq in sequences:
+                log_b = self._log_emissions(seq)
+                alpha = self._forward(log_b)
+                beta = self._backward(log_b)
+                log_likelihood = _logsumexp(alpha[-1], axis=None)
+                gamma = np.exp(alpha + beta - log_likelihood)
+                gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), 1e-300)
+                gamma0 += gamma[0]
+                for t in range(len(seq) - 1):
+                    xi = np.exp(alpha[t][:, None] + self.log_trans_
+                                + log_b[t + 1][None, :] + beta[t + 1][None, :]
+                                - log_likelihood)
+                    trans_num += xi
+                gamma_sum += gamma.sum(axis=0)
+                mean_num += gamma.T @ seq
+            means = mean_num / gamma_sum
+            for seq in sequences:
+                log_b = self._log_emissions(seq)
+                alpha = self._forward(log_b)
+                beta = self._backward(log_b)
+                log_likelihood = _logsumexp(alpha[-1], axis=None)
+                gamma = np.exp(alpha + beta - log_likelihood)
+                gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), 1e-300)
+                var_num += (gamma
+                            * (seq[:, None] - means[None, :]) ** 2).sum(axis=0)
+            self.means_ = means
+            self.variances_ = np.maximum(var_num / gamma_sum,
+                                         self.min_variance)
+            self.log_start_ = np.log(gamma0 / gamma0.sum())
+            self.log_trans_ = np.log(
+                trans_num / trans_num.sum(axis=1, keepdims=True))
+        return self
+
+    def log_likelihood(self, sequence) -> float:
+        """Length-normalized log-likelihood of one sequence."""
+        if self.means_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        seq = _znorm(sequence)
+        if seq.size < 2:
+            return float("-inf")
+        log_b = self._log_emissions(seq)
+        alpha = self._forward(log_b)
+        return float(_logsumexp(alpha[-1], axis=None)) / len(seq)
+
+
+@dataclass
+class HmmClassifier:
+    """One Gaussian HMM per class; predict by maximum likelihood.
+
+    Parameters
+    ----------
+    n_states, n_iter:
+        Passed to every class model.
+    """
+
+    n_states: int = 5
+    n_iter: int = 10
+
+    models_: dict = field(init=False, repr=False, default_factory=dict)
+    classes_: np.ndarray = field(init=False, repr=False, default=None)
+
+    def fit(self, sequences, labels) -> "HmmClassifier":
+        """Fit a per-class model bank."""
+        if len(sequences) != len(labels):
+            raise ValueError(
+                f"{len(sequences)} sequences but {len(labels)} labels")
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        self.models_ = {}
+        for label in self.classes_:
+            subset = [s for s, l in zip(sequences, labels) if l == label]
+            model = GaussianHmm(n_states=self.n_states, n_iter=self.n_iter)
+            self.models_[label] = model.fit(subset)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.models_:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+
+    def predict_one(self, sequence) -> str:
+        """The maximum-likelihood class of one sequence."""
+        self._check_fitted()
+        scores = {label: model.log_likelihood(sequence)
+                  for label, model in self.models_.items()}
+        return max(scores, key=scores.get)
+
+    def predict(self, sequences) -> np.ndarray:
+        """Labels for a batch of sequences."""
+        return np.asarray([self.predict_one(s) for s in sequences])
+
+    def score(self, sequences, labels) -> float:
+        """Mean accuracy."""
+        return float(np.mean(self.predict(sequences) == np.asarray(labels)))

@@ -1,0 +1,132 @@
+"""Evaluation metrics matching the paper's Section V-C definitions.
+
+* **Confusion matrix** — row = ground truth, column = prediction, each row
+  normalized by the row's sample count (the paper reports ratios).
+* **Accuracy** — correctly classified / total classified.
+* **Recall of label g** — correct among all samples *with* label g.
+* **Precision of label g** — correct among all samples *predicted* g.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy_score",
+    "per_class_recall",
+    "per_class_precision",
+    "classification_summary",
+    "ClassificationSummary",
+]
+
+
+def _align(y_true: np.ndarray, y_pred: np.ndarray,
+           labels: np.ndarray | None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true has {y_true.size} entries, y_pred has {y_pred.size}")
+    if y_true.size == 0:
+        raise ValueError("cannot score an empty prediction set")
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    return y_true, y_pred, labels
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     labels: np.ndarray | None = None,
+                     normalize: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Confusion matrix ``(labels, matrix)``; rows are ground truth.
+
+    With ``normalize=True`` each row is divided by its ground-truth count
+    (rows of all-zero stay zero), matching the paper's definition.
+    """
+    y_true, y_pred, labels = _align(y_true, y_pred, labels)
+    index = {label: i for i, label in enumerate(labels)}
+    k = len(labels)
+    matrix = np.zeros((k, k), dtype=np.float64)
+    for t, p in zip(y_true, y_pred):
+        if t in index and p in index:
+            matrix[index[t], index[p]] += 1.0
+    if normalize:
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        matrix = np.divide(matrix, row_sums,
+                           out=np.zeros_like(matrix), where=row_sums > 0)
+    return labels, matrix
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly classified samples."""
+    y_true, y_pred, _ = _align(y_true, y_pred, None)
+    return float(np.mean(y_true == y_pred))
+
+
+def per_class_recall(y_true: np.ndarray, y_pred: np.ndarray,
+                     labels: np.ndarray | None = None) -> dict:
+    """Recall per label; labels absent from the ground truth map to 0.0."""
+    y_true, y_pred, labels = _align(y_true, y_pred, labels)
+    out = {}
+    for label in labels:
+        mask = y_true == label
+        out[label] = float(np.mean(y_pred[mask] == label)) if mask.any() else 0.0
+    return out
+
+
+def per_class_precision(y_true: np.ndarray, y_pred: np.ndarray,
+                        labels: np.ndarray | None = None) -> dict:
+    """Precision per label; labels never predicted map to 0.0."""
+    y_true, y_pred, labels = _align(y_true, y_pred, labels)
+    out = {}
+    for label in labels:
+        mask = y_pred == label
+        out[label] = float(np.mean(y_true[mask] == label)) if mask.any() else 0.0
+    return out
+
+
+@dataclass(frozen=True)
+class ClassificationSummary:
+    """Accuracy plus macro-averaged recall/precision and per-class detail."""
+
+    accuracy: float
+    macro_recall: float
+    macro_precision: float
+    labels: tuple
+    recall: dict
+    precision: dict
+    confusion: np.ndarray
+
+    def __str__(self) -> str:
+        lines = [
+            f"accuracy:        {self.accuracy:7.2%}",
+            f"macro recall:    {self.macro_recall:7.2%}",
+            f"macro precision: {self.macro_precision:7.2%}",
+        ]
+        for label in self.labels:
+            lines.append(
+                f"  {str(label):16s} recall={self.recall[label]:6.2%} "
+                f"precision={self.precision[label]:6.2%}")
+        return "\n".join(lines)
+
+
+def classification_summary(y_true: np.ndarray, y_pred: np.ndarray,
+                           labels: np.ndarray | None = None
+                           ) -> ClassificationSummary:
+    """Bundle every Section V-C metric for one evaluation."""
+    y_true, y_pred, labels = _align(y_true, y_pred, labels)
+    recall = per_class_recall(y_true, y_pred, labels)
+    precision = per_class_precision(y_true, y_pred, labels)
+    _, conf = confusion_matrix(y_true, y_pred, labels)
+    return ClassificationSummary(
+        accuracy=accuracy_score(y_true, y_pred),
+        macro_recall=float(np.mean(list(recall.values()))),
+        macro_precision=float(np.mean(list(precision.values()))),
+        labels=tuple(labels.tolist()),
+        recall=recall,
+        precision=precision,
+        confusion=conf)

@@ -1,0 +1,115 @@
+"""Data-splitting protocols used by the paper's evaluation.
+
+* Stratified train/test split at a given test fraction (Fig. 9 sweep).
+* Stratified k-fold cross-validation (the "five cross-validation" of the
+  overall evaluation, Fig. 10).
+* Leave-one-group-out, the protocol behind both the individual-diversity
+  experiment (groups = users, Fig. 11) and the gesture-inconsistency
+  experiment (groups = sessions, Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+__all__ = [
+    "train_test_split",
+    "StratifiedKFold",
+    "leave_one_group_out",
+    "cross_val_accuracy",
+]
+
+
+def train_test_split(n: int, test_fraction: float,
+                     y: np.ndarray | None = None,
+                     rng: int | np.random.Generator | None = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Index split ``(train_idx, test_idx)``; stratified when *y* is given."""
+    if n < 2:
+        raise ValueError(f"need at least 2 samples, got {n}")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = ensure_rng(rng)
+    if y is None:
+        order = rng.permutation(n)
+        n_test = min(max(1, int(round(n * test_fraction))), n - 1)
+        return np.sort(order[n_test:]), np.sort(order[:n_test])
+    y = np.asarray(y)
+    if len(y) != n:
+        raise ValueError(f"y has {len(y)} labels for n={n}")
+    test_parts = []
+    for label in np.unique(y):
+        idx = np.nonzero(y == label)[0]
+        idx = rng.permutation(idx)
+        n_test = min(max(1, int(round(len(idx) * test_fraction))),
+                     max(len(idx) - 1, 1))
+        test_parts.append(idx[:n_test])
+    test_idx = np.sort(np.concatenate(test_parts))
+    mask = np.ones(n, dtype=bool)
+    mask[test_idx] = False
+    return np.nonzero(mask)[0], test_idx
+
+
+class StratifiedKFold:
+    """Stratified k-fold iterator over ``(train_idx, test_idx)`` pairs."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 random_state: int | None = None) -> None:
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, y: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield folds; every class is spread as evenly as possible."""
+        y = np.asarray(y)
+        n = len(y)
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot make {self.n_splits} folds from {n} samples")
+        rng = ensure_rng(self.random_state)
+        fold_of = np.zeros(n, dtype=np.int64)
+        for label in np.unique(y):
+            idx = np.nonzero(y == label)[0]
+            if self.shuffle:
+                idx = rng.permutation(idx)
+            fold_of[idx] = np.arange(len(idx)) % self.n_splits
+        for k in range(self.n_splits):
+            test_idx = np.nonzero(fold_of == k)[0]
+            train_idx = np.nonzero(fold_of != k)[0]
+            if test_idx.size == 0 or train_idx.size == 0:
+                raise ValueError("degenerate fold; reduce n_splits")
+            yield train_idx, test_idx
+
+
+def leave_one_group_out(groups: np.ndarray
+                        ) -> Iterator[tuple[object, np.ndarray, np.ndarray]]:
+    """Yield ``(held_out_group, train_idx, test_idx)`` per distinct group."""
+    groups = np.asarray(groups)
+    unique = np.unique(groups)
+    if len(unique) < 2:
+        raise ValueError("need at least two distinct groups")
+    for g in unique:
+        test_idx = np.nonzero(groups == g)[0]
+        train_idx = np.nonzero(groups != g)[0]
+        yield g, train_idx, test_idx
+
+
+def cross_val_accuracy(model_factory, X: np.ndarray, y: np.ndarray,
+                       n_splits: int = 5,
+                       random_state: int | None = 0) -> list[float]:
+    """Stratified k-fold accuracies using fresh models from *model_factory*."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in StratifiedKFold(
+            n_splits=n_splits, random_state=random_state).split(y):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(float(model.score(X[test_idx], y[test_idx])))
+    return scores

@@ -1,0 +1,37 @@
+"""Interference substrate: every noise source named in the paper.
+
+Section IV-B decomposes the raw reading as ``RSS = S_ges + N_static +
+N_dyn``.  ``N_static`` comes from the hand-back patch in
+:mod:`repro.hand.finger`; this subpackage supplies the rest:
+
+* :mod:`repro.noise.ambient` — sunlight and indoor NIR varying with time of
+  day (the Fig. 15 experiment) including photodiode saturation outdoors
+  (Section VI).
+* :mod:`repro.noise.hardware` — shot/thermal noise, ADC-referred noise and
+  the "sudden RSS changes due to hardware" spike process.
+* :mod:`repro.noise.motion` — bystander objects moving near the sensor, the
+  arm-sway of a worn wristband (Fig. 17), and a directly-pointed IR remote
+  control (Section V-J4).
+"""
+
+from repro.noise.ambient import AmbientModel, TimeOfDayAmbient, indoor_ambient
+from repro.noise.hardware import HardwareNoiseModel
+from repro.noise.motion import (
+    apply_scene_sway,
+    bystander_patch,
+    ir_remote_interference,
+    sway_waveform,
+    wristband_sway,
+)
+
+__all__ = [
+    "AmbientModel",
+    "TimeOfDayAmbient",
+    "indoor_ambient",
+    "HardwareNoiseModel",
+    "apply_scene_sway",
+    "bystander_patch",
+    "ir_remote_interference",
+    "sway_waveform",
+    "wristband_sway",
+]

@@ -1,0 +1,131 @@
+"""Ambient NIR irradiance models.
+
+Sunlight contains a large amount of NIR; its indoor level tracks the solar
+elevation through the day, which is exactly the axis the paper sweeps in the
+Fig. 15 experiment ("from 8 to 20 o'clock every 3 hours").  We model the
+in-band ambient irradiance reaching the board as
+
+    E(t) = E_indoor + E_solar(hour) * window_factor + flicker(t) + drift(t)
+
+Direct outdoor sun can push the photodiodes into saturation (Section VI);
+the saturation itself happens in the ADC model, this module only produces
+large irradiance values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+__all__ = ["AmbientModel", "TimeOfDayAmbient", "indoor_ambient"]
+
+# Peak in-band (700-1000nm) solar irradiance through a window onto a
+# horizontal board, mW/mm^2.  Full direct sunlight is ~0.3 mW/mm^2 in band;
+# indoor day-lit rooms see a few percent of that.
+_PEAK_WINDOW_SOLAR_MW_MM2 = 0.012
+_INDOOR_BASELINE_MW_MM2 = 0.0015
+
+
+@dataclass(frozen=True)
+class AmbientModel:
+    """Stationary ambient NIR with slow drift and lamp flicker.
+
+    Parameters
+    ----------
+    level_mw_mm2:
+        Mean in-band irradiance on the board.
+    drift_fraction:
+        Relative amplitude of the slow (sub-0.1 Hz) drift component —
+        clouds passing, people shading the window.
+    flicker_fraction:
+        Relative amplitude of 100 Hz-aliased lamp flicker.
+    """
+
+    level_mw_mm2: float = _INDOOR_BASELINE_MW_MM2
+    drift_fraction: float = 0.15
+    flicker_fraction: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.level_mw_mm2 < 0:
+            raise ValueError("level_mw_mm2 must be non-negative")
+        if not 0 <= self.drift_fraction <= 1:
+            raise ValueError("drift_fraction must be within [0, 1]")
+        if not 0 <= self.flicker_fraction <= 1:
+            raise ValueError("flicker_fraction must be within [0, 1]")
+
+    def irradiance(self, times_s: np.ndarray,
+                   rng: int | np.random.Generator | None = None) -> np.ndarray:
+        """Sampled irradiance waveform over *times_s* (mW/mm^2, >= 0)."""
+        rng = ensure_rng(rng)
+        times = np.asarray(times_s, dtype=np.float64)
+        level = self.level_mw_mm2
+        drift_hz = rng.uniform(0.03, 0.09)
+        drift = (level * self.drift_fraction
+                 * np.sin(2 * np.pi * drift_hz * times + rng.uniform(0, 2 * np.pi)))
+        flicker_hz = rng.uniform(0.5, 2.5)  # 100 Hz flicker aliased at fs=100
+        flicker = (level * self.flicker_fraction
+                   * np.sin(2 * np.pi * flicker_hz * times + rng.uniform(0, 2 * np.pi)))
+        return np.maximum(level + drift + flicker, 0.0)
+
+
+@dataclass(frozen=True)
+class TimeOfDayAmbient:
+    """Ambient level driven by the hour of day (the Fig. 15 sweep).
+
+    Parameters
+    ----------
+    hour:
+        Local hour, 0-24.  Solar contribution follows a half-sine between
+        sunrise and sunset.
+    window_factor:
+        Fraction of outdoor solar irradiance that reaches the board (how
+        close to the window the user sits); 1.0 approximates outdoors.
+    sunrise_hour, sunset_hour:
+        Daylight extent.
+    """
+
+    hour: float
+    window_factor: float = 0.35
+    sunrise_hour: float = 5.5
+    sunset_hour: float = 19.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hour <= 24.0:
+            raise ValueError(f"hour must be within [0, 24], got {self.hour}")
+        if not 0.0 <= self.window_factor <= 1.0:
+            raise ValueError("window_factor must be within [0, 1]")
+        if not self.sunrise_hour < self.sunset_hour:
+            raise ValueError("sunrise must precede sunset")
+
+    def solar_level_mw_mm2(self) -> float:
+        """Mean solar in-band irradiance at :attr:`hour`."""
+        if not self.sunrise_hour <= self.hour <= self.sunset_hour:
+            return 0.0
+        phase = ((self.hour - self.sunrise_hour)
+                 / (self.sunset_hour - self.sunrise_hour))
+        return (_PEAK_WINDOW_SOLAR_MW_MM2 * self.window_factor
+                * math.sin(math.pi * phase))
+
+    def to_model(self) -> AmbientModel:
+        """Stationary model at this hour (indoor baseline + solar)."""
+        solar = self.solar_level_mw_mm2()
+        level = _INDOOR_BASELINE_MW_MM2 + solar
+        # more sun -> more cloud/shadow variability
+        drift = 0.12 + 0.5 * (solar / max(_PEAK_WINDOW_SOLAR_MW_MM2, 1e-12))
+        return AmbientModel(level_mw_mm2=level,
+                            drift_fraction=min(drift, 0.6),
+                            flicker_fraction=0.02)
+
+    def irradiance(self, times_s: np.ndarray,
+                   rng: int | np.random.Generator | None = None) -> np.ndarray:
+        """Sampled irradiance waveform at this hour."""
+        return self.to_model().irradiance(times_s, rng)
+
+
+def indoor_ambient() -> AmbientModel:
+    """The default evaluation condition: a day-lit indoor room."""
+    return AmbientModel()

@@ -1,0 +1,114 @@
+"""Front-end hardware noise: shot/thermal noise and transient spikes.
+
+The paper mentions "sudden RSS changes due to hardware" as one interference
+source the SBC stage and the interference filter must survive.  We model the
+photocurrent-referred noise as
+
+* white Gaussian noise whose RMS has a constant (thermal/amplifier) term and
+  a signal-dependent (shot) term,
+* a sparse Poisson process of short transient spikes (supply glitches, ESD,
+  comparator chatter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+__all__ = ["HardwareNoiseModel"]
+
+
+@dataclass(frozen=True)
+class HardwareNoiseModel:
+    """Additive photocurrent-referred noise (uA).
+
+    Parameters
+    ----------
+    thermal_rms_ua:
+        Signal-independent Gaussian noise RMS.
+    shot_coefficient:
+        Shot-noise scaling: the signal-dependent RMS is
+        ``shot_coefficient * sqrt(signal_ua)``.
+    spike_rate_hz:
+        Expected number of transient spikes per second per channel.
+    spike_amplitude_ua:
+        Mean absolute spike height (exponentially distributed).
+    spike_duration_samples:
+        Width of each spike in samples (decaying ramp).
+    """
+
+    thermal_rms_ua: float = 0.008
+    shot_coefficient: float = 0.015
+    spike_rate_hz: float = 0.05
+    spike_amplitude_ua: float = 0.25
+    spike_duration_samples: int = 3
+
+    def __post_init__(self) -> None:
+        if self.thermal_rms_ua < 0 or self.shot_coefficient < 0:
+            raise ValueError("noise magnitudes must be non-negative")
+        if self.spike_rate_hz < 0:
+            raise ValueError("spike_rate_hz must be non-negative")
+        if self.spike_amplitude_ua < 0:
+            raise ValueError("spike_amplitude_ua must be non-negative")
+        if self.spike_duration_samples < 1:
+            raise ValueError("spike_duration_samples must be >= 1")
+
+    def apply(self, currents_ua: np.ndarray,
+              sample_rate_hz: float,
+              rng: int | np.random.Generator | None = None,
+              averages: int = 1) -> np.ndarray:
+        """Return *currents_ua* with noise added (input is not modified).
+
+        Parameters
+        ----------
+        currents_ua:
+            ``(T,)`` or ``(T, C)`` clean photocurrents.
+        sample_rate_hz:
+            Sampling rate, used to convert the spike rate to a per-sample
+            probability.
+        rng:
+            Seed or generator.
+        averages:
+            Number of fast sub-conversions averaged into each output sample
+            (MCU oversampling).  White thermal/shot noise shrinks by
+            ``sqrt(averages)``; spike transients are slower than the
+            sub-conversion burst and are unaffected.
+        """
+        if sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        if averages < 1:
+            raise ValueError("averages must be >= 1")
+        rng = ensure_rng(rng)
+        clean = np.asarray(currents_ua, dtype=np.float64)
+        noisy = clean.copy()
+
+        rms = np.sqrt(self.thermal_rms_ua ** 2
+                      + (self.shot_coefficient ** 2) * np.maximum(clean, 0.0))
+        rms = rms / np.sqrt(averages)
+        noisy += rng.normal(0.0, 1.0, size=clean.shape) * rms
+
+        flat = noisy.reshape(len(noisy), -1)
+        p_spike = self.spike_rate_hz / sample_rate_hz
+        if p_spike > 0 and self.spike_amplitude_ua > 0:
+            for ch in range(flat.shape[1]):
+                hits = np.nonzero(rng.random(len(flat)) < p_spike)[0]
+                for t0 in hits:
+                    height = (rng.exponential(self.spike_amplitude_ua)
+                              * rng.choice([-1.0, 1.0]))
+                    for k in range(self.spike_duration_samples):
+                        if t0 + k < len(flat):
+                            flat[t0 + k, ch] += height * (
+                                1.0 - k / self.spike_duration_samples)
+        return noisy
+
+    def quiet(self) -> "HardwareNoiseModel":
+        """A copy with the spike process disabled (clean-bench condition)."""
+        return HardwareNoiseModel(
+            thermal_rms_ua=self.thermal_rms_ua,
+            shot_coefficient=self.shot_coefficient,
+            spike_rate_hz=0.0,
+            spike_amplitude_ua=0.0,
+            spike_duration_samples=self.spike_duration_samples)

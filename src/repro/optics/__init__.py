@@ -1,0 +1,64 @@
+"""NIR radiometry substrate.
+
+This subpackage is the simulated replacement for the paper's custom hardware:
+two 940 nm NIR LEDs (304IRC-94, 20 deg FoV) and three NIR photodiodes (304PT,
+700-1000 nm, 80 deg FoV) arranged alternately behind a 3D-printed black
+shield.  It implements a physically-structured forward model
+
+    photocurrent = sum over (LED, patch) of Lambertian-reflected flux
+                 + direct LED->PD crosstalk
+                 + ambient NIR irradiance through the shield aperture
+
+so that the time-series Received Signal Strength (RSS) observed by the
+recognition pipeline has the same structural properties the paper's
+algorithms exploit: gesture-unique temporal patterns, a quasi-static
+hand-reflection offset, additive ambient drift, per-photodiode onset ordering
+for scroll gestures, and amplitude that falls with the square of the finger
+distance.
+
+All distances are in millimetres, areas in mm^2, time in seconds, and
+photocurrents in microamps.
+"""
+
+from repro.optics.geometry import (
+    normalize,
+    angle_between,
+    rotate_about_axis,
+    cosine_power_exponent,
+)
+from repro.optics.materials import Material, SKIN, HAND_BACK, CLOTH, PLASTIC
+from repro.optics.emitter import NirLed
+from repro.optics.photodiode import Photodiode
+from repro.optics.shield import Shield
+from repro.optics.array import (
+    SensorArray,
+    SensorElement,
+    airfinger_array,
+    cross_array,
+    single_pair_array,
+)
+from repro.optics.scene import ReflectivePatch, Scene
+from repro.optics.engine import RadiometricEngine
+
+__all__ = [
+    "normalize",
+    "angle_between",
+    "rotate_about_axis",
+    "cosine_power_exponent",
+    "Material",
+    "SKIN",
+    "HAND_BACK",
+    "CLOTH",
+    "PLASTIC",
+    "NirLed",
+    "Photodiode",
+    "Shield",
+    "SensorArray",
+    "SensorElement",
+    "airfinger_array",
+    "cross_array",
+    "single_pair_array",
+    "ReflectivePatch",
+    "Scene",
+    "RadiometricEngine",
+]

@@ -1,0 +1,236 @@
+"""Sensor array layouts: alternating NIR LEDs and photodiodes behind a shield.
+
+The airFinger prototype places two LEDs and three photodiodes side by side in
+interval distribution — along the scroll axis the order is::
+
+    P1   L1   P2   L2   P3
+    x=-12 -6   0    6   12   (mm, 6 mm pitch for 3 mm parts with clearance)
+
+so that a finger inside ``IL1`` (the irradiation cone of L1) reflects into P1
+and P2, and a finger inside ``IL2`` reflects into P2 and P3 (Fig. 6 of the
+paper).  All elements face +Z; the sensing volume is above the XY plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.optics.emitter import NirLed
+from repro.optics.photodiode import Photodiode
+from repro.optics.shield import Shield
+
+__all__ = ["SensorElement", "SensorArray", "airfinger_array",
+           "single_pair_array", "cross_array"]
+
+_UP = np.array([0.0, 0.0, 1.0])
+
+
+@dataclass(frozen=True)
+class SensorElement:
+    """One LED or photodiode mounted on the board.
+
+    Parameters
+    ----------
+    name:
+        Identifier such as ``"L1"`` or ``"P2"``.
+    kind:
+        Either ``"led"`` or ``"pd"``.
+    position_mm:
+        3-vector board position (millimetres).
+    device:
+        The :class:`NirLed` or :class:`Photodiode` model.
+    axis:
+        Boresight unit vector; defaults to +Z.
+    """
+
+    name: str
+    kind: str
+    position_mm: tuple[float, float, float]
+    device: NirLed | Photodiode
+    axis: tuple[float, float, float] = (0.0, 0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("led", "pd"):
+            raise ValueError(f"kind must be 'led' or 'pd', got {self.kind!r}")
+        if self.kind == "led" and not isinstance(self.device, NirLed):
+            raise TypeError(f"element {self.name}: kind 'led' requires a NirLed")
+        if self.kind == "pd" and not isinstance(self.device, Photodiode):
+            raise TypeError(f"element {self.name}: kind 'pd' requires a Photodiode")
+        axis = np.asarray(self.axis, dtype=np.float64)
+        norm = np.linalg.norm(axis)
+        if norm < 1e-9:
+            raise ValueError(f"element {self.name}: axis must be non-zero")
+
+    @property
+    def position(self) -> np.ndarray:
+        """Board position as a numpy 3-vector."""
+        return np.asarray(self.position_mm, dtype=np.float64)
+
+    @property
+    def axis_vector(self) -> np.ndarray:
+        """Unit boresight vector."""
+        axis = np.asarray(self.axis, dtype=np.float64)
+        return axis / np.linalg.norm(axis)
+
+
+@dataclass(frozen=True)
+class SensorArray:
+    """A board of LEDs and photodiodes sharing one shield.
+
+    The element order of :attr:`photodiodes` defines the channel order of
+    every RSS matrix produced by the radiometric engine.
+    """
+
+    elements: tuple[SensorElement, ...]
+    shield: Shield = field(default_factory=Shield)
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise ValueError("a sensor array needs at least one element")
+        names = [e.name for e in self.elements]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate element names in array: {names}")
+        if not any(e.kind == "led" for e in self.elements):
+            raise ValueError("array must contain at least one LED")
+        if not any(e.kind == "pd" for e in self.elements):
+            raise ValueError("array must contain at least one photodiode")
+
+    @property
+    def leds(self) -> tuple[SensorElement, ...]:
+        """LED elements in board order."""
+        return tuple(e for e in self.elements if e.kind == "led")
+
+    @property
+    def photodiodes(self) -> tuple[SensorElement, ...]:
+        """Photodiode elements in board order (the RSS channel order)."""
+        return tuple(e for e in self.elements if e.kind == "pd")
+
+    @property
+    def n_channels(self) -> int:
+        """Number of photodiode channels."""
+        return len(self.photodiodes)
+
+    @property
+    def channel_names(self) -> tuple[str, ...]:
+        """Photodiode names in channel order."""
+        return tuple(e.name for e in self.photodiodes)
+
+    def channel_index(self, name: str) -> int:
+        """Index of photodiode *name* in the RSS channel order."""
+        for i, e in enumerate(self.photodiodes):
+            if e.name == name:
+                return i
+        raise KeyError(f"no photodiode named {name!r} "
+                       f"(have {self.channel_names})")
+
+    def element(self, name: str) -> SensorElement:
+        """Look up any element by name."""
+        for e in self.elements:
+            if e.name == name:
+                return e
+        raise KeyError(f"no element named {name!r}")
+
+    def scroll_axis_span_mm(self) -> float:
+        """Distance between the outermost photodiodes along the board.
+
+        This is the baseline ``d(P1, P3)`` that the ZEBRA algorithm divides
+        by the onset time difference to estimate scroll velocity.
+        """
+        pds = self.photodiodes
+        if len(pds) < 2:
+            return 0.0
+        positions = np.stack([p.position for p in pds])
+        return float(np.linalg.norm(positions[-1] - positions[0]))
+
+    def __iter__(self) -> Iterator[SensorElement]:
+        return iter(self.elements)
+
+
+def airfinger_array(pitch_mm: float = 6.0,
+                    led: NirLed | None = None,
+                    pd: Photodiode | None = None,
+                    shield: Shield | None = None) -> SensorArray:
+    """Build the paper's five-element prototype: P1 L1 P2 L2 P3 along X.
+
+    Parameters
+    ----------
+    pitch_mm:
+        Centre-to-centre spacing of adjacent elements.  3 mm parts mounted
+        side by side with clearance give roughly 6 mm.
+    led, pd, shield:
+        Component models; defaults are the datasheet-parameterized parts.
+    """
+    if pitch_mm <= 0.0:
+        raise ValueError(f"pitch_mm must be positive, got {pitch_mm}")
+    led = led or NirLed()
+    pd = pd or Photodiode()
+    shield = shield or Shield()
+    order = [("P1", "pd"), ("L1", "led"), ("P2", "pd"), ("L2", "led"), ("P3", "pd")]
+    x0 = -pitch_mm * (len(order) - 1) / 2.0
+    elements = []
+    for i, (name, kind) in enumerate(order):
+        device: NirLed | Photodiode = led if kind == "led" else pd
+        elements.append(SensorElement(
+            name=name, kind=kind,
+            position_mm=(x0 + i * pitch_mm, 0.0, 0.0),
+            device=device))
+    return SensorArray(elements=tuple(elements), shield=shield)
+
+
+def cross_array(pitch_mm: float = 6.0,
+                led: NirLed | None = None,
+                pd: Photodiode | None = None,
+                shield: Shield | None = None) -> SensorArray:
+    """A two-axis board for 2-D tracking (the Section VI extension).
+
+    Two orthogonal five-element lines share the central photodiode::
+
+                      P4
+                      L3
+            P1  L1  P2  L2  P3        (x axis)
+                      L4
+                      P5               (y axis)
+
+    Channel order: ``P1, P2, P3, P4, P5`` — the x-axis outer pair is
+    ``(P1, P3)`` and the y-axis outer pair is ``(P4, P5)``.
+    """
+    if pitch_mm <= 0.0:
+        raise ValueError(f"pitch_mm must be positive, got {pitch_mm}")
+    led = led or NirLed()
+    pd = pd or Photodiode()
+    shield = shield or Shield()
+    p = pitch_mm
+    elements = (
+        SensorElement("P1", "pd", (-2 * p, 0.0, 0.0), pd),
+        SensorElement("L1", "led", (-p, 0.0, 0.0), led),
+        SensorElement("P2", "pd", (0.0, 0.0, 0.0), pd),
+        SensorElement("L2", "led", (p, 0.0, 0.0), led),
+        SensorElement("P3", "pd", (2 * p, 0.0, 0.0), pd),
+        SensorElement("P4", "pd", (0.0, -2 * p, 0.0), pd),
+        SensorElement("L3", "led", (0.0, -p, 0.0), led),
+        SensorElement("L4", "led", (0.0, p, 0.0), led),
+        SensorElement("P5", "pd", (0.0, 2 * p, 0.0), pd),
+    )
+    return SensorArray(elements=elements, shield=shield)
+
+
+def single_pair_array(gap_mm: float = 6.0,
+                      led: NirLed | None = None,
+                      pd: Photodiode | None = None,
+                      shield: Shield | None = None) -> SensorArray:
+    """One LED and one PD side by side — the Section III-B exploration rig."""
+    if gap_mm <= 0.0:
+        raise ValueError(f"gap_mm must be positive, got {gap_mm}")
+    led = led or NirLed()
+    pd = pd or Photodiode()
+    shield = shield or Shield()
+    elements = (
+        SensorElement(name="L1", kind="led",
+                      position_mm=(-gap_mm / 2.0, 0.0, 0.0), device=led),
+        SensorElement(name="P1", kind="pd",
+                      position_mm=(gap_mm / 2.0, 0.0, 0.0), device=pd),
+    )
+    return SensorArray(elements=elements, shield=shield)

@@ -1,0 +1,79 @@
+"""Small 3-D geometry helpers used by the radiometric model.
+
+Vectors are plain ``numpy`` arrays of shape ``(3,)`` or batches of shape
+``(T, 3)``.  All helpers are vectorized over the leading axis.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "normalize",
+    "angle_between",
+    "rotate_about_axis",
+    "cosine_power_exponent",
+    "batch_dot",
+]
+
+_EPS = 1e-12
+
+
+def normalize(vectors: np.ndarray) -> np.ndarray:
+    """Return unit vectors along the last axis.
+
+    Zero vectors are returned unchanged (rather than dividing by zero) so a
+    degenerate patch simply contributes no flux.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    safe = np.where(norms < _EPS, 1.0, norms)
+    return vectors / safe
+
+
+def batch_dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise dot product of two ``(..., 3)`` arrays."""
+    return np.sum(np.asarray(a, dtype=np.float64) * np.asarray(b, dtype=np.float64),
+                  axis=-1)
+
+
+def angle_between(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Angle in radians between vectors (row-wise for batches)."""
+    an = normalize(a)
+    bn = normalize(b)
+    cosv = np.clip(batch_dot(an, bn), -1.0, 1.0)
+    return np.arccos(cosv)
+
+
+def rotate_about_axis(vectors: np.ndarray, axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rotate *vectors* about *axis* by *angle* radians (Rodrigues formula)."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    k = normalize(np.asarray(axis, dtype=np.float64))
+    if k.ndim != 1 or k.shape[0] != 3:
+        raise ValueError(f"axis must be a single 3-vector, got shape {k.shape}")
+    cos_a = math.cos(angle)
+    sin_a = math.sin(angle)
+    cross = np.cross(np.broadcast_to(k, vectors.shape), vectors) * -1.0
+    # Rodrigues: v' = v cos + (k x v) sin + k (k . v)(1 - cos)
+    k_dot_v = batch_dot(np.broadcast_to(k, vectors.shape), vectors)
+    return (vectors * cos_a
+            - cross * sin_a
+            + np.multiply.outer(k_dot_v, k) * (1.0 - cos_a))
+
+
+def cosine_power_exponent(half_angle_deg: float) -> float:
+    """Exponent ``m`` of a ``cos(theta)^m`` lobe with the given half-power angle.
+
+    A part datasheet quotes the full field of view at half intensity; e.g. the
+    304IRC-94 LED has a 20 deg FoV, i.e. intensity drops to 50% at 10 deg off
+    axis.  The matching Lambertian-like lobe satisfies
+    ``cos(half_angle)^m = 0.5``.
+    """
+    half_angle_deg = float(half_angle_deg)
+    if not 0.0 < half_angle_deg < 90.0:
+        raise ValueError(
+            f"half-power angle must be in (0, 90) degrees, got {half_angle_deg}")
+    c = math.cos(math.radians(half_angle_deg))
+    return math.log(0.5) / math.log(c)

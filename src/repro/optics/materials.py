@@ -1,0 +1,92 @@
+"""Reflectance models for the surfaces the sensor sees.
+
+The paper cites Meglinski & Matcher (Physiological Measurement, 2002) for the
+observation that human skin absorbs only a tiny amount of NIR around 940 nm;
+most is reflected.  We model each surface as a Lambertian reflector with a
+wavelength-dependent diffuse reflectance obtained from a small piecewise-
+linear spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Material", "SKIN", "HAND_BACK", "CLOTH", "PLASTIC", "MATTE_BLACK"]
+
+
+@dataclass(frozen=True)
+class Material:
+    """A Lambertian surface with a piecewise-linear reflectance spectrum.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    wavelengths_nm:
+        Monotonically increasing sample wavelengths.
+    reflectances:
+        Diffuse reflectance (0..1) at each sample wavelength.
+    """
+
+    name: str
+    wavelengths_nm: tuple[float, ...] = field(default=(740.0, 1400.0))
+    reflectances: tuple[float, ...] = field(default=(0.5, 0.5))
+
+    def __post_init__(self) -> None:
+        if len(self.wavelengths_nm) != len(self.reflectances):
+            raise ValueError("wavelengths and reflectances must have equal length")
+        if len(self.wavelengths_nm) < 2:
+            raise ValueError("a spectrum needs at least two sample points")
+        wl = np.asarray(self.wavelengths_nm)
+        if np.any(np.diff(wl) <= 0):
+            raise ValueError("wavelengths must be strictly increasing")
+        refl = np.asarray(self.reflectances)
+        if np.any(refl < 0.0) or np.any(refl > 1.0):
+            raise ValueError("reflectance values must be within [0, 1]")
+
+    def reflectance(self, wavelength_nm: float) -> float:
+        """Interpolated diffuse reflectance at *wavelength_nm* (clamped at ends)."""
+        return float(np.interp(wavelength_nm,
+                               self.wavelengths_nm,
+                               self.reflectances))
+
+
+# Fingertip skin: high NIR reflectance around 940nm (Meglinski & Matcher 2002
+# report skin reflectance of roughly 0.4-0.6 in the 700-1000nm band, peaking
+# near the optical window).
+SKIN = Material(
+    name="skin",
+    wavelengths_nm=(700.0, 800.0, 900.0, 940.0, 1000.0, 1100.0, 1400.0),
+    reflectances=(0.42, 0.52, 0.56, 0.55, 0.50, 0.44, 0.25),
+)
+
+# Back of the hand: skin again but seen at a grazing angle and partly shaded;
+# we fold that into a lower effective reflectance.
+HAND_BACK = Material(
+    name="hand_back",
+    wavelengths_nm=(700.0, 940.0, 1400.0),
+    reflectances=(0.30, 0.38, 0.18),
+)
+
+# A shirt sleeve or similar fabric moving near the sensor.
+CLOTH = Material(
+    name="cloth",
+    wavelengths_nm=(700.0, 940.0, 1400.0),
+    reflectances=(0.55, 0.60, 0.45),
+)
+
+# A plastic object (phone, pen) passing through the field of view.
+PLASTIC = Material(
+    name="plastic",
+    wavelengths_nm=(700.0, 940.0, 1400.0),
+    reflectances=(0.25, 0.22, 0.20),
+)
+
+# The 3D-printed shield interior: deliberately near-black at NIR.
+MATTE_BLACK = Material(
+    name="matte_black",
+    wavelengths_nm=(700.0, 940.0, 1400.0),
+    reflectances=(0.04, 0.04, 0.04),
+)

@@ -1,0 +1,138 @@
+"""Scene description: reflective patches moving above the sensor plus ambient NIR.
+
+A scene is a time-sampled description of everything optically relevant to the
+sensor over one recording: the fingertip patch performing the gesture, the
+quasi-static hand-back patch behind it (the paper's ``N_static``), optional
+bystander objects (part of ``N_dyn``), and the ambient NIR irradiance
+waveform (sunlight and other NIR sources, the rest of ``N_dyn``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.optics.geometry import normalize
+from repro.optics.materials import Material, SKIN
+
+__all__ = ["ReflectivePatch", "Scene"]
+
+
+@dataclass
+class ReflectivePatch:
+    """A small Lambertian surface element moving through the sensing volume.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"fingertip"``.
+    positions_mm:
+        ``(T, 3)`` patch centre trajectory in the sensor frame.
+    normals:
+        ``(T, 3)`` outward surface normals (need not be pre-normalized), or a
+        single ``(3,)`` vector broadcast over time.  For a fingertip facing
+        the board this is roughly ``(0, 0, -1)``.
+    area_mm2:
+        Effective reflecting area; scalar or per-sample ``(T,)`` array.
+    material:
+        Reflectance model; defaults to skin.
+    """
+
+    name: str
+    positions_mm: np.ndarray
+    normals: np.ndarray = field(
+        default_factory=lambda: np.array([0.0, 0.0, -1.0]))
+    area_mm2: float | np.ndarray = 80.0
+    material: Material = SKIN
+
+    def __post_init__(self) -> None:
+        self.positions_mm = np.atleast_2d(
+            np.asarray(self.positions_mm, dtype=np.float64))
+        if self.positions_mm.shape[-1] != 3:
+            raise ValueError(
+                f"patch {self.name}: positions must be (T, 3), "
+                f"got {self.positions_mm.shape}")
+        n = np.asarray(self.normals, dtype=np.float64)
+        if n.ndim == 1:
+            n = np.broadcast_to(n, self.positions_mm.shape).copy()
+        if n.shape != self.positions_mm.shape:
+            raise ValueError(
+                f"patch {self.name}: normals shape {n.shape} does not match "
+                f"positions shape {self.positions_mm.shape}")
+        self.normals = normalize(n)
+        area = np.asarray(self.area_mm2, dtype=np.float64)
+        if area.ndim == 0:
+            area = np.full(len(self.positions_mm), float(area))
+        if area.shape != (len(self.positions_mm),):
+            raise ValueError(
+                f"patch {self.name}: area must be scalar or (T,), got {area.shape}")
+        if np.any(area < 0.0):
+            raise ValueError(f"patch {self.name}: area must be non-negative")
+        self.area_mm2 = area
+
+    @property
+    def n_samples(self) -> int:
+        """Number of time samples in the trajectory."""
+        return len(self.positions_mm)
+
+
+@dataclass
+class Scene:
+    """Everything the sensor sees during one recording.
+
+    Parameters
+    ----------
+    times_s:
+        ``(T,)`` sample timestamps (uniform spacing is expected by the
+        acquisition layer but not required here).
+    patches:
+        Reflective surfaces; all must share the time base length.
+    ambient_mw_mm2:
+        In-band ambient NIR irradiance falling on the board per sample, as a
+        ``(T,)`` array or a scalar held constant.  This is the value *before*
+        the shield's ambient acceptance is applied.
+    """
+
+    times_s: np.ndarray
+    patches: list[ReflectivePatch] = field(default_factory=list)
+    ambient_mw_mm2: float | np.ndarray = 0.0
+
+    def __post_init__(self) -> None:
+        self.times_s = np.asarray(self.times_s, dtype=np.float64).ravel()
+        if self.times_s.size == 0:
+            raise ValueError("scene needs at least one time sample")
+        if np.any(np.diff(self.times_s) < 0):
+            raise ValueError("times_s must be non-decreasing")
+        for patch in self.patches:
+            if patch.n_samples != self.n_samples:
+                raise ValueError(
+                    f"patch {patch.name} has {patch.n_samples} samples, "
+                    f"scene has {self.n_samples}")
+        amb = np.asarray(self.ambient_mw_mm2, dtype=np.float64)
+        if amb.ndim == 0:
+            amb = np.full(self.n_samples, float(amb))
+        if amb.shape != (self.n_samples,):
+            raise ValueError(
+                f"ambient must be scalar or (T,), got shape {amb.shape}")
+        if np.any(amb < 0.0):
+            raise ValueError("ambient irradiance must be non-negative")
+        self.ambient_mw_mm2 = amb
+
+    @property
+    def n_samples(self) -> int:
+        """Number of time samples."""
+        return self.times_s.size
+
+    @property
+    def duration_s(self) -> float:
+        """Recording duration in seconds."""
+        return float(self.times_s[-1] - self.times_s[0])
+
+    def add_patch(self, patch: ReflectivePatch) -> None:
+        """Append a patch, enforcing the shared time base."""
+        if patch.n_samples != self.n_samples:
+            raise ValueError(
+                f"patch {patch.name} has {patch.n_samples} samples, "
+                f"scene has {self.n_samples}")
+        self.patches.append(patch)

@@ -1,0 +1,37 @@
+"""Energy and power accounting for the sensing front end.
+
+A core claim of the paper is energy efficiency: "The total power consumed
+by the PDs and LEDs is highly efficient, 24 mW excluding the consumption
+of microcontroller" (Section V-A), which is what makes NIR sensing
+attractive against Soli-style radar.  This subpackage models the
+electrical budget of every component and the duty-cycling schemes a
+wearable integration would use, so the claim can be reproduced and
+design-space questions (battery life, wake-on-motion) can be answered
+quantitatively.
+"""
+
+from repro.power.components import (
+    ComponentPower,
+    AMPLIFIER,
+    ADC_UNIT,
+    BLUETOOTH_LE,
+    LED_304IRC94,
+    MCU_ACTIVE,
+    MCU_SLEEP,
+    PHOTODIODE_304PT,
+)
+from repro.power.budget import PowerBudget, DutyCycle, battery_life_hours
+
+__all__ = [
+    "ComponentPower",
+    "LED_304IRC94",
+    "PHOTODIODE_304PT",
+    "AMPLIFIER",
+    "ADC_UNIT",
+    "MCU_ACTIVE",
+    "MCU_SLEEP",
+    "BLUETOOTH_LE",
+    "PowerBudget",
+    "DutyCycle",
+    "battery_life_hours",
+]

@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic corpora and hardware models.
+
+Expensive artifacts (campaign corpora, feature matrices) are session-scoped
+so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition import SensorSampler
+from repro.core.config import AirFingerConfig
+from repro.datasets import CampaignConfig, CampaignGenerator
+from repro.eval.protocols import compute_features
+from repro.hand.gestures import GestureSpec, synthesize_gesture
+from repro.hand.finger import scene_for_trajectory
+from repro.noise.ambient import indoor_ambient
+from repro.optics.array import airfinger_array
+
+
+@pytest.fixture(scope="session")
+def array():
+    """The default five-element board."""
+    return airfinger_array()
+
+
+@pytest.fixture(scope="session")
+def sampler(array):
+    """Default capture chain."""
+    return SensorSampler(array=array)
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Paper-default stack configuration."""
+    return AirFingerConfig()
+
+
+@pytest.fixture(scope="session")
+def generator():
+    """A small 3-user campaign generator."""
+    return CampaignGenerator(CampaignConfig(
+        n_users=3, n_sessions=2, repetitions=3, seed=2020))
+
+
+@pytest.fixture(scope="session")
+def small_corpus(generator):
+    """3 users x 2 sessions x 8 gestures x 2 reps = 96 samples."""
+    return generator.main_campaign(repetitions=2)
+
+
+@pytest.fixture(scope="session")
+def small_features(small_corpus):
+    """Full-registry feature matrix of the small corpus."""
+    return compute_features(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def gesture_recording(sampler):
+    """One clean circle recording at 22 mm."""
+    spec = GestureSpec(name="circle", distance_mm=22.0)
+    traj = synthesize_gesture(spec, rng=7)
+    amb = indoor_ambient().irradiance(traj.times_s, rng=7)
+    scene = scene_for_trajectory(traj, ambient_mw_mm2=amb, rng=7)
+    return sampler.record(scene, rng=7, label="circle", meta=traj.meta)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(123)

@@ -1,0 +1,47 @@
+"""Integration: the full CLI workflow on one corpus."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli_flow")
+    corpus = root / "corpus.npz"
+    assert main(["generate", "--users", "3", "--sessions", "2",
+                 "--reps", "2", "--out", str(corpus)]) == 0
+    return root, corpus
+
+
+class TestFullCliFlow:
+    def test_report_command(self, workspace, capsys):
+        root, corpus = workspace
+        report = root / "report.md"
+        assert main(["report", "--corpus", str(corpus),
+                     "--out", str(report)]) == 0
+        text = report.read_text()
+        assert "airFinger evaluation report" in text
+        assert "Fig. 10 protocol" in text
+
+    def test_train_then_demo_roundtrip(self, workspace, capsys):
+        root, corpus = workspace
+        stack = root / "stack.json"
+        assert main(["train", "--corpus", str(corpus),
+                     "--out", str(stack), "--trees", "15"]) == 0
+        payload = json.loads(stack.read_text())
+        assert payload["detector"]["model"]["kind"] == "random_forest"
+        assert main(["demo", "--stack", str(stack), "--user", "1",
+                     "--gestures", "circle,scroll_down"]) == 0
+        out = capsys.readouterr().out
+        assert "segment" in out
+
+    def test_evaluate_overall(self, workspace, capsys):
+        _, corpus = workspace
+        assert main(["evaluate", "--corpus", str(corpus),
+                     "--protocol", "overall"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "circle" in out

@@ -1,0 +1,123 @@
+"""Integration tests: the full stack from campaign to live recognition."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectAimedRecognizer
+from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
+from repro.core.interference import InterferenceFilter
+from repro.core.pipeline import AirFinger
+from repro.eval.protocols import (
+    compute_features,
+    distinguisher_performance,
+    overall_detect_performance,
+    track_direction_accuracy,
+    unintentional_motion_performance,
+)
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+
+
+@pytest.fixture(scope="module")
+def training(generator):
+    """A shared training corpus (3 users x 2 sessions x 8 gestures x 3)."""
+    corpus = generator.main_campaign(repetitions=3)
+    return corpus, compute_features(corpus)
+
+
+class TestRecognitionQuality:
+    def test_detect_accuracy_band(self, training):
+        corpus, X = training
+        res = overall_detect_performance(corpus, X=X, n_splits=3)
+        # small corpus, so the band is generous; paper reports 98.4%
+        assert res.accuracy > 0.80
+
+    def test_rf_beats_bnb(self, training):
+        corpus, X = training
+        rf = overall_detect_performance(corpus, X=X, n_splits=3)
+        bnb = overall_detect_performance(
+            corpus, X=X, n_splits=3, model_factory=BernoulliNaiveBayes)
+        assert rf.accuracy > bnb.accuracy
+
+    def test_scroll_directions(self, training):
+        corpus, _ = training
+        res = track_direction_accuracy(corpus)
+        assert res.average_direction_accuracy > 0.9
+
+    def test_distinguisher(self, training):
+        corpus, _ = training
+        res = distinguisher_performance(corpus)
+        assert res.summary.accuracy > 0.9
+
+    def test_interference_filter(self, generator):
+        corpus = generator.interference_campaign(
+            users=(0, 1, 2), sessions=(0,), gestures_per_session=10,
+            nongestures_per_session=10)
+        res = unintentional_motion_performance(corpus, n_splits=3)
+        assert res.summary.accuracy > 0.75
+
+
+class TestLivePipeline:
+    def test_stream_recognition_end_to_end(self, generator, training):
+        corpus, _ = training
+        detect_only = corpus.filter(lambda s: not s.is_track_aimed)
+        detector = DetectAimedRecognizer().fit(
+            detect_only.signals(), detect_only.labels)
+
+        engine = AirFinger(detector=detector)
+        sequence = ["click", "scroll_up", "circle"]
+        stream = generator.stream(1, sequence, idle_s=1.0)
+        events = engine.feed_recording(stream.recording)
+
+        segments = [e for e in events if isinstance(e, SegmentEvent)]
+        # the 3 gestures plus pose transitions the hand makes between them
+        assert len(segments) >= 3
+
+        truth = [(n, s, e) for n, s, e in stream.recording.meta["segments"]
+                 if n != "idle"]
+        scrolls = [e for e in events
+                   if isinstance(e, ScrollUpdate) and e.final]
+        up = [e for e in scrolls if e.direction == 1]
+        assert len(up) >= 1
+        # the scroll_up event overlaps its ground truth
+        _, s, e = next(t for t in truth if t[0] == "scroll_up")
+        assert any(min(e, x.segment.end_index) - max(s, x.segment.start_index)
+                   > 0.3 * (e - s) for x in up)
+
+        gestures = [e for e in events if isinstance(e, GestureEvent)]
+        assert len(gestures) >= 2  # the two detect-aimed gestures (at least)
+
+    def test_pipeline_with_interference_filter(self, generator, training):
+        corpus, _ = training
+        inter = generator.interference_campaign(
+            users=(0, 1), sessions=(0,), gestures_per_session=8,
+            nongestures_per_session=8)
+        filt = InterferenceFilter().fit(
+            inter.signals(), [s.is_gesture for s in inter])
+        detect_only = corpus.filter(lambda s: not s.is_track_aimed)
+        detector = DetectAimedRecognizer().fit(
+            detect_only.signals(), detect_only.labels)
+
+        engine = AirFinger(detector=detector, interference_filter=filt)
+        stream = generator.stream(0, ["circle", "scratch", "click"],
+                                  idle_s=1.0)
+        events = engine.feed_recording(stream.recording)
+        gestures = [e for e in events if isinstance(e, GestureEvent)]
+        assert gestures  # at least some decisions made
+        # every event carries a valid confidence
+        for g in gestures:
+            assert 0.0 <= g.confidence <= 1.0
+
+
+class TestDeterminism:
+    def test_full_replication(self, generator):
+        a = generator.main_campaign(gestures=("circle",), users=(0,),
+                                    sessions=(0,), repetitions=2)
+        b = generator.main_campaign(gestures=("circle",), users=(0,),
+                                    sessions=(0,), repetitions=2)
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(sa.recording.rss, sb.recording.rss)
+
+    def test_feature_pipeline_deterministic(self, training):
+        corpus, X = training
+        X2 = compute_features(corpus)
+        np.testing.assert_array_equal(np.asarray(X), np.asarray(X2))

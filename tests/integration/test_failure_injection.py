@@ -1,0 +1,155 @@
+"""Failure injection: the live pipeline facing degraded hardware.
+
+The paper's prototype is a single hand-soldered board; a shipped product
+sees dead photodiodes, pinned ADC channels, and power-on glitches.  These
+tests corrupt otherwise-valid streams and assert the engine's contract:
+**never crash, never emit malformed events**, and degrade detection
+gracefully rather than catastrophically.  They complement the corrupted
+*link* tests in ``test_transport_and_persistence.py``, which exercise the
+wire protocol rather than the sensor itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import SensorCalibrator
+from repro.core.detector import DetectAimedRecognizer
+from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
+from repro.core.pipeline import AirFinger
+from repro.acquisition.sampler import Recording
+
+
+@pytest.fixture(scope="module")
+def detector(generator):
+    corpus = generator.main_campaign(repetitions=3)
+    detect_only = corpus.filter(lambda s: not s.is_track_aimed)
+    return DetectAimedRecognizer().fit(
+        detect_only.signals(), detect_only.labels)
+
+
+@pytest.fixture(scope="module")
+def stream(generator):
+    return generator.stream(0, ["click", "scroll_up", "circle"], idle_s=1.0)
+
+
+def _with_rss(recording: Recording, rss: np.ndarray) -> Recording:
+    return replace(recording, rss=rss)
+
+
+def _assert_events_well_formed(events):
+    for event in events:
+        if isinstance(event, GestureEvent):
+            assert 0.0 <= event.confidence <= 1.0
+            assert event.label
+            assert event.segment.end_index > event.segment.start_index
+        elif isinstance(event, ScrollUpdate):
+            assert event.direction in (-1, 0, 1)
+        elif isinstance(event, SegmentEvent):
+            assert event.end_index > event.start_index
+
+
+class TestDeadChannel:
+    def test_pipeline_survives_dead_channel(self, detector, stream):
+        rss = stream.recording.rss.copy()
+        rss[:, 1] = 0.0  # P2 disconnected from power-on
+        events = AirFinger(detector=detector).feed_recording(
+            _with_rss(stream.recording, rss))
+        _assert_events_well_formed(events)
+        # the remaining four channels still carry the gesture energy
+        assert any(isinstance(e, SegmentEvent) for e in events)
+
+    def test_channel_dies_mid_stream(self, detector, stream):
+        rss = stream.recording.rss.copy()
+        rss[len(rss) // 2:, 0] = 0.0  # P1 fails halfway through
+        events = AirFinger(detector=detector).feed_recording(
+            _with_rss(stream.recording, rss))
+        _assert_events_well_formed(events)
+
+    def test_calibration_flags_what_the_pipeline_sees(self, stream):
+        """Power-on health check catches the fault before recognition."""
+        rss = stream.recording.rss.copy()
+        rss[:, 1] = 0.0
+        idle = rss[:64]  # power-on idle window
+        result = SensorCalibrator().calibrate(
+            idle, channel_names=stream.recording.channel_names)
+        assert result.health[1].status == "dead"
+        assert not result.all_usable
+
+
+class TestSaturation:
+    def test_pinned_channel(self, detector, stream):
+        rss = stream.recording.rss.copy()
+        rss[:, 2] = 1023.0  # P3 pinned at full scale (direct sun on it)
+        events = AirFinger(detector=detector).feed_recording(
+            _with_rss(stream.recording, rss))
+        _assert_events_well_formed(events)
+
+    def test_transient_glitch_burst(self, detector, stream):
+        """A 50 ms all-channel glitch must not wedge the segmenter."""
+        rss = stream.recording.rss.copy()
+        rss[100:105, :] = 1023.0
+        engine = AirFinger(detector=detector)
+        events = engine.feed_recording(_with_rss(stream.recording, rss))
+        _assert_events_well_formed(events)
+        # the engine keeps segmenting after the glitch
+        assert any(isinstance(e, SegmentEvent) and e.start_index > 105
+                   for e in events)
+
+
+class TestDegenerateStreams:
+    def test_empty_recording(self, detector, stream):
+        n_ch = len(stream.recording.channel_names)
+        empty = Recording(times_s=np.zeros(0),
+                          rss=np.zeros((0, n_ch)),
+                          channel_names=stream.recording.channel_names)
+        events = AirFinger(detector=detector).feed_recording(empty)
+        assert events == []
+
+    def test_too_short_to_segment(self, detector, stream):
+        short = replace(stream.recording,
+                        times_s=stream.recording.times_s[:10],
+                        rss=stream.recording.rss[:10])
+        events = AirFinger(detector=detector).feed_recording(short)
+        assert not any(isinstance(e, GestureEvent) for e in events)
+
+    def test_constant_signal_yields_no_gestures(self, detector, stream):
+        flat = np.full_like(stream.recording.rss, 180.0)
+        events = AirFinger(detector=detector).feed_recording(
+            _with_rss(stream.recording, flat))
+        assert not any(isinstance(e, GestureEvent) for e in events)
+
+    def test_reset_clears_state_between_streams(self, detector, stream):
+        """Replaying the same stream after reset gives the same events."""
+        engine = AirFinger(detector=detector)
+        first = engine.feed_recording(stream.recording)
+        engine.reset()
+        second = engine.feed_recording(stream.recording)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert type(a) is type(b)
+
+
+class TestGracefulDegradation:
+    def test_one_dead_channel_still_detects_something(self, detector,
+                                                      generator):
+        """Four healthy channels retain enough signal to classify."""
+        corpus = generator.main_campaign(
+            users=(0,), sessions=(0,), repetitions=3,
+            gestures=("click", "circle"))
+        hits = 0
+        total = 0
+        for sample in corpus:
+            rss = sample.recording.rss.copy()
+            rss[:, -1] = rss[:64].mean()  # last PD stuck at its idle level
+            events = AirFinger(detector=detector).feed_recording(
+                _with_rss(sample.recording, rss))
+            labels = [e.label for e in events
+                      if isinstance(e, GestureEvent)]
+            total += 1
+            hits += sample.label in labels
+        assert total == 6
+        assert hits >= total // 2  # degraded, but far from dead

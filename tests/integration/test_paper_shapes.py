@@ -1,0 +1,80 @@
+"""Integration: the paper's qualitative result *shapes* on one corpus.
+
+These are the relations the paper argues from, asserted jointly on the
+shared session corpus so a regression in any layer (optics, kinematics,
+features, classifiers, protocols) surfaces as a broken shape rather than a
+silently shifted number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocols import (
+    classifier_comparison,
+    distinguisher_performance,
+    gesture_inconsistency,
+    individual_diversity,
+    overall_detect_performance,
+    performance_summary,
+    track_direction_accuracy,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def corpus(generator):
+    return generator.main_campaign(repetitions=3)
+
+
+@pytest.fixture(scope="module")
+def features(corpus):
+    from repro.eval.protocols import compute_features
+    return compute_features(corpus)
+
+
+class TestFig9Shape:
+    def test_rf_wins_bnb_loses(self, corpus, features):
+        table = classifier_comparison(
+            corpus,
+            {"RF": lambda: RandomForestClassifier(30, random_state=7),
+             "DT": lambda: DecisionTreeClassifier(max_depth=10,
+                                                  random_state=7),
+             "BNB": BernoulliNaiveBayes},
+            test_fractions=(0.25, 0.5),
+            X=features)
+        means = {k: np.mean(list(v.values())) for k, v in table.items()}
+        assert means["RF"] >= means["DT"]
+        assert means["RF"] > means["BNB"]
+
+
+class TestFig10to12Shape:
+    def test_transfer_ordering(self, corpus, features):
+        overall = overall_detect_performance(corpus, X=features, n_splits=3)
+        loso = gesture_inconsistency(corpus, X=features)
+        louo = individual_diversity(corpus, X=features)
+        # paper: 98.44% (overall) >= 97.07% (LOSO) >> 83.61% (LOUO)
+        assert overall.accuracy >= louo.accuracy - 0.02
+        assert loso.accuracy >= louo.accuracy - 0.02
+
+    def test_every_gesture_recognized_above_chance(self, corpus, features):
+        overall = overall_detect_performance(corpus, X=features, n_splits=3)
+        diag = np.diag(overall.summary.confusion)
+        assert np.all(diag > 1.0 / 6.0)
+
+
+class TestTableIIShape:
+    def test_track_beats_detect(self, corpus, features):
+        detect = overall_detect_performance(corpus, X=features, n_splits=3)
+        track = track_direction_accuracy(corpus)
+        table = performance_summary(detect, track)
+        # paper: 99.57% (track) > 98.44% (detect)
+        assert table["track_average"] >= table["detect_average"] - 0.02
+        assert table["overall_average"] > 0.7
+
+
+class TestFig13Shape:
+    def test_dispatcher_accuracy_band(self, corpus):
+        result = distinguisher_performance(corpus)
+        assert result.summary.accuracy > 0.9

@@ -1,0 +1,98 @@
+"""Integration: wire transport and persisted stacks feed the live pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import Recording, FrameDecoder, encode_recording
+from repro.core.detector import DetectAimedRecognizer
+from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
+from repro.core.persistence import load_stack, save_stack
+from repro.core.pipeline import AirFinger
+from repro.eval.report_markdown import generate_report
+
+
+@pytest.fixture(scope="module")
+def trained_detector(generator):
+    corpus = generator.main_campaign(
+        gestures=("circle", "click", "rub"), repetitions=4)
+    return DetectAimedRecognizer().fit(corpus.signals(), corpus.labels)
+
+
+class TestWireTransport:
+    def test_recording_survives_the_link_into_the_pipeline(self, generator):
+        stream = generator.stream(0, ["click", "scroll_up"], idle_s=1.0)
+        original = stream.recording
+
+        wire = encode_recording(original)
+        decoder = FrameDecoder()
+        rss = decoder.decode_all(wire)
+        assert decoder.stats.crc_errors == 0
+
+        received = Recording(
+            times_s=np.arange(len(rss)) / original.sample_rate_hz,
+            rss=rss,
+            channel_names=original.channel_names,
+            sample_rate_hz=original.sample_rate_hz)
+
+        events_a = AirFinger().feed_recording(original)
+        events_b = AirFinger().feed_recording(received)
+        segs_a = [(e.start_index, e.end_index) for e in events_a
+                  if isinstance(e, SegmentEvent)]
+        segs_b = [(e.start_index, e.end_index) for e in events_b
+                  if isinstance(e, SegmentEvent)]
+        assert segs_a == segs_b
+
+    def test_corrupted_link_still_yields_segments(self, generator):
+        stream = generator.stream(1, ["circle", "scroll_down"], idle_s=1.0)
+        wire = bytearray(encode_recording(stream.recording))
+        rng = np.random.default_rng(3)
+        for pos in rng.integers(50, len(wire) - 50, size=5):
+            wire[pos] ^= 0xFF
+        decoder = FrameDecoder()
+        rss = decoder.decode_all(bytes(wire))
+        assert len(rss) > 0.9 * stream.recording.n_samples
+        received = Recording(
+            times_s=np.arange(len(rss)) / 100.0,
+            rss=rss,
+            channel_names=stream.recording.channel_names)
+        events = AirFinger().feed_recording(received)
+        assert any(isinstance(e, SegmentEvent) for e in events)
+
+
+class TestPersistedStack:
+    def test_saved_stack_recognizes_live_stream(self, generator,
+                                                trained_detector, tmp_path):
+        path = tmp_path / "stack.json"
+        save_stack(path, detector=trained_detector)
+        engine = load_stack(path)["engine"]
+
+        stream = generator.stream(0, ["click", "scroll_up", "circle"],
+                                  idle_s=1.0)
+        events = engine.feed_recording(stream.recording)
+        gestures = [e for e in events if isinstance(e, GestureEvent)]
+        scrolls = [e for e in events
+                   if isinstance(e, ScrollUpdate) and e.final]
+        assert len(gestures) >= 1
+        assert len(scrolls) == 1
+
+    def test_loaded_matches_original_decisions(self, generator,
+                                               trained_detector, tmp_path):
+        path = tmp_path / "stack.json"
+        save_stack(path, detector=trained_detector)
+        clone = load_stack(path)["detector"]
+        corpus = generator.main_campaign(
+            gestures=("circle", "click", "rub"), repetitions=2)
+        np.testing.assert_array_equal(
+            trained_detector.predict(corpus.signals()),
+            clone.predict(corpus.signals()))
+
+
+class TestMarkdownReport:
+    def test_report_written(self, small_corpus, small_features, tmp_path):
+        path = generate_report(small_corpus, tmp_path / "report.md",
+                               X=small_features)
+        text = path.read_text()
+        assert "# airFinger evaluation report" in text
+        assert "Fig. 10 protocol" in text
+        assert "Section V-G protocol" in text
+        assert "| accuracy |" in text

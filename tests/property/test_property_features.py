@@ -1,0 +1,107 @@
+"""Property-based tests for the feature library invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.features import frequency as fd
+from repro.features import timedomain as td
+from repro.features.extractor import FeatureExtractor
+from repro.features.registry import feature_registry
+
+signals = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=0, max_value=150),
+    elements=st.floats(min_value=-1e5, max_value=1e5,
+                       allow_nan=False, allow_infinity=False))
+
+positive_signals = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=4, max_value=150),
+    elements=st.floats(min_value=0.0, max_value=1e5,
+                       allow_nan=False, allow_infinity=False))
+
+
+@given(signals)
+@settings(max_examples=30, deadline=None)
+def test_every_registry_feature_is_finite(x):
+    for spec in feature_registry():
+        assert np.isfinite(spec.compute(x)), spec.name
+
+
+@given(positive_signals)
+@settings(max_examples=40, deadline=None)
+def test_extractor_vector_finite_and_stable(x):
+    ext = FeatureExtractor.bold()
+    v1 = ext.extract(x)
+    v2 = ext.extract(x)
+    assert np.all(np.isfinite(v1))
+    np.testing.assert_array_equal(v1, v2)
+
+
+@given(signals)
+@settings(max_examples=50, deadline=None)
+def test_count_fractions_bounded(x):
+    assert 0.0 <= td.count_above_mean(x) <= 1.0
+    assert 0.0 <= td.count_below_mean(x) <= 1.0
+    assert 0.0 <= td.longest_strike_above_mean(x) <= 1.0
+    assert 0.0 <= td.longest_strike_below_mean(x) <= 1.0
+
+
+@given(signals)
+@settings(max_examples=50, deadline=None)
+def test_location_features_bounded(x):
+    for f in (td.first_location_of_maximum, td.first_location_of_minimum,
+              td.last_location_of_maximum):
+        assert 0.0 <= f(x) <= 1.0
+
+
+@given(signals, st.integers(min_value=1, max_value=10))
+@settings(max_examples=50, deadline=None)
+def test_autocorrelation_bounded(x, lag):
+    assert -1.5 <= td.autocorrelation(x, lag) <= 1.5
+
+
+@given(signals)
+@settings(max_examples=50, deadline=None)
+def test_variance_consistency(x):
+    np.testing.assert_allclose(td.standard_deviation(x) ** 2, td.variance(x),
+                               rtol=1e-6, atol=1e-9)
+
+
+@given(signals, st.floats(min_value=0.1, max_value=100.0))
+@settings(max_examples=40, deadline=None)
+def test_scale_invariant_features(x, scale):
+    """Shape descriptors must not change when the RSS amplitude scales."""
+    if x.size < 4 or np.ptp(x) < 1e-6:
+        return
+    scaled = scale * x
+    np.testing.assert_allclose(td.count_above_mean(scaled),
+                               td.count_above_mean(x), atol=1e-12)
+    np.testing.assert_allclose(fd.fft_coefficient_abs(scaled, 1),
+                               fd.fft_coefficient_abs(x, 1), rtol=1e-6)
+    np.testing.assert_allclose(fd.fft_spectral_centroid(scaled),
+                               fd.fft_spectral_centroid(x), rtol=1e-6)
+
+
+@given(signals)
+@settings(max_examples=40, deadline=None)
+def test_energy_chunks_partition(x):
+    if x.size == 0 or np.sum(x * x) < 1e-12:
+        return
+    total = sum(td.energy_ratio_by_chunks(x, 10, c) for c in range(10))
+    np.testing.assert_allclose(total, 1.0, rtol=1e-6)
+
+
+@given(st.integers(min_value=2, max_value=400),
+       st.floats(min_value=0.5, max_value=50.0))
+@settings(max_examples=40, deadline=None)
+def test_ricker_zero_mean(points, width):
+    # zero mean only holds when the window is wide enough to avoid
+    # truncating the wavelet's negative lobes and the width spans enough
+    # samples for the discrete sum to approximate the integral
+    if points < 10 * width or width < 2.0:
+        return
+    w = fd.ricker_wavelet(points, width)
+    assert abs(w.sum()) < 1e-3 * max(1.0, np.abs(w).max() * points)

@@ -1,0 +1,65 @@
+"""Property-based tests for the sequence models (DTW, HMM, CNN, templates)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.cnn import _resample
+from repro.ml.dtw import dtw_distance
+from repro.ml.hmm import GaussianHmm
+
+signals = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=4, max_value=120),
+    elements=st.floats(min_value=-1e4, max_value=1e4,
+                       allow_nan=False, allow_infinity=False))
+
+
+@given(signals)
+@settings(max_examples=40, deadline=None)
+def test_dtw_self_distance_zero(x):
+    assert dtw_distance(x, x) <= 1e-9
+
+
+@given(signals, signals)
+@settings(max_examples=40, deadline=None)
+def test_dtw_nonnegative_symmetric(a, b):
+    d_ab = dtw_distance(a, b)
+    d_ba = dtw_distance(b, a)
+    assert d_ab >= 0.0
+    np.testing.assert_allclose(d_ab, d_ba, rtol=1e-9)
+
+
+@given(signals, st.floats(min_value=0.5, max_value=20.0))
+@settings(max_examples=40, deadline=None)
+def test_dtw_amplitude_invariance(x, scale):
+    if np.ptp(x) < 1e-9:
+        return
+    np.testing.assert_allclose(dtw_distance(x, scale * x), 0.0, atol=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_hmm_likelihood_finite_on_arbitrary_input(seed):
+    rng = np.random.default_rng(seed)
+    train = [rng.normal(0, 1, 60) for _ in range(4)]
+    model = GaussianHmm(n_states=3, n_iter=3).fit(train)
+    probe = rng.normal(0, 5, rng.integers(4, 100))
+    value = model.log_likelihood(probe)
+    assert np.isfinite(value)
+
+
+@given(signals, st.integers(min_value=8, max_value=256))
+@settings(max_examples=60, deadline=None)
+def test_cnn_resample_normalized(x, n):
+    out = _resample(x, n)
+    assert out.shape == (n,)
+    assert np.all(np.isfinite(out))
+    # a varying input may still resample to a constant (e.g. a single
+    # outlier sample skipped by the coarser grid) — then zeros are correct
+    if np.ptp(out) > 1e-9:
+        np.testing.assert_allclose(out.mean(), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(), 1.0, rtol=1e-6)
+    else:
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)

@@ -1,0 +1,110 @@
+"""Property-based tests of radiometric invariants.
+
+The forward model is linear in reflected flux, so physics gives us strong
+invariants to pin down: superposition over patches, linearity in area and
+reflectance, and monotone attenuation with distance.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optics.array import airfinger_array
+from repro.optics.engine import RadiometricEngine
+from repro.optics.materials import Material
+from repro.optics.scene import ReflectivePatch, Scene
+
+
+def _engine() -> RadiometricEngine:
+    return RadiometricEngine(array=airfinger_array(), crosstalk_ua=0.0)
+
+
+positions = st.tuples(
+    st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+    st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+    st.floats(min_value=6.0, max_value=60.0, allow_nan=False))
+
+areas = st.floats(min_value=5.0, max_value=300.0, allow_nan=False)
+
+
+def _scene_with(patches) -> Scene:
+    n = patches[0].n_samples
+    return Scene(times_s=np.arange(n) / 100.0, patches=list(patches))
+
+
+def _patch(pos, area=80.0, rho=0.5, n=4) -> ReflectivePatch:
+    return ReflectivePatch(
+        name="p",
+        positions_mm=np.tile(pos, (n, 1)),
+        normals=np.array([0.0, 0.0, -1.0]),
+        area_mm2=area,
+        material=Material("m", (700.0, 1400.0), (rho, rho)))
+
+
+@given(positions, positions)
+@settings(max_examples=40, deadline=None)
+def test_superposition_over_patches(pos_a, pos_b):
+    engine = _engine()
+    a = engine.photocurrents_ua(_scene_with([_patch(pos_a)]))
+    b = engine.photocurrents_ua(_scene_with([_patch(pos_b)]))
+    both = engine.photocurrents_ua(
+        _scene_with([_patch(pos_a), _patch(pos_b)]))
+    np.testing.assert_allclose(both, a + b, rtol=1e-9, atol=1e-12)
+
+
+@given(positions, areas, st.floats(min_value=1.1, max_value=4.0))
+@settings(max_examples=40, deadline=None)
+def test_linearity_in_area(pos, area, factor):
+    engine = _engine()
+    small = engine.photocurrents_ua(_scene_with([_patch(pos, area=area)]))
+    large = engine.photocurrents_ua(
+        _scene_with([_patch(pos, area=factor * area)]))
+    np.testing.assert_allclose(large, factor * small, rtol=1e-9, atol=1e-12)
+
+
+@given(positions, st.floats(min_value=0.1, max_value=0.45))
+@settings(max_examples=40, deadline=None)
+def test_linearity_in_reflectance(pos, rho):
+    engine = _engine()
+    dim = engine.photocurrents_ua(_scene_with([_patch(pos, rho=rho)]))
+    bright = engine.photocurrents_ua(
+        _scene_with([_patch(pos, rho=2.0 * rho)]))
+    np.testing.assert_allclose(bright, 2.0 * dim, rtol=1e-9, atol=1e-12)
+
+
+@given(st.floats(min_value=-10.0, max_value=10.0),
+       st.floats(min_value=15.0, max_value=30.0),
+       st.floats(min_value=1.3, max_value=2.5))
+@settings(max_examples=40, deadline=None)
+def test_monotone_distance_attenuation_on_axis(x, z, factor):
+    # in the far field over an LED, moving away always reduces the signal
+    # (below ~12 mm the geometry is genuinely non-monotone: the reflected
+    # lobe walks into the photodiode acceptance cone — the physical cause
+    # of the paper's near-range accuracy dip)
+    engine = _engine()
+    near = engine.photocurrents_ua(
+        _scene_with([_patch((-6.0, 0.0, z))])).sum()
+    far = engine.photocurrents_ua(
+        _scene_with([_patch((-6.0, 0.0, factor * z))])).sum()
+    assert near >= far
+
+
+@given(positions)
+@settings(max_examples=40, deadline=None)
+def test_currents_nonnegative(pos):
+    engine = _engine()
+    out = engine.photocurrents_ua(_scene_with([_patch(pos)]))
+    assert np.all(out >= 0.0)
+
+
+@given(positions, st.floats(min_value=0.0, max_value=0.01))
+@settings(max_examples=40, deadline=None)
+def test_ambient_additivity(pos, ambient):
+    engine = _engine()
+    scene_dark = _scene_with([_patch(pos)])
+    dark = engine.photocurrents_ua(scene_dark)
+    scene_lit = _scene_with([_patch(pos)])
+    scene_lit.ambient_mw_mm2 = np.full(scene_lit.n_samples, ambient)
+    lit = engine.photocurrents_ua(scene_lit)
+    delta = lit - dark
+    np.testing.assert_allclose(delta, delta[0, 0], rtol=1e-9, atol=1e-12)

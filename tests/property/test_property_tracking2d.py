@@ -1,0 +1,145 @@
+"""Property-based tests for the 2-D planar tracker (Section VI extension).
+
+The tracker estimates a swipe's direction from energy centroids over the
+cross array.  These tests drive it with an idealized moving Gaussian spot
+— the cleanest possible target — and assert the geometric symmetries any
+correct estimator must satisfy: time reversal flips the angle by 180°,
+axis mirroring reflects it, and the recovered angle tracks the injected
+one on axis-aligned motions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tracking2d import PlanarTracker, compass_bin
+
+
+class TestCompassBin:
+    @given(angle=st.floats(min_value=-720.0, max_value=720.0,
+                           allow_nan=False),
+           n_bins=st.integers(2, 16))
+    def test_periodic(self, angle, n_bins):
+        assert compass_bin(angle, n_bins) == compass_bin(angle + 360.0,
+                                                         n_bins)
+
+    @given(angle=st.floats(min_value=0.0, max_value=359.999,
+                           allow_nan=False),
+           n_bins=st.integers(2, 16))
+    def test_in_range(self, angle, n_bins):
+        assert 0 <= compass_bin(angle, n_bins) < n_bins
+
+    @given(k=st.integers(0, 15), n_bins=st.integers(2, 16))
+    def test_bin_centres_map_to_themselves(self, k, n_bins):
+        k = k % n_bins
+        centre = k * 360.0 / n_bins
+        assert compass_bin(centre, n_bins) == k
+
+    def test_rejects_degenerate_bins(self):
+        with pytest.raises(ValueError):
+            compass_bin(10.0, n_bins=1)
+
+
+def _spot_sweep(angle_deg: float, n: int = 120, amplitude: float = 40.0,
+                extent_mm: float = 14.0, sigma_mm: float = 9.0,
+                noise_rms: float = 0.0, seed: int = 0) -> np.ndarray:
+    """RSS of a Gaussian spot sweeping through the array centre."""
+    tracker = PlanarTracker()
+    direction = np.array([math.cos(math.radians(angle_deg)),
+                          math.sin(math.radians(angle_deg))])
+    s = np.linspace(-extent_mm, extent_mm, n)
+    spots = s[:, None] * direction[None, :]
+    d2 = ((spots[:, None, :] - tracker.pd_positions_mm[None, :, :]) ** 2
+          ).sum(axis=2)
+    rss = amplitude * np.exp(-d2 / (2.0 * sigma_mm ** 2))
+    if noise_rms > 0.0:
+        rss = rss + np.random.default_rng(seed).normal(0, noise_rms,
+                                                       rss.shape)
+    return rss
+
+
+AXIS_ANGLES = [0.0, 90.0, 180.0, 270.0]
+
+
+class TestPlanarTrackerSymmetries:
+    @pytest.mark.parametrize("angle", AXIS_ANGLES)
+    def test_recovers_axis_aligned_motion(self, angle):
+        result = PlanarTracker().track(_spot_sweep(angle))
+        assert result.confident
+        err = abs((result.angle_deg - angle + 180.0) % 360.0 - 180.0)
+        assert err < 15.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(angle=st.floats(min_value=0.0, max_value=360.0,
+                           allow_nan=False))
+    def test_time_reversal_flips_angle(self, angle):
+        tracker = PlanarTracker()
+        rss = _spot_sweep(angle)
+        fwd = tracker.track(rss)
+        rev = tracker.track(rss[::-1])
+        if fwd.confident and rev.confident:
+            flip = abs((rev.angle_deg - fwd.angle_deg) % 360.0 - 180.0)
+            assert flip < 10.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(angle=st.floats(min_value=0.0, max_value=360.0,
+                           allow_nan=False))
+    def test_mirror_symmetry(self, angle):
+        """Mirroring the scene about the y-axis reflects the estimate."""
+        fwd = PlanarTracker().track(_spot_sweep(angle))
+        mirrored = PlanarTracker().track(_spot_sweep(180.0 - angle))
+        if fwd.confident and mirrored.confident:
+            expected = (180.0 - fwd.angle_deg) % 360.0
+            err = abs((mirrored.angle_deg - expected + 180.0) % 360.0
+                      - 180.0)
+            assert err < 12.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(angle=st.floats(min_value=0.0, max_value=360.0,
+                           allow_nan=False),
+           gain=st.floats(min_value=0.5, max_value=4.0))
+    def test_amplitude_invariance(self, angle, gain):
+        """Overall optical gain must not change the direction estimate."""
+        base = PlanarTracker().track(_spot_sweep(angle, amplitude=40.0))
+        scaled = PlanarTracker().track(
+            _spot_sweep(angle, amplitude=40.0 * gain))
+        assert base.confident == scaled.confident
+        if base.confident:
+            err = abs((scaled.angle_deg - base.angle_deg + 180.0) % 360.0
+                      - 180.0)
+            assert err < 2.0
+
+    def test_unit_vector_matches_angle(self):
+        result = PlanarTracker().track(_spot_sweep(90.0))
+        assert result.confident
+        vec = result.unit_vector()
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+        assert vec[1] > 0.7  # mostly +y
+
+
+class TestPlanarTrackerRejection:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_pure_noise_is_not_confident(self, seed):
+        rng = np.random.default_rng(seed)
+        rss = rng.normal(0.0, 1.0, (120, 5))
+        result = PlanarTracker().track(rss)
+        assert not result.confident
+
+    def test_stationary_spot_is_not_confident(self):
+        """A hovering finger travels nowhere; min_travel must gate it."""
+        rss = np.tile(_spot_sweep(0.0, n=2)[0], (120, 1))
+        assert not PlanarTracker().track(rss).confident
+
+    def test_too_few_frames_not_confident(self):
+        rss = _spot_sweep(0.0, n=4)
+        assert not PlanarTracker().track(rss).confident
+
+    def test_channel_count_enforced(self):
+        with pytest.raises(ValueError):
+            PlanarTracker().track(np.zeros((50, 3)))

@@ -1,0 +1,175 @@
+"""Unit tests for the amplifier, ADC, sampler and frame stream."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.adc import Adc
+from repro.acquisition.amplifier import TransimpedanceAmplifier
+from repro.acquisition.sampler import Recording, SensorSampler
+from repro.acquisition.stream import RssFrame, stream_frames
+from repro.hand.gestures import GestureSpec, synthesize_gesture
+from repro.hand.finger import scene_for_trajectory
+from repro.optics.array import airfinger_array
+
+
+class TestAmplifier:
+    def test_linear_gain(self):
+        amp = TransimpedanceAmplifier(gain_mv_per_ua=100.0, offset_mv=50.0)
+        np.testing.assert_allclose(amp.output_mv(1.0), 150.0)
+
+    def test_rails_clamp(self):
+        amp = TransimpedanceAmplifier(gain_mv_per_ua=100.0, offset_mv=0.0,
+                                      rail_high_mv=500.0)
+        np.testing.assert_allclose(amp.output_mv(100.0), 500.0)
+        np.testing.assert_allclose(amp.output_mv(-10.0), 0.0)
+
+    def test_saturation_current(self):
+        amp = TransimpedanceAmplifier(gain_mv_per_ua=100.0, offset_mv=100.0,
+                                      rail_high_mv=1100.0)
+        np.testing.assert_allclose(amp.saturates_at_ua(), 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransimpedanceAmplifier(gain_mv_per_ua=0.0)
+        with pytest.raises(ValueError):
+            TransimpedanceAmplifier(offset_mv=-10.0)
+
+
+class TestAdc:
+    def test_full_scale(self):
+        assert Adc(n_bits=10).full_scale == 1023
+
+    def test_quantization(self):
+        adc = Adc(n_bits=10, vref_mv=1024.0, input_noise_counts=0.0)
+        np.testing.assert_allclose(adc.convert(512.0), 512.0)
+
+    def test_clipping(self):
+        adc = Adc(input_noise_counts=0.0)
+        assert adc.convert(1e9) == adc.full_scale
+        assert adc.convert(-5.0) == 0.0
+
+    def test_oversampling_resolution(self):
+        adc = Adc(vref_mv=1024.0, input_noise_counts=0.0)
+        # between codes: plain conversion rounds, oversampled resolves
+        v = 512.25  # mV == 512.25 counts at 1 mV/LSB
+        assert adc.convert(v, subsamples=1) == 512.0
+        assert adc.convert(v, subsamples=4) == 512.25
+
+    def test_saturation_fraction(self):
+        adc = Adc()
+        counts = np.array([0, 10, 1023, 500])
+        np.testing.assert_allclose(adc.saturation_fraction(counts), 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adc(n_bits=2)
+        with pytest.raises(ValueError):
+            Adc(vref_mv=0.0)
+
+
+class TestRecording:
+    def _make(self, n=10, c=3):
+        return Recording(times_s=np.arange(n) / 100.0,
+                         rss=np.arange(n * c, dtype=float).reshape(n, c),
+                         channel_names=tuple(f"P{i+1}" for i in range(c)))
+
+    def test_properties(self):
+        rec = self._make(10, 3)
+        assert rec.n_samples == 10
+        assert rec.n_channels == 3
+        np.testing.assert_allclose(rec.duration_s, 0.09)
+
+    def test_channel_lookup(self):
+        rec = self._make()
+        np.testing.assert_array_equal(rec.channel("P2"), rec.rss[:, 1])
+        with pytest.raises(KeyError):
+            rec.channel("P9")
+
+    def test_combined(self):
+        rec = self._make()
+        np.testing.assert_array_equal(rec.combined(), rec.rss.sum(axis=1))
+
+    def test_slice(self):
+        rec = self._make(10)
+        part = rec.slice(2, 6)
+        assert part.n_samples == 4
+        np.testing.assert_array_equal(part.rss, rec.rss[2:6])
+        with pytest.raises(ValueError):
+            rec.slice(6, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Recording(times_s=np.arange(5) / 100.0, rss=np.zeros((4, 3)),
+                      channel_names=("a", "b", "c"))
+        with pytest.raises(ValueError):
+            Recording(times_s=np.arange(4) / 100.0, rss=np.zeros((4, 3)),
+                      channel_names=("a", "b"))
+
+
+class TestSensorSampler:
+    @pytest.fixture(scope="class")
+    def recording(self):
+        sampler = SensorSampler(array=airfinger_array())
+        traj = synthesize_gesture(GestureSpec(name="circle", distance_mm=20.0),
+                                  rng=2)
+        scene = scene_for_trajectory(traj, rng=2)
+        return sampler.record(scene, rng=2, label="circle",
+                              meta={"k": 1})
+
+    def test_output_is_counts(self, recording):
+        adc = Adc()
+        assert recording.rss.min() >= 0
+        assert recording.rss.max() <= adc.full_scale
+        assert recording.label == "circle"
+        assert recording.meta["k"] == 1
+
+    def test_deterministic(self):
+        sampler = SensorSampler(array=airfinger_array())
+        traj = synthesize_gesture(GestureSpec(name="rub"), rng=4)
+        scene = scene_for_trajectory(traj, rng=4)
+        a = sampler.record(scene, rng=9)
+        b = sampler.record(scene, rng=9)
+        np.testing.assert_array_equal(a.rss, b.rss)
+
+    def test_injected_current_raises_signal(self):
+        sampler = SensorSampler(array=airfinger_array())
+        traj = synthesize_gesture(GestureSpec(name="circle"), rng=4)
+        scene = scene_for_trajectory(traj, rng=4)
+        base = sampler.record(scene, rng=9)
+        injected = sampler.record(
+            scene, rng=9,
+            extra_injected_ua=np.full(traj.n_samples, 1.0))
+        assert injected.rss.mean() > base.rss.mean() + 50
+
+    def test_injection_shape_checked(self):
+        sampler = SensorSampler(array=airfinger_array())
+        traj = synthesize_gesture(GestureSpec(name="circle"), rng=4)
+        scene = scene_for_trajectory(traj, rng=4)
+        with pytest.raises(ValueError):
+            sampler.record(scene, rng=9, extra_injected_ua=np.ones(3))
+
+
+class TestStreamFrames:
+    def test_frame_sequence(self):
+        rec = Recording(times_s=np.arange(5) / 100.0,
+                        rss=np.arange(15, dtype=float).reshape(5, 3),
+                        channel_names=("P1", "P2", "P3"))
+        frames = list(stream_frames(rec))
+        assert len(frames) == 5
+        assert frames[0].index == 0
+        assert frames[-1].values == (12.0, 13.0, 14.0)
+        np.testing.assert_allclose(frames[2].combined, 6 + 7 + 8)
+
+    def test_range(self):
+        rec = Recording(times_s=np.arange(5) / 100.0,
+                        rss=np.zeros((5, 2)),
+                        channel_names=("P1", "P2"))
+        assert len(list(stream_frames(rec, start=1, stop=4))) == 3
+        with pytest.raises(ValueError):
+            list(stream_frames(rec, start=4, stop=2))
+
+    def test_frame_value_bounds(self):
+        frame = RssFrame(index=0, time_s=0.0, values=(1.0, 2.0))
+        assert frame.value(1) == 2.0
+        with pytest.raises(IndexError):
+            frame.value(2)

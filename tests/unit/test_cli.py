@@ -1,0 +1,91 @@
+"""Unit tests for the airfinger CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for argv in (["power"],
+                     ["generate", "--out", "x.npz"],
+                     ["train", "--corpus", "c.npz", "--out", "s.json"],
+                     ["evaluate", "--corpus", "c.npz"],
+                     ["demo", "--stack", "s.json"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_protocol_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--corpus", "c.npz", "--protocol", "bogus"])
+
+
+class TestPowerCommand:
+    def test_prints_table(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "always-on" in out
+        assert "mW" in out
+
+
+class TestWorkflow:
+    @pytest.fixture(scope="class")
+    def corpus_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "corpus.npz"
+        assert main(["generate", "--users", "2", "--sessions", "1",
+                     "--reps", "2", "--out", str(path)]) == 0
+        return path
+
+    def test_generate_creates_corpus(self, corpus_path):
+        from repro.datasets import GestureCorpus
+        corpus = GestureCorpus.load(corpus_path)
+        assert len(corpus) == 2 * 1 * 8 * 2
+
+    def test_train_and_demo(self, corpus_path, tmp_path, capsys):
+        stack = tmp_path / "stack.json"
+        assert main(["train", "--corpus", str(corpus_path),
+                     "--out", str(stack), "--trees", "10"]) == 0
+        payload = json.loads(stack.read_text())
+        assert "detector" in payload
+
+        assert main(["demo", "--stack", str(stack),
+                     "--gestures", "click,scroll_up"]) == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out
+        assert "segment" in out
+
+    def test_evaluate_tracking(self, corpus_path, capsys):
+        assert main(["evaluate", "--corpus", str(corpus_path),
+                     "--protocol", "tracking"]) == 0
+        out = capsys.readouterr().out
+        assert "scroll_up" in out
+
+    def test_evaluate_distinguisher(self, corpus_path, capsys):
+        assert main(["evaluate", "--corpus", str(corpus_path),
+                     "--protocol", "distinguisher"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_evaluate_diversity(self, corpus_path, capsys):
+        # the fixture corpus has 2 users, so leave-one-user-out runs
+        assert main(["evaluate", "--corpus", str(corpus_path),
+                     "--protocol", "diversity"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_evaluate_impossible_protocol_fails_cleanly(self, tmp_path,
+                                                        capsys):
+        # a single-session corpus cannot support leave-one-session-out
+        corpus = tmp_path / "one_session.npz"
+        assert main(["generate", "--users", "2", "--sessions", "1",
+                     "--reps", "2", "--out", str(corpus)]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--corpus", str(corpus),
+                     "--protocol", "inconsistency"]) == 1
+        assert "cannot run" in capsys.readouterr().err

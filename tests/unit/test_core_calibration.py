@@ -1,0 +1,97 @@
+"""Unit tests for sensor self-calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import SensorCalibrator
+from repro.hand.trajectory import idle_trajectory
+from repro.hand.finger import scene_for_trajectory
+from repro.noise.ambient import indoor_ambient
+
+
+def _idle_rss(n=400, baselines=(150.0, 160.0, 155.0),
+              noise=(2.0, 2.0, 2.0), seed=0):
+    rng = np.random.default_rng(seed)
+    cols = [b + rng.normal(0, s, n) for b, s in zip(baselines, noise)]
+    return np.stack(cols, axis=1)
+
+
+class TestCalibrate:
+    def test_baselines_estimated(self):
+        rss = _idle_rss()
+        result = SensorCalibrator().calibrate(rss)
+        np.testing.assert_allclose(result.baselines, [150, 160, 155],
+                                   atol=1.0)
+        assert result.all_usable
+
+    def test_gain_trim_matches_channels(self):
+        # channel 2 is half as sensitive: half the noise, half the signal
+        rss = _idle_rss(noise=(2.0, 1.0, 2.0))
+        result = SensorCalibrator().calibrate(rss)
+        assert result.gains[1] == pytest.approx(2.0, rel=0.25)
+
+    def test_apply_centres_and_trims(self):
+        rss = _idle_rss()
+        result = SensorCalibrator().calibrate(rss)
+        out = result.apply(rss)
+        np.testing.assert_allclose(np.median(out, axis=0), 0.0, atol=0.5)
+
+    def test_apply_channel_check(self):
+        result = SensorCalibrator().calibrate(_idle_rss())
+        with pytest.raises(ValueError):
+            result.apply(np.zeros((10, 5)))
+
+    def test_dead_channel_flagged(self):
+        rss = _idle_rss()
+        rss[:, 1] = 123.0  # disconnected: perfectly flat
+        result = SensorCalibrator().calibrate(rss)
+        assert result.health[1].status == "dead"
+        assert not result.all_usable
+        assert result.gains[1] == 1.0
+
+    def test_saturated_channel_flagged(self):
+        rss = _idle_rss()
+        rss[: len(rss) // 2, 2] = 1023.0
+        result = SensorCalibrator().calibrate(rss)
+        assert result.health[2].status == "saturated"
+
+    def test_pinned_flat_channel_is_saturated_not_dead(self):
+        # perfectly flat at the TOP rail: blinded optics, not a broken wire
+        rss = _idle_rss()
+        rss[:, 0] = 1023.0
+        result = SensorCalibrator().calibrate(rss)
+        assert result.health[0].status == "saturated"
+
+    def test_noisy_channel_flagged(self):
+        rss = _idle_rss(noise=(2.0, 2.0, 90.0))
+        result = SensorCalibrator().calibrate(rss)
+        assert result.health[2].status == "noisy"
+
+    def test_short_capture_rejected(self):
+        with pytest.raises(ValueError):
+            SensorCalibrator().calibrate(np.zeros((8, 3)))
+
+    def test_name_mismatch(self):
+        with pytest.raises(ValueError):
+            SensorCalibrator().calibrate(_idle_rss(), channel_names=("a",))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorCalibrator(dead_noise_rms=0.0)
+        with pytest.raises(ValueError):
+            SensorCalibrator(max_saturation=1.5)
+        with pytest.raises(ValueError):
+            SensorCalibrator(reference="mean")
+
+
+class TestOnSimulatedSensor:
+    def test_calibrates_real_idle_capture(self, sampler):
+        traj = idle_trajectory(5.0, 100.0, rest_position_mm=(0, 20, 45))
+        amb = indoor_ambient().irradiance(traj.times_s, rng=1)
+        scene = scene_for_trajectory(traj, ambient_mw_mm2=amb, rng=1)
+        rec = sampler.record(scene, rng=1)
+        result = SensorCalibrator().calibrate(
+            rec.rss, channel_names=rec.channel_names)
+        assert result.all_usable
+        # idle floor: amplifier offset + ambient + crosstalk, well off zero
+        assert all(h.baseline > 50 for h in result.health)

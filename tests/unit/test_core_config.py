@@ -1,0 +1,55 @@
+"""Unit tests for the stack configuration."""
+
+import pytest
+
+from repro.core.config import AirFingerConfig
+
+
+class TestDefaults:
+    def test_paper_settings(self):
+        cfg = AirFingerConfig()
+        assert cfg.sample_rate_hz == 100.0
+        assert cfg.sbc_window_s == 0.010          # w = 10 ms
+        assert cfg.cluster_gap_s == 0.100         # t_e = 100 ms
+        assert cfg.dispatch_threshold_s == 0.030  # I_g = 30 ms
+        assert cfg.initial_threshold == 10.0      # I'_seg
+        assert cfg.default_scroll_speed_mm_s == 80.0  # v'
+
+    def test_sample_conversions(self):
+        cfg = AirFingerConfig()
+        assert cfg.sbc_window_samples == 1
+        assert cfg.cluster_gap_samples == 10
+        assert cfg.prefilter_samples == 5
+        assert cfg.envelope_samples == 15
+        assert cfg.history_samples == 800
+
+    def test_window_at_other_rates(self):
+        cfg = AirFingerConfig(sample_rate_hz=1000.0)
+        assert cfg.sbc_window_samples == 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"sample_rate_hz": 0.0},
+        {"sbc_window_s": 0.0},
+        {"prefilter_window_s": -0.1},
+        {"envelope_window_s": -0.1},
+        {"cluster_gap_s": -1.0},
+        {"dispatch_threshold_s": 0.0},
+        {"initial_threshold": 0.0},
+        {"min_segment_s": 0.0},
+        {"min_segment_s": 9.0, "max_segment_s": 5.0},
+        {"default_scroll_speed_mm_s": 0.0},
+        {"otsu_bins": 4},
+        {"otsu_refresh_samples": 0},
+        {"history_s": 0.0},
+        {"threshold_floor_factor": 0.0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            AirFingerConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = AirFingerConfig()
+        with pytest.raises(Exception):
+            cfg.sample_rate_hz = 50.0

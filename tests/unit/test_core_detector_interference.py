@@ -1,0 +1,108 @@
+"""Unit tests for the detect-aimed recognizer and interference filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectAimedRecognizer
+from repro.core.interference import (
+    GESTURE_LABEL,
+    NON_GESTURE_LABEL,
+    InterferenceFilter,
+)
+from repro.features.extractor import FeatureExtractor
+from repro.features.selection import FeatureSelector
+from repro.ml.logistic import LogisticRegressionClassifier
+
+
+def _signals(seed=0, n_per_class=15):
+    """Synthetic ΔRSS²-like signals: slow humps vs fast oscillation."""
+    rng = np.random.default_rng(seed)
+    signals, labels = [], []
+    t = np.arange(120) / 100.0
+    for i in range(n_per_class):
+        slow = np.abs(np.sin(2 * np.pi * 1.0 * t)) * 50 + rng.exponential(0.5, 120)
+        fast = np.abs(np.sin(2 * np.pi * 6.0 * t)) * 50 + rng.exponential(0.5, 120)
+        signals += [slow, fast]
+        labels += ["slow", "fast"]
+    return signals, np.array(labels)
+
+
+class TestDetectAimedRecognizer:
+    def test_fit_predict_roundtrip(self):
+        signals, labels = _signals()
+        rec = DetectAimedRecognizer().fit(signals, labels)
+        assert rec.score(signals, labels) > 0.9
+
+    def test_predict_one_confidence(self):
+        signals, labels = _signals()
+        rec = DetectAimedRecognizer().fit(signals, labels)
+        label, conf = rec.predict_one(signals[0])
+        assert label in ("slow", "fast")
+        assert 0.0 < conf <= 1.0
+
+    def test_with_selector(self):
+        signals, labels = _signals()
+        rec = DetectAimedRecognizer(
+            selector=FeatureSelector(top_k_families=8, n_estimators=10))
+        rec.fit(signals, labels)
+        assert len(rec.selector.selected_families_) == 8
+        assert rec.score(signals, labels) > 0.85
+
+    def test_alternative_model(self):
+        signals, labels = _signals()
+        rec = DetectAimedRecognizer(
+            model_factory=LogisticRegressionClassifier)
+        rec.fit(signals, labels)
+        assert rec.score(signals, labels) > 0.8
+
+    def test_fit_features_path(self):
+        signals, labels = _signals()
+        X = FeatureExtractor.full().extract_many(signals)
+        rec = DetectAimedRecognizer().fit_features(X, labels)
+        pred = rec.predict_features(X)
+        assert np.mean(pred == labels) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DetectAimedRecognizer().predict([np.zeros(10)])
+
+    def test_mismatched_inputs(self):
+        signals, labels = _signals()
+        with pytest.raises(ValueError):
+            DetectAimedRecognizer().fit(signals, labels[:-1])
+        with pytest.raises(ValueError):
+            DetectAimedRecognizer().fit([], [])
+
+
+class TestInterferenceFilter:
+    def test_fit_and_filter(self):
+        signals, labels = _signals()
+        flags = labels == "slow"
+        filt = InterferenceFilter().fit(signals, flags)
+        pred = filt.predict_is_gesture(signals)
+        assert np.mean(pred == flags) > 0.9
+
+    def test_uses_bold_features_only(self):
+        filt = InterferenceFilter()
+        assert set(filt.extractor.families) <= {
+            "standard_deviation", "variance", "number_of_peaks",
+            "mean_absolute_change", "absolute_energy", "sample_entropy",
+            "autocorrelation", "fft", "linear_trend"}
+
+    def test_probability_bounds(self):
+        signals, labels = _signals()
+        filt = InterferenceFilter().fit(signals, labels == "slow")
+        p = filt.gesture_probability(signals[0])
+        assert 0.0 <= p <= 1.0
+
+    def test_labels(self):
+        assert GESTURE_LABEL != NON_GESTURE_LABEL
+
+    def test_single_class_rejected(self):
+        signals, _ = _signals()
+        with pytest.raises(ValueError):
+            InterferenceFilter().fit(signals, [True] * len(signals))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            InterferenceFilter().predict_is_gesture([np.zeros(10)])

@@ -1,0 +1,142 @@
+"""Unit tests for onset analysis and the detect/track dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AirFingerConfig
+from repro.core.dispatcher import (
+    GestureDispatcher,
+    SweepStatistics,
+    channel_lag_s,
+    onset_times,
+    sweep_statistics,
+)
+
+
+def _bell(n, centre, width, height=100.0):
+    t = np.arange(n)
+    return height * np.exp(-0.5 * ((t - centre) / width) ** 2)
+
+
+def _sweep_rss(n=200, lag=60, noise=0.3, seed=0):
+    """P1 bell first, P2 in between, P3 lagged: a scroll-up signature."""
+    rng = np.random.default_rng(seed)
+    base = 150.0
+    p1 = base + _bell(n, 60, 15)
+    p2 = base + _bell(n, 60 + lag // 2, 15)
+    p3 = base + _bell(n, 60 + lag, 15)
+    rss = np.stack([p1, p2, p3], axis=1)
+    return rss + rng.normal(0, noise, rss.shape)
+
+
+def _common_mode_rss(n=200, noise=0.3, seed=0):
+    """All channels carry the same waveform: a micro-gesture signature."""
+    rng = np.random.default_rng(seed)
+    wave = _bell(n, 80, 20) + _bell(n, 130, 20)
+    scales = [1.0, 0.8, 0.6]
+    rss = np.stack([150.0 + s * wave for s in scales], axis=1)
+    return rss + rng.normal(0, noise, rss.shape)
+
+
+class TestOnsetTimes:
+    def test_sweep_orders_onsets(self):
+        rss = _sweep_rss()
+        times = onset_times(rss, 100.0, gate=1.0)
+        assert all(t is not None for t in times)
+        assert times[0] < times[-1]
+
+    def test_silent_channel_none(self):
+        rss = _sweep_rss()
+        rss[:, 2] = 150.0  # P3 flat
+        times = onset_times(rss, 100.0, gate=1.0)
+        assert times[2] is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            onset_times(np.zeros((10, 3)), 0.0, gate=1.0)
+
+
+class TestChannelLag:
+    def test_recovers_lag(self):
+        rss = _sweep_rss(lag=50)
+        lag = channel_lag_s(rss, 100.0)
+        assert lag == pytest.approx(0.5, abs=0.05)
+
+    def test_sign_for_reverse_sweep(self):
+        rss = _sweep_rss(lag=50)[:, ::-1]  # reverse channel order
+        lag = channel_lag_s(rss, 100.0)
+        assert lag == pytest.approx(-0.5, abs=0.05)
+
+    def test_flat_channel_none(self):
+        rss = np.full((50, 3), 100.0)
+        assert channel_lag_s(rss, 100.0) is None
+
+    def test_common_mode_zero(self):
+        lag = channel_lag_s(_common_mode_rss(), 100.0)
+        assert lag == pytest.approx(0.0, abs=0.03)
+
+
+class TestSweepStatistics:
+    def test_sweep_signature(self):
+        stats = sweep_statistics(_sweep_rss(lag=60), 100.0)
+        assert stats.centroid_lag_s == pytest.approx(0.6, abs=0.08)
+        assert stats.early_fraction < 0.1
+        assert stats.bipolarity > 0.3
+
+    def test_common_mode_signature(self):
+        stats = sweep_statistics(_common_mode_rss(), 100.0)
+        assert abs(stats.centroid_lag_s) < 0.05
+        assert stats.early_fraction > 0.13  # above the sweep threshold
+
+    def test_degenerate_input(self):
+        stats = sweep_statistics(np.zeros((2, 1)), 100.0)
+        assert stats.centroid_lag_s == 0.0
+
+    def test_vector_matches_names(self):
+        stats = sweep_statistics(_sweep_rss(), 100.0)
+        assert stats.as_vector().shape == (len(SweepStatistics.vector_names()),)
+
+
+class TestGestureDispatcher:
+    @pytest.fixture()
+    def dispatcher(self):
+        return GestureDispatcher(AirFingerConfig())
+
+    def test_sweep_is_track(self, dispatcher):
+        assert dispatcher.classify(_sweep_rss(), gate=1.0) == "track"
+
+    def test_common_mode_is_detect(self, dispatcher):
+        assert dispatcher.classify(_common_mode_rss(), gate=1.0) == "detect"
+
+    def test_partial_sweep_is_track(self, dispatcher):
+        n = 200
+        rng = np.random.default_rng(1)
+        p1 = 150.0 + _bell(n, 80, 18)
+        p2 = 150.0 + 0.25 * _bell(n, 95, 18)
+        p3 = np.full(n, 150.0)
+        rss = np.stack([p1, p2, p3], axis=1) + rng.normal(0, 0.2, (n, 3))
+        assert dispatcher.classify(rss, gate=3.0) == "track"
+
+    def test_silence_is_detect(self, dispatcher):
+        rss = np.full((100, 3), 150.0) + np.random.default_rng(0).normal(
+            0, 0.2, (100, 3))
+        assert dispatcher.classify(rss, gate=5.0) == "detect"
+
+    def test_calibration_improves_or_matches(self, dispatcher):
+        segments = []
+        kinds = []
+        for seed in range(12):
+            segments.append(_sweep_rss(seed=seed, lag=40 + seed))
+            kinds.append("track")
+            segments.append(_common_mode_rss(seed=seed))
+            kinds.append("detect")
+        dispatcher.calibrate(segments, kinds)
+        assert dispatcher.is_calibrated
+        pred = [dispatcher.classify(s, gate=1.0) for s in segments]
+        assert np.mean(np.array(pred) == np.array(kinds)) >= 0.9
+
+    def test_calibrate_validation(self, dispatcher):
+        with pytest.raises(ValueError):
+            dispatcher.calibrate([_sweep_rss()], ["track", "detect"])
+        with pytest.raises(ValueError):
+            dispatcher.calibrate([_sweep_rss()], ["scroll"])

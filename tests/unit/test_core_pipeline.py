@@ -1,0 +1,145 @@
+"""Unit tests for the real-time AirFinger pipeline."""
+
+import pytest
+
+from repro.acquisition.stream import stream_frames
+from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
+from repro.core.pipeline import AirFinger
+
+
+@pytest.fixture()
+def stream_sample(generator):
+    return generator.stream(
+        user_id=0,
+        gesture_sequence=["circle", "scroll_up", "click", "scroll_down"],
+        idle_s=1.0, lead_in_s=2.0)
+
+
+class TestStreamingSegmentation:
+    def test_segments_found(self, stream_sample):
+        engine = AirFinger()
+        events = engine.feed_recording(stream_sample.recording)
+        segments = [e for e in events if isinstance(e, SegmentEvent)]
+        # at least the four gestures; pose transitions may segment too
+        assert len(segments) >= 4
+
+    def test_segments_align_with_ground_truth(self, stream_sample):
+        engine = AirFinger()
+        events = engine.feed_recording(stream_sample.recording)
+        segments = [e for e in events if isinstance(e, SegmentEvent)]
+        truth = [s for s in stream_sample.recording.meta["segments"]
+                 if s[0] != "idle"]
+        matched = 0
+        for _, start, end in truth:
+            for seg in segments:
+                overlap = (min(end, seg.end_index)
+                           - max(start, seg.start_index))
+                if overlap > 0.4 * (end - start):
+                    matched += 1
+                    break
+        assert matched == len(truth)
+
+    def test_scroll_events_final(self, stream_sample):
+        engine = AirFinger()
+        events = engine.feed_recording(stream_sample.recording)
+        finals = [e for e in events
+                  if isinstance(e, ScrollUpdate) and e.final]
+        directions = [e.direction for e in finals]
+        assert 1 in directions and -1 in directions
+
+    def test_live_updates_precede_final(self, stream_sample):
+        engine = AirFinger(live_update_every=3)
+        events = engine.feed_recording(stream_sample.recording)
+        live = [e for e in events if isinstance(e, ScrollUpdate) and not e.final]
+        assert len(live) >= 1
+
+    def test_live_updates_disabled(self, stream_sample):
+        engine = AirFinger(live_update_every=0)
+        events = engine.feed_recording(stream_sample.recording)
+        live = [e for e in events if isinstance(e, ScrollUpdate) and not e.final]
+        assert live == []
+
+    def test_reset_clears_state(self, stream_sample):
+        engine = AirFinger()
+        engine.feed_recording(stream_sample.recording)
+        engine.reset()
+        assert engine.frames_fed == 0
+        events = engine.feed_recording(stream_sample.recording)
+        assert any(isinstance(e, SegmentEvent) for e in events)
+
+    def test_frame_by_frame_matches_batch(self, stream_sample):
+        batch = AirFinger().feed_recording(stream_sample.recording)
+        engine = AirFinger()
+        manual = []
+        for frame in stream_frames(stream_sample.recording):
+            manual.extend(engine.feed(frame))
+        manual.extend(engine.flush())
+        seg_a = [(e.start_index, e.end_index) for e in batch
+                 if isinstance(e, SegmentEvent)]
+        seg_b = [(e.start_index, e.end_index) for e in manual
+                 if isinstance(e, SegmentEvent)]
+        assert seg_a == seg_b
+
+
+class TestWithModels:
+    def test_detector_labels_segments(self, generator, stream_sample):
+        from repro.core.detector import DetectAimedRecognizer
+        corpus = generator.main_campaign(
+            gestures=("circle", "click"), repetitions=4)
+        detector = DetectAimedRecognizer().fit(corpus.signals(), corpus.labels)
+        engine = AirFinger(detector=detector)
+        events = engine.feed_recording(stream_sample.recording)
+        gestures = [e for e in events if isinstance(e, GestureEvent)]
+        assert gestures
+        for g in gestures:
+            assert g.label in ("circle", "click")
+            assert 0.0 < g.confidence <= 1.0
+
+    def test_interference_filter_can_reject(self, generator, stream_sample):
+        from repro.core.interference import InterferenceFilter
+
+        class AlwaysReject(InterferenceFilter):
+            def gesture_probability(self, signal):
+                return 0.0
+
+        filt = AlwaysReject()
+        filt.model_ = object()  # mark fitted; probability is overridden
+        engine = AirFinger(interference_filter=filt)
+        events = engine.feed_recording(stream_sample.recording)
+        rejected = [e for e in events
+                    if isinstance(e, GestureEvent) and not e.accepted]
+        assert rejected
+        assert all(e.label == "non_gesture" for e in rejected)
+
+
+class TestOfflineHelper:
+    def test_segment_recording(self, stream_sample):
+        engine = AirFinger()
+        triples = engine.segment_recording(stream_sample.recording)
+        assert len(triples) >= 4
+        for seg, rss, delta in triples:
+            assert rss.shape[0] == seg.length
+            assert delta.shape[0] == seg.length
+            assert rss.shape[1] == stream_sample.recording.n_channels
+
+
+class TestEvents:
+    def test_segment_event_validation(self):
+        with pytest.raises(ValueError):
+            SegmentEvent(start_index=5, end_index=5,
+                         start_time_s=0.05, end_time_s=0.05)
+
+    def test_scroll_update_direction_names(self):
+        seg = SegmentEvent(0, 10, 0.0, 0.1)
+        up = ScrollUpdate(1, 80.0, 8.0, 0.1, True, seg)
+        down = ScrollUpdate(-1, 80.0, -8.0, 0.1, True, seg)
+        none = ScrollUpdate(0, 80.0, 0.0, 0.1, True, seg)
+        assert up.direction_name == "scroll_up"
+        assert down.direction_name == "scroll_down"
+        assert none.direction_name == "unknown"
+
+    def test_pipeline_validation(self):
+        with pytest.raises(ValueError):
+            AirFinger(live_update_every=-1)
+        with pytest.raises(ValueError):
+            AirFinger(gate_fraction=0.0)

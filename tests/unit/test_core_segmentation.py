@@ -1,0 +1,142 @@
+"""Unit tests for Otsu thresholding and the dynamic segmenter."""
+
+import numpy as np
+import pytest
+
+from repro.core.segmentation import (
+    DynamicThresholdSegmenter,
+    Segment,
+    otsu_threshold,
+)
+
+
+def _bimodal(n_noise=800, n_gesture=120, noise_level=1.0,
+             gesture_level=500.0, seed=0):
+    rng = np.random.default_rng(seed)
+    noise = rng.exponential(noise_level, n_noise)
+    gesture = gesture_level * (1.0 + 0.3 * rng.random(n_gesture))
+    return np.concatenate([noise, gesture])
+
+
+class TestOtsuThreshold:
+    def test_splits_bimodal(self):
+        values = _bimodal()
+        thr = otsu_threshold(values)
+        assert 5.0 < thr < 400.0
+
+    def test_small_sample_returns_initial(self):
+        assert otsu_threshold(np.array([1.0, 2.0]), initial=10.0) == 10.0
+
+    def test_constant_values_return_initial(self):
+        assert otsu_threshold(np.full(100, 3.0), initial=7.0) == 7.0
+
+    def test_all_zero_returns_initial(self):
+        assert otsu_threshold(np.zeros(100), initial=9.0) == 9.0
+
+    def test_ignores_nan(self):
+        values = _bimodal()
+        values[::10] = np.nan
+        thr = otsu_threshold(values)
+        assert np.isfinite(thr)
+
+    def test_scale_covariance(self):
+        values = _bimodal()
+        a = otsu_threshold(values)
+        b = otsu_threshold(values * 100.0)
+        assert 50.0 < b / a < 200.0  # roughly scales with the data
+
+
+class TestSegment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment(5, 5)
+        with pytest.raises(ValueError):
+            Segment(-1, 3)
+
+    def test_gap_and_merge(self):
+        a = Segment(0, 10)
+        b = Segment(15, 20)
+        assert a.gap_to(b) == 5
+        merged = a.merged(b)
+        assert (merged.start, merged.end) == (0, 20)
+
+    def test_overlapping_gap_zero(self):
+        assert Segment(0, 10).gap_to(Segment(5, 12)) == 0
+
+
+class TestDynamicThresholdSegmenter:
+    def _stream(self, bursts, n=1500, noise=0.5, level=500.0, seed=0):
+        """Noise floor with rectangular gesture bursts at given extents."""
+        rng = np.random.default_rng(seed)
+        x = rng.exponential(noise, n)
+        for start, end in bursts:
+            x[start:end] = level * (1 + 0.2 * rng.random(end - start))
+        return x
+
+    def test_finds_single_burst(self, config):
+        x = self._stream([(600, 700)])
+        segments = DynamicThresholdSegmenter(config).segment(x)
+        assert len(segments) == 1
+        seg = segments[0]
+        assert abs(seg.start - 600) <= 12
+        assert abs(seg.end - 700) <= 16
+
+    def test_finds_multiple_bursts(self, config):
+        x = self._stream([(400, 500), (800, 900), (1200, 1320)])
+        segments = DynamicThresholdSegmenter(config).segment(x)
+        assert len(segments) == 3
+
+    def test_clusters_close_bursts(self, config):
+        # two bursts separated by less than t_e (10 samples at 100 Hz)
+        x = self._stream([(600, 660), (665, 720)])
+        segments = DynamicThresholdSegmenter(config).segment(x)
+        assert len(segments) == 1
+        assert segments[0].end - segments[0].start >= 100
+
+    def test_separates_distant_bursts(self, config):
+        x = self._stream([(600, 660), (700, 760)])
+        segments = DynamicThresholdSegmenter(config).segment(x)
+        assert len(segments) == 2
+
+    def test_rejects_tiny_glitches(self, config):
+        x = self._stream([(600, 604)])  # 40 ms < min_segment_s
+        segments = DynamicThresholdSegmenter(config).segment(x)
+        assert segments == []
+
+    def test_pure_noise_no_segments(self, config):
+        x = np.random.default_rng(1).exponential(0.5, 2000)
+        segments = DynamicThresholdSegmenter(config).segment(x)
+        assert segments == []
+
+    def test_threshold_adapts_to_scale(self, config):
+        seg = DynamicThresholdSegmenter(config)
+        seg.segment(self._stream([(600, 700)], noise=0.5))
+        low_scale = seg.threshold
+        seg2 = DynamicThresholdSegmenter(config)
+        seg2.segment(self._stream([(600, 700)], noise=50.0, level=50000.0))
+        assert seg2.threshold > 10 * low_scale
+
+    def test_flush_closes_open_segment(self, config):
+        x = self._stream([(1400, 1500)], n=1500)
+        seg = DynamicThresholdSegmenter(config)
+        collected = [s for v in x if (s := seg.push(v)) is not None]
+        tail = seg.flush()
+        assert collected == [] and tail is not None
+
+    def test_reset(self, config):
+        seg = DynamicThresholdSegmenter(config)
+        seg.segment(self._stream([(600, 700)]))
+        seg.reset()
+        assert seg.samples_seen == 0
+        assert seg.threshold == config.initial_threshold
+
+    def test_streaming_equals_offline(self, config):
+        x = self._stream([(400, 500), (900, 1000)])
+        offline = DynamicThresholdSegmenter(config).segment(x)
+        stream = DynamicThresholdSegmenter(config)
+        online = [s for v in x if (s := stream.push(v)) is not None]
+        tail = stream.flush()
+        if tail is not None:
+            online.append(tail)
+        assert [(s.start, s.end) for s in online] == \
+            [(s.start, s.end) for s in offline]

@@ -1,0 +1,88 @@
+"""Unit tests for custom-gesture template recognition (Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core.templates import TemplateRecognizer
+
+
+def _shape(kind: str, seed: int, n: int = 110) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 1, n)
+    if kind == "zigzag":
+        base = np.abs(np.sin(2 * np.pi * 4.0 * t)) * (1 + 0.5 * t)
+    elif kind == "taptap":
+        base = np.exp(-((t - 0.3) / 0.05) ** 2) + np.exp(-((t - 0.7) / 0.05) ** 2)
+    elif kind == "swoosh":
+        base = t ** 2 * np.abs(np.sin(2 * np.pi * 1.0 * t))
+    else:
+        raise ValueError(kind)
+    return 50.0 * base + rng.normal(0, 0.6, n) ** 2
+
+
+@pytest.fixture()
+def recognizer():
+    rec = TemplateRecognizer()
+    for kind in ("zigzag", "taptap", "swoosh"):
+        rec.enroll(kind, [_shape(kind, seed) for seed in range(4)])
+    return rec
+
+
+class TestEnrolment:
+    def test_enrolled_names(self, recognizer):
+        assert set(recognizer.enrolled) == {"zigzag", "taptap", "swoosh"}
+
+    def test_duplicate_rejected(self, recognizer):
+        with pytest.raises(ValueError):
+            recognizer.enroll("zigzag", [_shape("zigzag", 9),
+                                         _shape("zigzag", 10)])
+
+    def test_needs_two_reps(self):
+        with pytest.raises(ValueError):
+            TemplateRecognizer().enroll("x", [_shape("zigzag", 0)])
+
+    def test_forget(self, recognizer):
+        recognizer.forget("swoosh")
+        assert "swoosh" not in recognizer.enrolled
+        with pytest.raises(KeyError):
+            recognizer.forget("swoosh")
+
+
+class TestRecognition:
+    def test_closed_set_accuracy(self, recognizer):
+        signals, labels = [], []
+        for kind in ("zigzag", "taptap", "swoosh"):
+            for seed in range(20, 28):
+                signals.append(_shape(kind, seed))
+                labels.append(kind)
+        assert recognizer.score(signals, labels) > 0.85
+
+    def test_open_set_rejection(self, recognizer):
+        rng = np.random.default_rng(1)
+        noise = rng.exponential(1.0, 110)  # matches no enrolled shape
+        name, distance = recognizer.recognize(noise)
+        assert name is None
+        assert distance > 0.0
+
+    def test_distance_reported(self, recognizer):
+        name, distance = recognizer.recognize(_shape("taptap", 99))
+        assert name == "taptap"
+        assert distance < recognizer.templates["taptap"].rejection_distance
+
+    def test_no_templates(self):
+        with pytest.raises(RuntimeError):
+            TemplateRecognizer().recognize(np.zeros(50))
+
+    def test_short_signal_rejected(self, recognizer):
+        with pytest.raises(ValueError):
+            recognizer.recognize(np.zeros(2))
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            TemplateRecognizer(band_fraction=0.0)
+        with pytest.raises(ValueError):
+            TemplateRecognizer(max_length=4)
+        with pytest.raises(ValueError):
+            TemplateRecognizer(rejection_margin=0.0)

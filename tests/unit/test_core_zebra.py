@@ -1,0 +1,120 @@
+"""Unit tests for the ZEBRA tracking algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AirFingerConfig
+from repro.core.zebra import TrackResult, ZebraTracker
+
+
+def _bell(n, centre, width, height=100.0):
+    t = np.arange(n)
+    return height * np.exp(-0.5 * ((t - centre) / width) ** 2)
+
+
+def _sweep(n=200, lag=60, up=True, seed=0):
+    rng = np.random.default_rng(seed)
+    p1 = 150.0 + _bell(n, 60, 15)
+    p2 = 150.0 + _bell(n, 60 + lag // 2, 15)
+    p3 = 150.0 + _bell(n, 60 + lag, 15)
+    rss = np.stack([p1, p2, p3], axis=1)
+    if not up:
+        rss = rss[:, ::-1]
+    return rss + rng.normal(0, 0.3, rss.shape)
+
+
+@pytest.fixture()
+def tracker():
+    return ZebraTracker(config=AirFingerConfig(), baseline_mm=24.0)
+
+
+class TestDirections:
+    def test_scroll_up(self, tracker):
+        result = tracker.track(_sweep(up=True), gate=1.0)
+        assert result.direction == 1
+        assert result.direction_name == "scroll_up"
+        assert not result.used_default_speed
+
+    def test_scroll_down(self, tracker):
+        result = tracker.track(_sweep(up=False), gate=1.0)
+        assert result.direction == -1
+        assert result.direction_name == "scroll_down"
+
+    def test_partial_scroll_up_default_speed(self, tracker):
+        n = 200
+        rng = np.random.default_rng(2)
+        p1 = 150.0 + _bell(n, 70, 15)
+        p2 = 150.0 + 0.2 * _bell(n, 85, 15)
+        p3 = np.full(n, 150.0)
+        rss = np.stack([p1, p2, p3], axis=1) + rng.normal(0, 0.2, (n, 3))
+        result = tracker.track(rss, gate=3.0)
+        assert result.direction == 1
+        assert result.used_default_speed
+        assert result.velocity_mm_s == tracker.config.default_scroll_speed_mm_s
+
+    def test_partial_scroll_down_default_speed(self, tracker):
+        n = 200
+        rng = np.random.default_rng(2)
+        p3 = 150.0 + _bell(n, 70, 15)
+        p2 = 150.0 + 0.2 * _bell(n, 85, 15)
+        p1 = np.full(n, 150.0)
+        rss = np.stack([p1, p2, p3], axis=1) + rng.normal(0, 0.2, (n, 3))
+        result = tracker.track(rss, gate=3.0)
+        assert result.direction == -1
+        assert result.used_default_speed
+
+    def test_silence_unknown(self, tracker):
+        rss = np.full((100, 3), 150.0)
+        result = tracker.track(rss, gate=5.0)
+        assert result.direction == 0
+        assert result.direction_name == "unknown"
+
+
+class TestVelocityDisplacement:
+    def test_velocity_from_lag(self, tracker):
+        # 60-sample lag at 100 Hz over a 24 mm baseline -> 40 mm/s
+        result = tracker.track(_sweep(lag=60), gate=1.0)
+        assert result.velocity_mm_s == pytest.approx(40.0, rel=0.2)
+
+    def test_faster_sweep_higher_velocity(self, tracker):
+        slow = tracker.track(_sweep(lag=80), gate=1.0)
+        fast = tracker.track(_sweep(lag=30), gate=1.0)
+        assert fast.velocity_mm_s > slow.velocity_mm_s
+
+    def test_displacement_formula(self, tracker):
+        result = tracker.track(_sweep(), gate=1.0)
+        t_half = result.duration_s / 2
+        np.testing.assert_allclose(
+            result.displacement_at(t_half),
+            result.direction * result.velocity_mm_s * t_half)
+
+    def test_displacement_saturates_at_duration(self, tracker):
+        result = tracker.track(_sweep(), gate=1.0)
+        at_end = result.displacement_at(result.duration_s)
+        beyond = result.displacement_at(result.duration_s + 10.0)
+        assert at_end == beyond == result.total_displacement_mm
+
+    def test_negative_time_rejected(self, tracker):
+        result = tracker.track(_sweep(), gate=1.0)
+        with pytest.raises(ValueError):
+            result.displacement_at(-1.0)
+
+    def test_displacement_profile_shape(self, tracker):
+        result = tracker.track(_sweep(), gate=1.0)
+        profile = tracker.displacement_profile(result, n_points=30)
+        assert profile.shape == (30, 2)
+        assert profile[0, 1] == 0.0
+
+
+class TestValidation:
+    def test_single_channel_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.track(np.zeros((50, 1)), gate=1.0)
+
+    def test_baseline_positive(self):
+        with pytest.raises(ValueError):
+            ZebraTracker(config=AirFingerConfig(), baseline_mm=0.0)
+
+    def test_result_direction_names(self):
+        result = TrackResult(0, 80.0, 1.0, None, True, (None, None, None))
+        assert result.direction_name == "unknown"

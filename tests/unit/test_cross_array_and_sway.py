@@ -1,0 +1,75 @@
+"""Unit tests for the cross array and scene-level wristband sway."""
+
+import numpy as np
+import pytest
+
+from repro.hand.finger import scene_for_trajectory
+from repro.hand.gestures import GestureSpec, synthesize_gesture
+from repro.hand.trajectory import concatenate_trajectories, idle_trajectory
+from repro.noise.motion import apply_scene_sway, sway_waveform
+from repro.optics.array import cross_array
+
+
+class TestCrossArray:
+    def test_channel_order(self):
+        arr = cross_array()
+        assert arr.channel_names == ("P1", "P2", "P3", "P4", "P5")
+        assert len(arr.leds) == 4
+
+    def test_two_axes(self):
+        arr = cross_array(pitch_mm=6.0)
+        p1 = arr.element("P1").position
+        p3 = arr.element("P3").position
+        p4 = arr.element("P4").position
+        p5 = arr.element("P5").position
+        np.testing.assert_allclose(p3 - p1, [24.0, 0.0, 0.0])
+        np.testing.assert_allclose(p5 - p4, [0.0, 24.0, 0.0])
+
+    def test_shared_centre_pd(self):
+        arr = cross_array()
+        np.testing.assert_allclose(arr.element("P2").position, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cross_array(pitch_mm=0.0)
+
+
+class TestSwayWaveform:
+    def test_shape_and_scale(self):
+        t = np.arange(500) / 100.0
+        sit = sway_waveform(t, "sitting", rng=1)
+        walk = sway_waveform(t, "walking", rng=1)
+        assert sit.shape == (500, 3)
+        assert walk.std() > 2 * sit.std()
+
+    def test_unknown_condition(self):
+        with pytest.raises(ValueError):
+            sway_waveform(np.arange(10) / 100.0, "flying", rng=1)
+
+    def test_deterministic(self):
+        t = np.arange(100) / 100.0
+        np.testing.assert_array_equal(sway_waveform(t, "walking", rng=5),
+                                      sway_waveform(t, "walking", rng=5))
+
+
+class TestApplySceneSway:
+    def test_all_patches_move_coherently(self):
+        traj = synthesize_gesture(GestureSpec(name="circle"), rng=1)
+        scene = scene_for_trajectory(traj, rng=1)
+        before = [p.positions_mm.copy() for p in scene.patches]
+        apply_scene_sway(scene, "walking", rng=2)
+        deltas = [p.positions_mm - b for p, b in zip(scene.patches, before)]
+        for d in deltas[1:]:
+            np.testing.assert_allclose(d, deltas[0])
+        assert np.abs(deltas[0]).max() > 0.1
+
+
+class TestConcatenateMeta:
+    def test_segment_meta_carried(self):
+        a = synthesize_gesture(GestureSpec(name="scroll_up"), rng=1)
+        b = idle_trajectory(0.5, 100.0)
+        joined = concatenate_trajectories([a, b])
+        metas = joined.meta["segment_meta"]
+        assert len(metas) == 2
+        assert metas[0]["direction"] == 1
+        assert "travel_mm" in metas[0]

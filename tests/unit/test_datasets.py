@@ -1,0 +1,146 @@
+"""Unit tests for corpus containers and campaign generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corpus import GestureCorpus
+from repro.datasets.generator import CampaignConfig
+from repro.hand.gestures import GESTURE_NAMES
+from repro.hand.nongestures import NONGESTURE_NAMES
+
+
+class TestCampaignConfig:
+    def test_n_samples(self):
+        cfg = CampaignConfig(n_users=10, n_sessions=5, repetitions=25)
+        assert cfg.n_samples == 10000  # the paper's corpus size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(n_users=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(gestures=("wave",))
+
+
+class TestCaptures:
+    def test_capture_gesture_annotations(self, generator):
+        sample = generator.capture_gesture(1, 0, "rub", 2)
+        assert sample.label == "rub"
+        assert sample.user_id == 1
+        assert sample.session_id == 0
+        assert sample.repetition == 2
+        assert sample.is_gesture
+        assert not sample.is_track_aimed
+
+    def test_track_aimed_flag(self, generator):
+        sample = generator.capture_gesture(0, 0, "scroll_up", 0)
+        assert sample.is_track_aimed
+
+    def test_capture_deterministic(self, generator):
+        a = generator.capture_gesture(0, 0, "circle", 5)
+        b = generator.capture_gesture(0, 0, "circle", 5)
+        np.testing.assert_array_equal(a.recording.rss, b.recording.rss)
+
+    def test_repetitions_differ(self, generator):
+        a = generator.capture_gesture(0, 0, "circle", 5)
+        b = generator.capture_gesture(0, 0, "circle", 6)
+        assert a.recording.n_samples != b.recording.n_samples or \
+            not np.array_equal(a.recording.rss, b.recording.rss)
+
+    def test_capture_nongesture(self, generator):
+        sample = generator.capture_nongesture(0, 0, "scratch", 1)
+        assert sample.label == "scratch"
+        assert not sample.is_gesture
+
+    def test_distance_override_recorded(self, generator):
+        sample = generator.capture_gesture(
+            0, 0, "circle", 0, distance_override_mm=33.0,
+            condition="distance=33.0")
+        assert sample.recording.meta["distance_mm"] == 33.0
+        assert sample.condition == "distance=33.0"
+
+
+class TestCampaigns:
+    def test_main_campaign_shape(self, small_corpus):
+        assert len(small_corpus) == 3 * 2 * 8 * 2
+        assert set(small_corpus.labels) == set(GESTURE_NAMES)
+
+    def test_signals_cached(self, small_corpus):
+        a = small_corpus.signals()
+        b = small_corpus.signals()
+        assert a is b
+
+    def test_interference_campaign_balanced(self, generator):
+        corpus = generator.interference_campaign(
+            users=(0, 1), sessions=(0,), gestures_per_session=6,
+            nongestures_per_session=6)
+        flags = np.array([s.is_gesture for s in corpus])
+        assert flags.sum() == 12
+        assert (~flags).sum() == 12
+        non = {s.label for s in corpus if not s.is_gesture}
+        assert non <= set(NONGESTURE_NAMES)
+
+    def test_distance_campaign_conditions(self, generator):
+        corpus = generator.distance_campaign(
+            distances_mm=[10.0, 30.0], users=(0,), repetitions=2,
+            gestures=("circle",))
+        assert set(corpus.conditions) == {"distance=10.0", "distance=30.0"}
+
+    def test_ambient_campaign_hours(self, generator):
+        corpus = generator.ambient_campaign(
+            hours=(8, 14), users=(0,), repetitions=1, gestures=("click",))
+        assert set(corpus.conditions) == {"hour=8", "hour=14"}
+
+    def test_wristband_campaign(self, generator):
+        corpus = generator.wristband_campaign(
+            conditions=("sitting",), users=(0,), repetitions=2,
+            gestures=("circle",))
+        assert all(s.condition == "sitting" for s in corpus)
+
+    def test_offhand_campaign_mirrors(self, generator):
+        corpus = generator.offhand_campaign(
+            users=(0,), sessions=(0,), repetitions=1,
+            gestures=("scroll_up",))
+        assert all(s.condition == "offhand" for s in corpus)
+
+    def test_stream_ground_truth(self, generator):
+        sample = generator.stream(0, ["circle", "scratch", "scroll_up"])
+        segs = [x for x in sample.recording.meta["segments"]
+                if x[0] != "idle"]
+        assert [x[0] for x in segs] == ["circle", "scratch", "scroll_up"]
+
+    def test_stream_unknown_element(self, generator):
+        with pytest.raises(ValueError):
+            generator.stream(0, ["wave"])
+
+
+class TestCorpusOps:
+    def test_subset_and_filter(self, small_corpus):
+        mask = small_corpus.labels == "circle"
+        sub = small_corpus.subset(mask)
+        assert len(sub) == int(mask.sum())
+        filt = small_corpus.filter(lambda s: s.user_id == 0)
+        assert all(s.user_id == 0 for s in filt)
+
+    def test_subset_mask_length_checked(self, small_corpus):
+        with pytest.raises(ValueError):
+            small_corpus.subset(np.ones(3, dtype=bool))
+
+    def test_arrays(self, small_corpus):
+        assert len(small_corpus.labels) == len(small_corpus)
+        assert set(small_corpus.users) == {0, 1, 2}
+        assert set(small_corpus.sessions) == {0, 1}
+
+    def test_save_load_roundtrip(self, small_corpus, tmp_path):
+        path = tmp_path / "corpus.npz"
+        small_corpus.save(path)
+        loaded = GestureCorpus.load(path)
+        assert len(loaded) == len(small_corpus)
+        np.testing.assert_array_equal(loaded.labels, small_corpus.labels)
+        np.testing.assert_array_equal(loaded.users, small_corpus.users)
+        np.testing.assert_allclose(
+            loaded[0].recording.rss, small_corpus[0].recording.rss,
+            rtol=1e-4)
+
+    def test_save_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            GestureCorpus().save(tmp_path / "x.npz")

@@ -1,0 +1,161 @@
+"""Unit tests for evaluation protocols, reporting and the rating model."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocols import (
+    classifier_comparison,
+    condition_accuracy,
+    distinguisher_performance,
+    gesture_inconsistency,
+    individual_diversity,
+    overall_detect_performance,
+    performance_summary,
+    track_direction_accuracy,
+    unintentional_motion_performance,
+)
+from repro.eval.rating import ScrollObservation, fluency_rating, rate_tracking_session
+from repro.eval.report import format_accuracy_table, format_confusion, format_ranking
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+
+
+class TestClassificationProtocols:
+    def test_overall(self, small_corpus, small_features):
+        res = overall_detect_performance(small_corpus, X=small_features,
+                                         n_splits=3)
+        assert 0.3 < res.accuracy <= 1.0
+        assert len(res.per_group) == 3
+        assert set(res.summary.labels) <= {
+            "circle", "double_circle", "rub", "double_rub",
+            "click", "double_click"}
+
+    def test_individual_diversity_groups_by_user(self, small_corpus,
+                                                 small_features):
+        res = individual_diversity(small_corpus, X=small_features)
+        assert set(res.per_group) == {0, 1, 2}
+
+    def test_gesture_inconsistency_groups_by_session(self, small_corpus,
+                                                     small_features):
+        res = gesture_inconsistency(small_corpus, X=small_features)
+        assert set(res.per_group) == {0, 1}
+
+    def test_classifier_comparison_structure(self, small_corpus,
+                                             small_features):
+        table = classifier_comparison(
+            small_corpus, {"BNB": BernoulliNaiveBayes},
+            test_fractions=(0.25, 0.5), X=small_features)
+        assert set(table) == {"BNB"}
+        assert set(table["BNB"]) == {0.25, 0.5}
+        assert all(0 <= v <= 1 for v in table["BNB"].values())
+
+    def test_comparison_needs_classifiers(self, small_corpus, small_features):
+        with pytest.raises(ValueError):
+            classifier_comparison(small_corpus, {}, X=small_features)
+
+
+class TestTrackingProtocols:
+    def test_track_direction(self, small_corpus):
+        res = track_direction_accuracy(small_corpus)
+        assert set(res.direction_accuracy) == {"scroll_up", "scroll_down"}
+        assert res.average_direction_accuracy > 0.7
+
+    def test_track_requires_samples(self, small_corpus):
+        detect_only = small_corpus.filter(lambda s: not s.is_track_aimed)
+        with pytest.raises(ValueError):
+            track_direction_accuracy(detect_only)
+
+    def test_distinguisher(self, small_corpus):
+        res = distinguisher_performance(small_corpus)
+        assert res.summary.accuracy > 0.8
+        assert set(res.summary.labels) == {"detect", "track"}
+
+
+class TestInterferenceProtocol:
+    def test_unintentional(self, generator):
+        corpus = generator.interference_campaign(
+            users=(0, 1), sessions=(0,), gestures_per_session=8,
+            nongestures_per_session=8)
+        res = unintentional_motion_performance(corpus, n_splits=2)
+        assert res.summary.accuracy > 0.6
+        assert set(res.summary.labels) == {"gesture", "non_gesture"}
+
+
+class TestConditionProtocol:
+    def test_condition_buckets(self, generator):
+        corpus = generator.wristband_campaign(
+            conditions=("sitting", "walking"), users=(0, 1),
+            repetitions=2, gestures=("circle", "click"))
+        res = condition_accuracy(corpus, n_splits=2)
+        assert set(res.per_group) == {"sitting", "walking"}
+
+
+class TestPerformanceSummary:
+    def test_table_assembly(self, small_corpus, small_features):
+        detect = overall_detect_performance(small_corpus, X=small_features,
+                                            n_splits=3)
+        track = track_direction_accuracy(small_corpus)
+        table = performance_summary(detect, track, rating=2.6)
+        assert set(table["track_per_gesture"]) == {"scroll_up", "scroll_down"}
+        assert len(table["detect_per_gesture"]) == 6
+        assert 0 <= table["overall_average"] <= 1
+        assert table["scroll_rating"] == 2.6
+
+
+class TestRating:
+    def test_fluency_rating_levels(self):
+        assert fluency_rating(False, 0.0) == 1
+        assert fluency_rating(True, 0.8) == 2
+        assert fluency_rating(True, 0.1) == 3
+        with pytest.raises(ValueError):
+            fluency_rating(True, -0.1)
+
+    def test_session_rating_perfect(self):
+        obs = [ScrollObservation(1, 1, 40.0, 40.0) for _ in range(10)]
+        res = rate_tracking_session(obs)
+        assert res["average_rating"] == 3.0
+        assert res["fraction_matched"] == 1.0
+
+    def test_session_rating_gain_invariant(self):
+        # estimates uniformly 2x the truth: a display gain absorbs it
+        obs = [ScrollObservation(1, 1, 2 * d, d) for d in (20.0, 30.0, 40.0)]
+        res = rate_tracking_session(obs)
+        assert res["average_rating"] == 3.0
+        np.testing.assert_allclose(res["gain"], 0.5)
+
+    def test_wrong_direction_rates_one(self):
+        obs = [ScrollObservation(-1, 1, 40.0, 40.0)]
+        assert rate_tracking_session(obs)["average_rating"] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rate_tracking_session([])
+
+    def test_observation_validation(self):
+        with pytest.raises(ValueError):
+            ScrollObservation(1, 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ScrollObservation(1, 1, 1.0, 0.0)
+
+
+class TestReportFormatting:
+    def test_confusion_render(self):
+        labels = np.array(["a", "b"])
+        matrix = np.array([[0.9, 0.1], [0.2, 0.8]])
+        text = format_confusion(labels, matrix)
+        assert "90.00%" in text and "a" in text
+
+    def test_confusion_shape_check(self):
+        with pytest.raises(ValueError):
+            format_confusion(["a"], np.zeros((2, 2)))
+
+    def test_accuracy_table_flat(self):
+        text = format_accuracy_table({"circle": 0.98})
+        assert "circle" in text and "98.00%" in text
+
+    def test_accuracy_table_nested(self):
+        text = format_accuracy_table({"RF": {0.25: 0.99}, "LR": {0.25: 0.95}})
+        assert "RF" in text and "0.25" in text
+
+    def test_ranking(self):
+        text = format_ranking([("fft", 0.5), ("variance", 0.3)], top=1)
+        assert "fft" in text and "variance" not in text

@@ -1,0 +1,42 @@
+"""Unit tests for extractors built over the extended candidate pool."""
+
+import numpy as np
+import pytest
+
+from repro.features.extractor import FeatureExtractor
+from repro.features.registry import extended_registry, feature_registry
+
+
+class TestExtendedExtractor:
+    @pytest.fixture(scope="class")
+    def wide(self):
+        return FeatureExtractor(specs=extended_registry())
+
+    def test_vector_width(self, wide):
+        assert wide.n_features == len(extended_registry())
+        assert wide.n_features > FeatureExtractor.full().n_features
+
+    def test_extraction_finite(self, wide):
+        x = np.random.default_rng(0).exponential(2.0, 140)
+        v = wide.extract(x)
+        assert v.shape == (wide.n_features,)
+        assert np.all(np.isfinite(v))
+
+    def test_table1_prefix_matches_full_extractor(self, wide):
+        """The extended pool keeps Table-I columns first and unchanged."""
+        x = np.random.default_rng(1).exponential(1.0, 90)
+        base = FeatureExtractor.full().extract(x)
+        ext = wide.extract(x)
+        n = len(feature_registry())
+        np.testing.assert_array_equal(ext[:n], base)
+
+    def test_candidate_columns_present(self, wide):
+        names = set(wide.names)
+        assert "mean_value" in names
+        assert "skewness" in names
+        assert "binned_entropy__bins=10" in names
+
+    def test_for_names_on_candidates_rejected_by_default_registry(self):
+        # the default extractor does not know candidate features
+        with pytest.raises(KeyError):
+            FeatureExtractor.for_names(["mean_value"])

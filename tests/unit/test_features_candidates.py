@@ -1,0 +1,101 @@
+"""Unit tests for the candidate feature pool."""
+
+import numpy as np
+import pytest
+
+from repro.features import candidates as cd
+from repro.features.registry import (
+    CANDIDATE_FAMILIES,
+    extended_registry,
+    feature_registry,
+)
+
+
+@pytest.fixture()
+def noise():
+    return np.random.default_rng(0).normal(0, 1, 200)
+
+
+class TestCandidateCalculators:
+    def test_mean_median_extrema(self):
+        x = np.array([1.0, 2.0, 2.0, 7.0])
+        assert cd.mean_value(x) == 3.0
+        assert cd.median_value(x) == 2.0
+        assert cd.max_value(x) == 7.0
+        assert cd.min_value(x) == 1.0
+
+    def test_skewness_signs(self):
+        right = np.concatenate([np.zeros(90), np.full(10, 10.0)])
+        assert cd.skewness(right) > 1.0
+        assert abs(cd.skewness(np.sin(np.arange(100) / 3))) < 0.5
+
+    def test_zero_crossings_of_tone(self):
+        t = np.arange(200) / 100.0
+        x = np.sin(2 * np.pi * 3.0 * t)  # 3 Hz for 2 s -> 12 crossings
+        assert cd.zero_crossings(x) == pytest.approx(12 / 200, abs=0.01)
+
+    def test_second_derivative_of_parabola(self):
+        x = np.arange(50, dtype=float) ** 2
+        assert cd.mean_second_derivative(x) == pytest.approx(1.0)
+
+    def test_ratio_beyond_sigma(self, noise):
+        r1 = cd.ratio_beyond_sigma(noise, 1.0)
+        r2 = cd.ratio_beyond_sigma(noise, 2.0)
+        assert r1 > r2 > 0.0
+        with pytest.raises(ValueError):
+            cd.ratio_beyond_sigma(noise, 0.0)
+
+    def test_binned_entropy_orders(self, noise):
+        constant_ish = np.concatenate([np.zeros(190), np.ones(10)])
+        assert cd.binned_entropy(noise) > cd.binned_entropy(constant_ish)
+
+    def test_index_mass_quantile_monotone(self, noise):
+        x = np.abs(noise)
+        q25 = cd.index_mass_quantile(x, 0.25)
+        q75 = cd.index_mass_quantile(x, 0.75)
+        assert 0.0 < q25 < q75 <= 1.0
+
+    def test_reoccurring(self):
+        x = np.array([1.0, 2.0, 2.0, 3.0])
+        assert cd.sum_of_reoccurring_values(x) == 2.0
+        assert cd.percentage_of_reoccurring_points(x) == 0.5
+
+    @pytest.mark.parametrize("func", [
+        cd.mean_value, cd.median_value, cd.max_value, cd.min_value,
+        cd.skewness, cd.zero_crossings, cd.mean_second_derivative,
+        cd.ratio_beyond_sigma, cd.binned_entropy,
+        cd.variance_larger_than_std, cd.index_mass_quantile,
+        cd.range_ratio, cd.sum_of_reoccurring_values,
+        cd.percentage_of_reoccurring_points,
+    ])
+    def test_total_on_degenerate_inputs(self, func):
+        for x in (np.array([]), np.zeros(1), np.full(5, 3.0)):
+            assert np.isfinite(func(x))
+
+
+class TestExtendedRegistry:
+    def test_superset_of_table1(self):
+        base = {s.name for s in feature_registry()}
+        wide = {s.name for s in extended_registry()}
+        assert base < wide
+
+    def test_candidate_families_present(self):
+        families = {s.family for s in extended_registry()}
+        assert set(CANDIDATE_FAMILIES) <= families
+
+    def test_is_table1_flag(self):
+        for spec in extended_registry():
+            assert spec.is_table1 == (spec.family not in CANDIDATE_FAMILIES)
+
+    def test_candidates_never_bold(self):
+        for spec in extended_registry():
+            if not spec.is_table1:
+                assert not spec.bold
+
+    def test_unique_names(self):
+        names = [s.name for s in extended_registry()]
+        assert len(set(names)) == len(names)
+
+    def test_all_finite_on_noise(self, noise):
+        for spec in extended_registry():
+            assert np.isfinite(spec.compute(noise)), spec.name

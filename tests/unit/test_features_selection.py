@@ -1,0 +1,90 @@
+"""Unit tests for RF-importance feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.features.extractor import FeatureExtractor
+from repro.features.selection import FeatureSelector, rank_families
+
+
+@pytest.fixture(scope="module")
+def labelled_signals():
+    """Two easily separable signal classes: slow tone vs fast tone."""
+    rng = np.random.default_rng(0)
+    signals, labels = [], []
+    for i in range(40):
+        t = np.arange(100) / 100.0
+        if i % 2 == 0:
+            s = np.sin(2 * np.pi * 1.0 * t) + rng.normal(0, 0.1, 100)
+            labels.append("slow")
+        else:
+            s = np.sin(2 * np.pi * 8.0 * t) + rng.normal(0, 0.1, 100)
+            labels.append("fast")
+        signals.append(np.abs(s))
+    return signals, np.array(labels)
+
+
+class TestRankFamilies:
+    def test_ranking_covers_families(self, labelled_signals):
+        signals, y = labelled_signals
+        ext = FeatureExtractor.full()
+        X = ext.extract_many(signals)
+        ranking = rank_families(X, ext.names, ext.families, y,
+                                n_estimators=10)
+        families = [f for f, _ in ranking]
+        assert len(set(families)) == len(families)
+        scores = [s for _, s in ranking]
+        assert scores == sorted(scores, reverse=True)
+        np.testing.assert_allclose(sum(scores), 1.0, rtol=1e-6)
+
+    def test_shape_mismatch_rejected(self, labelled_signals):
+        signals, y = labelled_signals
+        ext = FeatureExtractor.full()
+        X = ext.extract_many(signals)
+        with pytest.raises(ValueError):
+            rank_families(X, ext.names[:-1], ext.families[:-1], y)
+
+
+class TestFeatureSelector:
+    def test_top_k_selection(self, labelled_signals):
+        signals, y = labelled_signals
+        ext = FeatureExtractor.full()
+        X = ext.extract_many(signals)
+        selector = FeatureSelector(top_k_families=5, n_estimators=10)
+        Xs = selector.fit_transform(X, y, ext)
+        assert len(selector.selected_families_) == 5
+        assert Xs.shape[0] == X.shape[0]
+        assert Xs.shape[1] < X.shape[1]
+
+    def test_selected_extractor_matches_mask(self, labelled_signals):
+        signals, y = labelled_signals
+        ext = FeatureExtractor.full()
+        X = ext.extract_many(signals)
+        selector = FeatureSelector(top_k_families=4, n_estimators=10)
+        selector.fit(X, y, ext)
+        sub = selector.selected_extractor()
+        assert set(sub.families) == set(selector.selected_families_)
+
+    def test_all_families_is_identity_mask(self, labelled_signals):
+        signals, y = labelled_signals
+        ext = FeatureExtractor.full()
+        X = ext.extract_many(signals)
+        selector = FeatureSelector(top_k_families=25, n_estimators=10)
+        Xs = selector.fit_transform(X, y, ext)
+        assert Xs.shape == X.shape
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureSelector().transform(np.zeros((2, 3)))
+
+    def test_transform_column_check(self, labelled_signals):
+        signals, y = labelled_signals
+        ext = FeatureExtractor.full()
+        X = ext.extract_many(signals)
+        selector = FeatureSelector(top_k_families=3, n_estimators=5).fit(X, y, ext)
+        with pytest.raises(ValueError):
+            selector.transform(X[:, :10])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureSelector(top_k_families=0)

@@ -1,0 +1,120 @@
+"""Unit tests for the trajectory -> scene bridge (pinch complex, hand back)."""
+
+import numpy as np
+import pytest
+
+from repro.hand.finger import (
+    fingertip_patch,
+    fingertip_patches,
+    hand_back_patch,
+    scene_for_trajectory,
+)
+from repro.hand.gestures import GestureSpec, synthesize_gesture
+from repro.hand.profiles import sample_population
+from repro.hand.trajectory import Trajectory
+
+
+@pytest.fixture()
+def circle_traj():
+    return synthesize_gesture(GestureSpec(name="circle", distance_mm=20.0),
+                              rng=3)
+
+
+@pytest.fixture()
+def scroll_traj():
+    return synthesize_gesture(GestureSpec(name="scroll_up", distance_mm=20.0),
+                              rng=3)
+
+
+class TestFingertipPatch:
+    def test_single_patch_follows(self, circle_traj):
+        patch = fingertip_patch(circle_traj)
+        np.testing.assert_array_equal(patch.positions_mm,
+                                      circle_traj.positions_mm)
+
+    def test_user_scales_area(self, circle_traj):
+        user = sample_population(1, seed=1)[0]
+        patch = fingertip_patch(circle_traj, user)
+        np.testing.assert_allclose(patch.area_mm2, user.fingertip_area_mm2)
+
+
+class TestFingertipPatches:
+    def test_tip_plus_complex(self, circle_traj):
+        patches = fingertip_patches(circle_traj)
+        names = [p.name for p in patches]
+        assert sum(n.startswith("fingertip") for n in names) == 3
+        assert sum(n.startswith("pinch_complex") for n in names) == 5
+
+    def test_area_modulation_on_tip(self, circle_traj):
+        patches = fingertip_patches(circle_traj)
+        tip = patches[0]
+        assert np.ptp(tip.area_mm2) > 0  # circle modulates exposed area
+
+    def test_micro_gesture_complex_barely_moves(self, circle_traj):
+        patches = fingertip_patches(circle_traj)
+        complex_patch = next(p for p in patches
+                             if p.name.startswith("pinch_complex"))
+        tip_extent = np.ptp(circle_traj.positions_mm[:, 2])
+        complex_extent = np.ptp(complex_patch.positions_mm[:, 2])
+        assert complex_extent < 0.5 * tip_extent
+
+    def test_scroll_complex_follows_fully(self, scroll_traj):
+        patches = fingertip_patches(scroll_traj)
+        complex_patch = next(p for p in patches
+                             if p.name.startswith("pinch_complex"))
+        tip_travel = np.ptp(scroll_traj.positions_mm[:, 0])
+        complex_travel = np.ptp(complex_patch.positions_mm[:, 0])
+        np.testing.assert_allclose(complex_travel, tip_travel, rtol=0.05)
+
+    def test_explicit_follow_validated(self, circle_traj):
+        with pytest.raises(ValueError):
+            fingertip_patches(circle_traj, complex_follow=1.5)
+
+    def test_stream_per_segment_follow(self):
+        n = 20
+        pos = np.zeros((n, 3))
+        pos[:, 0] = np.linspace(0, 19, n)
+        pos[:, 2] = 20.0
+        traj = Trajectory(
+            times_s=np.arange(n) / 100.0,
+            positions_mm=pos,
+            normals=np.array([0, 0, -1.0]),
+            label="stream",
+            meta={"segments": [("circle", 0, 10), ("scroll_up", 10, 20)]})
+        patches = fingertip_patches(traj)
+        complex_patch = next(p for p in patches
+                             if p.name.startswith("pinch_complex"))
+        rel = complex_patch.positions_mm[:, 0] - complex_patch.positions_mm[0, 0]
+        # circle half barely moves, scroll half moves at full rate
+        assert np.ptp(rel[:10]) < 0.5 * np.ptp(pos[:10, 0])
+        assert np.ptp(rel[10:]) > 0.9 * np.ptp(pos[10:, 0])
+
+
+class TestHandBack:
+    def test_quasi_static(self, circle_traj):
+        hb = hand_back_patch(circle_traj, rng=1)
+        assert np.ptp(hb.positions_mm[:, 0]) < 2.0
+
+    def test_behind_the_tip(self, circle_traj):
+        hb = hand_back_patch(circle_traj, rng=1)
+        assert hb.positions_mm[:, 2].mean() > circle_traj.positions_mm[:, 2].mean()
+
+    def test_large_area(self, circle_traj):
+        hb = hand_back_patch(circle_traj, rng=1)
+        assert float(np.mean(hb.area_mm2)) > 300.0
+
+
+class TestSceneForTrajectory:
+    def test_patch_count(self, circle_traj):
+        scene = scene_for_trajectory(circle_traj, rng=1)
+        assert len(scene.patches) == 9  # 3 tip + 5 complex + hand back
+
+    def test_without_hand_back(self, circle_traj):
+        scene = scene_for_trajectory(circle_traj, include_hand_back=False,
+                                     rng=1)
+        assert len(scene.patches) == 8
+
+    def test_ambient_waveform_carried(self, circle_traj):
+        amb = np.full(circle_traj.n_samples, 0.002)
+        scene = scene_for_trajectory(circle_traj, ambient_mw_mm2=amb, rng=1)
+        np.testing.assert_array_equal(scene.ambient_mw_mm2, amb)

@@ -1,0 +1,129 @@
+"""Unit tests for the eight gesture generators."""
+
+import numpy as np
+import pytest
+
+from repro.hand.gestures import (
+    DETECT_GESTURES,
+    GESTURE_NAMES,
+    TRACK_GESTURES,
+    GestureSpec,
+    synthesize_gesture,
+)
+
+
+class TestGestureSpec:
+    def test_gesture_sets(self):
+        assert len(GESTURE_NAMES) == 8
+        assert set(DETECT_GESTURES) | set(TRACK_GESTURES) == set(GESTURE_NAMES)
+        assert not set(DETECT_GESTURES) & set(TRACK_GESTURES)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            GestureSpec(name="wave")
+
+    def test_with_name(self):
+        spec = GestureSpec(name="circle", distance_mm=17.0)
+        other = spec.with_name("rub")
+        assert other.name == "rub"
+        assert other.distance_mm == 17.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("distance_mm", -1.0),
+        ("amplitude_scale", 0.0),
+        ("speed_scale", -0.5),
+        ("tremor_mm", -0.1),
+        ("pause_scale", 0.0),
+        ("scroll_coverage", 0.05),
+        ("sample_rate_hz", 0.0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            GestureSpec(name="circle", **{field: value})
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("name", GESTURE_NAMES)
+    def test_every_gesture_produces_trajectory(self, name):
+        traj = synthesize_gesture(GestureSpec(name=name), rng=3)
+        assert traj.label == name
+        assert traj.n_samples >= 4
+        assert np.all(np.isfinite(traj.positions_mm))
+        assert traj.meta["distance_mm"] == 25.0
+
+    @pytest.mark.parametrize("name", GESTURE_NAMES)
+    def test_deterministic_given_seed(self, name):
+        spec = GestureSpec(name=name)
+        a = synthesize_gesture(spec, rng=9)
+        b = synthesize_gesture(spec, rng=9)
+        np.testing.assert_array_equal(a.positions_mm, b.positions_mm)
+        np.testing.assert_array_equal(a.area_scale, b.area_scale)
+
+    def test_seeds_vary_repetitions(self):
+        spec = GestureSpec(name="circle")
+        a = synthesize_gesture(spec, rng=1)
+        b = synthesize_gesture(spec, rng=2)
+        assert not np.allclose(a.positions_mm[: min(a.n_samples, b.n_samples)],
+                               b.positions_mm[: min(a.n_samples, b.n_samples)])
+
+    def test_speed_scale_shortens(self):
+        slow = synthesize_gesture(GestureSpec(name="rub", speed_scale=0.7), rng=1)
+        fast = synthesize_gesture(GestureSpec(name="rub", speed_scale=1.4), rng=1)
+        assert fast.duration_s < slow.duration_s
+
+    def test_doubles_longer_than_singles(self):
+        for single, double in [("circle", "double_circle"),
+                               ("rub", "double_rub"),
+                               ("click", "double_click")]:
+            s = synthesize_gesture(GestureSpec(name=single), rng=4)
+            d = synthesize_gesture(GestureSpec(name=double), rng=4)
+            assert d.duration_s > s.duration_s
+
+    def test_click_dips_towards_board(self):
+        traj = synthesize_gesture(GestureSpec(name="click", distance_mm=25.0),
+                                  rng=2)
+        assert traj.positions_mm[:, 2].min() < 25.0 - 5.0
+
+    def test_click_depth_limited_by_distance(self):
+        traj = synthesize_gesture(GestureSpec(name="click", distance_mm=8.0),
+                                  rng=2)
+        assert traj.positions_mm[:, 2].min() > 0.0
+
+    def test_scroll_direction_and_meta(self):
+        up = synthesize_gesture(GestureSpec(name="scroll_up"), rng=5)
+        down = synthesize_gesture(GestureSpec(name="scroll_down"), rng=5)
+        assert up.meta["direction"] == 1
+        assert down.meta["direction"] == -1
+        assert up.positions_mm[-1, 0] > up.positions_mm[0, 0]
+        assert down.positions_mm[-1, 0] < down.positions_mm[0, 0]
+
+    def test_scroll_travel_meta(self):
+        traj = synthesize_gesture(
+            GestureSpec(name="scroll_up", scroll_coverage=1.0), rng=5)
+        assert traj.meta["travel_mm"] == pytest.approx(44.0)
+
+    def test_partial_scroll_stays_on_near_side(self):
+        traj = synthesize_gesture(
+            GestureSpec(name="scroll_up", scroll_coverage=0.35), rng=5)
+        # never reaches P3 at +12 mm
+        assert traj.positions_mm[:, 0].max() < 0.0
+
+    def test_circle_area_modulated(self):
+        traj = synthesize_gesture(GestureSpec(name="circle"), rng=6)
+        assert np.ptp(traj.area_scale) > 0.3
+
+    def test_rub_faster_oscillation_than_circle(self):
+        rub = synthesize_gesture(GestureSpec(name="rub"), rng=6)
+        circle = synthesize_gesture(GestureSpec(name="circle"), rng=6)
+
+        def dominant_hz(traj):
+            a = traj.area_scale - traj.area_scale.mean()
+            spec = np.abs(np.fft.rfft(a))
+            freqs = np.fft.rfftfreq(len(a), 1.0 / 100.0)
+            return freqs[1:][np.argmax(spec[1:])]
+
+        assert dominant_hz(rub) > dominant_hz(circle)
+
+    def test_normals_face_board(self):
+        traj = synthesize_gesture(GestureSpec(name="circle"), rng=7)
+        assert np.all(traj.normals[:, 2] < 0)

@@ -1,0 +1,51 @@
+"""Unit tests for the non-gesture (unintentional motion) generators."""
+
+import numpy as np
+import pytest
+
+from repro.hand.gestures import GestureSpec
+from repro.hand.nongestures import NONGESTURE_NAMES, synthesize_nongesture
+
+
+@pytest.fixture()
+def spec():
+    return GestureSpec(name="circle", distance_mm=20.0)
+
+
+class TestSynthesizeNongesture:
+    @pytest.mark.parametrize("family", NONGESTURE_NAMES)
+    def test_families_produce_labelled_trajectories(self, spec, family):
+        traj = synthesize_nongesture(family, spec, rng=3)
+        assert traj.label == family
+        assert traj.n_samples >= 4
+        assert np.all(np.isfinite(traj.positions_mm))
+
+    def test_three_families(self):
+        assert set(NONGESTURE_NAMES) == {"scratch", "extend", "reposition"}
+
+    def test_unknown_family(self, spec):
+        with pytest.raises(ValueError):
+            synthesize_nongesture("yawn", spec, rng=0)
+
+    @pytest.mark.parametrize("family", NONGESTURE_NAMES)
+    def test_deterministic(self, spec, family):
+        a = synthesize_nongesture(family, spec, rng=9)
+        b = synthesize_nongesture(family, spec, rng=9)
+        np.testing.assert_array_equal(a.positions_mm, b.positions_mm)
+
+    def test_extend_moves_away(self, spec):
+        traj = synthesize_nongesture("extend", spec, rng=1)
+        assert traj.positions_mm[-1, 2] > traj.positions_mm[0, 2] + 8.0
+
+    def test_reposition_translates(self, spec):
+        traj = synthesize_nongesture("reposition", spec, rng=1)
+        lateral = np.linalg.norm(
+            traj.positions_mm[-1, :2] - traj.positions_mm[0, :2])
+        assert lateral > 2.0
+
+    def test_scratch_is_oscillatory(self, spec):
+        traj = synthesize_nongesture("scratch", spec, rng=1)
+        # scratching jitters around the start rather than drifting away
+        drift = np.linalg.norm(traj.positions_mm[-1] - traj.positions_mm[0])
+        extent = np.ptp(traj.positions_mm, axis=0).max()
+        assert extent > drift

@@ -1,0 +1,128 @@
+"""Unit tests for user/session diversity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.hand.gestures import GESTURE_NAMES
+from repro.hand.profiles import (
+    SessionProfile,
+    UserProfile,
+    make_spec,
+    sample_population,
+    user_style,
+)
+
+
+class TestSamplePopulation:
+    def test_count_and_ids(self):
+        users = sample_population(10, seed=1)
+        assert [u.user_id for u in users] == list(range(10))
+
+    def test_deterministic(self):
+        a = sample_population(5, seed=3)
+        b = sample_population(5, seed=3)
+        assert a == b
+
+    def test_seed_changes_population(self):
+        a = sample_population(5, seed=3)
+        b = sample_population(5, seed=4)
+        assert a != b
+
+    def test_demographics_match_paper(self):
+        users = sample_population(10, seed=2020)
+        sexes = [u.sex for u in users]
+        assert sexes.count("M") == 4
+        assert sexes.count("F") == 6
+        assert all(20 <= u.age <= 49 for u in users)
+        assert all(u.handedness == "right" for u in users)
+
+    def test_kinematic_diversity_present(self):
+        users = sample_population(10, seed=2020)
+        speeds = [u.speed_factor for u in users]
+        assert np.ptp(speeds) > 0.2
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            sample_population(0, seed=1)
+
+
+class TestUserProfileValidation:
+    def test_bad_handedness(self):
+        with pytest.raises(ValueError):
+            UserProfile(user_id=0, handedness="ambi")
+
+    def test_bad_factors(self):
+        with pytest.raises(ValueError):
+            UserProfile(user_id=0, speed_factor=0.0)
+        with pytest.raises(ValueError):
+            UserProfile(user_id=0, skin_tone_factor=2.0)
+
+
+class TestSessionProfile:
+    def test_derived_deterministically(self):
+        user = sample_population(1, seed=7)[0]
+        a = user.session(2, base_seed=7)
+        b = user.session(2, base_seed=7)
+        assert a == b
+
+    def test_sessions_differ(self):
+        user = sample_population(1, seed=7)[0]
+        assert user.session(0, 7) != user.session(1, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionProfile(user_id=0, session_id=0, speed_drift=0.0)
+
+
+class TestUserStyle:
+    def test_stable_per_user(self):
+        assert user_style(3, 11) == user_style(3, 11)
+
+    def test_users_differ(self):
+        styles = [user_style(u, 11) for u in range(6)]
+        loops = [s.circle_loop_s for s in styles]
+        assert len(set(loops)) == len(loops)
+
+
+class TestMakeSpec:
+    @pytest.fixture()
+    def context(self):
+        user = sample_population(2, seed=5)[0]
+        session = user.session(0, base_seed=5)
+        return user, session
+
+    @pytest.mark.parametrize("gesture", GESTURE_NAMES)
+    def test_all_gestures(self, context, gesture):
+        user, session = context
+        spec = make_spec(user, session, gesture, 0, base_seed=5)
+        assert spec.name == gesture
+        assert 5.0 <= spec.distance_mm <= 60.0
+
+    def test_repetition_jitter(self, context):
+        user, session = context
+        a = make_spec(user, session, "circle", 0, base_seed=5)
+        b = make_spec(user, session, "circle", 1, base_seed=5)
+        assert a != b
+
+    def test_deterministic(self, context):
+        user, session = context
+        a = make_spec(user, session, "circle", 3, base_seed=5)
+        b = make_spec(user, session, "circle", 3, base_seed=5)
+        assert a == b
+
+    def test_style_constant_across_sessions(self, context):
+        user, _ = context
+        s0 = make_spec(user, user.session(0, 5), "rub", 0, base_seed=5)
+        s1 = make_spec(user, user.session(1, 5), "rub", 7, base_seed=5)
+        assert s0.style == s1.style
+
+    def test_distance_override(self, context):
+        user, session = context
+        spec = make_spec(user, session, "circle", 0, base_seed=5,
+                         distance_override_mm=42.0)
+        assert spec.distance_mm == 42.0
+
+    def test_unknown_gesture(self, context):
+        user, session = context
+        with pytest.raises(ValueError):
+            make_spec(user, session, "wave", 0, base_seed=5)

@@ -1,0 +1,133 @@
+"""Unit tests for trajectories and their algebra."""
+
+import numpy as np
+import pytest
+
+from repro.hand.trajectory import (
+    Trajectory,
+    concatenate_trajectories,
+    idle_trajectory,
+)
+
+
+def _make(n=10, label="circle"):
+    times = np.arange(n) / 100.0
+    pos = np.stack([np.linspace(0, 9, n),
+                    np.zeros(n),
+                    np.full(n, 20.0)], axis=1)
+    return Trajectory(times_s=times, positions_mm=pos,
+                      normals=np.array([0.0, 0.0, -1.0]), label=label)
+
+
+class TestTrajectory:
+    def test_basic_properties(self):
+        t = _make(11)
+        assert t.n_samples == 11
+        np.testing.assert_allclose(t.duration_s, 0.1)
+        np.testing.assert_allclose(t.sample_rate_hz, 100.0)
+
+    def test_default_area_scale(self):
+        t = _make(5)
+        np.testing.assert_array_equal(t.area_scale, np.ones(5))
+
+    def test_area_scale_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory(times_s=np.arange(3) / 100, positions_mm=np.zeros((3, 3)),
+                       normals=np.array([0, 0, -1.0]),
+                       area_scale=np.array([1.0, -0.5, 1.0]))
+        with pytest.raises(ValueError):
+            Trajectory(times_s=np.arange(3) / 100, positions_mm=np.zeros((3, 3)),
+                       normals=np.array([0, 0, -1.0]),
+                       area_scale=np.ones(4))
+
+    def test_speed_constant_for_linear_motion(self):
+        t = _make(20)
+        speeds = t.speed_mm_s()
+        np.testing.assert_allclose(speeds, speeds[0], rtol=1e-6)
+
+    def test_shifted(self):
+        t = _make()
+        moved = t.shifted([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(
+            moved.positions_mm - t.positions_mm,
+            np.tile([1.0, 2.0, 3.0], (t.n_samples, 1)))
+
+    def test_shifted_bad_offset(self):
+        with pytest.raises(ValueError):
+            _make().shifted([1.0, 2.0])
+
+    def test_mirrored_x(self):
+        t = _make()
+        m = t.mirrored_x()
+        np.testing.assert_allclose(m.positions_mm[:, 0],
+                                   -t.positions_mm[:, 0])
+        np.testing.assert_allclose(m.positions_mm[:, 1:],
+                                   t.positions_mm[:, 1:])
+        assert m.meta["mirrored"] is True
+        assert m.mirrored_x().meta["mirrored"] is False
+
+    def test_non_monotone_times_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(times_s=np.array([0.0, 0.0, 0.1]),
+                       positions_mm=np.zeros((3, 3)),
+                       normals=np.array([0, 0, -1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(times_s=np.arange(3) / 100.0,
+                       positions_mm=np.zeros((4, 3)),
+                       normals=np.array([0, 0, -1.0]))
+
+
+class TestIdleTrajectory:
+    def test_stationary(self):
+        t = idle_trajectory(0.5, 100.0)
+        assert np.ptp(t.positions_mm, axis=0).max() == 0.0
+        assert t.label == "idle"
+
+    def test_duration(self):
+        t = idle_trajectory(1.0, 100.0)
+        assert t.n_samples == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            idle_trajectory(0.0, 100.0)
+        with pytest.raises(ValueError):
+            idle_trajectory(1.0, 0.0)
+
+
+class TestConcatenate:
+    def test_lengths_and_segments(self):
+        a = _make(10, "circle")
+        b = _make(15, "rub")
+        joined = concatenate_trajectories([a, b])
+        assert joined.n_samples == 25
+        assert joined.label == "stream"
+        assert joined.meta["segments"] == [("circle", 0, 10), ("rub", 10, 25)]
+
+    def test_times_strictly_increasing(self):
+        joined = concatenate_trajectories([_make(5), _make(5)])
+        assert np.all(np.diff(joined.times_s) > 0)
+
+    def test_area_scale_carried(self):
+        a = _make(4)
+        b = Trajectory(times_s=np.arange(4) / 100.0,
+                       positions_mm=np.zeros((4, 3)),
+                       normals=np.array([0, 0, -1.0]),
+                       label="rub",
+                       area_scale=np.full(4, 2.0))
+        joined = concatenate_trajectories([a, b])
+        np.testing.assert_array_equal(joined.area_scale,
+                                      [1, 1, 1, 1, 2, 2, 2, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_trajectories([])
+
+    def test_rate_mismatch_rejected(self):
+        a = _make(10)
+        b = Trajectory(times_s=np.arange(10) / 50.0,
+                       positions_mm=np.zeros((10, 3)),
+                       normals=np.array([0, 0, -1.0]))
+        with pytest.raises(ValueError):
+            concatenate_trajectories([a, b])

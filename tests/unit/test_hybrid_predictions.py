@@ -1,0 +1,51 @@
+"""Unit tests for the deployed-semantics hybrid scorer."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocols import compute_features, hybrid_predictions
+from repro.hand.gestures import TRACK_GESTURES
+
+
+class TestHybridPredictions:
+    @pytest.fixture(scope="class")
+    def split(self, small_corpus, small_features):
+        X = np.asarray(small_features)
+        n = len(small_corpus)
+        train_mask = np.zeros(n, dtype=bool)
+        train_mask[: int(0.7 * n)] = True
+        return (small_corpus.subset(train_mask), X[train_mask],
+                small_corpus.subset(~train_mask), X[~train_mask])
+
+    def test_output_shape_and_labels(self, split):
+        train, X_train, test, X_test = split
+        pred = hybrid_predictions(train, X_train, test, X_test)
+        assert pred.shape == (len(test),)
+        known = set(train.labels) | {"unknown"}
+        assert set(pred) <= known
+
+    def test_track_samples_get_scroll_labels(self, split):
+        train, X_train, test, X_test = split
+        pred = hybrid_predictions(train, X_train, test, X_test)
+        track_mask = np.array([s.is_track_aimed for s in test])
+        track_pred = set(pred[track_mask])
+        assert track_pred <= set(TRACK_GESTURES) | {"unknown"}
+
+    def test_detect_samples_never_get_scroll_labels(self, split):
+        train, X_train, test, X_test = split
+        pred = hybrid_predictions(train, X_train, test, X_test)
+        detect_mask = np.array([not s.is_track_aimed for s in test])
+        assert not set(pred[detect_mask]) & set(TRACK_GESTURES)
+
+    def test_mirrored_scrolls_user_frame(self, generator):
+        # a mirrored scroll_up moves towards -x; the hybrid scorer must
+        # still label it scroll_up (the board is re-oriented for the
+        # off-hand sessions)
+        train = generator.main_campaign(repetitions=2)
+        X_train = compute_features(train)
+        mirrored = generator.offhand_campaign(
+            users=(0, 1), sessions=(0,), repetitions=3,
+            gestures=("scroll_up",))
+        X_test = compute_features(mirrored)
+        pred = hybrid_predictions(train, X_train, mirrored, X_test)
+        assert (pred == "scroll_up").mean() > 0.7

@@ -1,0 +1,95 @@
+"""Unit tests for the from-scratch 1-D CNN."""
+
+import numpy as np
+import pytest
+
+from repro.ml.cnn import Conv1dClassifier, _conv1d_backward, _conv1d_forward
+
+
+def _tone(freq, n=110, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / 100.0
+    return np.sin(2 * np.pi * freq * t) + rng.normal(0, 0.1, n)
+
+
+class TestConvPrimitives:
+    def test_forward_matches_direct(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, (2, 3, 12))
+        w = rng.normal(0, 1, (4, 3, 5))
+        b = rng.normal(0, 1, 4)
+        out = _conv1d_forward(x, w, b)
+        assert out.shape == (2, 4, 8)
+        # check one output element directly
+        direct = np.sum(x[1, :, 2:7] * w[3]) + b[3]
+        np.testing.assert_allclose(out[1, 3, 2], direct, rtol=1e-9)
+
+    def test_backward_matches_numeric_gradient(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, (1, 2, 10))
+        w = rng.normal(0, 1, (3, 2, 3))
+        b = np.zeros(3)
+        grad_out = rng.normal(0, 1, (1, 3, 8))
+
+        grad_x, grad_w, grad_b = _conv1d_backward(x, w, grad_out)
+
+        def loss(w_):
+            return float(np.sum(_conv1d_forward(x, w_, b) * grad_out))
+
+        eps = 1e-6
+        for idx in [(0, 0, 0), (2, 1, 2), (1, 0, 1)]:
+            w_plus = w.copy(); w_plus[idx] += eps
+            w_minus = w.copy(); w_minus[idx] -= eps
+            numeric = (loss(w_plus) - loss(w_minus)) / (2 * eps)
+            np.testing.assert_allclose(grad_w[idx], numeric, rtol=1e-4)
+
+
+class TestConv1dClassifier:
+    @pytest.fixture(scope="class")
+    def data(self):
+        signals, labels = [], []
+        for i in range(24):
+            signals.append(_tone(1.5, seed=i))
+            labels.append("slow")
+            signals.append(_tone(7.0, seed=100 + i))
+            labels.append("fast")
+        return signals, np.asarray(labels)
+
+    def test_learns_separable_classes(self, data):
+        signals, labels = data
+        model = Conv1dClassifier(epochs=25, random_state=0)
+        model.fit(signals[:32], labels[:32])
+        assert model.score(signals[32:], labels[32:]) > 0.85
+
+    def test_proba_normalized(self, data):
+        signals, labels = data
+        model = Conv1dClassifier(epochs=5, random_state=0).fit(
+            signals[:16], labels[:16])
+        proba = model.predict_proba(signals[:8])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+        assert np.all(proba >= 0)
+
+    def test_variable_length_inputs(self):
+        signals = [_tone(2.0, n=60 + 10 * i, seed=i) for i in range(8)]
+        signals += [_tone(8.0, n=60 + 10 * i, seed=50 + i) for i in range(8)]
+        labels = ["a"] * 8 + ["b"] * 8
+        model = Conv1dClassifier(epochs=15, random_state=1).fit(signals, labels)
+        assert model.score(signals, labels) > 0.85
+
+    def test_deterministic(self, data):
+        signals, labels = data
+        a = Conv1dClassifier(epochs=3, random_state=2).fit(
+            signals[:16], labels[:16]).predict(signals[16:24])
+        b = Conv1dClassifier(epochs=3, random_state=2).fit(
+            signals[:16], labels[:16]).predict(signals[16:24])
+        np.testing.assert_array_equal(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Conv1dClassifier().predict([np.zeros(50)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Conv1dClassifier(input_length=4)
+        with pytest.raises(ValueError):
+            Conv1dClassifier().fit([], [])

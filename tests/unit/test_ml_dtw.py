@@ -1,0 +1,88 @@
+"""Unit tests for DTW distance and the k-NN DTW classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dtw import KnnDtwClassifier, dtw_distance
+
+
+def _tone(freq, n=100, phase=0.0):
+    return np.sin(2 * np.pi * freq * np.arange(n) / 100.0 + phase)
+
+
+class TestDtwDistance:
+    def test_identity_zero(self):
+        x = _tone(2.0)
+        assert dtw_distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        a, b = _tone(2.0), _tone(3.0)
+        np.testing.assert_allclose(dtw_distance(a, b), dtw_distance(b, a),
+                                   rtol=1e-9)
+
+    def test_time_shift_tolerated(self):
+        a = _tone(2.0)
+        shifted = _tone(2.0, phase=0.3)
+        different = _tone(6.0)
+        assert dtw_distance(a, shifted) < dtw_distance(a, different)
+
+    def test_amplitude_invariance(self):
+        a = _tone(2.0)
+        np.testing.assert_allclose(dtw_distance(a, 7.0 * a), 0.0, atol=1e-9)
+
+    def test_length_robustness(self):
+        a = _tone(2.0, n=100)
+        b = _tone(2.0, n=140)  # same shape, slower tempo
+        c = _tone(6.0, n=100)
+        assert dtw_distance(a, b) < dtw_distance(a, c)
+
+    def test_empty_infinite(self):
+        assert dtw_distance(np.array([]), _tone(2.0)) == float("inf")
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            dtw_distance(_tone(1.0), _tone(2.0), band_fraction=0.0)
+
+    def test_unnormalized_mode(self):
+        a = np.array([0.0, 1.0, 0.0])
+        b = np.array([0.0, 5.0, 0.0])
+        assert dtw_distance(a, b, normalize=False) > 0.0
+
+
+class TestKnnDtw:
+    @pytest.fixture()
+    def data(self):
+        rng = np.random.default_rng(0)
+        signals, labels = [], []
+        for i in range(10):
+            signals.append(_tone(1.5, n=90 + i) + rng.normal(0, 0.05, 90 + i))
+            labels.append("slow")
+            signals.append(_tone(5.0, n=90 + i) + rng.normal(0, 0.05, 90 + i))
+            labels.append("fast")
+        return signals, np.array(labels)
+
+    def test_classification(self, data):
+        signals, labels = data
+        model = KnnDtwClassifier(n_neighbors=1).fit(signals[:12], labels[:12])
+        assert model.score(signals[12:], labels[12:]) > 0.9
+
+    def test_classes_recorded(self, data):
+        signals, labels = data
+        model = KnnDtwClassifier().fit(signals, labels)
+        assert set(model.classes_) == {"slow", "fast"}
+
+    def test_long_signals_condensed(self):
+        model = KnnDtwClassifier(max_reference_length=32)
+        long = np.sin(np.arange(1000) / 20.0)
+        model.fit([long, -long], ["a", "b"])
+        assert all(len(r) == 32 for r in model._references)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KnnDtwClassifier().predict([np.zeros(10)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnnDtwClassifier(n_neighbors=0)
+        with pytest.raises(ValueError):
+            KnnDtwClassifier().fit([], [])

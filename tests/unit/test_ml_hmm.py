@@ -1,0 +1,91 @@
+"""Unit tests for the Gaussian HMM and its classifier bank."""
+
+import numpy as np
+import pytest
+
+from repro.ml.hmm import GaussianHmm, HmmClassifier
+
+
+def _ramp_sequence(rng, n=80):
+    """Low level then high level: a two-phase sequence."""
+    half = n // 2
+    return np.concatenate([rng.normal(0.0, 0.3, half),
+                           rng.normal(3.0, 0.3, n - half)])
+
+
+def _oscillation(rng, n=80):
+    t = np.arange(n) / 100.0
+    return np.sin(2 * np.pi * 6.0 * t) * 2.0 + rng.normal(0, 0.3, n)
+
+
+class TestGaussianHmm:
+    def test_fit_and_likelihood(self):
+        rng = np.random.default_rng(0)
+        train = [_ramp_sequence(rng) for _ in range(8)]
+        model = GaussianHmm(n_states=3, n_iter=8).fit(train)
+        same = model.log_likelihood(_ramp_sequence(rng))
+        other = model.log_likelihood(_oscillation(rng))
+        assert same > other
+
+    def test_parameters_valid_after_fit(self):
+        rng = np.random.default_rng(1)
+        model = GaussianHmm(n_states=4, n_iter=5).fit(
+            [_ramp_sequence(rng) for _ in range(5)])
+        np.testing.assert_allclose(np.exp(model.log_trans_).sum(axis=1),
+                                   1.0, rtol=1e-6)
+        np.testing.assert_allclose(np.exp(model.log_start_).sum(), 1.0,
+                                   rtol=1e-6)
+        assert np.all(model.variances_ >= model.min_variance)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianHmm().log_likelihood(np.zeros(10))
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianHmm().fit([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianHmm(n_states=0)
+        with pytest.raises(ValueError):
+            GaussianHmm(min_variance=0.0)
+
+    def test_short_sequence_likelihood(self):
+        rng = np.random.default_rng(2)
+        model = GaussianHmm(n_states=2, n_iter=3).fit(
+            [_ramp_sequence(rng) for _ in range(4)])
+        assert model.log_likelihood(np.array([1.0])) == float("-inf")
+
+
+class TestHmmClassifier:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(3)
+        sequences, labels = [], []
+        for _ in range(10):
+            sequences.append(_ramp_sequence(rng))
+            labels.append("ramp")
+            sequences.append(_oscillation(rng))
+            labels.append("osc")
+        return sequences, np.asarray(labels)
+
+    def test_classification(self, data):
+        sequences, labels = data
+        model = HmmClassifier(n_states=3, n_iter=6).fit(
+            sequences[:12], labels[:12])
+        assert model.score(sequences[12:], labels[12:]) > 0.8
+
+    def test_classes_recorded(self, data):
+        sequences, labels = data
+        model = HmmClassifier(n_states=2, n_iter=3).fit(sequences, labels)
+        assert set(model.classes_) == {"ramp", "osc"}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HmmClassifier().predict([np.zeros(10)])
+
+    def test_length_mismatch(self, data):
+        sequences, labels = data
+        with pytest.raises(ValueError):
+            HmmClassifier().fit(sequences, labels[:-1])

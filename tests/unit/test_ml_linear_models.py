@@ -1,0 +1,104 @@
+"""Unit tests for logistic regression and Bernoulli naive Bayes."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+
+
+def _blobs(n=60, seed=0, sep=3.0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([0, 0], 0.5, (n, 2))
+    b = rng.normal([sep, sep], 0.5, (n, 2))
+    X = np.vstack([a, b])
+    y = np.array(["a"] * n + ["b"] * n)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_separable_blobs(self):
+        X, y = _blobs()
+        model = LogisticRegressionClassifier().fit(X, y)
+        assert model.score(X, y) > 0.98
+
+    def test_proba_normalized(self):
+        X, y = _blobs()
+        proba = LogisticRegressionClassifier().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(c, 0.4, (40, 2)) for c in (0, 3, 6)])
+        y = np.repeat(["x", "y", "z"], 40)
+        model = LogisticRegressionClassifier().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_regularization_shrinks_weights(self):
+        X, y = _blobs()
+        loose = LogisticRegressionClassifier(l2=1e-4).fit(X, y)
+        tight = LogisticRegressionClassifier(l2=10.0).fit(X, y)
+        assert np.abs(tight.coef_).sum() < np.abs(loose.coef_).sum()
+
+    def test_constant_feature_no_crash(self):
+        X, y = _blobs()
+        X = np.hstack([X, np.ones((len(X), 1))])
+        model = LogisticRegressionClassifier().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict(np.zeros((2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(l2=-1.0)
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(max_iter=0)
+
+    def test_deterministic(self):
+        X, y = _blobs()
+        a = LogisticRegressionClassifier().fit(X, y)
+        b = LogisticRegressionClassifier().fit(X, y)
+        np.testing.assert_allclose(a.coef_, b.coef_)
+
+
+class TestBernoulliNaiveBayes:
+    def test_separable_blobs(self):
+        X, y = _blobs(sep=4.0)
+        model = BernoulliNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_proba_normalized(self):
+        X, y = _blobs()
+        proba = BernoulliNaiveBayes().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_thresholds_are_medians(self):
+        X, y = _blobs()
+        model = BernoulliNaiveBayes().fit(X, y)
+        np.testing.assert_allclose(model.thresholds_, np.median(X, axis=0))
+
+    def test_smoothing_avoids_zero_probabilities(self):
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array(["a", "a", "b", "b"])
+        model = BernoulliNaiveBayes(alpha=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.feature_log_prob_))
+        assert np.all(np.isfinite(model.feature_log_prob_neg_))
+
+    def test_prior_reflected(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((100, 1))  # no signal at all
+        y = np.array(["a"] * 90 + ["b"] * 10)
+        model = BernoulliNaiveBayes().fit(X, y)
+        pred = model.predict(rng.random((50, 1)))
+        assert (pred == "a").mean() > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BernoulliNaiveBayes().predict(np.zeros((2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliNaiveBayes(alpha=0.0)

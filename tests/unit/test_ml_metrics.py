@@ -1,0 +1,94 @@
+"""Unit tests for the Section V-C metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_summary,
+    confusion_matrix,
+    per_class_precision,
+    per_class_recall,
+)
+
+
+@pytest.fixture()
+def example():
+    y_true = np.array(["a", "a", "a", "b", "b", "c"])
+    y_pred = np.array(["a", "a", "b", "b", "b", "a"])
+    return y_true, y_pred
+
+
+class TestAccuracy:
+    def test_value(self, example):
+        assert accuracy_score(*example) == pytest.approx(4 / 6)
+
+    def test_perfect(self):
+        y = np.array(["x", "y"])
+        assert accuracy_score(y, y) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array(["a"]), np.array(["a", "b"]))
+
+
+class TestConfusion:
+    def test_row_normalized(self, example):
+        labels, matrix = confusion_matrix(*example)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+        # row a: 2/3 a, 1/3 b
+        a = list(labels).index("a")
+        b = list(labels).index("b")
+        np.testing.assert_allclose(matrix[a, a], 2 / 3)
+        np.testing.assert_allclose(matrix[a, b], 1 / 3)
+
+    def test_counts_mode(self, example):
+        labels, matrix = confusion_matrix(*example, normalize=False)
+        assert matrix.sum() == 6
+
+    def test_explicit_labels_order(self, example):
+        labels, matrix = confusion_matrix(
+            *example, labels=np.array(["c", "b", "a"]))
+        assert list(labels) == ["c", "b", "a"]
+        assert matrix.shape == (3, 3)
+
+    def test_absent_class_row_zero(self):
+        y_true = np.array(["a", "a"])
+        y_pred = np.array(["a", "a"])
+        labels, matrix = confusion_matrix(
+            y_true, y_pred, labels=np.array(["a", "ghost"]))
+        np.testing.assert_array_equal(matrix[1], [0.0, 0.0])
+
+
+class TestRecallPrecision:
+    def test_paper_definitions(self, example):
+        y_true, y_pred = example
+        recall = per_class_recall(y_true, y_pred)
+        precision = per_class_precision(y_true, y_pred)
+        assert recall["a"] == pytest.approx(2 / 3)     # 2 of 3 true a found
+        assert precision["a"] == pytest.approx(2 / 3)  # 2 of 3 predicted a right
+        assert recall["b"] == pytest.approx(1.0)
+        assert precision["b"] == pytest.approx(2 / 3)
+        assert recall["c"] == 0.0
+
+    def test_never_predicted_precision_zero(self, example):
+        precision = per_class_precision(*example)
+        assert precision["c"] == 0.0
+
+
+class TestSummary:
+    def test_bundle(self, example):
+        summary = classification_summary(*example)
+        assert summary.accuracy == pytest.approx(4 / 6)
+        assert set(summary.labels) == {"a", "b", "c"}
+        assert 0.0 <= summary.macro_recall <= 1.0
+        assert summary.confusion.shape == (3, 3)
+
+    def test_str_renders(self, example):
+        text = str(classification_summary(*example))
+        assert "accuracy" in text
+        assert "recall" in text

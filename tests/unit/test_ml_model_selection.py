@@ -1,0 +1,96 @@
+"""Unit tests for split protocols."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import (
+    StratifiedKFold,
+    cross_val_accuracy,
+    leave_one_group_out,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_disjoint_and_complete(self):
+        train, test = train_test_split(100, 0.25, rng=0)
+        assert len(set(train) & set(test)) == 0
+        assert len(train) + len(test) == 100
+
+    def test_fraction_respected(self):
+        _, test = train_test_split(100, 0.25, rng=0)
+        assert len(test) == 25
+
+    def test_stratified_keeps_class_balance(self):
+        y = np.array(["a"] * 80 + ["b"] * 20)
+        _, test = train_test_split(100, 0.25, y=y, rng=0)
+        test_labels = y[test]
+        assert (test_labels == "b").sum() == 5
+
+    def test_every_class_in_test(self):
+        y = np.array(["a"] * 50 + ["b"] * 3)
+        _, test = train_test_split(53, 0.1, y=y, rng=0)
+        assert "b" in set(y[test])
+
+    def test_deterministic(self):
+        a = train_test_split(50, 0.3, rng=42)
+        b = train_test_split(50, 0.3, rng=42)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(1, 0.5)
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.5, y=np.zeros(5))
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_data(self):
+        y = np.repeat(["a", "b", "c"], 20)
+        seen = []
+        for train, test in StratifiedKFold(5, random_state=0).split(y):
+            assert len(set(train) & set(test)) == 0
+            seen.extend(test)
+        assert sorted(seen) == list(range(60))
+
+    def test_stratification(self):
+        y = np.array(["a"] * 50 + ["b"] * 10)
+        for _, test in StratifiedKFold(5, random_state=0).split(y):
+            labels = y[test]
+            assert (labels == "b").sum() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(1)
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(10).split(np.array(["a"] * 5)))
+
+
+class TestLeaveOneGroupOut:
+    def test_each_group_held_out_once(self):
+        groups = np.array([0, 0, 1, 1, 2, 2])
+        held = [g for g, _, _ in leave_one_group_out(groups)]
+        assert held == [0, 1, 2]
+
+    def test_test_indices_match_group(self):
+        groups = np.array([0, 1, 0, 1])
+        for g, train, test in leave_one_group_out(groups):
+            assert set(groups[test]) == {g}
+            assert g not in set(groups[train])
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError):
+            list(leave_one_group_out(np.zeros(4)))
+
+
+class TestCrossValAccuracy:
+    def test_runs_with_simple_model(self):
+        from repro.ml.naive_bayes import BernoulliNaiveBayes
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (40, 2)), rng.normal(4, 1, (40, 2))])
+        y = np.repeat(["a", "b"], 40)
+        scores = cross_val_accuracy(BernoulliNaiveBayes, X, y, n_splits=4)
+        assert len(scores) == 4
+        assert all(s > 0.7 for s in scores)

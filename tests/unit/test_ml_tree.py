@@ -1,0 +1,127 @@
+"""Unit tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([0, 0], 0.4, (n, 2))
+    b = rng.normal([3, 3], 0.4, (n, 2))
+    X = np.vstack([a, b])
+    y = np.array(["a"] * n + ["b"] * n)
+    return X, y
+
+
+class TestFitPredict:
+    def test_separable_blobs_perfect(self):
+        X, y = _blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = _blobs()
+        proba = DecisionTreeClassifier().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_classes_sorted(self):
+        X, y = _blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert list(tree.classes_) == ["a", "b"]
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(c, 0.3, (30, 3)) for c in (0, 3, 6)])
+        y = np.repeat(["x", "y", "z"], 30)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_single_class(self):
+        X = np.random.default_rng(0).random((10, 2))
+        y = np.array(["only"] * 10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert all(tree.predict(X) == "only")
+
+    def test_constant_features_fallback_to_majority(self):
+        X = np.ones((10, 2))
+        y = np.array(["a"] * 7 + ["b"] * 3)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert all(tree.predict(X) == "a")
+
+
+class TestRegularization:
+    def test_max_depth_limits_nodes(self):
+        X, y = _blobs(200, seed=2)
+        noisy_y = y.copy()
+        noisy_y[::7] = "a"
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, noisy_y)
+        deep = DecisionTreeClassifier(max_depth=12).fit(X, noisy_y)
+        assert shallow.n_nodes < deep.n_nodes
+
+    def test_min_samples_leaf(self):
+        X, y = _blobs(50)
+        tree = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+        assert tree.n_nodes <= 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+
+class TestWeightsAndEncoding:
+    def test_sample_weight_zero_removes_points(self):
+        X, y = _blobs(30)
+        # poison a point but give it zero weight
+        X2 = np.vstack([X, [[0.0, 0.0]]])
+        y2 = np.append(y, "b")
+        w = np.append(np.ones(len(X)), 0.0)
+        tree = DecisionTreeClassifier().fit(X2, y2, sample_weight=w)
+        assert tree.predict(np.array([[0.0, 0.0]]))[0] == "a"
+
+    def test_pre_encoded_labels(self):
+        X, y = _blobs(30)
+        codes = (y == "b").astype(int)
+        tree = DecisionTreeClassifier().fit(X, codes, n_classes=3)
+        assert tree.predict_proba(X).shape == (len(X), 3)
+
+    def test_pre_encoded_bounds_checked(self):
+        X = np.random.default_rng(0).random((10, 2))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, np.full(10, 5), n_classes=3)
+
+    def test_negative_weight_rejected(self):
+        X, y = _blobs(10)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, y, sample_weight=-np.ones(len(X)))
+
+
+class TestImportancesAndErrors:
+    def test_importances_identify_informative_feature(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((200, 4))
+        y = np.where(X[:, 2] > 0.5, "hi", "lo")
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert int(np.argmax(tree.feature_importances_)) == 2
+        np.testing.assert_allclose(tree.feature_importances_.sum(), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_feature_count_checked(self):
+        X, y = _blobs(20)
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 5)))
+
+    def test_nan_rejected(self):
+        X, y = _blobs(10)
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, y)

@@ -1,0 +1,138 @@
+"""Unit tests for ambient, hardware and motion noise models."""
+
+import numpy as np
+import pytest
+
+from repro.hand.gestures import GestureSpec, synthesize_gesture
+from repro.noise.ambient import AmbientModel, TimeOfDayAmbient, indoor_ambient
+from repro.noise.hardware import HardwareNoiseModel
+from repro.noise.motion import (
+    WRISTBAND_CONDITIONS,
+    bystander_patch,
+    ir_remote_interference,
+    wristband_sway,
+)
+
+
+class TestAmbientModel:
+    def test_nonnegative(self):
+        model = AmbientModel(level_mw_mm2=0.001, drift_fraction=1.0)
+        out = model.irradiance(np.arange(500) / 100.0, rng=1)
+        assert np.all(out >= 0)
+
+    def test_mean_near_level(self):
+        model = indoor_ambient()
+        out = model.irradiance(np.arange(2000) / 100.0, rng=1)
+        np.testing.assert_allclose(out.mean(), model.level_mw_mm2, rtol=0.3)
+
+    def test_deterministic(self):
+        model = indoor_ambient()
+        t = np.arange(100) / 100.0
+        np.testing.assert_array_equal(model.irradiance(t, rng=5),
+                                      model.irradiance(t, rng=5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmbientModel(level_mw_mm2=-1.0)
+        with pytest.raises(ValueError):
+            AmbientModel(drift_fraction=1.5)
+
+
+class TestTimeOfDayAmbient:
+    def test_night_is_indoor_only(self):
+        night = TimeOfDayAmbient(hour=23.0)
+        assert night.solar_level_mw_mm2() == 0.0
+
+    def test_noon_brightest(self):
+        hours = [8.0, 11.0, 12.5, 14.0, 17.0, 20.0]
+        levels = [TimeOfDayAmbient(hour=h).solar_level_mw_mm2() for h in hours]
+        assert max(levels) == levels[2]
+
+    def test_morning_evening_symmetry(self):
+        am = TimeOfDayAmbient(hour=9.0).solar_level_mw_mm2()
+        pm = TimeOfDayAmbient(hour=16.0).solar_level_mw_mm2()
+        np.testing.assert_allclose(am, pm, rtol=1e-9)
+
+    def test_window_factor_scales(self):
+        dim = TimeOfDayAmbient(hour=12.0, window_factor=0.1)
+        bright = TimeOfDayAmbient(hour=12.0, window_factor=1.0)
+        assert bright.solar_level_mw_mm2() > 5 * dim.solar_level_mw_mm2()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeOfDayAmbient(hour=25.0)
+
+
+class TestHardwareNoise:
+    def test_zero_noise_identity(self):
+        model = HardwareNoiseModel(thermal_rms_ua=0.0, shot_coefficient=0.0,
+                                   spike_rate_hz=0.0)
+        clean = np.ones((50, 3))
+        np.testing.assert_array_equal(model.apply(clean, 100.0, rng=1), clean)
+
+    def test_input_not_modified(self):
+        model = HardwareNoiseModel()
+        clean = np.ones((50, 3))
+        model.apply(clean, 100.0, rng=1)
+        np.testing.assert_array_equal(clean, np.ones((50, 3)))
+
+    def test_thermal_rms_scale(self):
+        model = HardwareNoiseModel(thermal_rms_ua=0.1, shot_coefficient=0.0,
+                                   spike_rate_hz=0.0)
+        noisy = model.apply(np.zeros(20000), 100.0, rng=1)
+        np.testing.assert_allclose(noisy.std(), 0.1, rtol=0.05)
+
+    def test_oversampling_reduces_noise(self):
+        model = HardwareNoiseModel(spike_rate_hz=0.0)
+        x1 = model.apply(np.zeros(20000), 100.0, rng=1, averages=1)
+        x8 = model.apply(np.zeros(20000), 100.0, rng=1, averages=8)
+        np.testing.assert_allclose(x1.std() / x8.std(), np.sqrt(8), rtol=0.1)
+
+    def test_shot_noise_grows_with_signal(self):
+        model = HardwareNoiseModel(thermal_rms_ua=0.0, shot_coefficient=0.1,
+                                   spike_rate_hz=0.0)
+        low = model.apply(np.full(20000, 1.0), 100.0, rng=1).std()
+        high = model.apply(np.full(20000, 9.0), 100.0, rng=1).std()
+        np.testing.assert_allclose(high / low, 3.0, rtol=0.1)
+
+    def test_quiet_variant(self):
+        assert HardwareNoiseModel().quiet().spike_rate_hz == 0.0
+
+    def test_spikes_occur(self):
+        model = HardwareNoiseModel(thermal_rms_ua=0.0, shot_coefficient=0.0,
+                                   spike_rate_hz=5.0, spike_amplitude_ua=1.0)
+        noisy = model.apply(np.zeros(2000), 100.0, rng=3)
+        assert np.abs(noisy).max() > 0.5
+
+
+class TestMotion:
+    def test_bystander_far_away(self):
+        patch = bystander_patch(np.arange(100) / 100.0, rng=1)
+        assert patch.positions_mm[:, 2].min() > 200.0
+
+    @pytest.mark.parametrize("condition", WRISTBAND_CONDITIONS)
+    def test_wristband_adds_sway(self, condition):
+        traj = synthesize_gesture(GestureSpec(name="circle"), rng=1)
+        swayed = wristband_sway(traj, condition, rng=2)
+        assert swayed.meta["wristband_condition"] == condition
+        assert not np.allclose(swayed.positions_mm, traj.positions_mm)
+
+    def test_walking_sways_more_than_sitting(self):
+        traj = synthesize_gesture(GestureSpec(name="circle"), rng=1)
+        sit = wristband_sway(traj, "sitting", rng=2)
+        walk = wristband_sway(traj, "walking", rng=2)
+        sit_dev = np.abs(sit.positions_mm - traj.positions_mm).mean()
+        walk_dev = np.abs(walk.positions_mm - traj.positions_mm).mean()
+        assert walk_dev > 2 * sit_dev
+
+    def test_unknown_condition(self):
+        traj = synthesize_gesture(GestureSpec(name="circle"), rng=1)
+        with pytest.raises(ValueError):
+            wristband_sway(traj, "running", rng=2)
+
+    def test_ir_remote_only_when_pointed(self):
+        t = np.arange(300) / 100.0
+        off = ir_remote_interference(t, pointed_at_sensor=False, rng=1)
+        on = ir_remote_interference(t, pointed_at_sensor=True, rng=1)
+        assert np.all(off == 0.0)
+        assert on.max() > 1.0

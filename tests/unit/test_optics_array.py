@@ -1,0 +1,109 @@
+"""Unit tests for the sensor array layouts."""
+
+import numpy as np
+import pytest
+
+from repro.optics.array import (
+    SensorArray,
+    SensorElement,
+    airfinger_array,
+    single_pair_array,
+)
+from repro.optics.emitter import NirLed
+from repro.optics.photodiode import Photodiode
+
+
+class TestAirfingerArray:
+    def test_element_order(self):
+        arr = airfinger_array()
+        assert [e.name for e in arr.elements] == ["P1", "L1", "P2", "L2", "P3"]
+
+    def test_alternating_kinds(self):
+        arr = airfinger_array()
+        assert [e.kind for e in arr.elements] == ["pd", "led", "pd", "led", "pd"]
+
+    def test_channel_names(self):
+        arr = airfinger_array()
+        assert arr.channel_names == ("P1", "P2", "P3")
+        assert arr.n_channels == 3
+
+    def test_pitch_positions(self):
+        arr = airfinger_array(pitch_mm=6.0)
+        xs = [e.position[0] for e in arr.elements]
+        np.testing.assert_allclose(xs, [-12.0, -6.0, 0.0, 6.0, 12.0])
+
+    def test_scroll_baseline(self):
+        arr = airfinger_array(pitch_mm=6.0)
+        np.testing.assert_allclose(arr.scroll_axis_span_mm(), 24.0)
+
+    def test_channel_index(self):
+        arr = airfinger_array()
+        assert arr.channel_index("P3") == 2
+        with pytest.raises(KeyError):
+            arr.channel_index("L1")
+
+    def test_element_lookup(self):
+        arr = airfinger_array()
+        assert arr.element("L2").kind == "led"
+        with pytest.raises(KeyError):
+            arr.element("nope")
+
+    def test_all_face_up(self):
+        arr = airfinger_array()
+        for e in arr.elements:
+            np.testing.assert_allclose(e.axis_vector, [0.0, 0.0, 1.0])
+
+    def test_rejects_bad_pitch(self):
+        with pytest.raises(ValueError):
+            airfinger_array(pitch_mm=0.0)
+
+
+class TestSinglePairArray:
+    def test_structure(self):
+        arr = single_pair_array()
+        assert arr.n_channels == 1
+        assert len(arr.leds) == 1
+
+    def test_gap(self):
+        arr = single_pair_array(gap_mm=8.0)
+        led = arr.element("L1")
+        pd = arr.element("P1")
+        np.testing.assert_allclose(
+            np.linalg.norm(pd.position - led.position), 8.0)
+
+
+class TestSensorElementValidation:
+    def test_kind_device_mismatch(self):
+        with pytest.raises(TypeError):
+            SensorElement("X", "led", (0, 0, 0), Photodiode())
+        with pytest.raises(TypeError):
+            SensorElement("X", "pd", (0, 0, 0), NirLed())
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SensorElement("X", "laser", (0, 0, 0), NirLed())
+
+    def test_zero_axis(self):
+        with pytest.raises(ValueError):
+            SensorElement("X", "led", (0, 0, 0), NirLed(), axis=(0, 0, 0))
+
+
+class TestSensorArrayValidation:
+    def test_needs_both_kinds(self):
+        led = SensorElement("L", "led", (0, 0, 0), NirLed())
+        pd = SensorElement("P", "pd", (6, 0, 0), Photodiode())
+        with pytest.raises(ValueError):
+            SensorArray(elements=(led,))
+        with pytest.raises(ValueError):
+            SensorArray(elements=(pd,))
+        SensorArray(elements=(led, pd))  # ok
+
+    def test_duplicate_names(self):
+        a = SensorElement("X", "led", (0, 0, 0), NirLed())
+        b = SensorElement("X", "pd", (6, 0, 0), Photodiode())
+        with pytest.raises(ValueError):
+            SensorArray(elements=(a, b))
+
+    def test_iterable(self):
+        arr = airfinger_array()
+        assert len(list(arr)) == 5

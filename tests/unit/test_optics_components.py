@@ -1,0 +1,168 @@
+"""Unit tests for materials, emitter, photodiode and shield models."""
+
+import numpy as np
+import pytest
+
+from repro.optics.emitter import NirLed
+from repro.optics.materials import CLOTH, HAND_BACK, MATTE_BLACK, Material, SKIN
+from repro.optics.photodiode import Photodiode
+from repro.optics.shield import Shield
+
+
+class TestMaterial:
+    def test_interpolation(self):
+        m = Material("m", (700.0, 900.0), (0.2, 0.6))
+        np.testing.assert_allclose(m.reflectance(800.0), 0.4)
+
+    def test_clamps_at_ends(self):
+        m = Material("m", (700.0, 900.0), (0.2, 0.6))
+        assert m.reflectance(500.0) == 0.2
+        assert m.reflectance(1500.0) == 0.6
+
+    def test_skin_reflects_most_nir(self):
+        assert 0.4 <= SKIN.reflectance(940.0) <= 0.7
+
+    def test_shield_material_near_black(self):
+        assert MATTE_BLACK.reflectance(940.0) < 0.1
+
+    def test_validation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Material("bad", (700.0, 800.0), (0.5,))
+
+    def test_validation_decreasing_wavelengths(self):
+        with pytest.raises(ValueError):
+            Material("bad", (900.0, 700.0), (0.5, 0.5))
+
+    def test_validation_reflectance_range(self):
+        with pytest.raises(ValueError):
+            Material("bad", (700.0, 800.0), (0.5, 1.5))
+
+    def test_distinct_presets(self):
+        assert SKIN.reflectance(940.0) != HAND_BACK.reflectance(940.0)
+        assert CLOTH.reflectance(940.0) > MATTE_BLACK.reflectance(940.0)
+
+
+class TestNirLed:
+    def test_defaults_match_part(self):
+        led = NirLed()
+        assert led.wavelength_nm == 940.0
+        assert led.fov_deg == 20.0
+
+    def test_on_axis_intensity(self):
+        led = NirLed()
+        out = led.intensity_towards(np.array([0, 0, 1.0]),
+                                    np.array([0, 0, 1.0]))
+        np.testing.assert_allclose(out, led.radiant_intensity_mw_sr)
+
+    def test_half_power_at_half_fov(self):
+        led = NirLed()
+        half = np.radians(led.fov_deg / 2)
+        direction = np.array([np.sin(half), 0.0, np.cos(half)])
+        out = led.intensity_towards(np.array([0, 0, 1.0]), direction)
+        np.testing.assert_allclose(out, led.radiant_intensity_mw_sr / 2,
+                                   rtol=1e-6)
+
+    def test_no_backward_emission(self):
+        led = NirLed()
+        out = led.intensity_towards(np.array([0, 0, 1.0]),
+                                    np.array([0, 0, -1.0]))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_inverse_square(self):
+        led = NirLed()
+        pos = np.zeros(3)
+        axis = np.array([0, 0, 1.0])
+        near = led.irradiance_at(pos, axis, np.array([[0, 0, 10.0]]))
+        far = led.irradiance_at(pos, axis, np.array([[0, 0, 20.0]]))
+        np.testing.assert_allclose(near / far, 4.0, rtol=1e-9)
+
+    def test_near_field_clamped(self):
+        led = NirLed()
+        at_zero = led.irradiance_at(np.zeros(3), np.array([0, 0, 1.0]),
+                                    np.array([[0, 0, 1e-9]]))
+        assert np.isfinite(at_zero).all()
+
+    def test_rejects_non_nir_wavelength(self):
+        with pytest.raises(ValueError):
+            NirLed(wavelength_nm=550.0)
+
+
+class TestPhotodiode:
+    def test_band_check(self):
+        pd = Photodiode()
+        assert pd.in_band(940.0)
+        assert not pd.in_band(1200.0)
+
+    def test_out_of_band_flux_ignored(self):
+        pd = Photodiode()
+        out = pd.photocurrent_ua(np.array([1.0]), wavelength_nm=1200.0)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_responsivity_linear(self):
+        pd = Photodiode()
+        one = pd.photocurrent_ua(1.0)
+        two = pd.photocurrent_ua(2.0)
+        np.testing.assert_allclose(two, 2 * one)
+
+    def test_angular_response_half_at_half_fov(self):
+        pd = Photodiode()
+        half = np.radians(pd.fov_deg / 2)
+        incoming = -np.array([np.sin(half), 0.0, np.cos(half)])
+        out = pd.angular_response(np.array([0, 0, 1.0]), incoming)
+        np.testing.assert_allclose(out, 0.5, rtol=1e-6)
+
+    def test_boresight_response_is_one(self):
+        pd = Photodiode()
+        out = pd.angular_response(np.array([0, 0, 1.0]),
+                                  np.array([0, 0, -1.0]))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_solid_angle(self):
+        pd = Photodiode(active_area_mm2=1.0)
+        np.testing.assert_allclose(pd.solid_angle_sr(10.0), 0.01)
+        with pytest.raises(ValueError):
+            pd.solid_angle_sr(0.0)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            Photodiode(band_nm=(1000.0, 700.0))
+
+
+class TestShield:
+    def test_boresight_passes(self):
+        s = Shield()
+        out = s.transmission(np.array([0, 0, 1.0]), np.array([0, 0, -1.0]))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_beyond_penumbra_leak_only(self):
+        s = Shield(cutoff_deg=20.0, penumbra_deg=5.0, leakage=0.01)
+        incoming = -np.array([np.sin(np.radians(60)), 0, np.cos(np.radians(60))])
+        out = s.transmission(np.array([0, 0, 1.0]), incoming)
+        np.testing.assert_allclose(out, 0.01)
+
+    def test_penumbra_partial(self):
+        s = Shield(cutoff_deg=20.0, penumbra_deg=10.0, leakage=0.0)
+        theta = np.radians(25.0)
+        incoming = -np.array([np.sin(theta), 0, np.cos(theta)])
+        out = float(s.transmission(np.array([0, 0, 1.0]), incoming)[0])
+        assert 0.0 < out < 1.0
+
+    def test_hard_cutoff(self):
+        s = Shield(cutoff_deg=30.0, penumbra_deg=0.0, leakage=0.0)
+        inside = -np.array([np.sin(np.radians(29)), 0, np.cos(np.radians(29))])
+        outside = -np.array([np.sin(np.radians(31)), 0, np.cos(np.radians(31))])
+        assert float(s.transmission(np.array([0, 0, 1.0]), inside)[0]) == 1.0
+        assert float(s.transmission(np.array([0, 0, 1.0]), outside)[0]) == 0.0
+
+    def test_ambient_acceptance_monotone_in_cutoff(self):
+        narrow = Shield(cutoff_deg=15.0)
+        wide = Shield(cutoff_deg=45.0)
+        assert narrow.ambient_acceptance() < wide.ambient_acceptance()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Shield(cutoff_deg=0.0)
+        with pytest.raises(ValueError):
+            Shield(penumbra_deg=-1.0)
+        with pytest.raises(ValueError):
+            Shield(leakage=1.0)

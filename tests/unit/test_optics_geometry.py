@@ -1,0 +1,103 @@
+"""Unit tests for repro.optics.geometry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optics.geometry import (
+    angle_between,
+    batch_dot,
+    cosine_power_exponent,
+    normalize,
+    rotate_about_axis,
+)
+
+
+class TestNormalize:
+    def test_unit_length(self):
+        v = normalize(np.array([3.0, 4.0, 0.0]))
+        np.testing.assert_allclose(np.linalg.norm(v), 1.0)
+
+    def test_batch(self):
+        vs = normalize(np.array([[2.0, 0.0, 0.0], [0.0, 0.0, 5.0]]))
+        np.testing.assert_allclose(np.linalg.norm(vs, axis=-1), [1.0, 1.0])
+
+    def test_zero_vector_unchanged(self):
+        v = normalize(np.zeros(3))
+        np.testing.assert_array_equal(v, np.zeros(3))
+
+    def test_direction_preserved(self):
+        v = normalize(np.array([0.0, -2.0, 0.0]))
+        np.testing.assert_allclose(v, [0.0, -1.0, 0.0])
+
+
+class TestBatchDot:
+    def test_single(self):
+        assert batch_dot(np.array([1.0, 2.0, 3.0]),
+                         np.array([4.0, 5.0, 6.0])) == 32.0
+
+    def test_batch_rows(self):
+        a = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        b = np.array([[1.0, 0.0, 0.0], [0.0, -1.0, 0.0]])
+        np.testing.assert_array_equal(batch_dot(a, b), [1.0, -1.0])
+
+
+class TestAngleBetween:
+    def test_orthogonal(self):
+        angle = angle_between(np.array([1.0, 0.0, 0.0]),
+                              np.array([0.0, 1.0, 0.0]))
+        np.testing.assert_allclose(angle, math.pi / 2)
+
+    def test_parallel(self):
+        angle = angle_between(np.array([1.0, 1.0, 0.0]),
+                              np.array([2.0, 2.0, 0.0]))
+        np.testing.assert_allclose(angle, 0.0, atol=1e-7)
+
+    def test_antiparallel(self):
+        angle = angle_between(np.array([0.0, 0.0, 1.0]),
+                              np.array([0.0, 0.0, -3.0]))
+        np.testing.assert_allclose(angle, math.pi)
+
+
+class TestRotateAboutAxis:
+    def test_quarter_turn_about_z(self):
+        v = rotate_about_axis(np.array([1.0, 0.0, 0.0]),
+                              np.array([0.0, 0.0, 1.0]), math.pi / 2)
+        np.testing.assert_allclose(v, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_full_turn_identity(self):
+        v0 = np.array([0.3, -0.7, 0.2])
+        v = rotate_about_axis(v0, np.array([1.0, 1.0, 1.0]), 2 * math.pi)
+        np.testing.assert_allclose(v, v0, atol=1e-12)
+
+    def test_norm_preserved(self):
+        v0 = np.array([1.0, 2.0, 3.0])
+        v = rotate_about_axis(v0, np.array([0.0, 1.0, 0.0]), 1.1)
+        np.testing.assert_allclose(np.linalg.norm(v), np.linalg.norm(v0))
+
+    def test_batch(self):
+        vs = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        out = rotate_about_axis(vs, np.array([0.0, 0.0, 1.0]), math.pi)
+        np.testing.assert_allclose(out, [[-1.0, 0.0, 0.0], [0.0, -1.0, 0.0]],
+                                   atol=1e-12)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            rotate_about_axis(np.eye(3), np.zeros((2, 3)), 0.5)
+
+
+class TestCosinePowerExponent:
+    def test_half_power_definition(self):
+        for half in (10.0, 25.0, 40.0):
+            m = cosine_power_exponent(half)
+            np.testing.assert_allclose(
+                math.cos(math.radians(half)) ** m, 0.5, rtol=1e-9)
+
+    def test_narrow_beam_is_higher_power(self):
+        assert cosine_power_exponent(10.0) > cosine_power_exponent(40.0)
+
+    @pytest.mark.parametrize("bad", [0.0, 90.0, -5.0, 120.0])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            cosine_power_exponent(bad)

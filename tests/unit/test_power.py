@@ -1,0 +1,96 @@
+"""Unit tests for the power/energy accounting."""
+
+import pytest
+
+from repro.power.budget import DutyCycle, PowerBudget, battery_life_hours
+from repro.power.components import (
+    ComponentPower,
+    LED_304IRC94,
+    MCU_ACTIVE,
+    PHOTODIODE_304PT,
+)
+
+
+class TestComponentPower:
+    def test_unit_and_total(self):
+        c = ComponentPower("x", voltage_v=2.0, current_ma=3.0, count=4)
+        assert c.unit_power_mw == 6.0
+        assert c.total_power_mw == 24.0
+
+    def test_duty_scaling(self):
+        c = ComponentPower("x", voltage_v=2.0, current_ma=5.0)
+        assert c.scaled(0.5) == 5.0
+        assert c.scaled(0.0) == 0.0
+        with pytest.raises(ValueError):
+            c.scaled(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComponentPower("x", voltage_v=-1.0, current_ma=1.0)
+        with pytest.raises(ValueError):
+            ComponentPower("x", voltage_v=1.0, current_ma=1.0, count=0)
+
+    def test_board_carries_two_leds_three_pds(self):
+        assert LED_304IRC94.count == 2
+        assert PHOTODIODE_304PT.count == 3
+
+
+class TestDutyCycle:
+    def test_always_on(self):
+        d = DutyCycle.always_on()
+        assert d.led == 1.0 and d.radio == 0.0
+
+    def test_strobed_duty_fraction(self):
+        d = DutyCycle.strobed(sample_rate_hz=100.0, strobe_ms=1.0)
+        assert d.led == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DutyCycle(led=1.5)
+
+
+class TestPowerBudget:
+    def test_paper_front_end_figure(self):
+        budget = PowerBudget(duty=DutyCycle.always_on())
+        assert 20.0 <= budget.sensing_front_end_mw() <= 28.0
+
+    def test_front_end_excludes_mcu(self):
+        budget = PowerBudget(duty=DutyCycle.always_on())
+        assert budget.total_mw() >= (budget.sensing_front_end_mw()
+                                     + MCU_ACTIVE.total_power_mw - 1e-9)
+
+    def test_strobing_saves_power(self):
+        always = PowerBudget(duty=DutyCycle.always_on())
+        strobed = PowerBudget(duty=DutyCycle.strobed())
+        assert strobed.total_mw() < always.total_mw()
+        assert strobed.sensing_front_end_mw() < always.sensing_front_end_mw()
+
+    def test_breakdown_sums_to_total(self):
+        budget = PowerBudget(duty=DutyCycle.wristband())
+        assert sum(budget.breakdown().values()) == pytest.approx(
+            budget.total_mw())
+
+    def test_energy_per_gesture(self):
+        budget = PowerBudget(duty=DutyCycle.always_on())
+        one = budget.energy_per_gesture_mj(1.0)
+        two = budget.energy_per_gesture_mj(2.0)
+        assert two == pytest.approx(2 * one)
+        with pytest.raises(ValueError):
+            budget.energy_per_gesture_mj(0.0)
+
+
+class TestBatteryLife:
+    def test_scaling(self):
+        budget = PowerBudget(duty=DutyCycle.always_on())
+        small = battery_life_hours(budget, capacity_mah=100.0)
+        large = battery_life_hours(budget, capacity_mah=200.0)
+        assert large == pytest.approx(2 * small)
+
+    def test_lower_power_lives_longer(self):
+        always = battery_life_hours(PowerBudget(duty=DutyCycle.always_on()))
+        strobed = battery_life_hours(PowerBudget(duty=DutyCycle.strobed()))
+        assert strobed > always
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            battery_life_hours(PowerBudget(), capacity_mah=0.0)

@@ -1,0 +1,133 @@
+"""Unit tests for the MCU-to-host wire protocol."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.protocol import (
+    SYNC,
+    FrameDecoder,
+    crc8,
+    encode_frame,
+    encode_recording,
+)
+from repro.acquisition.sampler import Recording
+
+
+class TestCrc8:
+    def test_empty(self):
+        assert crc8(b"") == 0
+
+    def test_known_sensitivity(self):
+        a = crc8(b"\x01\x02\x03")
+        b = crc8(b"\x01\x02\x04")
+        assert a != b
+
+    def test_byte_range(self):
+        assert 0 <= crc8(bytes(range(256))) <= 255
+
+
+class TestEncodeFrame:
+    def test_layout(self):
+        frame = encode_frame(7, [0x1234, 0x0056])
+        assert frame[:2] == SYNC
+        assert frame[2] == 7
+        assert frame[3] == 2
+        assert frame[4:6] == b"\x34\x12"  # little endian
+        assert frame[6:8] == b"\x56\x00"
+        assert len(frame) == 2 + 2 + 4 + 1
+
+    def test_seq_wraps(self):
+        assert encode_frame(256 + 3, [1])[2] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            encode_frame(0, [])
+        with pytest.raises(ValueError):
+            encode_frame(0, [70000])
+        with pytest.raises(ValueError):
+            encode_frame(0, [-1])
+
+
+class TestFrameDecoder:
+    def test_roundtrip(self):
+        frames = b"".join(encode_frame(i, [i, 2 * i, 1000 + i])
+                          for i in range(10))
+        decoder = FrameDecoder()
+        out = list(decoder.push(frames))
+        assert len(out) == 10
+        assert out[3] == (3, (3, 6, 1003))
+        assert decoder.stats.frames_ok == 10
+        assert decoder.stats.crc_errors == 0
+        assert decoder.stats.dropped_frames == 0
+
+    def test_byte_at_a_time(self):
+        frames = b"".join(encode_frame(i, [i]) for i in range(5))
+        decoder = FrameDecoder()
+        out = []
+        for b in frames:
+            out.extend(decoder.push(bytes([b])))
+        assert [seq for seq, _ in out] == list(range(5))
+
+    def test_resync_after_garbage(self):
+        stream = (b"\x00\x99\xaa" + encode_frame(0, [42])
+                  + b"junkjunk" + encode_frame(1, [43]))
+        decoder = FrameDecoder()
+        out = list(decoder.push(stream))
+        assert [v for _, v in out] == [(42,), (43,)]
+        assert decoder.stats.resyncs >= 1
+
+    def test_corrupted_crc_skipped(self):
+        good = encode_frame(0, [10])
+        bad = bytearray(encode_frame(1, [11]))
+        bad[-1] ^= 0xFF
+        tail = encode_frame(2, [12])
+        decoder = FrameDecoder()
+        out = list(decoder.push(good + bytes(bad) + tail))
+        assert [seq for seq, _ in out] == [0, 2]
+        assert decoder.stats.crc_errors >= 1
+
+    def test_dropped_frames_counted(self):
+        stream = encode_frame(0, [1]) + encode_frame(4, [2])
+        decoder = FrameDecoder()
+        list(decoder.push(stream))
+        assert decoder.stats.dropped_frames == 3
+
+    def test_seq_wraparound_no_false_drop(self):
+        stream = encode_frame(255, [1]) + encode_frame(0, [2])
+        decoder = FrameDecoder()
+        list(decoder.push(stream))
+        assert decoder.stats.dropped_frames == 0
+
+    def test_partial_frame_buffered(self):
+        frame = encode_frame(0, [500, 600])
+        decoder = FrameDecoder()
+        assert list(decoder.push(frame[:5])) == []
+        assert list(decoder.push(frame[5:])) == [(0, (500, 600))]
+
+
+class TestRecordingTransport:
+    def test_encode_decode_recording(self):
+        rng = np.random.default_rng(0)
+        rss = np.round(rng.uniform(0, 1023, (40, 3)))
+        rec = Recording(times_s=np.arange(40) / 100.0, rss=rss,
+                        channel_names=("P1", "P2", "P3"))
+        wire = encode_recording(rec)
+        decoder = FrameDecoder()
+        out = decoder.decode_all(wire)
+        np.testing.assert_array_equal(out, rss)
+        assert decoder.stats.frames_ok == 40
+
+    def test_lossy_channel_recovers(self):
+        rng = np.random.default_rng(1)
+        rss = np.round(rng.uniform(0, 1023, (60, 3)))
+        rec = Recording(times_s=np.arange(60) / 100.0, rss=rss,
+                        channel_names=("P1", "P2", "P3"))
+        wire = bytearray(encode_recording(rec))
+        # corrupt a few bytes mid-stream
+        for pos in (100, 200, 301):
+            wire[pos] ^= 0xFF
+        decoder = FrameDecoder()
+        out = decoder.decode_all(bytes(wire))
+        # most frames survive; the decoder never crashes or desyncs forever
+        assert len(out) >= 55
+        assert decoder.stats.crc_errors + decoder.stats.resyncs >= 1

@@ -1,0 +1,35 @@
+"""Unit tests for the markdown report generator."""
+
+import numpy as np
+
+from repro.eval.report_markdown import generate_report
+
+
+class TestGenerateReport:
+    def test_detect_only_corpus_skips_tracking(self, small_corpus,
+                                               small_features, tmp_path):
+        detect_only = small_corpus.filter(lambda s: not s.is_track_aimed)
+        mask = np.array([not s.is_track_aimed for s in small_corpus])
+        path = generate_report(detect_only, tmp_path / "r.md",
+                               X=np.asarray(small_features)[mask])
+        text = path.read_text()
+        assert "Section V-G skipped" in text
+        assert "Fig. 10 protocol" in text
+
+    def test_full_corpus_has_all_sections(self, small_corpus,
+                                          small_features, tmp_path):
+        path = generate_report(small_corpus, tmp_path / "full.md",
+                               X=small_features, title="custom title")
+        text = path.read_text()
+        assert text.startswith("# custom title")
+        for token in ("Fig. 10", "Fig. 11", "Fig. 12", "Section V-G",
+                      "Table II", "Fig. 13"):
+            assert token in text
+
+    def test_report_tables_well_formed(self, small_corpus, small_features,
+                                       tmp_path):
+        path = generate_report(small_corpus, tmp_path / "t.md",
+                               X=small_features)
+        for line in path.read_text().splitlines():
+            if line.startswith("|") and not set(line) <= {"|", "-", " "}:
+                assert line.count("|") >= 3

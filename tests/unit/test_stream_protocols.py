@@ -1,0 +1,76 @@
+"""Unit tests for the end-to-end stream scorer."""
+
+import pytest
+
+from repro.core.detector import DetectAimedRecognizer
+from repro.core.pipeline import AirFinger
+from repro.eval.stream_protocols import (
+    StreamScore,
+    evaluate_stream,
+    evaluate_streams,
+)
+
+
+class TestStreamScore:
+    def test_empty_score(self):
+        score = StreamScore()
+        assert score.detection_recall == 0.0
+        assert score.recognition_accuracy == 0.0
+
+    def test_merge(self):
+        a = StreamScore(n_truth=4, n_detected=3, n_correct=2,
+                        spurious_events=1,
+                        per_gesture={"circle": (2, 3)})
+        b = StreamScore(n_truth=2, n_detected=2, n_correct=2,
+                        spurious_events=0,
+                        per_gesture={"circle": (1, 1), "click": (1, 1)})
+        a.merge(b)
+        assert a.n_truth == 6
+        assert a.n_correct == 4
+        assert a.per_gesture["circle"] == (3, 4)
+        assert a.per_gesture_accuracy()["click"] == 1.0
+
+
+class TestEvaluateStream:
+    @pytest.fixture(scope="class")
+    def engine(self, generator):
+        corpus = generator.main_campaign(
+            gestures=("circle", "click", "rub"), repetitions=4)
+        detector = DetectAimedRecognizer().fit(corpus.signals(),
+                                               corpus.labels)
+        return AirFinger(detector=detector, live_update_every=0)
+
+    def test_scores_simple_stream(self, generator, engine):
+        stream = generator.stream(0, ["click", "scroll_up", "circle"],
+                                  idle_s=1.0)
+        score = evaluate_stream(engine, stream)
+        assert score.n_truth == 3
+        assert score.detection_recall > 0.6
+        assert set(score.per_gesture) == {"click", "scroll_up", "circle"}
+
+    def test_engine_reset_between_streams(self, generator, engine):
+        stream = generator.stream(1, ["click"], idle_s=1.0)
+        first = evaluate_stream(engine, stream)
+        second = evaluate_stream(engine, stream)
+        assert first.n_truth == second.n_truth == 1
+        assert first.n_detected == second.n_detected
+
+    def test_batch_merging(self, generator, engine):
+        streams = [generator.stream(u, ["circle", "scroll_down"], idle_s=1.0)
+                   for u in range(2)]
+        total = evaluate_streams(engine, streams)
+        assert total.n_truth == 4
+
+    def test_empty_batch_rejected(self, engine):
+        with pytest.raises(ValueError):
+            evaluate_streams(engine, [])
+
+    def test_nongesture_scored_as_rejection_task(self, generator, engine):
+        stream = generator.stream(0, ["extend", "circle"], idle_s=1.0)
+        score = evaluate_stream(engine, stream)
+        # both truths counted; the non-gesture's correctness depends on
+        # whether any accepted decision covered it
+        assert score.n_truth == 2
+        assert "extend" in score.per_gesture
+        hit, total = score.per_gesture["extend"]
+        assert total == 1 and hit in (0, 1)

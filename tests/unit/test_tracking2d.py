@@ -1,0 +1,109 @@
+"""Unit tests for the Section VI 2-D tracking extension."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import SensorSampler
+from repro.core.sbc import prefilter
+from repro.core.tracking2d import PlanarTracker, compass_bin
+from repro.hand.finger import fingertip_patch
+from repro.hand.swipes import synthesize_swipe
+from repro.optics.array import cross_array
+from repro.optics.scene import Scene
+
+
+def _swipe_rss(angle_deg: float, seed: int = 0,
+               speed: float = 75.0) -> np.ndarray:
+    sampler = SensorSampler(array=cross_array())
+    traj = synthesize_swipe(angle_deg, rng=seed, speed_mm_s=speed,
+                            tremor_mm=0.1)
+    scene = Scene(times_s=traj.times_s, patches=[fingertip_patch(traj)])
+    rec = sampler.record(scene, rng=seed)
+    return prefilter(rec.rss, 5)
+
+
+class TestCompassBin:
+    def test_centres(self):
+        assert compass_bin(0.0) == 0
+        assert compass_bin(45.0) == 1
+        assert compass_bin(90.0) == 2
+        assert compass_bin(315.0) == 7
+
+    def test_wrap(self):
+        assert compass_bin(359.0) == 0
+        assert compass_bin(-45.0) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compass_bin(10.0, n_bins=1)
+
+
+class TestSynthesizeSwipe:
+    def test_direction_meta(self):
+        traj = synthesize_swipe(30.0, rng=1)
+        assert traj.meta["angle_deg"] == 30.0
+        assert traj.label == "swipe"
+
+    def test_travel_along_requested_angle(self):
+        traj = synthesize_swipe(90.0, rng=1, tremor_mm=0.0)
+        delta = traj.positions_mm[-1] - traj.positions_mm[0]
+        assert abs(delta[0]) < 1.0
+        assert delta[1] > 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_swipe(0.0, travel_mm=0.0)
+
+
+class TestPlanarTracker:
+    @pytest.fixture(scope="class")
+    def tracker(self):
+        return PlanarTracker()
+
+    @pytest.mark.parametrize("angle", [0.0, 90.0, 180.0, 270.0])
+    def test_cardinal_directions(self, tracker, angle):
+        result = tracker.track(_swipe_rss(angle, seed=3))
+        assert result.confident
+        err = (result.angle_deg - angle + 180) % 360 - 180
+        assert abs(err) < 15.0
+
+    @pytest.mark.parametrize("angle", [45.0, 135.0, 225.0, 315.0])
+    def test_diagonals(self, tracker, angle):
+        result = tracker.track(_swipe_rss(angle, seed=4))
+        assert result.confident
+        err = (result.angle_deg - angle + 180) % 360 - 180
+        assert abs(err) < 20.0
+
+    def test_speed_orders(self, tracker):
+        slow = tracker.track(_swipe_rss(0.0, seed=5, speed=50.0))
+        fast = tracker.track(_swipe_rss(0.0, seed=5, speed=110.0))
+        assert fast.speed_mm_s > slow.speed_mm_s
+
+    def test_silence_not_confident(self, tracker):
+        rng = np.random.default_rng(0)
+        rss = 150.0 + rng.normal(0, 0.3, (120, 5))
+        result = tracker.track(rss)
+        assert not result.confident
+
+    def test_unit_vector(self, tracker):
+        result = tracker.track(_swipe_rss(90.0, seed=6))
+        v = result.unit_vector()
+        np.testing.assert_allclose(np.linalg.norm(v), 1.0)
+
+    def test_channel_count_checked(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.track(np.zeros((50, 3)))
+
+    def test_positions_shape(self, tracker):
+        rss = _swipe_rss(0.0, seed=7)
+        positions, weights = tracker.positions(rss)
+        assert positions.shape == (len(rss), 2)
+        assert weights.shape == (len(rss),)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlanarTracker(energy_gate=0.0)
+        with pytest.raises(ValueError):
+            PlanarTracker(min_frames=1)
+        with pytest.raises(ValueError):
+            PlanarTracker(pd_positions_mm=np.zeros((5, 3)))
