@@ -10,6 +10,14 @@ Scale is controlled by the ``REPRO_SCALE`` environment variable:
   protocol shapes as the paper;
 * ``full``: the paper's 10 users x 5 sessions x 25 repetitions = 10,000
   samples (minutes of compute).
+
+Generation throughput is controlled by two more knobs (the corpus is
+bit-identical for every setting — see ``docs/API.md``):
+
+* ``REPRO_WORKERS`` (default 1): worker processes for campaign capture;
+  values > 1 switch the session generator to
+  :class:`~repro.datasets.parallel.ParallelCampaignGenerator`;
+* ``REPRO_BATCH`` (default 64): captures per batched radiometric pass.
 """
 
 from __future__ import annotations
@@ -19,7 +27,11 @@ import os
 import numpy as np
 import pytest
 
-from repro.datasets import CampaignConfig, CampaignGenerator
+from repro.datasets import (
+    CampaignConfig,
+    CampaignGenerator,
+    ParallelCampaignGenerator,
+)
 from repro.eval.protocols import compute_features
 
 
@@ -39,9 +51,19 @@ def campaign_scale() -> dict:
 
 
 @pytest.fixture(scope="session")
-def generator(campaign_scale) -> CampaignGenerator:
-    """The session-wide campaign generator (paper seed 2020)."""
-    return CampaignGenerator(CampaignConfig(seed=2020, **campaign_scale))
+def generator(campaign_scale):
+    """The session-wide campaign generator (paper seed 2020).
+
+    ``REPRO_WORKERS > 1`` swaps in the parallel generator — a drop-in
+    replacement whose corpora are bit-identical to the serial one.
+    """
+    config = CampaignConfig(seed=2020, **campaign_scale)
+    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    batch = int(os.environ.get("REPRO_BATCH", "64"))
+    if workers > 1:
+        return ParallelCampaignGenerator(config=config, workers=workers,
+                                         batch_size=batch)
+    return CampaignGenerator(config=config, batch_size=batch)
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,7 @@ nothing downstream of a ``Recording`` knows the data is synthetic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -175,6 +175,54 @@ class SensorSampler:
         """
         rng = ensure_rng(rng)
         currents = self._engine.photocurrents_ua(scene)
+        return self._front_end(scene, currents, rng, label, meta,
+                               extra_injected_ua)
+
+    def record_batch(self, scenes: Sequence[Scene],
+                     rngs: Sequence[int | np.random.Generator | None] | None = None,
+                     labels: Sequence[str] | None = None,
+                     metas: Sequence[dict[str, Any] | None] | None = None
+                     ) -> list[Recording]:
+        """Capture many scenes through the full front end in one engine pass.
+
+        The radiometric link budgets of every scene are evaluated together
+        via :meth:`RadiometricEngine.photocurrents_batch_ua`; the stochastic
+        front end (hardware noise, ADC dither) is then applied per scene
+        with that scene's own *rng*, so each returned :class:`Recording` is
+        bit-identical to what :meth:`record` would produce with the same
+        seed or generator.
+
+        Parameters
+        ----------
+        scenes:
+            Optical scenes to capture.
+        rngs:
+            Per-scene seeds or generators (``None`` entries draw fresh
+            entropy).  Defaults to fresh entropy for every scene.
+        labels, metas:
+            Per-scene ground-truth annotations.
+        """
+        scenes = list(scenes)
+        if rngs is None:
+            rngs = [None] * len(scenes)
+        if labels is None:
+            labels = ["unknown"] * len(scenes)
+        if metas is None:
+            metas = [None] * len(scenes)
+        if not len(scenes) == len(rngs) == len(labels) == len(metas):
+            raise ValueError(
+                f"got {len(scenes)} scenes, {len(rngs)} rngs, "
+                f"{len(labels)} labels, {len(metas)} metas")
+        currents = self._engine.photocurrents_batch_ua(scenes)
+        return [self._front_end(scene, cur, ensure_rng(rng), label, meta)
+                for scene, cur, rng, label, meta
+                in zip(scenes, currents, rngs, labels, metas)]
+
+    def _front_end(self, scene: Scene, currents: np.ndarray,
+                   rng: np.random.Generator, label: str,
+                   meta: dict[str, Any] | None,
+                   extra_injected_ua: np.ndarray | None = None) -> Recording:
+        """Noise + amplifier + ADC chain shared by record/record_batch."""
         if extra_injected_ua is not None:
             extra = np.asarray(extra_injected_ua, dtype=np.float64)
             if extra.ndim == 1:

@@ -36,8 +36,18 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--sessions", type=int, default=2)
     gen.add_argument("--reps", type=int, default=5)
     gen.add_argument("--seed", type=int, default=2020)
+    gen.add_argument("--workers", type=int, default=1,
+                     help="worker processes (output is bit-identical "
+                          "for every worker count)")
+    gen.add_argument("--batch", type=int, default=64,
+                     help="captures per batched radiometric pass")
+    gen.add_argument("--chunk", type=int, default=None,
+                     help="tasks per parallel work unit (default: auto)")
     gen.add_argument("--out", type=Path, required=True,
                      help="output corpus .npz path")
+    gen.add_argument("--report-json", type=Path, default=None,
+                     help="write wall-clock / throughput stats to this "
+                          "JSON file")
 
     train = sub.add_parser("train",
                            help="train the recognition stack from a corpus")
@@ -75,13 +85,47 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 def _cmd_generate(args) -> int:
-    from repro.datasets import CampaignConfig, CampaignGenerator
-    generator = CampaignGenerator(CampaignConfig(
+    import json
+    import time
+
+    from repro.datasets import (
+        CampaignConfig,
+        CampaignGenerator,
+        ParallelCampaignGenerator,
+    )
+    config = CampaignConfig(
         n_users=args.users, n_sessions=args.sessions,
-        repetitions=args.reps, seed=args.seed))
+        repetitions=args.reps, seed=args.seed)
+    if args.workers > 1:
+        generator = ParallelCampaignGenerator(
+            config=config, workers=args.workers,
+            chunk_size=args.chunk, batch_size=args.batch)
+    else:
+        generator = CampaignGenerator(config=config, batch_size=args.batch)
+    start = time.perf_counter()
     corpus = generator.main_campaign()
+    elapsed = time.perf_counter() - start
     corpus.save(args.out)
-    print(f"wrote {len(corpus)} samples to {args.out}")
+    rate = len(corpus) / elapsed if elapsed > 0 else float("inf")
+    print(f"wrote {len(corpus)} samples to {args.out} "
+          f"({elapsed:.2f}s wall, {rate:.1f} samples/s, "
+          f"workers={args.workers}, batch={args.batch})")
+    if args.report_json is not None:
+        report = {
+            "command": "generate",
+            "n_samples": len(corpus),
+            "wall_clock_s": elapsed,
+            "samples_per_sec": rate,
+            "workers": args.workers,
+            "batch_size": args.batch,
+            "chunk_size": args.chunk,
+            "seed": args.seed,
+            "n_users": args.users,
+            "n_sessions": args.sessions,
+            "repetitions": args.reps,
+        }
+        args.report_json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"throughput report -> {args.report_json}")
     return 0
 
 

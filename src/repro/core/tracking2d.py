@@ -85,6 +85,19 @@ class PlanarTracker:
         finger is off-board).
     min_frames:
         Minimum gated frames for a confident fit.
+    min_travel_mm:
+        Minimum bounding-box excursion of the centroid trace; noise hovers.
+    min_fit_r2:
+        Minimum variance fraction the linear motion model must explain.
+        Pure i.i.d. noise occasionally reaches r^2 ~ 0.37 on short
+        segments, so the floor sits well above that; genuine swipes fit
+        at r^2 >= 0.98.
+    min_drift_mm:
+        Minimum distance between the weighted centroids of the first and
+        second halves of the trace.  A swipe carries the centroid across
+        the board (>= 8 mm net drift in practice) while noise wanders
+        around a fixed point (<= ~1.7 mm), so this gate separates the two
+        even when a lucky noise draw passes the r^2 test.
     """
 
     config: AirFingerConfig = field(default_factory=AirFingerConfig)
@@ -95,7 +108,8 @@ class PlanarTracker:
     energy_gate: float = 0.25
     min_frames: int = 5
     min_travel_mm: float = 4.0
-    min_fit_r2: float = 0.35
+    min_fit_r2: float = 0.5
+    min_drift_mm: float = 3.0
 
     def __post_init__(self) -> None:
         self.pd_positions_mm = np.asarray(self.pd_positions_mm,
@@ -112,6 +126,8 @@ class PlanarTracker:
             raise ValueError("min_travel_mm must be non-negative")
         if not 0.0 <= self.min_fit_r2 < 1.0:
             raise ValueError("min_fit_r2 must be within [0, 1)")
+        if self.min_drift_mm < 0:
+            raise ValueError("min_drift_mm must be non-negative")
 
     def positions(self, rss: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Per-frame position estimates and their energy weights.
@@ -148,6 +164,13 @@ class PlanarTracker:
         # a real swipe moves the centroid across the board; noise hovers
         travel = float(np.linalg.norm(np.ptp(pos, axis=0)))
         if travel < self.min_travel_mm:
+            return PlanarTrackResult(0.0, 0.0, (0.0, 0.0), confident=False)
+        # a swipe carries net drift across the board; noise wanders in place
+        half = len(pos) // 2
+        drift = float(np.linalg.norm(
+            np.average(pos[half:], axis=0, weights=w[half:])
+            - np.average(pos[:half], axis=0, weights=w[:half])))
+        if drift < self.min_drift_mm:
             return PlanarTrackResult(0.0, 0.0, (0.0, 0.0), confident=False)
         t_c = np.average(t, weights=w)
         tw = t - t_c

@@ -10,11 +10,18 @@ protocol needs.
 """
 
 from repro.datasets.corpus import GestureCorpus, GestureSample
-from repro.datasets.generator import CampaignConfig, CampaignGenerator
+from repro.datasets.generator import (
+    CampaignConfig,
+    CampaignGenerator,
+    CaptureTask,
+)
+from repro.datasets.parallel import ParallelCampaignGenerator
 
 __all__ = [
     "GestureCorpus",
     "GestureSample",
     "CampaignConfig",
     "CampaignGenerator",
+    "CaptureTask",
+    "ParallelCampaignGenerator",
 ]

@@ -12,6 +12,17 @@ and a seeded user population; its methods run the paper's campaigns:
 * :meth:`interference_campaign` — gestures + non-gestures (Fig. 14);
 * :meth:`stream` — a continuous recording with idle gaps for pipeline /
   segmentation experiments (Fig. 5).
+
+Each campaign is split into a *plan* (``plan_*`` methods returning a flat
+list of :class:`CaptureTask` descriptors) and an *execution* step
+(:meth:`CampaignGenerator.run_tasks`), which captures tasks in batches
+through :meth:`repro.acquisition.sampler.SensorSampler.record_batch` so the
+radiometric hot path runs as stacked numpy operations.  Every stochastic
+draw is keyed by the task's own coordinates via
+:func:`repro.utils.derive_rng`, never by execution order, so a corpus is
+bit-identical no matter how the task list is batched, chunked, or
+distributed across workers (see
+:class:`repro.datasets.parallel.ParallelCampaignGenerator`).
 """
 
 from __future__ import annotations
@@ -35,9 +46,9 @@ from repro.hand.finger import scene_for_trajectory
 from repro.noise.ambient import AmbientModel, TimeOfDayAmbient, indoor_ambient
 from repro.noise.motion import WRISTBAND_CONDITIONS
 from repro.optics.array import SensorArray, airfinger_array
-from repro.utils import derive_rng
+from repro.utils import chunked, derive_rng
 
-__all__ = ["CampaignConfig", "CampaignGenerator"]
+__all__ = ["CampaignConfig", "CampaignGenerator", "CaptureTask"]
 
 
 @dataclass(frozen=True)
@@ -72,15 +83,56 @@ class CampaignConfig:
                 * len(self.gestures))
 
 
+@dataclass(frozen=True)
+class CaptureTask:
+    """One planned capture: the full coordinates of a corpus sample.
+
+    A task is a pure value object — it carries everything needed to
+    reproduce the sample (all RNG streams are derived from the campaign
+    seed plus these coordinates), so tasks can be captured in any batch
+    grouping, order, or process and still yield bit-identical recordings.
+    """
+
+    kind: str                                  # "gesture" | "nongesture"
+    user_id: int
+    session_id: int
+    label: str                                 # gesture name or NG family
+    repetition: int
+    distance_override_mm: float | None = None
+    condition: str = ""
+    ambient: AmbientModel | None = None        # None -> generator default
+    mirror: bool = False
+    wristband_condition: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gesture", "nongesture"):
+            raise ValueError(
+                f"kind must be 'gesture' or 'nongesture', got {self.kind!r}")
+
+
 @dataclass
 class CampaignGenerator:
-    """Runs data-collection campaigns against the simulated sensing chain."""
+    """Runs data-collection campaigns against the simulated sensing chain.
+
+    Parameters
+    ----------
+    config, array, ambient:
+        Campaign shape, sensor board, default ambient model.
+    batch_size:
+        Number of captures evaluated per batched radiometric pass (see
+        :meth:`run_tasks`).  Output is bit-identical for every batch size;
+        larger batches amortize more Python overhead at the cost of peak
+        memory.
+    """
 
     config: CampaignConfig = field(default_factory=CampaignConfig)
     array: SensorArray = field(default_factory=airfinger_array)
     ambient: AmbientModel = field(default_factory=indoor_ambient)
+    batch_size: int = 64
 
     def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.sampler = SensorSampler(array=self.array,
                                      sample_rate_hz=self.config.sample_rate_hz)
         self.users: list[UserProfile] = sample_population(
@@ -128,23 +180,12 @@ class CampaignGenerator:
                         wristband_condition: str | None = None
                         ) -> GestureSample:
         """Capture one gesture repetition under the given conditions."""
-        user = self.users[user_id]
-        session = user.session(session_id, self.config.seed)
-        spec = make_spec(user, session, gesture, repetition,
-                         self.config.seed,
-                         distance_override_mm=distance_override_mm,
-                         sample_rate_hz=self.config.sample_rate_hz)
-        rng = derive_rng(self.config.seed, "traj", user_id, session_id,
-                         gesture, repetition, condition)
-        trajectory = synthesize_gesture(spec, rng=rng)
-        if mirror:
-            trajectory = trajectory.mirrored_x()
-        return self._capture(
-            trajectory, user,
-            rng_key=(user_id, session_id, gesture, repetition, condition),
-            label=gesture, user_id=user_id, session_id=session_id,
-            repetition=repetition, condition=condition, ambient=ambient,
-            wristband_condition=wristband_condition)
+        return self.capture_tasks([CaptureTask(
+            kind="gesture", user_id=user_id, session_id=session_id,
+            label=gesture, repetition=repetition,
+            distance_override_mm=distance_override_mm, condition=condition,
+            ambient=ambient, mirror=mirror,
+            wristband_condition=wristband_condition)])[0]
 
     def capture_nongesture(self,
                            user_id: int,
@@ -153,20 +194,214 @@ class CampaignGenerator:
                            repetition: int,
                            condition: str = "") -> GestureSample:
         """Capture one unintentional motion (scratch/extend/reposition)."""
-        user = self.users[user_id]
-        session = user.session(session_id, self.config.seed)
-        # borrow the kinematic envelope of a neutral gesture spec
-        spec = make_spec(user, session, "circle", repetition,
+        return self.capture_tasks([CaptureTask(
+            kind="nongesture", user_id=user_id, session_id=session_id,
+            label=family, repetition=repetition, condition=condition)])[0]
+
+    # ------------------------------------------------------------------
+    # batched task execution
+    # ------------------------------------------------------------------
+    def _synthesize_task(self, task: CaptureTask) -> Trajectory:
+        """The task's trajectory, from its own derived RNG stream."""
+        user = self.users[task.user_id]
+        session = user.session(task.session_id, self.config.seed)
+        if task.kind == "gesture":
+            spec = make_spec(user, session, task.label, task.repetition,
+                             self.config.seed,
+                             distance_override_mm=task.distance_override_mm,
+                             sample_rate_hz=self.config.sample_rate_hz)
+            rng = derive_rng(self.config.seed, "traj", task.user_id,
+                             task.session_id, task.label, task.repetition,
+                             task.condition)
+            trajectory = synthesize_gesture(spec, rng=rng)
+            if task.mirror:
+                trajectory = trajectory.mirrored_x()
+            return trajectory
+        # non-gestures borrow the kinematic envelope of a neutral spec
+        spec = make_spec(user, session, "circle", task.repetition,
                          self.config.seed,
                          sample_rate_hz=self.config.sample_rate_hz)
-        rng = derive_rng(self.config.seed, "nongesture", user_id, session_id,
-                         family, repetition)
-        trajectory = synthesize_nongesture(family, spec, rng=rng)
-        return self._capture(
-            trajectory, user,
-            rng_key=(user_id, session_id, family, repetition, condition),
-            label=family, user_id=user_id, session_id=session_id,
-            repetition=repetition, condition=condition)
+        rng = derive_rng(self.config.seed, "nongesture", task.user_id,
+                         task.session_id, task.label, task.repetition)
+        return synthesize_nongesture(task.label, spec, rng=rng)
+
+    def _capture_batch(self, tasks: Sequence[CaptureTask]
+                       ) -> list[GestureSample]:
+        """Capture *tasks* through one batched radiometric pass."""
+        scenes, rngs, labels, metas = [], [], [], []
+        for task in tasks:
+            trajectory = self._synthesize_task(task)
+            rng = derive_rng(self.config.seed, "capture", task.user_id,
+                            task.session_id, task.label, task.repetition,
+                            task.condition)
+            ambient = task.ambient or self.ambient
+            irradiance = ambient.irradiance(trajectory.times_s, rng)
+            scene = scene_for_trajectory(trajectory, self.users[task.user_id],
+                                         ambient_mw_mm2=irradiance, rng=rng)
+            if task.wristband_condition is not None:
+                from repro.noise.motion import apply_scene_sway
+                apply_scene_sway(scene, task.wristband_condition, rng)
+            scenes.append(scene)
+            rngs.append(rng)
+            labels.append(task.label)
+            metas.append({"user_id": task.user_id,
+                          "session_id": task.session_id,
+                          "repetition": task.repetition,
+                          **trajectory.meta})
+        recordings = self.sampler.record_batch(scenes, rngs=rngs,
+                                               labels=labels, metas=metas)
+        return [GestureSample(recording=recording, label=task.label,
+                              user_id=task.user_id,
+                              session_id=task.session_id,
+                              repetition=task.repetition,
+                              condition=task.condition)
+                for task, recording in zip(tasks, recordings)]
+
+    def capture_tasks(self, tasks: Sequence[CaptureTask],
+                      batch_size: int | None = None) -> list[GestureSample]:
+        """Capture *tasks* in batches of *batch_size* (default from self).
+
+        Output is bit-identical for every batch size: all stochastic draws
+        are keyed by task coordinates, and the batched engine applies the
+        same float operations in the same order as the scalar path.
+        """
+        batch = batch_size or self.batch_size
+        out: list[GestureSample] = []
+        for chunk in chunked(tasks, batch):
+            out.extend(self._capture_batch(chunk))
+        return out
+
+    def run_tasks(self, tasks: Sequence[CaptureTask],
+                  batch_size: int | None = None) -> GestureCorpus:
+        """Execute a campaign plan into a :class:`GestureCorpus`."""
+        corpus = GestureCorpus()
+        corpus.samples.extend(self.capture_tasks(tasks, batch_size))
+        return corpus
+
+    # ------------------------------------------------------------------
+    # campaign plans
+    # ------------------------------------------------------------------
+    def plan_main_campaign(self,
+                           gestures: Sequence[str] | None = None,
+                           users: Sequence[int] | None = None,
+                           sessions: Sequence[int] | None = None,
+                           repetitions: int | None = None
+                           ) -> list[CaptureTask]:
+        """The Section V-B capture plan (optionally restricted)."""
+        gestures = tuple(gestures or self.config.gestures)
+        users = tuple(users if users is not None
+                      else range(self.config.n_users))
+        sessions = tuple(sessions if sessions is not None
+                         else range(self.config.n_sessions))
+        reps = repetitions or self.config.repetitions
+        return [CaptureTask(kind="gesture", user_id=uid, session_id=sid,
+                            label=gesture, repetition=rep)
+                for uid in users
+                for sid in sessions
+                for gesture in gestures
+                for rep in range(reps)]
+
+    def plan_distance_campaign(self,
+                               distances_mm: Sequence[float],
+                               users: Sequence[int] = (0, 1, 2),
+                               repetitions: int = 8,
+                               gestures: Sequence[str] | None = None
+                               ) -> list[CaptureTask]:
+        """The Fig. 8 sweep plan: gestures performed at fixed distances."""
+        gestures = tuple(gestures or self.config.gestures)
+        return [CaptureTask(kind="gesture", user_id=uid, session_id=0,
+                            label=gesture, repetition=rep,
+                            distance_override_mm=float(distance),
+                            condition=f"distance={float(distance)}")
+                for distance in distances_mm
+                for uid in users
+                for gesture in gestures
+                for rep in range(repetitions)]
+
+    def plan_ambient_campaign(self,
+                              hours: Sequence[float] = (8, 11, 14, 17, 20),
+                              users: Sequence[int] = (0, 1),
+                              repetitions: int = 25,
+                              gestures: Sequence[str] | None = None
+                              ) -> list[CaptureTask]:
+        """The Fig. 15 sweep plan: the same gestures at five times of day."""
+        gestures = tuple(gestures or self.config.gestures)
+        tasks = []
+        for hour in hours:
+            ambient = TimeOfDayAmbient(hour=float(hour)).to_model()
+            tasks.extend(CaptureTask(
+                kind="gesture", user_id=uid, session_id=0, label=gesture,
+                repetition=rep, ambient=ambient,
+                condition=f"hour={float(hour):g}")
+                for uid in users
+                for gesture in gestures
+                for rep in range(repetitions))
+        return tasks
+
+    def plan_offhand_campaign(self,
+                              users: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                              sessions: Sequence[int] = (0, 1),
+                              repetitions: int = 20,
+                              gestures: Sequence[str] | None = None
+                              ) -> list[CaptureTask]:
+        """The Fig. 16 plan: gestures performed with the mirrored hand."""
+        gestures = tuple(gestures or self.config.gestures)
+        return [CaptureTask(kind="gesture", user_id=uid, session_id=sid,
+                            label=gesture, repetition=rep, mirror=True,
+                            condition="offhand")
+                for uid in users
+                for sid in sessions
+                for gesture in gestures
+                for rep in range(repetitions)]
+
+    def plan_wristband_campaign(self,
+                                conditions: Sequence[str] = WRISTBAND_CONDITIONS,
+                                users: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                                repetitions: int = 25,
+                                gestures: Sequence[str] | None = None
+                                ) -> list[CaptureTask]:
+        """The Fig. 17 plan: worn sensor while sitting/standing/walking."""
+        gestures = tuple(gestures or self.config.gestures)
+        return [CaptureTask(kind="gesture", user_id=uid, session_id=0,
+                            label=gesture, repetition=rep,
+                            wristband_condition=condition,
+                            condition=condition)
+                for condition in conditions
+                for uid in users
+                for gesture in gestures
+                for rep in range(repetitions)]
+
+    def plan_interference_campaign(self,
+                                   users: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                                   sessions: Sequence[int] = (0, 1),
+                                   gestures_per_session: int = 25,
+                                   nongestures_per_session: int = 25
+                                   ) -> list[CaptureTask]:
+        """The Fig. 14 plan: designed gestures mixed with non-gestures.
+
+        The interference filter guards the *detect-aimed* path (Section
+        IV-F: non-gestures "can be falsely segmented as a detect-aimed
+        gesture"), so the gesture side of this campaign uses the six
+        detect-aimed gestures; track-aimed segments never reach the filter.
+        """
+        from repro.hand.gestures import DETECT_GESTURES
+        families = NONGESTURE_NAMES
+        gestures = tuple(g for g in self.config.gestures
+                         if g in DETECT_GESTURES) or DETECT_GESTURES
+        tasks = []
+        for uid in users:
+            for sid in sessions:
+                tasks.extend(CaptureTask(
+                    kind="gesture", user_id=uid, session_id=sid,
+                    label=gestures[rep % len(gestures)], repetition=rep,
+                    condition="interference")
+                    for rep in range(gestures_per_session))
+                tasks.extend(CaptureTask(
+                    kind="nongesture", user_id=uid, session_id=sid,
+                    label=families[rep % len(families)], repetition=rep,
+                    condition="interference")
+                    for rep in range(nongestures_per_session))
+        return tasks
 
     # ------------------------------------------------------------------
     # campaigns
@@ -177,20 +412,8 @@ class CampaignGenerator:
                       sessions: Sequence[int] | None = None,
                       repetitions: int | None = None) -> GestureCorpus:
         """The Section V-B campaign (optionally restricted)."""
-        gestures = tuple(gestures or self.config.gestures)
-        users = tuple(users if users is not None
-                      else range(self.config.n_users))
-        sessions = tuple(sessions if sessions is not None
-                         else range(self.config.n_sessions))
-        reps = repetitions or self.config.repetitions
-        corpus = GestureCorpus()
-        for uid in users:
-            for sid in sessions:
-                for gesture in gestures:
-                    for rep in range(reps):
-                        corpus.samples.append(self.capture_gesture(
-                            uid, sid, gesture, rep))
-        return corpus
+        return self.run_tasks(self.plan_main_campaign(
+            gestures, users, sessions, repetitions))
 
     def distance_campaign(self,
                           distances_mm: Sequence[float],
@@ -199,17 +422,8 @@ class CampaignGenerator:
                           gestures: Sequence[str] | None = None
                           ) -> GestureCorpus:
         """The Fig. 8 sweep: gestures performed at fixed distances."""
-        gestures = tuple(gestures or self.config.gestures)
-        corpus = GestureCorpus()
-        for distance in distances_mm:
-            for uid in users:
-                for gesture in gestures:
-                    for rep in range(repetitions):
-                        corpus.samples.append(self.capture_gesture(
-                            uid, 0, gesture, rep,
-                            distance_override_mm=float(distance),
-                            condition=f"distance={float(distance)}"))
-        return corpus
+        return self.run_tasks(self.plan_distance_campaign(
+            distances_mm, users, repetitions, gestures))
 
     def ambient_campaign(self,
                          hours: Sequence[float] = (8, 11, 14, 17, 20),
@@ -218,17 +432,8 @@ class CampaignGenerator:
                          gestures: Sequence[str] | None = None
                          ) -> GestureCorpus:
         """The Fig. 15 sweep: the same gestures at five times of day."""
-        gestures = tuple(gestures or self.config.gestures)
-        corpus = GestureCorpus()
-        for hour in hours:
-            ambient = TimeOfDayAmbient(hour=float(hour)).to_model()
-            for uid in users:
-                for gesture in gestures:
-                    for rep in range(repetitions):
-                        corpus.samples.append(self.capture_gesture(
-                            uid, 0, gesture, rep, ambient=ambient,
-                            condition=f"hour={float(hour):g}"))
-        return corpus
+        return self.run_tasks(self.plan_ambient_campaign(
+            hours, users, repetitions, gestures))
 
     def offhand_campaign(self,
                          users: Sequence[int] = (0, 1, 2, 3, 4, 5),
@@ -237,16 +442,8 @@ class CampaignGenerator:
                          gestures: Sequence[str] | None = None
                          ) -> GestureCorpus:
         """The Fig. 16 campaign: gestures performed with the mirrored hand."""
-        gestures = tuple(gestures or self.config.gestures)
-        corpus = GestureCorpus()
-        for uid in users:
-            for sid in sessions:
-                for gesture in gestures:
-                    for rep in range(repetitions):
-                        corpus.samples.append(self.capture_gesture(
-                            uid, sid, gesture, rep, mirror=True,
-                            condition="offhand"))
-        return corpus
+        return self.run_tasks(self.plan_offhand_campaign(
+            users, sessions, repetitions, gestures))
 
     def wristband_campaign(self,
                            conditions: Sequence[str] = WRISTBAND_CONDITIONS,
@@ -255,17 +452,8 @@ class CampaignGenerator:
                            gestures: Sequence[str] | None = None
                            ) -> GestureCorpus:
         """The Fig. 17 campaign: worn sensor while sitting/standing/walking."""
-        gestures = tuple(gestures or self.config.gestures)
-        corpus = GestureCorpus()
-        for condition in conditions:
-            for uid in users:
-                for gesture in gestures:
-                    for rep in range(repetitions):
-                        corpus.samples.append(self.capture_gesture(
-                            uid, 0, gesture, rep,
-                            wristband_condition=condition,
-                            condition=condition))
-        return corpus
+        return self.run_tasks(self.plan_wristband_campaign(
+            conditions, users, repetitions, gestures))
 
     def interference_campaign(self,
                               users: Sequence[int] = (0, 1, 2, 3, 4, 5),
@@ -273,29 +461,9 @@ class CampaignGenerator:
                               gestures_per_session: int = 25,
                               nongestures_per_session: int = 25
                               ) -> GestureCorpus:
-        """The Fig. 14 campaign: designed gestures mixed with non-gestures.
-
-        The interference filter guards the *detect-aimed* path (Section
-        IV-F: non-gestures "can be falsely segmented as a detect-aimed
-        gesture"), so the gesture side of this campaign uses the six
-        detect-aimed gestures; track-aimed segments never reach the filter.
-        """
-        from repro.hand.gestures import DETECT_GESTURES
-        corpus = GestureCorpus()
-        families = NONGESTURE_NAMES
-        gestures = tuple(g for g in self.config.gestures
-                         if g in DETECT_GESTURES) or DETECT_GESTURES
-        for uid in users:
-            for sid in sessions:
-                for rep in range(gestures_per_session):
-                    gesture = gestures[rep % len(gestures)]
-                    corpus.samples.append(self.capture_gesture(
-                        uid, sid, gesture, rep, condition="interference"))
-                for rep in range(nongestures_per_session):
-                    family = families[rep % len(families)]
-                    corpus.samples.append(self.capture_nongesture(
-                        uid, sid, family, rep, condition="interference"))
-        return corpus
+        """The Fig. 14 campaign: designed gestures mixed with non-gestures."""
+        return self.run_tasks(self.plan_interference_campaign(
+            users, sessions, gestures_per_session, nongestures_per_session))
 
     # ------------------------------------------------------------------
     # streams

@@ -1,0 +1,237 @@
+"""Parallel campaign execution over worker processes.
+
+:class:`ParallelCampaignGenerator` wraps the serial
+:class:`~repro.datasets.generator.CampaignGenerator` plan/execute split:
+a campaign is first *planned* into a flat list of
+:class:`~repro.datasets.generator.CaptureTask` value objects, the plan is
+chunked, and the chunks are captured on a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract
+--------------------
+The corpus produced for a given campaign seed is **bit-identical** to the
+serial generator's, for every worker count and chunk size, because
+
+* every stochastic draw is keyed by the task's own coordinates via
+  :func:`repro.utils.derive_rng` (never by execution order or process id);
+* the batched radiometric path applies the same elementwise float
+  operations in the same accumulation order as the scalar path, so batch
+  grouping cannot perturb bits; and
+* chunk results are reassembled in plan order regardless of which worker
+  finished first.
+
+If the platform cannot start worker processes (restricted sandboxes
+without semaphore support, missing ``multiprocessing`` primitives), the
+generator silently falls back to in-process execution — the output is the
+same either way.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.datasets.corpus import GestureCorpus, GestureSample
+from repro.datasets.generator import (
+    CampaignConfig,
+    CampaignGenerator,
+    CaptureTask,
+)
+from repro.noise.ambient import AmbientModel, indoor_ambient
+from repro.noise.motion import WRISTBAND_CONDITIONS
+from repro.optics.array import SensorArray, airfinger_array
+from repro.utils import chunked
+
+__all__ = ["ParallelCampaignGenerator"]
+
+# Worker-process state: one CampaignGenerator built per worker by the pool
+# initializer, reused across every chunk that worker executes.
+_WORKER_GENERATOR: CampaignGenerator | None = None
+
+
+def _init_worker(config: CampaignConfig, array: SensorArray,
+                 ambient: AmbientModel, batch_size: int) -> None:
+    global _WORKER_GENERATOR
+    _WORKER_GENERATOR = CampaignGenerator(
+        config=config, array=array, ambient=ambient, batch_size=batch_size)
+
+
+def _run_chunk(tasks: list[CaptureTask]) -> list[GestureSample]:
+    assert _WORKER_GENERATOR is not None, "worker initializer did not run"
+    return _WORKER_GENERATOR.capture_tasks(tasks)
+
+
+@dataclass
+class ParallelCampaignGenerator:
+    """Campaign generator that fans capture plans out to worker processes.
+
+    Parameters
+    ----------
+    config, array, ambient:
+        Campaign shape, sensor board, default ambient model — identical in
+        meaning to :class:`~repro.datasets.generator.CampaignGenerator`.
+    workers:
+        Worker-process count.  ``1`` executes in-process (no pool).
+    chunk_size:
+        Tasks per work unit sent to a worker.  ``None`` picks a size that
+        gives each worker a few chunks (load balancing) while keeping
+        chunks a multiple of *batch_size* (so worker-local batches align
+        with the serial batch grouping; output bits do not depend on this,
+        it only avoids ragged tail batches).
+    batch_size:
+        Captures per batched radiometric pass inside each worker.
+    """
+
+    config: CampaignConfig = field(default_factory=CampaignConfig)
+    array: SensorArray = field(default_factory=airfinger_array)
+    ambient: AmbientModel = field(default_factory=indoor_ambient)
+    workers: int = 4
+    chunk_size: int | None = None
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._serial = CampaignGenerator(
+            config=self.config, array=self.array, ambient=self.ambient,
+            batch_size=self.batch_size)
+
+    # ------------------------------------------------------------------
+    # serial surface (plans, single captures, streams)
+    # ------------------------------------------------------------------
+    @property
+    def serial(self) -> CampaignGenerator:
+        """The wrapped in-process generator (plans, streams, captures)."""
+        return self._serial
+
+    @property
+    def users(self):
+        """The seeded user population (shared with the serial generator)."""
+        return self._serial.users
+
+    @property
+    def sampler(self):
+        """The simulated capture chain (shared with the serial generator)."""
+        return self._serial.sampler
+
+    def __getattr__(self, name: str):
+        # Plans, single captures and streams are pure/serial concerns;
+        # delegate them so the parallel generator is a drop-in replacement.
+        if (name.startswith("plan_") or name.startswith("capture_")
+                or name == "stream"):
+            return getattr(self._serial, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    # ------------------------------------------------------------------
+    # parallel execution
+    # ------------------------------------------------------------------
+    def _resolve_chunk(self, n_tasks: int) -> int:
+        """Chunk size used for *n_tasks*: explicit, else ~4 chunks/worker."""
+        if self.chunk_size is not None:
+            chunk = self.chunk_size
+        else:
+            per_worker = max(1, -(-n_tasks // (self.workers * 4)))
+            chunk = per_worker
+        # Round up to a batch multiple so worker-local batches stay full.
+        return max(self.batch_size,
+                   -(-chunk // self.batch_size) * self.batch_size)
+
+    def run_tasks(self, tasks: Sequence[CaptureTask],
+                  batch_size: int | None = None) -> GestureCorpus:
+        """Execute a capture plan across the worker pool.
+
+        Results are reassembled in plan order; the corpus is bit-identical
+        to ``CampaignGenerator.run_tasks`` on the same plan and seed.
+        """
+        tasks = list(tasks)
+        batch = batch_size or self.batch_size
+        corpus = GestureCorpus()
+        if self.workers == 1 or len(tasks) <= batch:
+            corpus.samples.extend(self._serial.capture_tasks(tasks, batch))
+            return corpus
+        chunks = chunked(tasks, self._resolve_chunk(len(tasks)))
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(chunks)),
+                    initializer=_init_worker,
+                    initargs=(self.config, self.array, self.ambient,
+                              batch)) as pool:
+                # Executor.map preserves input order, so samples land in
+                # plan order no matter which worker finishes first.
+                for part in pool.map(_run_chunk, chunks):
+                    corpus.samples.extend(part)
+            return corpus
+        except (OSError, PermissionError, ImportError, NotImplementedError):
+            # Restricted platform (no semaphores / fork): same bits, one
+            # process.
+            corpus = GestureCorpus()
+            corpus.samples.extend(self._serial.capture_tasks(tasks, batch))
+            return corpus
+
+    # ------------------------------------------------------------------
+    # campaigns (parallel counterparts of the serial methods)
+    # ------------------------------------------------------------------
+    def main_campaign(self,
+                      gestures: Sequence[str] | None = None,
+                      users: Sequence[int] | None = None,
+                      sessions: Sequence[int] | None = None,
+                      repetitions: int | None = None) -> GestureCorpus:
+        """The Section V-B campaign, captured across the worker pool."""
+        return self.run_tasks(self._serial.plan_main_campaign(
+            gestures, users, sessions, repetitions))
+
+    def distance_campaign(self,
+                          distances_mm: Sequence[float],
+                          users: Sequence[int] = (0, 1, 2),
+                          repetitions: int = 8,
+                          gestures: Sequence[str] | None = None
+                          ) -> GestureCorpus:
+        """The Fig. 8 distance sweep, captured across the worker pool."""
+        return self.run_tasks(self._serial.plan_distance_campaign(
+            distances_mm, users, repetitions, gestures))
+
+    def ambient_campaign(self,
+                         hours: Sequence[float] = (8, 11, 14, 17, 20),
+                         users: Sequence[int] = (0, 1),
+                         repetitions: int = 25,
+                         gestures: Sequence[str] | None = None
+                         ) -> GestureCorpus:
+        """The Fig. 15 time-of-day sweep, captured across the worker pool."""
+        return self.run_tasks(self._serial.plan_ambient_campaign(
+            hours, users, repetitions, gestures))
+
+    def offhand_campaign(self,
+                         users: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                         sessions: Sequence[int] = (0, 1),
+                         repetitions: int = 20,
+                         gestures: Sequence[str] | None = None
+                         ) -> GestureCorpus:
+        """The Fig. 16 mirrored-hand campaign, across the worker pool."""
+        return self.run_tasks(self._serial.plan_offhand_campaign(
+            users, sessions, repetitions, gestures))
+
+    def wristband_campaign(self,
+                           conditions: Sequence[str] = WRISTBAND_CONDITIONS,
+                           users: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                           repetitions: int = 25,
+                           gestures: Sequence[str] | None = None
+                           ) -> GestureCorpus:
+        """The Fig. 17 worn-sensor campaign, across the worker pool."""
+        return self.run_tasks(self._serial.plan_wristband_campaign(
+            conditions, users, repetitions, gestures))
+
+    def interference_campaign(self,
+                              users: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                              sessions: Sequence[int] = (0, 1),
+                              gestures_per_session: int = 25,
+                              nongestures_per_session: int = 25
+                              ) -> GestureCorpus:
+        """The Fig. 14 interference campaign, across the worker pool."""
+        return self.run_tasks(self._serial.plan_interference_campaign(
+            users, sessions, gestures_per_session, nongestures_per_session))

@@ -20,6 +20,11 @@ __all__ = ["dtw_distance", "KnnDtwClassifier"]
 
 def _znorm(x: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64).ravel()
+    if x.size == 0:
+        # std()/mean() of an empty array emit "Mean of empty slice" /
+        # invalid-divide RuntimeWarnings; an empty series normalizes to
+        # itself.
+        return x
     std = x.std()
     if std < 1e-12:
         return np.zeros_like(x)

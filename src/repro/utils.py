@@ -20,6 +20,7 @@ __all__ = [
     "derive_rng",
     "derive_seed",
     "as_float_array",
+    "chunked",
     "validate_positive",
     "validate_fraction",
     "validate_window",
@@ -60,6 +61,20 @@ def derive_seed(base_seed: int, *keys: object) -> int:
 def derive_rng(base_seed: int, *keys: object) -> np.random.Generator:
     """Deterministically fork a generator keyed by *keys* (see :func:`derive_seed`)."""
     return np.random.default_rng(derive_seed(base_seed, *keys))
+
+
+def chunked(items: Sequence, size: int) -> list:
+    """Split *items* into consecutive chunks of at most *size* elements.
+
+    The last chunk may be shorter.  Chunking is purely positional, so any
+    per-item derivation keyed by the item itself (see :func:`derive_rng`)
+    is unaffected by the chunk size.
+    """
+    size = int(size)
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    items = list(items)
+    return [items[i:i + size] for i in range(0, len(items), size)]
 
 
 def as_float_array(values: Iterable[float], name: str = "values") -> np.ndarray:

@@ -1,0 +1,36 @@
+"""Regenerate the committed golden photocurrent traces.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Only run this when the radiometric physics is intentionally changed; the
+resulting ``fig3_waveforms.npz`` diff is the review artifact that shows
+the model moved.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from tests.golden.cases import GOLDEN_PATH, build_golden_scenes  # noqa: E402
+
+
+def main() -> int:
+    generator, scenes = build_golden_scenes()
+    engine = generator.sampler.engine
+    arrays = {name: engine.photocurrents_ua(scene)
+              for name, scene in scenes}
+    np.savez_compressed(GOLDEN_PATH, **arrays)
+    total = sum(a.size for a in arrays.values())
+    print(f"wrote {len(arrays)} traces ({total} values) -> {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""Determinism contract: one seed, one corpus — however it is executed.
+
+Every stochastic draw in campaign generation is keyed by the capture's
+own coordinates (:func:`repro.utils.derive_rng`), never by execution
+order, and the batched radiometric path is bit-identical to the scalar
+one.  Consequently the same campaign seed must produce byte-identical
+corpora for every worker count, chunk size, and batch size — which is
+what these tests pin down, including for ``stream()`` recordings and the
+single-capture wrappers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CampaignConfig,
+    CampaignGenerator,
+    ParallelCampaignGenerator,
+)
+
+CONFIG = CampaignConfig(n_users=2, n_sessions=2, repetitions=1, seed=424)
+GESTURES = ("circle", "click", "scroll_up")
+
+
+def _assert_corpora_identical(a, b, context: str) -> None:
+    assert len(a) == len(b), context
+    for sa, sb in zip(a.samples, b.samples):
+        assert sa.label == sb.label, context
+        assert sa.user_id == sb.user_id, context
+        assert sa.session_id == sb.session_id, context
+        assert sa.repetition == sb.repetition, context
+        assert sa.condition == sb.condition, context
+        assert np.array_equal(sa.recording.rss, sb.recording.rss), (
+            f"{context}: rss bits differ for {sa.label} "
+            f"u{sa.user_id}s{sa.session_id}r{sa.repetition}")
+        assert np.array_equal(sa.recording.times_s, sb.recording.times_s), (
+            context)
+
+
+@pytest.fixture(scope="module")
+def serial_corpus():
+    generator = CampaignGenerator(config=CONFIG)
+    return generator.main_campaign(gestures=GESTURES)
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_for_worker_count(self, serial_corpus, workers):
+        parallel = ParallelCampaignGenerator(config=CONFIG, workers=workers,
+                                             batch_size=4)
+        corpus = parallel.main_campaign(gestures=GESTURES)
+        _assert_corpora_identical(serial_corpus, corpus,
+                                  f"workers={workers}")
+
+
+class TestChunkAndBatchInvariance:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 5, 100])
+    def test_bit_identical_for_chunk_size(self, serial_corpus, chunk_size):
+        parallel = ParallelCampaignGenerator(config=CONFIG, workers=2,
+                                             chunk_size=chunk_size,
+                                             batch_size=2)
+        corpus = parallel.main_campaign(gestures=GESTURES)
+        _assert_corpora_identical(serial_corpus, corpus,
+                                  f"chunk_size={chunk_size}")
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 64])
+    def test_bit_identical_for_batch_size(self, serial_corpus, batch_size):
+        generator = CampaignGenerator(config=CONFIG, batch_size=batch_size)
+        corpus = generator.main_campaign(gestures=GESTURES)
+        _assert_corpora_identical(serial_corpus, corpus,
+                                  f"batch_size={batch_size}")
+
+    def test_single_capture_matches_campaign_sample(self, serial_corpus):
+        generator = CampaignGenerator(config=CONFIG)
+        sample = generator.capture_gesture(1, 0, "click", 0)
+        match = [s for s in serial_corpus.samples
+                 if (s.user_id, s.session_id, s.label, s.repetition)
+                 == (1, 0, "click", 0)]
+        assert len(match) == 1
+        assert np.array_equal(sample.recording.rss,
+                              match[0].recording.rss)
+
+
+class TestStreamDeterminism:
+    SEQUENCE = ["click", "scratch", "scroll_up"]
+
+    def test_same_seed_same_stream(self):
+        a = CampaignGenerator(config=CONFIG).stream(0, self.SEQUENCE)
+        b = CampaignGenerator(config=CONFIG).stream(0, self.SEQUENCE)
+        assert np.array_equal(a.recording.rss, b.recording.rss)
+        assert a.recording.meta["segments"] == b.recording.meta["segments"]
+
+    def test_parallel_generator_stream_matches_serial(self):
+        serial = CampaignGenerator(config=CONFIG).stream(0, self.SEQUENCE)
+        for workers in (1, 2, 4):
+            parallel = ParallelCampaignGenerator(config=CONFIG,
+                                                 workers=workers)
+            stream = parallel.stream(0, self.SEQUENCE)
+            assert np.array_equal(serial.recording.rss,
+                                  stream.recording.rss), f"workers={workers}"
+
+    def test_different_seed_different_stream(self):
+        other = CampaignConfig(n_users=2, n_sessions=2, repetitions=1,
+                               seed=425)
+        a = CampaignGenerator(config=CONFIG).stream(0, self.SEQUENCE)
+        b = CampaignGenerator(config=other).stream(0, self.SEQUENCE)
+        assert not np.array_equal(a.recording.rss, b.recording.rss)
+
+
+class TestParallelSurface:
+    def test_plans_delegate_to_serial(self):
+        parallel = ParallelCampaignGenerator(config=CONFIG, workers=2)
+        plan = parallel.plan_main_campaign(gestures=GESTURES)
+        serial_plan = CampaignGenerator(config=CONFIG).plan_main_campaign(
+            gestures=GESTURES)
+        assert plan == serial_plan
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelCampaignGenerator(workers=0)
+        with pytest.raises(ValueError):
+            ParallelCampaignGenerator(chunk_size=0)
+        with pytest.raises(ValueError):
+            ParallelCampaignGenerator(batch_size=0)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            ParallelCampaignGenerator(config=CONFIG).not_a_method

@@ -14,7 +14,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.tracking2d import PlanarTracker, compass_bin
@@ -125,6 +125,12 @@ class TestPlanarTrackerSymmetries:
 class TestPlanarTrackerRejection:
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(0, 2**31 - 1))
+    # seed 3275 draws noise whose centroid scatter reaches r^2 ~ 0.35 and
+    # once slipped past a pure fit-quality gate; the net-drift gate now
+    # rejects it.  Pinned so the regression can never go latent again.
+    @example(seed=3275)
+    @example(seed=3541)
+    @example(seed=4734)
     def test_pure_noise_is_not_confident(self, seed):
         rng = np.random.default_rng(seed)
         rss = rng.normal(0.0, 1.0, (120, 5))

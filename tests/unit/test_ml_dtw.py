@@ -39,6 +39,25 @@ class TestDtwDistance:
     def test_empty_infinite(self):
         assert dtw_distance(np.array([]), _tone(2.0)) == float("inf")
 
+    def test_empty_inputs_warning_free(self):
+        """Empty series must not emit 'Mean of empty slice' warnings."""
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert dtw_distance(np.array([]), _tone(2.0)) == float("inf")
+            assert dtw_distance(_tone(2.0), np.array([])) == float("inf")
+            assert dtw_distance(np.array([]), np.array([])) == float("inf")
+
+    def test_constant_inputs_warning_free(self):
+        """Constant series z-normalize to zeros without divide warnings."""
+        import warnings
+        const = np.full(50, 3.7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert dtw_distance(const, const) == pytest.approx(0.0)
+            assert np.isfinite(dtw_distance(const, _tone(2.0, n=50)))
+            assert np.isfinite(dtw_distance(np.zeros(20), const))
+
     def test_band_validation(self):
         with pytest.raises(ValueError):
             dtw_distance(_tone(1.0), _tone(2.0), band_fraction=0.0)

@@ -1,0 +1,113 @@
+"""Streaming edge cases for the end-to-end pipeline.
+
+A deployed recognizer sees degenerate streams all the time: sessions that
+never start, sessions where nothing happens, and sessions that cut off
+mid-gesture.  None of those may raise, and whatever events do come out
+must be well-formed (ordered indices, consistent timestamps, known event
+types).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition.sampler import Recording
+from repro.acquisition.stream import stream_frames
+from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
+from repro.core.pipeline import AirFinger
+
+CHANNELS = ("P1", "P2", "P3")
+
+
+def _recording(rss: np.ndarray, rate: float = 100.0) -> Recording:
+    rss = np.atleast_2d(np.asarray(rss, dtype=np.float64))
+    return Recording(
+        times_s=np.arange(rss.shape[0]) / rate,
+        rss=rss,
+        channel_names=CHANNELS,
+        sample_rate_hz=rate)
+
+
+def _assert_well_formed(events, n_samples: int) -> None:
+    rate = 100.0
+    for event in events:
+        assert isinstance(event, (SegmentEvent, GestureEvent, ScrollUpdate))
+        segment = event if isinstance(event, SegmentEvent) else event.segment
+        if segment is None:
+            continue
+        assert 0 <= segment.start_index < segment.end_index <= n_samples
+        assert segment.start_time_s == pytest.approx(
+            segment.start_index / rate)
+        assert segment.end_time_s == pytest.approx(segment.end_index / rate)
+
+
+class TestEmptyRecording:
+    def test_no_events_no_raise(self):
+        engine = AirFinger()
+        events = engine.feed_recording(_recording(np.zeros((0, 3))))
+        assert events == []
+        assert engine.frames_fed == 0
+
+    def test_flush_on_fresh_engine(self):
+        assert AirFinger().flush() == []
+
+    def test_empty_then_real_frames_still_work(self):
+        engine = AirFinger()
+        assert engine.feed_recording(_recording(np.zeros((0, 3)))) == []
+        rng = np.random.default_rng(7)
+        idle = 500.0 + rng.normal(0.0, 0.5, (200, 3))
+        events = engine.feed_recording(_recording(idle))
+        _assert_well_formed(events, 200)
+
+
+class TestAllIdleStream:
+    def test_constant_stream_emits_nothing(self):
+        engine = AirFinger()
+        events = engine.feed_recording(_recording(np.full((400, 3), 512.0)))
+        assert [e for e in events if isinstance(e, SegmentEvent)] == []
+
+    def test_noisy_idle_events_are_well_formed(self):
+        rng = np.random.default_rng(11)
+        rss = 512.0 + rng.normal(0.0, 1.0, (600, 3))
+        engine = AirFinger()
+        events = engine.feed_recording(_recording(rss))
+        _assert_well_formed(events, 600)
+
+
+class TestOpenSegmentAtEndOfStream:
+    @staticmethod
+    def _truncated_gesture(n_idle: int = 250, n_active: int = 60
+                           ) -> np.ndarray:
+        """Quiet lead-in, then strong motion running into end-of-stream."""
+        rng = np.random.default_rng(3)
+        t = np.arange(n_idle + n_active) / 100.0
+        rss = 512.0 + rng.normal(0.0, 0.5, (len(t), 3))
+        swing = 80.0 * np.sin(2.0 * np.pi * 3.0 * t[n_idle:])
+        rss[n_idle:] += swing[:, None]
+        return rss
+
+    def test_flush_closes_open_segment(self):
+        rss = self._truncated_gesture()
+        engine = AirFinger()
+        events = engine.feed_recording(_recording(rss))
+        _assert_well_formed(events, len(rss))
+        segments = [e for e in events if isinstance(e, SegmentEvent)]
+        assert segments, "truncated gesture must still yield a segment"
+        assert segments[-1].end_index <= len(rss)
+
+    def test_explicit_flush_is_idempotent(self):
+        rss = self._truncated_gesture()
+        engine = AirFinger()
+        for frame in stream_frames(_recording(rss)):
+            _assert_well_formed(engine.feed(frame), len(rss))
+        first = engine.flush()
+        _assert_well_formed(first, len(rss))
+        assert engine.flush() == []  # nothing left to close
+
+    def test_reset_after_truncated_stream(self):
+        engine = AirFinger()
+        engine.feed_recording(_recording(self._truncated_gesture()))
+        engine.reset()
+        assert engine.frames_fed == 0
+        assert engine.flush() == []
