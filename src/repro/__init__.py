@@ -41,6 +41,9 @@ Subpackages
     The simulated data-collection campaigns.
 ``repro.eval``
     One protocol per paper table/figure.
+``repro.obs``
+    Dependency-free runtime observability: counters, gauges, latency
+    histograms, snapshots, Prometheus export (``REPRO_OBS=0`` disables).
 """
 
 from repro.acquisition import Recording, SensorSampler
@@ -55,6 +58,7 @@ from repro.datasets import CampaignConfig, CampaignGenerator, GestureCorpus
 from repro.features import FeatureExtractor, FeatureSelector
 from repro.hand import GESTURE_NAMES, GestureSpec, synthesize_gesture
 from repro.ml import RandomForestClassifier
+from repro.obs import MetricsRegistry, MetricsSnapshot, get_registry
 from repro.optics import airfinger_array
 
 __version__ = "1.0.0"
@@ -76,6 +80,9 @@ __all__ = [
     "GestureSpec",
     "synthesize_gesture",
     "RandomForestClassifier",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "get_registry",
     "airfinger_array",
     "__version__",
 ]

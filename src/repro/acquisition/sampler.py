@@ -17,10 +17,15 @@ import numpy as np
 from repro.acquisition.adc import Adc
 from repro.acquisition.amplifier import TransimpedanceAmplifier
 from repro.noise.hardware import HardwareNoiseModel
+from repro.obs import MetricsRegistry, get_registry
 from repro.optics.array import SensorArray
 from repro.optics.engine import RadiometricEngine
 from repro.optics.scene import Scene
 from repro.utils import ensure_rng
+
+#: Batch-size buckets for the ``sampler.batch_size`` histogram.
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                       256.0, 512.0, 1024.0)
 
 __all__ = ["Recording", "SensorSampler"]
 
@@ -131,6 +136,9 @@ class SensorSampler:
         oversampling: the UNO converts at ~9 kHz while the pipeline needs
         100 Hz, so averaging 8 reads is free and cuts white noise by
         ``sqrt(8)``).
+    metrics:
+        Metrics registry for capture throughput/batch-fill counters;
+        defaults to the process-global registry.
     """
 
     array: SensorArray
@@ -140,6 +148,7 @@ class SensorSampler:
     adc: Adc = field(default_factory=Adc)
     noise: HardwareNoiseModel = field(default_factory=HardwareNoiseModel)
     oversample: int = 8
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.sample_rate_hz <= 0:
@@ -147,6 +156,7 @@ class SensorSampler:
         if self.oversample < 1:
             raise ValueError("oversample must be >= 1")
         self._engine = RadiometricEngine(array=self.array)
+        self._obs = self.metrics if self.metrics is not None else get_registry()
 
     @property
     def engine(self) -> RadiometricEngine:
@@ -213,10 +223,18 @@ class SensorSampler:
             raise ValueError(
                 f"got {len(scenes)} scenes, {len(rngs)} rngs, "
                 f"{len(labels)} labels, {len(metas)} metas")
-        currents = self._engine.photocurrents_batch_ua(scenes)
-        return [self._front_end(scene, cur, ensure_rng(rng), label, meta)
+        with self._obs.timer("sampler.batch_seconds"):
+            currents = self._engine.photocurrents_batch_ua(scenes)
+            recordings = [
+                self._front_end(scene, cur, ensure_rng(rng), label, meta)
                 for scene, cur, rng, label, meta
                 in zip(scenes, currents, rngs, labels, metas)]
+        self._obs.counter("sampler.scenes").inc(len(scenes))
+        self._obs.counter("sampler.frames").inc(
+            sum(r.n_samples for r in recordings))
+        self._obs.histogram("sampler.batch_size",
+                            buckets=_BATCH_SIZE_BUCKETS).observe(len(scenes))
+        return recordings
 
     def _front_end(self, scene: Scene, currents: np.ndarray,
                    rng: np.random.Generator, label: str,

@@ -6,7 +6,15 @@ Everything a downstream user needs without writing Python::
     airfinger train --corpus corpus.npz --out stack.json
     airfinger evaluate --corpus corpus.npz --protocol overall
     airfinger demo --stack stack.json --gestures click,scroll_up,circle
+    airfinger demo --stack stack.json --metrics-json metrics.json
+    airfinger stats metrics.json [--prometheus]
     airfinger power
+
+``generate``, ``evaluate`` and ``demo`` accept ``--metrics-json PATH``,
+which dumps the process metrics registry (:mod:`repro.obs`) — per-stage
+latency histograms, event/throughput counters, deadline misses — as a
+JSON snapshot after the command finishes; ``stats`` renders such a
+snapshot as tables or Prometheus text format.
 
 (Installed as the ``airfinger`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -48,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--report-json", type=Path, default=None,
                      help="write wall-clock / throughput stats to this "
                           "JSON file")
+    _add_metrics_json(gen)
 
     train = sub.add_parser("train",
                            help="train the recognition stack from a corpus")
@@ -62,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("overall", "diversity", "inconsistency",
                              "tracking", "distinguisher"),
                     default="overall")
+    _add_metrics_json(ev)
 
     demo = sub.add_parser("demo",
                           help="stream a synthetic session through a stack")
@@ -70,6 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
                       default="click,circle,scroll_up")
     demo.add_argument("--user", type=int, default=0)
     demo.add_argument("--seed", type=int, default=2020)
+    _add_metrics_json(demo)
+
+    stats = sub.add_parser(
+        "stats", help="render a metrics snapshot written by --metrics-json")
+    stats.add_argument("snapshot", type=Path,
+                       help="snapshot JSON path (from --metrics-json)")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="emit Prometheus text exposition format "
+                            "instead of tables")
 
     report = sub.add_parser(
         "report", help="write a markdown evaluation report for a corpus")
@@ -78,6 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("power", help="print the power budget table")
     return parser
+
+
+def _add_metrics_json(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-json", type=Path, default=None,
+                        help="dump the repro.obs metrics snapshot "
+                             "(stage latencies, counters) to this JSON "
+                             "file when the command finishes")
+
+
+def _write_metrics_json(path: Path) -> None:
+    from repro.obs import get_registry
+
+    path.write_text(get_registry().snapshot().to_json() + "\n")
+    print(f"metrics snapshot -> {path}")
 
 
 # ---------------------------------------------------------------------------
@@ -234,6 +267,22 @@ def _cmd_power(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.obs import MetricsSnapshot, prometheus_text, render_snapshot
+
+    try:
+        snapshot = MetricsSnapshot.from_json(args.snapshot.read_text())
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read metrics snapshot {args.snapshot}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.prometheus:
+        sys.stdout.write(prometheus_text(snapshot))
+    else:
+        print(render_snapshot(snapshot))
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.datasets import GestureCorpus
     from repro.eval.report_markdown import generate_report
@@ -250,6 +299,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "demo": _cmd_demo,
     "report": _cmd_report,
+    "stats": _cmd_stats,
     "power": _cmd_power,
 }
 
@@ -257,7 +307,10 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    code = _COMMANDS[args.command](args)
+    if getattr(args, "metrics_json", None) is not None:
+        _write_metrics_json(args.metrics_json)
+    return code
 
 
 if __name__ == "__main__":

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
+
 import numpy as np
 
 from repro.acquisition.sampler import Recording
@@ -33,6 +35,7 @@ from repro.core.sbc import (
 )
 from repro.core.segmentation import DynamicThresholdSegmenter, Segment
 from repro.core.zebra import ZebraTracker
+from repro.obs import MetricsRegistry, get_registry
 
 __all__ = ["AirFinger"]
 
@@ -60,6 +63,11 @@ class AirFinger:
         Per-channel onset gate as a fraction of the combined-signal
         segmentation threshold (channels are quieter individually than the
         channel sum).
+    metrics:
+        Metrics registry for per-stage latency, event counters and the
+        100 Hz deadline-miss counter; defaults to the process-global
+        registry (:func:`repro.obs.get_registry`).  Disable process-wide
+        with ``REPRO_OBS=0``.
     """
 
     config: AirFingerConfig = field(default_factory=AirFingerConfig)
@@ -68,6 +76,7 @@ class AirFinger:
     tracker: ZebraTracker | None = None
     live_update_every: int = 5
     gate_fraction: float = 0.35
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.live_update_every < 0:
@@ -88,6 +97,28 @@ class AirFinger:
         self._last_time_s = 0.0
         self._live_cooldown = 0
         self._live_track_open = False
+        # metric handles are resolved once; feed() only pays record calls
+        m = self.metrics if self.metrics is not None else get_registry()
+        self._obs = m
+        self._deadline_s = 1.0 / self.config.sample_rate_hz
+        self._h_frame = m.histogram("pipeline.frame_seconds")
+        self._h_prefilter = m.histogram("pipeline.stage_seconds",
+                                        stage="prefilter_sbc")
+        self._h_segmentation = m.histogram("pipeline.stage_seconds",
+                                           stage="segmentation")
+        self._h_dispatch = m.histogram("pipeline.stage_seconds",
+                                       stage="dispatch")
+        self._h_tracking = m.histogram("pipeline.stage_seconds",
+                                       stage="tracking")
+        self._h_detection = m.histogram("pipeline.stage_seconds",
+                                        stage="detection")
+        self._c_frames = m.counter("pipeline.frames")
+        self._c_deadline = m.counter("pipeline.deadline_miss")
+        self._c_segments = m.counter("pipeline.segments")
+        self._c_ev_gesture = m.counter("pipeline.events", type="gesture")
+        self._c_ev_rejected = m.counter("pipeline.events", type="rejected")
+        self._c_ev_final = m.counter("pipeline.events", type="scroll_final")
+        self._c_ev_live = m.counter("pipeline.events", type="scroll_live")
 
     # ------------------------------------------------------------------
     # helpers
@@ -142,6 +173,7 @@ class AirFinger:
         The stored history and everything downstream (segmentation, onset
         analysis, features) operate on the prefiltered RSS.
         """
+        t_start = perf_counter()
         if len(self._prefilters) != len(frame.values):
             self._prefilters = [
                 StreamingMovingAverage(self.config.prefilter_samples)
@@ -154,16 +186,29 @@ class AirFinger:
         delta = self._combined_sbc.push(combined)
         self._delta.append(delta)
         self._fed += 1
+        t_prefilter = perf_counter()
+        self._h_prefilter.observe(t_prefilter - t_start)
 
         events: list = []
         finished = self._segmenter.push(delta)
+        self._h_segmentation.observe(perf_counter() - t_prefilter)
         if finished is not None:
             events.extend(self._handle_segment(finished))
             self._live_track_open = False
+            # a fresh gesture must not inherit the previous one's live
+            # phase; restart the cadence at the next segment opening
+            self._live_cooldown = 0
         elif self.live_update_every:
             live = self._maybe_live_update()
             if live is not None:
                 events.append(live)
+                self._c_ev_live.inc()
+
+        frame_s = perf_counter() - t_start
+        self._h_frame.observe(frame_s)
+        self._c_frames.inc()
+        if frame_s > self._deadline_s:
+            self._c_deadline.inc()
         return events
 
     def feed_recording(self, recording: Recording) -> list:
@@ -181,6 +226,7 @@ class AirFinger:
             return []
         out = self._handle_segment(tail)
         self._live_track_open = False
+        self._live_cooldown = 0
         return out
 
     def reset(self) -> None:
@@ -202,12 +248,15 @@ class AirFinger:
         event = self._segment_event(segment)
         rss = self._slice_raw(segment.start, segment.end)
         out: list = [event]
+        self._c_segments.inc()
         if rss.size == 0:
             return out
         gate = self._gate()
-        kind = self._dispatcher.classify(rss, gate)
+        with self._obs.timer("pipeline.stage_seconds", stage="dispatch"):
+            kind = self._dispatcher.classify(rss, gate)
         if kind == "track":
-            result = self.tracker.track(rss, gate)
+            with self._obs.timer("pipeline.stage_seconds", stage="tracking"):
+                result = self.tracker.track(rss, gate)
             out.append(ScrollUpdate(
                 direction=result.direction,
                 velocity_mm_s=result.velocity_mm_s,
@@ -215,23 +264,31 @@ class AirFinger:
                 time_s=event.end_time_s,
                 final=True,
                 segment=event))
+            self._c_ev_final.inc()
             return out
         signal = self._slice_delta(segment.start, segment.end)
+        if self.interference_filter is None and self.detector is None:
+            return out
+        t_detect = perf_counter()
         if self.interference_filter is not None:
             if self.interference_filter.gesture_probability(signal) < 0.5:
+                self._h_detection.observe(perf_counter() - t_detect)
                 out.append(GestureEvent(
                     label="non_gesture", confidence=1.0, segment=event,
                     accepted=False))
+                self._c_ev_rejected.inc()
                 return out
         if self.detector is not None:
             label, confidence = self.detector.predict_one(signal)
             out.append(GestureEvent(
                 label=label, confidence=confidence, segment=event,
                 accepted=True))
+            self._c_ev_gesture.inc()
+        self._h_detection.observe(perf_counter() - t_detect)
         return out
 
     def _maybe_live_update(self) -> ScrollUpdate | None:
-        open_start = self._segmenter._open_start
+        open_start = self._segmenter.open_start
         if open_start is None:
             self._live_cooldown = 0
             return None
@@ -245,21 +302,24 @@ class AirFinger:
         if rss.size == 0:
             return None
         gate = self._gate()
-        kind = self._dispatcher.classify(rss, gate)
+        with self._obs.timer("pipeline.stage_seconds", stage="dispatch"):
+            kind = self._dispatcher.classify(rss, gate)
         if kind != "track" and not self._live_track_open:
             return None
         self._live_track_open = True
-        result = self.tracker.track(rss, gate)
-        elapsed_s = elapsed / self.config.sample_rate_hz
+        with self._obs.timer("pipeline.stage_seconds", stage="tracking"):
+            result = self.tracker.track(rss, gate)
         event = SegmentEvent(
             start_index=open_start,
             end_index=self._fed,
             start_time_s=open_start / self.config.sample_rate_hz,
             end_time_s=self._fed / self.config.sample_rate_hz)
+        # report the tracker's own displacement estimate so live and final
+        # updates share one measurement (and one sign convention)
         return ScrollUpdate(
             direction=result.direction,
             velocity_mm_s=result.velocity_mm_s,
-            displacement_mm=result.direction * result.velocity_mm_s * elapsed_s,
+            displacement_mm=result.total_displacement_mm,
             time_s=self._last_time_s,
             final=False,
             segment=event)

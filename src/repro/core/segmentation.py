@@ -146,6 +146,16 @@ class DynamicThresholdSegmenter:
         """Total ΔRSS² samples pushed."""
         return self._index
 
+    @property
+    def open_start(self) -> int | None:
+        """Start index of the currently open segment, or None when closed.
+
+        Read-only streaming state for consumers (e.g. the live-update path
+        of :class:`~repro.core.pipeline.AirFinger`) that need to know the
+        in-progress gesture extent without reaching into internals.
+        """
+        return self._open_start
+
     def _refresh_threshold(self) -> None:
         history = np.fromiter(self._history, dtype=np.float64)
         # Otsu needs both modes (noise and gesture) in view to be

@@ -45,8 +45,13 @@ from repro.hand.trajectory import (
 from repro.hand.finger import scene_for_trajectory
 from repro.noise.ambient import AmbientModel, TimeOfDayAmbient, indoor_ambient
 from repro.noise.motion import WRISTBAND_CONDITIONS
+from repro.obs import MetricsRegistry, get_registry
 from repro.optics.array import SensorArray, airfinger_array
 from repro.utils import chunked, derive_rng
+
+#: Buckets for the ``campaign.batch_fill`` histogram (fraction of the
+#: configured batch size each radiometric pass actually carried).
+_BATCH_FILL_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
 
 __all__ = ["CampaignConfig", "CampaignGenerator", "CaptureTask"]
 
@@ -123,12 +128,18 @@ class CampaignGenerator:
         :meth:`run_tasks`).  Output is bit-identical for every batch size;
         larger batches amortize more Python overhead at the cost of peak
         memory.
+    metrics:
+        Metrics registry for campaign throughput / batch-fill counters;
+        defaults to the process-global registry.  Instrumentation never
+        touches the RNG streams, so the determinism contract holds with
+        it on or off.
     """
 
     config: CampaignConfig = field(default_factory=CampaignConfig)
     array: SensorArray = field(default_factory=airfinger_array)
     ambient: AmbientModel = field(default_factory=indoor_ambient)
     batch_size: int = 64
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -137,6 +148,7 @@ class CampaignGenerator:
                                      sample_rate_hz=self.config.sample_rate_hz)
         self.users: list[UserProfile] = sample_population(
             self.config.n_users, self.config.seed)
+        self._obs = self.metrics if self.metrics is not None else get_registry()
 
     # ------------------------------------------------------------------
     # single-sample machinery
@@ -268,7 +280,14 @@ class CampaignGenerator:
         batch = batch_size or self.batch_size
         out: list[GestureSample] = []
         for chunk in chunked(tasks, batch):
-            out.extend(self._capture_batch(chunk))
+            with self._obs.timer("campaign.batch_seconds"):
+                out.extend(self._capture_batch(chunk))
+            self._obs.counter("campaign.tasks").inc(len(chunk))
+            self._obs.counter("campaign.batches").inc()
+            self._obs.histogram(
+                "campaign.batch_fill",
+                buckets=_BATCH_FILL_BUCKETS).observe(len(chunk) / batch)
+            self._obs.gauge("campaign.last_batch_size").set(len(chunk))
         return out
 
     def run_tasks(self, tasks: Sequence[CaptureTask],

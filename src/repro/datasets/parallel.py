@@ -28,6 +28,7 @@ same either way.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -40,6 +41,7 @@ from repro.datasets.generator import (
 )
 from repro.noise.ambient import AmbientModel, indoor_ambient
 from repro.noise.motion import WRISTBAND_CONDITIONS
+from repro.obs import MetricsRegistry, MetricsSnapshot, get_registry
 from repro.optics.array import SensorArray, airfinger_array
 from repro.utils import chunked
 
@@ -57,9 +59,22 @@ def _init_worker(config: CampaignConfig, array: SensorArray,
         config=config, array=array, ambient=ambient, batch_size=batch_size)
 
 
-def _run_chunk(tasks: list[CaptureTask]) -> list[GestureSample]:
+def _run_chunk(tasks: list[CaptureTask]
+               ) -> tuple[list[GestureSample], MetricsSnapshot]:
+    """Capture one chunk and ship the worker's metrics delta with it.
+
+    The worker records into its own process-global registry; snapshotting
+    and resetting after each chunk makes every returned snapshot a
+    non-overlapping delta, so the parent can merge them additively.
+    """
     assert _WORKER_GENERATOR is not None, "worker initializer did not run"
-    return _WORKER_GENERATOR.capture_tasks(tasks)
+    samples = _WORKER_GENERATOR.capture_tasks(tasks)
+    registry = get_registry()
+    registry.counter("campaign.worker_tasks",
+                     worker=str(os.getpid())).inc(len(tasks))
+    snapshot = registry.snapshot()
+    registry.reset()
+    return samples, snapshot
 
 
 @dataclass
@@ -81,6 +96,11 @@ class ParallelCampaignGenerator:
         it only avoids ragged tail batches).
     batch_size:
         Captures per batched radiometric pass inside each worker.
+    metrics:
+        Metrics registry the workers' snapshots are merged into (their
+        per-worker task counts land here as
+        ``campaign.worker_tasks{worker=<pid>}``); defaults to the
+        process-global registry.
     """
 
     config: CampaignConfig = field(default_factory=CampaignConfig)
@@ -89,6 +109,7 @@ class ParallelCampaignGenerator:
     workers: int = 4
     chunk_size: int | None = None
     batch_size: int = 64
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -97,9 +118,10 @@ class ParallelCampaignGenerator:
             raise ValueError("chunk_size must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        self._obs = self.metrics if self.metrics is not None else get_registry()
         self._serial = CampaignGenerator(
             config=self.config, array=self.array, ambient=self.ambient,
-            batch_size=self.batch_size)
+            batch_size=self.batch_size, metrics=self.metrics)
 
     # ------------------------------------------------------------------
     # serial surface (plans, single captures, streams)
@@ -164,8 +186,9 @@ class ParallelCampaignGenerator:
                               batch)) as pool:
                 # Executor.map preserves input order, so samples land in
                 # plan order no matter which worker finishes first.
-                for part in pool.map(_run_chunk, chunks):
+                for part, snapshot in pool.map(_run_chunk, chunks):
                     corpus.samples.extend(part)
+                    self._obs.merge(snapshot)
             return corpus
         except (OSError, PermissionError, ImportError, NotImplementedError):
             # Restricted platform (no semaphores / fork): same bits, one

@@ -10,6 +10,8 @@ scroll-fluency rating scale.
 
 from repro.eval.protocols import (
     DETECT_GESTURES_SET,
+    EvaluationResult,
+    TrackingResult,
     compute_features,
     overall_detect_performance,
     individual_diversity,
@@ -38,6 +40,8 @@ from repro.eval.stream_protocols import (
 
 __all__ = [
     "DETECT_GESTURES_SET",
+    "EvaluationResult",
+    "TrackingResult",
     "compute_features",
     "overall_detect_performance",
     "individual_diversity",

@@ -26,6 +26,7 @@ from repro.ml.model_selection import (
     leave_one_group_out,
     train_test_split,
 )
+from repro.obs import get_registry
 
 __all__ = [
     "DETECT_GESTURES_SET",
@@ -71,11 +72,16 @@ class EvaluationResult:
         Pooled metrics over all held-out predictions.
     per_group:
         Per-fold / per-user / per-session / per-condition summaries.
+    timings:
+        Wall-clock seconds per fold/group (same keys as ``per_group``);
+        the same numbers land in the process registry as the
+        ``eval.fold_seconds{protocol=...}`` histogram.
     """
 
     name: str
     summary: ClassificationSummary
     per_group: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
 
     @property
     def accuracy(self) -> float:
@@ -89,11 +95,18 @@ class EvaluationResult:
 
 def _pooled_result(name: str,
                    y_true: list, y_pred: list,
-                   per_group: dict) -> EvaluationResult:
+                   per_group: dict,
+                   timings: dict | None = None) -> EvaluationResult:
     return EvaluationResult(
         name=name,
         summary=classification_summary(np.array(y_true), np.array(y_pred)),
-        per_group=per_group)
+        per_group=per_group,
+        timings=dict(timings or {}))
+
+
+def _fold_timer(protocol: str):
+    """A stage timer recording into ``eval.fold_seconds{protocol=...}``."""
+    return get_registry().timer("eval.fold_seconds", protocol=protocol)
 
 
 # ---------------------------------------------------------------------------
@@ -122,16 +135,19 @@ def overall_detect_performance(corpus: GestureCorpus,
     y_true: list = []
     y_pred: list = []
     per_fold: dict = {}
+    timings: dict = {}
     for k, (train_idx, test_idx) in enumerate(
             StratifiedKFold(n_splits=n_splits,
                             random_state=random_state).split(y)):
-        model = model_factory()
-        model.fit(Xs[train_idx], y[train_idx])
-        pred = model.predict(Xs[test_idx])
+        with _fold_timer("overall") as timer:
+            model = model_factory()
+            model.fit(Xs[train_idx], y[train_idx])
+            pred = model.predict(Xs[test_idx])
         y_true.extend(y[test_idx])
         y_pred.extend(pred)
         per_fold[f"fold{k}"] = classification_summary(y[test_idx], pred)
-    return _pooled_result("overall", y_true, y_pred, per_fold)
+        timings[f"fold{k}"] = timer.elapsed_s
+    return _pooled_result("overall", y_true, y_pred, per_fold, timings)
 
 
 def _leave_one_group(corpus: GestureCorpus,
@@ -143,14 +159,17 @@ def _leave_one_group(corpus: GestureCorpus,
     y_true: list = []
     y_pred: list = []
     per_group: dict = {}
+    timings: dict = {}
     for g, train_idx, test_idx in leave_one_group_out(groups):
-        model = model_factory()
-        model.fit(X[train_idx], y[train_idx])
-        pred = model.predict(X[test_idx])
+        with _fold_timer(name) as timer:
+            model = model_factory()
+            model.fit(X[train_idx], y[train_idx])
+            pred = model.predict(X[test_idx])
         y_true.extend(y[test_idx])
         y_pred.extend(pred)
         per_group[g] = classification_summary(y[test_idx], pred)
-    return _pooled_result(name, y_true, y_pred, per_group)
+        timings[g] = timer.elapsed_s
+    return _pooled_result(name, y_true, y_pred, per_group, timings)
 
 
 def individual_diversity(corpus: GestureCorpus,
@@ -412,20 +431,24 @@ def unintentional_motion_performance(corpus: GestureCorpus,
     y_true: list = []
     y_pred: list = []
     per_fold: dict = {}
+    timings: dict = {}
     for k, (train_idx, test_idx) in enumerate(
             StratifiedKFold(n_splits=n_splits,
                             random_state=random_state).split(labels)):
-        if model_factory is None:
-            filt = InterferenceFilter()
-        else:
-            filt = InterferenceFilter(model_factory=model_factory)
-        filt.fit([signals[i] for i in train_idx], flags[train_idx])
-        pred_flags = filt.predict_is_gesture([signals[i] for i in test_idx])
-        pred = np.where(pred_flags, "gesture", "non_gesture")
+        with _fold_timer("unintentional") as timer:
+            if model_factory is None:
+                filt = InterferenceFilter()
+            else:
+                filt = InterferenceFilter(model_factory=model_factory)
+            filt.fit([signals[i] for i in train_idx], flags[train_idx])
+            pred_flags = filt.predict_is_gesture(
+                [signals[i] for i in test_idx])
+            pred = np.where(pred_flags, "gesture", "non_gesture")
         y_true.extend(labels[test_idx])
         y_pred.extend(pred)
         per_fold[f"fold{k}"] = classification_summary(labels[test_idx], pred)
-    return _pooled_result("unintentional", y_true, y_pred, per_fold)
+        timings[f"fold{k}"] = timer.elapsed_s
+    return _pooled_result("unintentional", y_true, y_pred, per_fold, timings)
 
 
 # ---------------------------------------------------------------------------
@@ -454,17 +477,20 @@ def condition_accuracy(corpus: GestureCorpus,
     y_pred: list = []
     cond_true: dict[str, list] = {}
     cond_pred: dict[str, list] = {}
-    for train_idx, test_idx in StratifiedKFold(
-            n_splits=n_splits, random_state=random_state).split(y):
-        train_mask = np.zeros(len(y), dtype=bool)
-        train_mask[train_idx] = True
-        test_mask = ~train_mask
-        pred = hybrid_predictions(
-            corpus.subset(train_mask), X[train_idx],
-            corpus.subset(test_mask), X[test_idx],
-            model_factory=model_factory)
+    timings: dict = {}
+    for k, (train_idx, test_idx) in enumerate(StratifiedKFold(
+            n_splits=n_splits, random_state=random_state).split(y)):
+        with _fold_timer("condition") as timer:
+            train_mask = np.zeros(len(y), dtype=bool)
+            train_mask[train_idx] = True
+            test_mask = ~train_mask
+            pred = hybrid_predictions(
+                corpus.subset(train_mask), X[train_idx],
+                corpus.subset(test_mask), X[test_idx],
+                model_factory=model_factory)
         y_true.extend(y[test_idx])
         y_pred.extend(pred)
+        timings[f"fold{k}"] = timer.elapsed_s
         for i, p in zip(test_idx, pred):
             cond_true.setdefault(conditions[i], []).append(y[i])
             cond_pred.setdefault(conditions[i], []).append(p)
@@ -472,7 +498,7 @@ def condition_accuracy(corpus: GestureCorpus,
         cond: classification_summary(np.array(cond_true[cond]),
                                      np.array(cond_pred[cond]))
         for cond in sorted(cond_true)}
-    return _pooled_result("condition", y_true, y_pred, per_group)
+    return _pooled_result("condition", y_true, y_pred, per_group, timings)
 
 
 # ---------------------------------------------------------------------------

@@ -5,6 +5,13 @@
 * **Accuracy** — correctly classified / total classified.
 * **Recall of label g** — correct among all samples *with* label g.
 * **Precision of label g** — correct among all samples *predicted* g.
+
+When an explicit ``labels`` argument does not cover every value in the
+data, no pair is ever silently dropped: ground-truth values outside the
+label set raise, and out-of-label predictions are either surfaced in a
+dedicated ``"<other>"`` confusion column or raise (see
+:func:`confusion_matrix`).  This keeps the confusion matrix consistent
+with :func:`accuracy_score`, which always counts every pair.
 """
 
 from __future__ import annotations
@@ -41,23 +48,52 @@ def _align(y_true: np.ndarray, y_pred: np.ndarray,
 
 def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
                      labels: np.ndarray | None = None,
-                     normalize: bool = True) -> tuple[np.ndarray, np.ndarray]:
+                     normalize: bool = True,
+                     out_of_label: str = "column"
+                     ) -> tuple[np.ndarray, np.ndarray]:
     """Confusion matrix ``(labels, matrix)``; rows are ground truth.
 
     With ``normalize=True`` each row is divided by its ground-truth count
     (rows of all-zero stay zero), matching the paper's definition.
+
+    When an explicit ``labels`` argument omits values present in the data,
+    pairs are never silently dropped (dropping them would make the matrix
+    disagree with :func:`accuracy_score`, which counts every pair):
+
+    * a ground-truth value outside ``labels`` always raises ``ValueError``
+      — the caller's label set does not cover the evaluation;
+    * predictions outside ``labels`` are counted in a trailing
+      ``"<other>"`` column with ``out_of_label="column"`` (the default),
+      so every row still accounts for all of its samples, or raise
+      ``ValueError`` with ``out_of_label="raise"``.
+
+    The returned ``labels`` gain the ``"<other>"`` entry only when such
+    predictions actually occur; the matrix then has one more column than
+    rows (rows correspond to the first ``len(labels) - 1`` entries).
     """
+    if out_of_label not in ("column", "raise"):
+        raise ValueError(
+            f"out_of_label must be 'column' or 'raise', got {out_of_label!r}")
     y_true, y_pred, labels = _align(y_true, y_pred, labels)
     index = {label: i for i, label in enumerate(labels)}
+    stray_truth = sorted({str(t) for t in y_true if t not in index})
+    if stray_truth:
+        raise ValueError(
+            f"ground-truth values outside labels: {stray_truth}; the label "
+            "set must cover every ground-truth value")
+    stray_pred = sorted({str(p) for p in y_pred if p not in index})
+    if stray_pred and out_of_label == "raise":
+        raise ValueError(f"predictions outside labels: {stray_pred}")
     k = len(labels)
-    matrix = np.zeros((k, k), dtype=np.float64)
+    matrix = np.zeros((k, k + 1 if stray_pred else k), dtype=np.float64)
     for t, p in zip(y_true, y_pred):
-        if t in index and p in index:
-            matrix[index[t], index[p]] += 1.0
+        matrix[index[t], index.get(p, k)] += 1.0
     if normalize:
         row_sums = matrix.sum(axis=1, keepdims=True)
         matrix = np.divide(matrix, row_sums,
                            out=np.zeros_like(matrix), where=row_sums > 0)
+    if stray_pred:
+        labels = np.append(labels, "<other>")
     return labels, matrix
 
 
@@ -117,8 +153,22 @@ class ClassificationSummary:
 def classification_summary(y_true: np.ndarray, y_pred: np.ndarray,
                            labels: np.ndarray | None = None
                            ) -> ClassificationSummary:
-    """Bundle every Section V-C metric for one evaluation."""
+    """Bundle every Section V-C metric for one evaluation.
+
+    An explicit ``labels`` argument must cover every value in ``y_true``
+    and ``y_pred`` (``ValueError`` otherwise): the summary's accuracy is
+    :func:`accuracy_score` over *all* pairs, so its square confusion
+    matrix must account for all of them too.
+    """
     y_true, y_pred, labels = _align(y_true, y_pred, labels)
+    known = set(labels.tolist())
+    stray = sorted({str(v) for v in np.concatenate([y_true, y_pred])
+                    if v not in known})
+    if stray:
+        raise ValueError(
+            f"values outside the explicit labels: {stray}; "
+            "classification_summary needs a label set covering every "
+            "value so accuracy and confusion stay consistent")
     recall = per_class_recall(y_true, y_pred, labels)
     precision = per_class_precision(y_true, y_pred, labels)
     _, conf = confusion_matrix(y_true, y_pred, labels)

@@ -1,0 +1,123 @@
+"""Snapshot exporters: Prometheus text exposition format and a text table.
+
+A :class:`~repro.obs.metrics.MetricsSnapshot` keys every series by
+``name`` or ``name{label="value",...}`` with label values already escaped
+(see :func:`repro.obs.metrics.escape_label_value`), so the exporters only
+have to sanitize metric *names* (Prometheus allows ``[a-zA-Z0-9_:]``) and
+lay out the histogram buckets.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsSnapshot, _bucket_quantile
+
+__all__ = ["prometheus_text", "render_snapshot"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    """``name{labels}`` -> (sanitized name, ``labels`` inner text or '')."""
+    if "{" in key:
+        name, rest = key.split("{", 1)
+        return _sanitize_name(name), rest.rstrip("}")
+    return _sanitize_name(key), ""
+
+
+def _sanitize_name(name: str) -> str:
+    name = _NAME_OK.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers without a trailing ``.0``."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """Render *snapshot* in the Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms become the
+    conventional ``_bucket{le=...}`` cumulative series plus ``_sum`` and
+    ``_count``.  A trailing newline terminates the exposition.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for key in sorted(snapshot.counters):
+        name, labels = _split_key(key)
+        declare(name, "counter")
+        suffix = f"{{{labels}}}" if labels else ""
+        lines.append(f"{name}{suffix} {_fmt(snapshot.counters[key])}")
+    for key in sorted(snapshot.gauges):
+        name, labels = _split_key(key)
+        declare(name, "gauge")
+        suffix = f"{{{labels}}}" if labels else ""
+        lines.append(f"{name}{suffix} {_fmt(snapshot.gauges[key])}")
+    for key in sorted(snapshot.histograms):
+        data = snapshot.histograms[key]
+        name, labels = _split_key(key)
+        declare(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            le = f'le="{_fmt(bound)}"'
+            inner = f"{labels},{le}" if labels else le
+            lines.append(f"{name}_bucket{{{inner}}} {cumulative}")
+        inf = 'le="+Inf"'
+        inner = f"{labels},{inf}" if labels else inf
+        lines.append(f"{name}_bucket{{{inner}}} {data['count']}")
+        suffix = f"{{{labels}}}" if labels else ""
+        lines.append(f"{name}_sum{suffix} {_fmt(data['sum'])}")
+        lines.append(f"{name}_count{suffix} {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def render_snapshot(snapshot: MetricsSnapshot) -> str:
+    """Human-readable tables of a snapshot (the ``airfinger stats`` view)."""
+    lines: list[str] = []
+    if snapshot.counters:
+        lines += ["Counters", "--------"]
+        width = max(len(k) for k in snapshot.counters) + 2
+        for key in sorted(snapshot.counters):
+            lines.append(f"{key:<{width}} {_fmt(snapshot.counters[key]):>12}")
+        lines.append("")
+    if snapshot.gauges:
+        lines += ["Gauges", "------"]
+        width = max(len(k) for k in snapshot.gauges) + 2
+        for key in sorted(snapshot.gauges):
+            lines.append(f"{key:<{width}} {_fmt(snapshot.gauges[key]):>12}")
+        lines.append("")
+    if snapshot.histograms:
+        lines += ["Histograms", "----------"]
+        width = max(len(k) for k in snapshot.histograms) + 2
+        header = (f"{'series':<{width}} {'count':>8} {'p50':>11} "
+                  f"{'p95':>11} {'p99':>11} {'max':>11}")
+        lines.append(header)
+        for key in sorted(snapshot.histograms):
+            data = snapshot.histograms[key]
+            cells = []
+            for q in (0.50, 0.95, 0.99):
+                value = _bucket_quantile(
+                    tuple(data["bounds"]), data["counts"], data["count"],
+                    data["min"], data["max"], q)
+                cells.append("-" if value is None else f"{value:.3g}")
+            maximum = "-" if data["max"] is None else f"{data['max']:.3g}"
+            lines.append(f"{key:<{width}} {data['count']:>8} "
+                         f"{cells[0]:>11} {cells[1]:>11} {cells[2]:>11} "
+                         f"{maximum:>11}")
+        lines.append("")
+    if not lines:
+        return "snapshot is empty\n"
+    return "\n".join(lines)

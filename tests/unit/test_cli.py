@@ -79,6 +79,63 @@ class TestWorkflow:
                      "--protocol", "diversity"]) == 0
         assert "accuracy" in capsys.readouterr().out
 
+    @pytest.fixture()
+    def fresh_registry(self):
+        # the CLI dumps the process-global registry; isolate it so counts
+        # from other tests in this process don't leak into the snapshot
+        from repro.obs import MetricsRegistry, set_registry
+        previous = set_registry(MetricsRegistry())
+        yield
+        set_registry(previous)
+
+    def test_generate_metrics_json(self, tmp_path, capsys, fresh_registry):
+        out = tmp_path / "c.npz"
+        metrics = tmp_path / "metrics.json"
+        assert main(["generate", "--users", "1", "--sessions", "1",
+                     "--reps", "1", "--out", str(out),
+                     "--metrics-json", str(metrics)]) == 0
+        assert "metrics snapshot" in capsys.readouterr().out
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["campaign.tasks"] == 8
+        assert payload["histograms"]["campaign.batch_seconds"]["count"] >= 1
+
+    def test_demo_metrics_json(self, corpus_path, tmp_path, capsys,
+                               fresh_registry):
+        stack = tmp_path / "stack.json"
+        assert main(["train", "--corpus", str(corpus_path),
+                     "--out", str(stack), "--trees", "5"]) == 0
+        metrics = tmp_path / "demo_metrics.json"
+        assert main(["demo", "--stack", str(stack),
+                     "--metrics-json", str(metrics)]) == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["pipeline.frames"] > 0
+        frame = payload["histograms"]["pipeline.frame_seconds"]
+        assert frame["count"] == payload["counters"]["pipeline.frames"]
+        for q in ("p50", "p95", "p99"):
+            assert frame[q] is not None
+        assert "pipeline.deadline_miss" in payload["counters"]
+
+    def test_stats_renders_snapshot(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("pipeline.frames").inc(5)
+        registry.histogram("lat").observe(0.001)
+        path = tmp_path / "snap.json"
+        path.write_text(registry.snapshot().to_json())
+
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.frames" in out and "p95" in out
+
+        assert main(["stats", str(path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE pipeline_frames counter" in out
+
+    def test_stats_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
     def test_evaluate_impossible_protocol_fails_cleanly(self, tmp_path,
                                                         capsys):
         # a single-session corpus cannot support leave-one-session-out

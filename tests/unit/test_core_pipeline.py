@@ -123,6 +123,103 @@ class TestOfflineHelper:
             assert rss.shape[1] == stream_sample.recording.n_channels
 
 
+class _FixedTracker:
+    """Stub tracker returning one constant TrackResult for every slice."""
+
+    def __init__(self, direction=1, velocity_mm_s=50.0, duration_s=0.3):
+        from repro.core.zebra import TrackResult
+        self.result = TrackResult(
+            direction=direction, velocity_mm_s=velocity_mm_s,
+            duration_s=duration_s, delta_t_s=None,
+            used_default_speed=True, onsets_s=())
+
+    def track(self, rss_segment, gate):
+        return self.result
+
+
+class TestLiveDisplacement:
+    def test_live_update_reports_tracker_displacement(self, stream_sample):
+        # Regression: live updates used to synthesize displacement from
+        # direction * velocity * elapsed-time, drifting from the tracker's
+        # own total_displacement_mm estimate.  With a fixed stub result,
+        # every live update must echo the tracker's number exactly.
+        tracker = _FixedTracker(direction=1, velocity_mm_s=50.0,
+                                duration_s=0.3)
+        engine = AirFinger(tracker=tracker, live_update_every=3)
+        events = engine.feed_recording(stream_sample.recording)
+        live = [e for e in events
+                if isinstance(e, ScrollUpdate) and not e.final]
+        assert live
+        for e in live:
+            assert e.displacement_mm == pytest.approx(
+                tracker.result.total_displacement_mm)
+
+    def test_live_and_final_share_sign_convention(self, stream_sample):
+        engine = AirFinger(live_update_every=3)
+        events = engine.feed_recording(stream_sample.recording)
+        updates = [e for e in events if isinstance(e, ScrollUpdate)]
+        assert updates
+        for e in updates:
+            # displacement is the tracker's own D_T = direction * v * T,
+            # so its sign always matches the reported direction
+            if e.direction > 0:
+                assert e.displacement_mm >= 0.0
+            elif e.direction < 0:
+                assert e.displacement_mm <= 0.0
+            duration = (e.segment.end_index
+                        - e.segment.start_index) / 100.0
+            assert e.displacement_mm == pytest.approx(
+                e.direction * e.velocity_mm_s * duration, rel=1e-9)
+
+    def test_live_cooldown_resets_on_segment_close(self, stream_sample):
+        from repro.acquisition.stream import stream_frames
+
+        engine = AirFinger(live_update_every=3)
+        saw_segment = False
+        for frame in stream_frames(stream_sample.recording):
+            events = engine.feed(frame)
+            if any(isinstance(e, SegmentEvent) for e in events):
+                saw_segment = True
+                # a new gesture must restart the live cadence from scratch
+                assert engine._live_cooldown == 0
+        assert saw_segment
+
+
+class TestPipelineMetrics:
+    def test_feed_records_frames_and_stages(self, stream_sample):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = AirFinger(metrics=registry, live_update_every=3)
+        events = engine.feed_recording(stream_sample.recording)
+        snap = registry.snapshot()
+        n_frames = stream_sample.recording.n_samples
+        assert snap.counters["pipeline.frames"] == n_frames
+        assert snap.histograms["pipeline.frame_seconds"]["count"] == n_frames
+        for stage in ("prefilter_sbc", "segmentation"):
+            key = f'pipeline.stage_seconds{{stage="{stage}"}}'
+            assert snap.histograms[key]["count"] == n_frames
+        n_segments = sum(isinstance(e, SegmentEvent) for e in events)
+        assert snap.counters["pipeline.segments"] == n_segments
+        n_live = sum(isinstance(e, ScrollUpdate) and not e.final
+                     for e in events)
+        assert snap.counters['pipeline.events{type="scroll_live"}'] == n_live
+        n_final = sum(isinstance(e, ScrollUpdate) and e.final for e in events)
+        assert snap.counters['pipeline.events{type="scroll_final"}'] == n_final
+
+    def test_events_identical_with_metrics_disabled(self, stream_sample):
+        from repro.obs import MetricsRegistry
+
+        on = AirFinger(metrics=MetricsRegistry(enabled=True))
+        off = AirFinger(metrics=MetricsRegistry(enabled=False))
+        events_on = on.feed_recording(stream_sample.recording)
+        events_off = off.feed_recording(stream_sample.recording)
+        assert [(type(e).__name__, getattr(e, "start_index", None))
+                for e in events_on] == \
+               [(type(e).__name__, getattr(e, "start_index", None))
+                for e in events_off]
+
+
 class TestEvents:
     def test_segment_event_validation(self):
         with pytest.raises(ValueError):

@@ -130,6 +130,22 @@ class TestDynamicThresholdSegmenter:
         assert seg.samples_seen == 0
         assert seg.threshold == config.initial_threshold
 
+    def test_open_start_tracks_open_segment(self, config):
+        x = self._stream([(600, 700)], n=900)
+        seg = DynamicThresholdSegmenter(config)
+        assert seg.open_start is None
+        open_values = []
+        for v in x:
+            seg.push(v)
+            if seg.open_start is not None:
+                open_values.append(seg.open_start)
+        # the burst opened a segment roughly at its onset ...
+        assert open_values
+        assert abs(min(open_values) - 600) <= 12
+        # ... the start never moves while open, and it closed afterwards
+        assert len(set(open_values)) == 1
+        assert seg.open_start is None
+
     def test_streaming_equals_offline(self, config):
         x = self._stream([(400, 500), (900, 1000)])
         offline = DynamicThresholdSegmenter(config).segment(x)

@@ -64,6 +64,64 @@ class TestConfusion:
         np.testing.assert_array_equal(matrix[1], [0.0, 0.0])
 
 
+class TestOutOfLabel:
+    """Pairs outside an explicit label set must never be dropped silently."""
+
+    def test_stray_prediction_counted_in_other_column(self):
+        y_true = np.array(["a", "a", "b", "b"])
+        y_pred = np.array(["a", "junk", "b", "b"])
+        labels, matrix = confusion_matrix(
+            y_true, y_pred, labels=np.array(["a", "b"]), normalize=False)
+        assert list(labels) == ["a", "b", "<other>"]
+        assert matrix.shape == (2, 3)
+        np.testing.assert_array_equal(matrix[0], [1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(matrix[1], [0.0, 2.0, 0.0])
+        # every pair is accounted for, matching accuracy_score's total
+        assert matrix.sum() == len(y_true)
+
+    def test_normalized_rows_still_sum_to_one(self):
+        y_true = np.array(["a", "a"])
+        y_pred = np.array(["a", "junk"])
+        _, matrix = confusion_matrix(
+            y_true, y_pred, labels=np.array(["a"]))
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+        np.testing.assert_allclose(matrix[0], [0.5, 0.5])
+
+    def test_no_stray_no_extra_column(self, example):
+        labels, matrix = confusion_matrix(
+            *example, labels=np.array(["a", "b", "c"]))
+        assert "<other>" not in list(labels)
+        assert matrix.shape == (3, 3)
+
+    def test_stray_prediction_raise_mode(self):
+        with pytest.raises(ValueError, match="predictions outside"):
+            confusion_matrix(np.array(["a"]), np.array(["junk"]),
+                             labels=np.array(["a"]), out_of_label="raise")
+
+    def test_stray_truth_always_raises(self):
+        with pytest.raises(ValueError, match="ground-truth"):
+            confusion_matrix(np.array(["junk"]), np.array(["a"]),
+                             labels=np.array(["a"]))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="out_of_label"):
+            confusion_matrix(np.array(["a"]), np.array(["a"]),
+                             labels=np.array(["a"]), out_of_label="ignore")
+
+    def test_summary_rejects_label_subset(self, example):
+        # classification_summary's accuracy counts every pair, so a label
+        # set that cannot hold every pair is a contract violation
+        with pytest.raises(ValueError, match="outside the explicit labels"):
+            classification_summary(*example, labels=np.array(["a", "b"]))
+
+    def test_summary_accuracy_matches_confusion_diagonal(self, example):
+        summary = classification_summary(*example)
+        labels, counts = confusion_matrix(
+            *example, labels=np.array(summary.labels), normalize=False)
+        assert np.trace(counts) / counts.sum() == pytest.approx(
+            summary.accuracy)
+
+
 class TestRecallPrecision:
     def test_paper_definitions(self, example):
         y_true, y_pred = example

@@ -1,0 +1,261 @@
+"""Unit tests for the repro.obs observability layer."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    prometheus_text,
+    render_snapshot,
+    set_registry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        c = registry.counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_same_series_same_object(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x") is not registry.counter("y")
+
+    def test_labels_split_series(self, registry):
+        registry.counter("ev", type="a").inc()
+        registry.counter("ev", type="b").inc(2)
+        snap = registry.snapshot()
+        assert snap.counters['ev{type="a"}'] == 1
+        assert snap.counters['ev{type="b"}'] == 2
+
+    def test_label_order_canonical(self, registry):
+        assert (registry.counter("x", b="2", a="1")
+                is registry.counter("x", a="1", b="2"))
+
+    def test_negative_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("g")
+        g.set(5.0)
+        g.inc(-2.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_bucketing(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.7, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1, 1]  # last slot is overflow
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.7)
+        assert h.min == 0.5
+        assert h.max == 100.0
+
+    def test_bounds_inclusive_upper(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_invalid_bounds_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("bad2", buckets=(1.0, 1.0))
+
+    def test_quantiles_interpolate(self, registry):
+        h = registry.histogram("h", buckets=(10.0, 20.0, 30.0))
+        for v in range(1, 31):  # uniform 1..30, 10 per bucket
+            h.observe(float(v))
+        assert h.p50 == pytest.approx(15.0, abs=1.5)
+        assert h.quantile(1.0) == 30.0
+        assert h.quantile(0.0) >= h.min
+
+    def test_quantile_empty_is_none(self, registry):
+        h = registry.histogram("h")
+        assert h.p50 is None and h.p95 is None and h.p99 is None
+
+    def test_quantile_clamped_to_observed_range(self, registry):
+        h = registry.histogram("h", buckets=(10.0,))
+        h.observe(3.0)
+        assert h.p99 == 3.0  # not the 10.0 bucket bound
+
+    def test_quantile_out_of_range_rejected(self, registry):
+        h = registry.histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestStageTimer:
+    def test_records_elapsed(self, registry):
+        with registry.timer("t") as timer:
+            pass
+        assert timer.elapsed_s >= 0.0
+        h = registry.histogram("t")
+        assert h.count == 1
+
+    def test_records_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.timer("t"):
+                raise RuntimeError("boom")
+        assert registry.histogram("t").count == 1
+
+
+class TestDisabled:
+    def test_nothing_recorded(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap.counters["c"] == 0.0
+        assert snap.gauges["g"] == 0.0
+        assert snap.histograms["h"]["count"] == 0
+
+
+class TestGlobalRegistry:
+    def test_set_registry_swaps_and_restores(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestSnapshot:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        return registry
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = self._populated().snapshot()
+        b = self._populated().snapshot()
+        merged = a.merged(b)
+        assert merged.counters["c"] == 6
+        assert merged.histograms["h"]["count"] == 4
+        assert merged.histograms["h"]["counts"] == [2, 2, 0]
+        assert merged.histograms["h"]["min"] == 0.5
+        assert merged.histograms["h"]["max"] == 1.5
+        # inputs untouched
+        assert a.counters["c"] == 3
+
+    def test_merge_bounds_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.snapshot().merged(b.snapshot())
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_registry_merge_folds_in_worker_snapshot(self):
+        parent = self._populated()
+        worker = self._populated().snapshot()
+        parent.merge(worker)
+        snap = parent.snapshot()
+        assert snap.counters["c"] == 6
+        assert snap.histograms["h"]["count"] == 4
+
+    def test_pickle_round_trip(self):
+        snap = self._populated().snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+
+    def test_json_round_trip(self):
+        snap = self._populated().snapshot()
+        clone = MetricsSnapshot.from_json(snap.to_json())
+        assert clone.counters == snap.counters
+        assert clone.histograms["h"]["counts"] == snap.histograms["h"]["counts"]
+
+    def test_to_dict_carries_quantiles(self):
+        payload = self._populated().snapshot().to_dict()
+        entry = payload["histograms"]["h"]
+        assert set(("p50", "p95", "p99")) <= set(entry)
+        assert entry["p99"] <= 1.5
+
+
+class TestPrometheusExport:
+    def test_counter_gauge_histogram_series(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.frames").inc(10)
+        registry.gauge("campaign.last_batch_size").set(64)
+        h = registry.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = registry.snapshot().to_prometheus()
+        assert "# TYPE pipeline_frames counter" in text
+        assert "pipeline_frames 10" in text
+        assert "campaign_last_batch_size 64" in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("x", path='a"b\\c\nnl').inc()
+        text = prometheus_text(registry.snapshot())
+        assert 'x{path="a\\"b\\\\c\\nnl"} 1' in text
+
+    def test_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.deadline-miss").inc()
+        text = prometheus_text(registry.snapshot())
+        assert "pipeline_deadline_miss 1" in text
+
+    def test_cumulative_buckets_with_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0,), stage="sbc").observe(0.5)
+        text = prometheus_text(registry.snapshot())
+        assert 'lat_bucket{stage="sbc",le="1"} 1' in text
+        assert 'lat_bucket{stage="sbc",le="+Inf"} 1' in text
+        assert 'lat_sum{stage="sbc"} 0.5' in text
+
+
+class TestRenderSnapshot:
+    def test_tables_render(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.frames").inc(3)
+        registry.histogram("lat").observe(0.01)
+        text = render_snapshot(registry.snapshot())
+        assert "Counters" in text
+        assert "pipeline.frames" in text
+        assert "lat" in text
+        assert "p95" in text
+
+    def test_empty_snapshot(self):
+        assert "empty" in render_snapshot(MetricsSnapshot())
+
+
+class TestDefaultBuckets:
+    def test_strictly_increasing(self):
+        assert all(a < b for a, b in zip(DEFAULT_LATENCY_BUCKETS_S,
+                                         DEFAULT_LATENCY_BUCKETS_S[1:]))
+        # span covers microseconds to the 10 ms frame deadline and beyond
+        assert DEFAULT_LATENCY_BUCKETS_S[0] <= 1e-6
+        assert DEFAULT_LATENCY_BUCKETS_S[-1] >= 1.0
