@@ -1,13 +1,16 @@
-"""Instrumentation overhead gate: repro.obs must stay under 5% slowdown.
+"""Instrumentation overhead gates: repro.obs must stay under 5% slowdown.
 
 The observability layer (``repro.obs``) is on by default in every hot
 path — the 100 Hz pipeline, the batched campaign generator, the capture
 chain.  That is only acceptable if recording is effectively free, so this
 bench times the campaign-throughput workload twice, with a live registry
 and with a disabled one, and asserts the enabled/disabled wall-clock
-ratio stays below ``OVERHEAD_LIMIT``.
+ratio stays below ``OVERHEAD_LIMIT``.  A second gate does the same for
+span tracing (``REPRO_TRACE``, off by default): a fully-sampling tracer
+must also stay under the limit, and the off-path (the default) rides the
+first gate because both of its arms carry the tracing null checks.
 
-Both runs also produce bit-identical corpora: instrumentation never
+All runs also produce bit-identical corpora: instrumentation never
 touches an RNG stream.
 """
 
@@ -18,7 +21,7 @@ import time
 import numpy as np
 
 from repro.datasets import CampaignConfig, CampaignGenerator
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, Tracer, set_tracer
 
 from conftest import print_header
 
@@ -92,4 +95,70 @@ def test_obs_overhead(benchmark):
 
     assert ratio <= OVERHEAD_LIMIT, (
         f"instrumentation overhead {ratio:.3f}x exceeds the "
+        f"{OVERHEAD_LIMIT}x gate")
+
+
+def test_trace_overhead(benchmark):
+    print_header(
+        "repro.obs span tracing overhead — even fully-on must be cheap",
+        "REPRO_TRACE=1 records a span per task/batch; gate is the same 5%")
+
+    tasks = CampaignGenerator(config=OVERHEAD_CONFIG).plan_main_campaign()
+    n = len(tasks)
+
+    metrics = MetricsRegistry(enabled=False)  # isolate the tracing cost
+    generator = CampaignGenerator(
+        config=OVERHEAD_CONFIG, batch_size=BATCH, metrics=metrics)
+    tracer_on = Tracer(sample=1.0)
+    tracer_off = Tracer(sample=0.0)
+
+    def run_with(tracer):
+        previous = set_tracer(tracer)
+        try:
+            return generator.capture_tasks(tasks)
+        finally:
+            set_tracer(previous)
+
+    baseline = run_with(tracer_off)
+    traced = run_with(tracer_on)
+    off_s = on_s = float("inf")
+    for _ in range(ROUNDS):
+        tracer_on.clear()
+        t0 = time.perf_counter()
+        baseline = run_with(tracer_off)
+        off_s = min(off_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        traced = run_with(tracer_on)
+        on_s = min(on_s, time.perf_counter() - t0)
+
+    benchmark.pedantic(lambda: run_with(tracer_on), rounds=1, iterations=1)
+
+    # tracing must not perturb the output bits
+    assert len(traced) == len(baseline) == n
+    for a, b in zip(baseline[::7], traced[::7]):
+        assert np.array_equal(a.recording.rss, b.recording.rss)
+
+    # and it must actually have recorded spans for the workload
+    names = {s.name for s in tracer_on.finished_spans()}
+    assert {"campaign.chunk", "campaign.task",
+            "sampler.record_batch"} <= names
+    assert tracer_off.finished_spans() == []
+
+    ratio = on_s / off_s
+    benchmark.extra_info["n_samples"] = n
+    benchmark.extra_info["trace_off_wall_s"] = round(off_s, 4)
+    benchmark.extra_info["trace_on_wall_s"] = round(on_s, 4)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 4)
+    benchmark.extra_info["overhead_limit"] = OVERHEAD_LIMIT
+
+    print(f"\nplan: {n} captures, interleaved best of {ROUNDS} rounds "
+          f"per mode")
+    print(f"{'mode':<22} {'wall':>9} {'samples/s':>11}")
+    print(f"{'tracing off':<22} {off_s:>8.3f}s {n/off_s:>11.1f}")
+    print(f"{'tracing on':<22} {on_s:>8.3f}s {n/on_s:>11.1f}")
+    print(f"overhead: {100.0 * (ratio - 1.0):+.2f}% "
+          f"(limit {100.0 * (OVERHEAD_LIMIT - 1.0):+.0f}%)")
+
+    assert ratio <= OVERHEAD_LIMIT, (
+        f"tracing overhead {ratio:.3f}x exceeds the "
         f"{OVERHEAD_LIMIT}x gate")

@@ -17,7 +17,7 @@ import numpy as np
 from repro.acquisition.adc import Adc
 from repro.acquisition.amplifier import TransimpedanceAmplifier
 from repro.noise.hardware import HardwareNoiseModel
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import MetricsRegistry, get_registry, get_tracer
 from repro.optics.array import SensorArray
 from repro.optics.engine import RadiometricEngine
 from repro.optics.scene import Scene
@@ -223,7 +223,9 @@ class SensorSampler:
             raise ValueError(
                 f"got {len(scenes)} scenes, {len(rngs)} rngs, "
                 f"{len(labels)} labels, {len(metas)} metas")
-        with self._obs.timer("sampler.batch_seconds"):
+        with get_tracer().span("sampler.record_batch",
+                               n_scenes=len(scenes)), \
+                self._obs.timer("sampler.batch_seconds"):
             currents = self._engine.photocurrents_batch_ua(scenes)
             recordings = [
                 self._front_end(scene, cur, ensure_rng(rng), label, meta)

@@ -1,4 +1,4 @@
-"""Command-line interface: generate, train, evaluate, demo, power.
+"""Command-line interface: generate, train, evaluate, demo, trace, power.
 
 Everything a downstream user needs without writing Python::
 
@@ -7,6 +7,8 @@ Everything a downstream user needs without writing Python::
     airfinger evaluate --corpus corpus.npz --protocol overall
     airfinger demo --stack stack.json --gestures click,scroll_up,circle
     airfinger demo --stack stack.json --metrics-json metrics.json
+    airfinger generate --out corpus.npz --trace-json trace.json
+    airfinger trace trace.json [--top 10]
     airfinger stats metrics.json [--prometheus]
     airfinger power
 
@@ -14,7 +16,20 @@ Everything a downstream user needs without writing Python::
 which dumps the process metrics registry (:mod:`repro.obs`) — per-stage
 latency histograms, event/throughput counters, deadline misses — as a
 JSON snapshot after the command finishes; ``stats`` renders such a
-snapshot as tables or Prometheus text format.
+snapshot as tables or Prometheus text format.  The same three commands
+accept ``--trace-json PATH`` (Chrome/Perfetto trace, loadable at
+``ui.perfetto.dev``) and ``--trace-events PATH`` (JSONL event log),
+which enable span tracing for the run and write the buffered spans when
+it finishes; ``--trace-sample MODE`` overrides the sampling decision
+(``0``/``off``, ``1``/``always``, or a ratio).  ``trace`` summarizes a
+saved trace file: top spans by self-time, the critical path, and any
+deadline-miss events.
+
+``generate`` and ``evaluate`` additionally write a
+:class:`~repro.obs.manifest.RunManifest` next to their output — config
+digest, seeds, package versions, platform, git SHA, metrics snapshot —
+so every artifact can be traced back to the exact invocation that
+produced it.
 
 (Installed as the ``airfinger`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -57,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write wall-clock / throughput stats to this "
                           "JSON file")
     _add_metrics_json(gen)
+    _add_trace_flags(gen)
 
     train = sub.add_parser("train",
                            help="train the recognition stack from a corpus")
@@ -72,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "tracking", "distinguisher"),
                     default="overall")
     _add_metrics_json(ev)
+    _add_trace_flags(ev)
 
     demo = sub.add_parser("demo",
                           help="stream a synthetic session through a stack")
@@ -81,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--user", type=int, default=0)
     demo.add_argument("--seed", type=int, default=2020)
     _add_metrics_json(demo)
+    _add_trace_flags(demo)
 
     stats = sub.add_parser(
         "stats", help="render a metrics snapshot written by --metrics-json")
@@ -89,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--prometheus", action="store_true",
                        help="emit Prometheus text exposition format "
                             "instead of tables")
+
+    trace = sub.add_parser(
+        "trace", help="summarize a trace file written by --trace-json "
+                      "or --trace-events")
+    trace.add_argument("trace_file", type=Path,
+                       help="Chrome trace JSON or JSONL event log")
+    trace.add_argument("--top", type=int, default=10,
+                       help="rows to show in the self-time and "
+                            "deadline-miss tables")
 
     report = sub.add_parser(
         "report", help="write a markdown evaluation report for a corpus")
@@ -106,11 +133,76 @@ def _add_metrics_json(parser: argparse.ArgumentParser) -> None:
                              "file when the command finishes")
 
 
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-json", type=Path, default=None,
+                        help="enable span tracing and write a "
+                             "Chrome/Perfetto trace (ui.perfetto.dev) "
+                             "to this file when the command finishes")
+    parser.add_argument("--trace-events", type=Path, default=None,
+                        help="enable span tracing and write a JSONL "
+                             "event log (one line per span/event) to "
+                             "this file when the command finishes")
+    parser.add_argument("--trace-sample", type=str, default=None,
+                        help="trace sampling: 0/off, 1/always, or a "
+                             "ratio in (0, 1); defaults to REPRO_TRACE "
+                             "(or 'always' when a trace output path is "
+                             "given)")
+
+
 def _write_metrics_json(path: Path) -> None:
     from repro.obs import get_registry
 
     path.write_text(get_registry().snapshot().to_json() + "\n")
     print(f"metrics snapshot -> {path}")
+
+
+def _configure_tracer(args) -> None:
+    """Install a sampling tracer when the invocation asked for one."""
+    from repro.obs import Tracer, set_tracer
+
+    sample = getattr(args, "trace_sample", None)
+    wants_output = (getattr(args, "trace_json", None) is not None
+                    or getattr(args, "trace_events", None) is not None)
+    if sample is None and wants_output:
+        sample = "1"
+    if sample is not None:
+        set_tracer(Tracer(sample=sample))
+
+
+def _write_trace_outputs(args) -> None:
+    """Export the buffered spans to the requested trace file(s)."""
+    trace_json = getattr(args, "trace_json", None)
+    trace_events = getattr(args, "trace_events", None)
+    if trace_json is None and trace_events is None:
+        return
+    from repro.obs import chrome_trace_json, get_tracer, spans_to_jsonl
+
+    spans = get_tracer().finished_spans()
+    if trace_json is not None:
+        trace_json.write_text(chrome_trace_json(spans) + "\n")
+        print(f"chrome trace ({len(spans)} spans) -> {trace_json}")
+    if trace_events is not None:
+        trace_events.write_text(spans_to_jsonl(spans))
+        print(f"trace event log ({len(spans)} spans) -> {trace_events}")
+
+
+def _write_manifest(command: str, config: dict, seeds: dict,
+                    path: Path) -> None:
+    """Write a RunManifest for the finished command next to its output."""
+    from repro.obs import (
+        RunManifest,
+        get_registry,
+        get_tracer,
+        summarize_trace,
+    )
+
+    spans = get_tracer().finished_spans()
+    manifest = RunManifest.create(
+        command, config, seeds=seeds,
+        metrics=get_registry().snapshot().to_dict(),
+        trace_summary=summarize_trace(spans) if spans else None)
+    manifest.write(path)
+    print(f"run manifest -> {path}")
 
 
 # ---------------------------------------------------------------------------
@@ -159,6 +251,14 @@ def _cmd_generate(args) -> int:
         }
         args.report_json.write_text(json.dumps(report, indent=2) + "\n")
         print(f"throughput report -> {args.report_json}")
+    _write_manifest(
+        "generate",
+        config={"n_users": args.users, "n_sessions": args.sessions,
+                "repetitions": args.reps, "seed": args.seed,
+                "workers": args.workers, "batch_size": args.batch,
+                "chunk_size": args.chunk, "out": str(args.out)},
+        seeds={"campaign": args.seed},
+        path=args.out.with_suffix(".manifest.json"))
     return 0
 
 
@@ -196,16 +296,28 @@ def _cmd_evaluate(args) -> int:
     from repro.eval.report import format_confusion
 
     corpus = GestureCorpus.load(args.corpus)
+
+    def finish() -> int:
+        _write_manifest(
+            "evaluate",
+            config={"corpus": str(args.corpus),
+                    "protocol": args.protocol,
+                    "n_samples": len(corpus)},
+            seeds={},
+            path=args.corpus.with_name(
+                f"{args.corpus.stem}.{args.protocol}.manifest.json"))
+        return 0
+
     if args.protocol == "tracking":
         result = track_direction_accuracy(corpus)
         for name, acc in result.direction_accuracy.items():
             print(f"{name:<14} {acc:.2%}")
         print(f"average        {result.average_direction_accuracy:.2%}")
-        return 0
+        return finish()
     if args.protocol == "distinguisher":
         result = distinguisher_performance(corpus)
         print(str(result.summary))
-        return 0
+        return finish()
     X = compute_features(corpus)
     protocol = {
         "overall": overall_detect_performance,
@@ -221,7 +333,7 @@ def _cmd_evaluate(args) -> int:
     print(format_confusion(result.summary.labels, result.summary.confusion))
     print()
     print(str(result.summary))
-    return 0
+    return finish()
 
 
 def _cmd_demo(args) -> int:
@@ -283,6 +395,20 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import load_trace, render_trace_summary, summarize_trace
+
+    try:
+        spans = load_trace(args.trace_file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read trace {args.trace_file}: {exc}",
+              file=sys.stderr)
+        return 1
+    sys.stdout.write(render_trace_summary(summarize_trace(spans),
+                                          top=args.top))
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.datasets import GestureCorpus
     from repro.eval.report_markdown import generate_report
@@ -300,6 +426,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "report": _cmd_report,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
     "power": _cmd_power,
 }
 
@@ -307,9 +434,11 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_tracer(args)
     code = _COMMANDS[args.command](args)
     if getattr(args, "metrics_json", None) is not None:
         _write_metrics_json(args.metrics_json)
+    _write_trace_outputs(args)
     return code
 
 

@@ -35,7 +35,7 @@ from repro.core.sbc import (
 )
 from repro.core.segmentation import DynamicThresholdSegmenter, Segment
 from repro.core.zebra import ZebraTracker
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["AirFinger"]
 
@@ -68,6 +68,12 @@ class AirFinger:
         100 Hz deadline-miss counter; defaults to the process-global
         registry (:func:`repro.obs.get_registry`).  Disable process-wide
         with ``REPRO_OBS=0``.
+    tracer:
+        Span tracer; when sampling is on (``REPRO_TRACE``), every frame
+        becomes a ``pipeline.frame`` span with per-stage child spans, and
+        a deadline miss adds a ``deadline_miss`` span event naming the
+        offending stage.  Defaults to the process-global tracer
+        (:func:`repro.obs.get_tracer`).
     """
 
     config: AirFingerConfig = field(default_factory=AirFingerConfig)
@@ -77,6 +83,7 @@ class AirFinger:
     live_update_every: int = 5
     gate_fraction: float = 0.35
     metrics: MetricsRegistry | None = None
+    tracer: Tracer | None = None
 
     def __post_init__(self) -> None:
         if self.live_update_every < 0:
@@ -100,6 +107,8 @@ class AirFinger:
         # metric handles are resolved once; feed() only pays record calls
         m = self.metrics if self.metrics is not None else get_registry()
         self._obs = m
+        self._tr = self.tracer if self.tracer is not None else get_tracer()
+        self._stage_s: dict[str, float] = {}
         self._deadline_s = 1.0 / self.config.sample_rate_hz
         self._h_frame = m.histogram("pipeline.frame_seconds")
         self._h_prefilter = m.histogram("pipeline.stage_seconds",
@@ -173,7 +182,15 @@ class AirFinger:
         The stored history and everything downstream (segmentation, onset
         analysis, features) operate on the prefiltered RSS.
         """
+        if self._tr.active:
+            with self._tr.span("pipeline.frame", index=self._fed) as span:
+                return self._feed(frame, span)
+        return self._feed(frame, None)
+
+    def _feed(self, frame: RssFrame, span) -> list:
         t_start = perf_counter()
+        stage_s = self._stage_s
+        stage_s.clear()
         if len(self._prefilters) != len(frame.values):
             self._prefilters = [
                 StreamingMovingAverage(self.config.prefilter_samples)
@@ -187,11 +204,19 @@ class AirFinger:
         self._delta.append(delta)
         self._fed += 1
         t_prefilter = perf_counter()
+        stage_s["prefilter_sbc"] = t_prefilter - t_start
         self._h_prefilter.observe(t_prefilter - t_start)
 
         events: list = []
         finished = self._segmenter.push(delta)
-        self._h_segmentation.observe(perf_counter() - t_prefilter)
+        t_segmentation = perf_counter()
+        stage_s["segmentation"] = t_segmentation - t_prefilter
+        self._h_segmentation.observe(t_segmentation - t_prefilter)
+        if span is not None:
+            self._tr.record("pipeline.stage", t_start, t_prefilter,
+                            stage="prefilter_sbc")
+            self._tr.record("pipeline.stage", t_prefilter, t_segmentation,
+                            stage="segmentation")
         if finished is not None:
             events.extend(self._handle_segment(finished))
             self._live_track_open = False
@@ -209,6 +234,12 @@ class AirFinger:
         self._c_frames.inc()
         if frame_s > self._deadline_s:
             self._c_deadline.inc()
+            if span is not None:
+                slowest = max(stage_s, key=stage_s.get) if stage_s else "?"
+                span.add_event(
+                    "deadline_miss", stage=slowest,
+                    frame_index=self._fed - 1, frame_s=frame_s,
+                    deadline_s=self._deadline_s)
         return events
 
     def feed_recording(self, recording: Recording) -> list:
@@ -244,6 +275,13 @@ class AirFinger:
     # ------------------------------------------------------------------
     # segment handling
     # ------------------------------------------------------------------
+    def _stage_scope(self, stage: str, start_s: float, end_s: float) -> None:
+        """Book one measured stage for deadline attribution + tracing."""
+        self._stage_s[stage] = (self._stage_s.get(stage, 0.0)
+                                + (end_s - start_s))
+        if self._tr.active:
+            self._tr.record("pipeline.stage", start_s, end_s, stage=stage)
+
     def _handle_segment(self, segment: Segment) -> list:
         event = self._segment_event(segment)
         rss = self._slice_raw(segment.start, segment.end)
@@ -252,11 +290,15 @@ class AirFinger:
         if rss.size == 0:
             return out
         gate = self._gate()
-        with self._obs.timer("pipeline.stage_seconds", stage="dispatch"):
+        with self._obs.timer("pipeline.stage_seconds", stage="dispatch") as t:
             kind = self._dispatcher.classify(rss, gate)
+        self._stage_scope("dispatch", t.started_s, t.started_s + t.elapsed_s)
         if kind == "track":
-            with self._obs.timer("pipeline.stage_seconds", stage="tracking"):
+            with self._obs.timer("pipeline.stage_seconds",
+                                 stage="tracking") as t:
                 result = self.tracker.track(rss, gate)
+            self._stage_scope("tracking", t.started_s,
+                              t.started_s + t.elapsed_s)
             out.append(ScrollUpdate(
                 direction=result.direction,
                 velocity_mm_s=result.velocity_mm_s,
@@ -272,7 +314,9 @@ class AirFinger:
         t_detect = perf_counter()
         if self.interference_filter is not None:
             if self.interference_filter.gesture_probability(signal) < 0.5:
-                self._h_detection.observe(perf_counter() - t_detect)
+                t_done = perf_counter()
+                self._h_detection.observe(t_done - t_detect)
+                self._stage_scope("detection", t_detect, t_done)
                 out.append(GestureEvent(
                     label="non_gesture", confidence=1.0, segment=event,
                     accepted=False))
@@ -284,7 +328,9 @@ class AirFinger:
                 label=label, confidence=confidence, segment=event,
                 accepted=True))
             self._c_ev_gesture.inc()
-        self._h_detection.observe(perf_counter() - t_detect)
+        t_done = perf_counter()
+        self._h_detection.observe(t_done - t_detect)
+        self._stage_scope("detection", t_detect, t_done)
         return out
 
     def _maybe_live_update(self) -> ScrollUpdate | None:
@@ -302,13 +348,15 @@ class AirFinger:
         if rss.size == 0:
             return None
         gate = self._gate()
-        with self._obs.timer("pipeline.stage_seconds", stage="dispatch"):
+        with self._obs.timer("pipeline.stage_seconds", stage="dispatch") as t:
             kind = self._dispatcher.classify(rss, gate)
+        self._stage_scope("dispatch", t.started_s, t.started_s + t.elapsed_s)
         if kind != "track" and not self._live_track_open:
             return None
         self._live_track_open = True
-        with self._obs.timer("pipeline.stage_seconds", stage="tracking"):
+        with self._obs.timer("pipeline.stage_seconds", stage="tracking") as t:
             result = self.tracker.track(rss, gate)
+        self._stage_scope("tracking", t.started_s, t.started_s + t.elapsed_s)
         event = SegmentEvent(
             start_index=open_start,
             end_index=self._fed,

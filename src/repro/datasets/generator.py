@@ -45,7 +45,7 @@ from repro.hand.trajectory import (
 from repro.hand.finger import scene_for_trajectory
 from repro.noise.ambient import AmbientModel, TimeOfDayAmbient, indoor_ambient
 from repro.noise.motion import WRISTBAND_CONDITIONS
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import MetricsRegistry, get_registry, get_tracer
 from repro.optics.array import SensorArray, airfinger_array
 from repro.utils import chunked, derive_rng
 
@@ -240,19 +240,24 @@ class CampaignGenerator:
     def _capture_batch(self, tasks: Sequence[CaptureTask]
                        ) -> list[GestureSample]:
         """Capture *tasks* through one batched radiometric pass."""
+        tracer = get_tracer()
         scenes, rngs, labels, metas = [], [], [], []
         for task in tasks:
-            trajectory = self._synthesize_task(task)
-            rng = derive_rng(self.config.seed, "capture", task.user_id,
-                            task.session_id, task.label, task.repetition,
-                            task.condition)
-            ambient = task.ambient or self.ambient
-            irradiance = ambient.irradiance(trajectory.times_s, rng)
-            scene = scene_for_trajectory(trajectory, self.users[task.user_id],
-                                         ambient_mw_mm2=irradiance, rng=rng)
-            if task.wristband_condition is not None:
-                from repro.noise.motion import apply_scene_sway
-                apply_scene_sway(scene, task.wristband_condition, rng)
+            with tracer.span("campaign.task", label=task.label,
+                             user=task.user_id, session=task.session_id,
+                             repetition=task.repetition):
+                trajectory = self._synthesize_task(task)
+                rng = derive_rng(self.config.seed, "capture", task.user_id,
+                                 task.session_id, task.label, task.repetition,
+                                 task.condition)
+                ambient = task.ambient or self.ambient
+                irradiance = ambient.irradiance(trajectory.times_s, rng)
+                scene = scene_for_trajectory(
+                    trajectory, self.users[task.user_id],
+                    ambient_mw_mm2=irradiance, rng=rng)
+                if task.wristband_condition is not None:
+                    from repro.noise.motion import apply_scene_sway
+                    apply_scene_sway(scene, task.wristband_condition, rng)
             scenes.append(scene)
             rngs.append(rng)
             labels.append(task.label)
@@ -278,9 +283,11 @@ class CampaignGenerator:
         same float operations in the same order as the scalar path.
         """
         batch = batch_size or self.batch_size
+        tracer = get_tracer()
         out: list[GestureSample] = []
         for chunk in chunked(tasks, batch):
-            with self._obs.timer("campaign.batch_seconds"):
+            with tracer.span("campaign.chunk", n_tasks=len(chunk)), \
+                    self._obs.timer("campaign.batch_seconds"):
                 out.extend(self._capture_batch(chunk))
             self._obs.counter("campaign.tasks").inc(len(chunk))
             self._obs.counter("campaign.batches").inc()
@@ -293,8 +300,12 @@ class CampaignGenerator:
     def run_tasks(self, tasks: Sequence[CaptureTask],
                   batch_size: int | None = None) -> GestureCorpus:
         """Execute a campaign plan into a :class:`GestureCorpus`."""
+        tasks = list(tasks)
+        batch = batch_size or self.batch_size
         corpus = GestureCorpus()
-        corpus.samples.extend(self.capture_tasks(tasks, batch_size))
+        with get_tracer().span("campaign.plan", n_tasks=len(tasks),
+                               workers=1, batch_size=batch):
+            corpus.samples.extend(self.capture_tasks(tasks, batch))
         return corpus
 
     # ------------------------------------------------------------------

@@ -41,7 +41,13 @@ from repro.datasets.generator import (
 )
 from repro.noise.ambient import AmbientModel, indoor_ambient
 from repro.noise.motion import WRISTBAND_CONDITIONS
-from repro.obs import MetricsRegistry, MetricsSnapshot, get_registry
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    TraceContext,
+    get_registry,
+    get_tracer,
+)
 from repro.optics.array import SensorArray, airfinger_array
 from repro.utils import chunked
 
@@ -59,22 +65,32 @@ def _init_worker(config: CampaignConfig, array: SensorArray,
         config=config, array=array, ambient=ambient, batch_size=batch_size)
 
 
-def _run_chunk(tasks: list[CaptureTask]
-               ) -> tuple[list[GestureSample], MetricsSnapshot]:
-    """Capture one chunk and ship the worker's metrics delta with it.
+def _run_chunk(payload: tuple[list[CaptureTask], dict | None]
+               ) -> tuple[list[GestureSample], MetricsSnapshot, list[dict]]:
+    """Capture one chunk and ship the worker's metrics/span deltas with it.
 
     The worker records into its own process-global registry; snapshotting
     and resetting after each chunk makes every returned snapshot a
-    non-overlapping delta, so the parent can merge them additively.
+    non-overlapping delta, so the parent can merge them additively.  When
+    the parent sampled a trace, its :class:`TraceContext` rides along so
+    the worker's ``campaign.chunk``/``campaign.task`` spans parent to the
+    run's ``campaign.plan`` root; the finished spans are drained and
+    shipped back as dicts for :meth:`Tracer.adopt`.
     """
+    tasks, ctx_payload = payload
     assert _WORKER_GENERATOR is not None, "worker initializer did not run"
-    samples = _WORKER_GENERATOR.capture_tasks(tasks)
+    tracer = get_tracer()
+    ctx = (TraceContext.from_dict(ctx_payload)
+           if ctx_payload is not None else None)
+    with tracer.attach(ctx):
+        samples = _WORKER_GENERATOR.capture_tasks(tasks)
     registry = get_registry()
     registry.counter("campaign.worker_tasks",
                      worker=str(os.getpid())).inc(len(tasks))
     snapshot = registry.snapshot()
     registry.reset()
-    return samples, snapshot
+    spans = [span.to_dict() for span in tracer.drain()]
+    return samples, snapshot, spans
 
 
 @dataclass
@@ -173,29 +189,40 @@ class ParallelCampaignGenerator:
         """
         tasks = list(tasks)
         batch = batch_size or self.batch_size
+        tracer = get_tracer()
         corpus = GestureCorpus()
-        if self.workers == 1 or len(tasks) <= batch:
-            corpus.samples.extend(self._serial.capture_tasks(tasks, batch))
-            return corpus
-        chunks = chunked(tasks, self._resolve_chunk(len(tasks)))
-        try:
-            with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(chunks)),
-                    initializer=_init_worker,
-                    initargs=(self.config, self.array, self.ambient,
-                              batch)) as pool:
-                # Executor.map preserves input order, so samples land in
-                # plan order no matter which worker finishes first.
-                for part, snapshot in pool.map(_run_chunk, chunks):
-                    corpus.samples.extend(part)
-                    self._obs.merge(snapshot)
-            return corpus
-        except (OSError, PermissionError, ImportError, NotImplementedError):
-            # Restricted platform (no semaphores / fork): same bits, one
-            # process.
-            corpus = GestureCorpus()
-            corpus.samples.extend(self._serial.capture_tasks(tasks, batch))
-            return corpus
+        with tracer.span("campaign.plan", n_tasks=len(tasks),
+                         workers=self.workers, batch_size=batch):
+            if self.workers == 1 or len(tasks) <= batch:
+                corpus.samples.extend(
+                    self._serial.capture_tasks(tasks, batch))
+                return corpus
+            chunks = chunked(tasks, self._resolve_chunk(len(tasks)))
+            ctx = tracer.current_context()
+            ctx_payload = ctx.to_dict() if ctx is not None else None
+            payloads = [(chunk, ctx_payload) for chunk in chunks]
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=min(self.workers, len(chunks)),
+                        initializer=_init_worker,
+                        initargs=(self.config, self.array, self.ambient,
+                                  batch)) as pool:
+                    # Executor.map preserves input order, so samples land
+                    # in plan order no matter which worker finishes first.
+                    for part, snapshot, spans in pool.map(_run_chunk,
+                                                          payloads):
+                        corpus.samples.extend(part)
+                        self._obs.merge(snapshot)
+                        tracer.adopt(spans)
+                return corpus
+            except (OSError, PermissionError, ImportError,
+                    NotImplementedError):
+                # Restricted platform (no semaphores / fork): same bits,
+                # one process.
+                corpus = GestureCorpus()
+                corpus.samples.extend(
+                    self._serial.capture_tasks(tasks, batch))
+                return corpus
 
     # ------------------------------------------------------------------
     # campaigns (parallel counterparts of the serial methods)

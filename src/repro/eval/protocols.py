@@ -8,6 +8,7 @@ numbers the corresponding paper table/figure reports.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -26,7 +27,7 @@ from repro.ml.model_selection import (
     leave_one_group_out,
     train_test_split,
 )
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 
 __all__ = [
     "DETECT_GESTURES_SET",
@@ -104,9 +105,20 @@ def _pooled_result(name: str,
         timings=dict(timings or {}))
 
 
-def _fold_timer(protocol: str):
-    """A stage timer recording into ``eval.fold_seconds{protocol=...}``."""
-    return get_registry().timer("eval.fold_seconds", protocol=protocol)
+@contextmanager
+def _fold_scope(protocol: str, fold: object):
+    """One evaluation fold: a metrics timer nested inside a trace span.
+
+    Records into the ``eval.fold_seconds{protocol=...}`` histogram and,
+    when tracing is on, opens an ``eval.fold`` span whose duration matches
+    the ``timings`` entry on the returned
+    :class:`~repro.eval.results.EvaluationResult`.
+    """
+    with get_tracer().span("eval.fold", protocol=protocol,
+                           fold=str(fold)), \
+            get_registry().timer("eval.fold_seconds",
+                                 protocol=protocol) as timer:
+        yield timer
 
 
 # ---------------------------------------------------------------------------
@@ -139,7 +151,7 @@ def overall_detect_performance(corpus: GestureCorpus,
     for k, (train_idx, test_idx) in enumerate(
             StratifiedKFold(n_splits=n_splits,
                             random_state=random_state).split(y)):
-        with _fold_timer("overall") as timer:
+        with _fold_scope("overall", f"fold{k}") as timer:
             model = model_factory()
             model.fit(Xs[train_idx], y[train_idx])
             pred = model.predict(Xs[test_idx])
@@ -161,7 +173,7 @@ def _leave_one_group(corpus: GestureCorpus,
     per_group: dict = {}
     timings: dict = {}
     for g, train_idx, test_idx in leave_one_group_out(groups):
-        with _fold_timer(name) as timer:
+        with _fold_scope(name, g) as timer:
             model = model_factory()
             model.fit(X[train_idx], y[train_idx])
             pred = model.predict(X[test_idx])
@@ -435,7 +447,7 @@ def unintentional_motion_performance(corpus: GestureCorpus,
     for k, (train_idx, test_idx) in enumerate(
             StratifiedKFold(n_splits=n_splits,
                             random_state=random_state).split(labels)):
-        with _fold_timer("unintentional") as timer:
+        with _fold_scope("unintentional", f"fold{k}") as timer:
             if model_factory is None:
                 filt = InterferenceFilter()
             else:
@@ -480,7 +492,7 @@ def condition_accuracy(corpus: GestureCorpus,
     timings: dict = {}
     for k, (train_idx, test_idx) in enumerate(StratifiedKFold(
             n_splits=n_splits, random_state=random_state).split(y)):
-        with _fold_timer("condition") as timer:
+        with _fold_scope("condition", f"fold{k}") as timer:
             train_mask = np.zeros(len(y), dtype=bool)
             train_mask[train_idx] = True
             test_mask = ~train_mask

@@ -1,17 +1,29 @@
-"""Real-time observability: counters, gauges, latency histograms, exporters.
+"""Real-time observability: metrics, span tracing, and run provenance.
 
 The paper's core claim is *real-time* recognition at 100 Hz; this package
-is how the repo proves it.  :class:`MetricsRegistry` collects dependency-free
-counters, gauges, and fixed-bucket latency histograms (p50/p95/p99) from the
-hot paths — the streaming :class:`~repro.core.pipeline.AirFinger` engine,
-campaign generation, the capture chain, and the evaluation protocols — and
-snapshots them to JSON or Prometheus text format.
+is how the repo proves it, at three altitudes:
 
-Instrumentation is on by default and overhead-bounded (see
-``benchmarks/test_obs_overhead.py``); set ``REPRO_OBS=0`` to disable it
-process-wide.  Snapshots are picklable so worker processes can ship their
-metrics back to the parent for merging
-(:meth:`MetricsRegistry.merge`).
+* **Metrics** (:mod:`repro.obs.metrics`): :class:`MetricsRegistry`
+  collects dependency-free counters, gauges, and fixed-bucket latency
+  histograms (p50/p95/p99) from the hot paths — the streaming
+  :class:`~repro.core.pipeline.AirFinger` engine, campaign generation,
+  the capture chain, and the evaluation protocols — and snapshots them
+  to JSON or Prometheus text format.  On by default; ``REPRO_OBS=0``
+  disables it process-wide.
+* **Tracing** (:mod:`repro.obs.trace`): :class:`Tracer` records
+  :class:`Span` trees (per-frame pipeline stages, campaign
+  plan → chunk → task → record_batch, eval folds) into a bounded ring
+  buffer, exported as Chrome/Perfetto trace JSON or a JSONL event log.
+  Off by default; ``REPRO_TRACE=1`` (or a sampling ratio) enables it,
+  and :class:`TraceContext` carries a trace across worker-process
+  boundaries.
+* **Provenance** (:mod:`repro.obs.manifest`): :class:`RunManifest`
+  pins down the exact invocation — config digest, seeds, versions,
+  platform, git SHA — that produced a corpus or evaluation artifact.
+
+Snapshots and spans are picklable so worker processes can ship them back
+to the parent for merging (:meth:`MetricsRegistry.merge`,
+:meth:`Tracer.adopt`).
 """
 
 from repro.obs.metrics import (
@@ -26,6 +38,20 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.export import prometheus_text, render_snapshot
+from repro.obs.manifest import RunManifest, config_digest
+from repro.obs.trace import (
+    Span,
+    SpanEvent,
+    TraceContext,
+    Tracer,
+    chrome_trace_json,
+    get_tracer,
+    load_trace,
+    render_trace_summary,
+    set_tracer,
+    spans_to_jsonl,
+    summarize_trace,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_S",
@@ -39,4 +65,17 @@ __all__ = [
     "set_registry",
     "prometheus_text",
     "render_snapshot",
+    "RunManifest",
+    "config_digest",
+    "Span",
+    "SpanEvent",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace_json",
+    "get_tracer",
+    "load_trace",
+    "render_trace_summary",
+    "set_tracer",
+    "spans_to_jsonl",
+    "summarize_trace",
 ]

@@ -1,0 +1,203 @@
+"""Run provenance: a manifest pinning down exactly what produced an artifact.
+
+A :class:`RunManifest` is written alongside every ``generate`` /
+``evaluate`` output so any corpus or evaluation result can be
+reconstructed from its manifest alone: the full invocation config and its
+digest, the seeds, package versions, the platform, the git revision when
+available, plus a metrics snapshot and trace summary of the run that
+produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["RunManifest", "config_digest"]
+
+MANIFEST_SCHEMA = 1
+
+
+def config_digest(config: dict) -> str:
+    """SHA-256 of the canonical JSON form of *config*.
+
+    Two runs with byte-identical digests were invoked with the same
+    configuration (key order and float formatting are normalized).
+    """
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _package_versions() -> dict:
+    versions = {
+        "python": platform.python_version(),
+        "repro": _repro_version(),
+    }
+    try:
+        import numpy
+        versions["numpy"] = numpy.__version__
+    except Exception:                               # pragma: no cover
+        versions["numpy"] = None
+    return versions
+
+
+def _repro_version() -> str | None:
+    try:
+        from importlib.metadata import version
+        return version("repro")
+    except Exception:
+        return None
+
+
+def _platform_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def _git_sha() -> str | None:
+    """Best-effort ``git rev-parse HEAD`` of the working directory."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=5, cwd=os.getcwd())
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to reproduce one ``generate``/``evaluate`` run.
+
+    Parameters
+    ----------
+    command:
+        The CLI subcommand (or programmatic entry point) that ran.
+    config:
+        The full invocation configuration as plain builtins.
+    digest:
+        :func:`config_digest` of ``config``.
+    seeds:
+        Every seed the run consumed, by role (e.g. ``{"campaign": 2020}``).
+    versions, platform_info, git_sha:
+        The software environment the run executed in.
+    created_wall_s / created_iso:
+        Wall-clock creation time (epoch seconds + ISO-8601 UTC).
+    argv:
+        The raw argument vector, when invoked from the CLI.
+    metrics:
+        A :meth:`~repro.obs.metrics.MetricsSnapshot.to_dict` payload of
+        the run's metrics, when collected.
+    trace_summary:
+        A :func:`~repro.obs.trace.summarize_trace` payload, when tracing
+        was on.
+    """
+
+    command: str
+    config: dict
+    digest: str
+    seeds: dict = field(default_factory=dict)
+    versions: dict = field(default_factory=dict)
+    platform_info: dict = field(default_factory=dict)
+    git_sha: str | None = None
+    created_wall_s: float = 0.0
+    created_iso: str = ""
+    argv: list = field(default_factory=list)
+    metrics: dict | None = None
+    trace_summary: dict | None = None
+    schema: int = MANIFEST_SCHEMA
+
+    @classmethod
+    def create(cls, command: str, config: dict,
+               seeds: dict | None = None,
+               argv: list | None = None,
+               metrics: dict | None = None,
+               trace_summary: dict | None = None) -> "RunManifest":
+        """Build a manifest for the current process/environment."""
+        now = time.time()
+        return cls(
+            command=command,
+            config=dict(config),
+            digest=config_digest(config),
+            seeds=dict(seeds or {}),
+            versions=_package_versions(),
+            platform_info=_platform_info(),
+            git_sha=_git_sha(),
+            created_wall_s=now,
+            created_iso=time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                      time.gmtime(now)),
+            argv=list(argv if argv is not None else sys.argv),
+            metrics=metrics,
+            trace_summary=trace_summary)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict."""
+        return {
+            "schema": self.schema,
+            "command": self.command,
+            "config": dict(self.config),
+            "digest": self.digest,
+            "seeds": dict(self.seeds),
+            "versions": dict(self.versions),
+            "platform": dict(self.platform_info),
+            "git_sha": self.git_sha,
+            "created_wall_s": self.created_wall_s,
+            "created_iso": self.created_iso,
+            "argv": list(self.argv),
+            "metrics": self.metrics,
+            "trace_summary": self.trace_summary,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The manifest as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output."""
+        return cls(
+            command=payload["command"],
+            config=dict(payload["config"]),
+            digest=payload["digest"],
+            seeds=dict(payload.get("seeds", {})),
+            versions=dict(payload.get("versions", {})),
+            platform_info=dict(payload.get("platform", {})),
+            git_sha=payload.get("git_sha"),
+            created_wall_s=float(payload.get("created_wall_s", 0.0)),
+            created_iso=payload.get("created_iso", ""),
+            argv=list(payload.get("argv", [])),
+            metrics=payload.get("metrics"),
+            trace_summary=payload.get("trace_summary"),
+            schema=int(payload.get("schema", MANIFEST_SCHEMA)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def verify_digest(self) -> bool:
+        """Whether the stored digest still matches the stored config."""
+        return self.digest == config_digest(self.config)
+
+    def write(self, path) -> None:
+        """Write the manifest JSON to *path*."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "RunManifest":
+        """Read a manifest written by :meth:`write`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

@@ -24,6 +24,7 @@ Design notes
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -112,11 +113,13 @@ class Histogram:
     """Fixed-bucket distribution of observations (latencies, sizes).
 
     ``bounds`` are the inclusive upper edges of the buckets; one implicit
-    overflow bucket catches everything above the last bound.
+    overflow bucket catches everything above the last bound.  NaN/inf
+    observations are dropped (they would poison ``sum`` and the min/max
+    comparisons) and tallied in :attr:`invalid` instead.
     """
 
     __slots__ = ("_registry", "bounds", "counts", "sum", "count",
-                 "min", "max")
+                 "min", "max", "invalid")
 
     def __init__(self, registry: "MetricsRegistry",
                  bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S) -> None:
@@ -132,12 +135,16 @@ class Histogram:
         self.count = 0
         self.min: float | None = None
         self.max: float | None = None
+        self.invalid = 0
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation (NaN/inf counts as invalid, not data)."""
         if not self._registry.enabled:
             return
         value = float(value)
+        if not math.isfinite(value):
+            self.invalid += 1
+            return
         # linear scan is faster than bisect for the small head buckets the
         # hot paths hit; fall through to the overflow slot
         idx = len(self.bounds)
@@ -224,6 +231,11 @@ class StageTimer:
         self.elapsed_s = time.perf_counter() - self._start
         self._histogram.observe(self.elapsed_s)
 
+    @property
+    def started_s(self) -> float:
+        """The ``perf_counter`` reading at ``__enter__`` (span anchoring)."""
+        return self._start
+
 
 @dataclass
 class MetricsSnapshot:
@@ -232,7 +244,7 @@ class MetricsSnapshot:
     Every field holds only builtins, so snapshots pickle across process
     boundaries (worker pools ship them back to the parent) and serialize
     to JSON.  Histogram entries are dicts with keys ``bounds``, ``counts``,
-    ``sum``, ``count``, ``min``, ``max``.
+    ``sum``, ``count``, ``min``, ``max``, ``invalid``.
     """
 
     counters: dict[str, float] = field(default_factory=dict)
@@ -255,7 +267,8 @@ class MetricsSnapshot:
                 continue
             if tuple(mine["bounds"]) != tuple(data["bounds"]):
                 raise ValueError(
-                    f"cannot merge histogram {key!r}: bucket bounds differ")
+                    f"cannot merge histogram {key!r}: bucket bounds differ "
+                    f"({tuple(mine['bounds'])} vs {tuple(data['bounds'])})")
             merged = dict(mine)
             merged["counts"] = [a + b for a, b in
                                 zip(mine["counts"], data["counts"])]
@@ -263,6 +276,8 @@ class MetricsSnapshot:
             merged["count"] = mine["count"] + data["count"]
             merged["min"] = _opt_min(mine["min"], data["min"])
             merged["max"] = _opt_max(mine["max"], data["max"])
+            merged["invalid"] = (mine.get("invalid", 0)
+                                 + data.get("invalid", 0))
             out.histograms[key] = merged
         return out
 
@@ -305,7 +320,8 @@ class MetricsSnapshot:
                 "sum": float(data["sum"]),
                 "count": int(data["count"]),
                 "min": data["min"],
-                "max": data["max"]}
+                "max": data["max"],
+                "invalid": int(data.get("invalid", 0))}
         return cls(counters=dict(payload.get("counters", {})),
                    gauges=dict(payload.get("gauges", {})),
                    histograms=histograms)
@@ -392,7 +408,8 @@ class MetricsRegistry:
                             "sum": h.sum,
                             "count": h.count,
                             "min": h.min,
-                            "max": h.max}
+                            "max": h.max,
+                            "invalid": h.invalid}
                         for k, h in self._histograms.items()})
 
     def merge(self, snapshot: MetricsSnapshot) -> None:
@@ -414,12 +431,14 @@ class MetricsRegistry:
                     self, tuple(data["bounds"]))
             elif hist.bounds != tuple(data["bounds"]):
                 raise ValueError(
-                    f"cannot merge histogram {key!r}: bucket bounds differ")
+                    f"cannot merge histogram {key!r}: bucket bounds differ "
+                    f"({hist.bounds} vs {tuple(data['bounds'])})")
             hist.counts = [a + b for a, b in zip(hist.counts, data["counts"])]
             hist.sum += data["sum"]
             hist.count += data["count"]
             hist.min = _opt_min(hist.min, data["min"])
             hist.max = _opt_max(hist.max, data["max"])
+            hist.invalid += int(data.get("invalid", 0))
 
     def reset(self) -> None:
         """Drop every recorded value (series registrations included)."""

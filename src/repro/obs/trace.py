@@ -1,0 +1,753 @@
+"""Dependency-free span tracing: per-stage timelines across processes.
+
+Where :mod:`repro.obs.metrics` answers "how fast is this stage *on
+average*", this module answers "which frame blew the 10 ms deadline, in
+which stage, and what else was running".  A :class:`Tracer` records
+:class:`Span` objects (name, trace/span/parent ids, wall + monotonic
+timestamps, attributes, point-in-time events) into a bounded in-memory
+ring buffer; exporters turn the buffer into a Chrome/Perfetto
+trace-event JSON file (loadable at ``ui.perfetto.dev``) or a structured
+JSONL event log.
+
+Design notes
+------------
+* Everything is stdlib-only and never touches a numpy RNG stream, so the
+  campaign determinism contract holds with tracing on or off.
+* Sampling is decided **per trace** at the root span (``REPRO_TRACE``:
+  ``0``/``off`` (default), ``1``/``always``, or a ratio in ``(0, 1)``).
+  Child spans inherit the root's decision; with tracing fully off,
+  :meth:`Tracer.span` returns a shared null scope and costs one flag
+  check.
+* A :class:`TraceContext` is a plain picklable value object; shipping it
+  into a worker process and calling :meth:`Tracer.attach` there makes
+  the worker's spans children of the parent process's span — this is how
+  :class:`~repro.datasets.parallel.ParallelCampaignGenerator` chunks
+  appear under the campaign's root plan span.
+* Spans store both wall-clock (``time.time``, comparable across
+  processes — the Chrome export timeline) and monotonic
+  (``time.perf_counter``, drift-free within a process) timestamps.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "get_tracer",
+    "load_trace",
+    "render_trace_summary",
+    "set_tracer",
+    "spans_to_jsonl",
+    "summarize_trace",
+]
+
+#: Default ring-buffer capacity (finished spans kept in memory).
+DEFAULT_MAX_SPANS = 65536
+
+_ID_COUNTER = itertools.count(1)
+
+
+def _new_span_id() -> str:
+    """A span id unique within and across processes (pid + counter)."""
+    return f"{os.getpid():x}-{next(_ID_COUNTER):x}"
+
+
+def _new_trace_id() -> str:
+    return os.urandom(8).hex()
+
+
+def parse_sample(mode: str | float | None) -> float:
+    """Normalize a ``REPRO_TRACE`` value to a sampling ratio in [0, 1]."""
+    if mode is None:
+        return 0.0
+    if isinstance(mode, (int, float)) and not isinstance(mode, bool):
+        ratio = float(mode)
+    else:
+        text = str(mode).strip().lower()
+        if text in ("", "0", "off", "false", "no"):
+            return 0.0
+        if text in ("1", "always", "on", "true", "yes"):
+            return 1.0
+        try:
+            ratio = float(text)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_TRACE must be 0/off, 1/always, or a ratio, "
+                f"got {mode!r}") from None
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError(f"trace sample ratio must be in [0, 1], got {ratio}")
+    return ratio
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable link between a span and its (possibly remote) children.
+
+    Carries everything a worker process needs to parent its spans under
+    the originating span: the trace id, the parent span id, and the
+    root's sampling decision (authoritative — a worker records spans for
+    a sampled context even if its own tracer is off).
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_dict(self) -> dict:
+        """Plain-builtins payload for crossing process boundaries."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "sampled": self.sampled}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        """Rebuild a context from :meth:`to_dict` output."""
+        return cls(trace_id=str(payload["trace_id"]),
+                   span_id=str(payload["span_id"]),
+                   sampled=bool(payload.get("sampled", True)))
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation on a span (e.g. a deadline miss)."""
+
+    name: str
+    wall_s: float
+    mono_s: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "wall_s": self.wall_s,
+                "mono_s": self.mono_s, "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanEvent":
+        return cls(name=payload["name"], wall_s=float(payload["wall_s"]),
+                   mono_s=float(payload["mono_s"]),
+                   attrs=dict(payload.get("attrs", {})))
+
+
+@dataclass
+class Span:
+    """One timed operation.  All fields are builtins, so spans pickle."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start_wall_s: float
+    start_mono_s: float
+    end_mono_s: float | None = None
+    attrs: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    pid: int = field(default_factory=os.getpid)
+    tid: int = field(default_factory=threading.get_ident)
+
+    @property
+    def duration_s(self) -> float:
+        """Measured duration (0 while the span is still open)."""
+        if self.end_mono_s is None:
+            return 0.0
+        return self.end_mono_s - self.start_mono_s
+
+    @property
+    def end_wall_s(self) -> float:
+        """Wall-clock end, derived from the monotonic duration."""
+        return self.start_wall_s + self.duration_s
+
+    def set_attr(self, **attrs) -> None:
+        """Attach attributes to the span."""
+        self.attrs.update(attrs)
+
+    def add_event(self, name: str, **attrs) -> SpanEvent:
+        """Record a point-in-time event on this span."""
+        event = SpanEvent(name=name, wall_s=time.time(),
+                          mono_s=time.perf_counter(), attrs=attrs)
+        self.events.append(event)
+        return event
+
+    def to_dict(self) -> dict:
+        """Plain-builtins payload (JSONL line / cross-process shipping)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_wall_s": self.start_wall_s,
+            "start_mono_s": self.start_mono_s,
+            "duration_s": self.duration_s,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        start_mono = float(payload.get("start_mono_s", 0.0))
+        return cls(
+            name=payload["name"],
+            trace_id=payload["trace_id"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            start_wall_s=float(payload["start_wall_s"]),
+            start_mono_s=start_mono,
+            end_mono_s=start_mono + float(payload.get("duration_s", 0.0)),
+            attrs=dict(payload.get("attrs", {})),
+            events=[SpanEvent.from_dict(e)
+                    for e in payload.get("events", [])],
+            pid=int(payload.get("pid", 0)),
+            tid=int(payload.get("tid", 0)))
+
+
+class _NullSpan:
+    """The do-nothing span handed out when tracing is off/unsampled."""
+
+    __slots__ = ()
+
+    def set_attr(self, **attrs) -> None:
+        pass
+
+    def add_event(self, name: str, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OffScope:
+    """Shared zero-state scope for the fully-off fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_OFF_SCOPE = _OffScope()
+
+
+class _UnsampledScope:
+    """Scope for spans inside an unsampled trace: keeps the stack honest."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop(_NULL_SPAN)
+        return False
+
+
+class _SpanScope:
+    """Context manager finishing one live span."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self.span)
+        return False
+
+
+class Tracer:
+    """Span factory + bounded in-memory store for one process.
+
+    Parameters
+    ----------
+    sample:
+        Sampling mode: ``0``/``"off"``, ``1``/``"always"``, or a ratio in
+        ``(0, 1)``.  ``None`` reads ``REPRO_TRACE`` (default off).
+    max_spans:
+        Ring-buffer capacity; the oldest finished spans are evicted once
+        the buffer is full, bounding memory for arbitrarily long runs.
+    seed:
+        Seed for the ratio sampler (stdlib :mod:`random`; never touches
+        numpy RNG streams).
+    """
+
+    def __init__(self, sample: str | float | None = None,
+                 max_spans: int = DEFAULT_MAX_SPANS,
+                 seed: int | None = None) -> None:
+        if sample is None:
+            sample = os.environ.get("REPRO_TRACE", "0")
+        self._sample = parse_sample(sample)
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.max_spans = int(max_spans)
+        self._store: deque[Span] = deque(maxlen=self.max_spans)
+        self._local = threading.local()
+        self._rand = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # state helpers
+    # ------------------------------------------------------------------
+    @property
+    def sample(self) -> float:
+        """The configured sampling ratio."""
+        return self._sample
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _remote(self) -> TraceContext | None:
+        return getattr(self._local, "remote", None)
+
+    @property
+    def active(self) -> bool:
+        """Whether a span started now could possibly be recorded.
+
+        The hot-path guard: with tracing off and no attached remote
+        context this is a couple of attribute reads.
+        """
+        if self._sample > 0.0:
+            return True
+        remote = self._remote()
+        return remote is not None and remote.sampled
+
+    def current_span(self) -> Span | None:
+        """The innermost live sampled span on this thread, if any."""
+        stack = self._stack()
+        if stack and isinstance(stack[-1], Span):
+            return stack[-1]
+        return None
+
+    def current_context(self) -> TraceContext | None:
+        """A :class:`TraceContext` for the current span (or attached remote).
+
+        Returns ``None`` when nothing is being traced — callers can skip
+        shipping context to workers entirely in that case.
+        """
+        span = self.current_span()
+        if span is not None:
+            return TraceContext(trace_id=span.trace_id,
+                                span_id=span.span_id, sampled=True)
+        remote = self._remote()
+        if remote is not None and remote.sampled:
+            return remote
+        return None
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> "_SpanScope | _OffScope | _UnsampledScope":
+        """A context manager opening a span named *name*.
+
+        Yields the live :class:`Span` (or a null span when off); on exit
+        the span is finished and appended to the ring buffer.
+        """
+        remote = self._remote()
+        if self._sample <= 0.0 and remote is None:
+            return _OFF_SCOPE
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            if not isinstance(parent, Span):      # inside an unsampled trace
+                stack.append(_NULL_SPAN)
+                return _UnsampledScope(self)
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif remote is not None:
+            if not remote.sampled:
+                stack.append(_NULL_SPAN)
+                return _UnsampledScope(self)
+            trace_id, parent_id = remote.trace_id, remote.span_id
+        else:
+            if not self._decide():
+                stack.append(_NULL_SPAN)
+                return _UnsampledScope(self)
+            trace_id, parent_id = _new_trace_id(), None
+        span = Span(name=name, trace_id=trace_id, span_id=_new_span_id(),
+                    parent_id=parent_id, start_wall_s=time.time(),
+                    start_mono_s=time.perf_counter(), attrs=attrs)
+        stack.append(span)
+        return _SpanScope(self, span)
+
+    def _decide(self) -> bool:
+        if self._sample >= 1.0:
+            return True
+        if self._sample <= 0.0:
+            return False
+        return self._rand.random() < self._sample
+
+    def _finish(self, span: Span) -> None:
+        span.end_mono_s = time.perf_counter()
+        self._pop(span)
+        self._store.append(span)
+
+    def _pop(self, expected) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is expected:
+            stack.pop()
+        elif expected in stack:                   # mis-nested exit
+            while stack and stack.pop() is not expected:
+                pass
+
+    def record(self, name: str, start_mono_s: float, end_mono_s: float,
+               **attrs) -> Span | None:
+        """Record an already-measured interval as a child of the current span.
+
+        Lets hot paths that time stages with raw ``perf_counter`` reads
+        emit spans without restructuring their control flow.  Returns the
+        stored span, or ``None`` when tracing is off/unsampled.
+        """
+        parent = self.current_span()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            remote = self._remote()
+            if remote is None or not remote.sampled:
+                return None
+            trace_id, parent_id = remote.trace_id, remote.span_id
+        now_mono = time.perf_counter()
+        span = Span(name=name, trace_id=trace_id, span_id=_new_span_id(),
+                    parent_id=parent_id,
+                    start_wall_s=time.time() - (now_mono - start_mono_s),
+                    start_mono_s=start_mono_s, end_mono_s=end_mono_s,
+                    attrs=attrs)
+        self._store.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # cross-process propagation
+    # ------------------------------------------------------------------
+    def attach(self, context: TraceContext | None):
+        """Context manager parenting this thread's spans under *context*.
+
+        Used inside worker processes: the parent ships its
+        :meth:`current_context`, the worker attaches it, and every span
+        the worker opens becomes a child of the parent's span — even if
+        the worker's own sampling mode is off (the root's decision is
+        authoritative).
+        """
+        return _AttachScope(self, context)
+
+    def adopt(self, spans) -> None:
+        """Fold spans (objects or :meth:`Span.to_dict` payloads) into the store."""
+        for span in spans:
+            if isinstance(span, dict):
+                span = Span.from_dict(span)
+            self._store.append(span)
+
+    # ------------------------------------------------------------------
+    # store access
+    # ------------------------------------------------------------------
+    def finished_spans(self) -> list[Span]:
+        """A snapshot list of the finished spans currently buffered."""
+        return list(self._store)
+
+    def drain(self) -> list[Span]:
+        """Remove and return every buffered span (worker shipping)."""
+        spans = list(self._store)
+        self._store.clear()
+        return spans
+
+    def clear(self) -> None:
+        """Drop every buffered span."""
+        self._store.clear()
+
+
+class _AttachScope:
+    __slots__ = ("_tracer", "_context", "_previous")
+
+    def __init__(self, tracer: Tracer, context: TraceContext | None) -> None:
+        self._tracer = tracer
+        self._context = context
+        self._previous = None
+
+    def __enter__(self) -> TraceContext | None:
+        self._previous = getattr(self._tracer._local, "remote", None)
+        self._tracer._local.remote = self._context
+        return self._context
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._local.remote = self._previous
+        return False
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+def _span_payloads(spans) -> list[dict]:
+    return [s.to_dict() if isinstance(s, Span) else dict(s) for s in spans]
+
+
+def chrome_trace_events(spans) -> list[dict]:
+    """Chrome trace-event list for *spans* (complete ``"X"`` events).
+
+    Each span becomes one complete event on the wall-clock timeline
+    (microseconds), carrying its trace/span/parent ids in ``args`` so the
+    tree can be rebuilt from the file; span events become instant
+    (``"i"``) events.  Worker processes appear as separate ``pid`` rows.
+    """
+    events: list[dict] = []
+    pids: set[int] = set()
+    for payload in _span_payloads(spans):
+        pid = int(payload.get("pid", 0))
+        tid = int(payload.get("tid", 0)) % 2**31     # perfetto wants int32
+        pids.add(pid)
+        args = dict(payload.get("attrs", {}))
+        args["trace_id"] = payload["trace_id"]
+        args["span_id"] = payload["span_id"]
+        if payload.get("parent_id"):
+            args["parent_id"] = payload["parent_id"]
+        events.append({
+            "name": payload["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": payload["start_wall_s"] * 1e6,
+            "dur": payload.get("duration_s", 0.0) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        for event in payload.get("events", []):
+            ev = event.to_dict() if isinstance(event, SpanEvent) else event
+            events.append({
+                "name": ev["name"],
+                "cat": "repro.event",
+                "ph": "i",
+                "s": "t",
+                "ts": ev["wall_s"] * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {**ev.get("attrs", {}),
+                         "span_id": payload["span_id"],
+                         "trace_id": payload["trace_id"]},
+            })
+    for pid in sorted(pids):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": f"repro pid {pid}"}})
+    return events
+
+
+def chrome_trace_json(spans, indent: int | None = None) -> str:
+    """The Chrome/Perfetto trace JSON document for *spans*."""
+    return json.dumps({"traceEvents": chrome_trace_events(spans),
+                       "displayTimeUnit": "ms"}, indent=indent)
+
+
+def spans_to_jsonl(spans) -> str:
+    """Structured JSONL event log: one line per span, one per span event.
+
+    Span lines carry ``kind: "span"`` with trace/span/parent ids, attrs,
+    and both wall + monotonic timestamps; event lines carry
+    ``kind: "event"`` pointing back at their span.
+    """
+    lines = []
+    for payload in _span_payloads(spans):
+        events = payload.pop("events", [])
+        lines.append(json.dumps({"kind": "span", **payload},
+                                sort_keys=True))
+        for event in events:
+            ev = event.to_dict() if isinstance(event, SpanEvent) else event
+            lines.append(json.dumps(
+                {"kind": "event", "trace_id": payload["trace_id"],
+                 "span_id": payload["span_id"], **ev}, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# trace-file loading + summarizing (the `airfinger trace` view)
+# ---------------------------------------------------------------------------
+
+def load_trace(path) -> list[dict]:
+    """Span payload dicts from a saved trace (Chrome JSON or JSONL).
+
+    Accepts either exporter's output; the Chrome form is rebuilt from the
+    ids embedded in each event's ``args``.
+    """
+    text = open(path, "r", encoding="utf-8").read()
+    doc = None
+    if text.lstrip().startswith("{"):
+        try:
+            doc = json.loads(text)        # whole-file JSON = Chrome form;
+        except json.JSONDecodeError:      # per-line JSON = JSONL form
+            doc = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        spans: dict[str, dict] = {}
+        events: list[dict] = []
+        for ev in doc.get("traceEvents", []):
+            args = dict(ev.get("args", {}))
+            if ev.get("ph") == "X":
+                span_id = args.pop("span_id", None)
+                spans[span_id] = {
+                    "name": ev["name"],
+                    "trace_id": args.pop("trace_id", ""),
+                    "span_id": span_id,
+                    "parent_id": args.pop("parent_id", None),
+                    "start_wall_s": ev.get("ts", 0.0) / 1e6,
+                    "start_mono_s": ev.get("ts", 0.0) / 1e6,
+                    "duration_s": ev.get("dur", 0.0) / 1e6,
+                    "pid": ev.get("pid", 0),
+                    "tid": ev.get("tid", 0),
+                    "attrs": args,
+                    "events": [],
+                }
+            elif ev.get("ph") == "i":
+                events.append(ev)
+        for ev in events:
+            args = dict(ev.get("args", {}))
+            span_id = args.pop("span_id", None)
+            args.pop("trace_id", None)
+            record = {"name": ev["name"], "wall_s": ev.get("ts", 0.0) / 1e6,
+                      "mono_s": ev.get("ts", 0.0) / 1e6, "attrs": args}
+            if span_id in spans:
+                spans[span_id]["events"].append(record)
+        return list(spans.values())
+    payloads: dict[str, dict] = {}
+    orphan_events: list[dict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.pop("kind", "span")
+        if kind == "span":
+            record.setdefault("events", [])
+            payloads[record["span_id"]] = record
+        else:
+            orphan_events.append(record)
+    for record in orphan_events:
+        span_id = record.pop("span_id", None)
+        record.pop("trace_id", None)
+        if span_id in payloads:
+            payloads[span_id]["events"].append(record)
+    return list(payloads.values())
+
+
+def summarize_trace(spans) -> dict:
+    """Aggregate statistics of a span set.
+
+    Returns a dict with per-name totals (count, total seconds, self
+    seconds = total minus direct children), the critical path of the
+    longest trace (greedy descent into the largest child), and every
+    span event named ``deadline_miss``.
+    """
+    payloads = _span_payloads(spans)
+    children: dict[str, list[dict]] = {}
+    for p in payloads:
+        parent = p.get("parent_id")
+        if parent:
+            children.setdefault(parent, []).append(p)
+    by_name: dict[str, dict] = {}
+    for p in payloads:
+        dur = float(p.get("duration_s", 0.0))
+        child_s = sum(float(c.get("duration_s", 0.0))
+                      for c in children.get(p["span_id"], ()))
+        entry = by_name.setdefault(
+            p["name"], {"count": 0, "total_s": 0.0, "self_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += dur
+        entry["self_s"] += max(dur - child_s, 0.0)
+
+    roots = [p for p in payloads if not p.get("parent_id")]
+    critical: list[dict] = []
+    if roots:
+        node = max(roots, key=lambda p: float(p.get("duration_s", 0.0)))
+        while node is not None:
+            critical.append({"name": node["name"],
+                             "duration_s": float(node.get("duration_s", 0.0))})
+            kids = children.get(node["span_id"])
+            node = (max(kids, key=lambda p: float(p.get("duration_s", 0.0)))
+                    if kids else None)
+
+    misses = []
+    for p in payloads:
+        for ev in p.get("events", []):
+            if ev.get("name") == "deadline_miss":
+                misses.append({"span": p["name"], "wall_s": ev.get("wall_s"),
+                               **dict(ev.get("attrs", {}))})
+    trace_ids = sorted({p.get("trace_id", "") for p in payloads})
+    return {
+        "n_spans": len(payloads),
+        "trace_ids": trace_ids,
+        "by_name": {k: dict(v) for k, v in sorted(
+            by_name.items(), key=lambda kv: -kv[1]["self_s"])},
+        "critical_path": critical,
+        "deadline_misses": misses,
+    }
+
+
+def render_trace_summary(summary: dict, top: int = 10) -> str:
+    """Human-readable tables for a :func:`summarize_trace` result."""
+    lines = [f"spans: {summary['n_spans']}   "
+             f"traces: {len(summary['trace_ids'])}", ""]
+    lines += ["Top spans by self-time", "----------------------"]
+    names = list(summary["by_name"].items())[:top]
+    if names:
+        width = max(len(n) for n, _ in names) + 2
+        lines.append(f"{'span':<{width}} {'count':>7} {'total':>10} "
+                     f"{'self':>10}")
+        for name, entry in names:
+            lines.append(f"{name:<{width}} {entry['count']:>7} "
+                         f"{entry['total_s']:>9.4f}s "
+                         f"{entry['self_s']:>9.4f}s")
+    else:
+        lines.append("(no spans)")
+    lines += ["", "Critical path", "-------------"]
+    if summary["critical_path"]:
+        for depth, hop in enumerate(summary["critical_path"]):
+            lines.append(f"{'  ' * depth}{hop['name']}  "
+                         f"{hop['duration_s']:.4f}s")
+    else:
+        lines.append("(no root span)")
+    lines += ["", f"Deadline-miss events: {len(summary['deadline_misses'])}"]
+    for miss in summary["deadline_misses"][:top]:
+        stage = miss.get("stage", "?")
+        frame = miss.get("frame_index", "?")
+        frame_s = miss.get("frame_s")
+        cost = f"{float(frame_s) * 1e3:.2f} ms" if frame_s is not None else "?"
+        lines.append(f"  frame {frame}: {cost} (slowest stage: {stage})")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# process-global default tracer (REPRO_TRACE configures sampling)
+# ---------------------------------------------------------------------------
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer every instrumented component records to."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-global tracer (returns the previous one)."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous

@@ -1,0 +1,147 @@
+"""Trace-context propagation across campaign worker processes.
+
+The parallel generator ships the parent's :class:`TraceContext` into each
+pool chunk, so every worker span must carry the run's root trace id and
+parent to the ``campaign.plan`` root — for every workers/chunk/batch
+combination of the determinism grid.  And because chunk sizes are always
+rounded to batch multiples, the *span tree* (names, attributes, nesting)
+of a parallel run must be identical to the serial run's, modulo
+timestamps, ids, and process/thread ids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    CampaignConfig,
+    CampaignGenerator,
+    ParallelCampaignGenerator,
+)
+from repro.obs import Tracer, set_tracer
+
+CONFIG = CampaignConfig(n_users=2, n_sessions=2, repetitions=1, seed=424)
+GESTURES = ("circle", "click", "scroll_up")
+
+
+@pytest.fixture()
+def tracer():
+    """A fresh always-sampling global tracer, restored afterwards."""
+    fresh = Tracer(sample=1.0)
+    previous = set_tracer(fresh)
+    yield fresh
+    set_tracer(previous)
+
+
+def _run(generator) -> list:
+    generator.main_campaign(gestures=GESTURES)
+    from repro.obs import get_tracer
+    return get_tracer().drain()
+
+
+def _tree(spans) -> list:
+    """Normalized (name, attrs, children) tree, ignoring times/ids/pids.
+
+    Children are sorted by their batch-order-independent identity (name +
+    attrs) so pool scheduling cannot affect the comparison.
+    """
+    by_parent: dict = {}
+    by_id = {s.span_id: s for s in spans}
+    for s in spans:
+        parent = s.parent_id if s.parent_id in by_id else None
+        by_parent.setdefault(parent, []).append(s)
+
+    def node(span):
+        kids = [node(c) for c in by_parent.get(span.span_id, [])]
+        return (span.name, tuple(sorted(span.attrs.items())),
+                tuple(sorted(kids)))
+
+    return sorted(node(s) for s in by_parent.get(None, []))
+
+
+@pytest.fixture(scope="module")
+def serial_tree():
+    fresh = Tracer(sample=1.0)
+    previous = set_tracer(fresh)
+    try:
+        spans = _run(CampaignGenerator(config=CONFIG, batch_size=2))
+    finally:
+        set_tracer(previous)
+    return _tree(spans)
+
+
+class TestWorkerSpanParentage:
+    @pytest.mark.parametrize("workers,chunk_size,batch_size", [
+        (1, None, 2), (2, 1, 2), (2, 3, 2), (2, 5, 2), (2, 100, 2),
+        (4, None, 2), (2, None, 1), (2, None, 3), (2, None, 64),
+    ])
+    def test_single_trace_id_and_plan_root(self, tracer, workers,
+                                           chunk_size, batch_size):
+        generator = ParallelCampaignGenerator(
+            config=CONFIG, workers=workers, chunk_size=chunk_size,
+            batch_size=batch_size)
+        spans = _run(generator)
+        context = f"workers={workers} chunk={chunk_size} batch={batch_size}"
+
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 1, context
+        assert roots[0].name == "campaign.plan", context
+        assert roots[0].attrs["workers"] == workers, context
+
+        trace_ids = {s.trace_id for s in spans}
+        assert trace_ids == {roots[0].trace_id}, context
+
+        chunks = [s for s in spans if s.name == "campaign.chunk"]
+        assert chunks, context
+        assert all(c.parent_id == roots[0].span_id for c in chunks), context
+
+        # plan -> chunk -> task and plan -> chunk -> record_batch
+        chunk_ids = {c.span_id for c in chunks}
+        tasks = [s for s in spans if s.name == "campaign.task"]
+        batches = [s for s in spans if s.name == "sampler.record_batch"]
+        assert tasks, context
+        assert all(t.parent_id in chunk_ids for t in tasks), context
+        assert batches, context
+        assert all(b.parent_id in chunk_ids for b in batches), context
+
+    def test_worker_spans_cross_process(self, tracer):
+        generator = ParallelCampaignGenerator(config=CONFIG, workers=2,
+                                              batch_size=2)
+        spans = _run(generator)
+        pids = {s.pid for s in spans}
+        # parent process plus at least one worker process
+        assert len(pids) >= 2
+
+
+class TestSerialParallelTreeEquality:
+    @pytest.mark.parametrize("workers,chunk_size", [
+        (2, None), (2, 1), (2, 3), (2, 5), (2, 100), (4, None),
+    ])
+    def test_parallel_tree_matches_serial(self, tracer, serial_tree,
+                                          workers, chunk_size):
+        generator = ParallelCampaignGenerator(
+            config=CONFIG, workers=workers, chunk_size=chunk_size,
+            batch_size=2)
+        spans = _run(generator)
+        tree = _tree(spans)
+        context = f"workers={workers} chunk={chunk_size}"
+        # normalize the plan root's worker-count attribute before comparing
+        def strip_workers(node):
+            name, attrs, kids = node
+            attrs = tuple((k, v) for k, v in attrs if k != "workers")
+            return (name, attrs, tuple(strip_workers(k) for k in kids))
+        assert ([strip_workers(n) for n in tree]
+                == [strip_workers(n) for n in serial_tree]), context
+
+
+class TestTracingOffStaysOff:
+    def test_no_spans_recorded_by_default(self):
+        fresh = Tracer(sample=0.0)
+        previous = set_tracer(fresh)
+        try:
+            generator = ParallelCampaignGenerator(config=CONFIG, workers=2,
+                                                  batch_size=2)
+            generator.main_campaign(gestures=GESTURES)
+            assert fresh.finished_spans() == []
+        finally:
+            set_tracer(previous)

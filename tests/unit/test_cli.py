@@ -136,6 +136,103 @@ class TestWorkflow:
         assert main(["stats", str(tmp_path / "nope.json")]) == 1
         assert "cannot read" in capsys.readouterr().err
 
+    @pytest.fixture()
+    def fresh_tracer(self):
+        # --trace-json installs an always-sampling global tracer; restore
+        # the default so other tests see tracing off
+        from repro.obs import Tracer, set_tracer
+        previous = set_tracer(Tracer(sample=0.0))
+        yield
+        set_tracer(previous)
+
+    def test_generate_trace_json_parallel(self, tmp_path, capsys,
+                                          fresh_registry, fresh_tracer):
+        out = tmp_path / "c.npz"
+        trace = tmp_path / "trace.json"
+        assert main(["generate", "--users", "2", "--sessions", "1",
+                     "--reps", "2", "--workers", "2", "--batch", "8",
+                     "--out", str(out), "--trace-json", str(trace)]) == 0
+        assert "chrome trace" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in spans}
+        assert {"campaign.plan", "campaign.chunk", "campaign.task",
+                "sampler.record_batch"} <= names
+        # one trace id across parent + worker processes
+        assert len({e["args"]["trace_id"] for e in spans}) == 1
+        plan = [e for e in spans if e["name"] == "campaign.plan"]
+        assert len(plan) == 1 and "parent_id" not in plan[0]["args"]
+
+    def test_generate_trace_events_jsonl(self, tmp_path, capsys,
+                                         fresh_registry, fresh_tracer):
+        out = tmp_path / "c.npz"
+        events = tmp_path / "trace.jsonl"
+        assert main(["generate", "--users", "1", "--sessions", "1",
+                     "--reps", "1", "--out", str(out),
+                     "--trace-events", str(events)]) == 0
+        capsys.readouterr()
+        lines = [json.loads(l) for l in events.read_text().splitlines()]
+        assert all(l["kind"] in ("span", "event") for l in lines)
+        assert any(l["name"] == "campaign.plan" for l in lines)
+
+    def test_generate_writes_manifest(self, tmp_path, capsys,
+                                      fresh_registry, fresh_tracer):
+        from repro.obs import RunManifest
+        out = tmp_path / "c.npz"
+        assert main(["generate", "--users", "1", "--sessions", "1",
+                     "--reps", "1", "--seed", "99", "--out", str(out)]) == 0
+        assert "run manifest" in capsys.readouterr().out
+        manifest = RunManifest.load(tmp_path / "c.manifest.json")
+        assert manifest.command == "generate"
+        assert manifest.verify_digest()
+        assert manifest.config["seed"] == 99
+        assert manifest.seeds == {"campaign": 99}
+        assert manifest.metrics["counters"]["campaign.tasks"] == 8
+
+    def test_evaluate_writes_manifest(self, corpus_path, capsys,
+                                      fresh_registry, fresh_tracer):
+        from repro.obs import RunManifest
+        assert main(["evaluate", "--corpus", str(corpus_path),
+                     "--protocol", "tracking"]) == 0
+        capsys.readouterr()
+        manifest = RunManifest.load(
+            corpus_path.with_name("corpus.tracking.manifest.json"))
+        assert manifest.command == "evaluate"
+        assert manifest.config["protocol"] == "tracking"
+        assert manifest.verify_digest()
+
+    def test_trace_subcommand_renders_summary(self, tmp_path, capsys,
+                                              fresh_registry, fresh_tracer):
+        out = tmp_path / "c.npz"
+        trace = tmp_path / "trace.json"
+        assert main(["generate", "--users", "1", "--sessions", "1",
+                     "--reps", "1", "--out", str(out),
+                     "--trace-json", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace), "--top", "5"]) == 0
+        text = capsys.readouterr().out
+        assert "Top spans by self-time" in text
+        assert "Critical path" in text
+        assert "campaign.plan" in text
+        assert "Deadline-miss" in text
+
+    def test_trace_subcommand_missing_file_fails_cleanly(self, tmp_path,
+                                                         capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_sample_off_writes_empty_trace(self, tmp_path, capsys,
+                                                 fresh_registry,
+                                                 fresh_tracer):
+        out = tmp_path / "c.npz"
+        trace = tmp_path / "trace.json"
+        assert main(["generate", "--users", "1", "--sessions", "1",
+                     "--reps", "1", "--out", str(out),
+                     "--trace-json", str(trace),
+                     "--trace-sample", "0"]) == 0
+        capsys.readouterr()
+        assert json.loads(trace.read_text())["traceEvents"] == []
+
     def test_evaluate_impossible_protocol_fails_cleanly(self, tmp_path,
                                                         capsys):
         # a single-session corpus cannot support leave-one-session-out

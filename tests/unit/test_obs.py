@@ -101,6 +101,40 @@ class TestHistogram:
         with pytest.raises(ValueError):
             h.quantile(1.5)
 
+    def test_non_finite_observations_dropped(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(float("nan"))
+        h.observe(float("inf"))
+        h.observe(float("-inf"))
+        assert h.count == 1
+        assert h.invalid == 3
+        assert h.sum == pytest.approx(0.5)      # sum not NaN-poisoned
+        assert h.min == 0.5 and h.max == 0.5
+        assert h.p50 == 0.5
+
+    def test_invalid_counter_survives_snapshot_and_merge(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(float("nan"))
+        h.observe(0.5)
+        snap = registry.snapshot()
+        assert snap.histograms["h"]["invalid"] == 1
+        merged = snap.merged(snap)
+        assert merged.histograms["h"]["invalid"] == 2
+        other = MetricsRegistry()
+        other.histogram("h", buckets=(1.0,)).observe(float("inf"))
+        other.merge(snap)
+        assert other.snapshot().histograms["h"]["invalid"] == 2
+
+    def test_invalid_key_optional_in_old_snapshots(self):
+        snap = MetricsRegistry().snapshot()
+        payload = snap.to_dict()
+        payload["histograms"]["legacy"] = {
+            "bounds": [1.0], "counts": [1, 0], "count": 1,
+            "sum": 0.5, "min": 0.5, "max": 0.5}
+        clone = MetricsSnapshot.from_dict(payload)
+        assert clone.histograms["legacy"]["invalid"] == 0
+
 
 class TestStageTimer:
     def test_records_elapsed(self, registry):
@@ -170,6 +204,18 @@ class TestSnapshot:
         with pytest.raises(ValueError):
             a.snapshot().merged(b.snapshot())
         with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_merge_bounds_mismatch_message_names_both_bounds(self):
+        # regression: the error must say which series and which bounds
+        # disagreed, not just that "buckets differ"
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(3.0,)).observe(0.5)
+        with pytest.raises(ValueError, match=r"h.*1\.0.*3\.0"):
+            a.snapshot().merged(b.snapshot())
+        with pytest.raises(ValueError, match=r"h.*1\.0.*3\.0"):
             a.merge(b.snapshot())
 
     def test_registry_merge_folds_in_worker_snapshot(self):

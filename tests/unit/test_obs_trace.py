@@ -1,0 +1,300 @@
+"""Unit tests for repro.obs.trace and repro.obs.manifest."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import (
+    RunManifest,
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace_json,
+    config_digest,
+    get_tracer,
+    load_trace,
+    render_trace_summary,
+    set_tracer,
+    spans_to_jsonl,
+    summarize_trace,
+)
+from repro.obs.trace import parse_sample
+
+
+class TestParseSample:
+    def test_off_forms(self):
+        for mode in (None, "", "0", "off", "false", "no", 0, 0.0):
+            assert parse_sample(mode) == 0.0
+
+    def test_on_forms(self):
+        for mode in ("1", "always", "on", "true", "yes", 1, 1.0):
+            assert parse_sample(mode) == 1.0
+
+    def test_ratio(self):
+        assert parse_sample("0.25") == 0.25
+        assert parse_sample(0.5) == 0.5
+
+    def test_rejects_garbage_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_sample("sometimes")
+        with pytest.raises(ValueError):
+            parse_sample(1.5)
+        with pytest.raises(ValueError):
+            parse_sample(-0.1)
+
+
+class TestTracerLifecycle:
+    def test_off_by_default_records_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        tracer = Tracer()
+        assert not tracer.active
+        with tracer.span("root") as span:
+            span.set_attr(x=1)
+            span.add_event("ev")
+        assert tracer.finished_spans() == []
+
+    def test_always_records_nested_tree(self):
+        tracer = Tracer(sample=1.0)
+        assert tracer.active
+        with tracer.span("root", kind="plan") as root:
+            with tracer.span("child") as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+        spans = tracer.finished_spans()
+        assert [s.name for s in spans] == ["child", "root"]
+        assert spans[1].parent_id is None
+        assert spans[0].duration_s >= 0.0
+
+    def test_sibling_traces_get_distinct_ids(self):
+        tracer = Tracer(sample=1.0)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.finished_spans()
+        assert a.trace_id != b.trace_id
+
+    def test_exception_marks_span_and_pops_stack(self):
+        tracer = Tracer(sample=1.0)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (span,) = tracer.finished_spans()
+        assert span.attrs["error"] == "RuntimeError"
+        assert tracer.current_span() is None
+
+    def test_ratio_zero_like_never_samples(self):
+        tracer = Tracer(sample=0.0)
+        for _ in range(10):
+            with tracer.span("s"):
+                pass
+        assert tracer.finished_spans() == []
+
+    def test_ratio_sampling_is_per_trace(self):
+        tracer = Tracer(sample=0.5, seed=7)
+        for _ in range(50):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    pass
+        spans = tracer.finished_spans()
+        roots = [s for s in spans if s.parent_id is None]
+        children = [s for s in spans if s.parent_id is not None]
+        # children exactly follow their root's decision
+        assert 0 < len(roots) < 50
+        assert len(children) == len(roots)
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(sample=1.0, max_spans=8)
+        for i in range(20):
+            with tracer.span(f"s{i}"):
+                pass
+        spans = tracer.finished_spans()
+        assert len(spans) == 8
+        assert spans[0].name == "s12"
+
+    def test_drain_empties_store(self):
+        tracer = Tracer(sample=1.0)
+        with tracer.span("s"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.finished_spans() == []
+
+    def test_record_requires_sampled_parent(self):
+        tracer = Tracer(sample=1.0)
+        assert tracer.record("orphan", 0.0, 1.0) is None
+        with tracer.span("root") as root:
+            span = tracer.record("stage", 1.0, 1.5, stage="seg")
+        assert span is not None
+        assert span.parent_id == root.span_id
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.attrs["stage"] == "seg"
+
+
+class TestTraceContext:
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id="t", span_id="s", sampled=True)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_attach_parents_spans_even_when_local_sampling_off(self):
+        parent = Tracer(sample=1.0)
+        with parent.span("root") as root:
+            ctx = parent.current_context()
+        worker = Tracer(sample=0.0)        # worker env: REPRO_TRACE unset
+        with worker.attach(TraceContext.from_dict(ctx.to_dict())):
+            assert worker.active
+            with worker.span("chunk"):
+                pass
+            span = worker.record("stage", 0.0, 0.1)
+        chunk = worker.finished_spans()[0]
+        assert chunk.trace_id == root.trace_id
+        assert chunk.parent_id == root.span_id
+        assert span.trace_id == root.trace_id
+        assert not worker.active              # detached again
+
+    def test_unsampled_context_suppresses_worker_spans(self):
+        worker = Tracer(sample=0.0)
+        with worker.attach(TraceContext("t", "s", sampled=False)):
+            assert not worker.active
+            with worker.span("chunk"):
+                pass
+        assert worker.finished_spans() == []
+
+    def test_current_context_none_when_idle(self):
+        assert Tracer(sample=0.0).current_context() is None
+
+
+class TestSpanSerialization:
+    def test_span_dict_round_trip(self):
+        tracer = Tracer(sample=1.0)
+        with tracer.span("s", k="v") as span:
+            span.add_event("ev", reason="why")
+        (orig,) = tracer.finished_spans()
+        clone = Span.from_dict(orig.to_dict())
+        assert clone.name == orig.name
+        assert clone.trace_id == orig.trace_id
+        assert clone.attrs == orig.attrs
+        assert clone.duration_s == pytest.approx(orig.duration_s)
+        assert clone.events[0].name == "ev"
+        assert clone.events[0].attrs == {"reason": "why"}
+
+    def test_spans_pickle(self):
+        tracer = Tracer(sample=1.0)
+        with tracer.span("s"):
+            pass
+        (span,) = tracer.finished_spans()
+        assert pickle.loads(pickle.dumps(span)).span_id == span.span_id
+
+    def test_adopt_accepts_dicts_and_objects(self):
+        tracer = Tracer(sample=1.0)
+        with tracer.span("s"):
+            pass
+        (span,) = tracer.drain()
+        tracer.adopt([span.to_dict(), span])
+        assert len(tracer.finished_spans()) == 2
+
+
+@pytest.fixture()
+def sample_spans():
+    tracer = Tracer(sample=1.0)
+    with tracer.span("plan", n_tasks=4) as plan:
+        with tracer.span("chunk") as chunk:
+            chunk.add_event("deadline_miss", stage="segmentation",
+                            frame_index=3, frame_s=0.02)
+        tracer.record("stage", plan.start_mono_s, plan.start_mono_s + 0.01,
+                      stage="detect")
+    return tracer.finished_spans()
+
+
+class TestExporters:
+    def test_chrome_trace_loads_and_links(self, sample_spans, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(chrome_trace_json(sample_spans))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"plan", "chunk", "stage"}
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants[0]["name"] == "deadline_miss"
+        payloads = load_trace(path)
+        assert {p["name"] for p in payloads} == {"plan", "chunk", "stage"}
+        by_name = {p["name"]: p for p in payloads}
+        assert by_name["chunk"]["parent_id"] == by_name["plan"]["span_id"]
+        assert by_name["chunk"]["events"][0]["name"] == "deadline_miss"
+
+    def test_jsonl_loads_and_links(self, sample_spans, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(spans_to_jsonl(sample_spans))
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert {l["kind"] for l in lines} == {"span", "event"}
+        payloads = load_trace(path)
+        by_name = {p["name"]: p for p in payloads}
+        assert by_name["chunk"]["parent_id"] == by_name["plan"]["span_id"]
+        assert by_name["chunk"]["events"][0]["attrs"]["stage"] == \
+            "segmentation"
+
+    def test_empty_exports(self):
+        assert json.loads(chrome_trace_json([]))["traceEvents"] == []
+        assert spans_to_jsonl([]) == ""
+
+
+class TestSummary:
+    def test_summarize_counts_self_time_and_misses(self, sample_spans):
+        summary = summarize_trace(sample_spans)
+        assert summary["n_spans"] == 3
+        assert len(summary["trace_ids"]) == 1
+        plan = summary["by_name"]["plan"]
+        assert plan["count"] == 1
+        assert plan["self_s"] <= plan["total_s"]
+        assert summary["critical_path"][0]["name"] == "plan"
+        (miss,) = summary["deadline_misses"]
+        assert miss["stage"] == "segmentation"
+        assert miss["frame_index"] == 3
+
+    def test_render_mentions_key_sections(self, sample_spans):
+        text = render_trace_summary(summarize_trace(sample_spans))
+        assert "Top spans by self-time" in text
+        assert "Critical path" in text
+        assert "Deadline-miss events: 1" in text
+        assert "segmentation" in text
+
+    def test_render_empty(self):
+        text = render_trace_summary(summarize_trace([]))
+        assert "(no spans)" in text
+        assert "(no root span)" in text
+
+
+class TestGlobalTracer:
+    def test_set_tracer_swaps_and_returns_previous(self):
+        replacement = Tracer(sample=1.0)
+        previous = set_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+
+class TestRunManifest:
+    def test_create_round_trip_and_digest(self, tmp_path):
+        manifest = RunManifest.create(
+            "generate", {"seed": 2020, "n_users": 3},
+            seeds={"campaign": 2020}, argv=["airfinger", "generate"])
+        assert manifest.verify_digest()
+        assert manifest.versions["python"]
+        assert manifest.created_iso.endswith("Z")
+        path = tmp_path / "run.manifest.json"
+        manifest.write(path)
+        clone = RunManifest.load(path)
+        assert clone.to_dict() == manifest.to_dict()
+        assert clone.verify_digest()
+
+    def test_digest_is_order_insensitive_but_value_sensitive(self):
+        a = config_digest({"x": 1, "y": 2})
+        assert a == config_digest({"y": 2, "x": 1})
+        assert a != config_digest({"x": 1, "y": 3})
+
+    def test_tampered_config_fails_verification(self):
+        manifest = RunManifest.create("evaluate", {"protocol": "overall"})
+        manifest.config["protocol"] = "diversity"
+        assert not manifest.verify_digest()
