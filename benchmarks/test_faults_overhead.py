@@ -1,0 +1,99 @@
+"""Fault-layer passthrough gate: an inactive schedule must be ~free.
+
+``FaultSchedule.stream`` wraps every corpus replay in the robustness
+protocol, and a zero-intensity schedule is the control point of every
+sweep — so the wrapper must cost essentially nothing when no fault is
+active.  This bench replays a small corpus through the full
+:class:`AirFinger` engine twice, once over raw ``stream_frames`` and once
+through an inactive schedule, interleaved best-of-rounds, and gates the
+wall-clock ratio at 5%.  Both paths must also produce bit-identical
+events: the passthrough may not touch a single frame.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.pipeline import AirFinger
+from repro.acquisition.stream import stream_frames
+from repro.datasets import CampaignConfig, CampaignGenerator
+from repro.faults import FaultSchedule, FrameDropFault, JitterFault
+
+from conftest import print_header
+
+CONFIG = CampaignConfig(n_users=2, n_sessions=1, repetitions=2, seed=2020)
+ROUNDS = 5
+OVERHEAD_LIMIT = 1.05  # inactive wrapper may cost at most 5%
+
+
+def test_faults_passthrough_overhead(benchmark):
+    print_header(
+        "fault-schedule passthrough overhead — inactive must be ~free",
+        "the robustness control point replays every stream through the "
+        "wrapper")
+
+    corpus = CampaignGenerator(config=CONFIG).main_campaign()
+    recordings = [s.recording for s in corpus]
+    n_frames = sum(r.n_samples for r in recordings)
+
+    # a schedule with models present but scaled to zero — the exact
+    # object the robustness sweep builds for intensity 0
+    schedule = FaultSchedule(
+        faults=(FrameDropFault(), JitterFault()), seed=2020).at(0.0)
+    assert not schedule.active
+
+    def replay_raw():
+        events = []
+        for recording in recordings:
+            engine = AirFinger(config=corpus.config)
+            events.extend(engine.feed_frames(stream_frames(recording)))
+            events.extend(engine.flush())
+        return events
+
+    def replay_wrapped():
+        events = []
+        for i, recording in enumerate(recordings):
+            engine = AirFinger(config=corpus.config)
+            events.extend(engine.feed_frames(schedule.stream(recording, i)))
+            events.extend(engine.flush())
+        return events
+
+    baseline = replay_raw()
+    wrapped = replay_wrapped()
+    raw_s = wrapped_s = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        baseline = replay_raw()
+        raw_s = min(raw_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        wrapped = replay_wrapped()
+        wrapped_s = min(wrapped_s, time.perf_counter() - t0)
+
+    benchmark.pedantic(replay_wrapped, rounds=1, iterations=1)
+
+    # the passthrough may not change a single event
+    assert len(wrapped) == len(baseline)
+    assert [type(e).__name__ for e in wrapped] == \
+        [type(e).__name__ for e in baseline]
+
+    ratio = wrapped_s / raw_s
+    benchmark.extra_info["n_recordings"] = len(recordings)
+    benchmark.extra_info["n_frames"] = n_frames
+    benchmark.extra_info["raw_wall_s"] = round(raw_s, 4)
+    benchmark.extra_info["wrapped_wall_s"] = round(wrapped_s, 4)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 4)
+    benchmark.extra_info["overhead_limit"] = OVERHEAD_LIMIT
+
+    print(f"\n{len(recordings)} recordings, {n_frames} frames, "
+          f"interleaved best of {ROUNDS} rounds per mode")
+    print(f"{'mode':<22} {'wall':>9} {'frames/s':>11}")
+    print(f"{'raw stream_frames':<22} {raw_s:>8.3f}s "
+          f"{n_frames/raw_s:>11.0f}")
+    print(f"{'inactive schedule':<22} {wrapped_s:>8.3f}s "
+          f"{n_frames/wrapped_s:>11.0f}")
+    print(f"overhead: {100.0 * (ratio - 1.0):+.2f}% "
+          f"(limit {100.0 * (OVERHEAD_LIMIT - 1.0):+.0f}%)")
+
+    assert ratio <= OVERHEAD_LIMIT, (
+        f"inactive fault schedule costs {ratio:.3f}x over raw replay, "
+        f"exceeding the {OVERHEAD_LIMIT}x gate")

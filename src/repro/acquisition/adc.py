@@ -71,8 +71,36 @@ class Adc:
         quantized = np.round(counts * subsamples) / subsamples
         return np.clip(quantized, 0, self.full_scale)
 
+    def low_rail_fraction(self, counts: np.ndarray) -> float:
+        """Fraction of samples at code 0.
+
+        A sample at the bottom code is ambiguous on its own: it may be a
+        clipped negative excursion (true low-rail saturation) or a
+        legitimately dark, covered sensor — the converter output is
+        identical.  Callers that must tell the two apart (the calibration
+        health check) combine this with the channel's noise statistics:
+        darkness still shows shot/converter noise around the rail, a
+        railed amplifier does not.
+        """
+        counts = np.asarray(counts)
+        if counts.size == 0:
+            return 0.0
+        return float(np.mean(counts <= 0))
+
+    def high_rail_fraction(self, counts: np.ndarray) -> float:
+        """Fraction of samples pinned at the top code (optical overload)."""
+        counts = np.asarray(counts)
+        if counts.size == 0:
+            return 0.0
+        return float(np.mean(counts >= self.full_scale))
+
     def saturation_fraction(self, counts: np.ndarray) -> float:
-        """Fraction of samples pinned at either end of the code range."""
+        """Fraction of samples pinned at either end of the code range.
+
+        Kept as the historical both-rails aggregate; prefer the
+        per-rail :meth:`low_rail_fraction` / :meth:`high_rail_fraction`
+        when low-rail codes may just mean darkness.
+        """
         counts = np.asarray(counts)
         if counts.size == 0:
             return 0.0

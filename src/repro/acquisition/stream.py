@@ -51,7 +51,14 @@ class RssFrame:
 def stream_frames(recording: Recording,
                   start: int = 0,
                   stop: int | None = None) -> Iterator[RssFrame]:
-    """Yield the recording's samples as frames, in time order."""
+    """Yield the recording's samples as frames, in time order.
+
+    Frame indices are **stream-relative**: a windowed replay
+    (``start > 0``) still begins at index 0, exactly as live hardware
+    would number its frames.  Consumers that need the recording row can
+    add ``start`` back; consumers of segment positions (the pipeline's
+    deadline and segment bookkeeping) rely on this zero base.
+    """
     stop = recording.n_samples if stop is None else stop
     if not 0 <= start <= stop <= recording.n_samples:
         raise ValueError(
@@ -60,5 +67,5 @@ def stream_frames(recording: Recording,
     rss = recording.rss
     times = recording.times_s
     for i in range(start, stop):
-        yield RssFrame(index=i, time_s=float(times[i]),
+        yield RssFrame(index=i - start, time_s=float(times[i]),
                        values=tuple(float(v) for v in rss[i]))

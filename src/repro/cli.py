@@ -5,6 +5,7 @@ Everything a downstream user needs without writing Python::
     airfinger generate --users 3 --sessions 2 --reps 5 --out corpus.npz
     airfinger train --corpus corpus.npz --out stack.json
     airfinger evaluate --corpus corpus.npz --protocol overall
+    airfinger robustness --corpus corpus.npz --out robustness.json
     airfinger demo --stack stack.json --gestures click,scroll_up,circle
     airfinger demo --stack stack.json --metrics-json metrics.json
     airfinger generate --out corpus.npz --trace-json trace.json
@@ -12,7 +13,14 @@ Everything a downstream user needs without writing Python::
     airfinger stats metrics.json [--prometheus]
     airfinger power
 
-``generate``, ``evaluate`` and ``demo`` accept ``--metrics-json PATH``,
+``robustness`` sweeps a deterministic fault schedule
+(:mod:`repro.faults`) over the corpus and reports the accuracy-vs-fault
+curve (JSON via ``--out``, markdown via ``--markdown``); its intensity-0
+point is bit-identical to ``evaluate --protocol overall`` on the same
+corpus.
+
+``generate``, ``evaluate``, ``robustness`` and ``demo`` accept
+``--metrics-json PATH``,
 which dumps the process metrics registry (:mod:`repro.obs`) — per-stage
 latency histograms, event/throughput counters, deadline misses — as a
 JSON snapshot after the command finishes; ``stats`` renders such a
@@ -89,6 +97,38 @@ def build_parser() -> argparse.ArgumentParser:
                     default="overall")
     _add_metrics_json(ev)
     _add_trace_flags(ev)
+
+    rob = sub.add_parser(
+        "robustness",
+        help="sweep fault intensity and report accuracy-vs-fault curves")
+    rob.add_argument("--corpus", type=Path, required=True)
+    rob.add_argument("--faults", type=str,
+                     default="frame_drop,jitter,channel_dropout,"
+                             "saturation,stuck_code",
+                     help="comma list of fault models to inject "
+                          "(frame_drop, jitter, channel_dropout, "
+                          "saturation, stuck_code)")
+    rob.add_argument("--channel", type=int, default=None,
+                     help="pin channel-scoped faults to this photodiode "
+                          "column (default: per-recording RNG pick)")
+    rob.add_argument("--intensities", type=str, default="0,0.25,0.5,0.75,1",
+                     help="comma list of fault intensities to sweep "
+                          "(include 0 for the clean control point)")
+    rob.add_argument("--seed", type=int, default=2020,
+                     help="fault-layer RNG seed (independent of the "
+                          "campaign streams)")
+    rob.add_argument("--splits", type=int, default=5,
+                     help="stratified folds for the detect protocol")
+    rob.add_argument("--stream-samples", type=int, default=6,
+                     help="faulted recordings replayed through the live "
+                          "engine per intensity (0 disables)")
+    rob.add_argument("--out", type=Path, default=None,
+                     help="write the accuracy-vs-fault curve to this "
+                          "JSON file")
+    rob.add_argument("--markdown", type=Path, default=None,
+                     help="write the sweep as a markdown report")
+    _add_metrics_json(rob)
+    _add_trace_flags(rob)
 
     demo = sub.add_parser("demo",
                           help="stream a synthetic session through a stack")
@@ -336,6 +376,83 @@ def _cmd_evaluate(args) -> int:
     return finish()
 
 
+def _cmd_robustness(args) -> int:
+    import json
+
+    from repro.datasets import GestureCorpus
+    from repro.eval.robustness import (
+        render_robustness_markdown,
+        robustness_sweep,
+    )
+    from repro.faults import (
+        ChannelDropoutFault,
+        FaultSchedule,
+        FrameDropFault,
+        JitterFault,
+        SaturationFault,
+        StuckCodeFault,
+    )
+
+    factories = {
+        "frame_drop": lambda: FrameDropFault(),
+        "jitter": lambda: JitterFault(),
+        "channel_dropout": lambda: ChannelDropoutFault(channel=args.channel),
+        "saturation": lambda: SaturationFault(),
+        "stuck_code": lambda: StuckCodeFault(channel=args.channel),
+    }
+    names = [f.strip() for f in args.faults.split(",") if f.strip()]
+    unknown = [n for n in names if n not in factories]
+    if unknown:
+        print(f"unknown fault model(s): {', '.join(unknown)} "
+              f"(choose from {', '.join(sorted(factories))})",
+              file=sys.stderr)
+        return 1
+    try:
+        intensities = [float(w) for w in args.intensities.split(",") if w]
+    except ValueError:
+        print(f"cannot parse --intensities {args.intensities!r}",
+              file=sys.stderr)
+        return 1
+
+    corpus = GestureCorpus.load(args.corpus)
+    schedule = FaultSchedule(
+        faults=tuple(factories[n]() for n in names), seed=args.seed)
+    try:
+        result = robustness_sweep(
+            corpus, schedule, intensities=intensities,
+            n_splits=args.splits, stream_samples=args.stream_samples)
+    except ValueError as exc:
+        print(f"cannot run robustness sweep on this corpus: {exc}",
+              file=sys.stderr)
+        return 1
+
+    print(f"{'intensity':>9} {'accuracy':>9} {'injected':>9} "
+          f"{'dropped':>8} {'gaps':>5} {'masks':>6}")
+    for p in result.points:
+        print(f"{p.intensity:>9g} {p.accuracy:>9.4f} {p.n_injected:>9} "
+              f"{p.n_dropped:>8} {p.stream_gaps:>5} "
+              f"{p.stream_mask_transitions:>6}")
+    drop = result.accuracy_drop()
+    if drop is not None:
+        print(f"accuracy drop at worst intensity: {drop:.4f}")
+    if args.out is not None:
+        args.out.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+        print(f"robustness curve -> {args.out}")
+    if args.markdown is not None:
+        args.markdown.write_text(render_robustness_markdown(result))
+        print(f"robustness report -> {args.markdown}")
+    _write_manifest(
+        "robustness",
+        config={"corpus": str(args.corpus), "faults": names,
+                "intensities": intensities, "seed": args.seed,
+                "splits": args.splits, "channel": args.channel,
+                "n_samples": len(corpus)},
+        seeds={"faults": args.seed},
+        path=args.corpus.with_name(
+            f"{args.corpus.stem}.robustness.manifest.json"))
+    return 0
+
+
 def _cmd_demo(args) -> int:
     from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
     from repro.core.persistence import load_stack
@@ -423,6 +540,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
+    "robustness": _cmd_robustness,
     "demo": _cmd_demo,
     "report": _cmd_report,
     "stats": _cmd_stats,

@@ -43,13 +43,20 @@ from repro.core.dispatcher import (
     sweep_statistics,
 )
 from repro.core.interference import InterferenceFilter
-from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
+from repro.core.events import (
+    ChannelMaskEvent,
+    GestureEvent,
+    ScrollUpdate,
+    SegmentEvent,
+    StreamGap,
+)
 from repro.core.pipeline import AirFinger
 from repro.core.persistence import load_stack, save_stack
 from repro.core.templates import GestureTemplate, TemplateRecognizer
 from repro.core.tracking2d import PlanarTracker, PlanarTrackResult, compass_bin
 from repro.core.calibration import (
     CalibrationResult,
+    ChannelGuard,
     ChannelHealth,
     SensorCalibrator,
 )
@@ -75,6 +82,8 @@ __all__ = [
     "GestureEvent",
     "ScrollUpdate",
     "SegmentEvent",
+    "StreamGap",
+    "ChannelMaskEvent",
     "AirFinger",
     "load_stack",
     "save_stack",
@@ -84,6 +93,7 @@ __all__ = [
     "PlanarTrackResult",
     "compass_bin",
     "CalibrationResult",
+    "ChannelGuard",
     "ChannelHealth",
     "SensorCalibrator",
 ]

@@ -19,24 +19,34 @@ collect whenever the segmenter has been quiet for a few seconds.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.acquisition.adc import Adc
 
-__all__ = ["ChannelHealth", "CalibrationResult", "SensorCalibrator"]
+__all__ = ["ChannelHealth", "CalibrationResult", "SensorCalibrator",
+           "ChannelGuard"]
 
 
 @dataclass(frozen=True)
 class ChannelHealth:
-    """Power-on health verdict for one photodiode channel."""
+    """Power-on health verdict for one photodiode channel.
+
+    ``saturation_fraction`` is the historical both-rails aggregate;
+    ``low_rail_fraction`` / ``high_rail_fraction`` split it so a dark
+    (covered) sensor sitting near code 0 is distinguishable from an
+    optically blinded one pinned at full scale.
+    """
 
     name: str
     baseline: float
     noise_rms: float
     saturation_fraction: float
     status: str  # "ok" | "dead" | "saturated" | "noisy"
+    low_rail_fraction: float = 0.0
+    high_rail_fraction: float = 0.0
 
     @property
     def usable(self) -> bool:
@@ -120,8 +130,10 @@ class SensorCalibrator:
         baselines = np.median(rss, axis=0)
         detrended = rss - baselines
         noise = detrended.std(axis=0)
-        saturation = np.array([
-            self.adc.saturation_fraction(rss[:, c]) for c in range(n_channels)])
+        low_rail = np.array([
+            self.adc.low_rail_fraction(rss[:, c]) for c in range(n_channels)])
+        high_rail_frac = np.array([
+            self.adc.high_rail_fraction(rss[:, c]) for c in range(n_channels)])
 
         health: list[ChannelHealth] = []
         high_rail = 0.5 * self.adc.full_scale
@@ -132,7 +144,10 @@ class SensorCalibrator:
             # broken wire, the top rail is an optically blinded photodiode
             if flat and baselines[c] < high_rail:
                 status = "dead"
-            elif saturation[c] > self.max_saturation:
+            elif high_rail_frac[c] > self.max_saturation:
+                # only the top rail means optical overload; bottom-rail
+                # codes with live noise are a covered sensor in legitimate
+                # darkness, not a saturated amplifier
                 status = "saturated"
             elif noise[c] > self.max_noise_rms:
                 status = "noisy"
@@ -141,8 +156,10 @@ class SensorCalibrator:
             health.append(ChannelHealth(
                 name=name, baseline=float(baselines[c]),
                 noise_rms=float(noise[c]),
-                saturation_fraction=float(saturation[c]),
-                status=status))
+                saturation_fraction=float(low_rail[c] + high_rail_frac[c]),
+                status=status,
+                low_rail_fraction=float(low_rail[c]),
+                high_rail_fraction=float(high_rail_frac[c])))
 
         usable = np.array([h.usable for h in health])
         gains = np.ones(n_channels)
@@ -153,3 +170,165 @@ class SensorCalibrator:
                     gains[c] = reference_rms / noise[c]
         return CalibrationResult(baselines=baselines, gains=gains,
                                  health=health)
+
+
+class ChannelGuard:
+    """Streaming counterpart of the power-on health check.
+
+    :class:`SensorCalibrator` runs once on an idle capture; the guard runs
+    continuously inside :class:`~repro.core.pipeline.AirFinger`, watching
+    each channel's raw counts over a rolling window and applying the same
+    two fault signatures on-line:
+
+    * **flat** — the signal repeats itself over nearly the whole window
+      (fraction of zero sample-to-sample differences above
+      ``max_flat_fraction``).  A live photodiode always shows converter
+      dither; a near-perfectly repeated code is a broken wire, a dead
+      die, or a stuck converter slot.  Judging *dominance* rather than
+      requiring the entire window flat lets the guard catch a fault whose
+      edges still carry a few live samples.
+    * **saturated** — the top code dominates the window (optical
+      overload; the bottom rail is deliberately *not* a fault here, since
+      a covered sensor in darkness legitimately sits near code 0 with
+      noise).
+
+    Masking is immediate; recovery is hysteretic: a masked channel must
+    produce ``recovery_checks`` consecutive healthy verdicts before it is
+    trusted again, so an intermittent (flapping) channel stays excluded.
+
+    Parameters
+    ----------
+    n_channels:
+        Photodiode count.
+    adc:
+        Converter model supplying the rail codes.
+    window:
+        Rolling window length in samples.
+    check_every:
+        Verdict cadence in samples.
+    max_high_rail:
+        Window fraction at the top code above which the channel is
+        declared saturated (an ambient step pins essentially the whole
+        window, so this sits far above the calibrator's idle tolerance).
+    max_flat_fraction:
+        Fraction of zero successive differences above which the channel
+        is declared flat.
+    recovery_checks:
+        Consecutive healthy verdicts required to unmask.
+    """
+
+    def __init__(self, n_channels: int, adc: Adc | None = None,
+                 window: int = 100, check_every: int = 25,
+                 max_high_rail: float = 0.9,
+                 max_flat_fraction: float = 0.9,
+                 recovery_checks: int = 3) -> None:
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if window < 8:
+            raise ValueError("window must be >= 8")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if not 0.0 < max_high_rail <= 1.0:
+            raise ValueError("max_high_rail must be within (0, 1]")
+        if not 0.0 < max_flat_fraction <= 1.0:
+            raise ValueError("max_flat_fraction must be within (0, 1]")
+        if recovery_checks < 1:
+            raise ValueError("recovery_checks must be >= 1")
+        self.n_channels = n_channels
+        self.adc = adc or Adc()
+        self.window = window
+        self.check_every = check_every
+        self.max_high_rail = max_high_rail
+        self.max_flat_fraction = max_flat_fraction
+        self.recovery_checks = recovery_checks
+        self._buffers: list[deque[float]] = [
+            deque(maxlen=window) for _ in range(n_channels)]
+        self._masked = [False] * n_channels
+        self._reasons = [""] * n_channels
+        self._healthy_streak = [0] * n_channels
+        self._hold = [0.0] * n_channels
+        self._since_check = 0
+
+    @property
+    def mask(self) -> tuple[bool, ...]:
+        """Per-channel masked state (True = excluded from fusion)."""
+        return tuple(self._masked)
+
+    @property
+    def any_masked(self) -> bool:
+        """True while at least one channel is excluded."""
+        return any(self._masked)
+
+    def hold_value(self, channel: int) -> float:
+        """The last healthy level for *channel* (fusion substitute)."""
+        return self._hold[channel]
+
+    def reason(self, channel: int) -> str:
+        """Why *channel* is masked (empty string when healthy)."""
+        return self._reasons[channel]
+
+    def _verdict(self, values: np.ndarray) -> str:
+        # saturation first: a hard pin at the top code is also flat, but
+        # the rail is the more specific diagnosis
+        if np.mean(values >= self.adc.full_scale) > self.max_high_rail:
+            return "saturated"
+        if np.mean(np.diff(values) == 0.0) > self.max_flat_fraction:
+            return "flat"
+        return ""
+
+    def push(self, values: tuple[float, ...]) -> list[tuple[int, bool, str]]:
+        """Ingest one raw frame; returns mask transitions, if any.
+
+        Each transition is ``(channel, masked, reason)`` with reason
+        ``"flat"``/``"saturated"`` on masking and ``"recovered"`` on
+        unmasking.  Between checks this is two appends and a compare per
+        channel — cheap enough for the 100 Hz hot path.
+        """
+        if len(values) != self.n_channels:
+            raise ValueError(
+                f"frame has {len(values)} channels, guard has "
+                f"{self.n_channels}")
+        for buffer, value in zip(self._buffers, values):
+            buffer.append(float(value))
+        self._since_check += 1
+        if (self._since_check < self.check_every
+                or len(self._buffers[0]) < self.window):
+            return []
+        self._since_check = 0
+        transitions: list[tuple[int, bool, str]] = []
+        for c in range(self.n_channels):
+            window = np.fromiter(self._buffers[c], dtype=np.float64)
+            fault = self._verdict(window)
+            if fault:
+                self._healthy_streak[c] = 0
+                if not self._masked[c]:
+                    self._masked[c] = True
+                    self._reasons[c] = fault
+                    transitions.append((c, True, fault))
+            else:
+                if self._masked[c]:
+                    self._healthy_streak[c] += 1
+                    if self._healthy_streak[c] >= self.recovery_checks:
+                        self._masked[c] = False
+                        self._reasons[c] = ""
+                        self._healthy_streak[c] = 0
+                        transitions.append((c, False, "recovered"))
+                else:
+                    # remember the healthy level so a masked channel can be
+                    # replaced by its own recent past, not by zero
+                    self._hold[c] = float(np.median(window))
+        return transitions
+
+    def clear_window(self) -> None:
+        """Forget buffered samples (after a stream gap); masks persist."""
+        for buffer in self._buffers:
+            buffer.clear()
+        self._since_check = 0
+
+    def reset(self) -> None:
+        """Forget everything, including masks and held levels."""
+        self.clear_window()
+        self._masked = [False] * self.n_channels
+        self._reasons = [""] * self.n_channels
+        self._healthy_streak = [0] * self.n_channels
+        self._hold = [0.0] * self.n_channels

@@ -54,6 +54,19 @@ class AirFingerConfig:
         The dynamic threshold never sinks below this multiple of the
         history's 60th percentile — a guard against Otsu splitting the
         noise distribution when no gesture is in view.
+    max_gap_s:
+        Longest run of missing frames the pipeline bridges by linear
+        interpolation; a longer gap flushes the segmenter and emits a
+        :class:`~repro.core.events.StreamGap` instead.
+    guard_window_s:
+        Length of the rolling per-channel window the streaming health
+        guard (:class:`~repro.core.calibration.ChannelGuard`) inspects.
+    guard_check_every_s:
+        Health-verdict cadence of the streaming guard.
+    guard_recovery_checks:
+        Consecutive healthy verdicts required before a masked channel is
+        restored (recovery hysteresis — an intermittent channel must prove
+        itself before it re-enters the fusion).
     """
 
     sample_rate_hz: float = 100.0
@@ -70,6 +83,10 @@ class AirFingerConfig:
     otsu_refresh_samples: int = 25
     history_s: float = 8.0
     threshold_floor_factor: float = 12.0
+    max_gap_s: float = 0.10
+    guard_window_s: float = 1.0
+    guard_check_every_s: float = 0.25
+    guard_recovery_checks: int = 3
 
     def __post_init__(self) -> None:
         if self.sample_rate_hz <= 0:
@@ -99,6 +116,14 @@ class AirFingerConfig:
             raise ValueError("history_s must be positive")
         if self.threshold_floor_factor <= 0:
             raise ValueError("threshold_floor_factor must be positive")
+        if self.max_gap_s < 0:
+            raise ValueError("max_gap_s must be non-negative")
+        if self.guard_window_s <= 0:
+            raise ValueError("guard_window_s must be positive")
+        if self.guard_check_every_s <= 0:
+            raise ValueError("guard_check_every_s must be positive")
+        if self.guard_recovery_checks < 1:
+            raise ValueError("guard_recovery_checks must be >= 1")
 
     @property
     def prefilter_samples(self) -> int:
@@ -134,3 +159,18 @@ class AirFingerConfig:
     def history_samples(self) -> int:
         """Rolling calibration-history length in samples."""
         return int(round(self.history_s * self.sample_rate_hz))
+
+    @property
+    def max_gap_samples(self) -> int:
+        """Longest interpolatable gap in samples."""
+        return int(round(self.max_gap_s * self.sample_rate_hz))
+
+    @property
+    def guard_window_samples(self) -> int:
+        """Health-guard window length in samples (at least 8)."""
+        return max(8, int(round(self.guard_window_s * self.sample_rate_hz)))
+
+    @property
+    def guard_check_every_samples(self) -> int:
+        """Health-verdict cadence in samples (at least 1)."""
+        return max(1, int(round(self.guard_check_every_s * self.sample_rate_hz)))

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["SegmentEvent", "GestureEvent", "ScrollUpdate"]
+__all__ = ["SegmentEvent", "GestureEvent", "ScrollUpdate", "StreamGap",
+           "ChannelMaskEvent"]
 
 
 @dataclass(frozen=True)
@@ -88,3 +89,69 @@ class ScrollUpdate:
         if self.direction < 0:
             return "scroll_down"
         return "unknown"
+
+
+@dataclass(frozen=True)
+class StreamGap:
+    """Frames went missing for longer than the pipeline can interpolate.
+
+    Emitted by :meth:`AirFinger.feed <repro.core.pipeline.AirFinger.feed>`
+    when the index jump between consecutive frames exceeds
+    ``max_gap_samples``: the segmenter's in-flight state was flushed (any
+    open gesture is emitted truncated, never dropped) and the filters were
+    reset, so recognition restarts cleanly after the gap.
+
+    Parameters
+    ----------
+    start_index, end_index:
+        Missing extent ``[start, end)`` in stream sample positions.
+    duration_s:
+        Nominal duration of the lost signal (``n_missing / sample_rate``).
+    time_s:
+        Timestamp of the first frame after the gap.
+    """
+
+    start_index: int
+    end_index: int
+    duration_s: float
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_index <= self.start_index:
+            raise ValueError("end_index must exceed start_index")
+
+    @property
+    def n_missing(self) -> int:
+        """Number of lost frames."""
+        return self.end_index - self.start_index
+
+
+@dataclass(frozen=True)
+class ChannelMaskEvent:
+    """A photodiode channel was masked out of (or restored to) the fusion.
+
+    Emitted when the streaming health guard
+    (:class:`~repro.core.calibration.ChannelGuard`) declares a channel
+    dead/saturated (``masked=True``) or recovered after the hysteresis
+    period (``masked=False``).  While masked, the channel contributes a
+    held constant to the combined RSS instead of poisoning it.
+
+    Parameters
+    ----------
+    channel:
+        Column index of the affected photodiode.
+    masked:
+        True when the channel was just excluded, False on recovery.
+    reason:
+        Guard verdict (``"flat"``, ``"saturated"`` or ``"recovered"``).
+    index:
+        Stream sample position of the transition.
+    time_s:
+        Timestamp of the transition.
+    """
+
+    channel: int
+    masked: bool
+    reason: str
+    index: int
+    time_s: float

@@ -22,10 +22,17 @@ import numpy as np
 
 from repro.acquisition.sampler import Recording
 from repro.acquisition.stream import RssFrame, stream_frames
+from repro.core.calibration import ChannelGuard
 from repro.core.config import AirFingerConfig
 from repro.core.detector import DetectAimedRecognizer
 from repro.core.dispatcher import GestureDispatcher
-from repro.core.events import GestureEvent, ScrollUpdate, SegmentEvent
+from repro.core.events import (
+    ChannelMaskEvent,
+    GestureEvent,
+    ScrollUpdate,
+    SegmentEvent,
+    StreamGap,
+)
 from repro.core.interference import InterferenceFilter
 from repro.core.sbc import (
     StreamingMovingAverage,
@@ -63,6 +70,14 @@ class AirFinger:
         Per-channel onset gate as a fraction of the combined-signal
         segmentation threshold (channels are quieter individually than the
         channel sum).
+    channel_guard:
+        Run the streaming :class:`~repro.core.calibration.ChannelGuard`
+        on every frame: a channel that goes flat or pins at the top rail
+        is masked out of the combined RSS (its last healthy level is held
+        instead) and restored only after the recovery hysteresis — a
+        :class:`~repro.core.events.ChannelMaskEvent` marks each
+        transition.  On a clean stream the guard never fires and the
+        output is bit-identical to running without it.
     metrics:
         Metrics registry for per-stage latency, event counters and the
         100 Hz deadline-miss counter; defaults to the process-global
@@ -82,6 +97,7 @@ class AirFinger:
     tracker: ZebraTracker | None = None
     live_update_every: int = 5
     gate_fraction: float = 0.35
+    channel_guard: bool = True
     metrics: MetricsRegistry | None = None
     tracer: Tracer | None = None
 
@@ -104,6 +120,13 @@ class AirFinger:
         self._last_time_s = 0.0
         self._live_cooldown = 0
         self._live_track_open = False
+        # degradation state: frame indices are anchored on the first frame
+        # seen, so windowed replays and resumed streams start at position 0
+        self._anchor: int | None = None
+        self._pos = 0
+        self._last_values: tuple[float, ...] | None = None
+        self._guard: ChannelGuard | None = None
+        self._hold: list[float] = []
         # metric handles are resolved once; feed() only pays record calls
         m = self.metrics if self.metrics is not None else get_registry()
         self._obs = m
@@ -128,6 +151,12 @@ class AirFinger:
         self._c_ev_rejected = m.counter("pipeline.events", type="rejected")
         self._c_ev_final = m.counter("pipeline.events", type="scroll_final")
         self._c_ev_live = m.counter("pipeline.events", type="scroll_live")
+        self._c_gap_interp = m.counter("pipeline.faults.gaps",
+                                       action="interpolated")
+        self._c_gap_reset = m.counter("pipeline.faults.gaps", action="reset")
+        self._c_out_of_order = m.counter("pipeline.faults.out_of_order")
+        self._c_mask = m.counter("pipeline.faults.channel_masked")
+        self._c_unmask = m.counter("pipeline.faults.channel_recovered")
 
     # ------------------------------------------------------------------
     # helpers
@@ -142,11 +171,21 @@ class AirFinger:
         """Current dynamic threshold on the combined ΔRSS²."""
         return self._segmenter.threshold
 
+    @property
+    def stream_position(self) -> int:
+        """Current stream sample position (frames fed + gap jumps)."""
+        return self._pos
+
+    @property
+    def channel_mask(self) -> tuple[bool, ...]:
+        """Per-channel masked state (empty before the first frame)."""
+        return self._guard.mask if self._guard is not None else ()
+
     def _gate(self) -> float:
         return self._segmenter.threshold * self.gate_fraction
 
     def _history_offset(self) -> int:
-        return self._fed - len(self._raw)
+        return self._pos - len(self._raw)
 
     def _slice_raw(self, start: int, end: int) -> np.ndarray:
         offset = self._history_offset()
@@ -180,7 +219,12 @@ class AirFinger:
         """Ingest one frame; returns the events it triggered.
 
         The stored history and everything downstream (segmentation, onset
-        analysis, features) operate on the prefiltered RSS.
+        analysis, features) operate on the prefiltered RSS.  Imperfect
+        streams degrade instead of derailing: a short index gap is bridged
+        by linear interpolation, a long one flushes the segmenter and
+        yields a :class:`StreamGap`, and a channel the health guard
+        declares dead or saturated is held at its last healthy level until
+        it recovers (:class:`ChannelMaskEvent` marks both transitions).
         """
         if self._tr.active:
             with self._tr.span("pipeline.frame", index=self._fed) as span:
@@ -191,26 +235,77 @@ class AirFinger:
         t_start = perf_counter()
         stage_s = self._stage_s
         stage_s.clear()
-        if len(self._prefilters) != len(frame.values):
+        events: list = []
+
+        if self._anchor is None:
+            self._anchor = frame.index
+        gap = (frame.index - self._anchor) - self._pos
+        if gap > 0:
+            events.extend(self._handle_gap(gap, frame, span))
+        elif gap < 0:
+            # an index from the past: its slot has already been filled (by
+            # a real or interpolated sample), so rewinding history is
+            # impossible and ingesting it would desync every later frame —
+            # count it and drop it
+            self._c_out_of_order.inc()
+            if span is not None:
+                span.add_event("out_of_order", frame_index=frame.index,
+                               expected=self._pos + self._anchor)
+            return events
+
+        values = frame.values
+        if self.channel_guard:
+            events.extend(self._guard_frame(frame, span))
+            if self._guard is not None and self._guard.any_masked:
+                values = tuple(
+                    self._hold[c] if masked else v
+                    for c, (v, masked) in enumerate(
+                        zip(values, self._guard.mask)))
+        self._last_values = values
+
+        events.extend(self._ingest(values, frame.time_s, span))
+        self._fed += 1
+
+        frame_s = perf_counter() - t_start
+        self._h_frame.observe(frame_s)
+        self._c_frames.inc()
+        if frame_s > self._deadline_s:
+            self._c_deadline.inc()
+            if span is not None:
+                slowest = max(stage_s, key=stage_s.get) if stage_s else "?"
+                span.add_event(
+                    "deadline_miss", stage=slowest,
+                    frame_index=self._fed - 1, frame_s=frame_s,
+                    deadline_s=self._deadline_s)
+        return events
+
+    def _ingest(self, values: tuple[float, ...], time_s: float,
+                span) -> list:
+        """One sample through prefilter → SBC → segmentation → handlers."""
+        t_start = perf_counter()
+        if len(self._prefilters) != len(values):
             self._prefilters = [
                 StreamingMovingAverage(self.config.prefilter_samples)
-                for _ in frame.values]
+                for _ in values]
         filtered = tuple(f.push(v) for f, v in zip(self._prefilters,
-                                                   frame.values))
+                                                   values))
         self._raw.append(filtered)
-        self._last_time_s = frame.time_s
+        self._last_time_s = time_s
         combined = float(sum(filtered))
         delta = self._combined_sbc.push(combined)
         self._delta.append(delta)
-        self._fed += 1
+        self._pos += 1
         t_prefilter = perf_counter()
-        stage_s["prefilter_sbc"] = t_prefilter - t_start
+        self._stage_s["prefilter_sbc"] = (
+            self._stage_s.get("prefilter_sbc", 0.0) + t_prefilter - t_start)
         self._h_prefilter.observe(t_prefilter - t_start)
 
         events: list = []
         finished = self._segmenter.push(delta)
         t_segmentation = perf_counter()
-        stage_s["segmentation"] = t_segmentation - t_prefilter
+        self._stage_s["segmentation"] = (
+            self._stage_s.get("segmentation", 0.0)
+            + t_segmentation - t_prefilter)
         self._h_segmentation.observe(t_segmentation - t_prefilter)
         if span is not None:
             self._tr.record("pipeline.stage", t_start, t_prefilter,
@@ -228,27 +323,95 @@ class AirFinger:
             if live is not None:
                 events.append(live)
                 self._c_ev_live.inc()
+        return events
 
-        frame_s = perf_counter() - t_start
-        self._h_frame.observe(frame_s)
-        self._c_frames.inc()
-        if frame_s > self._deadline_s:
-            self._c_deadline.inc()
+    def _handle_gap(self, gap: int, frame: RssFrame, span) -> list:
+        """Bridge or reset over *gap* missing stream positions."""
+        events: list = []
+        if gap <= self.config.max_gap_samples and self._last_values is not None:
+            last = self._last_values
+            rate = self.config.sample_rate_hz
+            for k in range(gap):
+                frac = (k + 1) / (gap + 1)
+                values = tuple(a + frac * (b - a)
+                               for a, b in zip(last, frame.values))
+                time_s = frame.time_s - (gap - k) / rate
+                events.extend(self._ingest(values, time_s, span))
+            self._c_gap_interp.inc(gap)
             if span is not None:
-                slowest = max(stage_s, key=stage_s.get) if stage_s else "?"
-                span.add_event(
-                    "deadline_miss", stage=slowest,
-                    frame_index=self._fed - 1, frame_s=frame_s,
-                    deadline_s=self._deadline_s)
+                span.add_event("gap_interpolated", n_missing=gap,
+                               start=self._pos - gap)
+            return events
+        # too long to invent data for: flush in-flight state, jump ahead
+        start = self._pos
+        tail = self._segmenter.discontinuity(gap)
+        if tail is not None:
+            events.extend(self._handle_segment(tail))
+        self._combined_sbc.reset()
+        self._prefilters = []
+        self._raw.clear()
+        self._delta.clear()
+        if self._guard is not None:
+            self._guard.clear_window()
+        self._live_track_open = False
+        self._live_cooldown = 0
+        self._pos += gap
+        events.append(StreamGap(
+            start_index=start, end_index=self._pos,
+            duration_s=gap / self.config.sample_rate_hz,
+            time_s=frame.time_s))
+        self._c_gap_reset.inc()
+        if span is not None:
+            span.add_event("stream_gap", n_missing=gap, start=start)
+        return events
+
+    def _guard_frame(self, frame: RssFrame, span) -> list:
+        """Run the channel health guard; returns mask-transition events."""
+        if self._guard is None:
+            self._guard = ChannelGuard(
+                n_channels=len(frame.values),
+                window=self.config.guard_window_samples,
+                check_every=self.config.guard_check_every_samples,
+                recovery_checks=self.config.guard_recovery_checks)
+            self._hold = [0.0] * len(frame.values)
+        transitions = self._guard.push(frame.values)
+        if not transitions:
+            return []
+        events: list = []
+        for channel, masked, reason in transitions:
+            if masked:
+                self._hold[channel] = self._guard.hold_value(channel)
+                self._c_mask.inc()
+            else:
+                self._c_unmask.inc()
+            # the combined signal steps when a channel's contribution is
+            # swapped for the held level; restart SBC so the step does not
+            # masquerade as gesture energy
+            self._combined_sbc.reset()
+            events.append(ChannelMaskEvent(
+                channel=channel, masked=masked, reason=reason,
+                index=self._pos, time_s=frame.time_s))
+            if span is not None:
+                span.add_event("channel_mask", channel=channel,
+                               masked=masked, reason=reason)
+        return events
+
+    def feed_frames(self, frames) -> list:
+        """Feed an arbitrary frame iterable; returns all events plus flush.
+
+        Accepts any :class:`RssFrame` source — notably
+        :meth:`FaultSchedule.stream <repro.faults.schedule.FaultSchedule.stream>`,
+        whose dropped frames surface here as index gaps.
+        """
+        events: list = []
+        for frame in frames:
+            events.extend(self.feed(frame))
+        events.extend(self.flush())
         return events
 
     def feed_recording(self, recording: Recording) -> list:
         """Replay a full recording; returns all events plus end-of-stream flush."""
-        events: list = []
-        for frame in stream_frames(recording):
-            events.extend(self.feed(frame))
-        events.extend(self.flush())
-        return events
+        return self.feed_frames(stream_frames(recording))
 
     def flush(self) -> list:
         """Close any open segment at end of stream."""
@@ -271,6 +434,11 @@ class AirFinger:
         self._last_time_s = 0.0
         self._live_cooldown = 0
         self._live_track_open = False
+        self._anchor = None
+        self._pos = 0
+        self._last_values = None
+        self._guard = None
+        self._hold = []
 
     # ------------------------------------------------------------------
     # segment handling
@@ -341,10 +509,10 @@ class AirFinger:
         self._live_cooldown += 1
         if self._live_cooldown % self.live_update_every:
             return None
-        elapsed = self._fed - open_start
+        elapsed = self._pos - open_start
         if elapsed < 2 * self.config.sbc_window_samples + 4:
             return None
-        rss = self._slice_raw(open_start, self._fed)
+        rss = self._slice_raw(open_start, self._pos)
         if rss.size == 0:
             return None
         gate = self._gate()
@@ -359,9 +527,9 @@ class AirFinger:
         self._stage_scope("tracking", t.started_s, t.started_s + t.elapsed_s)
         event = SegmentEvent(
             start_index=open_start,
-            end_index=self._fed,
+            end_index=self._pos,
             start_time_s=open_start / self.config.sample_rate_hz,
-            end_time_s=self._fed / self.config.sample_rate_hz)
+            end_time_s=self._pos / self.config.sample_rate_hz)
         # report the tracker's own displacement estimate so live and final
         # updates share one measurement (and one sign convention)
         return ScrollUpdate(

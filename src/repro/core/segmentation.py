@@ -248,6 +248,27 @@ class DynamicThresholdSegmenter:
             self._open_start = None
         return self._take_pending()
 
+    def discontinuity(self, n_missing: int) -> Segment | None:
+        """Jump the stream position over *n_missing* lost samples.
+
+        Called by the pipeline when a frame gap is too long to
+        interpolate: any open or pending burst is flushed (returned
+        truncated at the gap rather than silently dropped — the
+        degradation contract), the causal envelope is cleared so stale
+        pre-gap energy cannot leak into post-gap samples, and the sample
+        counter advances so later segments keep absolute positions.
+        Threshold history survives — the environment did not change just
+        because frames were lost.
+        """
+        if n_missing < 1:
+            raise ValueError("n_missing must be >= 1")
+        tail = self.flush()
+        self._index += n_missing
+        self._gap = 0
+        self._env_buffer.clear()
+        self._env_sum = 0.0
+        return tail
+
     def reset(self) -> None:
         """Forget all state (threshold history included)."""
         self._history.clear()

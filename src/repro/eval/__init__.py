@@ -32,6 +32,12 @@ from repro.eval.report import (
 )
 from repro.eval.rating import fluency_rating, rate_tracking_session
 from repro.eval.report_markdown import generate_report
+from repro.eval.robustness import (
+    RobustnessPoint,
+    RobustnessResult,
+    render_robustness_markdown,
+    robustness_sweep,
+)
 from repro.eval.stream_protocols import (
     StreamScore,
     evaluate_stream,
@@ -63,4 +69,8 @@ __all__ = [
     "StreamScore",
     "evaluate_stream",
     "evaluate_streams",
+    "RobustnessPoint",
+    "RobustnessResult",
+    "render_robustness_markdown",
+    "robustness_sweep",
 ]

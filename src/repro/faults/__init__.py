@@ -1,0 +1,40 @@
+"""Deterministic fault injection for imperfect sensor streams.
+
+The pipeline's other packages assume a perfect stream: contiguous 100 Hz
+frames from three healthy photodiodes.  This package breaks that
+assumption on purpose — :mod:`repro.faults.models` defines the fault
+families a real MCU link and cheap PD array produce (dropped ADC cycles,
+timestamp jitter, dead/intermittent channels, ambient saturation, stuck
+output codes), and :mod:`repro.faults.schedule` composes them into a
+seeded, reproducible :class:`FaultSchedule` that wraps a recording or its
+frame stream.
+
+The degradation machinery that tolerates these faults lives in the hot
+path itself (:class:`repro.core.pipeline.AirFinger` gap handling,
+:class:`repro.core.calibration.ChannelGuard` masking); the accuracy cost
+of each fault family is measured by :mod:`repro.eval.robustness` and the
+``airfinger robustness`` CLI.
+"""
+
+from repro.faults.models import (
+    ChannelDropoutFault,
+    FaultEvent,
+    FaultModel,
+    FrameDropFault,
+    JitterFault,
+    SaturationFault,
+    StuckCodeFault,
+)
+from repro.faults.schedule import FaultInjection, FaultSchedule
+
+__all__ = [
+    "ChannelDropoutFault",
+    "FaultEvent",
+    "FaultModel",
+    "FrameDropFault",
+    "JitterFault",
+    "SaturationFault",
+    "StuckCodeFault",
+    "FaultInjection",
+    "FaultSchedule",
+]

@@ -1,0 +1,332 @@
+"""Fault models: the ways a real sensing front end betrays the pipeline.
+
+Section VI of the paper stresses airFinger with direct sunlight, distance
+and user diversity; a deployed sensor additionally suffers the faults of
+cheap photodiodes and MCU links — lost ADC cycles, late frames, dead or
+intermittent channels, ambient steps that pin the converter, stuck output
+codes.  Each model here injects exactly one such fault family into a
+recorded RSS array, deterministically from a caller-supplied generator,
+and reports what it did as :class:`FaultEvent` ground truth.
+
+Every model carries an ``intensity`` in ``[0, 1]`` that scales both how
+often and how hard the fault hits.  Intensity 0 is a **strict no-op**: the
+model draws nothing from the RNG and touches no array, so a zero-intensity
+injection is bit-identical to no injection at all (pinned by
+``tests/property/test_property_faults.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import ClassVar
+
+import numpy as np
+
+__all__ = [
+    "FaultEvent",
+    "FaultModel",
+    "FrameDropFault",
+    "JitterFault",
+    "ChannelDropoutFault",
+    "SaturationFault",
+    "StuckCodeFault",
+]
+
+#: 10-bit full scale; models accept an override for other converters.
+DEFAULT_FULL_SCALE = 1023.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Ground truth for one injected fault occurrence.
+
+    Parameters
+    ----------
+    fault:
+        Model name (``"frame_drop"``, ``"jitter"``, ...).
+    start_index, end_index:
+        Affected sample range ``[start, end)`` in recording rows.
+    channel:
+        Affected channel index, or ``None`` when all channels are hit.
+    magnitude:
+        Model-specific severity (dropped frames, jitter seconds, pinned
+        level ...); purely informational.
+    """
+
+    fault: str
+    start_index: int
+    end_index: int
+    channel: int | None = None
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_index < self.end_index:
+            raise ValueError(
+                f"invalid fault extent [{self.start_index}, {self.end_index})")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Base fault: a named, intensity-scaled mutation of a recording.
+
+    Subclasses implement :meth:`inject`, mutating the writable ``times``
+    / ``rss`` / ``keep`` arrays in place and returning the list of
+    :class:`FaultEvent` they caused.  ``keep`` marks frames that survive
+    (frame drops clear entries); value faults edit ``rss`` rows directly.
+
+    Models never allocate their own randomness: the caller passes the
+    generator (derived from the campaign seed by
+    :class:`~repro.faults.schedule.FaultSchedule`), so injections are
+    reproducible and never perturb the corpus RNG streams.
+    """
+
+    intensity: float = 1.0
+
+    name: ClassVar[str] = "fault"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(
+                f"intensity must be within [0, 1], got {self.intensity}")
+
+    @property
+    def active(self) -> bool:
+        """False when this model is a guaranteed no-op."""
+        return self.intensity > 0.0
+
+    def at(self, intensity: float) -> "FaultModel":
+        """This model rescaled to ``intensity * self.intensity``."""
+        return replace(self, intensity=float(intensity) * self.intensity)
+
+    def inject(self, times_s: np.ndarray, rss: np.ndarray,
+               keep: np.ndarray, rng: np.random.Generator,
+               full_scale: float = DEFAULT_FULL_SCALE) -> list[FaultEvent]:
+        """Apply the fault in place; returns the injected events."""
+        raise NotImplementedError
+
+
+def _pick_window(n: int, coverage: float,
+                 rng: np.random.Generator) -> tuple[int, int] | None:
+    """A random ``[start, end)`` window covering *coverage* of *n* samples."""
+    length = int(round(coverage * n))
+    if length < 1 or n < 1:
+        return None
+    length = min(length, n)
+    start = int(rng.integers(0, n - length + 1))
+    return start, start + length
+
+
+@dataclass(frozen=True)
+class FrameDropFault(FaultModel):
+    """Lost ADC cycles: bursts of frames never reach the host.
+
+    At intensity 1 a fraction ``drop_rate`` of samples starts a drop
+    burst whose length is geometric with mean ``mean_burst`` — the
+    byte-loss signature of the serial/BLE links in
+    :mod:`repro.acquisition.protocol`.
+    """
+
+    drop_rate: float = 0.02
+    mean_burst: float = 3.0
+
+    name: ClassVar[str] = "frame_drop"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.drop_rate <= 1.0:
+            raise ValueError("drop_rate must be within (0, 1]")
+        if self.mean_burst < 1.0:
+            raise ValueError("mean_burst must be >= 1")
+
+    def inject(self, times_s, rss, keep, rng,
+               full_scale=DEFAULT_FULL_SCALE) -> list[FaultEvent]:
+        if not self.active:
+            return []
+        n = len(keep)
+        if n == 0:
+            return []
+        starts = np.nonzero(
+            rng.random(n) < self.intensity * self.drop_rate)[0]
+        if starts.size == 0:
+            return []
+        lengths = rng.geometric(1.0 / self.mean_burst, size=starts.size)
+        events: list[FaultEvent] = []
+        for start, length in zip(starts, lengths):
+            end = min(int(start) + int(length), n)
+            if not keep[start:end].any():
+                continue
+            keep[start:end] = False
+            events.append(FaultEvent(
+                fault=self.name, start_index=int(start), end_index=end,
+                magnitude=float(end - start)))
+        return events
+
+
+@dataclass(frozen=True)
+class JitterFault(FaultModel):
+    """Late / irregular timestamps: the MCU clock is not the host clock.
+
+    Every surviving frame's timestamp is perturbed by up to
+    ``intensity * max_jitter_s`` seconds (uniform), modelling scheduling
+    delay on the receive side.  Sample values and order are untouched —
+    this fault probes the pipeline's indifference to wall-clock jitter.
+    """
+
+    max_jitter_s: float = 0.02
+
+    name: ClassVar[str] = "jitter"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_jitter_s <= 0:
+            raise ValueError("max_jitter_s must be positive")
+
+    def inject(self, times_s, rss, keep, rng,
+               full_scale=DEFAULT_FULL_SCALE) -> list[FaultEvent]:
+        if not self.active:
+            return []
+        n = len(times_s)
+        if n == 0:
+            return []
+        scale = self.intensity * self.max_jitter_s
+        times_s += rng.uniform(-scale, scale, size=n)
+        return [FaultEvent(fault=self.name, start_index=0, end_index=n,
+                           magnitude=scale)]
+
+
+@dataclass(frozen=True)
+class ChannelDropoutFault(FaultModel):
+    """A photodiode goes dead (or intermittent): its channel reads a rail.
+
+    One channel (``channel``, or an RNG pick) outputs ``dead_value`` over
+    a window covering ``intensity * coverage`` of the stream; with
+    ``intermittent=True`` the outage splits into ``flaps`` separate
+    windows — a loose wire rather than a dead die.
+    """
+
+    channel: int | None = None
+    coverage: float = 0.8
+    dead_value: float = 0.0
+    intermittent: bool = False
+    flaps: int = 3
+
+    name: ClassVar[str] = "channel_dropout"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError("coverage must be within (0, 1]")
+        if self.flaps < 1:
+            raise ValueError("flaps must be >= 1")
+
+    def inject(self, times_s, rss, keep, rng,
+               full_scale=DEFAULT_FULL_SCALE) -> list[FaultEvent]:
+        if not self.active:
+            return []
+        n, c = rss.shape
+        if n == 0 or c == 0:
+            return []
+        channel = (int(rng.integers(0, c)) if self.channel is None
+                   else self.channel)
+        if not 0 <= channel < c:
+            raise ValueError(
+                f"channel {channel} out of range for {c} channels")
+        pieces = self.flaps if self.intermittent else 1
+        total = self.intensity * self.coverage
+        events: list[FaultEvent] = []
+        for _ in range(pieces):
+            window = _pick_window(n, total / pieces, rng)
+            if window is None:
+                continue
+            start, end = window
+            rss[start:end, channel] = self.dead_value
+            events.append(FaultEvent(
+                fault=self.name, start_index=start, end_index=end,
+                channel=channel, magnitude=self.dead_value))
+        return events
+
+
+@dataclass(frozen=True)
+class SaturationFault(FaultModel):
+    """An ambient step (direct sunlight) pins channels at full scale.
+
+    Over a window covering ``intensity * coverage`` of the stream the
+    affected channels read the converter's top code — the Section VI
+    sunlight scenario as a hard fault rather than graded noise.
+    """
+
+    channels: tuple[int, ...] | None = None   # None -> every channel
+    coverage: float = 0.6
+
+    name: ClassVar[str] = "saturation"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError("coverage must be within (0, 1]")
+
+    def inject(self, times_s, rss, keep, rng,
+               full_scale=DEFAULT_FULL_SCALE) -> list[FaultEvent]:
+        if not self.active:
+            return []
+        n, c = rss.shape
+        if n == 0 or c == 0:
+            return []
+        window = _pick_window(n, self.intensity * self.coverage, rng)
+        if window is None:
+            return []
+        start, end = window
+        channels = (tuple(range(c)) if self.channels is None
+                    else self.channels)
+        events: list[FaultEvent] = []
+        for channel in channels:
+            if not 0 <= channel < c:
+                raise ValueError(
+                    f"channel {channel} out of range for {c} channels")
+            rss[start:end, channel] = full_scale
+            events.append(FaultEvent(
+                fault=self.name, start_index=start, end_index=end,
+                channel=channel, magnitude=float(full_scale)))
+        return events
+
+
+@dataclass(frozen=True)
+class StuckCodeFault(FaultModel):
+    """The converter repeats one output code: a stuck SAR bit or DMA slot.
+
+    One channel freezes at the value it held when the fault began, over a
+    window covering ``intensity * coverage`` of the stream.  Unlike
+    :class:`ChannelDropoutFault` the frozen level is an in-range code, so
+    only flatness (not a rail) gives the fault away.
+    """
+
+    channel: int | None = None
+    coverage: float = 0.5
+
+    name: ClassVar[str] = "stuck_code"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError("coverage must be within (0, 1]")
+
+    def inject(self, times_s, rss, keep, rng,
+               full_scale=DEFAULT_FULL_SCALE) -> list[FaultEvent]:
+        if not self.active:
+            return []
+        n, c = rss.shape
+        if n == 0 or c == 0:
+            return []
+        channel = (int(rng.integers(0, c)) if self.channel is None
+                   else self.channel)
+        if not 0 <= channel < c:
+            raise ValueError(
+                f"channel {channel} out of range for {c} channels")
+        window = _pick_window(n, self.intensity * self.coverage, rng)
+        if window is None:
+            return []
+        start, end = window
+        stuck = float(rss[start, channel])
+        rss[start:end, channel] = stuck
+        return [FaultEvent(fault=self.name, start_index=start, end_index=end,
+                           channel=channel, magnitude=stuck)]

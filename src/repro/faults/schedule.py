@@ -1,0 +1,173 @@
+"""Deterministic composition of fault models over recordings and streams.
+
+A :class:`FaultSchedule` bundles fault models with a seed and applies them
+to a :class:`~repro.acquisition.sampler.Recording` (or its frame stream)
+through RNG streams derived with :func:`repro.utils.derive_rng` — the same
+keyed-hash scheme the campaign generator uses.  Two consequences follow:
+
+* **Reproducible corpora.** The same schedule, seed and key always injects
+  the same faults, regardless of iteration order or worker count.
+* **Isolated randomness.** The fault layer derives its *own* streams under
+  the ``"fault"`` namespace, so injecting faults never perturbs the draws
+  that synthesized the corpus — a zero-intensity schedule is bit-identical
+  to no schedule at all (the ``airfinger robustness`` intensity-0 point
+  must match ``airfinger evaluate`` exactly).
+
+Injections are surfaced in :mod:`repro.obs` as ``faults.injected`` /
+``faults.frames_dropped`` counters and, when tracing is on, as events on a
+``faults.inject`` span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.acquisition.sampler import Recording
+from repro.acquisition.stream import RssFrame, stream_frames
+from repro.faults.models import DEFAULT_FULL_SCALE, FaultEvent, FaultModel
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
+from repro.utils import derive_rng
+
+__all__ = ["FaultInjection", "FaultSchedule"]
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """A faulted recording plus the ground truth of what was injected.
+
+    ``kept_indices[j]`` is the original recording row behind surviving
+    frame ``j`` — dropped frames appear as jumps in this map, which is
+    exactly how :meth:`FaultSchedule.stream` exposes them to the
+    pipeline's gap detector.
+    """
+
+    recording: Recording
+    events: tuple[FaultEvent, ...]
+    kept_indices: np.ndarray
+
+    @property
+    def n_dropped(self) -> int:
+        """Frames removed by drop faults."""
+        return int(self.kept_indices[-1] + 1 - len(self.kept_indices)) \
+            if len(self.kept_indices) else 0
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered set of fault models applied under derived RNG streams.
+
+    Parameters
+    ----------
+    faults:
+        Models applied in order (value faults see the effects of earlier
+        ones, drops are resolved last).
+    seed:
+        Base seed for the ``"fault"`` RNG namespace; defaults to the
+        campaign default so corpus and faults share provenance.
+    full_scale:
+        ADC top code passed to models that pin channels.
+    """
+
+    faults: tuple[FaultModel, ...] = ()
+    seed: int = 2020
+    full_scale: float = DEFAULT_FULL_SCALE
+    metrics: MetricsRegistry | None = field(default=None, compare=False)
+    tracer: Tracer | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def active(self) -> bool:
+        """False when every model is a guaranteed no-op."""
+        return any(model.active for model in self.faults)
+
+    def at(self, intensity: float) -> "FaultSchedule":
+        """This schedule with every model rescaled by *intensity*."""
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError(
+                f"intensity must be within [0, 1], got {intensity}")
+        return replace(
+            self, faults=tuple(m.at(intensity) for m in self.faults))
+
+    def _rng_for(self, model: FaultModel, position: int,
+                 key: tuple) -> np.random.Generator:
+        return derive_rng(self.seed, "fault", model.name, position, *key)
+
+    def inject(self, recording: Recording, *key) -> FaultInjection:
+        """Apply the schedule to *recording* under the RNG stream *key*.
+
+        *key* identifies the recording within the corpus (e.g. its sample
+        index, or ``(user_id, session, repetition)``) so every recording
+        gets an independent, reproducible fault draw.  Inactive schedules
+        return the recording object unchanged — a true passthrough.
+        """
+        if not self.active:
+            return FaultInjection(
+                recording=recording, events=(),
+                kept_indices=np.arange(recording.n_samples))
+        times = recording.times_s.copy()
+        rss = recording.rss.copy()
+        keep = np.ones(recording.n_samples, dtype=bool)
+        events: list[FaultEvent] = []
+        for position, model in enumerate(self.faults):
+            if not model.active:
+                continue
+            rng = self._rng_for(model, position, key)
+            events.extend(model.inject(times, rss, keep, rng,
+                                       full_scale=self.full_scale))
+        kept_indices = np.nonzero(keep)[0]
+        meta = dict(recording.meta)
+        meta["fault_events"] = tuple(events)
+        faulted = Recording(
+            times_s=times[keep], rss=rss[keep],
+            channel_names=recording.channel_names,
+            sample_rate_hz=recording.sample_rate_hz,
+            label=recording.label, meta=meta)
+        self._observe(events, dropped=recording.n_samples - len(kept_indices))
+        return FaultInjection(recording=faulted, events=tuple(events),
+                              kept_indices=kept_indices)
+
+    def apply_recording(self, recording: Recording, *key) -> Recording:
+        """The faulted recording alone (see :meth:`inject`)."""
+        return self.inject(recording, *key).recording
+
+    def stream(self, recording: Recording, *key) -> Iterator[RssFrame]:
+        """Frames of the faulted recording, indexed by ORIGINAL position.
+
+        Surviving frames keep the row index they had before injection, so
+        dropped frames show up as index jumps — the exact signal
+        :meth:`AirFinger.feed <repro.core.pipeline.AirFinger.feed>` uses
+        for gap detection.  With no active faults this is byte-for-byte
+        ``stream_frames(recording)`` (pinned by the passthrough overhead
+        gate in ``benchmarks/test_faults_overhead.py``).
+        """
+        if not self.active:
+            yield from stream_frames(recording)
+            return
+        injection = self.inject(recording, *key)
+        faulted = injection.recording
+        rss = faulted.rss
+        times = faulted.times_s
+        for j, original in enumerate(injection.kept_indices):
+            yield RssFrame(index=int(original), time_s=float(times[j]),
+                           values=tuple(float(v) for v in rss[j]))
+
+    def _observe(self, events: Sequence[FaultEvent], dropped: int) -> None:
+        metrics = self.metrics if self.metrics is not None else get_registry()
+        for event in events:
+            metrics.counter("faults.injected", fault=event.fault).inc()
+        if dropped:
+            metrics.counter("faults.frames_dropped").inc(dropped)
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        if tracer.active and events:
+            with tracer.span("faults.inject", n_events=len(events),
+                             n_dropped=dropped) as span:
+                for event in events:
+                    span.add_event(
+                        f"fault.{event.fault}", start=event.start_index,
+                        end=event.end_index,
+                        channel=-1 if event.channel is None else event.channel)

@@ -129,18 +129,32 @@ def series_length(x: np.ndarray) -> float:
 # ---------------------------------------------------------------------------
 
 def autocorrelation(x: np.ndarray, lag: int = 1) -> float:
-    """Sample autocorrelation at *lag* (0 for degenerate input)."""
+    """Sample autocorrelation at *lag* (0 for degenerate input).
+
+    Computed as the Pearson correlation of the series with its lagged
+    self, normalizing by both segments' own variances: Cauchy-Schwarz
+    then bounds the value to ``[-1, 1]`` for every input, where the
+    whole-series-variance estimator can exceed 1 at large lags on short,
+    spiky series.
+    """
     if lag < 1:
         raise ValueError(f"lag must be >= 1, got {lag}")
     x = _clean(x)
     n = x.size
     if n <= lag + 1:
         return 0.0
-    v = np.var(x)
-    if v < 1e-300:
+    head = x[:-lag]
+    tail = x[lag:]
+    # sqrt each variance before multiplying: the product of two tiny
+    # variances (a near-constant series of denormal-scale values) can
+    # underflow to zero even when both factors are representable
+    s_head = float(np.sqrt(head.var()))
+    s_tail = float(np.sqrt(tail.var()))
+    denominator = s_head * s_tail
+    if denominator < 1e-300:
         return 0.0
-    mu = x.mean()
-    return float(np.mean((x[:-lag] - mu) * (x[lag:] - mu)) / v)
+    cov = np.mean((head - head.mean()) * (tail - tail.mean()))
+    return float(np.clip(cov / denominator, -1.0, 1.0))
 
 
 def autocorrelation_relative(x: np.ndarray, fraction: float = 0.5) -> float:

@@ -1,0 +1,129 @@
+"""Integration: the robustness protocol and its CLI surface.
+
+Pins the ISSUE acceptance criterion: with a :class:`ChannelDropoutFault`
+killing one of the three photodiodes, the sweep completes, reports
+accuracy per intensity, and the intensity-0 point is **bit-identical** to
+the standard detect protocol on the unfaulted corpus.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.eval.protocols import compute_features, overall_detect_performance
+from repro.eval.robustness import robustness_sweep
+from repro.faults import ChannelDropoutFault, FaultSchedule, FrameDropFault
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("robustness")
+    corpus_path = root / "corpus.npz"
+    assert main(["generate", "--users", "2", "--sessions", "1",
+                 "--reps", "3", "--out", str(corpus_path)]) == 0
+    return root, corpus_path
+
+
+@pytest.fixture(scope="module")
+def corpus(workspace):
+    from repro.datasets import GestureCorpus
+    _, corpus_path = workspace
+    return GestureCorpus.load(corpus_path)
+
+
+class TestRobustnessSweep:
+    def test_acceptance_dropout_sweep(self, corpus):
+        schedule = FaultSchedule(
+            faults=(ChannelDropoutFault(channel=1),), seed=2020)
+        result = robustness_sweep(
+            corpus, schedule, intensities=(0.0, 1.0), n_splits=2,
+            stream_samples=3)
+        assert [p.intensity for p in result.points] == [0.0, 1.0]
+        # every point reports an accuracy
+        assert all(0.0 <= p.accuracy <= 1.0 for p in result.points)
+        # intensity 0 == the standard protocol on the clean corpus,
+        # bit for bit
+        clean = overall_detect_performance(corpus, n_splits=2)
+        assert result.points[0].accuracy == clean.accuracy
+        # the faulted point actually injected something and the stream
+        # replay exercised the degradation machinery
+        faulted = result.points[1]
+        assert faulted.n_injected > 0
+        assert faulted.stream_mask_transitions > 0
+
+    def test_intensity_zero_matches_precomputed_features(self, corpus):
+        X = compute_features(corpus)
+        schedule = FaultSchedule(faults=(FrameDropFault(),), seed=2020)
+        result = robustness_sweep(
+            corpus, schedule, intensities=(0.0,), X=X, n_splits=2,
+            stream_samples=0)
+        clean = overall_detect_performance(corpus, X=X, n_splits=2)
+        assert result.points[0].accuracy == clean.accuracy
+        assert result.points[0].n_injected == 0
+        assert result.points[0].n_dropped == 0
+
+    def test_sweep_rejects_empty_grid(self, corpus):
+        schedule = FaultSchedule(faults=(FrameDropFault(),))
+        with pytest.raises(ValueError, match="intensity"):
+            robustness_sweep(corpus, schedule, intensities=())
+
+    def test_result_serializes(self, corpus):
+        schedule = FaultSchedule(faults=(FrameDropFault(),), seed=2020)
+        result = robustness_sweep(
+            corpus, schedule, intensities=(0.0, 1.0), n_splits=2,
+            stream_samples=0)
+        payload = result.to_dict()
+        assert payload["protocol"] == "robustness"
+        assert payload["baseline_accuracy"] == result.points[0].accuracy
+        assert len(payload["points"]) == 2
+        json.dumps(payload)  # round-trippable
+
+
+class TestRobustnessCli:
+    def test_cli_end_to_end(self, workspace, capsys):
+        root, corpus_path = workspace
+        out = root / "robustness.json"
+        md = root / "robustness.md"
+        assert main([
+            "robustness", "--corpus", str(corpus_path),
+            "--faults", "channel_dropout", "--channel", "1",
+            "--intensities", "0,1", "--splits", "2",
+            "--stream-samples", "2",
+            "--out", str(out), "--markdown", str(md)]) == 0
+        stdout = capsys.readouterr().out
+        assert "intensity" in stdout and "accuracy" in stdout
+        payload = json.loads(out.read_text())
+        assert [p["intensity"] for p in payload["points"]] == [0.0, 1.0]
+        assert md.read_text().startswith("# Robustness sweep")
+        # a run manifest lands next to the corpus
+        manifest = corpus_path.with_name(
+            f"{corpus_path.stem}.robustness.manifest.json")
+        assert manifest.exists()
+        assert json.loads(manifest.read_text())["command"] == "robustness"
+
+    def test_cli_intensity_zero_matches_evaluate(self, workspace, corpus,
+                                                 capsys):
+        root, corpus_path = workspace
+        out = root / "control.json"
+        assert main([
+            "robustness", "--corpus", str(corpus_path),
+            "--faults", "channel_dropout", "--channel", "1",
+            "--intensities", "0", "--splits", "5",
+            "--stream-samples", "0", "--out", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        clean = overall_detect_performance(corpus, n_splits=5)
+        assert payload["points"][0]["accuracy"] == clean.accuracy
+
+    def test_cli_rejects_unknown_fault(self, workspace, capsys):
+        _, corpus_path = workspace
+        assert main(["robustness", "--corpus", str(corpus_path),
+                     "--faults", "cosmic_rays"]) == 1
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_cli_rejects_bad_intensities(self, workspace, capsys):
+        _, corpus_path = workspace
+        assert main(["robustness", "--corpus", str(corpus_path),
+                     "--intensities", "0,lots"]) == 1
+        assert "--intensities" in capsys.readouterr().err

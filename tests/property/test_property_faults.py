@@ -1,0 +1,127 @@
+"""Property-based tests for the fault-injection layer.
+
+Two contracts matter more than any specific fault behaviour:
+
+* **Intensity 0 is invisible.** Every fault model at intensity 0 must be
+  bit-identical to no injection at all — no array copy differences, no
+  RNG draws, no metadata (this is what makes the robustness sweep's
+  control point equal ``airfinger evaluate``).
+* **Faulted streams degrade, never derail.** Any composition of faults
+  pushed through ``AirFinger.feed`` must not raise, and every emitted
+  segment must keep monotonic, in-bounds sample extents.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acquisition.sampler import Recording
+from repro.core.events import SegmentEvent
+from repro.core.pipeline import AirFinger
+from repro.faults import (
+    ChannelDropoutFault,
+    FaultSchedule,
+    FrameDropFault,
+    JitterFault,
+    SaturationFault,
+    StuckCodeFault,
+)
+
+ALL_MODELS = (
+    FrameDropFault,
+    JitterFault,
+    ChannelDropoutFault,
+    SaturationFault,
+    StuckCodeFault,
+)
+
+
+def _recording(seed: int, n: int, c: int = 3,
+               burst: bool = True) -> Recording:
+    """A noisy baseline with an optional gesture-like burst."""
+    rng = np.random.default_rng(seed)
+    rss = 500.0 + rng.normal(0.0, 2.0, (n, c))
+    if burst and n >= 80:
+        lo = n // 3
+        hi = min(lo + 60, n)
+        t = np.arange(hi - lo) / 100.0
+        rss[lo:hi] += 80.0 * np.sin(2 * np.pi * 3.0 * t)[:, None]
+    rss = np.clip(rss, 0.0, 1023.0)
+    return Recording(times_s=np.arange(n) / 100.0, rss=rss,
+                     channel_names=tuple(f"P{i+1}" for i in range(c)))
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       n=st.integers(min_value=20, max_value=300))
+@settings(max_examples=15, deadline=None)
+def test_intensity_zero_is_bit_identical(model_cls, seed, n):
+    recording = _recording(seed, n)
+    before_rss = recording.rss.copy()
+    before_times = recording.times_s.copy()
+    schedule = FaultSchedule(faults=(model_cls().at(0.0),), seed=seed)
+    assert not schedule.active
+    injection = schedule.inject(recording, 0)
+    # passthrough: the SAME object, untouched, with no fault metadata
+    assert injection.recording is recording
+    assert injection.events == ()
+    np.testing.assert_array_equal(recording.rss, before_rss)
+    np.testing.assert_array_equal(recording.times_s, before_times)
+    assert "fault_events" not in recording.meta
+    # the frame stream is also byte-for-byte the plain replay
+    from repro.acquisition.stream import stream_frames
+    assert list(schedule.stream(recording, 0)) == list(
+        stream_frames(recording))
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=10, deadline=None)
+def test_injection_is_deterministic(model_cls, seed):
+    recording = _recording(seed, 150)
+    schedule = FaultSchedule(faults=(model_cls(),), seed=seed)
+    a = schedule.inject(recording, "k")
+    b = schedule.inject(recording, "k")
+    assert a.events == b.events
+    np.testing.assert_array_equal(a.recording.rss, b.recording.rss)
+    np.testing.assert_array_equal(a.recording.times_s, b.recording.times_s)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       n=st.integers(min_value=5, max_value=400),
+       intensity=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=25, deadline=None)
+def test_faulted_stream_never_raises_and_segments_monotonic(
+        seed, n, intensity):
+    recording = _recording(seed, n)
+    schedule = FaultSchedule(
+        faults=(FrameDropFault(drop_rate=0.05),
+                JitterFault(),
+                ChannelDropoutFault(),
+                SaturationFault(channels=(0,)),
+                StuckCodeFault()),
+        seed=seed).at(intensity)
+    engine = AirFinger()
+    events = engine.feed_frames(schedule.stream(recording, 0))
+    for event in events:
+        segment = (event if isinstance(event, SegmentEvent)
+                   else getattr(event, "segment", None))
+        if segment is None:
+            continue
+        assert 0 <= segment.start_index < segment.end_index
+        assert segment.end_index <= engine.stream_position
+        assert segment.end_time_s >= segment.start_time_s
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       intensity=st.floats(min_value=0.1, max_value=1.0))
+@settings(max_examples=15, deadline=None)
+def test_dropped_frames_leave_monotonic_indices(seed, intensity):
+    recording = _recording(seed, 200)
+    schedule = FaultSchedule(
+        faults=(FrameDropFault(drop_rate=0.1),), seed=seed).at(intensity)
+    indices = [f.index for f in schedule.stream(recording, 0)]
+    assert indices == sorted(indices)
+    assert len(set(indices)) == len(indices)
+    assert all(0 <= i < 200 for i in indices)

@@ -1,0 +1,248 @@
+"""Unit tests for :mod:`repro.faults` — models and schedule behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.sampler import Recording
+from repro.faults import (
+    ChannelDropoutFault,
+    FaultEvent,
+    FaultSchedule,
+    FrameDropFault,
+    JitterFault,
+    SaturationFault,
+    StuckCodeFault,
+)
+
+
+def _recording(n=200, c=3, seed=0):
+    rng = np.random.default_rng(seed)
+    rss = np.clip(500.0 + rng.normal(0.0, 2.0, (n, c)), 0.0, 1023.0)
+    return Recording(times_s=np.arange(n) / 100.0, rss=rss,
+                     channel_names=tuple(f"P{i+1}" for i in range(c)))
+
+
+def _arrays(recording):
+    return (recording.times_s.copy(), recording.rss.copy(),
+            np.ones(recording.n_samples, dtype=bool))
+
+
+class TestFaultEvent:
+    def test_rejects_empty_extent(self):
+        with pytest.raises(ValueError, match="extent"):
+            FaultEvent(fault="x", start_index=5, end_index=5)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="extent"):
+            FaultEvent(fault="x", start_index=-1, end_index=3)
+
+
+class TestFaultModelBase:
+    def test_rejects_out_of_range_intensity(self):
+        with pytest.raises(ValueError, match="intensity"):
+            FrameDropFault(intensity=1.5)
+        with pytest.raises(ValueError, match="intensity"):
+            JitterFault(intensity=-0.1)
+
+    def test_at_scales_multiplicatively(self):
+        model = FrameDropFault(intensity=0.8)
+        scaled = model.at(0.5)
+        assert scaled.intensity == pytest.approx(0.4)
+        assert scaled.drop_rate == model.drop_rate
+        assert not model.at(0.0).active
+
+    def test_active_property(self):
+        assert JitterFault().active
+        assert not JitterFault(intensity=0.0).active
+
+
+class TestFrameDropFault:
+    def test_drops_bursts_and_reports_events(self):
+        recording = _recording()
+        times, rss, keep = _arrays(recording)
+        events = FrameDropFault(drop_rate=0.1).inject(
+            times, rss, keep, np.random.default_rng(1))
+        assert events
+        assert not keep.all()
+        for event in events:
+            assert event.fault == "frame_drop"
+            assert not keep[event.start_index:event.end_index].any()
+            assert event.magnitude == event.end_index - event.start_index
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FrameDropFault(drop_rate=0.0)
+        with pytest.raises(ValueError, match="mean_burst"):
+            FrameDropFault(mean_burst=0.5)
+
+
+class TestJitterFault:
+    def test_perturbs_timestamps_only(self):
+        recording = _recording()
+        times, rss, keep = _arrays(recording)
+        events = JitterFault(max_jitter_s=0.02).inject(
+            times, rss, keep, np.random.default_rng(1))
+        assert len(events) == 1
+        assert np.abs(times - recording.times_s).max() <= 0.02
+        assert (times != recording.times_s).any()
+        np.testing.assert_array_equal(rss, recording.rss)
+        assert keep.all()
+
+    def test_jitter_bounded_by_intensity(self):
+        recording = _recording()
+        times, rss, keep = _arrays(recording)
+        JitterFault(max_jitter_s=0.02, intensity=0.5).inject(
+            times, rss, keep, np.random.default_rng(1))
+        assert np.abs(times - recording.times_s).max() <= 0.01
+
+
+class TestChannelDropoutFault:
+    def test_kills_one_channel_over_window(self):
+        recording = _recording()
+        times, rss, keep = _arrays(recording)
+        events = ChannelDropoutFault(channel=1, coverage=0.5).inject(
+            times, rss, keep, np.random.default_rng(1))
+        assert len(events) == 1
+        event = events[0]
+        assert event.channel == 1
+        assert (rss[event.start_index:event.end_index, 1] == 0.0).all()
+        # other channels untouched
+        np.testing.assert_array_equal(rss[:, 0], recording.rss[:, 0])
+        np.testing.assert_array_equal(rss[:, 2], recording.rss[:, 2])
+
+    def test_intermittent_splits_into_flaps(self):
+        recording = _recording(n=400)
+        times, rss, keep = _arrays(recording)
+        events = ChannelDropoutFault(
+            channel=0, coverage=0.6, intermittent=True, flaps=3).inject(
+            times, rss, keep, np.random.default_rng(1))
+        assert len(events) == 3
+        assert all(e.channel == 0 for e in events)
+        # each flap is one third the total outage budget
+        for event in events:
+            assert event.end_index - event.start_index == pytest.approx(
+                0.6 * 400 / 3, abs=1)
+
+    def test_channel_out_of_range(self):
+        recording = _recording(c=3)
+        times, rss, keep = _arrays(recording)
+        with pytest.raises(ValueError, match="out of range"):
+            ChannelDropoutFault(channel=7).inject(
+                times, rss, keep, np.random.default_rng(1))
+
+
+class TestSaturationFault:
+    def test_pins_channels_at_full_scale(self):
+        recording = _recording()
+        times, rss, keep = _arrays(recording)
+        events = SaturationFault(coverage=0.4).inject(
+            times, rss, keep, np.random.default_rng(1), full_scale=1023.0)
+        assert len(events) == 3  # every channel
+        for event in events:
+            assert (rss[event.start_index:event.end_index, event.channel]
+                    == 1023.0).all()
+            assert event.magnitude == 1023.0
+
+    def test_respects_channel_selection(self):
+        recording = _recording()
+        times, rss, keep = _arrays(recording)
+        events = SaturationFault(channels=(2,), coverage=0.4).inject(
+            times, rss, keep, np.random.default_rng(1))
+        assert [e.channel for e in events] == [2]
+        np.testing.assert_array_equal(rss[:, 0], recording.rss[:, 0])
+
+
+class TestStuckCodeFault:
+    def test_freezes_at_window_start_value(self):
+        recording = _recording()
+        times, rss, keep = _arrays(recording)
+        events = StuckCodeFault(channel=1, coverage=0.5).inject(
+            times, rss, keep, np.random.default_rng(1))
+        assert len(events) == 1
+        event = events[0]
+        stuck = recording.rss[event.start_index, 1]
+        assert (rss[event.start_index:event.end_index, 1] == stuck).all()
+        assert event.magnitude == pytest.approx(stuck)
+
+
+class TestFaultSchedule:
+    def test_inactive_schedule_is_passthrough(self):
+        recording = _recording()
+        schedule = FaultSchedule(faults=(FrameDropFault(),)).at(0.0)
+        assert not schedule.active
+        injection = schedule.inject(recording, 0)
+        assert injection.recording is recording
+        assert injection.events == ()
+        np.testing.assert_array_equal(
+            injection.kept_indices, np.arange(recording.n_samples))
+
+    def test_empty_schedule_is_inactive(self):
+        assert not FaultSchedule().active
+
+    def test_at_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="intensity"):
+            FaultSchedule(faults=(JitterFault(),)).at(1.5)
+
+    def test_inject_records_ground_truth_in_meta(self):
+        recording = _recording()
+        schedule = FaultSchedule(
+            faults=(ChannelDropoutFault(channel=0),), seed=7)
+        injection = schedule.inject(recording, 3)
+        assert injection.recording is not recording
+        assert injection.recording.meta["fault_events"] == injection.events
+        assert all(isinstance(e, FaultEvent) for e in injection.events)
+        # the original is never mutated
+        assert "fault_events" not in recording.meta
+
+    def test_keys_give_independent_draws(self):
+        recording = _recording()
+        schedule = FaultSchedule(faults=(ChannelDropoutFault(),), seed=7)
+        a = schedule.inject(recording, 0)
+        b = schedule.inject(recording, 1)
+        assert a.events != b.events
+
+    def test_same_key_is_deterministic(self):
+        recording = _recording()
+        schedule = FaultSchedule(
+            faults=(FrameDropFault(drop_rate=0.05), SaturationFault()),
+            seed=7)
+        a = schedule.inject(recording, "u1", 2)
+        b = schedule.inject(recording, "u1", 2)
+        assert a.events == b.events
+        np.testing.assert_array_equal(a.recording.rss, b.recording.rss)
+
+    def test_stream_preserves_original_indices(self):
+        recording = _recording()
+        schedule = FaultSchedule(
+            faults=(FrameDropFault(drop_rate=0.1),), seed=7)
+        injection = schedule.inject(recording, 0)
+        frames = list(schedule.stream(recording, 0))
+        assert [f.index for f in frames] == [
+            int(i) for i in injection.kept_indices]
+        assert len(frames) < recording.n_samples
+
+    def test_drop_fault_shrinks_recording(self):
+        recording = _recording()
+        schedule = FaultSchedule(
+            faults=(FrameDropFault(drop_rate=0.1),), seed=7)
+        injection = schedule.inject(recording, 0)
+        assert injection.recording.n_samples < recording.n_samples
+        assert injection.n_dropped > 0
+
+    def test_apply_recording_shortcut(self):
+        recording = _recording()
+        schedule = FaultSchedule(faults=(SaturationFault(),), seed=7)
+        faulted = schedule.apply_recording(recording, 0)
+        assert (faulted.rss == 1023.0).any()
+
+    def test_counters_incremented(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        recording = _recording()
+        schedule = FaultSchedule(
+            faults=(FrameDropFault(drop_rate=0.1),), seed=7,
+            metrics=registry)
+        schedule.inject(recording, 0)
+        counters = registry.snapshot().counters
+        assert any(k.startswith("faults.injected") for k in counters)
+        assert counters.get("faults.frames_dropped", 0) > 0

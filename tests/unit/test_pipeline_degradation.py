@@ -1,0 +1,302 @@
+"""Graceful-degradation behaviour of the streaming pipeline.
+
+Pins the contracts added for imperfect sensor streams: short frame gaps
+are bridged by interpolation, long gaps flush-and-reset the segmenter and
+surface as :class:`StreamGap`, unhealthy channels are masked with
+hysteretic recovery, and the windowed-replay / end-of-stream-flush
+regressions stay fixed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.sampler import Recording
+from repro.acquisition.stream import RssFrame, stream_frames
+from repro.core.config import AirFingerConfig
+from repro.core.events import ChannelMaskEvent, SegmentEvent, StreamGap
+from repro.core.pipeline import AirFinger
+from repro.core.segmentation import DynamicThresholdSegmenter, Segment
+
+
+def _recording(rss, rate=100.0):
+    rss = np.asarray(rss, dtype=np.float64)
+    n = rss.shape[0]
+    return Recording(times_s=np.arange(n) / rate, rss=rss,
+                     channel_names=tuple(
+                         f"P{i+1}" for i in range(rss.shape[1])))
+
+
+def _noisy_stream(n, c=3, seed=0, burst_at=None):
+    rng = np.random.default_rng(seed)
+    rss = 500.0 + rng.normal(0.0, 2.0, (n, c))
+    if burst_at is not None:
+        lo, hi = burst_at
+        t = np.arange(hi - lo) / 100.0
+        rss[lo:hi] += 80.0 * np.sin(2 * np.pi * 3.0 * t)[:, None]
+    return np.clip(rss, 0.0, 1023.0)
+
+
+def _frames(rss, indices=None, rate=100.0):
+    indices = range(len(rss)) if indices is None else indices
+    return [RssFrame(index=int(i), time_s=float(i) / rate,
+                     values=tuple(float(v) for v in row))
+            for i, row in zip(indices, rss)]
+
+
+class TestGapInterpolation:
+    def test_short_gap_is_bridged(self):
+        rss = _noisy_stream(300)
+        engine = AirFinger()
+        # drop 4 consecutive frames mid-stream (within max_gap_samples=10)
+        kept = [i for i in range(300) if not 100 <= i < 104]
+        events = engine.feed_frames(_frames(rss[kept], indices=kept))
+        assert not any(isinstance(e, StreamGap) for e in events)
+        # interpolated frames count toward the stream position
+        assert engine.stream_position == 300
+
+    def test_short_gap_counts_in_metrics(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        rss = _noisy_stream(300)
+        engine = AirFinger(metrics=registry)
+        kept = [i for i in range(300) if not 100 <= i < 104]
+        engine.feed_frames(_frames(rss[kept], indices=kept))
+        counters = registry.snapshot().counters
+        interp = [v for k, v in counters.items()
+                  if k.startswith("pipeline.faults.gaps")
+                  and "interpolated" in k]
+        assert interp and interp[0] == 4
+
+    def test_interpolation_matches_clean_stream_shape(self):
+        # a linear ramp interpolates exactly, so the degraded stream must
+        # produce the same fused history as the unbroken one
+        n = 260
+        rss = np.tile(np.linspace(400.0, 600.0, n)[:, None], (1, 3))
+        clean = AirFinger()
+        clean.feed_frames(_frames(rss))
+        kept = [i for i in range(n) if not 120 <= i < 125]
+        degraded = AirFinger()
+        degraded.feed_frames(_frames(rss[kept], indices=kept))
+        assert degraded.stream_position == clean.stream_position
+
+
+class TestLongGapReset:
+    def test_long_gap_emits_stream_gap(self):
+        rss = _noisy_stream(400)
+        engine = AirFinger()
+        kept = [i for i in range(400) if not 150 <= i < 200]
+        events = engine.feed_frames(_frames(rss[kept], indices=kept))
+        gaps = [e for e in events if isinstance(e, StreamGap)]
+        assert len(gaps) == 1
+        gap = gaps[0]
+        assert gap.start_index == 150
+        assert gap.end_index == 200
+        assert gap.n_missing == 50
+        assert gap.duration_s == pytest.approx(0.5)
+
+    def test_position_jumps_over_long_gap(self):
+        rss = _noisy_stream(400)
+        engine = AirFinger()
+        kept = [i for i in range(400) if not 150 <= i < 200]
+        engine.feed_frames(_frames(rss[kept], indices=kept))
+        assert engine.stream_position == 400
+
+    def test_segments_after_gap_keep_absolute_positions(self):
+        # burst entirely after the gap: its segment must sit at the
+        # post-gap absolute index, not shifted down by the missing span
+        rss = _noisy_stream(500, burst_at=(320, 400))
+        engine = AirFinger()
+        kept = [i for i in range(500) if not 100 <= i < 150]
+        events = engine.feed_frames(_frames(rss[kept], indices=kept))
+        events += engine.flush()
+        segments = [e for e in events if isinstance(e, SegmentEvent)]
+        assert segments
+        assert any(s.start_index > 250 for s in segments)
+
+    def test_open_burst_is_flushed_at_gap_not_dropped(self):
+        # gesture energy right up against the gap: the truncated segment
+        # must still come out instead of vanishing into the reset
+        rss = _noisy_stream(400, burst_at=(120, 200))
+        engine = AirFinger()
+        kept = [i for i in range(400) if not 200 <= i < 260]
+        events = engine.feed_frames(_frames(rss[kept], indices=kept))
+        gaps = [e for e in events if isinstance(e, StreamGap)]
+        assert len(gaps) == 1
+        segments = [e for e in events if isinstance(e, SegmentEvent)]
+        assert segments, "burst before the gap must be flushed, not lost"
+        assert all(s.end_index <= 260 for s in segments)
+
+    def test_out_of_order_frame_is_absorbed(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        rss = _noisy_stream(200)
+        frames = _frames(rss)
+        frames[50], frames[51] = frames[51], frames[50]
+        engine = AirFinger(metrics=registry)
+        events = engine.feed_frames(frames)  # must not raise
+        # the early frame opens a 1-sample gap (interpolated), the late one
+        # is dropped because its slot is already filled — later frames stay
+        # aligned with the stream position
+        assert engine.stream_position == 200
+        assert not any(isinstance(e, StreamGap) for e in events)
+        counters = registry.snapshot().counters
+        ooo = [v for k, v in counters.items()
+               if k.startswith("pipeline.faults.out_of_order")]
+        assert ooo and ooo[0] == 1
+
+
+class TestChannelGuardInPipeline:
+    def test_dead_channel_is_masked_and_recovers(self):
+        n = 1200
+        rss = _noisy_stream(n)
+        rss[200:700, 1] = 0.0  # channel 1 flatlines for 5 s, then recovers
+        engine = AirFinger()
+        events = engine.feed_frames(_frames(rss))
+        masks = [e for e in events if isinstance(e, ChannelMaskEvent)]
+        assert [(m.channel, m.masked) for m in masks] == [(1, True),
+                                                          (1, False)]
+        masked, recovered = masks
+        assert masked.reason == "flat"
+        assert 200 < masked.index < 400
+        # hysteresis: recovery needs guard_recovery_checks healthy verdicts
+        assert recovered.index > 700
+        assert recovered.reason == "recovered"
+        assert engine.channel_mask == (False, False, False)
+
+    def test_mask_state_exposed_while_masked(self):
+        rss = _noisy_stream(400)
+        rss[100:, 2] = 1023.0  # saturated to end of stream
+        engine = AirFinger()
+        events = engine.feed_frames(_frames(rss))
+        masks = [e for e in events if isinstance(e, ChannelMaskEvent)]
+        assert masks and masks[0].channel == 2
+        assert masks[0].reason == "saturated"
+        assert engine.channel_mask[2] is True
+
+    def test_clean_stream_never_masks(self):
+        rss = _noisy_stream(800)
+        engine = AirFinger()
+        events = engine.feed_frames(_frames(rss))
+        assert not any(isinstance(e, ChannelMaskEvent) for e in events)
+
+    def test_guard_can_be_disabled(self):
+        rss = _noisy_stream(400)
+        rss[:, 1] = 0.0
+        engine = AirFinger(channel_guard=False)
+        events = engine.feed_frames(_frames(rss))
+        assert not any(isinstance(e, ChannelMaskEvent) for e in events)
+
+    def test_guard_on_off_identical_for_clean_streams(self):
+        rss = _noisy_stream(600, burst_at=(200, 280))
+        recording = _recording(rss)
+        on = AirFinger()
+        off = AirFinger(channel_guard=False)
+        events_on = on.feed_recording(recording) + on.flush()
+        events_off = off.feed_recording(recording) + off.flush()
+        seg_on = [e for e in events_on if isinstance(e, SegmentEvent)]
+        seg_off = [e for e in events_off if isinstance(e, SegmentEvent)]
+        assert [(s.start_index, s.end_index) for s in seg_on] == \
+            [(s.start_index, s.end_index) for s in seg_off]
+
+
+class TestWindowedReplayRegression:
+    """Satellite: stream_frames(start>0) must emit stream-relative indices."""
+
+    def test_windowed_indices_start_at_zero(self):
+        recording = _recording(_noisy_stream(100))
+        frames = list(stream_frames(recording, start=40, stop=60))
+        assert [f.index for f in frames] == list(range(20))
+        # timestamps still come from the recording rows
+        assert frames[0].time_s == pytest.approx(recording.times_s[40])
+
+    def test_windowed_replay_through_pipeline_has_no_phantom_gap(self):
+        rss = _noisy_stream(400, burst_at=(250, 330))
+        recording = _recording(rss)
+        engine = AirFinger()
+        events = engine.feed_frames(stream_frames(recording, start=200))
+        events += engine.flush()
+        # a window starting at row 200 must not look like a 200-frame gap
+        assert not any(isinstance(e, StreamGap) for e in events)
+        assert engine.stream_position == 200
+        segments = [e for e in events if isinstance(e, SegmentEvent)]
+        assert segments
+        # segment positions are window-relative (burst at rows 250..330
+        # sits near 50..130 of the replay)
+        assert all(s.end_index <= 200 for s in segments)
+
+
+class TestSegmenterFlushPins:
+    """Satellite: pending segments survive end-of-stream and gaps."""
+
+    def _config(self):
+        return AirFingerConfig()
+
+    def test_flush_emits_open_segment(self):
+        config = self._config()
+        seg = DynamicThresholdSegmenter(config)
+        # quiet then a burst that runs to end of stream while still open
+        for _ in range(300):
+            seg.push(1.0)
+        for _ in range(40):
+            assert seg.push(1e6) is None or True
+        tail = seg.flush()
+        assert tail is not None
+        assert tail.end > tail.start
+
+    def test_flush_emits_pending_cluster(self):
+        config = self._config()
+        seg = DynamicThresholdSegmenter(config)
+        for _ in range(300):
+            seg.push(1.0)
+        for _ in range(40):
+            seg.push(1e6)
+        # close the burst but end the stream inside the cluster window
+        for _ in range(3):
+            seg.push(1.0)
+        tail = seg.flush()
+        assert tail is not None
+
+    def test_discontinuity_flushes_and_advances(self):
+        config = self._config()
+        seg = DynamicThresholdSegmenter(config)
+        for _ in range(300):
+            seg.push(1.0)
+        for _ in range(40):
+            seg.push(1e6)
+        before = seg.samples_seen
+        tail = seg.discontinuity(50)
+        assert tail is not None
+        assert tail.end <= before
+        assert seg.samples_seen == before + 50
+        # the envelope was cleared: the next quiet samples stay quiet
+        emitted = [seg.push(1.0) for _ in range(100)]
+        assert all(e is None for e in emitted)
+
+    def test_discontinuity_validates_argument(self):
+        seg = DynamicThresholdSegmenter(self._config())
+        with pytest.raises(ValueError):
+            seg.discontinuity(0)
+
+    def test_pipeline_flush_emits_trailing_segment(self):
+        # burst running to the very end of the recording: the offline and
+        # the flushed-live paths must both report it
+        rss = _noisy_stream(400, burst_at=(320, 400))
+        recording = _recording(rss)
+        live = AirFinger()
+        events = live.feed_recording(recording)
+        events += live.flush()
+        live_segments = [e for e in events if isinstance(e, SegmentEvent)]
+        assert live_segments
+        offline_segments = AirFinger().segment_recording(recording)
+        assert offline_segments
+        assert live_segments[-1].end_index >= 390
+
+
+class TestStreamGapEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamGap(start_index=10, end_index=10, duration_s=0.0,
+                      time_s=0.1)
+        gap = StreamGap(start_index=10, end_index=25, duration_s=0.15,
+                        time_s=0.25)
+        assert gap.n_missing == 15

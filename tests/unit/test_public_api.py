@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.core",
     "repro.datasets",
     "repro.eval",
+    "repro.faults",
     "repro.obs",
     "repro.power",
 ]
