@@ -1,0 +1,123 @@
+"""Offline-replay throughput: per-frame ``feed`` vs vectorized ``feed_block``.
+
+The block path batches calibration, ChannelGuard verdicts, the dynamic
+threshold segmenter and feature extraction into stacked numpy while
+emitting the *exact* event sequence of N scalar ``feed`` calls — the
+bit-identity contract is pinned by the golden-trace corpus
+(``tests/golden/stream_traces.json``) and the property suite, and
+re-asserted here on the committed corpus before timing anything.
+
+Both timed engines run with ``live_update_every=0``: offline consumers
+(``feed_recording``, the eval protocols) never read non-final
+``ScrollUpdate`` frames, so disabling the live-preview cadence is the
+honest offline-replay configuration — it changes no event any offline
+caller observes.
+
+The gate: ``feed_block`` at the offline block size must replay a long
+idle-dominated session at >= 10x the frames/sec of the scalar loop.
+Wall-clock and frames/sec for both paths land in the benchmark JSON via
+``benchmark.extra_info``, mirroring ``test_campaign_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.acquisition.stream import stream_frames
+from repro.core.pipeline import AirFinger
+from repro.datasets import CampaignConfig, CampaignGenerator
+
+from conftest import print_header
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from tests.golden.stream_cases import (  # noqa: E402
+    build_stream_cases,
+    load_committed_traces,
+    trace_events,
+)
+
+BLOCK_SIZE = 4096
+SPEEDUP_TARGET = 10.0
+# Long idle-dominated session: the realistic duty cycle (a gesture every
+# minute or so) where offline replay spends its time.
+STREAM_GESTURES = ("circle", "click", "rub")
+STREAM_IDLE_S = 60.0
+STREAM_LEAD_IN_S = 30.0
+STREAM_SEED = 902
+
+
+def _offline_engine() -> AirFinger:
+    return AirFinger(live_update_every=0)
+
+
+def _scalar_replay(frames) -> list:
+    engine = _offline_engine()
+    events = []
+    for frame in frames:
+        events.extend(engine.feed(frame))
+    events.extend(engine.flush())
+    return events
+
+
+def test_block_replay_matches_golden_corpus():
+    """The committed golden traces replay bit-identically through blocks."""
+    committed = load_committed_traces()
+    for name, frames in build_stream_cases():
+        assert trace_events(frames, block_size=BLOCK_SIZE) == committed[name], (
+            f"block replay diverged from the committed trace for {name!r}")
+
+
+def test_block_throughput(benchmark):
+    print_header(
+        "Offline replay throughput — vectorized feed_block hot path",
+        "stream replay dominates every robustness sweep and stream "
+        "evaluation; block mode must clear >= 10x the scalar loop")
+
+    generator = CampaignGenerator(CampaignConfig(
+        n_users=1, n_sessions=1, repetitions=1, seed=STREAM_SEED))
+    recording = generator.stream(
+        0, list(STREAM_GESTURES), idle_s=STREAM_IDLE_S,
+        lead_in_s=STREAM_LEAD_IN_S).recording
+    frames = list(stream_frames(recording))
+    n = len(frames)
+
+    scalar_s = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        scalar_events = _scalar_replay(frames)
+        scalar_s = min(scalar_s, time.perf_counter() - t0)
+
+    def run_block():
+        engine = _offline_engine()
+        return engine.feed_recording(recording, block_size=BLOCK_SIZE)
+
+    block_events = benchmark.pedantic(run_block, rounds=5, iterations=1,
+                                      warmup_rounds=1)
+    block_s = min(benchmark.stats.stats.data)
+
+    # equivalence first: same bits, or the speedup is meaningless
+    assert ([repr(e) for e in block_events]
+            == [repr(e) for e in scalar_events])
+
+    speedup = scalar_s / block_s
+    benchmark.extra_info["n_frames"] = n
+    benchmark.extra_info["block_size"] = BLOCK_SIZE
+    benchmark.extra_info["scalar_wall_s"] = round(scalar_s, 4)
+    benchmark.extra_info["block_wall_s"] = round(block_s, 4)
+    benchmark.extra_info["scalar_frames_per_sec"] = round(n / scalar_s, 1)
+    benchmark.extra_info["block_frames_per_sec"] = round(n / block_s, 1)
+    benchmark.extra_info["speedup_block_vs_scalar"] = round(speedup, 2)
+
+    print(f"\nstream: {n} frames ({n / 100.0:.0f} s of 100 Hz session, "
+          f"{len(scalar_events)} events)")
+    print(f"{'mode':<26} {'wall':>9} {'frames/s':>11} {'speedup':>9}")
+    print(f"{'scalar (per-frame feed)':<26} {scalar_s:>8.3f}s "
+          f"{n / scalar_s:>11.0f} {1.0:>8.1f}x")
+    print(f"{f'block (bs={BLOCK_SIZE})':<26} {block_s:>8.3f}s "
+          f"{n / block_s:>11.0f} {speedup:>8.1f}x")
+
+    assert speedup >= SPEEDUP_TARGET, (
+        f"block path {speedup:.2f}x < {SPEEDUP_TARGET}x target")

@@ -9,12 +9,13 @@ exactly the interface they would see on hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
+import numpy as np
 
 from repro.acquisition.sampler import Recording
 
-__all__ = ["RssFrame", "stream_frames"]
+__all__ = ["RssFrame", "FrameBlock", "stream_frames", "stream_blocks"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,102 @@ class RssFrame:
     def combined(self) -> float:
         """Channel-summed RSS."""
         return float(sum(self.values))
+
+
+@dataclass(frozen=True)
+class FrameBlock:
+    """A contiguous batch of frames in stacked (struct-of-arrays) form.
+
+    The block-mode consume path (:meth:`AirFinger.feed_block
+    <repro.core.pipeline.AirFinger.feed_block>`) wants N frames as three
+    aligned arrays rather than N :class:`RssFrame` objects — replaying a
+    recording offline can then skip per-frame tuple construction entirely.
+    ``indices`` keeps the stream-relative numbering of
+    :func:`stream_frames`, including any gaps or reordering the source
+    carries.
+    """
+
+    indices: np.ndarray   # (N,) int64, stream-relative
+    times_s: np.ndarray   # (N,) float64
+    values: np.ndarray    # (N, C) float64
+
+    def __post_init__(self) -> None:
+        if not (self.indices.ndim == 1 and self.times_s.ndim == 1
+                and self.values.ndim == 2):
+            raise ValueError("indices/times_s must be 1-D, values 2-D")
+        if not (len(self.indices) == len(self.times_s) == len(self.values)):
+            raise ValueError(
+                f"mismatched block lengths: {len(self.indices)} indices, "
+                f"{len(self.times_s)} times, {len(self.values)} value rows")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def frame(self, i: int) -> RssFrame:
+        """Materialize row *i* as a scalar :class:`RssFrame`."""
+        return RssFrame(index=int(self.indices[i]),
+                        time_s=float(self.times_s[i]),
+                        values=tuple(self.values[i].tolist()))
+
+    def frames(self) -> Iterator[RssFrame]:
+        """Materialize every row as a scalar :class:`RssFrame`."""
+        for i in range(len(self.indices)):
+            yield self.frame(i)
+
+    @classmethod
+    def from_frames(cls, frames: Iterable[RssFrame]) -> "FrameBlock":
+        """Stack an :class:`RssFrame` sequence (must share channel count)."""
+        frames = list(frames)
+        indices = np.fromiter((f.index for f in frames), dtype=np.int64,
+                              count=len(frames))
+        times = np.fromiter((f.time_s for f in frames), dtype=np.float64,
+                            count=len(frames))
+        if frames:
+            values = np.array([f.values for f in frames], dtype=np.float64)
+            if values.ndim != 2:
+                raise ValueError("frames disagree on channel count")
+        else:
+            values = np.empty((0, 0), dtype=np.float64)
+        return cls(indices=indices, times_s=times, values=values)
+
+    @classmethod
+    def from_recording(cls, recording: Recording, start: int = 0,
+                       stop: int | None = None) -> "FrameBlock":
+        """One block covering ``recording[start:stop)``, zero-based like
+        :func:`stream_frames` (same values, no per-frame objects)."""
+        stop = recording.n_samples if stop is None else stop
+        if not 0 <= start <= stop <= recording.n_samples:
+            raise ValueError(
+                f"invalid frame range [{start}, {stop}) for "
+                f"{recording.n_samples} samples")
+        return cls(
+            indices=np.arange(stop - start, dtype=np.int64),
+            times_s=np.asarray(recording.times_s[start:stop],
+                               dtype=np.float64),
+            values=np.asarray(recording.rss[start:stop], dtype=np.float64))
+
+
+def stream_blocks(recording: Recording, block_size: int,
+                  start: int = 0,
+                  stop: int | None = None) -> Iterator[FrameBlock]:
+    """Replay a recording as :class:`FrameBlock` batches of *block_size*.
+
+    The last block is short when the range does not divide evenly.  Frame
+    numbering matches :func:`stream_frames` over the same range.
+    """
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    stop = recording.n_samples if stop is None else stop
+    if not 0 <= start <= stop <= recording.n_samples:
+        raise ValueError(
+            f"invalid frame range [{start}, {stop}) for "
+            f"{recording.n_samples} samples")
+    whole = FrameBlock.from_recording(recording, start, stop)
+    for lo in range(0, stop - start, block_size):
+        hi = min(lo + block_size, stop - start)
+        yield FrameBlock(indices=whole.indices[lo:hi],
+                         times_s=whole.times_s[lo:hi],
+                         values=whole.values[lo:hi])
 
 
 def stream_frames(recording: Recording,

@@ -93,8 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--corpus", type=Path, required=True)
     ev.add_argument("--protocol",
                     choices=("overall", "diversity", "inconsistency",
-                             "tracking", "distinguisher"),
+                             "tracking", "distinguisher", "stream"),
                     default="overall")
+    ev.add_argument("--seed", type=int, default=2020,
+                    help="campaign seed for the synthesized labelled "
+                         "streams (stream protocol only)")
+    ev.add_argument("--block", type=int, default=None,
+                    help="frames per feed_block batch during stream "
+                         "replay (stream protocol only; 1 forces the "
+                         "per-frame path, default picks the offline "
+                         "block size)")
     _add_metrics_json(ev)
     _add_trace_flags(ev)
 
@@ -122,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     rob.add_argument("--stream-samples", type=int, default=6,
                      help="faulted recordings replayed through the live "
                           "engine per intensity (0 disables)")
+    rob.add_argument("--block", type=int, default=None,
+                     help="frames per feed_block batch during the stream "
+                          "replays (1 forces the per-frame path; the "
+                          "curve is identical either way)")
     rob.add_argument("--out", type=Path, default=None,
                      help="write the accuracy-vs-fault curve to this "
                           "JSON file")
@@ -137,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                       default="click,circle,scroll_up")
     demo.add_argument("--user", type=int, default=0)
     demo.add_argument("--seed", type=int, default=2020)
+    demo.add_argument("--block", type=int, default=None,
+                      help="frames per feed_block batch during replay "
+                           "(1 forces the per-frame path; the printed "
+                           "events are identical either way)")
     _add_metrics_json(demo)
     _add_trace_flags(demo)
 
@@ -342,12 +358,40 @@ def _cmd_evaluate(args) -> int:
             "evaluate",
             config={"corpus": str(args.corpus),
                     "protocol": args.protocol,
+                    "block": args.block,
                     "n_samples": len(corpus)},
             seeds={},
             path=args.corpus.with_name(
                 f"{args.corpus.stem}.{args.protocol}.manifest.json"))
         return 0
 
+    if args.protocol == "stream":
+        from repro.core.detector import DetectAimedRecognizer
+        from repro.core.pipeline import AirFinger
+        from repro.datasets import CampaignConfig, CampaignGenerator
+        from repro.eval.stream_protocols import evaluate_streams
+        from repro.hand.gestures import GESTURE_NAMES
+
+        users = sorted({int(u) for u in corpus.users}) or [0]
+        generator = CampaignGenerator(CampaignConfig(
+            n_users=max(users) + 1, seed=args.seed))
+        streams = [generator.stream(u, list(GESTURE_NAMES), idle_s=0.8)
+                   for u in users]
+        # train the recognizer on the corpus so the replay scores
+        # recognition, not just segmentation
+        detector = None
+        detect = corpus.filter(lambda s: not s.is_track_aimed)
+        if len(detect):
+            detector = DetectAimedRecognizer()
+            detector.fit(detect.signals(), detect.labels)
+        engine = AirFinger(config=corpus.config, detector=detector)
+        score = evaluate_streams(engine, streams, block_size=args.block)
+        for name, acc in score.per_gesture_accuracy().items():
+            print(f"{name:<14} {acc:.2%}")
+        print(f"detection recall     {score.detection_recall:.2%}")
+        print(f"recognition accuracy {score.recognition_accuracy:.2%}")
+        print(f"spurious events      {score.spurious_events}")
+        return finish()
     if args.protocol == "tracking":
         result = track_direction_accuracy(corpus)
         for name, acc in result.direction_accuracy.items():
@@ -420,7 +464,8 @@ def _cmd_robustness(args) -> int:
     try:
         result = robustness_sweep(
             corpus, schedule, intensities=intensities,
-            n_splits=args.splits, stream_samples=args.stream_samples)
+            n_splits=args.splits, stream_samples=args.stream_samples,
+            block_size=args.block)
     except ValueError as exc:
         print(f"cannot run robustness sweep on this corpus: {exc}",
               file=sys.stderr)
@@ -446,7 +491,7 @@ def _cmd_robustness(args) -> int:
         config={"corpus": str(args.corpus), "faults": names,
                 "intensities": intensities, "seed": args.seed,
                 "splits": args.splits, "channel": args.channel,
-                "n_samples": len(corpus)},
+                "block": args.block, "n_samples": len(corpus)},
         seeds={"faults": args.seed},
         path=args.corpus.with_name(
             f"{args.corpus.stem}.robustness.manifest.json"))
@@ -467,7 +512,8 @@ def _cmd_demo(args) -> int:
     truth = [n for n, _, _ in stream.recording.meta["segments"]
              if n != "idle"]
     print(f"ground truth: {truth}")
-    for event in engine.feed_recording(stream.recording):
+    for event in engine.feed_recording(stream.recording,
+                                       block_size=args.block):
         if isinstance(event, SegmentEvent):
             print(f"t={event.start_time_s:6.2f}s segment "
                   f"[{event.start_index}, {event.end_index})")

@@ -50,7 +50,7 @@ from repro.core.events import (
     SegmentEvent,
     StreamGap,
 )
-from repro.core.pipeline import AirFinger
+from repro.core.pipeline import DEFAULT_BLOCK_SIZE, AirFinger
 from repro.core.persistence import load_stack, save_stack
 from repro.core.templates import GestureTemplate, TemplateRecognizer
 from repro.core.tracking2d import PlanarTracker, PlanarTrackResult, compass_bin
@@ -85,6 +85,7 @@ __all__ = [
     "StreamGap",
     "ChannelMaskEvent",
     "AirFinger",
+    "DEFAULT_BLOCK_SIZE",
     "load_stack",
     "save_stack",
     "GestureTemplate",

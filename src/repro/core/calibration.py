@@ -319,6 +319,134 @@ class ChannelGuard:
                     self._hold[c] = float(np.median(window))
         return transitions
 
+    def push_block(self, values: np.ndarray
+                   ) -> list[tuple[int, list[tuple[int, bool, str, float]]]]:
+        """Ingest N raw frames at once; bit-identical to N :meth:`push` calls.
+
+        *values* is an ``(N, n_channels)`` float matrix.  Returns
+        ``(offset, transitions)`` pairs for the frames whose check produced
+        mask transitions; each transition is ``(channel, masked, reason,
+        hold)`` — :meth:`push`'s tuple plus a snapshot of
+        :meth:`hold_value` *at that check*, which a block consumer needs
+        because the guard's hold state keeps evolving through the rest of
+        the block.  Check cadence is scheduled up front
+        (it only depends on the sample count), the window statistics for
+        all checks are computed in stacked numpy — ``np.mean`` over
+        booleans and ``np.median`` over a window are order-independent, so
+        axis-wise evaluation reproduces the per-window results exactly —
+        and the mask/streak/hold bookkeeping replays sequentially.
+        """
+        x = np.asarray(values, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_channels:
+            raise ValueError(
+                f"frame block has {x.shape[1] if x.ndim == 2 else '?'} "
+                f"channels, guard has {self.n_channels}")
+        n = x.shape[0]
+        if n == 0:
+            return []
+        w = self.window
+        carried = len(self._buffers[0])
+        # a check fires at offset i once since_check >= check_every AND the
+        # window is full; since_check resets only when a check actually runs
+        first = max(0, self.check_every - 1 - self._since_check,
+                    w - 1 - carried)
+        check_offsets = list(range(first, n, self.check_every))
+        if carried:
+            pre = np.array([list(b) for b in self._buffers],
+                           dtype=np.float64).T
+        else:
+            pre = np.empty((0, self.n_channels), dtype=np.float64)
+        # the maxlen=w deques keep only each column's tail anyway
+        tail0 = max(0, n - w)
+        for buffer, column in zip(self._buffers, x.T):
+            buffer.extend(column[tail0:].tolist())
+        if check_offsets:
+            self._since_check = n - 1 - check_offsets[-1]
+        else:
+            self._since_check += n
+            return []
+
+        history = np.concatenate([pre, x])
+        # start row in history of the window ending at each check offset
+        rows = [carried + off + 1 - w for off in check_offsets]
+        starts = np.asarray(rows)
+        n_ch = self.n_channels
+        full_scale = self.adc.full_scale
+        # exact window statistics from prefix counts: np.mean over a bool
+        # window is (integer count) / w — integer counts never round, so a
+        # difference of cumulative counts carries the same bits as the
+        # per-window mean while doing O(T) work instead of O(R * w)
+        sat_cum = np.zeros((history.shape[0] + 1, n_ch), dtype=np.int64)
+        np.cumsum(history >= full_scale, axis=0, out=sat_cum[1:])
+        sat_count = sat_cum[starts + w] - sat_cum[starts]
+        sat = sat_count / w > self.max_high_rail
+        flat_cum = np.zeros((history.shape[0], n_ch), dtype=np.int64)
+        np.cumsum(np.diff(history, axis=0) == 0.0, axis=0, out=flat_cum[1:])
+        # the w - 1 adjacent-equal pairs of a window are the history diffs
+        # at rows start .. start + w - 2
+        flat_count = flat_cum[starts + w - 1] - flat_cum[starts]
+        flat = flat_count / (w - 1) > self.max_flat_fraction
+
+        # Hold medians are computed lazily: a hold is only ever observed
+        # at a masking/recovery transition (the snapshot below) and at
+        # block end (state for the next block), and the mask/streak
+        # bookkeeping never reads it — so first replay the bookkeeping
+        # tracking only *which* healthy check each hold would come from,
+        # then take np.median for the handful of windows actually needed.
+        pre_hold = list(self._hold)
+        hold_src: list[int | None] = [None] * self.n_channels
+        raw: list[tuple[int, list[tuple[int, bool, str, int | None]]]] = []
+        for j, off in enumerate(check_offsets):
+            transitions: list[tuple[int, bool, str, int | None]] = []
+            for c in range(self.n_channels):
+                if sat[j, c]:
+                    fault = "saturated"
+                elif flat[j, c]:
+                    fault = "flat"
+                else:
+                    fault = ""
+                if fault:
+                    self._healthy_streak[c] = 0
+                    if not self._masked[c]:
+                        self._masked[c] = True
+                        self._reasons[c] = fault
+                        transitions.append((c, True, fault, hold_src[c]))
+                elif self._masked[c]:
+                    self._healthy_streak[c] += 1
+                    if self._healthy_streak[c] >= self.recovery_checks:
+                        self._masked[c] = False
+                        self._reasons[c] = ""
+                        self._healthy_streak[c] = 0
+                        transitions.append((c, False, "recovered",
+                                            hold_src[c]))
+                else:
+                    hold_src[c] = j
+            if transitions:
+                raw.append((off, transitions))
+
+        medians: dict[tuple[int, int], float] = {}
+        for _, transitions in raw:
+            for c, _, _, src in transitions:
+                if src is not None:
+                    medians[(src, c)] = 0.0
+        for c, src in enumerate(hold_src):
+            if src is not None:
+                medians[(src, c)] = 0.0
+        for j, c in medians:
+            medians[(j, c)] = float(
+                np.median(history[rows[j]:rows[j] + w, c]))
+        for c, src in enumerate(hold_src):
+            if src is not None:
+                self._hold[c] = medians[(src, c)]
+
+        out: list[tuple[int, list[tuple[int, bool, str, float]]]] = []
+        for off, transitions in raw:
+            out.append((off, [
+                (c, masked, reason,
+                 pre_hold[c] if src is None else medians[(src, c)])
+                for c, masked, reason, src in transitions]))
+        return out
+
     def clear_window(self) -> None:
         """Forget buffered samples (after a stream gap); masks persist."""
         for buffer in self._buffers:

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.config import AirFingerConfig
 from repro.core.sbc import sbc_transform
 from repro.ml.tree import DecisionTreeClassifier
+from repro.utils import fast_quantile
 
 __all__ = [
     "onset_times",
@@ -215,9 +216,9 @@ def sweep_statistics(rss_segment: np.ndarray,
     k = min(smooth_window, n)
     kernel = np.ones(k) / k
     e1 = np.convolve(np.maximum(
-        rss[:, 0] - np.quantile(rss[:, 0], 0.1), 0.0), kernel, "same")
+        rss[:, 0] - fast_quantile(rss[:, 0], 0.1), 0.0), kernel, "same")
     e3 = np.convolve(np.maximum(
-        rss[:, -1] - np.quantile(rss[:, -1], 0.1), 0.0), kernel, "same")
+        rss[:, -1] - fast_quantile(rss[:, -1], 0.1), 0.0), kernel, "same")
     t = np.arange(n) / sample_rate_hz
 
     s1, s3 = float(e1.sum()), float(e3.sum())

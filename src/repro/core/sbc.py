@@ -21,6 +21,26 @@ import numpy as np
 
 __all__ = ["sbc_transform", "StreamingSbc", "StreamingMovingAverage", "prefilter"]
 
+# Exactness grid for the block-mode fast path: values that are integer
+# multiples of 2^-20 with magnitude <= 2^12 have all their running sums
+# (up to 2^20 terms) exactly representable in float64, so *any* summation
+# order — including cumsum — reproduces the streaming carry bit-for-bit.
+_GRID_SCALE = float(1 << 20)
+_GRID_MAX_ABS = float(1 << 12)
+_GRID_MAX_TERMS = 1 << 20
+
+
+def _on_exact_grid(x: np.ndarray) -> bool:
+    """True when every value of *x* sits on the exactly-summable grid."""
+    if x.size == 0:
+        return True
+    if x.size > _GRID_MAX_TERMS or not np.all(np.isfinite(x)):
+        return False
+    if np.max(np.abs(x)) > _GRID_MAX_ABS:
+        return False
+    scaled = x * _GRID_SCALE
+    return bool(np.all(scaled == np.rint(scaled)))
+
 
 def prefilter(signal: np.ndarray, window: int) -> np.ndarray:
     """Causal moving-average smoothing applied to raw RSS before SBC.
@@ -64,6 +84,49 @@ class StreamingMovingAverage:
         self._buffer.append(value)
         self._sum += value
         return self._sum / len(self._buffer)
+
+    def push_block(self, values: np.ndarray) -> np.ndarray:
+        """Ingest N samples at once; bit-identical to N :meth:`push` calls.
+
+        When every involved sample (buffered and incoming) lies on the
+        exactly-summable grid (integer-ish ADC codes, half-count medians),
+        the window sums are computed via a prefix sum — every partial sum
+        is exactly representable, so the result matches the streaming
+        carry recurrence bit-for-bit.  Otherwise a tight scalar loop
+        replays the exact per-push operation order.
+        """
+        x = np.asarray(values, dtype=np.float64).ravel()
+        n = x.size
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        w = self.window
+        buf = self._buffer
+        carried = np.fromiter(buf, dtype=np.float64, count=len(buf))
+        # The carry may hold residue from earlier off-grid samples (e.g.
+        # gap interpolation) even after those samples left the buffer.
+        exact = (_on_exact_grid(carried) and _on_exact_grid(x)
+                 and self._sum == float(np.sum(carried)))
+        if exact:
+            seq = np.concatenate([carried, x])
+            prefix = np.concatenate([[0.0], np.cumsum(seq)])
+            hi = np.arange(len(carried) + 1, len(seq) + 1)
+            lo = np.maximum(hi - w, 0)
+            out = (prefix[hi] - prefix[lo]) / (hi - lo)
+            buf.extend(x.tolist())
+            self._sum = float(np.sum(np.fromiter(buf, dtype=np.float64,
+                                                 count=len(buf))))
+            return out
+        out = np.empty(n, dtype=np.float64)
+        s = self._sum
+        append = buf.append
+        for i, value in enumerate(x.tolist()):
+            if len(buf) == w:
+                s -= buf[0]
+            append(value)
+            s += value
+            out[i] = s / len(buf)
+        self._sum = s
+        return out
 
     def reset(self) -> None:
         """Forget buffered samples."""
@@ -131,7 +194,39 @@ class StreamingSbc:
 
     def push_many(self, values: np.ndarray) -> np.ndarray:
         """Ingest a batch, returning one ΔRSS² per input sample."""
-        return np.array([self.push(v) for v in np.asarray(values).ravel()])
+        return self.push_block(values)
+
+    def push_block(self, values: np.ndarray) -> np.ndarray:
+        """Ingest N samples at once; bit-identical to N :meth:`push` calls.
+
+        Window sums are built by strided accumulation in the same
+        left-to-right order as the scalar ``sum()`` over the buffer, so
+        every elementwise rounding step matches the streaming path.
+        """
+        x = np.asarray(values, dtype=np.float64).ravel()
+        n = x.size
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        w = self.window
+        buf = self._buffer
+        carried = np.fromiter(buf, dtype=np.float64, count=len(buf))
+        seq = np.concatenate([carried, x])
+        out = np.zeros(n, dtype=np.float64)
+        first_valid = max(0, 2 * w - len(carried) - 1)
+        if first_valid < n:
+            m = n - first_valid
+            # Window start for output i: seq[L0+i+1-2w : ...] (buffer full).
+            p0 = len(carried) + first_valid + 1 - 2 * w
+            prev_sum = np.zeros(m, dtype=np.float64)
+            cur_sum = np.zeros(m, dtype=np.float64)
+            for k in range(w):
+                prev_sum += seq[p0 + k: p0 + k + m]
+                cur_sum += seq[p0 + w + k: p0 + w + k + m]
+            delta = (cur_sum - prev_sum) / w
+            out[first_valid:] = delta * delta
+        buf.extend(x.tolist())
+        self._count += n
+        return out
 
     def reset(self) -> None:
         """Forget all buffered samples."""

@@ -24,7 +24,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.events import ChannelMaskEvent, SegmentEvent, StreamGap
-from repro.core.pipeline import AirFinger
+from repro.core.pipeline import DEFAULT_BLOCK_SIZE, AirFinger
 from repro.datasets.corpus import GestureCorpus
 from repro.eval.protocols import (
     EvaluationResult,
@@ -132,13 +132,19 @@ def _faulted_corpus(corpus: GestureCorpus,
 
 
 def _stream_health(corpus: GestureCorpus, schedule: FaultSchedule,
-                   stream_samples: int) -> tuple[int, int, int]:
+                   stream_samples: int,
+                   block_size: int | None = None) -> tuple[int, int, int]:
     """Replay faulted streams through the live engine; count what happened.
 
     Returns ``(stream_gaps, mask_transitions, segments)``.  The engine
     must never raise here — that contract is pinned separately by the
-    fault property tests.
+    fault property tests.  Replay batches frames through
+    :meth:`AirFinger.feed_block` (``block_size=None`` picks the offline
+    default) — bit-identical events to per-frame streaming, which remains
+    reachable with ``block_size=1``.
     """
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
     gaps = 0
     masks = 0
     segments = 0
@@ -146,7 +152,8 @@ def _stream_health(corpus: GestureCorpus, schedule: FaultSchedule,
         if i >= stream_samples:
             break
         engine = AirFinger(config=corpus.config)
-        events = engine.feed_frames(schedule.stream(sample.recording, i))
+        events = engine.feed_frames(schedule.stream(sample.recording, i),
+                                    block_size=block_size)
         gaps += sum(isinstance(e, StreamGap) for e in events)
         masks += sum(isinstance(e, ChannelMaskEvent) for e in events)
         segments += sum(isinstance(e, SegmentEvent) for e in events)
@@ -161,7 +168,8 @@ def robustness_sweep(corpus: GestureCorpus,
                      model_factory: Callable = default_model_factory,
                      n_splits: int = 5,
                      random_state: int = 0,
-                     stream_samples: int = 6) -> RobustnessResult:
+                     stream_samples: int = 6,
+                     block_size: int | None = None) -> RobustnessResult:
     """Sweep *schedule* over *intensities* and measure detect accuracy.
 
     Parameters
@@ -184,6 +192,11 @@ def robustness_sweep(corpus: GestureCorpus,
     stream_samples:
         Faulted recordings replayed through the live engine per point for
         the stream-health columns (0 disables the replay).
+    block_size:
+        Frames per :meth:`AirFinger.feed_block` batch during the stream
+        replays (``None`` picks the offline default, ``1`` forces the
+        per-frame path).  The event sequence — and therefore every
+        stream-health column — is identical either way.
     """
     if not intensities:
         raise ValueError("need at least one intensity")
@@ -205,7 +218,7 @@ def robustness_sweep(corpus: GestureCorpus,
                 random_state=random_state)
             if stream_samples > 0:
                 gaps, masks, segments = _stream_health(
-                    corpus, scaled, stream_samples)
+                    corpus, scaled, stream_samples, block_size=block_size)
             else:
                 gaps = masks = segments = 0
         point = RobustnessPoint(

@@ -80,10 +80,17 @@ def _overlap(a_start: int, a_end: int, b_start: int, b_end: int) -> int:
 
 def evaluate_stream(engine: AirFinger,
                     stream: GestureSample,
-                    min_overlap: float = 0.3) -> StreamScore:
-    """Score one labelled stream through *engine* (engine state is reset)."""
+                    min_overlap: float = 0.3,
+                    block_size: int | None = None) -> StreamScore:
+    """Score one labelled stream through *engine* (engine state is reset).
+
+    Replay uses the vectorized block path by default (the event sequence
+    is bit-identical to per-frame streaming — the golden-trace and
+    property suites pin that contract); pass ``block_size=1`` to force
+    the per-frame path.
+    """
     engine.reset()
-    events = engine.feed_recording(stream.recording)
+    events = engine.feed_recording(stream.recording, block_size=block_size)
     truth = [(name, start, end)
              for name, start, end in stream.recording.meta["segments"]
              if name != "idle"]
@@ -137,11 +144,13 @@ def evaluate_stream(engine: AirFinger,
 
 def evaluate_streams(engine: AirFinger,
                      streams: Sequence[GestureSample],
-                     min_overlap: float = 0.3) -> StreamScore:
+                     min_overlap: float = 0.3,
+                     block_size: int | None = None) -> StreamScore:
     """Score a batch of labelled streams; returns the merged counters."""
     if not streams:
         raise ValueError("need at least one stream")
     total = StreamScore()
     for stream in streams:
-        total.merge(evaluate_stream(engine, stream, min_overlap))
+        total.merge(evaluate_stream(engine, stream, min_overlap,
+                                    block_size=block_size))
     return total

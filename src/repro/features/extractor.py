@@ -7,6 +7,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.features import frequency as fd
 from repro.features.registry import FeatureSpec, feature_registry
 
 __all__ = ["FeatureExtractor", "extract_feature_matrix"]
@@ -35,6 +36,9 @@ class FeatureExtractor:
         names = [s.name for s in self.specs]
         if len(set(names)) != len(names):
             raise ValueError("duplicate feature names in extractor")
+        object.__setattr__(
+            self, "_wants_spectrum",
+            any(s.family == "fft" for s in self.specs))
 
     @classmethod
     def full(cls) -> "FeatureExtractor":
@@ -81,12 +85,27 @@ class FeatureExtractor:
         return len(self.specs)
 
     def extract(self, signal: np.ndarray) -> np.ndarray:
-        """Feature vector for one signal (finite float64, shape ``(F,)``)."""
+        """Feature vector for one signal (finite float64, shape ``(F,)``).
+
+        When the extractor carries FFT-family specs, the magnitude
+        spectrum is computed once and shared across all of them (via
+        :func:`repro.features.frequency.shared_spectrum`); each feature
+        value stays bit-identical to computing it standalone.
+        """
         signal = np.asarray(signal, dtype=np.float64).ravel()
+        if self._wants_spectrum:
+            with fd.shared_spectrum(signal):
+                return np.array([spec.compute(signal) for spec in self.specs])
         return np.array([spec.compute(signal) for spec in self.specs])
 
     def extract_many(self, signals: Sequence[np.ndarray]) -> np.ndarray:
-        """Feature matrix ``(N, F)`` for a batch of signals."""
+        """Feature matrix ``(N, F)`` for a batch of signals.
+
+        Row ``i`` is exactly ``extract(signals[i])`` — the batch surface
+        exists so callers (corpus extraction, the detector stack, the
+        eval protocols) hit the shared-spectrum fast path per signal
+        without writing their own loop.
+        """
         if len(signals) == 0:
             return np.zeros((0, self.n_features))
         return np.stack([self.extract(s) for s in signals])

@@ -9,6 +9,8 @@ scipy versions removed ``scipy.signal.ricker``.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 __all__ = [
@@ -21,6 +23,7 @@ __all__ = [
     "cwt_ricker",
     "cwt_energy",
     "cwt_peak_width",
+    "shared_spectrum",
 ]
 
 
@@ -29,12 +32,45 @@ def _clean(x: np.ndarray) -> np.ndarray:
     return np.nan_to_num(x, nan=0.0, posinf=0.0, neginf=0.0)
 
 
-def _magnitude_spectrum(x: np.ndarray) -> np.ndarray:
-    """One-sided magnitude spectrum of the mean-removed signal."""
+def _compute_magnitude_spectrum(x: np.ndarray) -> np.ndarray:
     x = _clean(x)
     if x.size < 2:
         return np.zeros(1)
     return np.abs(np.fft.rfft(x - x.mean()))
+
+
+# (signal, spectrum) installed by shared_spectrum(); every FFT feature of
+# the Table-I family starts from this spectrum, so an extractor sweeping
+# many FFT specs over one segment can compute the rfft once.
+_active_spectrum: tuple[np.ndarray, np.ndarray] | None = None
+
+
+@contextmanager
+def shared_spectrum(x: np.ndarray):
+    """Compute the magnitude spectrum of *x* once and share it.
+
+    Inside the context, any FFT feature called on the *same array object*
+    reuses the precomputed spectrum instead of re-running the rfft.  The
+    shared value is the output of the exact computation each feature
+    would have performed itself, so every feature value is bit-identical
+    with or without the context.  Contexts nest; other signals are
+    unaffected.
+    """
+    global _active_spectrum
+    previous = _active_spectrum
+    _active_spectrum = (x, _compute_magnitude_spectrum(x))
+    try:
+        yield
+    finally:
+        _active_spectrum = previous
+
+
+def _magnitude_spectrum(x: np.ndarray) -> np.ndarray:
+    """One-sided magnitude spectrum of the mean-removed signal."""
+    active = _active_spectrum
+    if active is not None and active[0] is x:
+        return active[1]
+    return _compute_magnitude_spectrum(x)
 
 
 # ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@ __all__ = [
     "derive_seed",
     "as_float_array",
     "chunked",
+    "fast_quantile",
     "validate_positive",
     "validate_fraction",
     "validate_window",
@@ -86,6 +87,36 @@ def as_float_array(values: Iterable[float], name: str = "values") -> np.ndarray:
     if arr.size and not np.all(np.isfinite(arr)):
         raise ValueError(f"{name} must be finite, got NaN or inf")
     return arr
+
+
+def fast_quantile(values: np.ndarray, q: float) -> float:
+    """Bit-identical ``np.quantile(values, q)`` without its call overhead.
+
+    ``np.quantile`` spends ~50 µs per call on argument normalization —
+    painful for the streaming hot paths (threshold refresh, sweep
+    statistics) that evaluate small quantiles thousands of times.  This
+    replays numpy's default ``linear`` method directly: partition at the
+    two bracketing order statistics and interpolate with the same
+    lesser/greater-gamma formulas, so the result carries the exact same
+    bits.  Inputs containing NaN/inf fall back to ``np.quantile``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    a = np.asarray(values, dtype=np.float64).ravel()
+    n = a.size
+    if n == 0 or not np.all(np.isfinite(a)):
+        return float(np.quantile(a, q))
+    virtual = q * (n - 1)
+    lo = int(virtual)
+    hi = min(lo + 1, n - 1)
+    gamma = virtual - lo
+    part = np.partition(a, (lo, hi))
+    below, above = part[lo], part[hi]
+    diff = above - below
+    # numpy's _lerp switches formula at gamma >= 0.5 to stay monotone
+    if gamma >= 0.5:
+        return float(above - diff * (1.0 - gamma))
+    return float(below + diff * gamma)
 
 
 def validate_positive(value: float, name: str) -> float:

@@ -1,12 +1,12 @@
-"""Regenerate the committed golden photocurrent traces.
+"""Regenerate the committed golden traces (waveforms + event streams).
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python tests/golden/regenerate.py
 
-Only run this when the radiometric physics is intentionally changed; the
-resulting ``fig3_waveforms.npz`` diff is the review artifact that shows
-the model moved.
+Only run this when the physics or the pipeline behavior is intentionally
+changed; the resulting ``fig3_waveforms.npz`` / ``stream_traces.json``
+diffs are the review artifacts that show what moved.
 """
 
 from __future__ import annotations
@@ -19,6 +19,18 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
 
 from tests.golden.cases import GOLDEN_PATH, build_golden_scenes  # noqa: E402
+from tests.golden.robustness_fixture import (  # noqa: E402
+    ROBUSTNESS_CURVE_PATH,
+    build_sweep_inputs,
+    run_sweep,
+    write_curve,
+)
+from tests.golden.stream_cases import (  # noqa: E402
+    STREAM_TRACES_PATH,
+    build_stream_cases,
+    trace_events,
+    write_traces,
+)
 
 
 def main() -> int:
@@ -29,6 +41,19 @@ def main() -> int:
     np.savez_compressed(GOLDEN_PATH, **arrays)
     total = sum(a.size for a in arrays.values())
     print(f"wrote {len(arrays)} traces ({total} values) -> {GOLDEN_PATH}")
+
+    traces = {name: trace_events(frames)
+              for name, frames in build_stream_cases()}
+    write_traces(traces)
+    n_events = sum(len(lines) for lines in traces.values())
+    print(f"wrote {len(traces)} event traces ({n_events} events) "
+          f"-> {STREAM_TRACES_PATH}")
+
+    corpus, schedule = build_sweep_inputs()
+    payload = run_sweep(corpus, schedule, block_size=1)
+    write_curve(payload)
+    print(f"wrote {len(payload['points'])}-point robustness curve "
+          f"-> {ROBUSTNESS_CURVE_PATH}")
     return 0
 
 

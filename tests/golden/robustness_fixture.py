@@ -1,0 +1,62 @@
+"""The frozen robustness-curve fixture: sweep inputs and committed output.
+
+``robustness_curve.json`` freezes the full :func:`robustness_sweep`
+payload (accuracy curve + fault-injection and stream-health columns) for
+one small deterministic corpus and a mixed fault schedule.  The sweep
+replays faulted streams through the live engine, so the fixture pins the
+whole consume path: any behavioral drift in the pipeline — scalar or
+block-mode — moves a curve point and fails the lock in
+``tests/integration/test_robustness_block.py``.
+
+The committed file was generated on the pre-block-mode per-frame path;
+the block-path re-route must keep matching it exactly.
+
+Regenerate with ``PYTHONPATH=src python tests/golden/regenerate.py`` —
+only when the evaluation is *meant* to change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datasets.generator import CampaignConfig, CampaignGenerator
+from repro.eval.robustness import robustness_sweep
+from repro.faults import ChannelDropoutFault, FaultSchedule, FrameDropFault
+
+ROBUSTNESS_CURVE_PATH = Path(__file__).parent / "robustness_curve.json"
+
+SWEEP_INTENSITIES = (0.0, 0.5, 1.0)
+SWEEP_SPLITS = 2
+SWEEP_STREAM_SAMPLES = 3
+
+
+def build_sweep_inputs():
+    """``(corpus, schedule)`` for the fixture sweep, rebuilt bit-for-bit."""
+    generator = CampaignGenerator(CampaignConfig(
+        n_users=2, n_sessions=1, repetitions=3, seed=2020))
+    corpus = generator.main_campaign(repetitions=2)
+    schedule = FaultSchedule(
+        faults=(FrameDropFault(), ChannelDropoutFault(channel=1)),
+        seed=2020)
+    return corpus, schedule
+
+
+def run_sweep(corpus, schedule, block_size: int | None = None) -> dict:
+    """The fixture sweep's JSON payload (deterministic end to end)."""
+    result = robustness_sweep(
+        corpus, schedule, intensities=SWEEP_INTENSITIES,
+        n_splits=SWEEP_SPLITS, stream_samples=SWEEP_STREAM_SAMPLES,
+        **({} if block_size is None else {"block_size": block_size}))
+    return result.to_dict()
+
+
+def load_committed_curve() -> dict:
+    with ROBUSTNESS_CURVE_PATH.open() as fh:
+        return json.load(fh)
+
+
+def write_curve(payload: dict) -> None:
+    with ROBUSTNESS_CURVE_PATH.open("w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")

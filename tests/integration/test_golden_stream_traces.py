@@ -1,0 +1,74 @@
+"""Golden event-trace equivalence: the pipeline against frozen streams.
+
+Two locks, mirroring ``test_golden_traces.py``:
+
+* **regression** — the scalar per-frame path (:meth:`AirFinger.feed`)
+  must keep reproducing the committed event traces
+  (``tests/golden/stream_traces.json``) exactly, across clean and
+  faulted streams (frame drops, a dead photodiode, saturation, long
+  gaps);
+* **equivalence** — :meth:`AirFinger.feed_block` must reproduce the same
+  traces bit-for-bit at every block grouping, including sizes that split
+  mid-gesture and mid-gap.
+
+Comparison is on ``repr`` lines: every event is a flat dataclass of
+ints/floats/strings and ``repr(float)`` is shortest-round-trip, so equal
+lines mean equal bits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden.stream_cases import (
+    STREAM_CASES,
+    build_stream_cases,
+    load_committed_traces,
+    trace_events,
+)
+
+BLOCK_SIZES = (2, 7, 64, 256, 4096)
+
+
+@pytest.fixture(scope="module")
+def golden_streams():
+    return dict(build_stream_cases()), load_committed_traces()
+
+
+class TestGoldenRegression:
+    def test_committed_file_covers_all_cases(self, golden_streams):
+        cases, committed = golden_streams
+        assert sorted(committed) == sorted(cases)
+
+    def test_scalar_reproduces_committed_traces(self, golden_streams):
+        cases, committed = golden_streams
+        for name, frames in cases.items():
+            assert trace_events(frames) == committed[name], (
+                f"scalar pipeline drifted on golden stream {name!r}")
+
+    def test_corpus_spans_the_event_vocabulary(self, golden_streams):
+        _, committed = golden_streams
+        kinds = {line.split("(")[0]
+                 for lines in committed.values() for line in lines}
+        assert {"SegmentEvent", "ScrollUpdate", "StreamGap",
+                "ChannelMaskEvent"} <= kinds
+
+    def test_faulted_cases_are_actually_faulted(self, golden_streams):
+        cases, _ = golden_streams
+        clean_n = len(cases["clean_mixed"])
+        assert clean_n > 0
+        for name, _, _, _, schedule in STREAM_CASES:
+            if schedule is not None:
+                assert schedule.active, name
+
+
+class TestBlockEquivalence:
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_block_mode_matches_committed_traces(self, golden_streams,
+                                                 block_size):
+        cases, committed = golden_streams
+        for name, frames in cases.items():
+            got = trace_events(frames, block_size=block_size)
+            assert got == committed[name], (
+                f"feed_block(block_size={block_size}) diverged from the "
+                f"golden trace on {name!r}")

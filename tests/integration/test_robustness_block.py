@@ -1,0 +1,72 @@
+"""Robustness sweeps through the block path: same curves, same control.
+
+Three locks on the ``repro.eval.robustness`` re-route:
+
+* the full sweep payload (accuracy curve, injection counts, stream-health
+  columns) matches the committed pre-block-mode fixture
+  (``tests/golden/robustness_curve.json``), which was generated on the
+  per-frame path;
+* running the sweep with ``block_size=1`` (per-frame) and with the block
+  default produces bit-identical payloads — the intensity-0 control and
+  every faulted point;
+* ``evaluate_stream`` scores are identical between per-frame and block
+  replay on labelled streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import AirFinger
+from repro.datasets.generator import CampaignConfig, CampaignGenerator
+from repro.eval.stream_protocols import evaluate_stream
+
+from tests.golden.robustness_fixture import (
+    build_sweep_inputs,
+    load_committed_curve,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_inputs():
+    return build_sweep_inputs()
+
+
+class TestRobustnessCurveFixture:
+    def test_block_path_matches_committed_curve(self, sweep_inputs):
+        corpus, schedule = sweep_inputs
+        payload = run_sweep(corpus, schedule)  # block-path default
+        assert payload == load_committed_curve(), (
+            "robustness curve drifted from the pre-block-mode fixture")
+
+    def test_block_and_streaming_paths_agree(self, sweep_inputs):
+        corpus, schedule = sweep_inputs
+        streaming = run_sweep(corpus, schedule, block_size=1)
+        blocked = run_sweep(corpus, schedule, block_size=256)
+        assert streaming == blocked
+
+    def test_intensity_zero_control_is_bit_identical(self, sweep_inputs):
+        corpus, schedule = sweep_inputs
+        streaming = run_sweep(corpus, schedule, block_size=1)
+        blocked = run_sweep(corpus, schedule)
+        assert blocked["points"][0] == streaming["points"][0]
+        assert (blocked["baseline_accuracy"]
+                == streaming["baseline_accuracy"])
+
+
+class TestEvaluateStreamBlockPath:
+    def test_stream_scores_identical_across_block_sizes(self):
+        generator = CampaignGenerator(CampaignConfig(
+            n_users=1, n_sessions=1, repetitions=1, seed=77))
+        sample = generator.stream(
+            0, ["circle", "scroll_up", "click"], idle_s=0.8, lead_in_s=1.0)
+        engine = AirFinger()
+        ref = evaluate_stream(engine, sample, block_size=1)
+        for block_size in (64, 512, None):
+            got = evaluate_stream(engine, sample, block_size=block_size)
+            assert got.n_truth == ref.n_truth
+            assert got.n_detected == ref.n_detected
+            assert got.n_correct == ref.n_correct
+            assert got.spurious_events == ref.spurious_events
+            assert got.per_gesture == ref.per_gesture

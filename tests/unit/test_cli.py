@@ -79,6 +79,29 @@ class TestWorkflow:
                      "--protocol", "diversity"]) == 0
         assert "accuracy" in capsys.readouterr().out
 
+    def test_evaluate_stream_block_sizes_agree(self, corpus_path, capsys):
+        assert main(["evaluate", "--corpus", str(corpus_path),
+                     "--protocol", "stream", "--block", "1"]) == 0
+        per_frame = capsys.readouterr().out
+        assert "recognition accuracy" in per_frame
+        assert main(["evaluate", "--corpus", str(corpus_path),
+                     "--protocol", "stream", "--block", "512"]) == 0
+        assert capsys.readouterr().out == per_frame
+
+    def test_demo_block_replay_matches_per_frame(self, corpus_path,
+                                                 tmp_path, capsys):
+        stack = tmp_path / "stack.json"
+        assert main(["train", "--corpus", str(corpus_path),
+                     "--out", str(stack), "--trees", "10"]) == 0
+        capsys.readouterr()
+        assert main(["demo", "--stack", str(stack),
+                     "--gestures", "click,circle", "--block", "1"]) == 0
+        per_frame = capsys.readouterr().out
+        assert "segment" in per_frame
+        assert main(["demo", "--stack", str(stack),
+                     "--gestures", "click,circle", "--block", "512"]) == 0
+        assert capsys.readouterr().out == per_frame
+
     @pytest.fixture()
     def fresh_registry(self):
         # the CLI dumps the process-global registry; isolate it so counts

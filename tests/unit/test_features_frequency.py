@@ -97,3 +97,56 @@ class TestCwt:
     def test_degenerate(self):
         assert fd.cwt_energy(np.zeros(10)) == 0.0
         assert fd.cwt_peak_width(np.array([])) == 0.0
+
+
+class TestSharedSpectrum:
+    """The shared-spectrum fast path must be bit-identical and scoped."""
+
+    def test_values_bit_identical_inside_context(self, tone):
+        funcs = [lambda x: fd.fft_coefficient_abs(x, 3),
+                 fd.fft_spectral_centroid,
+                 fd.fft_spectral_spread,
+                 fd.fft_spectral_entropy,
+                 fd.fft_peak_frequency_bin]
+        standalone = [f(tone) for f in funcs]
+        with fd.shared_spectrum(tone):
+            shared = [f(tone) for f in funcs]
+        assert shared == standalone  # exact, not approximate
+
+    def test_other_signals_unaffected(self, tone):
+        other = np.cos(2 * np.pi * 11.0 * np.arange(200) / 100.0)
+        expected = fd.fft_spectral_centroid(other)
+        with fd.shared_spectrum(tone):
+            assert fd.fft_spectral_centroid(other) == expected
+
+    def test_contexts_nest_and_restore(self, tone):
+        other = np.cos(2 * np.pi * 11.0 * np.arange(200) / 100.0)
+        a = fd.fft_spectral_centroid(tone)
+        b = fd.fft_spectral_centroid(other)
+        with fd.shared_spectrum(tone):
+            with fd.shared_spectrum(other):
+                assert fd.fft_spectral_centroid(other) == b
+            assert fd.fft_spectral_centroid(tone) == a
+        assert fd._active_spectrum is None
+
+    def test_extractor_matches_standalone_specs(self):
+        from repro.features import FeatureExtractor
+
+        rng = np.random.default_rng(7)
+        signal = rng.normal(0.0, 1.0, 180) ** 2
+        extractor = FeatureExtractor.full()
+        vector = extractor.extract(signal)
+        cleaned = np.asarray(signal, dtype=np.float64).ravel()
+        for j, spec in enumerate(extractor.specs):
+            assert vector[j] == spec.compute(cleaned), spec.name
+
+    def test_extract_many_rows_match_extract(self):
+        from repro.features import FeatureExtractor
+
+        rng = np.random.default_rng(11)
+        signals = [rng.normal(0.0, 1.0, n) ** 2 for n in (60, 90, 140)]
+        extractor = FeatureExtractor.full()
+        X = extractor.extract_many(signals)
+        assert X.shape == (3, extractor.n_features)
+        for i, s in enumerate(signals):
+            np.testing.assert_array_equal(X[i], extractor.extract(s))
