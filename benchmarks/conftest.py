@@ -23,9 +23,17 @@ bit-identical for every setting — see ``docs/API.md``):
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--serve-report", type=Path, default=None,
+        help="write the serving load report JSON "
+             "(benchmarks/test_serve_throughput.py) to this path")
 
 from repro.datasets import (
     CampaignConfig,

@@ -1,4 +1,4 @@
-"""Command-line interface: generate, train, evaluate, demo, trace, power.
+"""Command-line interface: generate, train, evaluate, demo, serve, power.
 
 Everything a downstream user needs without writing Python::
 
@@ -11,7 +11,17 @@ Everything a downstream user needs without writing Python::
     airfinger generate --out corpus.npz --trace-json trace.json
     airfinger trace trace.json [--top 10]
     airfinger stats metrics.json [--prometheus]
+    airfinger serve --stack stack.json --port 7420
+    airfinger loadgen --port 7420 --sessions 64 --duration 5
     airfinger power
+
+``serve`` runs the multi-stream gesture serving front-end
+(:mod:`repro.serve`): one asyncio process multiplexing N device
+connections through per-session engines, with bounded ingest queues,
+drop-oldest backpressure and idle eviction (see ``docs/SERVING.md``).
+``loadgen`` drives simulated 100 Hz devices against a running serve
+process and reports sessions/core, p99 enqueue→processed frame latency
+and the deadline-miss rate (``--report-json`` writes the full report).
 
 ``robustness`` sweeps a deterministic fault schedule
 (:mod:`repro.faults`) over the corpus and reports the accuracy-vs-fault
@@ -177,6 +187,46 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="write a markdown evaluation report for a corpus")
     report.add_argument("--corpus", type=Path, required=True)
     report.add_argument("--out", type=Path, required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-stream gesture serving front-end")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7420)
+    serve.add_argument("--stack", type=Path, default=None,
+                       help="trained stack .json; each session gets its "
+                            "own engine built from it (default: bare "
+                            "engines, segmentation + tracking only)")
+    serve.add_argument("--idle-timeout", type=float, default=30.0,
+                       help="seconds of silence before a session is "
+                            "evicted (flushed + closed)")
+    serve.add_argument("--max-queue", type=int, default=4096,
+                       help="per-session ingest queue bound; overflow "
+                            "drops the oldest frames (visible as "
+                            "StreamGap events)")
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="max frames per feed_block dispatch batch")
+    serve.add_argument("--slo", type=float, default=0.05,
+                       help="enqueue->processed latency SLO in seconds "
+                            "(misses count into serve.deadline_miss)")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive N simulated 100 Hz devices against a "
+                        "running serve process")
+    loadgen.add_argument("--host", type=str, default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7420)
+    loadgen.add_argument("--sessions", type=int, default=64)
+    loadgen.add_argument("--duration", type=float, default=5.0,
+                         help="seconds of stream each device sends")
+    loadgen.add_argument("--rate", type=float, default=100.0,
+                         help="per-device frame rate (Hz)")
+    loadgen.add_argument("--frames-per-send", type=int, default=10,
+                         help="frames batched into one wire message")
+    loadgen.add_argument("--seed", type=int, default=2020,
+                         help="seed of the synthesized device capture")
+    loadgen.add_argument("--report-json", type=Path, default=None,
+                         help="write the load report (sessions/core, "
+                              "p99 latency, deadline-miss rate) to this "
+                              "JSON file")
 
     sub.add_parser("power", help="print the power budget table")
     return parser
@@ -526,6 +576,82 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import AirFingerServer, ServeConfig, SessionManager
+
+    config = ServeConfig(
+        max_queue_frames=args.max_queue, max_batch_frames=args.max_batch,
+        idle_timeout_s=args.idle_timeout, latency_slo_s=args.slo)
+    engine_factory = None
+    if args.stack is not None:
+        from repro.core.persistence import load_stack
+        from repro.core.pipeline import AirFinger, AirFingerConfig
+        from repro.obs import get_registry, get_tracer
+
+        stack = load_stack(args.stack)
+        detector = stack["detector"]
+        interference = stack["interference_filter"]
+        # stacks saved without an explicit config serve with the defaults
+        stack_config = stack["config"] or AirFingerConfig()
+
+        def engine_factory() -> AirFinger:
+            return AirFinger(config=stack_config, detector=detector,
+                             interference_filter=interference,
+                             metrics=get_registry(), tracer=get_tracer())
+
+    manager = SessionManager(config, engine_factory=engine_factory)
+    server = AirFingerServer(manager, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"(slo={config.latency_slo_s * 1e3:.0f}ms, "
+              f"idle-timeout={config.idle_timeout_s:.0f}s)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nserve stopped")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import LoadConfig, run_load
+
+    config = LoadConfig(host=args.host, port=args.port,
+                        sessions=args.sessions, duration_s=args.duration,
+                        rate_hz=args.rate,
+                        frames_per_send=args.frames_per_send,
+                        seed=args.seed)
+    try:
+        report = asyncio.run(run_load(config))
+    except ConnectionError as exc:
+        print(f"cannot reach serve process at {args.host}:{args.port}: "
+              f"{exc}", file=sys.stderr)
+        return 1
+    p99 = report.frame_latency_p99_s
+    print(f"sessions          {report.sessions}")
+    print(f"frames sent       {report.frames_sent}")
+    print(f"events received   {report.events_received}")
+    print(f"backpressure drops {report.backpressure_drops:.0f}")
+    print(f"p99 frame latency {p99 * 1e3:.2f} ms"
+          if p99 is not None else "p99 frame latency n/a")
+    print(f"deadline misses   {report.deadline_misses:.0f} "
+          f"({report.deadline_miss_rate:.2%})")
+    print(f"sessions/core     {report.sessions_per_core:.1f}")
+    if args.report_json is not None:
+        args.report_json.write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"load report -> {args.report_json}")
+    return 0
+
+
 def _cmd_power(args) -> int:
     from repro.power import DutyCycle, PowerBudget, battery_life_hours
     schemes = {
@@ -591,6 +717,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "power": _cmd_power,
 }
 

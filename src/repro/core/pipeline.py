@@ -158,6 +158,11 @@ class AirFinger:
                                         stage="detection")
         self._c_frames = m.counter("pipeline.frames")
         self._c_deadline = m.counter("pipeline.deadline_miss")
+        self._c_block_deadline = m.counter("pipeline.block_deadline_miss")
+        self._c_fallback = {
+            reason: m.counter("pipeline.block_fallback", reason=reason)
+            for reason in ("tracing", "ragged_channels",
+                           "channel_count_change")}
         self._c_segments = m.counter("pipeline.segments")
         self._c_ev_gesture = m.counter("pipeline.events", type="gesture")
         self._c_ev_rejected = m.counter("pipeline.events", type="rejected")
@@ -412,6 +417,28 @@ class AirFinger:
                                masked=masked, reason=reason)
         return events
 
+    def _note_block_fallback(self, reason: str, n_frames: int) -> None:
+        """Book one operator-visible per-frame fallback of *n_frames*.
+
+        A sampled trace (or a block shape only the scalar path can
+        digest) makes the affected block roughly an order of magnitude
+        slower; ``pipeline.block_fallback{reason=...}`` and a
+        ``block_fallback`` span event keep that visible instead of
+        silently eating the regression.
+        """
+        self._c_fallback[reason].inc()
+        if self._tr.active:
+            span = self._tr.current_span()
+            if span is not None:
+                span.add_event("block_fallback", reason=reason,
+                               n_frames=n_frames)
+            else:
+                # no enclosing span (bare feed_block under sampling):
+                # open a point span so the signal still lands in the trace
+                with self._tr.span("pipeline.block_fallback",
+                                   reason=reason, n_frames=n_frames):
+                    pass
+
     def feed_block(self, frames) -> list:
         """Ingest a batch of frames; bit-identical events to per-frame
         :meth:`feed` calls over the same frames.
@@ -423,11 +450,17 @@ class AirFinger:
         gap or arrive out of order are delegated one-by-one to the scalar
         path, which owns the degradation semantics.  The equivalence
         contract covers the **event sequence** and all pipeline state;
-        latency metrics are recorded block-amortized (the frame and stage
-        histograms and the deadline counter see the per-frame average
-        ``n`` times, so sample counts match the scalar path).  When
-        the tracer is sampling, the call transparently degrades to
-        per-frame :meth:`feed` so every frame keeps its own span tree.
+        latency histograms are recorded block-amortized (the frame and
+        stage histograms see the per-frame average ``n`` times, so sample
+        counts match the scalar path), while deadline misses are counted
+        at block granularity under ``pipeline.block_deadline_miss`` —
+        the per-frame ``pipeline.deadline_miss`` counter is scalar-path
+        only, because a block average can neither expose a single-frame
+        spike nor stand in for ``n`` independent measurements.  When the
+        tracer is sampling, the call transparently degrades to per-frame
+        :meth:`feed` so every frame keeps its own span tree; that and the
+        other scalar fallbacks are counted under
+        ``pipeline.block_fallback{reason=...}``.
         """
         if not isinstance(frames, FrameBlock):
             frames = list(frames)
@@ -436,10 +469,12 @@ class AirFinger:
             except ValueError:
                 # ragged channel counts: only the scalar path can rebuild
                 # its filters mid-stream
+                self._note_block_fallback("ragged_channels", len(frames))
                 return [e for f in frames for e in self.feed(f)]
         if len(frames) == 0:
             return []
         if self._tr.active:
+            self._note_block_fallback("tracing", len(frames))
             return [e for f in frames.frames() for e in self.feed(f)]
         n_channels = frames.values.shape[1]
         if ((self.channel_guard and self._guard is not None
@@ -448,6 +483,7 @@ class AirFinger:
                     and len(self._prefilters) != n_channels)):
             # channel count changed mid-stream; scalar semantics (guard
             # ValueError / filter rebuild) are authoritative
+            self._note_block_fallback("channel_count_change", len(frames))
             return [e for f in frames.frames() for e in self.feed(f)]
 
         events: list = []
@@ -609,8 +645,13 @@ class AirFinger:
         per_frame_s = block_s / m
         self._h_frame.observe_many(per_frame_s, m)
         self._c_frames.inc(m)
-        if per_frame_s > self._deadline_s:
-            self._c_deadline.inc(m)
+        # Deadline accounting is block-granular here: the block average
+        # can hide a single-frame spike and a slow average is one late
+        # block, not `m` independent misses — so block mode books one
+        # `pipeline.block_deadline_miss` per late block and leaves the
+        # per-frame `pipeline.deadline_miss` counter to the scalar path.
+        if block_s > m * self._deadline_s:
+            self._c_block_deadline.inc()
         return events
 
     def iter_events(self, frames, block_size: int | None = None,

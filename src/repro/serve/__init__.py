@@ -1,0 +1,47 @@
+"""Multi-stream gesture serving: sessions, wire protocol, asyncio server.
+
+This package turns the single-stream :class:`~repro.core.pipeline.AirFinger`
+engine into a serving system: a :class:`~repro.serve.session.SessionManager`
+multiplexes N concurrent device streams through per-session engine
+instances with bounded queues and explicit backpressure, an asyncio
+front-end (:class:`~repro.serve.server.AirFingerServer`) speaks the
+versioned length-framed protocol of :mod:`repro.serve.protocol`, and the
+load generator (:mod:`repro.serve.loadgen`) measures sessions/core, p99
+frame latency and deadline-miss rate against a live server.
+
+See ``docs/SERVING.md`` for the architecture and the serving guarantees
+(event fidelity over the wire, drop-oldest backpressure surfacing as
+:class:`~repro.core.events.StreamGap` events, idle eviction).
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import (
+    LoadConfig,
+    LoadReport,
+    make_device_frames,
+    run_load,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    MessageDecoder,
+    ProtocolError,
+    encode_message,
+)
+from repro.serve.server import AirFingerServer
+from repro.serve.session import ServeConfig, ServeSession, SessionManager
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AirFingerServer",
+    "LoadConfig",
+    "LoadReport",
+    "MessageDecoder",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeSession",
+    "SessionManager",
+    "encode_message",
+    "make_device_frames",
+    "run_load",
+]

@@ -1,0 +1,150 @@
+"""Minimal asyncio client for the serving protocol.
+
+Used by the load generator, the loopback fidelity tests, and anyone who
+wants to talk to an ``airfinger serve`` process from Python.  One
+:class:`ServeClient` is one device session: connect + handshake, send
+frame batches, collect decoded pipeline events as they stream back, and
+close with a graceful ``bye`` that returns the server's flush tail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable
+
+from repro.acquisition.stream import RssFrame
+from repro.serve import protocol
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One protocol session against a running server.
+
+    ::
+
+        client = await ServeClient.connect(host, port, "tenant", "dev0")
+        await client.send_frames(frames)
+        events = await client.bye()     # drain-tail; client.events has all
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, hello_ack: dict) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = protocol.MessageDecoder()
+        self.hello_ack = hello_ack
+        #: every decoded pipeline event received so far, in wire order
+        self.events: list = []
+        #: monotonic receive time of each events message (latency probes)
+        self.heartbeats = 0
+        self._bye_seen = False
+        self._stats: dict | None = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int, tenant: str,
+                      session: str, timeout_s: float = 10.0
+                      ) -> "ServeClient":
+        """Open a connection and complete the hello handshake."""
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(protocol.encode_message(
+            protocol.hello(tenant, session)))
+        await writer.drain()
+        decoder = protocol.MessageDecoder()
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            data = await asyncio.wait_for(reader.read(65536),
+                                          timeout=max(remaining, 0.001))
+            if not data:
+                raise ConnectionError("server closed during handshake")
+            messages = decoder.feed(data)
+            if not messages:
+                continue
+            first = messages[0]
+            if first.get("type") == "error":
+                raise protocol.ProtocolError(
+                    f"handshake rejected: {first.get('detail')}")
+            if first.get("type") != "hello_ack":
+                raise protocol.ProtocolError(
+                    f"expected hello_ack, got {first.get('type')!r}")
+            client = cls(reader, writer, first)
+            for message in messages[1:]:
+                client._absorb(message)
+            return client
+
+    # ------------------------------------------------------------------
+    def _absorb(self, message: dict) -> None:
+        kind = message.get("type")
+        if kind == "events":
+            self.events.extend(protocol.decode_events(message))
+        elif kind == "heartbeat":
+            self.heartbeats += 1
+        elif kind == "stats_reply":
+            self._stats = message.get("metrics")
+        elif kind == "bye":
+            self._bye_seen = True
+        elif kind == "error":
+            raise protocol.ProtocolError(
+                f"server error: {message.get('detail')}")
+
+    async def _read_some(self, timeout_s: float) -> bool:
+        """Absorb one read; False when the server closed the stream."""
+        try:
+            data = await asyncio.wait_for(self._reader.read(65536),
+                                          timeout=timeout_s)
+        except asyncio.TimeoutError:
+            return True
+        if not data:
+            return False
+        for message in self._decoder.feed(data):
+            self._absorb(message)
+        return True
+
+    # ------------------------------------------------------------------
+    async def send_frames(self, frames: Iterable[RssFrame]) -> None:
+        """Ship one frame batch."""
+        self._writer.write(protocol.encode_message(
+            protocol.frames_message(frames)))
+        await self._writer.drain()
+
+    async def pump(self, timeout_s: float = 0.001) -> None:
+        """Opportunistically absorb any events already on the wire."""
+        await self._read_some(timeout_s)
+
+    async def stats(self, timeout_s: float = 10.0) -> dict:
+        """Fetch the server's stats snapshot (includes metrics)."""
+        self._stats = None
+        self._writer.write(protocol.encode_message(
+            protocol.stats_request()))
+        await self._writer.drain()
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while self._stats is None:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError("stats reply timed out")
+            if not await self._read_some(remaining):
+                raise ConnectionError("server closed before stats reply")
+        return self._stats
+
+    async def bye(self, timeout_s: float = 30.0) -> list:
+        """Graceful close: returns every event received in this session.
+
+        Sends ``bye``, then reads until the server's answering ``bye``
+        (which follows the final drain + flush tail) or the stream ends.
+        """
+        self._writer.write(protocol.encode_message(protocol.bye()))
+        await self._writer.drain()
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while not self._bye_seen:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError("bye handshake timed out")
+            if not await self._read_some(remaining):
+                break
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        return self.events

@@ -1,0 +1,236 @@
+"""Load generator: N simulated 100 Hz devices against one serve process.
+
+Each simulated device opens its own protocol session and paces synthetic
+sensor frames at the configured rate using **absolute** send deadlines
+(so scheduling jitter never silently lowers the offered load), while a
+concurrent read keeps draining recognition events.  At the end of the
+run every device closes with a graceful ``bye`` — the server flushes its
+pipeline and returns the tail — and a final control connection pulls the
+server's metrics snapshot.
+
+The :class:`LoadReport` distils the run into the numbers the CI gate
+checks: sessions per core, p99 enqueue→processed frame latency, the
+deadline-miss rate against the serving SLO, and the backpressure drop
+count.  Event-count fidelity is asserted separately by replaying the
+same frames through an in-process engine (zero lost events — see
+``benchmarks/test_serve_throughput.py``).
+
+All devices replay the same synthesized capture (one
+:class:`~repro.datasets.generator.CampaignGenerator` stream, generated
+once), so the offered load is deterministic for a given seed and the
+per-session event streams are directly comparable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.acquisition.stream import RssFrame, stream_frames
+from repro.datasets import CampaignConfig, CampaignGenerator
+from repro.obs import MetricsSnapshot
+from repro.serve.client import ServeClient
+
+__all__ = ["LoadConfig", "LoadReport", "make_device_frames", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Shape of one load run."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    sessions: int = 64
+    duration_s: float = 5.0
+    rate_hz: float = 100.0
+    frames_per_send: int = 10
+    tenant: str = "loadgen"
+    seed: int = 2020
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be > 0")
+        if self.frames_per_send < 1:
+            raise ValueError("frames_per_send must be >= 1")
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured (JSON-ready via :meth:`to_dict`)."""
+
+    sessions: int
+    duration_s: float
+    rate_hz: float
+    frames_sent: int
+    events_received: int
+    backpressure_drops: float
+    deadline_misses: float
+    frame_latency_p50_s: float | None
+    frame_latency_p95_s: float | None
+    frame_latency_p99_s: float | None
+    latency_slo_s: float | None
+    wall_s: float
+    cpu_s: float
+    per_session_events: list[int] = field(default_factory=list)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of processed frames over the serving SLO."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.deadline_misses / self.frames_sent
+
+    @property
+    def sessions_per_core(self) -> float:
+        """How many such sessions one saturated core would sustain.
+
+        The run used ``cpu_s`` of CPU to serve ``sessions`` devices for
+        ``wall_s`` seconds; at 100% utilisation the same core supports
+        ``sessions * wall_s / cpu_s`` of them.
+        """
+        if self.cpu_s <= 0:
+            return float("inf")
+        return self.sessions * self.wall_s / self.cpu_s
+
+    def to_dict(self) -> dict:
+        """Plain-data payload for the CI artifact."""
+        return {
+            "sessions": self.sessions,
+            "duration_s": self.duration_s,
+            "rate_hz": self.rate_hz,
+            "frames_sent": self.frames_sent,
+            "events_received": self.events_received,
+            "backpressure_drops": self.backpressure_drops,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "frame_latency_p50_s": self.frame_latency_p50_s,
+            "frame_latency_p95_s": self.frame_latency_p95_s,
+            "frame_latency_p99_s": self.frame_latency_p99_s,
+            "latency_slo_s": self.latency_slo_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "sessions_per_core": self.sessions_per_core,
+            "per_session_events": list(self.per_session_events),
+        }
+
+
+def make_device_frames(config: LoadConfig) -> list[RssFrame]:
+    """The deterministic frame sequence every simulated device replays.
+
+    Long enough to cover ``duration_s`` at ``rate_hz``; devices cycle
+    through it (re-anchoring indices) if the run outlasts the capture.
+    """
+    n_needed = int(config.duration_s * config.rate_hz) + 1
+    generator = CampaignGenerator(config=CampaignConfig(
+        n_users=1, n_sessions=1, repetitions=1, seed=config.seed))
+    sample = generator.stream(0, ["click", "circle", "scroll_up"],
+                              idle_s=0.5, lead_in_s=0.5)
+    capture = list(stream_frames(sample.recording))
+    frames: list[RssFrame] = []
+    base = 0
+    while len(frames) < n_needed:
+        frames.extend(RssFrame(index=base + f.index, time_s=f.time_s,
+                               values=f.values) for f in capture)
+        base += len(capture)
+    return frames[:n_needed]
+
+
+async def _drive_device(config: LoadConfig, port: int, device: int,
+                        frames: list[RssFrame]) -> ServeClient:
+    """One device: paced sends at rate_hz, opportunistic event reads.
+
+    Devices are phase-staggered across up to a second — real devices are
+    never clock-synchronized, and since every simulated device replays
+    the *same* capture, a lock-stepped fleet would hit each expensive
+    gesture-segment region simultaneously and measure a thundering herd
+    instead of steady-state load.
+    """
+    loop = asyncio.get_running_loop()
+    send_period_s = config.frames_per_send / config.rate_hz
+    stagger_s = min(1.0, config.duration_s / 4)
+    phase_s = (device / config.sessions) * stagger_s
+    if phase_s > 0:
+        await asyncio.sleep(phase_s)
+    client = await ServeClient.connect(
+        config.host, port, config.tenant, f"dev{device:03d}")
+    start = loop.time()
+    cursor = 0
+    batch_no = 0
+    while cursor < len(frames):
+        batch = frames[cursor:cursor + config.frames_per_send]
+        cursor += len(batch)
+        await client.send_frames(batch)
+        batch_no += 1
+        # absolute pacing: late batches do not stretch the run
+        next_deadline = start + batch_no * send_period_s
+        while True:
+            remaining = next_deadline - loop.time()
+            if remaining <= 0:
+                break
+            await client.pump(timeout_s=remaining)
+    await client.bye()
+    return client
+
+
+async def run_load(config: LoadConfig, port: int | None = None,
+                   latency_slo_s: float | None = None,
+                   return_events: bool = False):
+    """Run the full fleet against ``host:port``; returns the report.
+
+    ``port`` overrides ``config.port`` (tests bind port 0 and pass the
+    real one in).  ``latency_slo_s`` is recorded in the report for gate
+    evaluation; when served in-process the caller knows it from the
+    :class:`~repro.serve.session.ServeConfig`.  With ``return_events``
+    the result is ``(report, per_device_events)`` — the decoded event
+    list of every device, for fidelity gates that compare the wire
+    output against an in-process replay.
+    """
+    if port is None:
+        port = config.port
+    frames = make_device_frames(config)
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    clients = await asyncio.gather(*[
+        _drive_device(config, port, device, frames)
+        for device in range(config.sessions)])
+    wall_s = time.perf_counter() - wall_start
+    cpu_s = time.process_time() - cpu_start
+
+    # one control connection for the server-side counters
+    control = await ServeClient.connect(config.host, port,
+                                        config.tenant, "control")
+    stats = await control.stats()
+    await control.bye()
+    snapshot = MetricsSnapshot.from_dict(stats.get("metrics", {}))
+    drops = sum(v for k, v in snapshot.counters.items()
+                if k.startswith("serve.backpressure_drops"))
+    misses = snapshot.counters.get("serve.deadline_miss", 0.0)
+    latency_key = "serve.frame_latency_seconds"
+    has_latency = latency_key in snapshot.histograms
+
+    report = LoadReport(
+        sessions=config.sessions,
+        duration_s=config.duration_s,
+        rate_hz=config.rate_hz,
+        frames_sent=len(frames) * config.sessions,
+        events_received=sum(len(c.events) for c in clients),
+        backpressure_drops=drops,
+        deadline_misses=misses,
+        frame_latency_p50_s=(snapshot.quantile(latency_key, 0.50)
+                             if has_latency else None),
+        frame_latency_p95_s=(snapshot.quantile(latency_key, 0.95)
+                             if has_latency else None),
+        frame_latency_p99_s=(snapshot.quantile(latency_key, 0.99)
+                             if has_latency else None),
+        latency_slo_s=latency_slo_s,
+        wall_s=wall_s,
+        cpu_s=cpu_s,
+        per_session_events=[len(c.events) for c in clients])
+    if return_events:
+        return report, [c.events for c in clients]
+    return report

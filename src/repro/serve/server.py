@@ -1,0 +1,283 @@
+"""Asyncio ingestion front-end for the gesture serving layer.
+
+One :class:`AirFingerServer` multiplexes N device connections over a
+single event loop into a shared :class:`~repro.serve.session.SessionManager`.
+Per connection:
+
+* the **reader task** does the hello handshake, then decodes incoming
+  messages and enqueues sensor frames onto the session's bounded queue
+  (backpressure drops are booked by the manager and surface downstream
+  as :class:`~repro.core.events.StreamGap` events);
+* the **pump task** waits on a wake event the reader sets after every
+  frame batch, drains the queue through the manager's batching dispatch,
+  and writes the resulting events back — consecutive wakes coalesce, so
+  a client sending faster than the pipeline drains gets fewer, larger
+  ``feed_block`` batches instead of an unbounded task pile-up;
+* a ``bye`` triggers a final drain + engine flush, the tail events, and
+  a ``bye`` echo before the connection closes.
+
+A background reaper evicts sessions idle past
+``ServeConfig.idle_timeout_s``, delivering their flush tail before
+closing the transport, and the pump sends protocol heartbeats during
+output silence.  All pipeline work runs inline on the loop — sessions
+are CPU-bound and share one core per server process; horizontal scale is
+one process per core (the load generator measures exactly this:
+sessions/core).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.serve import protocol
+from repro.serve.session import ServeConfig, ServeSession, SessionManager
+
+__all__ = ["AirFingerServer"]
+
+
+class _Connection:
+    """Per-connection plumbing shared by the reader and pump tasks."""
+
+    __slots__ = ("reader", "writer", "session", "wake", "closing",
+                 "said_bye")
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.session: ServeSession | None = None
+        self.wake = asyncio.Event()
+        self.closing = False
+        self.said_bye = False
+
+
+class AirFingerServer:
+    """TCP server speaking the :mod:`repro.serve.protocol` wire format.
+
+    Parameters
+    ----------
+    manager:
+        The session manager doing the actual work; one per server.
+    host / port:
+        Bind address.  ``port=0`` picks a free port (tests); the bound
+        port is available as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, manager: SessionManager,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._reaper: asyncio.Task | None = None
+        #: live connections by session key, for eviction delivery
+        self._connections: dict[tuple[str, str], _Connection] = {}
+
+    @property
+    def config(self) -> ServeConfig:
+        return self.manager.config
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (+ the idle reaper)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper = asyncio.create_task(self._reap_idle())
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the reaper, close live connections."""
+        if self._reaper is not None:
+            self._reaper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper
+            self._reaper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections.values()):
+            conn.closing = True
+            conn.wake.set()
+            with contextlib.suppress(Exception):
+                conn.writer.close()
+        self._connections.clear()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``airfinger serve`` entry point)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    async def __aenter__(self) -> "AirFingerServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(reader, writer)
+        pump: asyncio.Task | None = None
+        try:
+            if not await self._handshake(conn):
+                return
+            pump = asyncio.create_task(self._pump(conn))
+            await self._read_loop(conn)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished; eviction reaps the session later
+        except protocol.ProtocolError as exc:
+            await self._send_error(conn, "protocol", str(exc))
+        except Exception as exc:
+            # engine/session failure: tell the peer why before closing
+            # instead of vanishing mid-conversation
+            await self._send_error(
+                conn, "internal", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            conn.closing = True
+            conn.wake.set()
+            if pump is not None:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await pump
+            if (conn.session is not None and self._connections.get(
+                    conn.session.key) is conn):
+                del self._connections[conn.session.key]
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handshake(self, conn: _Connection) -> bool:
+        decoder = protocol.MessageDecoder()
+        while True:
+            data = await conn.reader.read(65536)
+            if not data:
+                return False
+            messages = decoder.feed(data)
+            if messages:
+                break
+        try:
+            tenant, session_id = protocol.check_hello(messages[0])
+        except protocol.ProtocolError as exc:
+            await self._send_error(conn, "handshake", str(exc))
+            return False
+        conn.session = self.manager.open(tenant, session_id)
+        self._connections[conn.session.key] = conn
+        await self._send(conn, protocol.hello_ack(
+            session_id,
+            heartbeat_interval_s=self.config.heartbeat_interval_s,
+            max_batch_frames=self.config.max_batch_frames))
+        # frames may trail the hello in the same read
+        for message in messages[1:]:
+            await self._handle_message(conn, message)
+        return True
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        decoder = protocol.MessageDecoder()
+        while not conn.closing:
+            data = await conn.reader.read(65536)
+            if not data:
+                return
+            for message in decoder.feed(data):
+                await self._handle_message(conn, message)
+                if conn.closing:
+                    return
+
+    async def _handle_message(self, conn: _Connection,
+                              message: dict) -> None:
+        kind = message.get("type")
+        session = conn.session
+        if kind == "frames":
+            self.manager.enqueue(session, protocol.decode_frames(message))
+            conn.wake.set()
+        elif kind == "heartbeat":
+            pass
+        elif kind == "stats":
+            snapshot = self.manager.stats()
+            snapshot["metrics"] = (
+                self.manager.metrics.snapshot().to_dict())
+            await self._send(conn, protocol.stats_reply(snapshot))
+        elif kind == "bye":
+            conn.said_bye = True
+            conn.closing = True
+            conn.wake.set()
+        else:
+            raise protocol.ProtocolError(f"unexpected message type {kind!r}")
+
+    # ------------------------------------------------------------------
+    # output pump
+    # ------------------------------------------------------------------
+    async def _pump(self, conn: _Connection) -> None:
+        """Dispatch queued frames and write events until the reader ends."""
+        session = conn.session
+        heartbeat_s = self.config.heartbeat_interval_s
+        while True:
+            try:
+                await asyncio.wait_for(conn.wake.wait(), timeout=heartbeat_s)
+            except asyncio.TimeoutError:
+                with contextlib.suppress(ConnectionError):
+                    await self._send(conn, protocol.heartbeat())
+                continue
+            conn.wake.clear()
+            while session.pending:
+                events = self.manager.dispatch(session)
+                if events:
+                    with contextlib.suppress(ConnectionError):
+                        await self._send(
+                            conn, protocol.events_message(events))
+                # yield so the reader can enqueue (and so other sessions'
+                # pumps interleave between batches)
+                await asyncio.sleep(0)
+            if conn.closing:
+                break
+        if conn.said_bye and not session.closed:
+            tail = self.manager.close(session, reason="bye")
+            with contextlib.suppress(ConnectionError):
+                if tail:
+                    await self._send(conn, protocol.events_message(tail))
+                await self._send(conn, protocol.bye())
+
+    # ------------------------------------------------------------------
+    # idle eviction
+    # ------------------------------------------------------------------
+    async def _reap_idle(self) -> None:
+        interval_s = min(self.config.idle_timeout_s / 4,
+                         self.config.heartbeat_interval_s)
+        while True:
+            await asyncio.sleep(interval_s)
+            for session, tail in self.manager.evict_idle():
+                conn = self._connections.pop(session.key, None)
+                if conn is None:
+                    continue
+                conn.closing = True
+                conn.wake.set()
+                with contextlib.suppress(ConnectionError):
+                    if tail:
+                        await self._send(
+                            conn, protocol.events_message(tail))
+                    await self._send(conn, protocol.bye())
+                with contextlib.suppress(Exception):
+                    conn.writer.close()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _send(conn: _Connection, message: dict) -> None:
+        conn.writer.write(protocol.encode_message(message))
+        await conn.writer.drain()
+
+    async def _send_error(self, conn: _Connection, code: str,
+                          detail: str) -> None:
+        with contextlib.suppress(Exception):
+            await self._send(conn, protocol.error_message(code, detail))

@@ -1,0 +1,204 @@
+"""Loopback serving fidelity: wire events == in-process events.
+
+The serving acceptance contract: for every golden stream case
+(:mod:`tests.golden.stream_cases` — clean and fault-injected), the
+events a client receives through a real socket round-trip of
+:class:`~repro.serve.server.AirFingerServer` are identical (``repr``
+bit-equality) to an in-process
+:meth:`AirFinger.feed_frames <repro.core.pipeline.AirFinger.feed_frames>`
+replay of the same frames.  On top of fidelity: concurrent multi-tenant
+sessions stay isolated, graceful ``bye`` delivers the flush tail,
+handshake violations are rejected, and idle sessions are evicted with
+their tail delivered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.acquisition.stream import RssFrame
+from repro.core.pipeline import AirFinger
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import (
+    AirFingerServer,
+    ServeClient,
+    ServeConfig,
+    SessionManager,
+    protocol,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from golden.stream_cases import build_stream_cases  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def stream_cases():
+    """(name, frames) for every golden case — clean and faulted."""
+    return build_stream_cases()
+
+
+def _registry_manager(config: ServeConfig | None = None
+                      ) -> tuple[SessionManager, MetricsRegistry]:
+    registry = MetricsRegistry()
+    manager = SessionManager(
+        config or ServeConfig(),
+        engine_factory=lambda: AirFinger(metrics=registry,
+                                         tracer=Tracer(sample=0.0)),
+        metrics=registry, tracer=Tracer(sample=0.0))
+    return manager, registry
+
+
+def _reference_events(frames) -> list[str]:
+    engine = AirFinger(metrics=MetricsRegistry(), tracer=Tracer(sample=0.0))
+    return [repr(e) for e in engine.feed_frames(frames)]
+
+
+async def _serve_one(frames, chunk: int = 64) -> list:
+    manager, _ = _registry_manager()
+    async with AirFingerServer(manager) as server:
+        client = await ServeClient.connect(
+            "127.0.0.1", server.port, "golden", "dev0")
+        for i in range(0, len(frames), chunk):
+            await client.send_frames(frames[i:i + chunk])
+            await client.pump()
+        return await client.bye()
+
+
+class TestGoldenFidelity:
+    def test_every_golden_case_is_bit_identical_over_the_wire(
+            self, stream_cases):
+        """Clean + faulted (FaultSchedule) streams: wire == in-process."""
+        for name, frames in stream_cases:
+            wire = asyncio.run(_serve_one(frames))
+            assert [repr(e) for e in wire] == _reference_events(frames), (
+                f"case {name!r}: wire events diverged from in-process")
+
+    def test_fidelity_is_chunking_invariant(self, stream_cases):
+        """The wire batching must never leak into the event stream."""
+        name, frames = stream_cases[0]
+        reference = _reference_events(frames)
+        for chunk in (1, 7, 256, len(frames)):
+            wire = asyncio.run(_serve_one(frames, chunk=chunk))
+            assert [repr(e) for e in wire] == reference, (
+                f"case {name!r}: chunk={chunk} changed the events")
+
+
+class TestConcurrentSessions:
+    def test_interleaved_tenants_stay_isolated(self, stream_cases):
+        """Two cases interleaved over one server: each gets its own trace."""
+        (name_a, frames_a), (name_b, frames_b) = stream_cases[:2]
+
+        async def run() -> tuple[list, list]:
+            manager, _ = _registry_manager()
+            async with AirFingerServer(manager) as server:
+
+                async def drive(tenant, frames):
+                    client = await ServeClient.connect(
+                        "127.0.0.1", server.port, tenant, "dev0")
+                    for i in range(0, len(frames), 48):
+                        await client.send_frames(frames[i:i + 48])
+                        await client.pump()
+                    return await client.bye()
+
+                return await asyncio.gather(drive("tenant_a", frames_a),
+                                            drive("tenant_b", frames_b))
+
+        events_a, events_b = asyncio.run(run())
+        assert [repr(e) for e in events_a] == _reference_events(frames_a)
+        assert [repr(e) for e in events_b] == _reference_events(frames_b)
+
+    def test_per_tenant_metrics_are_split(self, stream_cases):
+        _, frames = stream_cases[0]
+
+        async def run() -> MetricsRegistry:
+            manager, registry = _registry_manager()
+            async with AirFingerServer(manager) as server:
+
+                async def drive(tenant):
+                    client = await ServeClient.connect(
+                        "127.0.0.1", server.port, tenant, "dev0")
+                    await client.send_frames(frames[:100])
+                    await client.bye()
+
+                await asyncio.gather(drive("alpha"), drive("beta"))
+            return registry
+
+        registry = asyncio.run(run())
+        counters = registry.snapshot().counters
+        assert counters['serve.frames{tenant="alpha"}'] == 100
+        assert counters['serve.frames{tenant="beta"}'] == 100
+        assert counters['serve.sessions_closed{tenant="alpha"}'] == 1
+
+
+class TestProtocolLifecycle:
+    def test_bad_handshake_gets_error_and_close(self):
+        async def run() -> dict:
+            manager, _ = _registry_manager()
+            async with AirFingerServer(manager) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                bad = protocol.hello("t", "s")
+                bad["version"] = 999
+                writer.write(protocol.encode_message(bad))
+                await writer.drain()
+                decoder = protocol.MessageDecoder()
+                while True:
+                    data = await asyncio.wait_for(reader.read(65536),
+                                                  timeout=10)
+                    if not data:
+                        raise AssertionError("closed without error message")
+                    messages = decoder.feed(data)
+                    if messages:
+                        writer.close()
+                        return messages[0]
+
+        message = asyncio.run(run())
+        assert message["type"] == "error"
+        assert "version" in message["detail"]
+
+    def test_stats_over_the_wire(self, stream_cases):
+        _, frames = stream_cases[0]
+
+        async def run() -> dict:
+            manager, _ = _registry_manager()
+            async with AirFingerServer(manager) as server:
+                client = await ServeClient.connect(
+                    "127.0.0.1", server.port, "t0", "dev0")
+                await client.send_frames(frames[:64])
+                stats = await client.stats()
+                await client.bye()
+                return stats
+
+        stats = asyncio.run(run())
+        assert stats["sessions_open"] == 1
+        counters = stats["metrics"]["counters"]
+        assert counters['serve.frames{tenant="t0"}'] == 64
+
+    def test_idle_eviction_delivers_tail_and_bye(self):
+        """A silent session is flushed and told bye by the reaper."""
+        frames = [RssFrame(index=i, time_s=i / 100.0, values=(5.0, 6.0))
+                  for i in range(50)]
+
+        async def run() -> ServeClient:
+            config = ServeConfig(idle_timeout_s=0.2,
+                                 heartbeat_interval_s=0.05)
+            manager, _ = _registry_manager(config)
+            async with AirFingerServer(manager) as server:
+                client = await ServeClient.connect(
+                    "127.0.0.1", server.port, "t0", "sleepy")
+                await client.send_frames(frames)
+                # read until the server evicts us (bye) or 5 s pass
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while (not client._bye_seen
+                       and asyncio.get_running_loop().time() < deadline):
+                    if not await client._read_some(0.1):
+                        break
+                assert manager.get("t0", "sleepy") is None
+                return client
+
+        client = asyncio.run(run())
+        assert client._bye_seen

@@ -1,0 +1,274 @@
+"""Metric-fidelity regression pins for ``AirFinger.feed_block``.
+
+Two classes of silent corruption are locked out here:
+
+* **deadline accounting** — block mode must never inflate the per-frame
+  ``pipeline.deadline_miss`` counter from a block *average* (one slow
+  block is one late block, not ``m`` independent misses, and a fast
+  average can hide a single-frame spike).  Block misses land on their
+  own ``pipeline.block_deadline_miss`` counter at block granularity.
+* **fallback visibility** — every scalar fallback inside ``feed_block``
+  (a sampling tracer, ragged channel counts, a mid-stream channel-count
+  change) books a ``pipeline.block_fallback{reason=...}`` counter and a
+  ``block_fallback`` span event, so a ~10x-slower block is operator
+  visible instead of a silent throughput cliff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition.stream import RssFrame, stream_frames
+from repro.core.pipeline import AirFinger
+from repro.datasets import CampaignConfig, CampaignGenerator
+from repro.obs import MetricsRegistry, Tracer
+
+
+@pytest.fixture(scope="module")
+def short_stream(generator):
+    """A short clean capture replayed in every test of this module."""
+    stream = generator.stream(0, ["click", "circle"], idle_s=0.4,
+                              lead_in_s=0.5)
+    return list(stream_frames(stream.recording))
+
+
+def _engine(frames_unused=None, **kwargs) -> tuple[AirFinger, MetricsRegistry]:
+    registry = MetricsRegistry()
+    engine = AirFinger(metrics=registry, tracer=Tracer(sample=0.0), **kwargs)
+    return engine, registry
+
+
+def _counter(registry: MetricsRegistry, key: str) -> float:
+    return registry.snapshot().counters.get(key, 0.0)
+
+
+class TestBlockDeadlineAccounting:
+    def test_block_miss_counts_blocks_not_frames(self, short_stream):
+        """A slow block is ONE block miss; the per-frame counter stays 0.
+
+        Pre-fix, ``_run_block`` incremented ``pipeline.deadline_miss`` by
+        the block length whenever the block *average* exceeded the
+        deadline, making the series incomparable with the scalar path.
+        """
+        engine, registry = _engine()
+        engine._deadline_s = -1.0        # every block is "late"
+        block_size = 64
+        engine.feed_frames(short_stream, block_size=block_size)
+        n_blocks = -(-len(short_stream) // block_size)
+        assert _counter(registry, "pipeline.deadline_miss") == 0
+        assert (_counter(registry, "pipeline.block_deadline_miss")
+                == n_blocks)
+
+    def test_fast_block_counts_nothing(self, short_stream):
+        engine, registry = _engine()
+        engine._deadline_s = float("inf")   # nothing can miss
+        engine.feed_frames(short_stream, block_size=128)
+        assert _counter(registry, "pipeline.deadline_miss") == 0
+        assert _counter(registry, "pipeline.block_deadline_miss") == 0
+
+    def test_scalar_path_still_counts_per_frame(self, short_stream):
+        engine, registry = _engine()
+        engine._deadline_s = -1.0        # every frame is "late"
+        for frame in short_stream[:50]:
+            engine.feed(frame)
+        assert _counter(registry, "pipeline.deadline_miss") == 50
+        assert _counter(registry, "pipeline.block_deadline_miss") == 0
+
+    def test_frame_histogram_counts_stay_comparable(self, short_stream):
+        """The amortized frame histogram still sees one sample per frame."""
+        engine, registry = _engine()
+        engine.feed_frames(short_stream, block_size=256)
+        snap = registry.snapshot()
+        assert (snap.histograms["pipeline.frame_seconds"]["count"]
+                == len(short_stream))
+
+
+class TestBlockFallbackCounter:
+    def test_tracing_fallback_counts_and_marks_span(self, short_stream):
+        tracer = Tracer(sample=1.0)
+        registry = MetricsRegistry()
+        engine = AirFinger(metrics=registry, tracer=tracer)
+        with tracer.span("test.dispatch") as span:
+            events = engine.feed_block(short_stream)
+        key = 'pipeline.block_fallback{reason="tracing"}'
+        assert _counter(registry, key) == 1
+        marks = [e for e in span.events if e.name == "block_fallback"]
+        assert len(marks) == 1
+        assert marks[0].attrs == {"reason": "tracing",
+                                  "n_frames": len(short_stream)}
+        # the fallback is slower, never different
+        scalar_engine, _ = _engine()
+        ref = [e for f in short_stream for e in scalar_engine.feed(f)]
+        assert [repr(e) for e in events] == [repr(e) for e in ref]
+
+    def test_tracing_fallback_without_enclosing_span_emits_point_span(self):
+        tracer = Tracer(sample=1.0)
+        registry = MetricsRegistry()
+        engine = AirFinger(metrics=registry, tracer=tracer)
+        frames = [RssFrame(index=i, time_s=i / 100.0, values=(1.0, 2.0))
+                  for i in range(4)]
+        engine.feed_block(frames)
+        names = [s.name for s in tracer.finished_spans()]
+        assert "pipeline.block_fallback" in names
+
+    def test_ragged_channels_fallback(self):
+        registry = MetricsRegistry()
+        engine = AirFinger(metrics=registry, tracer=Tracer(sample=0.0),
+                           channel_guard=False)
+        frames = ([RssFrame(index=i, time_s=i / 100.0, values=(1.0, 2.0))
+                   for i in range(5)]
+                  + [RssFrame(index=5, time_s=0.05, values=(1.0, 2.0, 3.0))])
+        events = engine.feed_block(frames)
+        key = 'pipeline.block_fallback{reason="ragged_channels"}'
+        assert _counter(registry, key) == 1
+        scalar = AirFinger(metrics=MetricsRegistry(),
+                           tracer=Tracer(sample=0.0), channel_guard=False)
+        ref = [e for f in frames for e in scalar.feed(f)]
+        assert [repr(e) for e in events] == [repr(e) for e in ref]
+
+    def test_channel_count_change_fallback(self):
+        registry = MetricsRegistry()
+        engine = AirFinger(metrics=registry, tracer=Tracer(sample=0.0),
+                           channel_guard=False)
+        first = [RssFrame(index=i, time_s=i / 100.0, values=(1.0, 2.0, 3.0))
+                 for i in range(8)]
+        second = [RssFrame(index=8 + i, time_s=(8 + i) / 100.0,
+                           values=(1.0, 2.0))
+                  for i in range(8)]
+        engine.feed_block(first)
+        engine.feed_block(second)   # uniform block, but 3ch -> 2ch stream
+        key = 'pipeline.block_fallback{reason="channel_count_change"}'
+        assert _counter(registry, key) == 1
+
+    def test_vectorized_path_books_no_fallback(self, short_stream):
+        engine, registry = _engine()
+        engine.feed_frames(short_stream, block_size=256)
+        counters = registry.snapshot().counters
+        fallbacks = {k: v for k, v in counters.items()
+                     if k.startswith("pipeline.block_fallback") and v}
+        assert fallbacks == {}
+
+    def test_all_reasons_preregistered_at_zero(self):
+        """Snapshots always expose the series, even before any fallback."""
+        _, registry = _engine()
+        counters = registry.snapshot().counters
+        for reason in ("tracing", "ragged_channels", "channel_count_change"):
+            assert counters[
+                f'pipeline.block_fallback{{reason="{reason}"}}'] == 0.0
+
+
+class TestFeedBlockBoundaryDelegation:
+    """Event-sequence equality where `feed_block` delegates to the scalar
+    path: empty input, gap-opening and stale stretch heads, ragged
+    channels mid-list, and fully out-of-order blocks."""
+
+    @staticmethod
+    def _pair() -> tuple[AirFinger, AirFinger]:
+        return (_engine()[0], _engine()[0])
+
+    @staticmethod
+    def _assert_equivalent(frames_groups) -> None:
+        block_engine, scalar_engine = (
+            TestFeedBlockBoundaryDelegation._pair())
+        got, ref = [], []
+        for group in frames_groups:
+            got.extend(block_engine.feed_block(group))
+            ref.extend(e for f in group for e in scalar_engine.feed(f))
+        got.extend(block_engine.flush())
+        ref.extend(scalar_engine.flush())
+        assert [repr(e) for e in got] == [repr(e) for e in ref]
+
+    def test_empty_iterable(self):
+        engine, _ = _engine()
+        assert engine.feed_block([]) == []
+        assert engine.feed_block(iter([])) == []
+        assert engine.frames_fed == 0
+
+    def test_stretch_head_opens_short_gap(self, short_stream):
+        # gap of 5 <= max_gap_samples (10): the head interpolates
+        frames = short_stream[:100]
+        shifted = [RssFrame(index=f.index + 5, time_s=f.time_s,
+                            values=f.values) for f in short_stream[105:300]]
+        self._assert_equivalent([frames, shifted])
+
+    def test_stretch_head_opens_long_gap(self, short_stream):
+        # gap of 60 > max_gap_samples: StreamGap + flush-reset at the head
+        frames = short_stream[:100]
+        shifted = [RssFrame(index=f.index, time_s=f.time_s, values=f.values)
+                   for f in short_stream[160:400]]
+        self._assert_equivalent([frames, shifted])
+        # sanity: the long gap really produced a StreamGap on both paths
+        engine, _ = _engine()
+        events = engine.feed_block(frames + shifted)
+        assert any(type(e).__name__ == "StreamGap" for e in events)
+
+    def test_stretch_head_arrives_stale(self, short_stream):
+        # a head whose index is already consumed must be dropped by both
+        frames = short_stream[:120]
+        stale = [short_stream[40]] + short_stream[120:200]
+        self._assert_equivalent([frames, stale])
+
+    def test_gap_inside_one_block(self, short_stream):
+        frames = short_stream[:80] + [
+            RssFrame(index=f.index + 4, time_s=f.time_s, values=f.values)
+            for f in short_stream[84:200]]
+        self._assert_equivalent([frames])
+
+    def test_ragged_channels_mid_list(self):
+        # idle-level frames so no segment spans the ragged boundary (a
+        # ragged history is undefined for BOTH paths once a segment
+        # straddles it; the contract is scalar-equivalence, not support)
+        frames = ([RssFrame(index=i, time_s=i / 100.0, values=(5.0, 6.0))
+                   for i in range(30)]
+                  + [RssFrame(index=30, time_s=0.30, values=(5.0, 6.0, 7.0))]
+                  + [RssFrame(index=31 + i, time_s=(31 + i) / 100.0,
+                              values=(5.0, 6.0, 7.0))
+                     for i in range(30)])
+        registry = MetricsRegistry()
+        block_engine = AirFinger(metrics=registry,
+                                 tracer=Tracer(sample=0.0),
+                                 channel_guard=False)
+        scalar_engine = AirFinger(metrics=MetricsRegistry(),
+                                  tracer=Tracer(sample=0.0),
+                                  channel_guard=False)
+        got = block_engine.feed_block(frames)
+        ref = [e for f in frames for e in scalar_engine.feed(f)]
+        assert [repr(e) for e in got] == [repr(e) for e in ref]
+        assert _counter(
+            registry, 'pipeline.block_fallback{reason="ragged_channels"}') == 1
+
+    def test_every_frame_out_of_order(self, short_stream):
+        frames = short_stream[:150]
+        # replay a slice of already-consumed indices, scrambled
+        scrambled = [short_stream[i] for i in (120, 80, 40, 110, 5, 77)]
+        self._assert_equivalent([frames, scrambled])
+        # and directly: every row is stale, so no events and no ingestion
+        engine, registry = _engine()
+        engine.feed_block(frames)
+        fed_before = engine.frames_fed
+        assert engine.feed_block(scrambled) == []
+        assert engine.frames_fed == fed_before
+        assert (_counter(registry, "pipeline.faults.out_of_order")
+                == len(scrambled))
+
+    def test_interleaved_delegation_and_fast_path(self, short_stream):
+        """Gap head -> fast stretch -> stale frame -> fast stretch."""
+        a = short_stream[:90]
+        b = [RssFrame(index=f.index + 3, time_s=f.time_s, values=f.values)
+             for f in short_stream[93:180]]
+        c = [short_stream[10]]
+        d = [RssFrame(index=f.index + 3, time_s=f.time_s, values=f.values)
+             for f in short_stream[180:320]]
+        self._assert_equivalent([a + b + c + d])
+
+
+class TestBlockModeNumericSanity:
+    def test_histogram_median_tracks_amortized_cost(self, short_stream):
+        """Block-amortized semantics: all samples share the block mean."""
+        engine, registry = _engine()
+        engine.feed_block(short_stream)
+        data = registry.snapshot().histograms["pipeline.frame_seconds"]
+        assert data["count"] == len(short_stream)
+        mean = data["sum"] / data["count"]
+        assert np.isfinite(mean) and mean > 0

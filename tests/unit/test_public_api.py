@@ -31,6 +31,8 @@ PACKAGES = [
     "repro.faults",
     "repro.obs",
     "repro.power",
+    "repro.serve",
+    "repro.serve.protocol",
 ]
 
 DOCS_API = pathlib.Path(__file__).resolve().parents[2] / "docs" / "API.md"

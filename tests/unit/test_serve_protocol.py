@@ -1,0 +1,187 @@
+"""Wire-protocol unit tests: framing, handshake, exact event round-trips."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.acquisition.stream import FrameBlock, RssFrame
+from repro.core.events import (
+    ChannelMaskEvent,
+    GestureEvent,
+    ScrollUpdate,
+    SegmentEvent,
+    StreamGap,
+)
+from repro.serve import protocol
+from repro.serve.protocol import MessageDecoder, ProtocolError, encode_message
+
+SEGMENT = SegmentEvent(start_index=120, end_index=245,
+                       start_time_s=1.2, end_time_s=2.45)
+
+EVENTS = [
+    SEGMENT,
+    GestureEvent(label="circle", confidence=0.9375, segment=SEGMENT,
+                 accepted=True),
+    GestureEvent(label="non_gesture", confidence=1.0, segment=SEGMENT,
+                 accepted=False),
+    ScrollUpdate(direction=-1, velocity_mm_s=-33.15625,
+                 displacement_mm=-8.2890625, time_s=2.45, final=True,
+                 segment=SEGMENT),
+    ScrollUpdate(direction=1, velocity_mm_s=0.1 + 0.2,  # non-representable
+                 displacement_mm=1e-17, time_s=1.7, final=False,
+                 segment=SEGMENT),
+    StreamGap(start_index=300, end_index=360, duration_s=0.6, time_s=3.6),
+    ChannelMaskEvent(channel=2, masked=True, reason="flatline", index=410,
+                     time_s=4.1),
+    ChannelMaskEvent(channel=2, masked=False, reason="recovered", index=500,
+                     time_s=5.0),
+]
+
+
+class TestFraming:
+    def test_roundtrip_single_message(self):
+        decoder = MessageDecoder()
+        message = {"type": "heartbeat"}
+        assert decoder.feed(encode_message(message)) == [message]
+        assert decoder.bytes_buffered == 0
+
+    def test_byte_at_a_time_reassembly(self):
+        decoder = MessageDecoder()
+        payload = encode_message({"type": "frames", "frames": []})
+        out = []
+        for i in range(len(payload)):
+            out.extend(decoder.feed(payload[i:i + 1]))
+        assert out == [{"type": "frames", "frames": []}]
+
+    def test_many_messages_in_one_feed(self):
+        messages = [{"type": "heartbeat"}, {"type": "bye"},
+                    {"type": "stats"}]
+        blob = b"".join(encode_message(m) for m in messages)
+        assert MessageDecoder().feed(blob) == messages
+
+    def test_split_across_feeds_preserves_order(self):
+        a = encode_message({"type": "heartbeat"})
+        b = encode_message({"type": "bye"})
+        blob = a + b
+        decoder = MessageDecoder()
+        got = decoder.feed(blob[: len(a) + 3])
+        got += decoder.feed(blob[len(a) + 3:])
+        assert got == [{"type": "heartbeat"}, {"type": "bye"}]
+
+    def test_oversized_announcement_rejected(self):
+        header = struct.pack("!I", protocol.MAX_MESSAGE_BYTES + 1)
+        with pytest.raises(ProtocolError, match="corrupt"):
+            MessageDecoder().feed(header)
+
+    def test_oversized_encode_rejected(self):
+        big = {"type": "frames",
+               "blob": "x" * (protocol.MAX_MESSAGE_BYTES + 1)}
+        with pytest.raises(ProtocolError, match="frame limit"):
+            encode_message(big)
+
+    def test_non_object_body_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        blob = struct.pack("!I", len(body)) + body
+        with pytest.raises(ProtocolError, match="'type'"):
+            MessageDecoder().feed(blob)
+
+    def test_undecodable_body_rejected(self):
+        body = b"\xff\xfenot json"
+        blob = struct.pack("!I", len(body)) + body
+        with pytest.raises(ProtocolError, match="undecodable"):
+            MessageDecoder().feed(blob)
+
+
+class TestHandshake:
+    def test_hello_roundtrip(self):
+        message = protocol.hello("acme", "dev7", sample_rate_hz=100.0)
+        assert protocol.check_hello(message) == ("acme", "dev7")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ProtocolError, match="expected hello"):
+            protocol.check_hello({"type": "frames"})
+
+    def test_wrong_protocol_rejected(self):
+        bad = protocol.hello("t", "s")
+        bad["protocol"] = "other-proto"
+        with pytest.raises(ProtocolError, match="unknown protocol"):
+            protocol.check_hello(bad)
+
+    def test_wrong_version_rejected(self):
+        bad = protocol.hello("t", "s")
+        bad["version"] = protocol.PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.check_hello(bad)
+
+    def test_missing_identity_rejected(self):
+        for strip in ("tenant", "session"):
+            bad = protocol.hello("t", "s")
+            del bad[strip]
+            with pytest.raises(ProtocolError):
+                protocol.check_hello(bad)
+
+
+class TestFrames:
+    FRAMES = [RssFrame(index=7, time_s=0.07, values=(1.5, 2.25, 3.0)),
+              RssFrame(index=9, time_s=0.09,  # index gap survives the wire
+                       values=(0.1 + 0.2, 1e-300, 4567.125))]
+
+    def test_roundtrip_exact(self):
+        message = protocol.frames_message(self.FRAMES)
+        wire = MessageDecoder().feed(encode_message(message))[0]
+        assert protocol.decode_frames(wire) == self.FRAMES
+
+    def test_frameblock_input(self):
+        block = FrameBlock.from_frames(
+            [RssFrame(index=i, time_s=i / 100.0, values=(1.0, 2.0))
+             for i in range(4)])
+        message = protocol.frames_message(block)
+        assert protocol.decode_frames(message) == list(block.frames())
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed frames"):
+            protocol.decode_frames({"type": "frames"})
+        with pytest.raises(ProtocolError, match="malformed frames"):
+            protocol.decode_frames(
+                {"type": "frames", "frames": [[1, 0.01]]})
+
+
+class TestEvents:
+    @pytest.mark.parametrize(
+        "event", EVENTS, ids=lambda e: type(e).__name__)
+    def test_event_roundtrip_is_bit_exact(self, event):
+        """JSON float repr is shortest-round-trip: repr equality = bits."""
+        payload = protocol.encode_event(event)
+        wire = MessageDecoder().feed(
+            encode_message({"type": "events", "events": [payload]}))[0]
+        (back,) = protocol.decode_events(wire)
+        assert repr(back) == repr(event)
+        assert back == event
+
+    def test_events_message_preserves_order(self):
+        message = protocol.events_message(EVENTS)
+        back = protocol.decode_events(message)
+        assert [repr(e) for e in back] == [repr(e) for e in EVENTS]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown event kind"):
+            protocol.decode_event({"kind": "mystery"})
+
+    def test_unencodable_event_rejected(self):
+        with pytest.raises(ProtocolError, match="cannot encode"):
+            protocol.encode_event(object())
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed event"):
+            protocol.decode_event({"kind": "gesture", "label": "x"})
+
+    def test_iter_decoded_events_skips_control(self):
+        messages = [protocol.heartbeat(),
+                    protocol.events_message(EVENTS[:2]),
+                    protocol.bye(),
+                    protocol.events_message(EVENTS[2:4])]
+        got = list(protocol.iter_decoded_events(messages))
+        assert [repr(e) for e in got] == [repr(e) for e in EVENTS[:4]]
