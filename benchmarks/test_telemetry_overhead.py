@@ -1,0 +1,141 @@
+"""Telemetry-plane overhead and fidelity gates.
+
+The live telemetry plane samples the serving registry on a fixed
+cadence (1 Hz by default), which is only acceptable if one sample is
+effectively free next to the serving workload itself.  Gate 1 runs the
+loadgen fleet against a real loopback server to populate a
+production-shaped registry (per-session latency histograms, per-tenant
+counters and gauges), then times :meth:`TelemetryCollector.sample` on
+it: the CPU one sample per second costs must stay under
+``OVERHEAD_LIMIT`` (5%) of the CPU rate the serve load itself sustained.
+
+Gate 2 pins the sliding-window quantile fidelity the dashboard relies
+on: on a stationary workload the windowed p99 (computed from histogram
+bucket deltas) must agree with the lifetime quantile of the same
+histogram to within one bucket boundary — the windowed estimator reads
+bucket edges, the lifetime one interpolates, so exact equality is not
+the contract; same-bucket (±1) is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import os
+import random
+import time
+
+from repro.core.pipeline import AirFinger
+from repro.obs import MetricsRegistry, TelemetryCollector, Tracer
+from repro.serve import (
+    AirFingerServer,
+    LoadConfig,
+    ServeConfig,
+    SessionManager,
+)
+from repro.serve.loadgen import run_load
+
+from conftest import print_header
+
+SESSIONS = int(os.environ.get("REPRO_TELEMETRY_SESSIONS", "64"))
+DURATION_S = float(os.environ.get("REPRO_TELEMETRY_DURATION", "2.0"))
+SAMPLE_ROUNDS = 200
+OVERHEAD_LIMIT = 0.05  # 1 Hz sampling may cost at most 5% of the load
+
+
+def test_collector_overhead_on_serve_load(benchmark):
+    print_header(
+        f"telemetry sampling overhead — 1 Hz collector on a "
+        f"{SESSIONS}-session registry",
+        "live telemetry must not tax the serving hot path (<5% of the "
+        "load's own CPU rate)")
+
+    registry = MetricsRegistry()
+    manager = SessionManager(
+        ServeConfig(),
+        engine_factory=lambda: AirFinger(metrics=registry,
+                                         tracer=Tracer(sample=0.0)),
+        metrics=registry, tracer=Tracer(sample=0.0))
+    load_config = LoadConfig(sessions=SESSIONS, duration_s=DURATION_S,
+                             rate_hz=100.0, seed=2020)
+
+    async def run():
+        # telemetry off server-side: the load populates the registry,
+        # the sampling cost is then measured in isolation below
+        async with AirFingerServer(manager, telemetry=False) as server:
+            return await run_load(load_config, port=server.port)
+
+    report = asyncio.run(run())
+    cpu_rate = report.cpu_s / report.wall_s  # CPU-seconds per wall-second
+
+    collector = TelemetryCollector(metrics=registry, interval_s=1.0)
+    collector.sample()  # warm the per-series windows
+    t0 = time.perf_counter()
+    for _ in range(SAMPLE_ROUNDS):
+        collector.sample()
+    sample_s = (time.perf_counter() - t0) / SAMPLE_ROUNDS
+
+    n_series = (len(registry.snapshot().counters)
+                + len(registry.snapshot().gauges)
+                + len(registry.snapshot().histograms))
+    # at 1 Hz the collector spends sample_s CPU per wall-second; the
+    # serve load spent cpu_rate CPU per wall-second
+    overhead = sample_s / cpu_rate
+
+    print(f"\nregistry series       {n_series}")
+    print(f"serve load            {SESSIONS} sessions, "
+          f"{report.frames_sent} frames, cpu rate {cpu_rate:.2f}")
+    print(f"one sample            {sample_s * 1e3:.3f} ms "
+          f"(mean of {SAMPLE_ROUNDS})")
+    print(f"overhead @ 1 Hz       {overhead:.3%} (limit "
+          f"{OVERHEAD_LIMIT:.0%})")
+
+    benchmark.pedantic(collector.sample, rounds=10, iterations=1)
+    benchmark.extra_info["series"] = n_series
+    benchmark.extra_info["sample_ms"] = round(sample_s * 1e3, 4)
+    benchmark.extra_info["overhead_at_1hz"] = round(overhead, 5)
+    benchmark.extra_info["overhead_limit"] = OVERHEAD_LIMIT
+
+    assert report.frames_sent > 0 and report.events_received > 0
+    assert overhead < OVERHEAD_LIMIT, (
+        f"one telemetry sample costs {sample_s * 1e3:.2f} ms — "
+        f"{overhead:.1%} of the serve load's CPU rate at 1 Hz "
+        f"(limit {OVERHEAD_LIMIT:.0%})")
+
+
+def _bucket_index(bounds: list[float], value: float) -> int:
+    return bisect.bisect_left(bounds, value)
+
+
+def test_window_quantile_tracks_lifetime_on_stationary_load():
+    print_header(
+        "sliding-window p99 vs lifetime quantile — stationary workload",
+        "the dashboard's windowed quantiles must agree with the "
+        "lifetime estimate to within one histogram bucket")
+
+    rng = random.Random(2020)
+    registry = MetricsRegistry()
+    hist = registry.histogram("serve.frame_latency_seconds")
+    collector = TelemetryCollector(metrics=registry, interval_s=1.0,
+                                   quantile_window=10,
+                                   clock=iter(range(10_000)).__next__)
+
+    # stationary: every tick draws from the same latency distribution
+    for _ in range(20):
+        for _ in range(2000):
+            hist.observe(min(abs(rng.gauss(0.004, 0.002)), 0.5))
+        collector.sample()
+
+    key = "serve.frame_latency_seconds"
+    bounds = list(hist.bounds)
+    for q in (0.50, 0.95, 0.99):
+        lifetime = registry.snapshot().quantile(key, q)
+        windowed = collector.window_quantile(key, q)
+        assert lifetime is not None and windowed is not None
+        delta = abs(_bucket_index(bounds, windowed)
+                    - _bucket_index(bounds, lifetime))
+        print(f"p{int(q * 100):<3} lifetime {lifetime * 1e3:8.3f} ms   "
+              f"window {windowed * 1e3:8.3f} ms   bucket delta {delta}")
+        assert delta <= 1, (
+            f"p{q * 100:.0f}: windowed {windowed} vs lifetime {lifetime} "
+            f"differ by {delta} buckets (limit 1)")

@@ -13,6 +13,8 @@ Everything a downstream user needs without writing Python::
     airfinger stats metrics.json [--prometheus]
     airfinger serve --stack stack.json --port 7420
     airfinger loadgen --port 7420 --sessions 64 --duration 5
+    airfinger top --port 7420
+    airfinger telemetry timeline.jsonl
     airfinger power
 
 ``serve`` runs the multi-stream gesture serving front-end
@@ -21,7 +23,17 @@ connections through per-session engines, with bounded ingest queues,
 drop-oldest backpressure and idle eviction (see ``docs/SERVING.md``).
 ``loadgen`` drives simulated 100 Hz devices against a running serve
 process and reports sessions/core, p99 enqueue→processed frame latency
-and the deadline-miss rate (``--report-json`` writes the full report).
+and the deadline-miss rate (``--report-json`` writes the full report;
+``--telemetry-json`` additionally subscribes a ``watch`` connection and
+records the server's live telemetry timeline; ``--fault-intensity``
+injects a seeded frame-drop schedule into the offered load).
+
+``top`` is the live terminal dashboard: it subscribes to a running
+serve process's telemetry pushes and refreshes a screen of sessions,
+per-tenant frame rates, sliding p99 latency, SLO burn rates and firing
+alerts.  ``telemetry`` replays a recorded JSONL timeline (from
+``serve --telemetry-json`` or ``loadgen --telemetry-json``) into a
+summary: health-state counts, alert episodes, peak rates.
 
 ``robustness`` sweeps a deterministic fault schedule
 (:mod:`repro.faults`) over the corpus and reports the accuracy-vs-fault
@@ -208,6 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo", type=float, default=0.05,
                        help="enqueue->processed latency SLO in seconds "
                             "(misses count into serve.deadline_miss)")
+    serve.add_argument("--telemetry-interval", type=float, default=1.0,
+                       help="seconds between telemetry samples (watch "
+                            "pushes, SLO/health evaluation)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the live telemetry plane (watch "
+                            "subscriptions are then rejected)")
+    serve.add_argument("--telemetry-json", type=Path, default=None,
+                       help="append every telemetry tick to this JSONL "
+                            "timeline (replay with 'airfinger telemetry')")
 
     loadgen = sub.add_parser(
         "loadgen", help="drive N simulated 100 Hz devices against a "
@@ -227,6 +248,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the load report (sessions/core, "
                               "p99 latency, deadline-miss rate) to this "
                               "JSON file")
+    loadgen.add_argument("--telemetry-json", type=Path, default=None,
+                         help="subscribe a watch connection for the run "
+                              "and append the server's telemetry ticks "
+                              "to this JSONL timeline")
+    loadgen.add_argument("--watch-interval", type=float, default=None,
+                         help="requested telemetry push cadence in "
+                              "seconds (default: every server tick)")
+    loadgen.add_argument("--fault-intensity", type=float, default=0.0,
+                         help="inject a seeded frame-drop fault schedule "
+                              "into the offered load (0 = clean control; "
+                              "gaps surface as SLO breaches)")
+
+    top = sub.add_parser(
+        "top", help="live telemetry dashboard for a running serve process")
+    top.add_argument("--host", type=str, default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7420)
+    top.add_argument("--interval", type=float, default=None,
+                     help="requested push cadence in seconds (default: "
+                          "every server telemetry tick)")
+    top.add_argument("--ticks", type=int, default=0,
+                     help="exit after this many refreshes (0 = run until "
+                          "interrupted)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append screens instead of clearing the "
+                          "terminal between refreshes")
+
+    telemetry = sub.add_parser(
+        "telemetry", help="summarize a recorded JSONL telemetry timeline")
+    telemetry.add_argument("timeline", type=Path,
+                           help="JSONL timeline path (from serve/loadgen "
+                                "--telemetry-json)")
+    telemetry.add_argument("--json", action="store_true",
+                           help="emit the summary as JSON instead of text")
+    telemetry.add_argument("--last", action="store_true",
+                           help="also render the final tick as a "
+                                "dashboard screen")
 
     sub.add_parser("power", help="print the power budget table")
     return parser
@@ -602,13 +659,20 @@ def _cmd_serve(args) -> int:
                              metrics=get_registry(), tracer=get_tracer())
 
     manager = SessionManager(config, engine_factory=engine_factory)
-    server = AirFingerServer(manager, host=args.host, port=args.port)
+    server = AirFingerServer(
+        manager, host=args.host, port=args.port,
+        telemetry=not args.no_telemetry,
+        telemetry_interval_s=args.telemetry_interval,
+        timeline_path=args.telemetry_json)
 
     async def run() -> None:
         await server.start()
+        telemetry = ("off" if server.telemetry is None
+                     else f"{server.telemetry.interval_s:g}s")
         print(f"serving on {server.host}:{server.port} "
               f"(slo={config.latency_slo_s * 1e3:.0f}ms, "
-              f"idle-timeout={config.idle_timeout_s:.0f}s)")
+              f"idle-timeout={config.idle_timeout_s:.0f}s, "
+              f"telemetry={telemetry})")
         await server.serve_forever()
 
     try:
@@ -628,9 +692,12 @@ def _cmd_loadgen(args) -> int:
                         sessions=args.sessions, duration_s=args.duration,
                         rate_hz=args.rate,
                         frames_per_send=args.frames_per_send,
-                        seed=args.seed)
+                        seed=args.seed,
+                        fault_intensity=args.fault_intensity)
     try:
-        report = asyncio.run(run_load(config))
+        report = asyncio.run(run_load(
+            config, telemetry_path=args.telemetry_json,
+            watch_interval_s=args.watch_interval))
     except ConnectionError as exc:
         print(f"cannot reach serve process at {args.host}:{args.port}: "
               f"{exc}", file=sys.stderr)
@@ -645,10 +712,84 @@ def _cmd_loadgen(args) -> int:
     print(f"deadline misses   {report.deadline_misses:.0f} "
           f"({report.deadline_miss_rate:.2%})")
     print(f"sessions/core     {report.sessions_per_core:.1f}")
+    rtt = report.heartbeat_rtt_p99_ms
+    if rtt is not None:
+        print(f"heartbeat RTT p99 {rtt:.2f} ms")
+    if args.telemetry_json is not None:
+        print(f"telemetry ticks   {report.telemetry_ticks} "
+              f"(alert episodes: {report.alerts_fired})")
+        print(f"telemetry timeline -> {args.telemetry_json}")
     if args.report_json is not None:
         args.report_json.write_text(
             json.dumps(report.to_dict(), indent=2) + "\n")
         print(f"load report -> {args.report_json}")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import asyncio
+    import os
+
+    from repro.obs import render_top
+    from repro.serve import ServeClient
+
+    async def run() -> int:
+        try:
+            client = await ServeClient.connect(
+                args.host, args.port, "ops", f"top-{os.getpid()}")
+        except (ConnectionError, OSError) as exc:
+            print(f"cannot reach serve process at {args.host}:{args.port}: "
+                  f"{exc}", file=sys.stderr)
+            return 1
+        await client.watch(args.interval)
+        shown = 0
+        try:
+            while args.ticks <= 0 or shown < args.ticks:
+                tick = await client.next_telemetry(timeout_s=60.0)
+                if not args.no_clear:
+                    # ANSI clear + home: repaint in place like top(1)
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(render_top(tick))
+                sys.stdout.flush()
+                shown += 1
+        finally:
+            try:
+                await client.bye(timeout_s=5.0)
+            except Exception:
+                pass
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\ntop stopped")
+        return 0
+
+
+def _cmd_telemetry(args) -> int:
+    import json
+
+    from repro.obs import (
+        load_timeline,
+        render_telemetry_summary,
+        render_top,
+        summarize_timeline,
+    )
+
+    try:
+        ticks = load_timeline(args.timeline)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read telemetry timeline {args.timeline}: {exc}",
+              file=sys.stderr)
+        return 1
+    summary = summarize_timeline(ticks)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_telemetry_summary(summary))
+    if args.last and ticks:
+        print()
+        print(render_top(ticks[-1]))
     return 0
 
 
@@ -719,6 +860,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "top": _cmd_top,
+    "telemetry": _cmd_telemetry,
     "power": _cmd_power,
 }
 

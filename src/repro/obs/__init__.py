@@ -10,6 +10,12 @@ is how the repo proves it, at three altitudes:
   the capture chain, and the evaluation protocols — and snapshots them
   to JSON or Prometheus text format.  On by default; ``REPRO_OBS=0``
   disables it process-wide.
+* **Telemetry** (:mod:`repro.obs.telemetry`): :class:`TelemetryPlane`
+  samples the registry on a cadence into bounded time series — windowed
+  counter rates, sliding-window latency quantiles — and layers SLO
+  burn-rate alerting (:class:`BurnRateAlerter`) and per-tenant health
+  states (:class:`HealthEvaluator`) on top.  This is what the serving
+  stack pushes to ``watch`` subscribers and ``airfinger top`` renders.
 * **Tracing** (:mod:`repro.obs.trace`): :class:`Tracer` records
   :class:`Span` trees (per-frame pipeline stages, campaign
   plan → chunk → task → record_batch, eval folds) into a bounded ring
@@ -35,9 +41,28 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     StageTimer,
     get_registry,
+    parse_series_key,
     set_registry,
 )
 from repro.obs.export import prometheus_text, render_snapshot
+from repro.obs.telemetry import (
+    Alert,
+    BurnRateAlerter,
+    HealthEvaluator,
+    HealthReport,
+    HealthThresholds,
+    SloObjective,
+    SloPolicy,
+    TelemetryCollector,
+    TelemetryPlane,
+    TelemetrySample,
+    TimelineWriter,
+    default_serve_policy,
+    load_timeline,
+    render_telemetry_summary,
+    render_top,
+    summarize_timeline,
+)
 from repro.obs.manifest import RunManifest, config_digest
 from repro.obs.trace import (
     Span,
@@ -62,9 +87,26 @@ __all__ = [
     "MetricsSnapshot",
     "StageTimer",
     "get_registry",
+    "parse_series_key",
     "set_registry",
     "prometheus_text",
     "render_snapshot",
+    "Alert",
+    "BurnRateAlerter",
+    "HealthEvaluator",
+    "HealthReport",
+    "HealthThresholds",
+    "SloObjective",
+    "SloPolicy",
+    "TelemetryCollector",
+    "TelemetryPlane",
+    "TelemetrySample",
+    "TimelineWriter",
+    "default_serve_policy",
+    "load_timeline",
+    "render_telemetry_summary",
+    "render_top",
+    "summarize_timeline",
     "RunManifest",
     "config_digest",
     "Span",

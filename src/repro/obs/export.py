@@ -81,6 +81,9 @@ def prometheus_text(snapshot: MetricsSnapshot) -> str:
         suffix = f"{{{labels}}}" if labels else ""
         lines.append(f"{name}_sum{suffix} {_fmt(data['sum'])}")
         lines.append(f"{name}_count{suffix} {data['count']}")
+        # NaN/inf observations dropped by the histogram: exporting the
+        # tally is the only way a scraper can see sensor-data poisoning
+        lines.append(f"{name}_invalid{suffix} {data.get('invalid', 0)}")
     return "\n".join(lines) + "\n"
 
 
@@ -103,7 +106,7 @@ def render_snapshot(snapshot: MetricsSnapshot) -> str:
         lines += ["Histograms", "----------"]
         width = max(len(k) for k in snapshot.histograms) + 2
         header = (f"{'series':<{width}} {'count':>8} {'p50':>11} "
-                  f"{'p95':>11} {'p99':>11} {'max':>11}")
+                  f"{'p95':>11} {'p99':>11} {'max':>11} {'invalid':>8}")
         lines.append(header)
         for key in sorted(snapshot.histograms):
             data = snapshot.histograms[key]
@@ -116,7 +119,7 @@ def render_snapshot(snapshot: MetricsSnapshot) -> str:
             maximum = "-" if data["max"] is None else f"{data['max']:.3g}"
             lines.append(f"{key:<{width}} {data['count']:>8} "
                          f"{cells[0]:>11} {cells[1]:>11} {cells[2]:>11} "
-                         f"{maximum:>11}")
+                         f"{maximum:>11} {data.get('invalid', 0):>8}")
         lines.append("")
     if not lines:
         return "snapshot is empty\n"

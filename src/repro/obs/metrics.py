@@ -46,6 +46,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "get_registry",
+    "parse_series_key",
     "set_registry",
 ]
 
@@ -77,6 +78,52 @@ def _series_key(name: str, labels: dict[str, str]) -> str:
     inner = ",".join(f'{k}="{escape_label_value(v)}"'
                      for k, v in sorted(labels.items()))
     return f"{name}{{{inner}}}"
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a series key back into ``(name, labels)``.
+
+    The inverse of the key builder: ``name{k="v",...}`` keys produced by
+    the registry parse losslessly (label values are unescaped), and keys
+    without labels return an empty dict.  The telemetry plane uses this
+    to group ``serve.*`` series per tenant/session without the registry
+    having to keep a parallel label index.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed series key {key!r}")
+    name = key[:brace]
+    inner = key[brace + 1:-1]
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(inner):
+        eq = inner.find('="', i)
+        if eq < 0:
+            raise ValueError(f"malformed series key {key!r}")
+        label = inner[i:eq]
+        # scan for the closing quote, honouring backslash escapes
+        j = eq + 2
+        out: list[str] = []
+        while j < len(inner):
+            ch = inner[j]
+            if ch == "\\" and j + 1 < len(inner):
+                nxt = inner[j + 1]
+                out.append("\n" if nxt == "n" else nxt)
+                j += 2
+                continue
+            if ch == '"':
+                break
+            out.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"malformed series key {key!r}")
+        labels[label] = "".join(out)
+        i = j + 1
+        if i < len(inner) and inner[i] == ",":
+            i += 1
+    return name, labels
 
 
 class Counter:

@@ -1,0 +1,889 @@
+"""Live telemetry plane: time series, SLO burn rates, health states.
+
+The base :mod:`repro.obs.metrics` layer answers "what happened since
+process start" — cumulative counters and lifetime histograms.  This
+module layers *time* on top of it, which is what an operator watching a
+soak run (or the ``airfinger top`` dashboard) actually needs:
+
+* :class:`TelemetryCollector` samples registry snapshots on a fixed
+  cadence and keeps bounded ring-buffer series: windowed **rates** for
+  counters and sliding-window **p50/p95/p99** for histograms, computed
+  from snapshot *deltas* so a latency regression shows up as it
+  develops instead of being averaged away by hours of healthy history;
+* :class:`SloPolicy` / :class:`BurnRateAlerter` implement multi-window
+  burn-rate alerting: an objective like "≥99% of frames inside the
+  50 ms deadline" has an error budget of 1%, and the alerter fires when
+  the short *and* long windows both burn budget faster than the
+  threshold — the standard construction that reacts in seconds to a
+  real outage but does not flap on a single slow frame;
+* :class:`HealthEvaluator` folds the ``serve.*`` and
+  ``pipeline.faults.*`` series into per-tenant / per-session
+  ``ok | degraded | critical`` states with human-readable reasons;
+* :class:`TelemetryPlane` composes the three into one ``tick()`` that
+  yields a JSON-safe payload — the unit the server pushes to ``watch``
+  subscribers, the loadgen persists as a JSONL timeline, and
+  ``airfinger top`` renders.
+
+Everything is stdlib-only and clock-injectable (tests drive a fake
+clock), and every payload is sanitized to finite floats so it survives
+the wire protocol's ``allow_nan=False`` framing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    _bucket_quantile,
+    get_registry,
+    parse_series_key,
+)
+
+__all__ = [
+    "Alert",
+    "BurnRateAlerter",
+    "HealthEvaluator",
+    "HealthReport",
+    "HealthThresholds",
+    "SloObjective",
+    "SloPolicy",
+    "TelemetryCollector",
+    "TelemetryPlane",
+    "TelemetrySample",
+    "TimelineWriter",
+    "default_serve_policy",
+    "load_timeline",
+    "render_telemetry_summary",
+    "render_top",
+    "summarize_timeline",
+]
+
+#: Finite stand-in for an infinite burn rate (zero-budget objectives):
+#: payloads must survive ``json.dumps(..., allow_nan=False)``.
+_BURN_CAP = 1e6
+
+#: Severity order for health states.
+_SEVERITY = {"ok": 0, "degraded": 1, "critical": 2}
+
+
+def _finite(value, default=None):
+    """*value* if it is a finite number, else *default* (wire safety)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return value
+    return value if math.isfinite(value) else default
+
+
+def _matches(key: str, name: str) -> bool:
+    """True when series *key* belongs to metric *name* (any labels)."""
+    return key == name or key.startswith(name + "{")
+
+
+@dataclass
+class TelemetrySample:
+    """One collector tick: windowed rates and sliding-window quantiles.
+
+    ``rates`` maps counter series keys to per-second rates over the last
+    sampling interval; ``gauges`` are pass-through instantaneous values;
+    ``histograms`` maps series keys to sliding-window stats
+    (``rate_hz``, ``count``, ``p50``/``p95``/``p99``, ``max``) computed
+    from the last ``quantile_window`` snapshot deltas.
+    """
+
+    seq: int
+    time_s: float
+    wall_time_s: float
+    dt_s: float
+    rates: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (every float finite or ``None``)."""
+        return {
+            "seq": self.seq,
+            "time_s": _finite(self.time_s, 0.0),
+            "wall_time_s": _finite(self.wall_time_s, 0.0),
+            "dt_s": _finite(self.dt_s, 0.0),
+            "rates": {k: _finite(v, 0.0) for k, v in self.rates.items()},
+            "gauges": {k: _finite(v, 0.0) for k, v in self.gauges.items()},
+            "histograms": {
+                k: {f: _finite(v) for f, v in entry.items()}
+                for k, entry in self.histograms.items()},
+        }
+
+
+class _HistWindow:
+    """Ring buffer of histogram snapshot deltas for one series."""
+
+    __slots__ = ("bounds", "deltas", "lifetime_max")
+
+    def __init__(self, bounds: tuple[float, ...], maxlen: int) -> None:
+        self.bounds = bounds
+        #: entries are ``(t, counts_delta, sum_delta, count_delta)``
+        self.deltas: deque = deque(maxlen=maxlen)
+        self.lifetime_max: float | None = None
+
+    def window_counts(self) -> tuple[list[int], int, float, float]:
+        """Summed ``(counts, count, sum, span_s)`` over the window."""
+        counts = [0] * (len(self.bounds) + 1)
+        total = 0
+        total_sum = 0.0
+        span = 0.0
+        if self.deltas:
+            span = self.deltas[-1][0] - self.deltas[0][0]
+        for _, dcounts, dsum, dcount in self.deltas:
+            for i, c in enumerate(dcounts):
+                counts[i] += c
+            total += dcount
+            total_sum += dsum
+        return counts, total, total_sum, span
+
+    def quantile(self, q: float) -> float | None:
+        """Sliding-window quantile estimate (``None`` with no data)."""
+        counts, total, _, _ = self.window_counts()
+        if total == 0:
+            return None
+        # bucket-edge bounds: the window no longer knows the exact
+        # min/max of just these observations, so clamp to the occupied
+        # bucket span (lifetime max for the overflow bucket)
+        lo = 0.0
+        hi = self.bounds[-1]
+        for i, c in enumerate(counts):
+            if c:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                break
+        for i in range(len(counts) - 1, -1, -1):
+            if counts[i]:
+                if i < len(self.bounds):
+                    hi = self.bounds[i]
+                elif self.lifetime_max is not None:
+                    hi = max(self.lifetime_max, self.bounds[-1])
+                break
+        return _bucket_quantile(self.bounds, counts, total, lo, hi, q)
+
+
+class TelemetryCollector:
+    """Samples a :class:`MetricsRegistry` into bounded time series.
+
+    Call :meth:`sample` on a fixed cadence (the server's telemetry loop
+    does); each call diffs the current snapshot against the previous
+    one and appends to ring buffers:
+
+    * per-counter cumulative series (``window`` points) backing
+      :meth:`window_delta` / :meth:`window_rates` — the inputs to
+      burn-rate and health evaluation;
+    * per-histogram delta windows (``quantile_window`` deltas) backing
+      :meth:`window_quantile` — sliding p50/p95/p99 that track the last
+      ``quantile_window × interval`` seconds instead of process
+      lifetime.
+
+    Clocks are injectable so tests (and timeline replays) can drive
+    virtual time.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 interval_s: float = 1.0, window: int = 120,
+                 quantile_window: int = 10,
+                 clock=time.monotonic, wall_clock=time.time) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if window < 2 or quantile_window < 1:
+            raise ValueError("window must be >= 2 and quantile_window >= 1")
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.interval_s = float(interval_s)
+        self.window = int(window)
+        self.quantile_window = int(quantile_window)
+        self._clock = clock
+        self._wall_clock = wall_clock
+        self._seq = 0
+        self._start_t = clock()
+        self._prev: MetricsSnapshot = self.metrics.snapshot()
+        self._prev_t = self._start_t
+        self._samples: deque[TelemetrySample] = deque(maxlen=window)
+        #: cumulative counter points per series: deque of ``(t, value)``
+        self._counter_series: dict[str, deque] = {}
+        self._hist_windows: dict[str, _HistWindow] = {}
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(self, now_s: float | None = None) -> TelemetrySample:
+        """Take one sample; returns the new :class:`TelemetrySample`."""
+        now = self._clock() if now_s is None else float(now_s)
+        snap = self.metrics.snapshot()
+        dt = max(now - self._prev_t, 1e-9)
+        rates: dict[str, float] = {}
+        for key, value in snap.counters.items():
+            series = self._counter_series.get(key)
+            if series is None:
+                series = deque(maxlen=self.window + 1)
+                # anchor at the collector baseline so the first window
+                # delta covers everything since collector start
+                base = self._prev.counters.get(key, 0.0)
+                series.append((self._prev_t, base))
+                self._counter_series[key] = series
+            prev_value = series[-1][1]
+            series.append((now, value))
+            rates[key] = (value - prev_value) / dt
+        hist_stats: dict[str, dict] = {}
+        for key, data in snap.histograms.items():
+            win = self._hist_windows.get(key)
+            bounds = tuple(data["bounds"])
+            if win is None or win.bounds != bounds:
+                win = self._hist_windows[key] = _HistWindow(
+                    bounds, self.quantile_window)
+            prev = self._prev.histograms.get(key)
+            if prev is None or tuple(prev["bounds"]) != bounds:
+                prev = {"counts": [0] * len(data["counts"]),
+                        "sum": 0.0, "count": 0}
+            dcounts = [a - b for a, b in
+                       zip(data["counts"], prev["counts"])]
+            dcount = data["count"] - prev["count"]
+            win.deltas.append((now, dcounts, data["sum"] - prev["sum"],
+                               dcount))
+            win.lifetime_max = data["max"]
+            counts, total, total_sum, span = win.window_counts()
+            hist_stats[key] = {
+                "rate_hz": total / span if span > 0 else 0.0,
+                "count": total,
+                "mean": total_sum / total if total else None,
+                "p50": win.quantile(0.50),
+                "p95": win.quantile(0.95),
+                "p99": win.quantile(0.99),
+                "max": data["max"],
+            }
+        out = TelemetrySample(
+            seq=self._seq, time_s=now, wall_time_s=self._wall_clock(),
+            dt_s=dt, rates=rates, gauges=dict(snap.gauges),
+            histograms=hist_stats)
+        self._seq += 1
+        self._samples.append(out)
+        self._prev = snap
+        self._prev_t = now
+        return out
+
+    @property
+    def samples(self) -> tuple[TelemetrySample, ...]:
+        """The retained samples, oldest first."""
+        return tuple(self._samples)
+
+    @property
+    def latest(self) -> TelemetrySample | None:
+        """The most recent sample, or ``None`` before the first."""
+        return self._samples[-1] if self._samples else None
+
+    # ------------------------------------------------------------------
+    # windowed queries
+    # ------------------------------------------------------------------
+    def _series_delta(self, series: deque, now: float,
+                      window_s: float) -> tuple[float, float]:
+        """``(delta, span_s)`` of one cumulative series over the window."""
+        cutoff = now - window_s
+        start_t, start_v = series[0]
+        for t, v in series:
+            if t > cutoff:
+                break
+            start_t, start_v = t, v
+        end_t, end_v = series[-1]
+        return end_v - start_v, max(end_t - start_t, 0.0)
+
+    def window_deltas(self, name: str, window_s: float,
+                      now_s: float | None = None) -> dict[str, float]:
+        """Per-series counter increase over the last *window_s* seconds.
+
+        Keys are full series keys (``name{label="v"}``); every series of
+        metric *name* is included, labelled or not.
+        """
+        now = self._prev_t if now_s is None else float(now_s)
+        out: dict[str, float] = {}
+        for key, series in self._counter_series.items():
+            if _matches(key, name):
+                out[key] = self._series_delta(series, now, window_s)[0]
+        return out
+
+    def window_delta(self, name: str, window_s: float,
+                     now_s: float | None = None) -> float:
+        """Total counter increase of *name* (all labels) over the window."""
+        return sum(self.window_deltas(name, window_s, now_s).values())
+
+    def window_rates(self, name: str, window_s: float,
+                     now_s: float | None = None) -> dict[str, float]:
+        """Per-series rate (1/s) over the window, span-corrected.
+
+        A series younger than the window is divided by its actual age,
+        so early samples do not understate rates.
+        """
+        now = self._prev_t if now_s is None else float(now_s)
+        out: dict[str, float] = {}
+        for key, series in self._counter_series.items():
+            if _matches(key, name):
+                delta, span = self._series_delta(series, now, window_s)
+                out[key] = delta / span if span > 0 else 0.0
+        return out
+
+    def window_quantile(self, key: str, q: float) -> float | None:
+        """Sliding-window quantile of histogram series *key*."""
+        win = self._hist_windows.get(key)
+        return None if win is None else win.quantile(q)
+
+
+# ---------------------------------------------------------------------------
+# SLO burn-rate alerting
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One service-level objective over counter series.
+
+    ``numerator`` names the *bad*-event counter(s), ``denominator`` the
+    total-event counter; the objective holds when
+    ``1 - bad/total >= target``.  A ``target`` of 1.0 is a zero-budget
+    objective — any bad event burns at :data:`_BURN_CAP`.
+    """
+
+    name: str
+    numerator: str | tuple[str, ...]
+    denominator: str
+    target: float = 0.99
+    fast_window_s: float = 60.0
+    slow_window_s: float = 300.0
+    burn_threshold: float = 1.0
+    min_events: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError(f"target must be in (0, 1], got {self.target}")
+        if self.fast_window_s <= 0 or self.slow_window_s < self.fast_window_s:
+            raise ValueError("need 0 < fast_window_s <= slow_window_s")
+
+    @property
+    def numerators(self) -> tuple[str, ...]:
+        """The numerator metric names as a tuple."""
+        if isinstance(self.numerator, str):
+            return (self.numerator,)
+        return tuple(self.numerator)
+
+    @property
+    def budget(self) -> float:
+        """The error budget ``1 - target``."""
+        return 1.0 - self.target
+
+    def burn_rate(self, bad: float, total: float) -> float:
+        """Budget burn multiple for *bad* failures out of *total* events."""
+        if total <= 0 or bad <= 0:
+            return 0.0
+        error = bad / total
+        if self.budget <= 0:
+            return _BURN_CAP
+        return min(error / self.budget, _BURN_CAP)
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """An ordered set of :class:`SloObjective` the alerter evaluates."""
+
+    objectives: tuple[SloObjective, ...]
+
+    def __post_init__(self) -> None:
+        names = [o.name for o in self.objectives]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate objective names in {names}")
+
+
+def default_serve_policy(latency_slo_s: float = 0.05,
+                         fast_window_s: float = 60.0,
+                         slow_window_s: float = 300.0) -> SloPolicy:
+    """The serving-stack policy: frame latency and stream integrity.
+
+    Mirrors the paper-level interaction contract the load benchmark
+    gates on — ≥99% of frames dispatched inside the deadline
+    (``serve.deadline_miss`` / ``serve.frames``) and zero lost events
+    (backpressure drops or pipeline gaps are a zero-budget breach).
+    """
+    return SloPolicy(objectives=(
+        SloObjective(
+            name="frame-latency",
+            numerator="serve.deadline_miss",
+            denominator="serve.frames",
+            target=0.99,
+            fast_window_s=fast_window_s, slow_window_s=slow_window_s,
+            description=(f"99% of frames dispatched within "
+                         f"{latency_slo_s * 1e3:g} ms")),
+        SloObjective(
+            name="stream-integrity",
+            numerator=("serve.backpressure_drops", "pipeline.faults.gaps"),
+            denominator="serve.frames",
+            target=1.0,
+            fast_window_s=fast_window_s, slow_window_s=slow_window_s,
+            description="zero lost or gapped frames"),
+    ))
+
+
+@dataclass
+class Alert:
+    """One firing→resolved episode of an objective's burn-rate alert."""
+
+    objective: str
+    fired_at_s: float
+    burn_fast: float
+    burn_slow: float
+    description: str = ""
+    resolved_at_s: float | None = None
+
+    @property
+    def state(self) -> str:
+        """``"firing"`` until resolution, then ``"resolved"``."""
+        return "resolved" if self.resolved_at_s is not None else "firing"
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict of the alert."""
+        return {"objective": self.objective, "state": self.state,
+                "fired_at_s": _finite(self.fired_at_s, 0.0),
+                "resolved_at_s": _finite(self.resolved_at_s),
+                "burn_fast": _finite(self.burn_fast, _BURN_CAP),
+                "burn_slow": _finite(self.burn_slow, _BURN_CAP),
+                "description": self.description}
+
+
+class BurnRateAlerter:
+    """Multi-window burn-rate evaluation over collector time series.
+
+    An objective fires when **both** its fast and slow windows burn
+    error budget above ``burn_threshold`` (fast alone reacts to noise;
+    slow alone reacts too late — requiring both is the classic
+    multi-window construction) and resolves as soon as the fast window
+    clears.  Transitions are tallied under
+    ``telemetry.alerts_fired{objective=}`` / ``telemetry.alerts_resolved``
+    so the alerter is itself observable.
+    """
+
+    def __init__(self, policy: SloPolicy,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.policy = policy
+        self.metrics = metrics if metrics is not None else get_registry()
+        #: objective name -> currently firing Alert
+        self._active: dict[str, Alert] = {}
+        #: every episode ever, in firing order
+        self.history: list[Alert] = []
+        #: objective name -> latest evaluation numbers
+        self.status: dict[str, dict] = {}
+
+    def evaluate(self, collector: TelemetryCollector,
+                 now_s: float | None = None) -> list[Alert]:
+        """Evaluate every objective; returns alerts that are firing or
+        resolved *this* call (so one push per transition reaches
+        subscribers)."""
+        now = collector._prev_t if now_s is None else float(now_s)
+        out: list[Alert] = []
+        for obj in self.policy.objectives:
+            bad_fast = sum(collector.window_delta(n, obj.fast_window_s, now)
+                           for n in obj.numerators)
+            bad_slow = sum(collector.window_delta(n, obj.slow_window_s, now)
+                           for n in obj.numerators)
+            tot_fast = collector.window_delta(
+                obj.denominator, obj.fast_window_s, now)
+            tot_slow = collector.window_delta(
+                obj.denominator, obj.slow_window_s, now)
+            burn_fast = obj.burn_rate(bad_fast, tot_fast)
+            burn_slow = obj.burn_rate(bad_slow, tot_slow)
+            self.status[obj.name] = {
+                "target": obj.target,
+                "bad_fast": bad_fast, "total_fast": tot_fast,
+                "burn_fast": burn_fast, "burn_slow": burn_slow,
+                "budget_remaining": max(0.0, 1.0 - burn_slow),
+            }
+            active = self._active.get(obj.name)
+            should_fire = (tot_fast >= obj.min_events
+                           and burn_fast >= obj.burn_threshold
+                           and burn_slow >= obj.burn_threshold)
+            if active is None and should_fire:
+                active = Alert(objective=obj.name, fired_at_s=now,
+                               burn_fast=burn_fast, burn_slow=burn_slow,
+                               description=obj.description)
+                self._active[obj.name] = active
+                self.history.append(active)
+                self.metrics.counter("telemetry.alerts_fired",
+                                     objective=obj.name).inc()
+                out.append(active)
+            elif active is not None:
+                active.burn_fast = burn_fast
+                active.burn_slow = burn_slow
+                if burn_fast < obj.burn_threshold:
+                    active.resolved_at_s = now
+                    del self._active[obj.name]
+                    self.metrics.counter("telemetry.alerts_resolved",
+                                         objective=obj.name).inc()
+                out.append(active)
+        return out
+
+    @property
+    def active(self) -> tuple[Alert, ...]:
+        """Currently firing alerts."""
+        return tuple(self._active.values())
+
+
+# ---------------------------------------------------------------------------
+# health evaluation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Knobs mapping windowed series onto ``ok|degraded|critical``."""
+
+    window_s: float = 30.0
+    deadline_miss_degraded: float = 0.01
+    deadline_miss_critical: float = 0.05
+    drop_rate_critical: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {self.window_s}")
+        if self.deadline_miss_critical < self.deadline_miss_degraded:
+            raise ValueError("critical threshold below degraded threshold")
+
+
+@dataclass
+class HealthReport:
+    """Per-tenant / per-session health states plus global reasons."""
+
+    overall: str
+    reasons: list[str]
+    tenants: dict[str, dict]
+    generated_at_s: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict of the report."""
+        return {"overall": self.overall, "reasons": list(self.reasons),
+                "tenants": self.tenants,
+                "generated_at_s": _finite(self.generated_at_s, 0.0)}
+
+
+def _worst(a: str, b: str) -> str:
+    return a if _SEVERITY[a] >= _SEVERITY[b] else b
+
+
+class HealthEvaluator:
+    """Folds ``serve.*`` / ``pipeline.faults.*`` series into states.
+
+    Degradation signals (windowed over ``thresholds.window_s``):
+    backpressure drops mark the dropping tenant ``degraded`` (``critical``
+    past ``drop_rate_critical``); deadline-miss ratio past its thresholds,
+    stream gaps, channel-mask flaps and any firing burn-rate alert mark
+    the whole service at least ``degraded``.  Sessions inherit their
+    tenant's state — per-session series exist so the report can show
+    *which* session is hot, not to diverge from tenant policy.
+    """
+
+    def __init__(self, thresholds: HealthThresholds | None = None) -> None:
+        self.thresholds = thresholds or HealthThresholds()
+
+    def evaluate(self, collector: TelemetryCollector,
+                 alerter: BurnRateAlerter | None = None,
+                 now_s: float | None = None) -> HealthReport:
+        """Produce a :class:`HealthReport` from the collector's series."""
+        t = self.thresholds
+        now = collector._prev_t if now_s is None else float(now_s)
+        w = t.window_s
+        frames = collector.window_deltas("serve.frames", w, now)
+        drops = collector.window_deltas("serve.backpressure_drops", w, now)
+        frame_rates = collector.window_rates("serve.frames", w, now)
+        session_rates = collector.window_rates("serve.session_frames", w, now)
+
+        tenants: dict[str, dict] = {}
+        for key, delta in frames.items():
+            tenant = parse_series_key(key)[1].get("tenant", "")
+            entry = tenants.setdefault(
+                tenant, {"state": "ok", "reasons": [],
+                         "frame_rate_hz": 0.0, "sessions": {}})
+            entry["frame_rate_hz"] += frame_rates.get(key, 0.0)
+        for key, dropped in drops.items():
+            if dropped <= 0:
+                continue
+            tenant = parse_series_key(key)[1].get("tenant", "")
+            entry = tenants.setdefault(
+                tenant, {"state": "ok", "reasons": [],
+                         "frame_rate_hz": 0.0, "sessions": {}})
+            total = sum(d for k, d in frames.items()
+                        if parse_series_key(k)[1].get("tenant", "") == tenant)
+            ratio = dropped / (dropped + total) if (dropped + total) else 1.0
+            state = ("critical" if ratio > t.drop_rate_critical
+                     else "degraded")
+            entry["state"] = _worst(entry["state"], state)
+            entry["reasons"].append(
+                f"{dropped:g} backpressure drops in {w:g}s "
+                f"({ratio:.1%} of frames)")
+        for key, rate in session_rates.items():
+            labels = parse_series_key(key)[1]
+            tenant = labels.get("tenant", "")
+            session = labels.get("session", "")
+            entry = tenants.setdefault(
+                tenant, {"state": "ok", "reasons": [],
+                         "frame_rate_hz": 0.0, "sessions": {}})
+            entry["sessions"][session] = {
+                "state": entry["state"], "frame_rate_hz": rate}
+
+        overall = "ok"
+        reasons: list[str] = []
+        total_frames = sum(frames.values())
+        misses = collector.window_delta("serve.deadline_miss", w, now)
+        if total_frames > 0 and misses > 0:
+            ratio = misses / total_frames
+            if ratio > t.deadline_miss_critical:
+                overall = _worst(overall, "critical")
+                reasons.append(f"deadline-miss ratio {ratio:.1%} "
+                               f"over {w:g}s (critical)")
+            elif ratio > t.deadline_miss_degraded:
+                overall = _worst(overall, "degraded")
+                reasons.append(f"deadline-miss ratio {ratio:.1%} "
+                               f"over {w:g}s")
+        gaps = collector.window_delta("pipeline.faults.gaps", w, now)
+        if gaps > 0:
+            overall = _worst(overall, "degraded")
+            reasons.append(f"{gaps:g} stream gaps in {w:g}s")
+        masked = collector.window_delta(
+            "pipeline.faults.channel_masked", w, now)
+        if masked > 0:
+            overall = _worst(overall, "degraded")
+            reasons.append(f"{masked:g} channel mask transitions in {w:g}s")
+        if alerter is not None:
+            for alert in alerter.active:
+                overall = _worst(overall, "degraded")
+                reasons.append(f"alert firing: {alert.objective}")
+        for tenant, entry in tenants.items():
+            overall = _worst(overall, entry["state"])
+            # sessions inherit the final tenant state
+            for info in entry["sessions"].values():
+                info["state"] = entry["state"]
+        return HealthReport(overall=overall, reasons=reasons,
+                            tenants=tenants, generated_at_s=now)
+
+
+# ---------------------------------------------------------------------------
+# composition: the plane the server runs
+# ---------------------------------------------------------------------------
+
+class TelemetryPlane:
+    """Collector + alerter + health evaluator behind one ``tick()``.
+
+    The server calls :meth:`tick` on its telemetry cadence; the returned
+    payload is what ``watch`` subscribers receive, what the JSONL
+    timeline persists, and what :func:`render_top` draws.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 policy: SloPolicy | None = None,
+                 thresholds: HealthThresholds | None = None,
+                 interval_s: float = 1.0, window: int = 120,
+                 quantile_window: int = 10,
+                 clock=time.monotonic, wall_clock=time.time) -> None:
+        metrics = metrics if metrics is not None else get_registry()
+        self.interval_s = float(interval_s)
+        self.collector = TelemetryCollector(
+            metrics, interval_s=interval_s, window=window,
+            quantile_window=quantile_window, clock=clock,
+            wall_clock=wall_clock)
+        self.policy = policy if policy is not None else default_serve_policy()
+        self.alerter = BurnRateAlerter(self.policy, metrics=metrics)
+        self.health = HealthEvaluator(thresholds)
+
+    def tick(self, now_s: float | None = None) -> dict:
+        """Sample, evaluate SLOs and health; returns the JSON payload."""
+        sample = self.collector.sample(now_s)
+        alerts = self.alerter.evaluate(self.collector, sample.time_s)
+        report = self.health.evaluate(self.collector, self.alerter,
+                                      sample.time_s)
+        status = {
+            name: {k: _finite(v, 0.0) for k, v in entry.items()}
+            for name, entry in self.alerter.status.items()}
+        return {
+            "seq": sample.seq,
+            "time_s": sample.time_s,
+            "wall_time_s": sample.wall_time_s,
+            "interval_s": self.interval_s,
+            "sample": sample.to_dict(),
+            "health": report.to_dict(),
+            "alerts": [a.to_dict() for a in alerts],
+            "slo": status,
+        }
+
+
+# ---------------------------------------------------------------------------
+# timelines: persistence, replay, summaries
+# ---------------------------------------------------------------------------
+
+class TimelineWriter:
+    """Append telemetry ticks to a JSONL file (one tick per line)."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._file = open(path, "a", encoding="utf-8")
+        self.ticks_written = 0
+
+    def write(self, tick: dict) -> None:
+        """Append one tick and flush (timelines outlive crashes)."""
+        self._file.write(json.dumps(tick, separators=(",", ":"),
+                                    allow_nan=False) + "\n")
+        self._file.flush()
+        self.ticks_written += 1
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "TimelineWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def load_timeline(path) -> list[dict]:
+    """Read a JSONL telemetry timeline back into tick dicts."""
+    ticks = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                ticks.append(json.loads(line))
+    return ticks
+
+
+def summarize_timeline(ticks: list[dict]) -> dict:
+    """Aggregate a timeline into counts an operator (or CI) asserts on.
+
+    Alert episodes are deduplicated by ``(objective, fired_at_s)`` —
+    a firing alert is re-pushed every tick, but it is one episode.
+    """
+    summary: dict = {
+        "ticks": len(ticks), "duration_s": 0.0,
+        "health": {"ok": 0, "degraded": 0, "critical": 0},
+        "alerts": {"fired": 0, "resolved": 0, "episodes": []},
+        "peaks": {},
+    }
+    if not ticks:
+        return summary
+    summary["duration_s"] = ticks[-1]["time_s"] - ticks[0]["time_s"]
+    episodes: dict[tuple, dict] = {}
+    peak_rate = 0.0
+    peak_p99 = None
+    for tick in ticks:
+        state = tick.get("health", {}).get("overall", "ok")
+        summary["health"][state] = summary["health"].get(state, 0) + 1
+        for alert in tick.get("alerts", []):
+            key = (alert["objective"], alert["fired_at_s"])
+            episodes[key] = alert  # last push wins: carries resolution
+        rates = tick.get("sample", {}).get("rates", {})
+        peak_rate = max(peak_rate, sum(
+            v for k, v in rates.items() if _matches(k, "serve.frames")))
+        hists = tick.get("sample", {}).get("histograms", {})
+        entry = hists.get("serve.frame_latency_seconds")
+        if entry and entry.get("p99") is not None:
+            p99 = entry["p99"]
+            peak_p99 = p99 if peak_p99 is None else max(peak_p99, p99)
+    ordered = sorted(episodes.values(), key=lambda a: a["fired_at_s"])
+    summary["alerts"]["episodes"] = ordered
+    summary["alerts"]["fired"] = len(ordered)
+    summary["alerts"]["resolved"] = sum(
+        1 for a in ordered if a["state"] == "resolved")
+    summary["peaks"] = {"frame_rate_hz": peak_rate,
+                        "frame_latency_p99_s": peak_p99}
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# terminal rendering
+# ---------------------------------------------------------------------------
+
+def _fmt_ms(seconds) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def render_top(tick: dict) -> str:
+    """One ``airfinger top`` screen for a telemetry tick (pure text)."""
+    lines: list[str] = []
+    health = tick.get("health", {})
+    overall = health.get("overall", "ok")
+    wall = tick.get("wall_time_s", 0.0)
+    stamp = time.strftime("%H:%M:%S", time.localtime(wall))
+    lines.append(f"airfinger top — {stamp}  seq {tick.get('seq', 0)}  "
+                 f"health {overall.upper()}")
+    for reason in health.get("reasons", []):
+        lines.append(f"  ! {reason}")
+    hists = tick.get("sample", {}).get("histograms", {})
+    latency = hists.get("serve.frame_latency_seconds", {})
+    rates = tick.get("sample", {}).get("rates", {})
+    total_rate = sum(v for k, v in rates.items()
+                     if _matches(k, "serve.frames"))
+    gauges = tick.get("sample", {}).get("gauges", {})
+    open_sessions = sum(v for k, v in gauges.items()
+                        if _matches(k, "serve.sessions_open"))
+    lines.append(
+        f"sessions {open_sessions:g}  frames {total_rate:.1f}/s  "
+        f"latency p50 {_fmt_ms(latency.get('p50'))} "
+        f"p95 {_fmt_ms(latency.get('p95'))} "
+        f"p99 {_fmt_ms(latency.get('p99'))}")
+    slo = tick.get("slo", {})
+    if slo:
+        lines.append("")
+        lines.append(f"{'objective':<20} {'burn fast':>10} {'burn slow':>10} "
+                     f"{'budget left':>12}")
+        for name, entry in sorted(slo.items()):
+            lines.append(
+                f"{name:<20} {entry.get('burn_fast', 0.0):>10.2f} "
+                f"{entry.get('burn_slow', 0.0):>10.2f} "
+                f"{entry.get('budget_remaining', 0.0):>11.0%}")
+    tenants = health.get("tenants", {})
+    if tenants:
+        lines.append("")
+        lines.append(f"{'tenant':<16} {'state':<10} {'frames/s':>10} "
+                     f"{'sessions':>9}")
+        for tenant, entry in sorted(tenants.items()):
+            lines.append(
+                f"{tenant:<16} {entry.get('state', 'ok'):<10} "
+                f"{entry.get('frame_rate_hz', 0.0):>10.1f} "
+                f"{len(entry.get('sessions', {})):>9d}")
+    alerts = [a for a in tick.get("alerts", []) if a.get("state") == "firing"]
+    lines.append("")
+    if alerts:
+        for alert in alerts:
+            lines.append(f"ALERT {alert['objective']}: "
+                         f"burn {alert.get('burn_fast', 0.0):.1f}x "
+                         f"({alert.get('description', '')})")
+    else:
+        lines.append("no alerts firing")
+    return "\n".join(lines)
+
+
+def render_telemetry_summary(summary: dict) -> str:
+    """Human-readable rendering of :func:`summarize_timeline` output."""
+    lines = [
+        f"ticks: {summary['ticks']}  "
+        f"duration: {summary['duration_s']:.1f}s",
+        (f"health: ok={summary['health'].get('ok', 0)} "
+         f"degraded={summary['health'].get('degraded', 0)} "
+         f"critical={summary['health'].get('critical', 0)}"),
+        (f"alerts: fired={summary['alerts']['fired']} "
+         f"resolved={summary['alerts']['resolved']}"),
+    ]
+    for alert in summary["alerts"]["episodes"]:
+        resolved = alert.get("resolved_at_s")
+        tail = (f"resolved at {resolved:.1f}s" if resolved is not None
+                else "still firing")
+        lines.append(f"  - {alert['objective']} fired at "
+                     f"{alert['fired_at_s']:.1f}s, {tail}")
+    peaks = summary.get("peaks", {})
+    if peaks:
+        lines.append(
+            f"peaks: frames {peaks.get('frame_rate_hz', 0.0):.1f}/s  "
+            f"latency p99 {_fmt_ms(peaks.get('frame_latency_p99_s'))}")
+    return "\n".join(lines)

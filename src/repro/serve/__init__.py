@@ -7,7 +7,11 @@ instances with bounded queues and explicit backpressure, an asyncio
 front-end (:class:`~repro.serve.server.AirFingerServer`) speaks the
 versioned length-framed protocol of :mod:`repro.serve.protocol`, and the
 load generator (:mod:`repro.serve.loadgen`) measures sessions/core, p99
-frame latency and deadline-miss rate against a live server.
+frame latency and deadline-miss rate against a live server.  The server
+also runs a live :class:`~repro.obs.telemetry.TelemetryPlane` by
+default — ``watch`` subscribers (``airfinger top``, the loadgen's
+``--telemetry-json`` timeline) receive periodic rate/quantile/health/
+alert pushes.
 
 See ``docs/SERVING.md`` for the architecture and the serving guarantees
 (event fidelity over the wire, drop-oldest backpressure surfacing as

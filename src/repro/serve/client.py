@@ -10,12 +10,21 @@ close with a graceful ``bye`` that returns the server's flush tail.
 from __future__ import annotations
 
 import asyncio
+import time
+from collections import deque
 from typing import Iterable
 
 from repro.acquisition.stream import RssFrame
+from repro.obs import MetricsRegistry, get_registry
 from repro.serve import protocol
 
-__all__ = ["ServeClient"]
+__all__ = ["ServeClient", "HEARTBEAT_RTT_BUCKETS_MS"]
+
+#: Millisecond buckets for ``serve.heartbeat_rtt_ms`` — loopback RTTs
+#: sit well under 1 ms; WAN paths reach the hundreds.
+HEARTBEAT_RTT_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0)
 
 
 class ServeClient:
@@ -29,21 +38,33 @@ class ServeClient:
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter, hello_ack: dict) -> None:
+                 writer: asyncio.StreamWriter, hello_ack: dict,
+                 metrics: MetricsRegistry | None = None) -> None:
         self._reader = reader
         self._writer = writer
         self._decoder = protocol.MessageDecoder()
         self.hello_ack = hello_ack
+        self._metrics = metrics if metrics is not None else get_registry()
+        self._h_rtt = self._metrics.histogram(
+            "serve.heartbeat_rtt_ms", buckets=HEARTBEAT_RTT_BUCKETS_MS)
         #: every decoded pipeline event received so far, in wire order
         self.events: list = []
         #: monotonic receive time of each events message (latency probes)
         self.heartbeats = 0
+        #: measured heartbeat round-trip times, seconds, oldest first
+        self.rtts_s: list[float] = []
+        #: telemetry ticks received on a ``watch`` subscription
+        self.telemetry: deque[dict] = deque(maxlen=1024)
+        #: server stamps from the last ``stats_reply`` (v2 servers)
+        self.server_time_s: float | None = None
+        self.uptime_s: float | None = None
         self._bye_seen = False
         self._stats: dict | None = None
 
     @classmethod
     async def connect(cls, host: str, port: int, tenant: str,
-                      session: str, timeout_s: float = 10.0
+                      session: str, timeout_s: float = 10.0,
+                      metrics: MetricsRegistry | None = None
                       ) -> "ServeClient":
         """Open a connection and complete the hello handshake."""
         reader, writer = await asyncio.open_connection(host, port)
@@ -68,7 +89,7 @@ class ServeClient:
             if first.get("type") != "hello_ack":
                 raise protocol.ProtocolError(
                     f"expected hello_ack, got {first.get('type')!r}")
-            client = cls(reader, writer, first)
+            client = cls(reader, writer, first, metrics=metrics)
             for message in messages[1:]:
                 client._absorb(message)
             return client
@@ -80,8 +101,19 @@ class ServeClient:
             self.events.extend(protocol.decode_events(message))
         elif kind == "heartbeat":
             self.heartbeats += 1
+            echo = message.get("echo")
+            if echo is not None:
+                # the echo carries OUR clock reading back, so RTT needs
+                # no clock agreement with the server
+                rtt_s = max(time.perf_counter() - float(echo), 0.0)
+                self.rtts_s.append(rtt_s)
+                self._h_rtt.observe(rtt_s * 1e3)
+        elif kind == "telemetry":
+            self.telemetry.append(message.get("telemetry", {}))
         elif kind == "stats_reply":
             self._stats = message.get("metrics")
+            self.server_time_s = message.get("server_time_s")
+            self.uptime_s = message.get("uptime_s")
         elif kind == "bye":
             self._bye_seen = True
         elif kind == "error":
@@ -111,6 +143,50 @@ class ServeClient:
     async def pump(self, timeout_s: float = 0.001) -> None:
         """Opportunistically absorb any events already on the wire."""
         await self._read_some(timeout_s)
+
+    async def ping(self, timeout_s: float = 10.0) -> float:
+        """Measure one heartbeat round-trip; returns the RTT in seconds.
+
+        Sends a timestamped heartbeat, waits for the server's echo, and
+        records the RTT into the ``serve.heartbeat_rtt_ms`` histogram
+        (also appended to :attr:`rtts_s`).
+        """
+        seen = len(self.rtts_s)
+        self._writer.write(protocol.encode_message(
+            protocol.heartbeat(t=time.perf_counter())))
+        await self._writer.drain()
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while len(self.rtts_s) == seen:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError("heartbeat echo timed out")
+            if not await self._read_some(remaining):
+                raise ConnectionError("server closed before echo")
+        return self.rtts_s[-1]
+
+    async def watch(self, interval_s: float | None = None) -> None:
+        """Subscribe to the server's periodic ``telemetry`` pushes.
+
+        Received ticks accumulate in :attr:`telemetry` as the client
+        reads (``pump``/:meth:`next_telemetry`).  ``interval_s <= 0``
+        cancels the subscription.
+        """
+        self._writer.write(protocol.encode_message(
+            protocol.watch(interval_s)))
+        await self._writer.drain()
+
+    async def next_telemetry(self, timeout_s: float = 10.0) -> dict:
+        """Block until one telemetry tick arrives; returns its payload."""
+        if self.telemetry:
+            return self.telemetry.popleft()
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while not self.telemetry:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError("telemetry push timed out")
+            if not await self._read_some(remaining):
+                raise ConnectionError("server closed while watching")
+        return self.telemetry.popleft()
 
     async def stats(self, timeout_s: float = 10.0) -> dict:
         """Fetch the server's stats snapshot (includes metrics)."""

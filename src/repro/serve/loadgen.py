@@ -29,7 +29,9 @@ from dataclasses import dataclass, field
 
 from repro.acquisition.stream import RssFrame, stream_frames
 from repro.datasets import CampaignConfig, CampaignGenerator
+from repro.faults import FaultSchedule, FrameDropFault
 from repro.obs import MetricsSnapshot
+from repro.obs.telemetry import TimelineWriter, summarize_timeline
 from repro.serve.client import ServeClient
 
 __all__ = ["LoadConfig", "LoadReport", "make_device_frames", "run_load"]
@@ -47,10 +49,16 @@ class LoadConfig:
     frames_per_send: int = 10
     tenant: str = "loadgen"
     seed: int = 2020
+    #: 0 disables fault injection; >0 scales a seeded frame-drop
+    #: schedule applied to the shared device capture, so the offered
+    #: load carries index gaps (an SLO breach the telemetry must catch)
+    fault_intensity: float = 0.0
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
             raise ValueError("sessions must be >= 1")
+        if not 0.0 <= self.fault_intensity:
+            raise ValueError("fault_intensity must be >= 0")
         if self.duration_s <= 0:
             raise ValueError("duration_s must be > 0")
         if self.rate_hz <= 0:
@@ -77,6 +85,11 @@ class LoadReport:
     wall_s: float
     cpu_s: float
     per_session_events: list[int] = field(default_factory=list)
+    fault_intensity: float = 0.0
+    heartbeat_rtt_p50_ms: float | None = None
+    heartbeat_rtt_p99_ms: float | None = None
+    telemetry_ticks: int = 0
+    alerts_fired: int = 0
 
     @property
     def deadline_miss_rate(self) -> float:
@@ -116,6 +129,11 @@ class LoadReport:
             "cpu_s": self.cpu_s,
             "sessions_per_core": self.sessions_per_core,
             "per_session_events": list(self.per_session_events),
+            "fault_intensity": self.fault_intensity,
+            "heartbeat_rtt_p50_ms": self.heartbeat_rtt_p50_ms,
+            "heartbeat_rtt_p99_ms": self.heartbeat_rtt_p99_ms,
+            "telemetry_ticks": self.telemetry_ticks,
+            "alerts_fired": self.alerts_fired,
         }
 
 
@@ -130,13 +148,24 @@ def make_device_frames(config: LoadConfig) -> list[RssFrame]:
         n_users=1, n_sessions=1, repetitions=1, seed=config.seed))
     sample = generator.stream(0, ["click", "circle", "scroll_up"],
                               idle_s=0.5, lead_in_s=0.5)
-    capture = list(stream_frames(sample.recording))
+    if config.fault_intensity > 0:
+        schedule = FaultSchedule(
+            faults=(FrameDropFault(),),
+            seed=config.seed).at(config.fault_intensity)
+        # dropped frames keep their original indices, so the gaps ride
+        # the wire into the server's pipeline as StreamGap breaches
+        capture = list(schedule.stream(sample.recording, "loadgen"))
+    else:
+        capture = list(stream_frames(sample.recording))
     frames: list[RssFrame] = []
     base = 0
     while len(frames) < n_needed:
         frames.extend(RssFrame(index=base + f.index, time_s=f.time_s,
                                values=f.values) for f in capture)
-        base += len(capture)
+        # re-anchor past the highest ORIGINAL index: a faulted capture
+        # holds fewer frames than indices, and reusing len(capture)
+        # would overlap cycles
+        base += capture[-1].index + 1
     return frames[:n_needed]
 
 
@@ -158,6 +187,8 @@ async def _drive_device(config: LoadConfig, port: int, device: int,
         await asyncio.sleep(phase_s)
     client = await ServeClient.connect(
         config.host, port, config.tenant, f"dev{device:03d}")
+    # one timed heartbeat per device: RTT lands in serve.heartbeat_rtt_ms
+    await client.ping()
     start = loop.time()
     cursor = 0
     batch_no = 0
@@ -177,9 +208,21 @@ async def _drive_device(config: LoadConfig, port: int, device: int,
     return client
 
 
+async def _watch_telemetry(client: ServeClient, ticks: list[dict],
+                           writer: "TimelineWriter | None") -> None:
+    """Drain telemetry pushes into *ticks* (and the timeline) forever."""
+    while True:
+        tick = await client.next_telemetry(timeout_s=3600.0)
+        ticks.append(tick)
+        if writer is not None:
+            writer.write(tick)
+
+
 async def run_load(config: LoadConfig, port: int | None = None,
                    latency_slo_s: float | None = None,
-                   return_events: bool = False):
+                   return_events: bool = False,
+                   telemetry_path=None,
+                   watch_interval_s: float | None = None):
     """Run the full fleet against ``host:port``; returns the report.
 
     ``port`` overrides ``config.port`` (tests bind port 0 and pass the
@@ -189,10 +232,28 @@ async def run_load(config: LoadConfig, port: int | None = None,
     the result is ``(report, per_device_events)`` — the decoded event
     list of every device, for fidelity gates that compare the wire
     output against an in-process replay.
+
+    ``telemetry_path`` subscribes a dedicated ``watch`` connection for
+    the whole run and appends every pushed tick to that JSONL timeline
+    (``watch_interval_s`` tunes the push cadence); the report then
+    carries ``telemetry_ticks`` and the number of distinct alert
+    episodes observed.  This requires telemetry enabled server-side.
     """
     if port is None:
         port = config.port
     frames = make_device_frames(config)
+    ticks: list[dict] = []
+    watcher: ServeClient | None = None
+    watch_task: asyncio.Task | None = None
+    writer: TimelineWriter | None = None
+    if telemetry_path is not None or watch_interval_s is not None:
+        watcher = await ServeClient.connect(config.host, port,
+                                            config.tenant, "telemetry-watch")
+        await watcher.watch(watch_interval_s)
+        if telemetry_path is not None:
+            writer = TimelineWriter(telemetry_path)
+        watch_task = asyncio.create_task(
+            _watch_telemetry(watcher, ticks, writer))
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
     clients = await asyncio.gather(*[
@@ -200,6 +261,18 @@ async def run_load(config: LoadConfig, port: int | None = None,
         for device in range(config.sessions)])
     wall_s = time.perf_counter() - wall_start
     cpu_s = time.process_time() - cpu_start
+    if watch_task is not None:
+        watch_task.cancel()
+        try:
+            await watch_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        if writer is not None:
+            writer.close()
+        try:
+            await watcher.bye(timeout_s=5.0)
+        except Exception:
+            pass
 
     # one control connection for the server-side counters
     control = await ServeClient.connect(config.host, port,
@@ -230,7 +303,21 @@ async def run_load(config: LoadConfig, port: int | None = None,
         latency_slo_s=latency_slo_s,
         wall_s=wall_s,
         cpu_s=cpu_s,
-        per_session_events=[len(c.events) for c in clients])
+        per_session_events=[len(c.events) for c in clients],
+        fault_intensity=config.fault_intensity,
+        heartbeat_rtt_p50_ms=_rtt_quantile(clients, 0.50),
+        heartbeat_rtt_p99_ms=_rtt_quantile(clients, 0.99),
+        telemetry_ticks=len(ticks),
+        alerts_fired=summarize_timeline(ticks)["alerts"]["fired"])
     if return_events:
         return report, [c.events for c in clients]
     return report
+
+
+def _rtt_quantile(clients: list[ServeClient], q: float) -> float | None:
+    """Nearest-rank quantile (ms) of every device's measured RTTs."""
+    rtts = sorted(r for c in clients for r in c.rtts_s)
+    if not rtts:
+        return None
+    rank = min(len(rtts) - 1, max(0, int(q * len(rtts))))
+    return rtts[rank] * 1e3

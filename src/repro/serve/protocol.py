@@ -16,9 +16,19 @@ ordered byte stream (TCP here; the framing is transport-agnostic):
   events); recognition output flows server → client as ``events``
   batches; ``heartbeat`` flows both ways during silence;
 * ``stats`` asks the server for its ``repro.obs`` snapshot
-  (``stats_reply``), and ``bye`` closes the session cleanly: the server
-  drains the queue, flushes the pipeline, sends the tail events and a
-  final ``bye``.
+  (``stats_reply``, stamped with the server's wall clock and uptime so
+  two snapshots diff into rates without guessing clock skew), ``watch``
+  subscribes the connection to periodic ``telemetry`` pushes from the
+  server's :class:`~repro.obs.telemetry.TelemetryPlane` (rates, sliding
+  quantiles, health states, firing alerts — what ``airfinger top``
+  renders), and ``bye`` closes the session cleanly: the server drains
+  the queue, flushes the pipeline, sends the tail events and a final
+  ``bye``.
+
+Protocol v2 added the ``watch``/``telemetry`` pair, the optional
+``t``/``echo`` heartbeat fields (RTT measurement) and the
+``server_time_s``/``uptime_s`` stats stamps; all are additive, so a v2
+peer ignores their absence.
 
 :func:`encode_event`/:func:`decode_event` round-trip every pipeline
 event dataclass (:class:`SegmentEvent`, :class:`GestureEvent`,
@@ -64,6 +74,8 @@ __all__ = [
     "heartbeat",
     "stats_request",
     "stats_reply",
+    "watch",
+    "telemetry_message",
     "bye",
     "error_message",
 ]
@@ -71,7 +83,8 @@ __all__ = [
 #: Protocol identity carried (and checked) in every ``hello``.
 PROTOCOL_NAME = "airfinger-serve"
 #: Bump on any wire-incompatible change; the handshake rejects mismatches.
-PROTOCOL_VERSION = 1
+#: v2: watch/telemetry, heartbeat RTT echo, stats time/uptime stamps.
+PROTOCOL_VERSION = 2
 #: Upper bound on one framed message; a peer announcing more is corrupt
 #: (or hostile) and the decoder refuses to buffer it.
 MAX_MESSAGE_BYTES = 8 * 1024 * 1024
@@ -324,9 +337,20 @@ def iter_decoded_events(messages: Iterable[dict]) -> Iterator:
 # control
 # ---------------------------------------------------------------------------
 
-def heartbeat() -> dict:
-    """Keep-alive; either peer may send one during silence."""
-    return {"type": "heartbeat"}
+def heartbeat(t: float | None = None, echo: float | None = None) -> dict:
+    """Keep-alive; either peer may send one during silence.
+
+    ``t`` is the sender's clock reading; a peer receiving a heartbeat
+    with ``t`` answers one carrying it back as ``echo``, which is how
+    :class:`~repro.serve.client.ServeClient` measures round-trip time
+    into ``serve.heartbeat_rtt_ms`` without any clock agreement.
+    """
+    message: dict = {"type": "heartbeat"}
+    if t is not None:
+        message["t"] = float(t)
+    if echo is not None:
+        message["echo"] = float(echo)
+    return message
 
 
 def stats_request() -> dict:
@@ -334,9 +358,44 @@ def stats_request() -> dict:
     return {"type": "stats"}
 
 
-def stats_reply(snapshot: dict) -> dict:
-    """The server's metrics snapshot (a ``MetricsSnapshot.to_dict()``)."""
-    return {"type": "stats_reply", "metrics": snapshot}
+def stats_reply(snapshot: dict, server_time_s: float | None = None,
+                uptime_s: float | None = None) -> dict:
+    """The server's metrics snapshot (a ``MetricsSnapshot.to_dict()``).
+
+    ``server_time_s`` (wall clock) and ``uptime_s`` let a client turn
+    any two snapshots into rates without guessing clock skew; pre-v2
+    replies simply lack the fields.
+    """
+    message = {"type": "stats_reply", "metrics": snapshot}
+    if server_time_s is not None:
+        message["server_time_s"] = float(server_time_s)
+    if uptime_s is not None:
+        message["uptime_s"] = float(uptime_s)
+    return message
+
+
+def watch(interval_s: float | None = None) -> dict:
+    """Subscribe this connection to periodic ``telemetry`` pushes.
+
+    ``interval_s`` requests a push cadence (the server rounds it to a
+    multiple of its own telemetry tick and never pushes faster than it
+    samples); omit it to receive every tick.  ``interval_s <= 0``
+    cancels the subscription.
+    """
+    message: dict = {"type": "watch"}
+    if interval_s is not None:
+        message["interval_s"] = float(interval_s)
+    return message
+
+
+def telemetry_message(payload: dict) -> dict:
+    """One telemetry tick pushed to a ``watch`` subscriber.
+
+    *payload* is a :meth:`repro.obs.telemetry.TelemetryPlane.tick`
+    dict — already sanitized to finite floats, so it survives the
+    ``allow_nan=False`` framing.
+    """
+    return {"type": "telemetry", "telemetry": payload}
 
 
 def bye() -> dict:

@@ -19,7 +19,12 @@ Per connection:
 A background reaper evicts sessions idle past
 ``ServeConfig.idle_timeout_s``, delivering their flush tail before
 closing the transport, and the pump sends protocol heartbeats during
-output silence.  All pipeline work runs inline on the loop — sessions
+output silence.  A second background task drives the
+:class:`~repro.obs.telemetry.TelemetryPlane` (on by default): every
+``telemetry_interval_s`` it samples the manager's registry, evaluates
+SLO burn rates and health, optionally appends the tick to a JSONL
+timeline, and pushes it to every connection subscribed via ``watch``.
+All pipeline work runs inline on the loop — sessions
 are CPU-bound and share one core per server process; horizontal scale is
 one process per core (the load generator measures exactly this:
 sessions/core).
@@ -29,7 +34,9 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 
+from repro.obs.telemetry import TelemetryPlane, TimelineWriter
 from repro.serve import protocol
 from repro.serve.session import ServeConfig, ServeSession, SessionManager
 
@@ -40,7 +47,7 @@ class _Connection:
     """Per-connection plumbing shared by the reader and pump tasks."""
 
     __slots__ = ("reader", "writer", "session", "wake", "closing",
-                 "said_bye")
+                 "said_bye", "watch_every", "watch_phase")
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter) -> None:
@@ -50,6 +57,9 @@ class _Connection:
         self.wake = asyncio.Event()
         self.closing = False
         self.said_bye = False
+        #: push every Nth telemetry tick (0 = not subscribed)
+        self.watch_every = 0
+        self.watch_phase = 0
 
 
 class AirFingerServer:
@@ -62,15 +72,39 @@ class AirFingerServer:
     host / port:
         Bind address.  ``port=0`` picks a free port (tests); the bound
         port is available as :attr:`port` after :meth:`start`.
+    telemetry:
+        ``True`` (default) builds a :class:`TelemetryPlane` over the
+        manager's registry; pass a pre-configured plane (custom policy,
+        thresholds, clocks) or ``False``/``None`` to disable live
+        telemetry — ``watch`` then fails with a protocol error.
+    telemetry_interval_s:
+        Sampling cadence of the default-built plane.
+    timeline_path:
+        When set, every telemetry tick is appended to this JSONL file
+        (replayable with ``airfinger telemetry``).
     """
 
     def __init__(self, manager: SessionManager,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 telemetry: TelemetryPlane | bool | None = True,
+                 telemetry_interval_s: float = 1.0,
+                 timeline_path=None) -> None:
         self.manager = manager
         self.host = host
         self.port = port
+        if telemetry is True:
+            telemetry = TelemetryPlane(metrics=manager.metrics,
+                                       interval_s=telemetry_interval_s)
+        elif telemetry is False:
+            telemetry = None
+        self.telemetry: TelemetryPlane | None = telemetry
+        self.timeline_path = timeline_path
+        self._timeline: TimelineWriter | None = None
         self._server: asyncio.AbstractServer | None = None
         self._reaper: asyncio.Task | None = None
+        self._telemetry_task: asyncio.Task | None = None
+        self._started_wall = 0.0
+        self._started_mono = 0.0
         #: live connections by session key, for eviction delivery
         self._connections: dict[tuple[str, str], _Connection] = {}
 
@@ -82,19 +116,38 @@ class AirFingerServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind and start accepting connections (+ the idle reaper)."""
+        """Bind and start accepting connections (+ background tasks)."""
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started_wall = time.time()
+        self._started_mono = time.monotonic()
         self._reaper = asyncio.create_task(self._reap_idle())
+        if self.telemetry is not None:
+            if self.timeline_path is not None:
+                self._timeline = TimelineWriter(self.timeline_path)
+            self._telemetry_task = asyncio.create_task(
+                self._telemetry_loop())
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it)."""
+        if not self._started_mono:
+            return 0.0
+        return time.monotonic() - self._started_mono
 
     async def stop(self) -> None:
-        """Stop accepting, cancel the reaper, close live connections."""
-        if self._reaper is not None:
-            self._reaper.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._reaper
-            self._reaper = None
+        """Stop accepting, cancel background tasks, close connections."""
+        for task_attr in ("_reaper", "_telemetry_task"):
+            task = getattr(self, task_attr)
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+                setattr(self, task_attr, None)
+        if self._timeline is not None:
+            self._timeline.close()
+            self._timeline = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -201,12 +254,19 @@ class AirFingerServer:
             self.manager.enqueue(session, protocol.decode_frames(message))
             conn.wake.set()
         elif kind == "heartbeat":
-            pass
+            # a timestamped ping wants its `t` echoed back (client RTT)
+            t = message.get("t")
+            if t is not None:
+                await self._send(conn, protocol.heartbeat(echo=t))
         elif kind == "stats":
             snapshot = self.manager.stats()
             snapshot["metrics"] = (
                 self.manager.metrics.snapshot().to_dict())
-            await self._send(conn, protocol.stats_reply(snapshot))
+            await self._send(conn, protocol.stats_reply(
+                snapshot, server_time_s=time.time(),
+                uptime_s=self.uptime_s))
+        elif kind == "watch":
+            self._handle_watch(conn, message)
         elif kind == "bye":
             conn.said_bye = True
             conn.closing = True
@@ -268,6 +328,45 @@ class AirFingerServer:
                     await self._send(conn, protocol.bye())
                 with contextlib.suppress(Exception):
                     conn.writer.close()
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _handle_watch(self, conn: _Connection, message: dict) -> None:
+        if self.telemetry is None:
+            raise protocol.ProtocolError(
+                "telemetry is disabled on this server; watch unavailable")
+        interval = message.get("interval_s")
+        if interval is not None and float(interval) <= 0:
+            conn.watch_every = 0
+            return
+        tick_s = self.telemetry.interval_s
+        # never push faster than the plane samples; round a slower
+        # request to the nearest whole number of ticks
+        every = 1 if interval is None else max(
+            1, round(float(interval) / tick_s))
+        conn.watch_every = every
+        conn.watch_phase = 0
+
+    async def _telemetry_loop(self) -> None:
+        plane = self.telemetry
+        while True:
+            await asyncio.sleep(plane.interval_s)
+            tick = plane.tick()
+            if self._timeline is not None:
+                self._timeline.write(tick)
+            message = None
+            for conn in list(self._connections.values()):
+                if conn.watch_every <= 0 or conn.closing:
+                    continue
+                conn.watch_phase += 1
+                if conn.watch_phase < conn.watch_every:
+                    continue
+                conn.watch_phase = 0
+                if message is None:
+                    message = protocol.telemetry_message(tick)
+                with contextlib.suppress(ConnectionError, OSError):
+                    await self._send(conn, message)
 
     # ------------------------------------------------------------------
     # writes

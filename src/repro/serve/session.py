@@ -23,6 +23,9 @@ Metrics (all on the manager's registry):
 * ``serve.frames{tenant=...}`` / ``serve.events{tenant=...}`` volume
   counters, plus per-session ``serve.session_frames{tenant=,session=}``;
 * ``serve.backpressure_drops{tenant=...}``;
+* the ``serve.queue_depth{tenant=,session=}`` gauge — instantaneous
+  ingest backlog per session, the telemetry plane's earliest congestion
+  signal;
 * ``serve.frame_latency_seconds`` — enqueue→processed latency per frame,
   with ``serve.deadline_miss`` counting frames over the configured SLO;
 * ``serve.dispatch_seconds`` / ``serve.dispatch_frames`` histograms for
@@ -100,7 +103,7 @@ class ServeSession:
 
     __slots__ = ("tenant", "session_id", "engine", "queue", "dropped",
                  "frames_in", "events_out", "opened_s", "last_active_s",
-                 "closed")
+                 "closed", "queue_gauge")
 
     def __init__(self, tenant: str, session_id: str, engine: AirFinger,
                  now_s: float) -> None:
@@ -115,6 +118,8 @@ class ServeSession:
         self.opened_s = now_s
         self.last_active_s = now_s
         self.closed = False
+        #: ``serve.queue_depth`` gauge, bound by the owning manager
+        self.queue_gauge = None
 
     @property
     def key(self) -> tuple[str, str]:
@@ -186,6 +191,8 @@ class SessionManager:
         session = ServeSession(tenant, session_id, self._engine_factory(),
                                self._clock())
         self._sessions[key] = session
+        session.queue_gauge = self._metrics.gauge(
+            "serve.queue_depth", tenant=tenant, session=session_id)
         self._metrics.counter("serve.sessions_opened", tenant=tenant).inc()
         self._g_open.set(len(self._sessions))
         return session
@@ -208,6 +215,8 @@ class SessionManager:
         events.extend(session.engine.flush())
         session.events_out += len(events)
         session.closed = True
+        if session.queue_gauge is not None:
+            session.queue_gauge.set(0)
         self._sessions.pop(session.key, None)
         counter = ("serve.sessions_evicted" if reason == "idle"
                    else "serve.sessions_closed")
@@ -261,6 +270,8 @@ class SessionManager:
                                   tenant=session.tenant).inc(dropped)
         else:
             dropped = 0
+        if session.queue_gauge is not None:
+            session.queue_gauge.set(len(queue))
         self._metrics.counter("serve.frames",
                               tenant=session.tenant).inc(len(frames))
         self._metrics.counter("serve.session_frames",
@@ -291,6 +302,8 @@ class SessionManager:
             frame, t_enq = queue.popleft()
             batch.append(frame)
             enqueued.append(t_enq)
+        if session.queue_gauge is not None:
+            session.queue_gauge.set(len(queue))
         events = session.engine.feed_block(batch)
         session.events_out += len(events)
         t_done = time.perf_counter()

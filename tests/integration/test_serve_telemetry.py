@@ -1,0 +1,157 @@
+"""Live-telemetry acceptance: watch pushes, SLO alerts, health states.
+
+The ISSUE acceptance contract for the telemetry plane, over a real
+loopback socket: a ``watch`` subscriber sees monotonically timestamped
+``telemetry`` ticks; during an injected :mod:`repro.faults` frame-drop
+schedule the health state degrades and the stream-integrity burn-rate
+alert fires; after the faulted stream ends the alert resolves; and an
+identical run at fault intensity 0 fires no alert at all.
+
+The plane under test uses compressed windows (sub-second fast/slow SLO
+windows, 50 ms sampling) so the whole fire→resolve life cycle fits in a
+couple of wall-clock seconds — the semantics are window-relative, so
+nothing but the time scale differs from the production defaults.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.pipeline import AirFinger
+from repro.obs import (
+    HealthThresholds,
+    MetricsRegistry,
+    SloObjective,
+    SloPolicy,
+    TelemetryPlane,
+    Tracer,
+    summarize_timeline,
+)
+from repro.serve import (
+    AirFingerServer,
+    LoadConfig,
+    ServeClient,
+    ServeConfig,
+    SessionManager,
+    make_device_frames,
+)
+
+TICK_S = 0.05
+
+
+def _manager() -> tuple[SessionManager, MetricsRegistry]:
+    registry = MetricsRegistry()
+    manager = SessionManager(
+        ServeConfig(),
+        engine_factory=lambda: AirFinger(metrics=registry,
+                                         tracer=Tracer(sample=0.0)),
+        metrics=registry, tracer=Tracer(sample=0.0))
+    return manager, registry
+
+
+def _fast_plane(registry: MetricsRegistry) -> TelemetryPlane:
+    # stream-integrity only: the zero-budget objective the fault
+    # schedule breaches.  The latency objective is left out so a slow CI
+    # machine cannot fire an unrelated alert into the assertions.
+    policy = SloPolicy([
+        SloObjective(
+            name="stream-integrity",
+            numerator=("serve.backpressure_drops", "pipeline.faults.gaps"),
+            denominator="serve.frames",
+            target=1.0,
+            fast_window_s=0.5,
+            slow_window_s=1.0,
+            min_events=1.0,
+            description="zero lost events"),
+    ])
+    thresholds = HealthThresholds(window_s=0.5,
+                                  deadline_miss_degraded=0.5,
+                                  deadline_miss_critical=0.9)
+    return TelemetryPlane(metrics=registry, policy=policy,
+                          thresholds=thresholds, interval_s=TICK_S)
+
+
+async def _run_case(fault_intensity: float, tail_s: float) -> list[dict]:
+    """Serve one faulted (or clean) stream; return every watched tick."""
+    config = LoadConfig(sessions=1, duration_s=0.6, rate_hz=200.0,
+                        fault_intensity=fault_intensity, seed=7)
+    frames = make_device_frames(config)
+    manager, registry = _manager()
+    ticks: list[dict] = []
+    async with AirFingerServer(manager,
+                               telemetry=_fast_plane(registry)) as server:
+        watcher = await ServeClient.connect(
+            "127.0.0.1", server.port, "acceptance", "watcher")
+        await watcher.watch()
+
+        async def drain() -> None:
+            while True:
+                ticks.append(await watcher.next_telemetry(timeout_s=30.0))
+
+        drain_task = asyncio.create_task(drain())
+        device = await ServeClient.connect(
+            "127.0.0.1", server.port, "acceptance", "dev0")
+        # paced sends so the faulted region spans several telemetry ticks
+        for i in range(0, len(frames), 10):
+            await device.send_frames(frames[i:i + 10])
+            await device.pump(timeout_s=TICK_S / 2)
+        await device.bye()
+        # idle tail: the fast window ages out the breaches → resolution
+        await asyncio.sleep(tail_s)
+        drain_task.cancel()
+        try:
+            await drain_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        await watcher.bye()
+    return ticks
+
+
+@pytest.fixture(scope="module")
+def faulted_ticks():
+    return asyncio.run(_run_case(fault_intensity=1.0, tail_s=1.5))
+
+
+@pytest.fixture(scope="module")
+def control_ticks():
+    return asyncio.run(_run_case(fault_intensity=0.0, tail_s=1.5))
+
+
+class TestWatchSubscription:
+    def test_ticks_are_monotonically_timestamped(self, faulted_ticks):
+        assert len(faulted_ticks) >= 5
+        times = [t["time_s"] for t in faulted_ticks]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        seqs = [t["seq"] for t in faulted_ticks]
+        assert seqs == sorted(seqs)
+
+    def test_every_tick_carries_the_full_payload(self, faulted_ticks):
+        for tick in faulted_ticks:
+            assert {"seq", "time_s", "wall_time_s", "sample", "health",
+                    "alerts", "slo"} <= set(tick)
+
+
+class TestFaultedStream:
+    def test_health_degrades_during_faults(self, faulted_ticks):
+        states = [t["health"]["overall"] for t in faulted_ticks]
+        assert any(s in ("degraded", "critical") for s in states)
+
+    def test_alert_fires_and_resolves(self, faulted_ticks):
+        firing = [a for t in faulted_ticks for a in t["alerts"]
+                  if a["state"] == "firing"]
+        assert firing, "stream-integrity alert never fired"
+        assert all(a["objective"] == "stream-integrity" for a in firing)
+        summary = summarize_timeline(faulted_ticks)
+        assert summary["alerts"]["fired"] == 1
+        assert summary["alerts"]["resolved"] == 1
+
+    def test_health_recovers_after_faults(self, faulted_ticks):
+        assert faulted_ticks[-1]["health"]["overall"] == "ok"
+
+
+class TestCleanControl:
+    def test_zero_alerts_at_intensity_zero(self, control_ticks):
+        assert all(not t["alerts"] for t in control_ticks)
+        assert summarize_timeline(control_ticks)["alerts"]["fired"] == 0

@@ -18,6 +18,13 @@ class TestParser:
             args = parser.parse_args(argv)
             assert args.command == argv[0]
 
+    def test_serve_stack_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["top", "--port", "7001", "--ticks", "3"])
+        assert args.command == "top" and args.ticks == 3
+        args = parser.parse_args(["telemetry", "t.jsonl", "--last"])
+        assert args.command == "telemetry" and args.last
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -255,6 +262,44 @@ class TestWorkflow:
                      "--trace-sample", "0"]) == 0
         capsys.readouterr()
         assert json.loads(trace.read_text())["traceEvents"] == []
+
+    @pytest.fixture()
+    def timeline_path(self, tmp_path):
+        from repro.obs import MetricsRegistry, TelemetryPlane, TimelineWriter
+
+        clock = iter(float(i) for i in range(100))
+        registry = MetricsRegistry()
+        plane = TelemetryPlane(metrics=registry, interval_s=1.0,
+                               clock=lambda: next(clock),
+                               wall_clock=lambda: 1700000000.0)
+        path = tmp_path / "timeline.jsonl"
+        with TimelineWriter(path) as writer:
+            for _ in range(4):
+                registry.counter("serve.frames", tenant="t").inc(100)
+                writer.write(plane.tick())
+        return path
+
+    def test_telemetry_renders_timeline(self, timeline_path, capsys):
+        assert main(["telemetry", str(timeline_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ticks: 4" in out
+        assert "alerts: fired=0 resolved=0" in out
+
+    def test_telemetry_json_and_last(self, timeline_path, capsys):
+        assert main(["telemetry", str(timeline_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ticks"] == 4
+        assert summary["health"]["ok"] == 4
+        assert summary["peaks"]["frame_rate_hz"] == pytest.approx(100.0)
+
+        assert main(["telemetry", str(timeline_path), "--last"]) == 0
+        out = capsys.readouterr().out
+        assert "airfinger top" in out
+        assert "seq 3" in out
+
+    def test_telemetry_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["telemetry", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err
 
     def test_evaluate_impossible_protocol_fails_cleanly(self, tmp_path,
                                                         capsys):

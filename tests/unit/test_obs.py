@@ -244,6 +244,74 @@ class TestSnapshot:
         assert entry["p99"] <= 1.5
 
 
+class TestMergedLabeledSeries:
+    """Pin the cross-process merge semantics for labeled series.
+
+    The multi-process front-end merges per-worker snapshots whose label
+    sets only partially overlap (each worker serves different tenants);
+    these tests are the contract that merge relies on.
+    """
+
+    def _worker(self, tenants, n=10):
+        registry = MetricsRegistry()
+        for tenant in tenants:
+            registry.counter("serve.frames", tenant=tenant).inc(n)
+            h = registry.histogram("serve.lat", buckets=(0.01, 0.1),
+                                   tenant=tenant)
+            for _ in range(n):
+                h.observe(0.005)
+        return registry.snapshot()
+
+    def test_disjoint_label_sets_union(self):
+        merged = self._worker(["a"]).merged(self._worker(["b"]))
+        assert merged.counters['serve.frames{tenant="a"}'] == 10
+        assert merged.counters['serve.frames{tenant="b"}'] == 10
+        assert set(merged.histograms) == {'serve.lat{tenant="a"}',
+                                          'serve.lat{tenant="b"}'}
+        # merge is symmetric for counters/histograms
+        flipped = self._worker(["b"]).merged(self._worker(["a"]))
+        assert flipped.counters == merged.counters
+        assert flipped.histograms == merged.histograms
+
+    def test_overlapping_label_sets_add(self):
+        merged = self._worker(["a", "b"], n=10).merged(
+            self._worker(["b", "c"], n=5))
+        assert merged.counters['serve.frames{tenant="a"}'] == 10
+        assert merged.counters['serve.frames{tenant="b"}'] == 15
+        assert merged.counters['serve.frames{tenant="c"}'] == 5
+        shared = merged.histograms['serve.lat{tenant="b"}']
+        assert shared["count"] == 15
+        assert shared["counts"][0] == 15
+
+    def test_bucket_bounds_must_agree_per_series(self):
+        one = MetricsRegistry()
+        one.histogram("serve.lat", buckets=(0.01, 0.1),
+                      tenant="a").observe(0.005)
+        other = MetricsRegistry()
+        other.histogram("serve.lat", buckets=(0.5, 1.0),
+                        tenant="a").observe(0.7)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            one.snapshot().merged(other.snapshot())
+
+    def test_same_metric_different_bounds_ok_across_series(self):
+        # distinct label sets are distinct series: bounds may differ
+        one = MetricsRegistry()
+        one.histogram("serve.lat", buckets=(0.01,), tenant="a").observe(0.005)
+        other = MetricsRegistry()
+        other.histogram("serve.lat", buckets=(0.5,), tenant="b").observe(0.7)
+        merged = one.snapshot().merged(other.snapshot())
+        assert merged.histograms['serve.lat{tenant="a"}']["bounds"] == [0.01]
+        assert merged.histograms['serve.lat{tenant="b"}']["bounds"] == [0.5]
+
+    def test_registry_merge_matches_snapshot_merge(self):
+        parent = MetricsRegistry()
+        parent.counter("serve.frames", tenant="a").inc(3)
+        expected = parent.snapshot().merged(self._worker(["a", "b"]))
+        parent.merge(self._worker(["a", "b"]))
+        assert parent.snapshot().counters == expected.counters
+        assert parent.snapshot().histograms == expected.histograms
+
+
 class TestPrometheusExport:
     def test_counter_gauge_histogram_series(self):
         registry = MetricsRegistry()
@@ -282,6 +350,21 @@ class TestPrometheusExport:
         assert 'lat_bucket{stage="sbc",le="+Inf"} 1' in text
         assert 'lat_sum{stage="sbc"} 0.5' in text
 
+    def test_invalid_tally_exported(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0,), stage="sbc")
+        h.observe(0.5)
+        h.observe(float("nan"))
+        h.observe(float("inf"))
+        text = prometheus_text(registry.snapshot())
+        assert 'lat_invalid{stage="sbc"} 2' in text
+        assert 'lat_count{stage="sbc"} 1' in text
+
+    def test_invalid_zero_still_exported(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        assert "lat_invalid 0" in prometheus_text(registry.snapshot())
+
 
 class TestRenderSnapshot:
     def test_tables_render(self):
@@ -293,6 +376,18 @@ class TestRenderSnapshot:
         assert "pipeline.frames" in text
         assert "lat" in text
         assert "p95" in text
+
+    def test_invalid_column_rendered(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat")
+        h.observe(0.01)
+        h.observe(float("nan"))
+        text = render_snapshot(registry.snapshot())
+        header = next(line for line in text.splitlines() if "p95" in line)
+        assert "invalid" in header
+        row = next(line for line in text.splitlines()
+                   if line.startswith("lat"))
+        assert row.rstrip().endswith("1")
 
     def test_empty_snapshot(self):
         assert "empty" in render_snapshot(MetricsSnapshot())

@@ -1,0 +1,472 @@
+"""Unit tests for the live telemetry plane (repro.obs.telemetry).
+
+Every test drives a fake monotonic clock, so window arithmetic, alert
+transitions and health states are exact — no sleeps, no flakes.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_series_key
+from repro.obs.metrics import _series_key
+from repro.obs.telemetry import (
+    Alert,
+    BurnRateAlerter,
+    HealthEvaluator,
+    HealthThresholds,
+    SloObjective,
+    SloPolicy,
+    TelemetryCollector,
+    TelemetryPlane,
+    TimelineWriter,
+    default_serve_policy,
+    load_timeline,
+    render_telemetry_summary,
+    render_top,
+    summarize_timeline,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_collector(registry, clock, **kw):
+    kw.setdefault("interval_s", 1.0)
+    return TelemetryCollector(registry, clock=clock,
+                              wall_clock=lambda: 1e9 + clock.now, **kw)
+
+
+class TestParseSeriesKey:
+    def test_no_labels(self):
+        assert parse_series_key("serve.frames") == ("serve.frames", {})
+
+    @pytest.mark.parametrize("labels", [
+        {"tenant": "acme"},
+        {"tenant": "acme", "session": "dev001"},
+        {"path": 'a"b\\c\nnl'},
+    ])
+    def test_inverse_of_key_builder(self, labels):
+        key = _series_key("m", labels)
+        assert parse_series_key(key) == ("m", labels)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_series_key('m{tenant="x"')
+
+
+class TestTelemetryCollector:
+    def test_counter_rates_from_deltas(self, registry, clock):
+        collector = make_collector(registry, clock)
+        c = registry.counter("serve.frames", tenant="a")
+        c.inc(100)
+        clock.advance(1.0)
+        sample = collector.sample()
+        assert sample.rates['serve.frames{tenant="a"}'] == pytest.approx(100.0)
+        clock.advance(2.0)
+        c.inc(50)
+        sample = collector.sample()
+        assert sample.rates['serve.frames{tenant="a"}'] == pytest.approx(25.0)
+
+    def test_window_delta_sums_label_variants(self, registry, clock):
+        collector = make_collector(registry, clock)
+        registry.counter("serve.frames", tenant="a").inc(10)
+        registry.counter("serve.frames", tenant="b").inc(5)
+        registry.counter("serve.framesX").inc(99)  # prefix, not the metric
+        clock.advance(1.0)
+        collector.sample()
+        assert collector.window_delta("serve.frames", 10.0) == 15.0
+        deltas = collector.window_deltas("serve.frames", 10.0)
+        assert set(deltas) == {'serve.frames{tenant="a"}',
+                               'serve.frames{tenant="b"}'}
+
+    def test_window_delta_respects_window(self, registry, clock):
+        collector = make_collector(registry, clock)
+        c = registry.counter("n")
+        for _ in range(10):
+            clock.advance(1.0)
+            c.inc(1)
+            collector.sample()
+        # only the last ~3 increments fall inside a 3 s window
+        assert collector.window_delta("n", 3.0) == pytest.approx(3.0)
+        assert collector.window_delta("n", 100.0) == pytest.approx(10.0)
+
+    def test_baseline_excludes_preexisting_counts(self, registry, clock):
+        registry.counter("n").inc(1000)
+        collector = make_collector(registry, clock)
+        clock.advance(1.0)
+        registry.counter("n").inc(5)
+        collector.sample()
+        assert collector.window_delta("n", 60.0) == pytest.approx(5.0)
+
+    def test_ring_buffers_are_bounded(self, registry, clock):
+        collector = make_collector(registry, clock, window=4,
+                                   quantile_window=2)
+        c = registry.counter("n")
+        for _ in range(20):
+            clock.advance(1.0)
+            c.inc(1)
+            collector.sample()
+        assert len(collector.samples) == 4
+        assert len(collector._counter_series["n"]) <= 5
+
+    def test_sliding_quantile_tracks_recent_window(self, registry, clock):
+        collector = make_collector(registry, clock, quantile_window=3)
+        h = registry.histogram("lat", buckets=(0.001, 0.01, 0.1, 1.0))
+        for _ in range(5):
+            for _ in range(100):
+                h.observe(0.005)
+            clock.advance(1.0)
+            collector.sample()
+        # regime change: the lifetime histogram still remembers the old
+        # fast observations, the sliding window forgets them
+        for _ in range(4):
+            for _ in range(100):
+                h.observe(0.5)
+            clock.advance(1.0)
+            collector.sample()
+        window_p50 = collector.window_quantile("lat", 0.50)
+        assert window_p50 > 0.1          # window sees only the slow regime
+        assert h.p50 < 0.1               # lifetime is still fast-dominated
+
+    def test_sample_payload_is_json_safe(self, registry, clock):
+        collector = make_collector(registry, clock)
+        registry.histogram("lat").observe(0.01)
+        registry.gauge("g").set(3.5)
+        clock.advance(1.0)
+        payload = collector.sample().to_dict()
+        json.dumps(payload, allow_nan=False)
+        assert payload["histograms"]["lat"]["count"] == 1
+
+    def test_rejects_bad_config(self, registry, clock):
+        with pytest.raises(ValueError, match="interval_s"):
+            make_collector(registry, clock, interval_s=0.0)
+        with pytest.raises(ValueError, match="window"):
+            make_collector(registry, clock, window=1)
+
+
+class TestSloObjective:
+    def test_burn_rate_scales_with_budget(self):
+        obj = SloObjective(name="lat", numerator="bad", denominator="all",
+                           target=0.99)
+        assert obj.budget == pytest.approx(0.01)
+        # 1% errors on a 1% budget is exactly burn 1.0
+        assert obj.burn_rate(1.0, 100.0) == pytest.approx(1.0)
+        assert obj.burn_rate(5.0, 100.0) == pytest.approx(5.0)
+        assert obj.burn_rate(0.0, 100.0) == 0.0
+
+    def test_zero_budget_burns_capped_finite(self):
+        obj = SloObjective(name="z", numerator="bad", denominator="all",
+                           target=1.0)
+        burn = obj.burn_rate(1.0, 1000.0)
+        assert burn == pytest.approx(1e6)
+        json.dumps({"burn": burn}, allow_nan=False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            SloObjective(name="x", numerator="a", denominator="b",
+                         target=1.5)
+        with pytest.raises(ValueError, match="window"):
+            SloObjective(name="x", numerator="a", denominator="b",
+                         fast_window_s=10.0, slow_window_s=5.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            SloPolicy(objectives=(
+                SloObjective(name="x", numerator="a", denominator="b"),
+                SloObjective(name="x", numerator="c", denominator="b")))
+
+    def test_default_policy_names_serve_series(self):
+        policy = default_serve_policy()
+        names = {o.name for o in policy.objectives}
+        assert names == {"frame-latency", "stream-integrity"}
+        integrity = next(o for o in policy.objectives
+                         if o.name == "stream-integrity")
+        assert "serve.backpressure_drops" in integrity.numerators
+        assert "pipeline.faults.gaps" in integrity.numerators
+        assert integrity.budget == 0.0
+
+
+class TestBurnRateAlerter:
+    def _setup(self, registry, clock, **obj_kw):
+        obj_kw.setdefault("name", "miss")
+        obj_kw.setdefault("numerator", "bad")
+        obj_kw.setdefault("denominator", "all")
+        obj_kw.setdefault("target", 0.99)
+        obj_kw.setdefault("fast_window_s", 2.0)
+        obj_kw.setdefault("slow_window_s", 4.0)
+        policy = SloPolicy(objectives=(SloObjective(**obj_kw),))
+        collector = make_collector(registry, clock)
+        return collector, BurnRateAlerter(policy, metrics=registry)
+
+    def test_fires_and_resolves(self, registry, clock):
+        collector, alerter = self._setup(registry, clock)
+        all_c = registry.counter("all")
+        bad_c = registry.counter("bad")
+        # healthy traffic
+        for _ in range(4):
+            clock.advance(1.0)
+            all_c.inc(100)
+            collector.sample()
+            assert alerter.evaluate(collector) == []
+        # sustained 10% errors on a 1% budget: burn 10x on both windows
+        fired = None
+        for _ in range(4):
+            clock.advance(1.0)
+            all_c.inc(100)
+            bad_c.inc(10)
+            collector.sample()
+            out = alerter.evaluate(collector)
+            if out:
+                fired = out[0]
+                break
+        assert fired is not None and fired.state == "firing"
+        assert fired.burn_fast > 1.0
+        # recovery: once the fast window clears, the alert resolves
+        resolved = None
+        for _ in range(8):
+            clock.advance(1.0)
+            all_c.inc(100)
+            collector.sample()
+            out = alerter.evaluate(collector)
+            if out and out[0].state == "resolved":
+                resolved = out[0]
+                break
+        assert resolved is fired
+        assert resolved.resolved_at_s > resolved.fired_at_s
+        assert alerter.active == ()
+        assert len(alerter.history) == 1
+
+    def test_short_blip_does_not_fire(self, registry, clock):
+        # slow window requirement: a one-second error spike inside an
+        # otherwise-healthy slow window must not page
+        collector, alerter = self._setup(
+            registry, clock, fast_window_s=1.0, slow_window_s=8.0)
+        all_c = registry.counter("all")
+        bad_c = registry.counter("bad")
+        for i in range(8):
+            clock.advance(1.0)
+            all_c.inc(100)
+            if i == 4:
+                bad_c.inc(2)   # 2% of one second ≈ 0.25% of the slow window
+            collector.sample()
+            assert alerter.evaluate(collector) == []
+
+    def test_min_events_gate(self, registry, clock):
+        collector, alerter = self._setup(registry, clock, min_events=50.0)
+        registry.counter("all").inc(10)
+        registry.counter("bad").inc(10)
+        clock.advance(1.0)
+        collector.sample()
+        assert alerter.evaluate(collector) == []
+
+    def test_transition_counters_recorded(self, registry, clock):
+        collector, alerter = self._setup(registry, clock)
+        all_c = registry.counter("all")
+        bad_c = registry.counter("bad")
+        for _ in range(3):
+            clock.advance(1.0)
+            all_c.inc(100)
+            bad_c.inc(50)
+            collector.sample()
+            alerter.evaluate(collector)
+        snap = registry.snapshot()
+        assert snap.counters['telemetry.alerts_fired{objective="miss"}'] == 1
+
+    def test_status_is_always_populated(self, registry, clock):
+        collector, alerter = self._setup(registry, clock)
+        clock.advance(1.0)
+        collector.sample()
+        alerter.evaluate(collector)
+        assert alerter.status["miss"]["burn_fast"] == 0.0
+        assert alerter.status["miss"]["budget_remaining"] == 1.0
+
+    def test_alert_to_dict_json_safe(self):
+        alert = Alert(objective="x", fired_at_s=1.0, burn_fast=1e6,
+                      burn_slow=2.0)
+        json.dumps(alert.to_dict(), allow_nan=False)
+        assert alert.to_dict()["state"] == "firing"
+
+
+class TestHealthEvaluator:
+    def _collector(self, registry, clock):
+        return make_collector(registry, clock)
+
+    def test_all_ok(self, registry, clock):
+        collector = self._collector(registry, clock)
+        registry.counter("serve.frames", tenant="a").inc(100)
+        clock.advance(1.0)
+        collector.sample()
+        report = HealthEvaluator(HealthThresholds(window_s=5.0)).evaluate(
+            collector)
+        assert report.overall == "ok"
+        assert report.tenants["a"]["state"] == "ok"
+        assert report.tenants["a"]["frame_rate_hz"] > 0
+
+    def test_backpressure_degrades_the_dropping_tenant(self, registry,
+                                                       clock):
+        collector = self._collector(registry, clock)
+        registry.counter("serve.frames", tenant="a").inc(1000)
+        registry.counter("serve.frames", tenant="b").inc(1000)
+        registry.counter("serve.backpressure_drops", tenant="b").inc(3)
+        clock.advance(1.0)
+        collector.sample()
+        report = HealthEvaluator(HealthThresholds(window_s=5.0)).evaluate(
+            collector)
+        assert report.tenants["a"]["state"] == "ok"
+        assert report.tenants["b"]["state"] == "degraded"
+        assert report.overall == "degraded"
+
+    def test_heavy_drops_go_critical(self, registry, clock):
+        collector = self._collector(registry, clock)
+        registry.counter("serve.frames", tenant="b").inc(100)
+        registry.counter("serve.backpressure_drops", tenant="b").inc(50)
+        clock.advance(1.0)
+        collector.sample()
+        report = HealthEvaluator(HealthThresholds(window_s=5.0)).evaluate(
+            collector)
+        assert report.tenants["b"]["state"] == "critical"
+        assert report.overall == "critical"
+
+    def test_deadline_miss_ratio_thresholds(self, registry, clock):
+        collector = self._collector(registry, clock)
+        registry.counter("serve.frames", tenant="a").inc(1000)
+        registry.counter("serve.deadline_miss").inc(30)
+        clock.advance(1.0)
+        collector.sample()
+        report = HealthEvaluator(HealthThresholds(window_s=5.0)).evaluate(
+            collector)
+        assert report.overall == "degraded"
+        assert any("deadline-miss" in r for r in report.reasons)
+
+    def test_gaps_and_masks_degrade(self, registry, clock):
+        collector = self._collector(registry, clock)
+        registry.counter("pipeline.faults.gaps", action="reset").inc(2)
+        registry.counter("pipeline.faults.channel_masked").inc(1)
+        clock.advance(1.0)
+        collector.sample()
+        report = HealthEvaluator(HealthThresholds(window_s=5.0)).evaluate(
+            collector)
+        assert report.overall == "degraded"
+        assert len(report.reasons) == 2
+
+    def test_sessions_inherit_tenant_state(self, registry, clock):
+        collector = self._collector(registry, clock)
+        registry.counter("serve.frames", tenant="b").inc(100)
+        registry.counter("serve.session_frames", tenant="b",
+                         session="dev1").inc(100)
+        registry.counter("serve.backpressure_drops", tenant="b").inc(1)
+        clock.advance(1.0)
+        collector.sample()
+        report = HealthEvaluator(HealthThresholds(window_s=5.0)).evaluate(
+            collector)
+        assert report.tenants["b"]["sessions"]["dev1"]["state"] == "degraded"
+
+    def test_firing_alert_degrades(self, registry, clock):
+        collector = self._collector(registry, clock)
+        policy = SloPolicy(objectives=(SloObjective(
+            name="z", numerator="bad", denominator="all", target=1.0,
+            fast_window_s=2.0, slow_window_s=4.0),))
+        alerter = BurnRateAlerter(policy, metrics=registry)
+        registry.counter("all").inc(100)
+        registry.counter("bad").inc(1)
+        clock.advance(1.0)
+        collector.sample()
+        assert alerter.evaluate(collector)
+        report = HealthEvaluator().evaluate(collector, alerter)
+        assert report.overall == "degraded"
+        assert any("alert firing: z" in r for r in report.reasons)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="window_s"):
+            HealthThresholds(window_s=0.0)
+        with pytest.raises(ValueError, match="critical"):
+            HealthThresholds(deadline_miss_degraded=0.1,
+                             deadline_miss_critical=0.05)
+
+
+class TestTelemetryPlane:
+    def test_tick_payload_shape(self, registry, clock):
+        plane = TelemetryPlane(metrics=registry, interval_s=1.0,
+                               clock=clock, wall_clock=lambda: 7.0)
+        registry.counter("serve.frames", tenant="a").inc(10)
+        clock.advance(1.0)
+        tick = plane.tick()
+        json.dumps(tick, allow_nan=False)
+        assert tick["seq"] == 0
+        assert set(tick) >= {"time_s", "wall_time_s", "interval_s",
+                             "sample", "health", "alerts", "slo"}
+        assert set(tick["slo"]) == {"frame-latency", "stream-integrity"}
+
+    def test_seq_and_time_monotonic(self, registry, clock):
+        plane = TelemetryPlane(metrics=registry, clock=clock,
+                               wall_clock=lambda: 7.0)
+        ticks = []
+        for _ in range(3):
+            clock.advance(1.0)
+            ticks.append(plane.tick())
+        assert [t["seq"] for t in ticks] == [0, 1, 2]
+        assert ticks[0]["time_s"] < ticks[1]["time_s"] < ticks[2]["time_s"]
+
+
+class TestTimeline:
+    def _make_ticks(self, registry, clock, tmp_path):
+        plane = TelemetryPlane(
+            metrics=registry,
+            policy=default_serve_policy(fast_window_s=2.0, slow_window_s=4.0),
+            thresholds=HealthThresholds(window_s=2.0),
+            clock=clock, wall_clock=lambda: 7.0)
+        frames = registry.counter("serve.frames", tenant="a")
+        gaps = registry.counter("pipeline.faults.gaps", action="reset")
+        path = tmp_path / "timeline.jsonl"
+        with TimelineWriter(path) as writer:
+            for i in range(12):
+                clock.advance(1.0)
+                frames.inc(100)
+                if 4 <= i < 6:
+                    gaps.inc(2)
+                writer.write(plane.tick())
+        return path
+
+    def test_write_load_summarize(self, registry, clock, tmp_path):
+        path = self._make_ticks(registry, clock, tmp_path)
+        ticks = load_timeline(path)
+        assert len(ticks) == 12
+        summary = summarize_timeline(ticks)
+        assert summary["ticks"] == 12
+        # one breach episode: re-pushed while firing, deduped to one
+        assert summary["alerts"]["fired"] == 1
+        assert summary["alerts"]["resolved"] == 1
+        assert summary["health"]["degraded"] > 0
+        assert summary["health"]["ok"] > 0
+
+    def test_renderers_are_plain_text(self, registry, clock, tmp_path):
+        path = self._make_ticks(registry, clock, tmp_path)
+        ticks = load_timeline(path)
+        screen = render_top(ticks[5])
+        assert "airfinger top" in screen
+        assert "stream-integrity" in screen
+        summary_text = render_telemetry_summary(summarize_timeline(ticks))
+        assert "fired=1" in summary_text
+        assert "stream-integrity" in summary_text
+
+    def test_summarize_empty(self):
+        summary = summarize_timeline([])
+        assert summary["ticks"] == 0
+        assert summary["alerts"]["fired"] == 0

@@ -185,3 +185,48 @@ class TestEvents:
                     protocol.events_message(EVENTS[2:4])]
         got = list(protocol.iter_decoded_events(messages))
         assert [repr(e) for e in got] == [repr(e) for e in EVENTS[:4]]
+
+
+class TestControlMessagesV2:
+    def test_plain_heartbeat_has_no_timing_fields(self):
+        message = protocol.heartbeat()
+        assert message == {"type": "heartbeat"}
+
+    def test_heartbeat_echo_roundtrip(self):
+        ping = protocol.heartbeat(t=123.456)
+        assert ping == {"type": "heartbeat", "t": 123.456}
+        pong = protocol.heartbeat(echo=ping["t"])
+        wire = MessageDecoder().feed(encode_message(pong))[0]
+        assert wire["echo"] == 123.456
+        assert "t" not in wire
+
+    def test_stats_reply_stamps(self):
+        message = protocol.stats_reply({"counters": {}},
+                                       server_time_s=1700000000.25,
+                                       uptime_s=12.5)
+        wire = MessageDecoder().feed(encode_message(message))[0]
+        assert wire["server_time_s"] == 1700000000.25
+        assert wire["uptime_s"] == 12.5
+
+    def test_stats_reply_stamps_optional(self):
+        message = protocol.stats_reply({"counters": {}})
+        assert "server_time_s" not in message
+        assert "uptime_s" not in message
+
+    def test_watch_subscribe_and_cancel(self):
+        assert protocol.watch() == {"type": "watch"}
+        assert protocol.watch(2.5) == {"type": "watch", "interval_s": 2.5}
+        assert protocol.watch(0)["interval_s"] == 0.0
+
+    def test_telemetry_message_roundtrip(self):
+        payload = {"seq": 3, "health": {"overall": "ok"}}
+        message = protocol.telemetry_message(payload)
+        wire = MessageDecoder().feed(encode_message(message))[0]
+        assert wire == {"type": "telemetry", "telemetry": payload}
+
+    def test_version_is_two(self):
+        # v2 introduced watch/telemetry and the heartbeat echo; the
+        # handshake is strict, so the constant is part of the contract.
+        assert protocol.PROTOCOL_VERSION == 2
+
+
