@@ -34,7 +34,13 @@ def pytest_addoption(parser):
         "--serve-report", type=Path, default=None,
         help="write the serving load report JSON "
              "(benchmarks/test_serve_throughput.py) to this path")
+    parser.addoption(
+        "--bench-report", type=Path, default=None,
+        help="directory where every benchmark suite appends its "
+             "BenchRecord measurements as BENCH_<suite>.json ledgers "
+             "(compare runs with 'airfinger bench compare')")
 
+from ledger import BenchReporter
 from repro.datasets import (
     CampaignConfig,
     CampaignGenerator,
@@ -84,6 +90,22 @@ def main_corpus(generator):
 def main_features(main_corpus) -> np.ndarray:
     """Full-registry feature matrix of the main corpus."""
     return compute_features(main_corpus)
+
+
+@pytest.fixture(scope="session")
+def bench_report(request):
+    """The shared benchmark-ledger reporter every perf suite records into.
+
+    Suites call ``bench_report.record(suite, benchmark, metric, value,
+    ...)``; when the session ends the records are appended to
+    ``BENCH_<suite>.json`` ledgers under ``--bench-report <dir>``
+    (without the option the records are collected but not persisted, so
+    suites never need to guard the call).
+    """
+    reporter = BenchReporter(request.config.getoption("--bench-report"))
+    yield reporter
+    for path in reporter.flush():
+        print(f"bench ledger -> {path}")
 
 
 def print_header(title: str, paper_claim: str) -> None:

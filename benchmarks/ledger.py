@@ -1,0 +1,51 @@
+"""Benchmark-side ledger glue: collect BenchRecords, flush per suite.
+
+The schema, persistence and comparison logic live in
+:mod:`repro.obs.ledger` (so ``airfinger bench`` can use them without any
+path games); this module is the thin reporter the ``bench_report``
+conftest fixture hands to every suite.  Records always collect in memory
+— persistence only happens when the pytest session was started with
+``--bench-report <dir>`` — so benchmark code records unconditionally and
+stays oblivious to whether a ledger is being written.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.ledger import BenchLedger, BenchRecord, ledger_path
+
+__all__ = ["BenchReporter"]
+
+
+class BenchReporter:
+    """Collects :class:`BenchRecord` rows and appends them per suite."""
+
+    def __init__(self, out_dir: Path | None) -> None:
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.records: list[BenchRecord] = []
+
+    def record(self, suite: str, benchmark: str, metric: str, value: float,
+               unit: str = "", direction: str = "higher_is_better",
+               tolerance: float | None = None,
+               scale: dict | None = None) -> BenchRecord:
+        """Add one measurement (see :meth:`BenchRecord.create`)."""
+        rec = BenchRecord.create(
+            suite, benchmark, metric, value, unit=unit, direction=direction,
+            tolerance=tolerance, scale=scale)
+        self.records.append(rec)
+        return rec
+
+    def flush(self) -> list[Path]:
+        """Append everything recorded to its suite ledger; returns paths."""
+        if self.out_dir is None or not self.records:
+            return []
+        by_suite: dict[str, list[BenchRecord]] = {}
+        for rec in self.records:
+            by_suite.setdefault(rec.suite, []).append(rec)
+        paths = []
+        for suite, records in sorted(by_suite.items()):
+            path = ledger_path(self.out_dir, suite)
+            BenchLedger(path).append(records)
+            paths.append(path)
+        return paths

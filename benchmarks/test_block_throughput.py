@@ -70,7 +70,7 @@ def test_block_replay_matches_golden_corpus():
             f"block replay diverged from the committed trace for {name!r}")
 
 
-def test_block_throughput(benchmark):
+def test_block_throughput(benchmark, bench_report):
     print_header(
         "Offline replay throughput — vectorized feed_block hot path",
         "stream replay dominates every robustness sweep and stream "
@@ -110,6 +110,14 @@ def test_block_throughput(benchmark):
     benchmark.extra_info["scalar_frames_per_sec"] = round(n / scalar_s, 1)
     benchmark.extra_info["block_frames_per_sec"] = round(n / block_s, 1)
     benchmark.extra_info["speedup_block_vs_scalar"] = round(speedup, 2)
+
+    scale = {"n_frames": n, "block_size": BLOCK_SIZE}
+    bench_report.record("block", "idle_stream_replay",
+                        "block_frames_per_sec", n / block_s,
+                        unit="frames/s", scale=scale)
+    bench_report.record("block", "idle_stream_replay",
+                        "speedup_block_vs_scalar", speedup, unit="x",
+                        scale=scale)
 
     print(f"\nstream: {n} frames ({n / 100.0:.0f} s of 100 Hz session, "
           f"{len(scalar_events)} events)")

@@ -57,7 +57,7 @@ def _scalar_capture(generator: CampaignGenerator, tasks) -> list:
     return recordings
 
 
-def test_campaign_throughput(benchmark):
+def test_campaign_throughput(benchmark, bench_report):
     print_header(
         "Campaign generation throughput — batched + parallel hot path",
         "bulk synthetic-trace generation is the dominant cost of every "
@@ -107,6 +107,17 @@ def test_campaign_throughput(benchmark):
         speedup_batched, 2)
     benchmark.extra_info["speedup_parallel_vs_scalar"] = round(
         speedup_parallel, 2)
+
+    scale = {"n_samples": n, "workers": WORKERS, "batch_size": BATCH}
+    bench_report.record("campaign", "main_campaign",
+                        "batched_samples_per_sec", n / batched_s,
+                        unit="samples/s", scale=scale)
+    bench_report.record("campaign", "main_campaign",
+                        "parallel_samples_per_sec", n / parallel_s,
+                        unit="samples/s", scale=scale)
+    bench_report.record("campaign", "main_campaign",
+                        "speedup_parallel_vs_scalar", speedup_parallel,
+                        unit="x", scale=scale)
 
     print(f"\nplan: {n} captures "
           f"({THROUGHPUT_CONFIG.n_users} users x "

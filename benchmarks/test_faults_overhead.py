@@ -26,7 +26,7 @@ ROUNDS = 5
 OVERHEAD_LIMIT = 1.05  # inactive wrapper may cost at most 5%
 
 
-def test_faults_passthrough_overhead(benchmark):
+def test_faults_passthrough_overhead(benchmark, bench_report):
     print_header(
         "fault-schedule passthrough overhead — inactive must be ~free",
         "the robustness control point replays every stream through the "
@@ -77,6 +77,11 @@ def test_faults_passthrough_overhead(benchmark):
         [type(e).__name__ for e in baseline]
 
     ratio = wrapped_s / raw_s
+    bench_report.record("faults", "inactive_passthrough", "overhead_ratio",
+                        ratio, unit="x", direction="lower_is_better",
+                        tolerance=0.05,
+                        scale={"n_recordings": len(recordings),
+                               "n_frames": n_frames, "rounds": ROUNDS})
     benchmark.extra_info["n_recordings"] = len(recordings)
     benchmark.extra_info["n_frames"] = n_frames
     benchmark.extra_info["raw_wall_s"] = round(raw_s, 4)

@@ -33,7 +33,7 @@ ROUNDS = 5
 OVERHEAD_LIMIT = 1.05  # enabled may cost at most 5% over disabled
 
 
-def test_obs_overhead(benchmark):
+def test_obs_overhead(benchmark, bench_report):
     print_header(
         "repro.obs instrumentation overhead — default-on must be ~free",
         "real-time recognition at 100 Hz; metrics may not tax the hot path")
@@ -77,6 +77,9 @@ def test_obs_overhead(benchmark):
     assert snap.histograms["campaign.batch_seconds"]["count"] >= 1
 
     ratio = enabled_s / disabled_s
+    bench_report.record("obs_overhead", "metrics", "overhead_ratio", ratio,
+                        unit="x", direction="lower_is_better",
+                        tolerance=0.05, scale={"n_samples": n})
     benchmark.extra_info["n_samples"] = n
     benchmark.extra_info["disabled_wall_s"] = round(disabled_s, 4)
     benchmark.extra_info["enabled_wall_s"] = round(enabled_s, 4)
@@ -98,7 +101,7 @@ def test_obs_overhead(benchmark):
         f"{OVERHEAD_LIMIT}x gate")
 
 
-def test_trace_overhead(benchmark):
+def test_trace_overhead(benchmark, bench_report):
     print_header(
         "repro.obs span tracing overhead — even fully-on must be cheap",
         "REPRO_TRACE=1 records a span per task/batch; gate is the same 5%")
@@ -145,6 +148,9 @@ def test_trace_overhead(benchmark):
     assert tracer_off.finished_spans() == []
 
     ratio = on_s / off_s
+    bench_report.record("obs_overhead", "tracing", "overhead_ratio", ratio,
+                        unit="x", direction="lower_is_better",
+                        tolerance=0.05, scale={"n_samples": n})
     benchmark.extra_info["n_samples"] = n
     benchmark.extra_info["trace_off_wall_s"] = round(off_s, 4)
     benchmark.extra_info["trace_on_wall_s"] = round(on_s, 4)

@@ -74,7 +74,7 @@ def load_result():
     return report, serve_config, device_events, reference
 
 
-def test_serve_load_gate(load_result, request):
+def test_serve_load_gate(load_result, request, bench_report):
     report, serve_config, device_events, reference = load_result
     print_header(
         f"Serving throughput — {SESSIONS_GATE} concurrent 100 Hz devices",
@@ -103,6 +103,24 @@ def test_serve_load_gate(load_result, request):
     if report_path is not None:
         report_path.write_text(json.dumps(d, indent=2) + "\n")
         print(f"load report -> {report_path}")
+
+    scale = {"sessions": SESSIONS_GATE, "duration_s": DURATION_S,
+             "rate_hz": RATE_HZ, "seed": SEED}
+    bench_report.record(
+        "serve", "load_gate", "sessions_per_core",
+        report.sessions_per_core, unit="sessions", scale=scale)
+    bench_report.record(
+        "serve", "load_gate", "frames_per_cpu_s",
+        report.frames_sent / report.cpu_s if report.cpu_s > 0 else 0.0,
+        unit="frames/s", scale=scale)
+    if p99 is not None:
+        bench_report.record(
+            "serve", "load_gate", "p99_latency_ms", p99 * 1e3, unit="ms",
+            direction="lower_is_better", tolerance=1.0, scale=scale)
+    bench_report.record(
+        "serve", "load_gate", "deadline_miss_rate",
+        report.deadline_miss_rate, unit="fraction",
+        direction="lower_is_better", tolerance=0.01, scale=scale)
 
     # gate 1: the fleet really ran at the target concurrency
     assert report.sessions >= SESSIONS_GATE

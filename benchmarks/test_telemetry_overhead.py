@@ -43,7 +43,7 @@ SAMPLE_ROUNDS = 200
 OVERHEAD_LIMIT = 0.05  # 1 Hz sampling may cost at most 5% of the load
 
 
-def test_collector_overhead_on_serve_load(benchmark):
+def test_collector_overhead_on_serve_load(benchmark, bench_report):
     print_header(
         f"telemetry sampling overhead — 1 Hz collector on a "
         f"{SESSIONS}-session registry",
@@ -91,6 +91,10 @@ def test_collector_overhead_on_serve_load(benchmark):
           f"{OVERHEAD_LIMIT:.0%})")
 
     benchmark.pedantic(collector.sample, rounds=10, iterations=1)
+    bench_report.record("telemetry", "collector_sample", "sample_ms",
+                        sample_s * 1e3, unit="ms",
+                        direction="lower_is_better", tolerance=1.0,
+                        scale={"sessions": SESSIONS, "series": n_series})
     benchmark.extra_info["series"] = n_series
     benchmark.extra_info["sample_ms"] = round(sample_s * 1e3, 4)
     benchmark.extra_info["overhead_at_1hz"] = round(overhead, 5)

@@ -15,6 +15,8 @@ Everything a downstream user needs without writing Python::
     airfinger loadgen --port 7420 --sessions 64 --duration 5
     airfinger top --port 7420
     airfinger telemetry timeline.jsonl
+    airfinger profile --collapsed flame.collapsed -- generate --out c.npz
+    airfinger bench compare --baseline benchmarks/baselines --current ledger/
     airfinger power
 
 ``serve`` runs the multi-stream gesture serving front-end
@@ -55,11 +57,29 @@ it finishes; ``--trace-sample MODE`` overrides the sampling decision
 saved trace file: top spans by self-time, the critical path, and any
 deadline-miss events.
 
+``profile`` wraps any other subcommand in the continuous-profiling layer
+(:mod:`repro.obs.prof`): a background :class:`SamplingProfiler` takes
+stack samples at ``--hz`` while a :class:`StageProfile` attributes exact
+exclusive self-time per pipeline stage; the hottest stages print as a
+table and ``--collapsed`` / ``--chrome`` / ``--json`` export
+flamegraph.pl collapsed stacks, a Chrome/Perfetto trace, and the raw
+profile.  The hot commands (``generate``, ``evaluate``, ``robustness``,
+``demo``, ``loadgen``) also accept ``--profile-json PATH`` to record the
+stage profile without the sampler.
+
+``bench`` works the persistent benchmark ledger
+(:mod:`repro.obs.ledger`): ``bench compare --baseline <dir-or-file>
+--current <dir-or-file>`` renders the per-metric trajectory against the
+committed baseline and exits nonzero when any metric regressed beyond
+its tolerance; ``bench show <ledger>`` prints a metric's history.  The
+ledgers themselves are written by the benchmark suites under
+``pytest --bench-report <dir>`` (see ``benchmarks/README.md``).
+
 ``generate`` and ``evaluate`` additionally write a
 :class:`~repro.obs.manifest.RunManifest` next to their output — config
-digest, seeds, package versions, platform, git SHA, metrics snapshot —
-so every artifact can be traced back to the exact invocation that
-produced it.
+digest, seeds, package versions, platform, git SHA, metrics snapshot,
+monotonic run duration — so every artifact can be traced back to the
+exact invocation that produced it.
 
 (Installed as the ``airfinger`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -103,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "JSON file")
     _add_metrics_json(gen)
     _add_trace_flags(gen)
+    _add_profile_flag(gen)
 
     train = sub.add_parser("train",
                            help="train the recognition stack from a corpus")
@@ -127,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "block size)")
     _add_metrics_json(ev)
     _add_trace_flags(ev)
+    _add_profile_flag(ev)
 
     rob = sub.add_parser(
         "robustness",
@@ -163,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the sweep as a markdown report")
     _add_metrics_json(rob)
     _add_trace_flags(rob)
+    _add_profile_flag(rob)
 
     demo = sub.add_parser("demo",
                           help="stream a synthetic session through a stack")
@@ -177,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "events are identical either way)")
     _add_metrics_json(demo)
     _add_trace_flags(demo)
+    _add_profile_flag(demo)
 
     stats = sub.add_parser(
         "stats", help="render a metrics snapshot written by --metrics-json")
@@ -259,6 +283,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="inject a seeded frame-drop fault schedule "
                               "into the offered load (0 = clean control; "
                               "gaps surface as SLO breaches)")
+    _add_profile_flag(loadgen)
+
+    prof = sub.add_parser(
+        "profile", help="run another subcommand under the continuous "
+                        "profiler (stack sampler + stage attribution)")
+    prof.add_argument("--hz", type=float, default=97.0,
+                      help="stack-sampling rate (an off-round default "
+                           "avoids aliasing with 100 Hz frame loops)")
+    prof.add_argument("--top", type=int, default=20,
+                      help="rows in the printed stage table")
+    prof.add_argument("--collapsed", type=Path, default=None,
+                      help="write flamegraph.pl-compatible collapsed "
+                           "stacks (render with flamegraph.pl or "
+                           "speedscope)")
+    prof.add_argument("--chrome", type=Path, default=None,
+                      help="write the sample timeline as Chrome/Perfetto "
+                           "trace JSON (ui.perfetto.dev)")
+    prof.add_argument("--json", dest="out_json", type=Path, default=None,
+                      help="write the raw sampling + stage profiles as "
+                           "JSON")
+    prof.add_argument("cmd", nargs=argparse.REMAINDER,
+                      help="the airfinger subcommand to profile "
+                           "(prefix with -- to separate its flags)")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark ledger: compare against a baseline, "
+                      "show trajectories")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    cmp_p = bench_sub.add_parser(
+        "compare", help="flag per-metric regressions beyond tolerance")
+    cmp_p.add_argument("--baseline", type=Path, required=True,
+                       help="baseline BENCH_<suite>.json file, or a "
+                            "directory of them")
+    cmp_p.add_argument("--current", type=Path, required=True,
+                       help="current-run ledger file or directory")
+    cmp_p.add_argument("--tolerance", type=float, default=None,
+                       help="default relative tolerance for records that "
+                            "do not pin their own (default 0.25)")
+    cmp_p.add_argument("--json", action="store_true",
+                       help="emit the comparison rows as JSON")
+    show_p = bench_sub.add_parser(
+        "show", help="print per-metric record history from a ledger")
+    show_p.add_argument("ledger", type=Path,
+                        help="BENCH_<suite>.json file or a directory of "
+                             "them")
+    show_p.add_argument("--last", type=int, default=10,
+                        help="history entries per metric")
 
     top = sub.add_parser(
         "top", help="live telemetry dashboard for a running serve process")
@@ -312,6 +383,15 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
                              "given)")
 
 
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile-json", type=Path, default=None,
+                        help="record the deterministic stage profile "
+                             "(exclusive time per pipeline stage) for "
+                             "the run and write it to this JSON file; "
+                             "use 'airfinger profile' for stack "
+                             "sampling too")
+
+
 def _write_metrics_json(path: Path) -> None:
     from repro.obs import get_registry
 
@@ -349,9 +429,17 @@ def _write_trace_outputs(args) -> None:
         print(f"trace event log ({len(spans)} spans) -> {trace_events}")
 
 
+# Monotonic start of the current invocation + the profile artifact it
+# will write, stamped into every RunManifest (set by main()).
+_RUN_START_S: float | None = None
+_PROFILE_REF: dict | None = None
+
+
 def _write_manifest(command: str, config: dict, seeds: dict,
                     path: Path) -> None:
     """Write a RunManifest for the finished command next to its output."""
+    import time
+
     from repro.obs import (
         RunManifest,
         get_registry,
@@ -360,10 +448,14 @@ def _write_manifest(command: str, config: dict, seeds: dict,
     )
 
     spans = get_tracer().finished_spans()
+    duration_s = (time.perf_counter() - _RUN_START_S
+                  if _RUN_START_S is not None else None)
     manifest = RunManifest.create(
         command, config, seeds=seeds,
         metrics=get_registry().snapshot().to_dict(),
-        trace_summary=summarize_trace(spans) if spans else None)
+        trace_summary=summarize_trace(spans) if spans else None,
+        duration_s=duration_s,
+        profile=_PROFILE_REF)
     manifest.write(path)
     print(f"run manifest -> {path}")
 
@@ -849,6 +941,115 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+    import time
+
+    from repro.obs import (
+        SamplingProfiler,
+        StageProfile,
+        render_stage_profile,
+        set_stage_profile,
+    )
+
+    argv = list(args.cmd)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        print("profile: no subcommand given (e.g. 'airfinger profile -- "
+              "generate --out corpus.npz')", file=sys.stderr)
+        return 2
+    if argv[0] in ("profile", "bench"):
+        print(f"profile: cannot wrap {argv[0]!r}", file=sys.stderr)
+        return 2
+
+    profiler = SamplingProfiler(hz=args.hz)
+    profile = StageProfile()
+    previous = set_stage_profile(profile)
+    t0 = time.perf_counter()
+    profiler.start()
+    try:
+        code = main(argv)
+    finally:
+        profiler.stop()
+        set_stage_profile(previous)
+    duration_s = time.perf_counter() - t0
+
+    print()
+    print(f"profiled '{' '.join(argv)}': {duration_s:.2f}s wall, "
+          f"{profiler.n_samples} stack samples @ {profiler.hz:g} Hz")
+    print(render_stage_profile(profile, top=args.top))
+    if args.collapsed is not None:
+        args.collapsed.write_text(profiler.collapsed() + "\n")
+        print(f"collapsed stacks -> {args.collapsed}")
+    if args.chrome is not None:
+        args.chrome.write_text(profiler.chrome_json() + "\n")
+        print(f"chrome trace -> {args.chrome}")
+    if args.out_json is not None:
+        payload = {
+            "schema": 1,
+            "command": argv,
+            "duration_s": duration_s,
+            "sampling": profiler.to_dict(),
+            "stage_profile": profile.to_dict(),
+        }
+        args.out_json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"profile -> {args.out_json}")
+    return code
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.obs import (
+        compare_records,
+        load_ledgers,
+        render_comparison,
+        render_trajectory,
+    )
+
+    if args.bench_command == "show":
+        try:
+            records = load_ledgers(args.ledger)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read ledger {args.ledger}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(render_trajectory(records, last=args.last))
+        return 0
+
+    # A typo'd path must fail loudly: silently comparing an empty ledger
+    # would wave every regression through the CI gate.
+    for label, path in (("baseline", args.baseline),
+                        ("current", args.current)):
+        if not Path(path).exists():
+            print(f"cannot read {label} ledger: {path} does not exist",
+                  file=sys.stderr)
+            return 1
+    try:
+        baseline = load_ledgers(args.baseline)
+        current = load_ledgers(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read ledger: {exc}", file=sys.stderr)
+        return 1
+    rows = compare_records(baseline, current, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps([row.to_dict() for row in rows], indent=2))
+    else:
+        print(render_comparison(rows))
+    regressions = [row for row in rows if row.status == "regression"]
+    if regressions:
+        for row in regressions:
+            change = ("" if row.change is None
+                      else f" ({row.change:+.1%}, tolerance "
+                           f"{row.tolerance:.0%})")
+            print(f"REGRESSION: {row.suite}/{row.benchmark}/{row.metric}"
+                  f"{change}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -863,14 +1064,54 @@ _COMMANDS = {
     "top": _cmd_top,
     "telemetry": _cmd_telemetry,
     "power": _cmd_power,
+    "profile": _cmd_profile,
+    "bench": _cmd_bench,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    import time
+
+    global _RUN_START_S, _PROFILE_REF
     args = build_parser().parse_args(argv)
+    _RUN_START_S = time.perf_counter()
     _configure_tracer(args)
-    code = _COMMANDS[args.command](args)
+    profile_json = getattr(args, "profile_json", None)
+    installed = previous = None
+    swapped = False
+    if profile_json is not None:
+        from repro.obs import StageProfile, get_stage_profile, set_stage_profile
+
+        # Under 'airfinger profile' a profile is already active — record
+        # into it so the wrapper's table and this file agree.
+        installed = get_stage_profile()
+        if installed is None:
+            installed = StageProfile()
+            previous = set_stage_profile(installed)
+            swapped = True
+        _PROFILE_REF = {"path": str(profile_json), "kind": "stage_profile"}
+    try:
+        code = _COMMANDS[args.command](args)
+    finally:
+        if swapped:
+            from repro.obs import set_stage_profile
+
+            set_stage_profile(previous)
+        if installed is not None:
+            _PROFILE_REF = None
+    if installed is not None:
+        import json
+
+        payload = {
+            "schema": 1,
+            "command": args.command,
+            "duration_s": time.perf_counter() - _RUN_START_S,
+            "stage_profile": installed.to_dict(),
+        }
+        profile_json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"stage profile -> {profile_json}")
     if getattr(args, "metrics_json", None) is not None:
         _write_metrics_json(args.metrics_json)
     _write_trace_outputs(args)

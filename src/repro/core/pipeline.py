@@ -47,7 +47,8 @@ from repro.core.sbc import (
 )
 from repro.core.segmentation import DynamicThresholdSegmenter, Segment
 from repro.core.zebra import ZebraTracker
-from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (MetricsRegistry, Tracer, get_registry,
+                       get_stage_profile, get_tracer)
 
 __all__ = ["AirFinger", "DEFAULT_BLOCK_SIZE"]
 
@@ -298,6 +299,11 @@ class AirFinger:
                     "deadline_miss", stage=slowest,
                     frame_index=self._fed - 1, frame_s=frame_s,
                     deadline_s=self._deadline_s)
+        # Continuous profiling re-uses the stage splits measured above —
+        # when off this is one global read + None check per frame.
+        prof = get_stage_profile()
+        if prof is not None:
+            prof.add_frame("pipeline.frame", frame_s, stage_s)
         return events
 
     def _ingest(self, values: tuple[float, ...], time_s: float,
@@ -652,6 +658,15 @@ class AirFinger:
         # per-frame `pipeline.deadline_miss` counter to the scalar path.
         if block_s > m * self._deadline_s:
             self._c_block_deadline.inc()
+        prof = get_stage_profile()
+        if prof is not None:
+            # Vectorized stages come from the block marks; handler stages
+            # (dispatch/tracking/detection) accumulated into _stage_s.
+            stages = {"prefilter_sbc": t_prefilter - t_start,
+                      "segmentation": t_segmentation - t_prefilter}
+            for stage, seconds in self._stage_s.items():
+                stages[stage] = stages.get(stage, 0.0) + seconds
+            prof.add_frame("pipeline.block", block_s, stages, frames=m)
         return events
 
     def iter_events(self, frames, block_size: int | None = None,

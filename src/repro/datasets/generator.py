@@ -27,6 +27,7 @@ distributed across workers (see
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -45,7 +46,8 @@ from repro.hand.trajectory import (
 from repro.hand.finger import scene_for_trajectory
 from repro.noise.ambient import AmbientModel, TimeOfDayAmbient, indoor_ambient
 from repro.noise.motion import WRISTBAND_CONDITIONS
-from repro.obs import MetricsRegistry, get_registry, get_tracer
+from repro.obs import (MetricsRegistry, get_registry, get_stage_profile,
+                       get_tracer)
 from repro.optics.array import SensorArray, airfinger_array
 from repro.utils import chunked, derive_rng
 
@@ -241,6 +243,8 @@ class CampaignGenerator:
                        ) -> list[GestureSample]:
         """Capture *tasks* through one batched radiometric pass."""
         tracer = get_tracer()
+        prof = get_stage_profile()
+        t0 = time.perf_counter() if prof is not None else 0.0
         scenes, rngs, labels, metas = [], [], [], []
         for task in tasks:
             with tracer.span("campaign.task", label=task.label,
@@ -265,8 +269,15 @@ class CampaignGenerator:
                           "session_id": task.session_id,
                           "repetition": task.repetition,
                           **trajectory.meta})
+        if prof is not None:
+            prof.add("campaign.synthesize", time.perf_counter() - t0,
+                     count=len(tasks))
+            t0 = time.perf_counter()
         recordings = self.sampler.record_batch(scenes, rngs=rngs,
                                                labels=labels, metas=metas)
+        if prof is not None:
+            prof.add("sampler.record_batch", time.perf_counter() - t0,
+                     count=len(tasks))
         return [GestureSample(recording=recording, label=task.label,
                               user_id=task.user_id,
                               session_id=task.session_id,
@@ -284,11 +295,18 @@ class CampaignGenerator:
         """
         batch = batch_size or self.batch_size
         tracer = get_tracer()
+        prof = get_stage_profile()
         out: list[GestureSample] = []
         for chunk in chunked(tasks, batch):
             with tracer.span("campaign.chunk", n_tasks=len(chunk)), \
                     self._obs.timer("campaign.batch_seconds"):
-                out.extend(self._capture_batch(chunk))
+                if prof is not None:
+                    # synthesize / record_batch nest under this scope;
+                    # its exclusive time is the batching glue itself
+                    with prof.scope("campaign.batch"):
+                        out.extend(self._capture_batch(chunk))
+                else:
+                    out.extend(self._capture_batch(chunk))
             self._obs.counter("campaign.tasks").inc(len(chunk))
             self._obs.counter("campaign.batches").inc()
             self._obs.histogram(

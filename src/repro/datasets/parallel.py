@@ -44,9 +44,12 @@ from repro.noise.motion import WRISTBAND_CONDITIONS
 from repro.obs import (
     MetricsRegistry,
     MetricsSnapshot,
+    StageProfile,
     TraceContext,
     get_registry,
+    get_stage_profile,
     get_tracer,
+    set_stage_profile,
 )
 from repro.optics.array import SensorArray, airfinger_array
 from repro.utils import chunked
@@ -65,8 +68,9 @@ def _init_worker(config: CampaignConfig, array: SensorArray,
         config=config, array=array, ambient=ambient, batch_size=batch_size)
 
 
-def _run_chunk(payload: tuple[list[CaptureTask], dict | None]
-               ) -> tuple[list[GestureSample], MetricsSnapshot, list[dict]]:
+def _run_chunk(payload: tuple[list[CaptureTask], dict | None, bool]
+               ) -> tuple[list[GestureSample], MetricsSnapshot, list[dict],
+                          dict | None]:
     """Capture one chunk and ship the worker's metrics/span deltas with it.
 
     The worker records into its own process-global registry; snapshotting
@@ -75,22 +79,32 @@ def _run_chunk(payload: tuple[list[CaptureTask], dict | None]
     the parent sampled a trace, its :class:`TraceContext` rides along so
     the worker's ``campaign.chunk``/``campaign.task`` spans parent to the
     run's ``campaign.plan`` root; the finished spans are drained and
-    shipped back as dicts for :meth:`Tracer.adopt`.
+    shipped back as dicts for :meth:`Tracer.adopt`.  When the parent is
+    profiling (*want_profile*), the chunk runs under a fresh
+    :class:`StageProfile` whose dict ships back for the parent to merge —
+    stage profiles fold additively, exactly like metric snapshots.
     """
-    tasks, ctx_payload = payload
+    tasks, ctx_payload, want_profile = payload
     assert _WORKER_GENERATOR is not None, "worker initializer did not run"
     tracer = get_tracer()
     ctx = (TraceContext.from_dict(ctx_payload)
            if ctx_payload is not None else None)
-    with tracer.attach(ctx):
-        samples = _WORKER_GENERATOR.capture_tasks(tasks)
+    profile = StageProfile() if want_profile else None
+    previous = set_stage_profile(profile) if want_profile else None
+    try:
+        with tracer.attach(ctx):
+            samples = _WORKER_GENERATOR.capture_tasks(tasks)
+    finally:
+        if want_profile:
+            set_stage_profile(previous)
     registry = get_registry()
     registry.counter("campaign.worker_tasks",
                      worker=str(os.getpid())).inc(len(tasks))
     snapshot = registry.snapshot()
     registry.reset()
     spans = [span.to_dict() for span in tracer.drain()]
-    return samples, snapshot, spans
+    return (samples, snapshot, spans,
+            profile.to_dict() if profile is not None else None)
 
 
 @dataclass
@@ -200,7 +214,9 @@ class ParallelCampaignGenerator:
             chunks = chunked(tasks, self._resolve_chunk(len(tasks)))
             ctx = tracer.current_context()
             ctx_payload = ctx.to_dict() if ctx is not None else None
-            payloads = [(chunk, ctx_payload) for chunk in chunks]
+            profile = get_stage_profile()
+            payloads = [(chunk, ctx_payload, profile is not None)
+                        for chunk in chunks]
             try:
                 with ProcessPoolExecutor(
                         max_workers=min(self.workers, len(chunks)),
@@ -209,11 +225,13 @@ class ParallelCampaignGenerator:
                                   batch)) as pool:
                     # Executor.map preserves input order, so samples land
                     # in plan order no matter which worker finishes first.
-                    for part, snapshot, spans in pool.map(_run_chunk,
-                                                          payloads):
+                    for part, snapshot, spans, prof_payload in pool.map(
+                            _run_chunk, payloads):
                         corpus.samples.extend(part)
                         self._obs.merge(snapshot)
                         tracer.adopt(spans)
+                        if prof_payload is not None and profile is not None:
+                            profile.merge(prof_payload)
                 return corpus
             except (OSError, PermissionError, ImportError,
                     NotImplementedError):

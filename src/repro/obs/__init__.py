@@ -23,6 +23,17 @@ is how the repo proves it, at three altitudes:
   Off by default; ``REPRO_TRACE=1`` (or a sampling ratio) enables it,
   and :class:`TraceContext` carries a trace across worker-process
   boundaries.
+* **Profiling** (:mod:`repro.obs.prof`): :class:`SamplingProfiler`
+  takes statistical stack samples from a background thread (no signals,
+  no ``sys.setprofile``), and :class:`StageProfile` attributes exact
+  **exclusive** self-time per pipeline stage from the measurements the
+  hot paths already take; both export collapsed-stack (flamegraph.pl),
+  Chrome/Perfetto, and mergeable-dict forms.  ``airfinger profile``
+  wraps any subcommand in both.
+* **Benchmark ledger** (:mod:`repro.obs.ledger`): :class:`BenchRecord`
+  measurements append to per-suite ``BENCH_<suite>.json`` ledgers;
+  ``airfinger bench compare`` renders the trajectory and flags
+  regressions beyond per-metric tolerance.
 * **Provenance** (:mod:`repro.obs.manifest`): :class:`RunManifest`
   pins down the exact invocation — config digest, seeds, versions,
   platform, git SHA — that produced a corpus or evaluation artifact.
@@ -64,6 +75,25 @@ from repro.obs.telemetry import (
     summarize_timeline,
 )
 from repro.obs.manifest import RunManifest, config_digest
+from repro.obs.prof import (
+    SamplingProfiler,
+    StageProfile,
+    StageStat,
+    get_stage_profile,
+    render_stage_profile,
+    set_stage_profile,
+    stage_profiling,
+)
+from repro.obs.ledger import (
+    BenchComparison,
+    BenchLedger,
+    BenchRecord,
+    compare_records,
+    ledger_path,
+    load_ledgers,
+    render_comparison,
+    render_trajectory,
+)
 from repro.obs.trace import (
     Span,
     SpanEvent,
@@ -109,6 +139,21 @@ __all__ = [
     "summarize_timeline",
     "RunManifest",
     "config_digest",
+    "SamplingProfiler",
+    "StageProfile",
+    "StageStat",
+    "get_stage_profile",
+    "render_stage_profile",
+    "set_stage_profile",
+    "stage_profiling",
+    "BenchComparison",
+    "BenchLedger",
+    "BenchRecord",
+    "compare_records",
+    "ledger_path",
+    "load_ledgers",
+    "render_comparison",
+    "render_trajectory",
     "Span",
     "SpanEvent",
     "TraceContext",

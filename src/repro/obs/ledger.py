@@ -1,0 +1,349 @@
+"""Persistent benchmark ledger: versioned records + regression comparison.
+
+The benchmark suites measure the numbers the paper's claims rest on
+(frames/sec, sessions/core, instrumentation overhead), but a CI gate only
+answers "did this run clear the bar" — the *trajectory* across PRs is
+lost the moment the job finishes.  This module gives every measurement a
+durable, versioned home:
+
+* :class:`BenchRecord` — one measurement: suite + benchmark + metric
+  identity, the value/units, the scale knobs it was taken at (workers,
+  sessions, block size...), and provenance (git SHA, platform,
+  :class:`~repro.obs.manifest.RunManifest` digest).
+* :class:`BenchLedger` — an append-only ``BENCH_<suite>.json`` file per
+  suite.  Appending re-reads the file, so ledgers accumulate across runs
+  and PRs; the committed ``benchmarks/baselines/`` ledgers are the
+  regression baseline.
+* :func:`compare_records` / :func:`render_comparison` — the engine
+  behind ``airfinger bench compare --baseline``: per-metric
+  direction-aware relative change against the newest baseline record,
+  flagged against a per-record (falling back to per-call) tolerance.
+
+Comparison semantics: each record carries ``direction`` — for
+``higher_is_better`` metrics a drop beyond tolerance is a regression,
+for ``lower_is_better`` a rise is.  An identical re-run therefore always
+passes (zero change), and a 2x throughput collapse always flags (change
+-0.5 against any sane tolerance).  A zero baseline (e.g. a perfect
+miss-rate) makes relative change undefined; there the tolerance is
+applied as an **absolute** bound instead.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.manifest import _git_sha, _platform_info
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "BenchRecord",
+    "BenchLedger",
+    "BenchComparison",
+    "ledger_path",
+    "load_ledgers",
+    "compare_records",
+    "render_comparison",
+    "render_trajectory",
+]
+
+BENCH_SCHEMA = 1
+
+#: Relative change a metric may move before it flags, when the record does
+#: not pin its own tolerance.  CI benchmark runners are noisy (shared
+#: tenancy, turbo states); sub-25% drift is weather, not a regression.
+DEFAULT_TOLERANCE = 0.25
+
+_DIRECTIONS = ("higher_is_better", "lower_is_better")
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark measurement, self-describing and provenance-linked."""
+
+    suite: str
+    benchmark: str
+    metric: str
+    value: float
+    unit: str = ""
+    direction: str = "higher_is_better"
+    tolerance: float | None = None
+    scale: dict = field(default_factory=dict)
+    git_sha: str | None = None
+    platform_info: dict = field(default_factory=dict)
+    manifest_digest: str | None = None
+    created_wall_s: float = 0.0
+    created_iso: str = ""
+    schema: int = BENCH_SCHEMA
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}: {self.direction!r}")
+        self.value = float(self.value)
+        if not math.isfinite(self.value):
+            raise ValueError(
+                f"value must be finite: {self.suite}/{self.benchmark}/"
+                f"{self.metric} = {self.value!r}")
+        if self.tolerance is not None and self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0: {self.tolerance!r}")
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The identity compared across runs."""
+        return (self.suite, self.benchmark, self.metric)
+
+    @classmethod
+    def create(cls, suite: str, benchmark: str, metric: str, value: float,
+               unit: str = "", direction: str = "higher_is_better",
+               tolerance: float | None = None,
+               scale: dict | None = None,
+               manifest_digest: str | None = None) -> "BenchRecord":
+        """Build a record stamped with the current environment."""
+        now = time.time()
+        return cls(
+            suite=suite, benchmark=benchmark, metric=metric, value=value,
+            unit=unit, direction=direction, tolerance=tolerance,
+            scale=dict(scale or {}),
+            git_sha=_git_sha(),
+            platform_info=_platform_info(),
+            manifest_digest=manifest_digest,
+            created_wall_s=now,
+            created_iso=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "suite": self.suite,
+            "benchmark": self.benchmark,
+            "metric": self.metric,
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "tolerance": self.tolerance,
+            "scale": dict(self.scale),
+            "git_sha": self.git_sha,
+            "platform": dict(self.platform_info),
+            "manifest_digest": self.manifest_digest,
+            "created_wall_s": self.created_wall_s,
+            "created_iso": self.created_iso,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchRecord":
+        return cls(
+            suite=payload["suite"],
+            benchmark=payload["benchmark"],
+            metric=payload["metric"],
+            value=float(payload["value"]),
+            unit=payload.get("unit", ""),
+            direction=payload.get("direction", "higher_is_better"),
+            tolerance=payload.get("tolerance"),
+            scale=dict(payload.get("scale", {})),
+            git_sha=payload.get("git_sha"),
+            platform_info=dict(payload.get("platform", {})),
+            manifest_digest=payload.get("manifest_digest"),
+            created_wall_s=float(payload.get("created_wall_s", 0.0)),
+            created_iso=payload.get("created_iso", ""),
+            schema=int(payload.get("schema", BENCH_SCHEMA)))
+
+
+def ledger_path(directory, suite: str) -> Path:
+    """The canonical ``BENCH_<suite>.json`` path under *directory*."""
+    return Path(directory) / f"BENCH_{suite}.json"
+
+
+class BenchLedger:
+    """Append-only record store for one suite (``BENCH_<suite>.json``)."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> list[BenchRecord]:
+        """All records in file order (oldest first); missing file = []."""
+        if not self.path.exists():
+            return []
+        payload = json.loads(self.path.read_text(encoding="utf-8"))
+        if payload.get("schema") != BENCH_SCHEMA:
+            raise ValueError(
+                f"unsupported ledger schema in {self.path}: "
+                f"{payload.get('schema')!r}")
+        return [BenchRecord.from_dict(r) for r in payload.get("records", [])]
+
+    def append(self, records) -> list[BenchRecord]:
+        """Append *records*, preserving everything already on disk."""
+        existing = self.load()
+        merged = existing + list(records)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "records": [r.to_dict() for r in merged],
+        }
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return merged
+
+
+def load_ledgers(path) -> list[BenchRecord]:
+    """Load records from a ledger file or every ``BENCH_*.json`` in a dir."""
+    path = Path(path)
+    if path.is_dir():
+        records: list[BenchRecord] = []
+        for ledger in sorted(path.glob("BENCH_*.json")):
+            records.extend(BenchLedger(ledger).load())
+        return records
+    return BenchLedger(path).load()
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchComparison:
+    """One metric's baseline-vs-current verdict."""
+
+    suite: str
+    benchmark: str
+    metric: str
+    unit: str
+    direction: str
+    baseline: float | None
+    current: float | None
+    change: float | None          # signed; positive = better
+    tolerance: float
+    status: str                   # ok | regression | improvement | new | missing
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.suite, self.benchmark, self.metric)
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite, "benchmark": self.benchmark,
+            "metric": self.metric, "unit": self.unit,
+            "direction": self.direction, "baseline": self.baseline,
+            "current": self.current, "change": self.change,
+            "tolerance": self.tolerance, "status": self.status,
+        }
+
+
+def _latest_by_key(records) -> dict:
+    """Last record per (suite, benchmark, metric) — file order is append
+    order, so "last" is the newest run."""
+    latest: dict = {}
+    for record in records:
+        latest[record.key] = record
+    return latest
+
+
+def compare_records(baseline_records, current_records,
+                    tolerance: float | None = None) -> list[BenchComparison]:
+    """Compare the newest current record per metric against the newest
+    baseline record.
+
+    The effective tolerance per metric is the current record's own
+    ``tolerance`` when set, else the *tolerance* argument, else
+    :data:`DEFAULT_TOLERANCE`.
+    """
+    default = DEFAULT_TOLERANCE if tolerance is None else float(tolerance)
+    baseline = _latest_by_key(baseline_records)
+    current = _latest_by_key(current_records)
+    rows: list[BenchComparison] = []
+    for key in sorted(set(baseline) | set(current)):
+        base, cur = baseline.get(key), current.get(key)
+        record = cur or base
+        tol = record.tolerance if record.tolerance is not None else default
+        if cur is None:
+            rows.append(BenchComparison(
+                *key, unit=record.unit, direction=record.direction,
+                baseline=base.value, current=None, change=None,
+                tolerance=tol, status="missing"))
+            continue
+        if base is None:
+            rows.append(BenchComparison(
+                *key, unit=record.unit, direction=record.direction,
+                baseline=None, current=cur.value, change=None,
+                tolerance=tol, status="new"))
+            continue
+        sign = 1.0 if cur.direction == "higher_is_better" else -1.0
+        if base.value != 0.0:
+            change = sign * (cur.value - base.value) / abs(base.value)
+            breach = change < -tol
+        else:
+            # Relative change is undefined off a zero baseline (perfect
+            # miss rate, zero drops): apply the tolerance absolutely.
+            delta = sign * cur.value
+            change = None if cur.value == 0.0 else delta
+            breach = delta < -tol
+        if breach:
+            status = "regression"
+        elif change is not None and change > tol:
+            status = "improvement"
+        else:
+            status = "ok"
+        rows.append(BenchComparison(
+            *key, unit=cur.unit, direction=cur.direction,
+            baseline=base.value, current=cur.value, change=change,
+            tolerance=tol, status=status))
+    return rows
+
+
+def _fmt_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == 0 or 0.01 <= abs(value) < 1e6:
+        return f"{value:.4g}"
+    return f"{value:.3e}"
+
+
+def render_comparison(rows) -> str:
+    """A fixed-width trajectory table, regressions first."""
+    if not rows:
+        return "(no benchmark records to compare)"
+    order = {"regression": 0, "improvement": 1, "new": 2, "missing": 3,
+             "ok": 4}
+    rows = sorted(rows, key=lambda r: (order[r.status], r.key))
+    lines = [
+        f"  {'status':<11} {'change':>8}  {'baseline':>11} {'current':>11}"
+        f"  metric",
+    ]
+    for row in rows:
+        change = "-" if row.change is None else f"{row.change:+.1%}"
+        name = f"{row.suite}/{row.benchmark}/{row.metric}"
+        unit = f" [{row.unit}]" if row.unit else ""
+        lines.append(
+            f"  {row.status:<11} {change:>8}  {_fmt_value(row.baseline):>11}"
+            f" {_fmt_value(row.current):>11}  {name}{unit}")
+    n_reg = sum(1 for r in rows if r.status == "regression")
+    lines.append(
+        f"  {len(rows)} metrics compared, {n_reg} regression(s) beyond "
+        f"tolerance")
+    return "\n".join(lines)
+
+
+def render_trajectory(records, last: int = 10) -> str:
+    """Per-metric history of the newest *last* records in a ledger."""
+    if not records:
+        return "(empty ledger)"
+    by_key: dict = {}
+    for record in records:
+        by_key.setdefault(record.key, []).append(record)
+    lines = []
+    for key in sorted(by_key):
+        history = by_key[key][-last:]
+        unit = history[-1].unit
+        suffix = f" [{unit}]" if unit else ""
+        lines.append(f"  {'/'.join(key)}{suffix}:")
+        for record in history:
+            sha = (record.git_sha or "unknown")[:9]
+            lines.append(
+                f"    {record.created_iso or '(no date)':<21} {sha:<9} "
+                f"{_fmt_value(record.value)}")
+    return "\n".join(lines)

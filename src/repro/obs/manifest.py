@@ -21,7 +21,10 @@ from dataclasses import dataclass, field
 
 __all__ = ["RunManifest", "config_digest"]
 
-MANIFEST_SCHEMA = 1
+# Schema 2 adds duration_s (monotonic run duration) and the optional
+# profile / bench_ledger artifact references; schema-1 payloads load with
+# those fields defaulted to None.
+MANIFEST_SCHEMA = 2
 
 
 def config_digest(config: dict) -> str:
@@ -103,6 +106,14 @@ class RunManifest:
     trace_summary:
         A :func:`~repro.obs.trace.summarize_trace` payload, when tracing
         was on.
+    duration_s:
+        How long the run took, measured on the **monotonic** clock
+        (``time.perf_counter`` deltas) — never a wall-clock difference,
+        so NTP steps or DST cannot corrupt it.
+    profile / bench_ledger:
+        Optional artifact references (``{"path": ..., "kind": ...}``)
+        linking the run to the stage/sampling profile it emitted and to
+        the benchmark ledger its records were appended to.
     """
 
     command: str
@@ -117,6 +128,9 @@ class RunManifest:
     argv: list = field(default_factory=list)
     metrics: dict | None = None
     trace_summary: dict | None = None
+    duration_s: float | None = None
+    profile: dict | None = None
+    bench_ledger: dict | None = None
     schema: int = MANIFEST_SCHEMA
 
     @classmethod
@@ -124,7 +138,10 @@ class RunManifest:
                seeds: dict | None = None,
                argv: list | None = None,
                metrics: dict | None = None,
-               trace_summary: dict | None = None) -> "RunManifest":
+               trace_summary: dict | None = None,
+               duration_s: float | None = None,
+               profile: dict | None = None,
+               bench_ledger: dict | None = None) -> "RunManifest":
         """Build a manifest for the current process/environment."""
         now = time.time()
         return cls(
@@ -140,7 +157,10 @@ class RunManifest:
                                       time.gmtime(now)),
             argv=list(argv if argv is not None else sys.argv),
             metrics=metrics,
-            trace_summary=trace_summary)
+            trace_summary=trace_summary,
+            duration_s=duration_s,
+            profile=dict(profile) if profile else None,
+            bench_ledger=dict(bench_ledger) if bench_ledger else None)
 
     def to_dict(self) -> dict:
         """JSON-ready dict."""
@@ -158,6 +178,9 @@ class RunManifest:
             "argv": list(self.argv),
             "metrics": self.metrics,
             "trace_summary": self.trace_summary,
+            "duration_s": self.duration_s,
+            "profile": self.profile,
+            "bench_ledger": self.bench_ledger,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -180,6 +203,10 @@ class RunManifest:
             argv=list(payload.get("argv", [])),
             metrics=payload.get("metrics"),
             trace_summary=payload.get("trace_summary"),
+            duration_s=(None if payload.get("duration_s") is None
+                        else float(payload["duration_s"])),
+            profile=payload.get("profile"),
+            bench_ledger=payload.get("bench_ledger"),
             schema=int(payload.get("schema", MANIFEST_SCHEMA)))
 
     @classmethod

@@ -647,13 +647,47 @@ def load_trace(path) -> list[dict]:
     return list(payloads.values())
 
 
+def _child_union_s(parent: dict, kids: list[dict]) -> float:
+    """Wall time covered by *kids* inside *parent*, counted once.
+
+    Children of one span can overlap on the wall timeline — parallel
+    worker chunks all hang off the same ``campaign.plan`` span — so
+    summing their durations over-subtracts and drives the parent's
+    exclusive time to zero.  Clip every child interval to the parent and
+    merge overlaps before measuring.
+    """
+    start = float(parent.get("start_wall_s", 0.0))
+    end = start + float(parent.get("duration_s", 0.0))
+    intervals = []
+    for c in kids:
+        lo = max(float(c.get("start_wall_s", 0.0)), start)
+        hi = min(float(c.get("start_wall_s", 0.0))
+                 + float(c.get("duration_s", 0.0)), end)
+        if hi > lo:
+            intervals.append((lo, hi))
+    intervals.sort()
+    covered = 0.0
+    cur_lo = cur_hi = None
+    for lo, hi in intervals:
+        if cur_hi is None or lo > cur_hi:
+            if cur_hi is not None:
+                covered += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        elif hi > cur_hi:
+            cur_hi = hi
+    if cur_hi is not None:
+        covered += cur_hi - cur_lo
+    return covered
+
+
 def summarize_trace(spans) -> dict:
     """Aggregate statistics of a span set.
 
-    Returns a dict with per-name totals (count, total seconds, self
-    seconds = total minus direct children), the critical path of the
-    longest trace (greedy descent into the largest child), and every
-    span event named ``deadline_miss``.
+    Returns a dict with per-name totals (count, inclusive ``total_s``,
+    exclusive ``self_s`` = inclusive minus the wall-time union of direct
+    children), the critical path of the longest trace (greedy descent
+    into the largest child), and every span event named
+    ``deadline_miss``.
     """
     payloads = _span_payloads(spans)
     children: dict[str, list[dict]] = {}
@@ -664,8 +698,7 @@ def summarize_trace(spans) -> dict:
     by_name: dict[str, dict] = {}
     for p in payloads:
         dur = float(p.get("duration_s", 0.0))
-        child_s = sum(float(c.get("duration_s", 0.0))
-                      for c in children.get(p["span_id"], ()))
+        child_s = _child_union_s(p, children.get(p["span_id"], []))
         entry = by_name.setdefault(
             p["name"], {"count": 0, "total_s": 0.0, "self_s": 0.0})
         entry["count"] += 1
@@ -708,12 +741,14 @@ def render_trace_summary(summary: dict, top: int = 10) -> str:
     names = list(summary["by_name"].items())[:top]
     if names:
         width = max(len(n) for n, _ in names) + 2
-        lines.append(f"{'span':<{width}} {'count':>7} {'total':>10} "
-                     f"{'self':>10}")
+        total_self = sum(e["self_s"] for e in summary["by_name"].values())
+        lines.append(f"{'span':<{width}} {'count':>7} {'incl':>10} "
+                     f"{'self':>10} {'self%':>6}")
         for name, entry in names:
+            share = entry["self_s"] / total_self if total_self > 0 else 0.0
             lines.append(f"{name:<{width}} {entry['count']:>7} "
                          f"{entry['total_s']:>9.4f}s "
-                         f"{entry['self_s']:>9.4f}s")
+                         f"{entry['self_s']:>9.4f}s {share:>5.1%}")
     else:
         lines.append("(no spans)")
     lines += ["", "Critical path", "-------------"]

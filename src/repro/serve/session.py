@@ -45,7 +45,8 @@ from typing import Callable
 
 from repro.acquisition.stream import RssFrame
 from repro.core.pipeline import AirFinger
-from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (MetricsRegistry, Tracer, get_registry,
+                       get_stage_profile, get_tracer)
 
 __all__ = ["ServeConfig", "ServeSession", "SessionManager"]
 
@@ -283,6 +284,15 @@ class SessionManager:
         """Drain up to ``max_batch_frames`` queued frames; returns events."""
         if not session.queue:
             return []
+        prof = get_stage_profile()
+        if prof is not None:
+            # The engine's pipeline.block entries nest under this scope;
+            # its exclusive time is the queue-drain/bookkeeping glue.
+            with prof.scope("serve.dispatch"):
+                return self._traced_dispatch(session)
+        return self._traced_dispatch(session)
+
+    def _traced_dispatch(self, session: ServeSession) -> list:
         if self._tracer.active:
             with self._tracer.span("serve.dispatch",
                                    tenant=session.tenant,

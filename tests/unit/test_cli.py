@@ -311,3 +311,122 @@ class TestWorkflow:
         assert main(["evaluate", "--corpus", str(corpus),
                      "--protocol", "inconsistency"]) == 1
         assert "cannot run" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_wraps_a_command(self, capsys):
+        assert main(["profile", "--hz", "500", "--", "power"]) == 0
+        out = capsys.readouterr().out
+        assert "always-on" in out          # the wrapped command still ran
+        assert "profiled 'power'" in out
+        assert "stack samples" in out
+
+    def test_profile_writes_artifacts(self, tmp_path, capsys):
+        collapsed = tmp_path / "stacks.collapsed"
+        chrome = tmp_path / "trace.json"
+        report = tmp_path / "profile.json"
+        assert main(["profile", "--collapsed", str(collapsed),
+                     "--chrome", str(chrome), "--json", str(report),
+                     "--", "power"]) == 0
+        capsys.readouterr()
+        # 'power' can finish between sampler ticks, so the collapsed file
+        # may legitimately be empty — but every present line must parse
+        for line in collapsed.read_text().splitlines():
+            if not line:
+                continue
+            stack, weight = line.rsplit(" ", 1)
+            assert stack and int(weight) >= 1
+        assert "traceEvents" in json.loads(chrome.read_text())
+        payload = json.loads(report.read_text())
+        assert payload["command"] == ["power"]
+        assert payload["sampling"]["schema"] == 1
+        assert payload["duration_s"] > 0
+
+    def test_profile_requires_a_command(self, capsys):
+        assert main(["profile", "--"]) == 2
+        assert "no subcommand" in capsys.readouterr().err
+
+    def test_profile_refuses_to_nest(self, capsys):
+        assert main(["profile", "--", "profile", "--", "power"]) == 2
+        assert "cannot wrap" in capsys.readouterr().err
+
+    def test_profile_json_flag_on_generate(self, tmp_path, capsys):
+        from repro.obs import get_stage_profile
+
+        out = tmp_path / "c.npz"
+        profile = tmp_path / "stages.json"
+        assert main(["generate", "--users", "1", "--sessions", "1",
+                     "--reps", "1", "--out", str(out),
+                     "--profile-json", str(profile)]) == 0
+        assert get_stage_profile() is None  # restored after the run
+        assert "stage profile" in capsys.readouterr().out
+        payload = json.loads(profile.read_text())
+        stages = payload["stage_profile"]["stages"]
+        assert any(key.endswith("campaign.synthesize") for key in stages)
+        assert any(key.endswith("sampler.record_batch") for key in stages)
+
+
+class TestBenchCommand:
+    @pytest.fixture()
+    def ledgers(self, tmp_path):
+        from repro.obs import BenchLedger, BenchRecord, ledger_path
+
+        def write(directory, value):
+            directory.mkdir(exist_ok=True)
+            BenchLedger(ledger_path(directory, "block")).append([
+                BenchRecord.create("block", "replay", "frames_per_sec",
+                                   value, unit="frames/s")])
+            return directory
+
+        return {
+            "baseline": write(tmp_path / "baseline", 100.0),
+            "same": write(tmp_path / "same", 101.0),
+            "regressed": write(tmp_path / "regressed", 40.0),
+        }
+
+    def test_compare_identical_rerun_passes(self, ledgers, capsys):
+        assert main(["bench", "compare",
+                     "--baseline", str(ledgers["baseline"]),
+                     "--current", str(ledgers["same"])]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_compare_regression_fails_and_names_the_metric(self, ledgers,
+                                                           capsys):
+        assert main(["bench", "compare",
+                     "--baseline", str(ledgers["baseline"]),
+                     "--current", str(ledgers["regressed"])]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION: block/replay/frames_per_sec" in err
+
+    def test_compare_json_output(self, ledgers, capsys):
+        assert main(["bench", "compare",
+                     "--baseline", str(ledgers["baseline"]),
+                     "--current", str(ledgers["same"]),
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["status"] == "ok"
+
+    def test_compare_tolerance_override(self, ledgers, capsys):
+        # 101 -> 100 is a -1% drop: weather at the default 25% tolerance,
+        # a flagged regression when the gate is tightened to 0.1%
+        assert main(["bench", "compare",
+                     "--baseline", str(ledgers["same"]),
+                     "--current", str(ledgers["baseline"]),
+                     "--tolerance", "0.001"]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        assert main(["bench", "compare",
+                     "--baseline", str(ledgers["same"]),
+                     "--current", str(ledgers["baseline"])]) == 0
+
+    def test_show_renders_history(self, ledgers, capsys):
+        assert main(["bench", "show",
+                     str(ledgers["baseline"])]) == 0
+        out = capsys.readouterr().out
+        assert "block/replay/frames_per_sec" in out
+
+    def test_compare_missing_ledger_fails_cleanly(self, tmp_path, capsys):
+        assert main(["bench", "compare",
+                     "--baseline", str(tmp_path / "nope"),
+                     "--current", str(tmp_path / "nope2")]) == 1
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""Unit tests for repro.obs.ledger: records, persistence, comparison."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BenchLedger,
+    BenchRecord,
+    compare_records,
+    ledger_path,
+    load_ledgers,
+    render_comparison,
+    render_trajectory,
+)
+from repro.obs.ledger import BENCH_SCHEMA, DEFAULT_TOLERANCE
+
+
+def _rec(value, metric="frames_per_sec", suite="block", benchmark="replay",
+         **kwargs) -> BenchRecord:
+    return BenchRecord.create(suite, benchmark, metric, value, **kwargs)
+
+
+class TestBenchRecord:
+    def test_create_stamps_provenance(self):
+        rec = _rec(100.0, unit="frames/s", scale={"block_size": 4096})
+        assert rec.key == ("block", "replay", "frames_per_sec")
+        assert rec.schema == BENCH_SCHEMA
+        assert rec.scale == {"block_size": 4096}
+        assert rec.created_wall_s > 0 and rec.created_iso.endswith("Z")
+        assert "platform" in rec.platform_info
+
+    def test_round_trip(self):
+        rec = _rec(42.5, unit="x", direction="lower_is_better",
+                   tolerance=0.1, scale={"workers": 4})
+        restored = BenchRecord.from_dict(
+            json.loads(json.dumps(rec.to_dict())))
+        assert restored == rec
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="direction"):
+            _rec(1.0, direction="bigger_is_nicer")
+        with pytest.raises(ValueError, match="finite"):
+            _rec(float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            _rec(float("inf"))
+        with pytest.raises(ValueError, match="tolerance"):
+            _rec(1.0, tolerance=-0.5)
+
+
+class TestBenchLedger:
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert BenchLedger(tmp_path / "BENCH_none.json").load() == []
+
+    def test_append_preserves_existing_records(self, tmp_path):
+        path = ledger_path(tmp_path, "block")
+        assert path.name == "BENCH_block.json"
+        ledger = BenchLedger(path)
+        ledger.append([_rec(100.0)])
+        ledger.append([_rec(110.0)])
+        records = ledger.load()
+        assert [r.value for r in records] == [100.0, 110.0]
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": 999, "records": []}))
+        with pytest.raises(ValueError, match="schema"):
+            BenchLedger(path).load()
+
+    def test_load_ledgers_globs_directory(self, tmp_path):
+        BenchLedger(ledger_path(tmp_path, "block")).append([_rec(1.0)])
+        BenchLedger(ledger_path(tmp_path, "serve")).append(
+            [_rec(2.0, suite="serve")])
+        records = load_ledgers(tmp_path)
+        assert {r.suite for r in records} == {"block", "serve"}
+        # a single-file argument loads just that ledger
+        only = load_ledgers(ledger_path(tmp_path, "serve"))
+        assert [r.suite for r in only] == ["serve"]
+
+
+class TestCompareRecords:
+    def test_identical_rerun_is_all_ok(self):
+        base = [_rec(100.0), _rec(5.0, metric="speedup")]
+        rows = compare_records(base, [_rec(100.0),
+                                      _rec(5.0, metric="speedup")])
+        assert [r.status for r in rows] == ["ok", "ok"]
+        assert all(r.change == 0.0 for r in rows)
+
+    def test_2x_regression_flags(self):
+        rows = compare_records([_rec(100.0)], [_rec(50.0)])
+        (row,) = rows
+        assert row.status == "regression"
+        assert row.change == pytest.approx(-0.5)
+
+    def test_noise_within_default_tolerance_passes(self):
+        (row,) = compare_records([_rec(100.0)], [_rec(97.0)])
+        assert row.status == "ok"
+        assert row.tolerance == DEFAULT_TOLERANCE
+
+    def test_lower_is_better_inverts_the_sign(self):
+        base = [_rec(10.0, metric="p99_ms", direction="lower_is_better")]
+        (worse,) = compare_records(
+            base, [_rec(20.0, metric="p99_ms",
+                        direction="lower_is_better")])
+        assert worse.status == "regression"
+        assert worse.change == pytest.approx(-1.0)
+        (better,) = compare_records(
+            base, [_rec(5.0, metric="p99_ms",
+                        direction="lower_is_better")])
+        assert better.status == "improvement"
+
+    def test_record_tolerance_beats_call_tolerance(self):
+        base = [_rec(100.0, tolerance=0.5)]
+        (row,) = compare_records(base, [_rec(60.0, tolerance=0.5)],
+                                 tolerance=0.01)
+        assert row.status == "ok" and row.tolerance == 0.5
+
+    def test_call_tolerance_beats_default(self):
+        (row,) = compare_records([_rec(100.0)], [_rec(97.0)],
+                                 tolerance=0.01)
+        assert row.status == "regression"
+
+    def test_new_and_missing_statuses(self):
+        rows = compare_records([_rec(1.0, metric="gone")],
+                               [_rec(2.0, metric="fresh")])
+        by_metric = {r.metric: r for r in rows}
+        assert by_metric["gone"].status == "missing"
+        assert by_metric["gone"].current is None
+        assert by_metric["fresh"].status == "new"
+        assert by_metric["fresh"].baseline is None
+
+    def test_zero_baseline_applies_tolerance_absolutely(self):
+        base = [_rec(0.0, metric="miss_rate", direction="lower_is_better",
+                     tolerance=0.01)]
+        (still,) = compare_records(base, [
+            _rec(0.0, metric="miss_rate", direction="lower_is_better",
+                 tolerance=0.01)])
+        assert still.status == "ok" and still.change is None
+        (worse,) = compare_records(base, [
+            _rec(0.05, metric="miss_rate", direction="lower_is_better",
+                 tolerance=0.01)])
+        assert worse.status == "regression"
+
+    def test_newest_record_per_key_wins(self):
+        baseline = [_rec(50.0), _rec(100.0)]   # append order: 100 is newest
+        current = [_rec(90.0), _rec(95.0)]
+        (row,) = compare_records(baseline, current)
+        assert row.baseline == 100.0 and row.current == 95.0
+
+    def test_render_comparison_lists_regressions_first(self):
+        rows = compare_records(
+            [_rec(100.0), _rec(10.0, metric="speedup")],
+            [_rec(10.0), _rec(10.0, metric="speedup")])
+        out = render_comparison(rows)
+        lines = out.splitlines()
+        assert "regression" in lines[1]
+        assert "1 regression(s)" in lines[-1]
+        assert render_comparison([]) == "(no benchmark records to compare)"
+
+    def test_render_trajectory_smoke(self):
+        out = render_trajectory([_rec(1.0), _rec(2.0)])
+        assert "block/replay/frames_per_sec" in out
+        assert render_trajectory([]) == "(empty ledger)"

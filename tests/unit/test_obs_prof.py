@@ -1,0 +1,303 @@
+"""Unit tests for repro.obs.prof: stage attribution + stack sampling."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    SamplingProfiler,
+    StageProfile,
+    get_stage_profile,
+    render_stage_profile,
+    set_stage_profile,
+    stage_profiling,
+)
+from repro.obs.prof import PROFILE_SCHEMA
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in; tests advance it explicitly."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def profile(clock):
+    return StageProfile(clock=clock)
+
+
+class TestStageProfileScopes:
+    def test_nested_scopes_split_exclusive_time(self, profile, clock):
+        with profile.scope("outer"):
+            clock.advance(1.0)
+            with profile.scope("inner"):
+                clock.advance(3.0)
+            clock.advance(2.0)
+        stats = profile.stats()
+        outer, inner = stats[("outer",)], stats[("outer", "inner")]
+        assert outer.count == 1 and inner.count == 1
+        assert outer.total_s == pytest.approx(6.0)
+        assert outer.self_s == pytest.approx(3.0)  # 6 total - 3 nested
+        assert inner.total_s == inner.self_s == pytest.approx(3.0)
+
+    def test_add_charges_the_enclosing_scope(self, profile, clock):
+        with profile.scope("outer"):
+            clock.advance(5.0)
+            profile.add("io", 2.0, count=7)
+        stats = profile.stats()
+        assert stats[("outer",)].self_s == pytest.approx(3.0)
+        assert stats[("outer", "io")].count == 7
+        assert stats[("outer", "io")].self_s == pytest.approx(2.0)
+
+    def test_sibling_scopes_share_one_path(self, profile, clock):
+        for _ in range(3):
+            with profile.scope("step"):
+                clock.advance(2.0)
+        stats = profile.stats()
+        assert list(stats) == [("step",)]
+        assert stats[("step",)].count == 3
+        assert stats[("step",)].total_s == pytest.approx(6.0)
+
+    def test_overrun_children_clamp_self_time_at_zero(self, profile, clock):
+        with profile.scope("outer"):
+            clock.advance(1.0)
+            profile.add("measured", 5.0)  # external measurement > scope
+        assert profile.stats()[("outer",)].self_s == 0.0
+
+    def test_recursive_scope_keeps_distinct_paths(self, profile, clock):
+        with profile.scope("walk"):
+            clock.advance(1.0)
+            with profile.scope("walk"):
+                clock.advance(1.0)
+        stats = profile.stats()
+        assert stats[("walk",)].self_s == pytest.approx(1.0)
+        assert stats[("walk", "walk")].self_s == pytest.approx(1.0)
+
+
+class TestStageProfileFrames:
+    def test_add_frame_attributes_residual_to_root(self, profile):
+        profile.add_frame("pipeline.frame", 10.0, {"a": 4.0, "b": 3.0})
+        stats = profile.stats()
+        assert stats[("pipeline.frame",)].self_s == pytest.approx(3.0)
+        assert stats[("pipeline.frame",)].total_s == pytest.approx(10.0)
+        assert stats[("pipeline.frame", "a")].self_s == pytest.approx(4.0)
+        assert stats[("pipeline.frame", "b")].self_s == pytest.approx(3.0)
+
+    def test_add_frame_clamps_negative_residual(self, profile):
+        profile.add_frame("root", 1.0, {"stage": 2.0})
+        assert profile.stats()[("root",)].self_s == 0.0
+
+    def test_frames_scale_counts_not_times(self, profile):
+        profile.add_frame("pipeline.block", 2.0, {"seg": 1.0}, frames=128)
+        stats = profile.stats()
+        assert stats[("pipeline.block",)].count == 128
+        assert stats[("pipeline.block",)].total_s == pytest.approx(2.0)
+        assert stats[("pipeline.block", "seg")].count == 128
+
+    def test_add_frame_nests_under_active_scope(self, profile, clock):
+        with profile.scope("serve.dispatch"):
+            clock.advance(4.0)
+            profile.add_frame("pipeline.frame", 3.0, {"seg": 1.0})
+        stats = profile.stats()
+        assert ("serve.dispatch", "pipeline.frame", "seg") in stats
+        # the frame's 3 s total is charged against dispatch's self time
+        assert stats[("serve.dispatch",)].self_s == pytest.approx(1.0)
+
+
+class TestStageProfileMergeAndExport:
+    @staticmethod
+    def _sample(seed: float) -> StageProfile:
+        p = StageProfile()
+        p.add_frame("root", 2.0 * seed, {"a": seed, "b": seed / 2})
+        p.add("extra", seed)
+        return p
+
+    def test_merge_is_associative(self):
+        a, b, c = (self._sample(s) for s in (1.0, 2.0, 4.0))
+        left = StageProfile().merge(a).merge(b).merge(c)
+        bc = StageProfile().merge(b).merge(c)
+        right = StageProfile().merge(a).merge(bc)
+        assert left.to_dict() == right.to_dict()
+
+    def test_merge_accepts_dict_payloads(self):
+        merged = StageProfile().merge(self._sample(1.0).to_dict())
+        assert merged.stats()[("root", "a")].self_s == pytest.approx(1.0)
+
+    def test_merge_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            StageProfile().merge({"schema": 99, "stages": {}})
+
+    def test_round_trip(self):
+        original = self._sample(3.0)
+        restored = StageProfile.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+
+    def test_collapsed_emits_self_microseconds(self, profile):
+        profile.add_frame("root", 2.0, {"a": 2.0})  # root self == 0
+        lines = profile.collapsed().splitlines()
+        assert lines == ["root;a 2000000"]  # zero-self root omitted
+
+    def test_stage_names_may_not_contain_separator(self, profile):
+        with pytest.raises(ValueError):
+            profile.add("bad;name", 1.0)
+        with pytest.raises(ValueError):
+            profile.add_frame("root", 1.0, {"oops;": 0.5})
+        with pytest.raises(ValueError):
+            with profile.scope(""):
+                pass
+
+    def test_render_smoke(self, profile):
+        assert "no stages" in render_stage_profile(profile)
+        profile.add_frame("root", 2.0, {"a": 1.0})
+        out = render_stage_profile(profile)
+        assert "root" in out and "excl s" in out
+
+    def test_chrome_events_cover_all_paths(self, profile):
+        profile.add_frame("root", 4.0, {"a": 1.0, "b": 2.0})
+        events = profile.chrome_events()
+        assert {e["args"]["path"] for e in events} == {"root", "root;a",
+                                                       "root;b"}
+        assert all(e["ph"] == "X" for e in events)
+
+
+class TestActiveProfileGlobal:
+    def test_off_by_default(self):
+        assert get_stage_profile() is None
+
+    def test_stage_profiling_installs_and_restores(self):
+        outer = StageProfile()
+        previous = set_stage_profile(outer)
+        try:
+            with stage_profiling() as inner:
+                assert get_stage_profile() is inner
+                assert inner is not outer
+            assert get_stage_profile() is outer
+        finally:
+            set_stage_profile(previous)
+
+    def test_stage_profiling_accepts_existing_profile(self):
+        mine = StageProfile()
+        with stage_profiling(mine) as active:
+            assert active is mine
+        assert get_stage_profile() is None
+
+
+def _burn(depth: int, profiler: SamplingProfiler) -> int:
+    """A recognizable recursive frame for the sampler to capture."""
+    if depth <= 0:
+        return profiler.sample_once()
+    return _burn(depth - 1, profiler)
+
+
+class TestSamplingProfiler:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+    def test_sample_once_records_the_caller(self):
+        profiler = SamplingProfiler()
+        recorded = profiler.sample_once()
+        assert recorded >= 1
+        own = [stack for stack in profiler.stacks()
+               if any("test_sample_once_records_the_caller" in label
+                      for label in stack)]
+        assert own, "the calling test frame was not captured"
+
+    def test_direct_recursion_collapses_to_one_entry(self):
+        profiler = SamplingProfiler(max_depth=512)
+        assert _burn(40, profiler) >= 1
+        (stack,) = [s for s in profiler.stacks()
+                    if any(":_burn" in label for label in s)]
+        assert sum(1 for label in stack if label.endswith(":_burn")) == 1
+
+    def test_max_depth_truncates_with_marker(self):
+        profiler = SamplingProfiler(max_depth=2)
+        profiler.sample_once()
+        for stack in profiler.stacks():
+            assert len(stack) <= 3  # 2 frames + the marker
+            if len(stack) == 3:
+                assert stack[0] == "<truncated>"
+
+    def test_overflow_bucket_keeps_totals_exact(self):
+        profiler = SamplingProfiler(max_stacks=2)
+        with profiler._lock:
+            profiler._record(("a",))
+            profiler._record(("b",))
+            profiler._record(("c",))
+            profiler._record(("d",))
+            profiler._record(("a",))
+        stacks = profiler.stacks()
+        assert stacks[("a",)] == 2 and stacks[("b",)] == 1
+        assert stacks[("<overflow>",)] == 2
+        assert profiler.n_overflow == 2
+        assert sum(stacks.values()) == 5
+
+    def test_pause_resume_boundaries(self):
+        profiler = SamplingProfiler()
+        profiler.pause()
+        assert profiler.paused
+        assert profiler.sample_once() == 0
+        assert profiler.stacks() == {}
+        assert profiler.n_ticks == 0
+        profiler.resume()
+        assert profiler.sample_once() >= 1
+        assert profiler.n_ticks == 1
+
+    def test_background_thread_lifecycle(self):
+        profiler = SamplingProfiler(hz=200.0)
+        assert not profiler.running
+        with profiler:
+            assert profiler.running
+            with pytest.raises(RuntimeError):
+                profiler.start()
+            deadline = threading.Event()
+            for _ in range(200):
+                if profiler.n_samples > 0:
+                    break
+                deadline.wait(0.01)
+        assert not profiler.running
+        assert profiler.n_samples > 0
+        # the sampler thread never samples itself
+        assert not any("repro-prof-sampler" in label
+                       for stack in profiler.stacks() for label in stack
+                       if ":_loop" in label)
+
+    def test_merge_and_round_trip(self):
+        a, b = SamplingProfiler(), SamplingProfiler()
+        a.sample_once()
+        b.sample_once()
+        payload_a = a.to_dict()
+        assert payload_a["schema"] == PROFILE_SCHEMA
+        merged = SamplingProfiler.from_dict(payload_a).merge(b.to_dict())
+        assert merged.n_samples == a.n_samples + b.n_samples
+        assert merged.n_ticks == a.n_ticks + b.n_ticks
+        total = sum(merged.stacks().values())
+        assert total == sum(a.stacks().values()) + sum(b.stacks().values())
+
+    def test_merge_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            SamplingProfiler().merge({"schema": 0, "stacks": {}})
+
+    def test_collapsed_and_chrome_exports(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        collapsed = profiler.collapsed()
+        assert collapsed
+        for line in collapsed.splitlines():
+            stack, weight = line.rsplit(" ", 1)
+            assert stack and int(weight) >= 1
+        events = profiler.chrome_events()
+        assert len(events) == profiler.n_samples
+        assert all(e["ph"] == "i" for e in events)

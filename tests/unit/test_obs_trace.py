@@ -251,6 +251,35 @@ class TestSummary:
         assert miss["stage"] == "segmentation"
         assert miss["frame_index"] == 3
 
+    @staticmethod
+    def _span(name, span_id, parent_id, start, dur):
+        return {"name": name, "span_id": span_id, "parent_id": parent_id,
+                "trace_id": "t1", "start_wall_s": start, "duration_s": dur}
+
+    def test_overlapping_children_subtract_their_union_once(self):
+        # Parallel worker chunks overlap on the wall timeline under one
+        # plan span; naive duration sums would over-subtract (17 s of
+        # children inside a 10 s parent) and zero the parent out.
+        spans = [
+            self._span("plan", "p", None, 0.0, 10.0),
+            self._span("chunk", "a", "p", 1.0, 3.0),   # 1..4
+            self._span("chunk", "b", "p", 3.0, 3.0),   # 3..6 (overlaps a)
+            self._span("chunk", "c", "p", 8.0, 20.0),  # clipped to 8..10
+        ]
+        by_name = summarize_trace(spans)["by_name"]
+        # union inside the parent: [1,6) + [8,10) = 7 s -> self 3 s
+        assert by_name["plan"]["self_s"] == pytest.approx(3.0)
+        assert by_name["plan"]["total_s"] == pytest.approx(10.0)
+        # the chunks keep their full (unclipped) inclusive durations
+        assert by_name["chunk"]["total_s"] == pytest.approx(26.0)
+        assert by_name["chunk"]["self_s"] == pytest.approx(26.0)
+
+    def test_render_reports_inclusive_and_exclusive_columns(self, sample_spans):
+        text = render_trace_summary(summarize_trace(sample_spans))
+        header = next(l for l in text.splitlines() if "span" in l
+                      and "incl" in l)
+        assert "self" in header and "self%" in header
+
     def test_render_mentions_key_sections(self, sample_spans):
         text = render_trace_summary(summarize_trace(sample_spans))
         assert "Top spans by self-time" in text
@@ -298,3 +327,27 @@ class TestRunManifest:
         manifest = RunManifest.create("evaluate", {"protocol": "overall"})
         manifest.config["protocol"] = "diversity"
         assert not manifest.verify_digest()
+
+    def test_duration_and_artifact_refs_round_trip(self, tmp_path):
+        manifest = RunManifest.create(
+            "generate", {"seed": 2020},
+            duration_s=12.5,
+            profile={"path": "profile.json", "kind": "stage_profile"},
+            bench_ledger={"path": "BENCH_campaign.json"})
+        path = tmp_path / "run.manifest.json"
+        manifest.write(path)
+        clone = RunManifest.load(path)
+        assert clone.duration_s == 12.5
+        assert clone.profile == {"path": "profile.json",
+                                 "kind": "stage_profile"}
+        assert clone.bench_ledger == {"path": "BENCH_campaign.json"}
+        assert clone.verify_digest()
+
+    def test_new_fields_default_to_none_on_old_payloads(self):
+        manifest = RunManifest.create("evaluate", {"protocol": "overall"})
+        payload = manifest.to_dict()
+        for legacy in ("duration_s", "profile", "bench_ledger"):
+            payload.pop(legacy, None)
+        clone = RunManifest.from_dict(payload)
+        assert clone.duration_s is None
+        assert clone.profile is None and clone.bench_ledger is None
