@@ -35,6 +35,12 @@ def pytest_addoption(parser):
         help="write the serving load report JSON "
              "(benchmarks/test_serve_throughput.py) to this path")
     parser.addoption(
+        "--scale-report", type=Path, default=None,
+        help="write the scale-out serving report JSON "
+             "(benchmarks/test_serve_scale.py) to this path; the merged "
+             "fleet telemetry timeline lands next to it as "
+             "serve-scale-telemetry.jsonl")
+    parser.addoption(
         "--bench-report", type=Path, default=None,
         help="directory where every benchmark suite appends its "
              "BenchRecord measurements as BENCH_<suite>.json ledgers "

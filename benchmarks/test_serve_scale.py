@@ -1,0 +1,475 @@
+"""Scale-out serving benchmark: sharded wire fleet + 1 000-session soak.
+
+Two gates cover the scale-out serving claims, split by what this box can
+physically measure:
+
+**Wire fleet** (``test_sharded_wire_fleet``) — a real
+:class:`~repro.serve.shard.ShardCluster`: forked worker processes behind
+shard-by-tenant routing, driven by the loadgen fleet over actual loopback
+sockets, with the merged metrics pulled through the
+:class:`~repro.serve.shard.FleetControlServer`.  Gates: zero
+backpressure drops, every device's wire events ``repr``-identical to an
+in-process replay (zero lost events), and the *merged* snapshot
+accounting for every frame each shard served.
+
+**1 000-session soak** (``test_soak_1k_sessions_slo``) — the "1k+
+concurrent 100 Hz sessions across >= 4 shards, >= 99 % of frames inside
+the 50 ms SLO" claim.  A CI container with one core cannot run 1 000
+real-time socket sessions, so this gate is honest about its clock: each
+of the >= 4 worker *processes* drives its share of sessions through a
+real :class:`~repro.serve.session.SessionManager` under a **CPU-time
+virtual clock** (``clock() = offset + time.process_time()``).  Frames
+are stamped at their scheduled 100 Hz arrival instants and dispatch time
+advances with the CPU actually burned, so the measured
+enqueue→processed latency is exactly the queueing + processing delay the
+shard would exhibit on a dedicated core — scheduler timeslicing between
+the co-hosted workers is invisible to ``process_time`` and does not
+pollute the measurement.  What this deliberately does *not* measure is
+socket I/O and event-loop overhead; the wire-fleet gate above covers
+those on the same code path.
+
+Scale knobs (env): ``REPRO_SCALE_SESSIONS`` / ``REPRO_SCALE_SHARDS`` /
+``REPRO_SCALE_DURATION`` for the wire fleet, ``REPRO_SOAK_SESSIONS`` /
+``REPRO_SOAK_SHARDS`` / ``REPRO_SOAK_DURATION`` for the soak.  Results
+land in the ``serve_scale`` ledger (``--bench-report``) and the combined
+JSON report + merged-telemetry timeline via ``--scale-report``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import AirFinger
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import (
+    LoadConfig,
+    ServeClient,
+    ServeConfig,
+    SessionManager,
+    ShardCluster,
+    ShardConfig,
+)
+from repro.serve.loadgen import make_device_frames, run_load
+
+from conftest import print_header
+
+# --- wire fleet: real sockets, real processes, real time ---------------
+WIRE_SESSIONS = int(os.environ.get("REPRO_SCALE_SESSIONS", "64"))
+WIRE_SHARDS = int(os.environ.get("REPRO_SCALE_SHARDS", "4"))
+WIRE_DURATION_S = float(os.environ.get("REPRO_SCALE_DURATION", "4.0"))
+WIRE_TENANTS = max(8, WIRE_SHARDS * 2)
+
+# --- soak: virtual clock, CPU-time latency, >= 1k sessions -------------
+# One dedicated core sustains ~125 cold-stream sessions at 100 Hz
+# (first-pass pipeline cost ~80 us/frame), so the 1k-session default
+# spreads across 16 shards (~64 sessions each, ~50% core utilization) —
+# the same shape a real deployment would pick for SLO headroom.
+SOAK_SESSIONS = int(os.environ.get("REPRO_SOAK_SESSIONS", "1024"))
+SOAK_SHARDS = int(os.environ.get("REPRO_SOAK_SHARDS", "16"))
+SOAK_DURATION_S = float(os.environ.get("REPRO_SOAK_DURATION", "4.0"))
+
+RATE_HZ = 100.0
+FRAMES_PER_SEND = 10
+SEED = 2020
+SLO_MISS_GATE = 0.01
+
+
+def _reference(frames) -> list[str]:
+    engine = AirFinger(metrics=MetricsRegistry(), tracer=Tracer(sample=0.0))
+    return [repr(e) for e in engine.feed_frames(frames)]
+
+
+# ----------------------------------------------------------------------
+# part A: the sharded wire fleet
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def wire_result(request):
+    """One sharded load run shared by the wire-gate assertions."""
+    serve_config = ServeConfig()
+    shard_config = ShardConfig(shards=WIRE_SHARDS, serve=serve_config,
+                               telemetry_interval_s=0.5)
+    load_config = LoadConfig(sessions=WIRE_SESSIONS,
+                             duration_s=WIRE_DURATION_S, rate_hz=RATE_HZ,
+                             frames_per_send=FRAMES_PER_SEND,
+                             tenants=WIRE_TENANTS, seed=SEED)
+    telemetry_path = _telemetry_path(request)
+
+    async def run():
+        async with ShardCluster(shard_config) as cluster:
+            report, events = await run_load(
+                load_config, port=cluster.control.port,
+                latency_slo_s=serve_config.latency_slo_s,
+                return_events=True, shards=cluster.shard_listing,
+                telemetry_path=telemetry_path)
+            # the merged fleet counters, straight from the control plane
+            ctl = await ServeClient.connect(
+                load_config.host, cluster.control.port, "probe",
+                "counters", metrics=MetricsRegistry())
+            stats = await ctl.stats()
+            await ctl.bye()
+            counters = stats["metrics"]["counters"]
+            return report, events, cluster.shard_listing, counters
+
+    report, device_events, listing, counters = asyncio.run(run())
+    frames = make_device_frames(load_config)
+    return report, device_events, listing, counters, _reference(frames)
+
+
+def _telemetry_path(request) -> Path | None:
+    """Merged-telemetry JSONL lands next to the --scale-report JSON."""
+    report_path = request.config.getoption("--scale-report")
+    if report_path is None:
+        return None
+    return report_path.with_name("serve-scale-telemetry.jsonl")
+
+
+def test_sharded_wire_fleet(wire_result, request, bench_report):
+    report, device_events, listing, counters, reference = wire_result
+    print_header(
+        f"Sharded serving — {WIRE_SESSIONS} devices x {WIRE_SHARDS} "
+        f"shard processes",
+        "the sharded front-end must serve the fleet with zero lost "
+        "events and one merged metrics plane")
+
+    print(f"\nshards              {len(listing)} "
+          f"(ports {[s['port'] for s in listing]})")
+    print(f"sessions            {report.sessions} across "
+          f"{report.tenants} tenants")
+    print(f"frames sent         {report.frames_sent}")
+    print(f"events received     {report.events_received}")
+    print(f"backpressure drops  {report.backpressure_drops:.0f}")
+    print(f"deadline misses     {report.deadline_misses:.0f} "
+          f"({report.deadline_miss_rate:.3%})")
+    print(f"late send batches   {report.late_batches} "
+          f"(max lag {report.max_send_lag_s * 1e3:.1f} ms)")
+    print(f"wall / cpu (parent) {report.wall_s:.2f}s / {report.cpu_s:.2f}s")
+
+    scale = {"sessions": WIRE_SESSIONS, "shards": WIRE_SHARDS,
+             "tenants": WIRE_TENANTS, "duration_s": WIRE_DURATION_S,
+             "rate_hz": RATE_HZ, "seed": SEED}
+    bench_report.record(
+        "serve_scale", "wire_fleet", "frames_sent",
+        float(report.frames_sent), unit="frames", scale=scale)
+    # wall-clock measurement on a timeshared CI core: every co-hosted
+    # process's scheduling noise lands in this number, hence the wide
+    # relative tolerance (the SLO claim itself is gated by the soak,
+    # whose CPU-time clock is immune to timeslicing)
+    bench_report.record(
+        "serve_scale", "wire_fleet", "deadline_miss_rate",
+        report.deadline_miss_rate, unit="fraction",
+        direction="lower_is_better", tolerance=5.0, scale=scale)
+    bench_report.record(
+        "serve_scale", "wire_fleet", "late_batch_rate",
+        report.late_batches / max(1, report.sessions), unit="batches",
+        direction="lower_is_better", tolerance=10.0, scale=scale)
+
+    # gate 1: the fleet is really sharded and really ran
+    assert len(listing) == WIRE_SHARDS
+    assert report.sessions >= WIRE_SESSIONS
+
+    # gate 2: zero lost events — wire == replay for every device, and
+    # nothing was dropped under backpressure anywhere in the fleet
+    assert report.backpressure_drops == 0
+    assert len(device_events) == report.sessions
+    for device, events in enumerate(device_events):
+        assert [repr(e) for e in events] == reference, (
+            f"device {device}: wire events diverged from the in-process "
+            f"replay")
+
+    # gate 3: the MERGED snapshot saw every frame — the per-tenant
+    # counters from all worker registries sum to exactly what the
+    # loadgen offered, proving the control plane aggregates the fleet
+    # rather than any single shard
+    total = sum(v for k, v in counters.items()
+                if k.startswith('serve.frames{tenant="loadgen-'))
+    assert total == report.frames_sent, (
+        f"merged fleet counters saw {total} frames, loadgen sent "
+        f"{report.frames_sent}")
+
+
+# ----------------------------------------------------------------------
+# part B: the 1 000-session soak under a CPU-time virtual clock
+# ----------------------------------------------------------------------
+class CpuVirtualClock:
+    """Monotonic clock that advances with this process's CPU time.
+
+    ``clock() = offset + process_time()``: dispatch work moves time
+    forward by exactly the CPU it burns, :meth:`advance_to` skips idle
+    gaps forward (never backward), and :meth:`freeze` pins the reading
+    while a frame batch is stamped at its scheduled arrival instant.
+    Under it, ``serve.frame_latency_seconds`` measures dedicated-core
+    queueing+processing latency regardless of how many sibling worker
+    processes timeshare the physical core.
+    """
+
+    __slots__ = ("offset", "_frozen")
+
+    def __init__(self) -> None:
+        self.offset = 0.0
+        self._frozen: float | None = None
+
+    def __call__(self) -> float:
+        if self._frozen is not None:
+            return self._frozen
+        return self.offset + time.process_time()
+
+    def freeze(self, instant_s: float) -> None:
+        self._frozen = instant_s
+
+    def thaw(self) -> None:
+        self._frozen = None
+
+    def advance_to(self, instant_s: float) -> None:
+        now = self.offset + time.process_time()
+        if instant_s > now:
+            self.offset += instant_s - now
+
+
+def _soak_worker(index: int, n_sessions: int, frames, reference,
+                 conn) -> None:
+    """One shard worker: *n_sessions* virtual devices on one manager.
+
+    Arrivals follow the loadgen shape — ``FRAMES_PER_SEND``-frame batches
+    every ``FRAMES_PER_SEND / RATE_HZ`` seconds, sessions phase-staggered
+    across one period — and the dispatcher always drains the session
+    holding the oldest queued frame (global FIFO), the same policy a
+    single-threaded shard event loop converges to.
+    """
+    clock = CpuVirtualClock()
+    registry = MetricsRegistry()
+    manager = SessionManager(
+        ServeConfig(),
+        engine_factory=lambda: AirFinger(metrics=registry,
+                                         tracer=Tracer(sample=0.0)),
+        metrics=registry, tracer=Tracer(sample=0.0), clock=clock)
+    sessions = [manager.open("soak", f"w{index}d{s:04d}")
+                for s in range(n_sessions)]
+    batches = [frames[i:i + FRAMES_PER_SEND]
+               for i in range(0, len(frames), FRAMES_PER_SEND)]
+    period_s = FRAMES_PER_SEND / RATE_HZ
+    # same phase stagger as the loadgen fleet: every session replays the
+    # SAME capture, so a lock-stepped schedule would land each expensive
+    # gesture-segment region on all sessions at once and measure a
+    # thundering herd instead of steady-state serving
+    stagger_s = min(1.0, SOAK_DURATION_S / 4)
+    arrivals = sorted(
+        ((s / n_sessions) * stagger_s + k * period_s, s, k)
+        for s in range(n_sessions) for k in range(len(batches)))
+    events: list[list] = [[] for _ in range(n_sessions)]
+
+    # warm the cold paths before the measured window: the first replay
+    # of the capture faults in every code/data page the pipeline's
+    # gesture-segment machinery touches (this is a forked child — the
+    # inherited pages are copy-on-write), and those page-fault bursts
+    # are setup cost, not steady-state serving latency.  A throwaway
+    # manager keeps the warmup out of the measured registry.
+    warm_registry = MetricsRegistry()
+    warm_manager = SessionManager(
+        ServeConfig(),
+        engine_factory=lambda: AirFinger(metrics=warm_registry,
+                                         tracer=Tracer(sample=0.0)),
+        metrics=warm_registry, tracer=Tracer(sample=0.0))
+    warm = warm_manager.open("warmup", "w")
+    warm_manager.enqueue(warm, frames)
+    while warm.pending:
+        warm_manager.dispatch(warm)
+    warm_manager.close(warm)
+
+    # session/engine construction and warmup are open() cost, not
+    # steady-state serving — re-zero the virtual clock so the soak
+    # starts at t=0 instead of inheriting the setup CPU as backlog
+    clock.offset = -time.process_time()
+    cpu_start = time.process_time()
+    i = 0
+    while True:
+        now = clock()
+        # absorb every arrival due by now, stamped at its true instant
+        while i < len(arrivals) and arrivals[i][0] <= now:
+            instant_s, s, k = arrivals[i]
+            i += 1
+            clock.freeze(instant_s)
+            manager.enqueue(sessions[s], batches[k])
+            clock.thaw()
+        # serve the globally oldest queued frame next
+        oldest = None
+        oldest_s = float("inf")
+        for s in range(n_sessions):
+            queue = sessions[s].queue
+            if queue and queue[0][1] < oldest_s:
+                oldest_s = queue[0][1]
+                oldest = s
+        if oldest is not None:
+            events[oldest].extend(manager.dispatch(sessions[oldest]))
+        elif i < len(arrivals):
+            clock.advance_to(arrivals[i][0])
+        else:
+            break
+    for s in range(n_sessions):
+        events[s].extend(manager.close(sessions[s]))
+    cpu_s = time.process_time() - cpu_start
+
+    snapshot = registry.snapshot()
+    latency_key = "serve.frame_latency_seconds"
+    has_latency = latency_key in snapshot.histograms
+    fidelity_failures = sum(
+        1 for s in range(n_sessions)
+        if [repr(e) for e in events[s]] != reference)
+    conn.send({
+        "worker": index,
+        "sessions": n_sessions,
+        "frames": len(frames) * n_sessions,
+        "events": sum(len(e) for e in events),
+        "misses": snapshot.counters.get("serve.deadline_miss", 0.0),
+        "drops": sum(v for k, v in snapshot.counters.items()
+                     if k.startswith("serve.backpressure_drops")),
+        "p50_s": (snapshot.quantile(latency_key, 0.50)
+                  if has_latency else None),
+        "p99_s": (snapshot.quantile(latency_key, 0.99)
+                  if has_latency else None),
+        "cpu_s": cpu_s,
+        "virtual_s": clock(),
+        "fidelity_failures": fidelity_failures,
+    })
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def soak_result():
+    """Fork SOAK_SHARDS workers; each soaks its share of the sessions."""
+    load_config = LoadConfig(sessions=1, duration_s=SOAK_DURATION_S,
+                             rate_hz=RATE_HZ,
+                             frames_per_send=FRAMES_PER_SEND, seed=SEED)
+    frames = make_device_frames(load_config)
+    reference = _reference(frames)
+    per_worker = [SOAK_SESSIONS // SOAK_SHARDS] * SOAK_SHARDS
+    for i in range(SOAK_SESSIONS % SOAK_SHARDS):
+        per_worker[i] += 1
+
+    # freeze the parent heap before forking: without this, the workers'
+    # GC and refcounting touch every inherited (copy-on-write) page from
+    # whatever fixtures ran earlier in the pytest session, and the
+    # resulting page-fault system time lands in process_time() —
+    # inflating the virtual clock with measurement pollution that has
+    # nothing to do with serving cost
+    gc.collect()
+    gc.freeze()
+    ctx = multiprocessing.get_context("fork")
+    workers = []
+    for index, n_sessions in enumerate(per_worker):
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_soak_worker,
+                           args=(index, n_sessions, frames, reference,
+                                 send),
+                           daemon=True)
+        proc.start()
+        send.close()
+        workers.append((proc, recv))
+    results = []
+    try:
+        for proc, recv in workers:
+            results.append(recv.recv())
+            proc.join(timeout=600)
+    finally:
+        for proc, _recv in workers:
+            if proc.is_alive():
+                proc.terminate()
+        gc.unfreeze()
+    return results, frames
+
+
+def test_soak_1k_sessions_slo(soak_result, request, bench_report):
+    results, _frames = soak_result
+    print_header(
+        f"Scale soak — {SOAK_SESSIONS} sessions x 100 Hz across "
+        f"{SOAK_SHARDS} shard processes (CPU-time virtual clock)",
+        ">= 1k concurrent sessions across >= 4 shards keep >= 99% of "
+        "frames inside the 50 ms SLO with zero lost events")
+
+    total_sessions = sum(r["sessions"] for r in results)
+    total_frames = sum(r["frames"] for r in results)
+    total_misses = sum(r["misses"] for r in results)
+    total_drops = sum(r["drops"] for r in results)
+    total_cpu = sum(r["cpu_s"] for r in results)
+    fidelity_failures = sum(r["fidelity_failures"] for r in results)
+    miss_rate = total_misses / total_frames if total_frames else 0.0
+    slo_hit_rate = 1.0 - miss_rate
+    worst_p99 = max((r["p99_s"] for r in results
+                     if r["p99_s"] is not None), default=None)
+
+    print(f"\nworkers             {len(results)}")
+    for r in results:
+        p99 = f"{r['p99_s'] * 1e3:.2f} ms" if r["p99_s"] else "n/a"
+        print(f"  shard {r['worker']}: {r['sessions']} sessions, "
+              f"{r['frames']} frames, {r['misses']:.0f} misses, "
+              f"p99 {p99}, cpu {r['cpu_s']:.2f}s / "
+              f"virtual {r['virtual_s']:.2f}s")
+    print(f"sessions            {total_sessions}")
+    print(f"frames              {total_frames}")
+    print(f"SLO hit rate        {slo_hit_rate:.4%} "
+          f"(misses {total_misses:.0f}, gate >= 99%)")
+    print(f"backpressure drops  {total_drops:.0f}")
+    print(f"fidelity failures   {fidelity_failures}")
+    print(f"frames per cpu-s    {total_frames / total_cpu:,.0f}")
+
+    scale = {"sessions": SOAK_SESSIONS, "shards": SOAK_SHARDS,
+             "duration_s": SOAK_DURATION_S, "rate_hz": RATE_HZ,
+             "seed": SEED}
+    bench_report.record(
+        "serve_scale", "soak", "sessions", float(total_sessions),
+        unit="sessions", scale=scale)
+    bench_report.record(
+        "serve_scale", "soak", "slo_miss_rate", miss_rate,
+        unit="fraction", direction="lower_is_better",
+        tolerance=SLO_MISS_GATE, scale=scale)
+    if worst_p99 is not None:
+        bench_report.record(
+            "serve_scale", "soak", "worst_shard_p99_ms", worst_p99 * 1e3,
+            unit="ms", direction="lower_is_better", tolerance=2.0,
+            scale=scale)
+    bench_report.record(
+        "serve_scale", "soak", "frames_per_cpu_s",
+        total_frames / total_cpu if total_cpu > 0 else 0.0,
+        unit="frames/s", scale=scale)
+
+    report_path = request.config.getoption("--scale-report")
+    if report_path is not None:
+        payload = {
+            "wire": {"sessions": WIRE_SESSIONS, "shards": WIRE_SHARDS,
+                     "duration_s": WIRE_DURATION_S},
+            "soak": {
+                "sessions": total_sessions, "shards": len(results),
+                "frames": total_frames, "duration_s": SOAK_DURATION_S,
+                "rate_hz": RATE_HZ, "slo_hit_rate": slo_hit_rate,
+                "slo_misses": total_misses,
+                "backpressure_drops": total_drops,
+                "fidelity_failures": fidelity_failures,
+                "frames_per_cpu_s": (total_frames / total_cpu
+                                     if total_cpu > 0 else 0.0),
+                "workers": results,
+            },
+        }
+        report_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"scale report -> {report_path}")
+
+    # gate 1: the configured concurrency and shard count really ran
+    assert total_sessions >= SOAK_SESSIONS
+    assert len(results) == SOAK_SHARDS
+
+    # gate 2: zero lost events — every session's stream is
+    # repr-identical to the replay and nothing was dropped
+    assert total_drops == 0
+    assert fidelity_failures == 0
+
+    # gate 3: >= 99% of all frames inside the 50 ms SLO, counted by the
+    # exact per-frame miss counter (not a histogram estimate)
+    assert miss_rate <= SLO_MISS_GATE, (
+        f"{miss_rate:.3%} of frames blew the 50 ms SLO "
+        f"(gate {SLO_MISS_GATE:.0%})")

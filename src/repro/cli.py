@@ -253,6 +253,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry-json", type=Path, default=None,
                        help="append every telemetry tick to this JSONL "
                             "timeline (replay with 'airfinger telemetry')")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="run N shard worker processes behind a fleet "
+                            "control front-end; --port becomes the "
+                            "control port and the per-shard data ports "
+                            "are advertised in every hello_ack")
+    serve.add_argument("--reuse-port", action="store_true",
+                       help="bind with SO_REUSEPORT; with --shards the "
+                            "workers share ONE kernel-balanced data port "
+                            "instead of port-per-shard tenant routing")
+    serve.add_argument("--udp", action="store_true",
+                       help="serve the datagram transport instead of "
+                            "TCP (per-datagram session addressing; "
+                            "lost datagrams surface as StreamGap "
+                            "events, never as stalls)")
 
     loadgen = sub.add_parser(
         "loadgen", help="drive N simulated 100 Hz devices against a "
@@ -268,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="frames batched into one wire message")
     loadgen.add_argument("--seed", type=int, default=2020,
                          help="seed of the synthesized device capture")
+    loadgen.add_argument("--tenants", type=int, default=1,
+                         help="spread the devices across N tenants "
+                              "(tenant-0, tenant-1, ...); against a "
+                              "sharded fleet each tenant's devices are "
+                              "routed to the shard owning it")
     loadgen.add_argument("--report-json", type=Path, default=None,
                          help="write the load report (sessions/core, "
                               "p99 latency, deadline-miss rate) to this "
@@ -733,6 +752,16 @@ def _cmd_serve(args) -> int:
     config = ServeConfig(
         max_queue_frames=args.max_queue, max_batch_frames=args.max_batch,
         idle_timeout_s=args.idle_timeout, latency_slo_s=args.slo)
+    if args.shards > 1 and args.udp:
+        print("--shards and --udp are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        if args.stack is not None:
+            print("--stack is not supported with --shards: the worker "
+                  "processes build their own engines", file=sys.stderr)
+            return 2
+        return _serve_sharded(args, config)
     engine_factory = None
     if args.stack is not None:
         from repro.core.persistence import load_stack
@@ -751,11 +780,29 @@ def _cmd_serve(args) -> int:
                              metrics=get_registry(), tracer=get_tracer())
 
     manager = SessionManager(config, engine_factory=engine_factory)
+    if args.udp:
+        from repro.serve import UdpAirFingerServer
+
+        udp_server = UdpAirFingerServer(manager, host=args.host,
+                                        port=args.port)
+
+        async def run_udp() -> None:
+            await udp_server.start()
+            print(f"serving UDP on {udp_server.host}:{udp_server.port} "
+                  f"(slo={config.latency_slo_s * 1e3:.0f}ms, "
+                  f"idle-timeout={config.idle_timeout_s:.0f}s)")
+            await asyncio.Event().wait()
+
+        try:
+            asyncio.run(run_udp())
+        except KeyboardInterrupt:
+            print("\nserve stopped")
+        return 0
     server = AirFingerServer(
         manager, host=args.host, port=args.port,
         telemetry=not args.no_telemetry,
         telemetry_interval_s=args.telemetry_interval,
-        timeline_path=args.telemetry_json)
+        timeline_path=args.telemetry_json, reuse_port=args.reuse_port)
 
     async def run() -> None:
         await server.start()
@@ -774,27 +821,73 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _serve_sharded(args, config) -> int:
+    """``serve --shards N``: the multi-process fleet front-end."""
+    import asyncio
+
+    from repro.serve import ShardCluster, ShardConfig
+
+    shard_config = ShardConfig(
+        shards=args.shards, host=args.host, control_port=args.port,
+        reuse_port=args.reuse_port, serve=config,
+        telemetry_interval_s=args.telemetry_interval)
+
+    async def run() -> None:
+        async with ShardCluster(shard_config) as cluster:
+            control = cluster.control
+            ports = sorted({s["port"] for s in cluster.shard_listing})
+            layout = (f"shared data port {ports[0]}" if len(ports) == 1
+                      and shard_config.reuse_port
+                      else f"data ports {ports}")
+            print(f"fleet control on {control.host}:{control.port} — "
+                  f"{args.shards} shard workers, {layout} "
+                  f"(slo={config.latency_slo_s * 1e3:.0f}ms)")
+            print("clients read the shard listing from hello_ack and "
+                  "route data connections by tenant")
+            await asyncio.Event().wait()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nfleet stopped")
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
     import asyncio
     import json
 
-    from repro.serve import LoadConfig, run_load
+    from repro.serve import LoadConfig, ServeClient, run_load
 
     config = LoadConfig(host=args.host, port=args.port,
                         sessions=args.sessions, duration_s=args.duration,
                         rate_hz=args.rate,
                         frames_per_send=args.frames_per_send,
-                        seed=args.seed,
+                        seed=args.seed, tenants=args.tenants,
                         fault_intensity=args.fault_intensity)
-    try:
-        report = asyncio.run(run_load(
+
+    async def run():
+        # a fleet front-end advertises its shard listing in hello_ack;
+        # route the device connections accordingly, control/telemetry
+        # stay on the dialed port (the merged view)
+        probe = await ServeClient.connect(args.host, args.port,
+                                          config.tenant, "route-probe")
+        shards = probe.shards or None
+        await probe.bye(timeout_s=5.0)
+        return shards, await run_load(
             config, telemetry_path=args.telemetry_json,
-            watch_interval_s=args.watch_interval))
+            watch_interval_s=args.watch_interval, shards=shards)
+
+    try:
+        shards, report = asyncio.run(run())
     except ConnectionError as exc:
         print(f"cannot reach serve process at {args.host}:{args.port}: "
               f"{exc}", file=sys.stderr)
         return 1
     p99 = report.frame_latency_p99_s
+    if shards:
+        print(f"fleet             {len(shards)} shards "
+              f"(routing {report.tenants} tenants by crc32)")
     print(f"sessions          {report.sessions}")
     print(f"frames sent       {report.frames_sent}")
     print(f"events received   {report.events_received}")
@@ -803,6 +896,10 @@ def _cmd_loadgen(args) -> int:
           if p99 is not None else "p99 frame latency n/a")
     print(f"deadline misses   {report.deadline_misses:.0f} "
           f"({report.deadline_miss_rate:.2%})")
+    if report.late_batches:
+        print(f"late send batches {report.late_batches} "
+              f"(max lag {report.max_send_lag_s * 1e3:.1f} ms — the "
+              f"offered load lagged its own schedule)")
     print(f"sessions/core     {report.sessions_per_core:.1f}")
     rtt = report.heartbeat_rtt_p99_ms
     if rtt is not None:

@@ -565,6 +565,32 @@ class MetricsRegistry:
                 hist.max = _opt_max(hist.max, data["max"])
                 hist.invalid += int(data.get("invalid", 0))
 
+    def remove(self, name: str, **labels: str) -> bool:
+        """Retire the series (name, labels) from every metric family.
+
+        Label cardinality control: a serving layer that mints per-session
+        series (``serve.queue_depth{tenant=,session=}``) retires them
+        when the session closes, so snapshot size tracks the number of
+        *live* sessions instead of every session ever opened.  Returns
+        ``True`` if any series was removed.  A handle obtained before the
+        removal stays safe to record into — it just no longer appears in
+        snapshots (and re-creating the series yields a fresh object, so
+        retire only series whose handles die with their owner).
+        """
+        key = _series_key(name, labels)
+        with self._lock:
+            removed = False
+            for family in (self._counters, self._gauges, self._histograms):
+                if family.pop(key, None) is not None:
+                    removed = True
+        return removed
+
+    def series_count(self) -> int:
+        """Total number of registered series across every family."""
+        with self._lock:
+            return (len(self._counters) + len(self._gauges)
+                    + len(self._histograms))
+
     def reset(self) -> None:
         """Drop every recorded value (series registrations included)."""
         with self._lock:

@@ -1,0 +1,275 @@
+"""Session checkpoint/restore: migrate a live stream across workers.
+
+A :class:`~repro.serve.session.ServeSession` is mostly *small* streaming
+state: the segmenter's threshold history and envelope, the SBC and
+prefilter windows, the channel guard's health buffers, a short raw/delta
+history ring and a handful of scalars — a few kilobytes of plain data.
+This module serializes exactly that state (plus the still-queued frames)
+into a JSON-safe payload, so a shard front-end can move a session to
+another worker **mid-gesture** with zero lost events: an open segment,
+a half-warmed threshold and a masked channel all survive the hop.
+
+Exactness is the contract, not approximation: every float crosses the
+wire through JSON's shortest-round-trip repr (bit-exact for float64),
+deques are restored in order under the destination engine's own
+``maxlen``, and the segmenter's threshold ring is copied in its rotated
+layout.  The golden migrate-mid-stream test pins the result — a session
+checkpointed between two arbitrary frames and restored on a second
+manager must produce the byte-identical event ``repr`` sequence of an
+unmigrated run.
+
+What is *not* serialized: models and configuration.  The destination
+manager's ``engine_factory`` must build engines equivalent to the
+source's — that is a deployment invariant of a homogeneous shard fleet —
+and a ``config_digest`` guards against accidental mismatches (restoring
+onto a manager whose engines disagree raises instead of silently
+diverging).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+
+import numpy as np
+
+from repro.acquisition.stream import RssFrame
+from repro.core.calibration import ChannelGuard
+from repro.core.pipeline import AirFinger
+from repro.core.segmentation import Segment
+from repro.serve.session import ServeSession, SessionManager
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "config_digest",
+    "engine_state",
+    "load_engine_state",
+    "checkpoint_session",
+    "restore_session",
+]
+
+#: Bump on any change to the payload layout; restore rejects mismatches.
+CHECKPOINT_SCHEMA = 1
+
+
+def config_digest(engine: AirFinger) -> str:
+    """Fingerprint of the engine configuration a checkpoint depends on.
+
+    Covers the full :class:`AirFingerConfig` (every window/threshold the
+    serialized state is sized against) plus the pipeline wrapper knobs
+    that change event output.  Dataclass ``repr`` is deterministic and
+    floats repr shortest-round-trip, so equal configs digest equally
+    across processes and hosts.
+    """
+    text = "|".join((
+        repr(engine.config),
+        repr(engine.live_update_every),
+        repr(engine.gate_fraction),
+        repr(engine.channel_guard),
+    ))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# engine state
+# ---------------------------------------------------------------------------
+
+def engine_state(engine: AirFinger) -> dict:
+    """The engine's complete streaming state as JSON-safe plain data."""
+    seg = engine._segmenter
+    state: dict = {
+        "segmenter": {
+            # the ring is copied in its rotated layout: every valid slot
+            # as-is plus the cursor, so refresh order is bit-preserved
+            "hist": [float(v) for v in seg._hist_buf[:seg._hist_len]],
+            "hist_pos": seg._hist_pos,
+            "threshold": float(seg._threshold),
+            "since_refresh": seg._since_refresh,
+            "index": seg._index,
+            "open_start": seg._open_start,
+            "pending": ([seg._pending.start, seg._pending.end]
+                        if seg._pending is not None else None),
+            "gap": seg._gap,
+            "env": [float(v) for v in seg._env_buffer],
+            "env_sum": float(seg._env_sum),
+        },
+        "sbc": {
+            "buffer": [float(v) for v in engine._combined_sbc._buffer],
+            "count": engine._combined_sbc._count,
+        },
+        "prefilters": [
+            {"buffer": [float(v) for v in f._buffer], "sum": float(f._sum)}
+            for f in engine._prefilters],
+        "raw": [[float(v) for v in row] for row in engine._raw],
+        "delta": [float(v) for v in engine._delta],
+        "fed": engine._fed,
+        "last_time_s": float(engine._last_time_s),
+        "live_cooldown": engine._live_cooldown,
+        "live_track_open": engine._live_track_open,
+        "anchor": engine._anchor,
+        "pos": engine._pos,
+        "last_values": ([float(v) for v in engine._last_values]
+                        if engine._last_values is not None else None),
+        "hold": [float(v) for v in engine._hold],
+    }
+    guard = engine._guard
+    if guard is not None:
+        state["guard"] = {
+            "n_channels": guard.n_channels,
+            "buffers": [[float(v) for v in buf]
+                        for buf in guard._buffers],
+            "masked": list(guard._masked),
+            "reasons": list(guard._reasons),
+            "healthy_streak": list(guard._healthy_streak),
+            "hold": [float(v) for v in guard._hold],
+            "since_check": guard._since_check,
+        }
+    else:
+        state["guard"] = None
+    return state
+
+
+def load_engine_state(engine: AirFinger, state: dict) -> AirFinger:
+    """Restore :func:`engine_state` output onto a freshly-built engine.
+
+    *engine* must come from an equivalently-configured factory (the
+    caller checks :func:`config_digest`); its streaming state is
+    overwritten wholesale.
+    """
+    seg = engine._segmenter
+    s = state["segmenter"]
+    hist = s["hist"]
+    seg._hist_buf[:len(hist)] = np.asarray(hist, dtype=np.float64)
+    seg._hist_len = len(hist)
+    seg._hist_pos = int(s["hist_pos"])
+    seg._threshold = float(s["threshold"])
+    seg._since_refresh = int(s["since_refresh"])
+    seg._index = int(s["index"])
+    seg._open_start = (int(s["open_start"])
+                       if s["open_start"] is not None else None)
+    seg._pending = (Segment(int(s["pending"][0]), int(s["pending"][1]))
+                    if s["pending"] is not None else None)
+    seg._gap = int(s["gap"])
+    seg._env_buffer.clear()
+    seg._env_buffer.extend(float(v) for v in s["env"])
+    seg._env_sum = float(s["env_sum"])
+
+    sbc = engine._combined_sbc
+    sbc._buffer.clear()
+    sbc._buffer.extend(float(v) for v in state["sbc"]["buffer"])
+    sbc._count = int(state["sbc"]["count"])
+
+    from repro.core.sbc import StreamingMovingAverage
+    prefilters = []
+    for entry in state["prefilters"]:
+        f = StreamingMovingAverage(engine.config.prefilter_samples)
+        f._buffer.extend(float(v) for v in entry["buffer"])
+        f._sum = float(entry["sum"])
+        prefilters.append(f)
+    engine._prefilters = prefilters
+
+    engine._raw.clear()
+    engine._raw.extend(tuple(float(v) for v in row)
+                       for row in state["raw"])
+    engine._delta.clear()
+    engine._delta.extend(float(v) for v in state["delta"])
+    engine._fed = int(state["fed"])
+    engine._last_time_s = float(state["last_time_s"])
+    engine._live_cooldown = int(state["live_cooldown"])
+    engine._live_track_open = bool(state["live_track_open"])
+    engine._anchor = (int(state["anchor"])
+                      if state["anchor"] is not None else None)
+    engine._pos = int(state["pos"])
+    engine._last_values = (tuple(float(v) for v in state["last_values"])
+                           if state["last_values"] is not None else None)
+    engine._hold = [float(v) for v in state["hold"]]
+
+    g = state["guard"]
+    if g is None:
+        engine._guard = None
+    else:
+        # same construction as the pipeline's first-frame path, so the
+        # restored guard shares its config-derived thresholds
+        guard = ChannelGuard(
+            n_channels=int(g["n_channels"]),
+            window=engine.config.guard_window_samples,
+            check_every=engine.config.guard_check_every_samples,
+            recovery_checks=engine.config.guard_recovery_checks)
+        for buf, values in zip(guard._buffers, g["buffers"]):
+            buf.extend(float(v) for v in values)
+        guard._masked = [bool(v) for v in g["masked"]]
+        guard._reasons = [str(v) for v in g["reasons"]]
+        guard._healthy_streak = [int(v) for v in g["healthy_streak"]]
+        guard._hold = [float(v) for v in g["hold"]]
+        guard._since_check = int(g["since_check"])
+        engine._guard = guard
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# session state
+# ---------------------------------------------------------------------------
+
+def checkpoint_session(manager: SessionManager,
+                       session: ServeSession) -> dict:
+    """Capture *session* for migration and detach it from *manager*.
+
+    The payload carries the engine state, every still-queued frame (in
+    the same ``[index, time_s, [values...]]`` layout the wire protocol
+    uses) and the lifetime counters.  Nothing is dispatched or flushed:
+    an open segment stays open and finishes on the destination worker.
+    """
+    payload = {
+        "schema": CHECKPOINT_SCHEMA,
+        "tenant": session.tenant,
+        "session": session.session_id,
+        "config_digest": config_digest(session.engine),
+        "engine": engine_state(session.engine),
+        "queue": [[f.index, f.time_s, list(f.values)]
+                  for f, _enq in session.queue],
+        "frames_in": session.frames_in,
+        "events_out": session.events_out,
+        "dropped": session.dropped,
+    }
+    manager.detach(session)
+    return payload
+
+
+def restore_session(manager: SessionManager, payload: dict) -> ServeSession:
+    """Adopt a checkpointed session on *manager*; the inverse of
+    :func:`checkpoint_session`.
+
+    Builds a fresh engine from the manager's factory, verifies the
+    config digest (a fleet whose workers serve different configs must
+    fail loudly, not drift), loads the streaming state and re-queues the
+    in-flight frames — their latency clock restarts at restore time on
+    the destination's injected clock.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("checkpoint payload must be a dict")
+    schema = payload.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"unsupported checkpoint schema {schema!r} "
+            f"(this worker speaks {CHECKPOINT_SCHEMA})")
+    engine = manager.new_engine()
+    digest = config_digest(engine)
+    if payload["config_digest"] != digest:
+        raise ValueError(
+            f"engine config mismatch: checkpoint was taken under "
+            f"{payload['config_digest']}, this manager builds {digest}")
+    load_engine_state(engine, payload["engine"])
+    session = manager.adopt(
+        payload["tenant"], payload["session"], engine,
+        frames_in=int(payload.get("frames_in", 0)),
+        events_out=int(payload.get("events_out", 0)),
+        dropped=int(payload.get("dropped", 0)))
+    now = session.last_active_s
+    queue: deque = session.queue
+    for index, time_s, values in payload.get("queue", []):
+        queue.append((RssFrame(index=int(index), time_s=float(time_s),
+                               values=tuple(float(v) for v in values)),
+                      now))
+    if session.queue_gauge is not None:
+        session.queue_gauge.set(len(queue))
+    return session

@@ -39,12 +39,17 @@ class ServeClient:
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter, hello_ack: dict,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 clock=time.perf_counter) -> None:
         self._reader = reader
         self._writer = writer
         self._decoder = protocol.MessageDecoder()
         self.hello_ack = hello_ack
         self._metrics = metrics if metrics is not None else get_registry()
+        #: monotonic clock stamping ping `t` and differencing the echo;
+        #: RTT never touches the wall clock, so an NTP step mid-ping
+        #: cannot produce a negative (or hours-long) round trip
+        self._clock = clock
         self._h_rtt = self._metrics.histogram(
             "serve.heartbeat_rtt_ms", buckets=HEARTBEAT_RTT_BUCKETS_MS)
         #: every decoded pipeline event received so far, in wire order
@@ -55,17 +60,27 @@ class ServeClient:
         self.rtts_s: list[float] = []
         #: telemetry ticks received on a ``watch`` subscription
         self.telemetry: deque[dict] = deque(maxlen=1024)
-        #: server stamps from the last ``stats_reply`` (v2 servers)
+        #: server stamps from the last ``stats_reply`` (v2 servers):
+        #: ``server_time_s`` is wall (display only); ``server_mono_s`` /
+        #: ``uptime_s`` are the monotonic stamps to diff rates from
         self.server_time_s: float | None = None
+        self.server_mono_s: float | None = None
         self.uptime_s: float | None = None
         self._bye_seen = False
         self._stats: dict | None = None
+        self._checkpoint: dict | None = None
+        self._restore_ack: dict | None = None
+
+    @property
+    def shards(self) -> list[dict]:
+        """Shard advertisement from the ``hello_ack`` (fleet front-ends)."""
+        return list(self.hello_ack.get("shards", []))
 
     @classmethod
     async def connect(cls, host: str, port: int, tenant: str,
                       session: str, timeout_s: float = 10.0,
-                      metrics: MetricsRegistry | None = None
-                      ) -> "ServeClient":
+                      metrics: MetricsRegistry | None = None,
+                      clock=time.perf_counter) -> "ServeClient":
         """Open a connection and complete the hello handshake."""
         reader, writer = await asyncio.open_connection(host, port)
         writer.write(protocol.encode_message(
@@ -89,7 +104,8 @@ class ServeClient:
             if first.get("type") != "hello_ack":
                 raise protocol.ProtocolError(
                     f"expected hello_ack, got {first.get('type')!r}")
-            client = cls(reader, writer, first, metrics=metrics)
+            client = cls(reader, writer, first, metrics=metrics,
+                         clock=clock)
             for message in messages[1:]:
                 client._absorb(message)
             return client
@@ -103,9 +119,10 @@ class ServeClient:
             self.heartbeats += 1
             echo = message.get("echo")
             if echo is not None:
-                # the echo carries OUR clock reading back, so RTT needs
-                # no clock agreement with the server
-                rtt_s = max(time.perf_counter() - float(echo), 0.0)
+                # the echo carries OUR monotonic reading back, so RTT
+                # needs no clock agreement with the server (and no wall
+                # clock at all)
+                rtt_s = max(self._clock() - float(echo), 0.0)
                 self.rtts_s.append(rtt_s)
                 self._h_rtt.observe(rtt_s * 1e3)
         elif kind == "telemetry":
@@ -113,7 +130,12 @@ class ServeClient:
         elif kind == "stats_reply":
             self._stats = message.get("metrics")
             self.server_time_s = message.get("server_time_s")
+            self.server_mono_s = message.get("server_mono_s")
             self.uptime_s = message.get("uptime_s")
+        elif kind == "checkpoint_reply":
+            self._checkpoint = message
+        elif kind == "restore_reply":
+            self._restore_ack = message
         elif kind == "bye":
             self._bye_seen = True
         elif kind == "error":
@@ -153,7 +175,7 @@ class ServeClient:
         """
         seen = len(self.rtts_s)
         self._writer.write(protocol.encode_message(
-            protocol.heartbeat(t=time.perf_counter())))
+            protocol.heartbeat(t=self._clock())))
         await self._writer.drain()
         deadline = asyncio.get_running_loop().time() + timeout_s
         while len(self.rtts_s) == seen:
@@ -202,6 +224,51 @@ class ServeClient:
             if not await self._read_some(remaining):
                 raise ConnectionError("server closed before stats reply")
         return self._stats
+
+    async def checkpoint(self, tenant: str, session: str,
+                         timeout_s: float = 30.0) -> dict:
+        """Capture + detach a session on the server; returns its state.
+
+        The migration control call: on success the session is gone from
+        the server and the returned payload restores it elsewhere via
+        :meth:`restore`.  Raises :class:`protocol.ProtocolError` if the
+        server reports no such live session.
+        """
+        self._checkpoint = None
+        self._writer.write(protocol.encode_message(
+            protocol.checkpoint_request(tenant, session)))
+        await self._writer.drain()
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while self._checkpoint is None:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError("checkpoint reply timed out")
+            if not await self._read_some(remaining):
+                raise ConnectionError("server closed before checkpoint")
+        reply = self._checkpoint
+        if reply.get("state") is None:
+            raise protocol.ProtocolError(
+                f"checkpoint refused: {reply.get('error')}")
+        return reply["state"]
+
+    async def restore(self, state: dict, timeout_s: float = 30.0) -> str:
+        """Adopt a checkpointed session on this server; returns its id."""
+        self._restore_ack = None
+        self._writer.write(protocol.encode_message(
+            protocol.restore_request(state)))
+        await self._writer.drain()
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while self._restore_ack is None:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError("restore reply timed out")
+            if not await self._read_some(remaining):
+                raise ConnectionError("server closed before restore ack")
+        reply = self._restore_ack
+        if reply.get("session") is None:
+            raise protocol.ProtocolError(
+                f"restore refused: {reply.get('error')}")
+        return reply["session"]
 
     async def bye(self, timeout_s: float = 30.0) -> list:
         """Graceful close: returns every event received in this session.

@@ -33,8 +33,10 @@ from repro.faults import FaultSchedule, FrameDropFault
 from repro.obs import MetricsSnapshot
 from repro.obs.telemetry import TimelineWriter, summarize_timeline
 from repro.serve.client import ServeClient
+from repro.serve.shard import shard_for_tenant
 
-__all__ = ["LoadConfig", "LoadReport", "make_device_frames", "run_load"]
+__all__ = ["LoadConfig", "LoadReport", "Pacer", "make_device_frames",
+           "run_load"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,9 @@ class LoadConfig:
     rate_hz: float = 100.0
     frames_per_send: int = 10
     tenant: str = "loadgen"
+    #: spread devices across this many tenants (``tenant-0`` …); >1 is
+    #: what exercises shard-by-tenant routing under a fleet front-end
+    tenants: int = 1
     seed: int = 2020
     #: 0 disables fault injection; >0 scales a seeded frame-drop
     #: schedule applied to the shared device capture, so the offered
@@ -57,6 +62,8 @@ class LoadConfig:
     def __post_init__(self) -> None:
         if self.sessions < 1:
             raise ValueError("sessions must be >= 1")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
         if not 0.0 <= self.fault_intensity:
             raise ValueError("fault_intensity must be >= 0")
         if self.duration_s <= 0:
@@ -65,6 +72,73 @@ class LoadConfig:
             raise ValueError("rate_hz must be > 0")
         if self.frames_per_send < 1:
             raise ValueError("frames_per_send must be >= 1")
+
+    def device_tenant(self, device: int) -> str:
+        """The tenant id device *device* belongs to."""
+        if self.tenants <= 1:
+            return self.tenant
+        return f"{self.tenant}-{device % self.tenants}"
+
+
+class Pacer:
+    """Absolute-deadline batch pacing with drift accounting.
+
+    Batch ``k`` is scheduled at exactly ``start + k * period`` — every
+    deadline is computed from the *anchor*, never from the previous
+    send, so per-batch lateness can never accumulate into cumulative
+    drift: a device that falls 3 ms behind on one batch has the full
+    period (not period − 3 ms… shrinking forever) to catch up, and at
+    1 000 sessions the offered load stays exactly ``rate_hz`` per
+    device no matter how the scheduler jitters individual sends.
+
+    What absolute pacing *cannot* hide is booked instead of ignored:
+    :meth:`mark_send` compares each send against its scheduled slot and
+    tallies ``late_batches`` / ``max_lag_s``, which the load report
+    surfaces — a run whose sender lagged its own schedule is measuring
+    a lower offered load than configured, and the gate needs to see it.
+
+    The clock is injected so unit tests drive virtual time.
+    """
+
+    __slots__ = ("period_s", "start_s", "batches", "late_batches",
+                 "max_lag_s", "lag_tolerance_s", "_clock")
+
+    def __init__(self, period_s: float, clock=time.monotonic,
+                 start_s: float | None = None,
+                 lag_tolerance_s: float | None = None) -> None:
+        if period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {period_s}")
+        self.period_s = float(period_s)
+        self._clock = clock
+        self.start_s = clock() if start_s is None else float(start_s)
+        self.batches = 0
+        self.late_batches = 0
+        self.max_lag_s = 0.0
+        #: a send within 1% of a period of its slot counts as on time
+        self.lag_tolerance_s = (self.period_s * 0.01
+                                if lag_tolerance_s is None
+                                else float(lag_tolerance_s))
+
+    def mark_send(self) -> float:
+        """Book the send happening *now* against its scheduled slot.
+
+        Returns the lag in seconds (> 0 means the send started late).
+        """
+        scheduled = self.start_s + self.batches * self.period_s
+        lag = self._clock() - scheduled
+        if lag > self.lag_tolerance_s:
+            self.late_batches += 1
+        if lag > self.max_lag_s:
+            self.max_lag_s = lag
+        return lag
+
+    def next_deadline(self) -> float:
+        """Advance one batch; returns the next send's absolute deadline.
+
+        Always ``start + n * period`` — anchored, drift-free.
+        """
+        self.batches += 1
+        return self.start_s + self.batches * self.period_s
 
 
 @dataclass
@@ -90,6 +164,12 @@ class LoadReport:
     heartbeat_rtt_p99_ms: float | None = None
     telemetry_ticks: int = 0
     alerts_fired: int = 0
+    #: sender-side schedule fidelity (see :class:`Pacer`): batches that
+    #: started late against their absolute slot, and the worst lag
+    late_batches: int = 0
+    max_send_lag_s: float = 0.0
+    #: tenants the devices were spread across (sharded runs route these)
+    tenants: int = 1
 
     @property
     def deadline_miss_rate(self) -> float:
@@ -134,6 +214,9 @@ class LoadReport:
             "heartbeat_rtt_p99_ms": self.heartbeat_rtt_p99_ms,
             "telemetry_ticks": self.telemetry_ticks,
             "alerts_fired": self.alerts_fired,
+            "late_batches": self.late_batches,
+            "max_send_lag_s": self.max_send_lag_s,
+            "tenants": self.tenants,
         }
 
 
@@ -169,8 +252,21 @@ def make_device_frames(config: LoadConfig) -> list[RssFrame]:
     return frames[:n_needed]
 
 
+def _device_endpoint(config: LoadConfig, port: int,
+                     shards: list[dict] | None,
+                     tenant: str) -> tuple[str, int]:
+    """Where this device connects: the shard owning its tenant, or the
+    single server."""
+    if not shards:
+        return config.host, port
+    entry = shards[shard_for_tenant(tenant, len(shards))]
+    return entry["host"], entry["port"]
+
+
 async def _drive_device(config: LoadConfig, port: int, device: int,
-                        frames: list[RssFrame]) -> ServeClient:
+                        frames: list[RssFrame],
+                        shards: list[dict] | None = None
+                        ) -> tuple[ServeClient, Pacer]:
     """One device: paced sends at rate_hz, opportunistic event reads.
 
     Devices are phase-staggered across up to a second — real devices are
@@ -185,27 +281,28 @@ async def _drive_device(config: LoadConfig, port: int, device: int,
     phase_s = (device / config.sessions) * stagger_s
     if phase_s > 0:
         await asyncio.sleep(phase_s)
+    tenant = config.device_tenant(device)
+    host, device_port = _device_endpoint(config, port, shards, tenant)
     client = await ServeClient.connect(
-        config.host, port, config.tenant, f"dev{device:03d}")
+        host, device_port, tenant, f"dev{device:03d}")
     # one timed heartbeat per device: RTT lands in serve.heartbeat_rtt_ms
     await client.ping()
-    start = loop.time()
+    pacer = Pacer(send_period_s, clock=loop.time)
     cursor = 0
-    batch_no = 0
     while cursor < len(frames):
         batch = frames[cursor:cursor + config.frames_per_send]
         cursor += len(batch)
+        pacer.mark_send()
         await client.send_frames(batch)
-        batch_no += 1
         # absolute pacing: late batches do not stretch the run
-        next_deadline = start + batch_no * send_period_s
+        next_deadline = pacer.next_deadline()
         while True:
             remaining = next_deadline - loop.time()
             if remaining <= 0:
                 break
             await client.pump(timeout_s=remaining)
     await client.bye()
-    return client
+    return client, pacer
 
 
 async def _watch_telemetry(client: ServeClient, ticks: list[dict],
@@ -222,8 +319,16 @@ async def run_load(config: LoadConfig, port: int | None = None,
                    latency_slo_s: float | None = None,
                    return_events: bool = False,
                    telemetry_path=None,
-                   watch_interval_s: float | None = None):
+                   watch_interval_s: float | None = None,
+                   shards: list[dict] | None = None):
     """Run the full fleet against ``host:port``; returns the report.
+
+    ``shards`` (a ``[{"shard", "host", "port"}, ...]`` listing, e.g.
+    from a fleet ``hello_ack``) routes each device's data connection to
+    the shard owning its tenant; the control/telemetry connections still
+    go to ``host:port`` — point that at the
+    :class:`~repro.serve.shard.FleetControlServer` and the report's
+    counters come from the merged fleet snapshot.
 
     ``port`` overrides ``config.port`` (tests bind port 0 and pass the
     real one in).  ``latency_slo_s`` is recorded in the report for gate
@@ -256,11 +361,13 @@ async def run_load(config: LoadConfig, port: int | None = None,
             _watch_telemetry(watcher, ticks, writer))
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
-    clients = await asyncio.gather(*[
-        _drive_device(config, port, device, frames)
+    results = await asyncio.gather(*[
+        _drive_device(config, port, device, frames, shards=shards)
         for device in range(config.sessions)])
     wall_s = time.perf_counter() - wall_start
     cpu_s = time.process_time() - cpu_start
+    clients = [client for client, _pacer in results]
+    pacers = [pacer for _client, pacer in results]
     if watch_task is not None:
         watch_task.cancel()
         try:
@@ -308,7 +415,10 @@ async def run_load(config: LoadConfig, port: int | None = None,
         heartbeat_rtt_p50_ms=_rtt_quantile(clients, 0.50),
         heartbeat_rtt_p99_ms=_rtt_quantile(clients, 0.99),
         telemetry_ticks=len(ticks),
-        alerts_fired=summarize_timeline(ticks)["alerts"]["fired"])
+        alerts_fired=summarize_timeline(ticks)["alerts"]["fired"],
+        late_batches=sum(p.late_batches for p in pacers),
+        max_send_lag_s=max((p.max_lag_s for p in pacers), default=0.0),
+        tenants=config.tenants)
     if return_events:
         return report, [c.events for c in clients]
     return report

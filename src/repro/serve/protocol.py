@@ -16,19 +16,34 @@ ordered byte stream (TCP here; the framing is transport-agnostic):
   events); recognition output flows server → client as ``events``
   batches; ``heartbeat`` flows both ways during silence;
 * ``stats`` asks the server for its ``repro.obs`` snapshot
-  (``stats_reply``, stamped with the server's wall clock and uptime so
-  two snapshots diff into rates without guessing clock skew), ``watch``
-  subscribes the connection to periodic ``telemetry`` pushes from the
-  server's :class:`~repro.obs.telemetry.TelemetryPlane` (rates, sliding
+  (``stats_reply``, stamped with the server's clocks — see the contract
+  below), ``watch`` subscribes the connection to periodic ``telemetry``
+  pushes from the server's
+  :class:`~repro.obs.telemetry.TelemetryPlane` (rates, sliding
   quantiles, health states, firing alerts — what ``airfinger top``
   renders), and ``bye`` closes the session cleanly: the server drains
   the queue, flushes the pipeline, sends the tail events and a final
-  ``bye``.
+  ``bye``;
+* ``checkpoint``/``checkpoint_reply`` and ``restore``/``restore_reply``
+  are the shard-migration control pair: a checkpoint captures one
+  session's streaming-engine state (:mod:`repro.serve.checkpoint`) and
+  detaches it, a restore adopts that state on another worker.
+
+**Clock contract (v2 stats stamps).**  ``server_time_s`` is the
+server's *wall* clock — display and cross-host log correlation only; an
+NTP step can bend it either way.  ``server_mono_s`` and ``uptime_s``
+come from the server's *monotonic* clock (one coherent reading per
+reply), so every duration or rate a client derives from two replies
+must subtract the monotonic stamps, never the wall stamps.  The
+heartbeat ``t``/``echo`` RTT mechanism is likewise wall-free: the echo
+carries the *sender's own* monotonic reading back, so RTT needs no
+clock agreement at all.
 
 Protocol v2 added the ``watch``/``telemetry`` pair, the optional
-``t``/``echo`` heartbeat fields (RTT measurement) and the
-``server_time_s``/``uptime_s`` stats stamps; all are additive, so a v2
-peer ignores their absence.
+``t``/``echo`` heartbeat fields (RTT measurement) and the stats clock
+stamps; later additions within v2 (``server_mono_s``, the
+checkpoint/restore control pair, the ``shards`` field of ``hello_ack``)
+are additive as well — a v2 peer ignores their absence.
 
 :func:`encode_event`/:func:`decode_event` round-trip every pipeline
 event dataclass (:class:`SegmentEvent`, :class:`GestureEvent`,
@@ -74,6 +89,10 @@ __all__ = [
     "heartbeat",
     "stats_request",
     "stats_reply",
+    "checkpoint_request",
+    "checkpoint_reply",
+    "restore_request",
+    "restore_reply",
     "watch",
     "telemetry_message",
     "bye",
@@ -172,12 +191,25 @@ def hello(tenant: str, session: str,
 
 
 def hello_ack(session: str, heartbeat_interval_s: float,
-              max_batch_frames: int) -> dict:
-    """The server's handshake answer, advertising its tuning knobs."""
-    return {"type": "hello_ack", "protocol": PROTOCOL_NAME,
-            "version": PROTOCOL_VERSION, "session": str(session),
-            "heartbeat_interval_s": float(heartbeat_interval_s),
-            "max_batch_frames": int(max_batch_frames)}
+              max_batch_frames: int,
+              shards: list[dict] | None = None) -> dict:
+    """The server's handshake answer, advertising its tuning knobs.
+
+    A fleet control front-end additionally advertises ``shards`` — one
+    ``{"shard": i, "host": ..., "port": ...}`` entry per worker — so a
+    client can route its data connection with
+    :func:`repro.serve.shard.shard_for_tenant`.  Additive: single-process
+    servers omit the field.
+    """
+    message = {"type": "hello_ack", "protocol": PROTOCOL_NAME,
+               "version": PROTOCOL_VERSION, "session": str(session),
+               "heartbeat_interval_s": float(heartbeat_interval_s),
+               "max_batch_frames": int(max_batch_frames)}
+    if shards is not None:
+        message["shards"] = [
+            {"shard": int(s["shard"]), "host": str(s["host"]),
+             "port": int(s["port"])} for s in shards]
+    return message
 
 
 def check_hello(message: dict) -> tuple[str, str]:
@@ -359,18 +391,52 @@ def stats_request() -> dict:
 
 
 def stats_reply(snapshot: dict, server_time_s: float | None = None,
-                uptime_s: float | None = None) -> dict:
+                uptime_s: float | None = None,
+                server_mono_s: float | None = None) -> dict:
     """The server's metrics snapshot (a ``MetricsSnapshot.to_dict()``).
 
-    ``server_time_s`` (wall clock) and ``uptime_s`` let a client turn
-    any two snapshots into rates without guessing clock skew; pre-v2
-    replies simply lack the fields.
+    Clock contract (see the module docstring): ``server_time_s`` is the
+    wall clock, display only; ``server_mono_s`` and ``uptime_s`` are one
+    coherent monotonic reading, the only stamps safe to subtract — two
+    replies diff into rates via their monotonic stamps no matter how the
+    wall clock stepped in between.  Pre-v2 replies lack all three.
     """
     message = {"type": "stats_reply", "metrics": snapshot}
     if server_time_s is not None:
         message["server_time_s"] = float(server_time_s)
     if uptime_s is not None:
         message["uptime_s"] = float(uptime_s)
+    if server_mono_s is not None:
+        message["server_mono_s"] = float(server_mono_s)
+    return message
+
+
+def checkpoint_request(tenant: str, session: str) -> dict:
+    """Ask the server to capture + detach one session for migration."""
+    return {"type": "checkpoint", "tenant": str(tenant),
+            "session": str(session)}
+
+
+def checkpoint_reply(state: dict | None,
+                     error: str | None = None) -> dict:
+    """The captured session state (or an error; the session is gone
+    from the source worker only on success)."""
+    message: dict = {"type": "checkpoint_reply", "state": state}
+    if error is not None:
+        message["error"] = str(error)
+    return message
+
+
+def restore_request(state: dict) -> dict:
+    """Ship a checkpointed session state to its destination worker."""
+    return {"type": "restore", "state": state}
+
+
+def restore_reply(session: str | None, error: str | None = None) -> dict:
+    """Acknowledge a restore; carries the adopted session id."""
+    message: dict = {"type": "restore_reply", "session": session}
+    if error is not None:
+        message["error"] = str(error)
     return message
 
 

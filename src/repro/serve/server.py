@@ -82,16 +82,30 @@ class AirFingerServer:
     timeline_path:
         When set, every telemetry tick is appended to this JSONL file
         (replayable with ``airfinger telemetry``).
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so several server processes share one
+        port and the kernel balances incoming connections across them
+        (the shard front-end's preferred mode on platforms that have it).
+    wall_clock / mono_clock:
+        Injectable time sources.  The wall clock (``time.time``) only
+        ever stamps ``server_time_s`` for human display and cross-host
+        correlation; every duration — uptime, rates — derives from the
+        monotonic clock, so an NTP step never bends a measurement.
+        Tests inject both to pin that contract.
     """
 
     def __init__(self, manager: SessionManager,
                  host: str = "127.0.0.1", port: int = 0,
                  telemetry: TelemetryPlane | bool | None = True,
                  telemetry_interval_s: float = 1.0,
-                 timeline_path=None) -> None:
+                 timeline_path=None, reuse_port: bool = False,
+                 wall_clock=time.time, mono_clock=time.monotonic) -> None:
         self.manager = manager
         self.host = host
         self.port = port
+        self.reuse_port = reuse_port
+        self._wall_clock = wall_clock
+        self._mono_clock = mono_clock
         if telemetry is True:
             telemetry = TelemetryPlane(metrics=manager.metrics,
                                        interval_s=telemetry_interval_s)
@@ -117,11 +131,12 @@ class AirFingerServer:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting connections (+ background tasks)."""
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port)
+            self._handle_connection, self.host, self.port, **kwargs)
         self.port = self._server.sockets[0].getsockname()[1]
-        self._started_wall = time.time()
-        self._started_mono = time.monotonic()
+        self._started_wall = self._wall_clock()
+        self._started_mono = self._mono_clock()
         self._reaper = asyncio.create_task(self._reap_idle())
         if self.telemetry is not None:
             if self.timeline_path is not None:
@@ -131,10 +146,24 @@ class AirFingerServer:
 
     @property
     def uptime_s(self) -> float:
-        """Seconds since :meth:`start` (0.0 before it)."""
+        """Seconds since :meth:`start` (0.0 before it); monotonic."""
         if not self._started_mono:
             return 0.0
-        return time.monotonic() - self._started_mono
+        return self._mono_clock() - self._started_mono
+
+    def clock_stamps(self) -> tuple[float, float, float]:
+        """``(server_time_s, server_mono_s, uptime_s)`` read coherently.
+
+        One read per clock: the wall stamp is display-only, while the
+        monotonic stamp and the uptime derive from the *same* monotonic
+        reading — so two ``stats_reply`` messages always diff into a
+        positive elapsed time, no matter what NTP did to the wall clock
+        in between.
+        """
+        wall = self._wall_clock()
+        mono = self._mono_clock()
+        uptime = mono - self._started_mono if self._started_mono else 0.0
+        return wall, mono, uptime
 
     async def stop(self) -> None:
         """Stop accepting, cancel background tasks, close connections."""
@@ -226,14 +255,18 @@ class AirFingerServer:
             return False
         conn.session = self.manager.open(tenant, session_id)
         self._connections[conn.session.key] = conn
-        await self._send(conn, protocol.hello_ack(
-            session_id,
-            heartbeat_interval_s=self.config.heartbeat_interval_s,
-            max_batch_frames=self.config.max_batch_frames))
+        await self._send(conn, self._hello_ack_message(session_id))
         # frames may trail the hello in the same read
         for message in messages[1:]:
             await self._handle_message(conn, message)
         return True
+
+    def _hello_ack_message(self, session_id: str) -> dict:
+        """The handshake answer; fleet front-ends add a shard listing."""
+        return protocol.hello_ack(
+            session_id,
+            heartbeat_interval_s=self.config.heartbeat_interval_s,
+            max_batch_frames=self.config.max_batch_frames)
 
     async def _read_loop(self, conn: _Connection) -> None:
         decoder = protocol.MessageDecoder()
@@ -259,20 +292,67 @@ class AirFingerServer:
             if t is not None:
                 await self._send(conn, protocol.heartbeat(echo=t))
         elif kind == "stats":
-            snapshot = self.manager.stats()
-            snapshot["metrics"] = (
-                self.manager.metrics.snapshot().to_dict())
+            snapshot = await self._stats_payload()
+            wall, mono, uptime = self.clock_stamps()
             await self._send(conn, protocol.stats_reply(
-                snapshot, server_time_s=time.time(),
-                uptime_s=self.uptime_s))
+                snapshot, server_time_s=wall, server_mono_s=mono,
+                uptime_s=uptime))
         elif kind == "watch":
             self._handle_watch(conn, message)
+        elif kind == "checkpoint":
+            await self._handle_checkpoint(conn, message)
+        elif kind == "restore":
+            await self._handle_restore(conn, message)
         elif kind == "bye":
             conn.said_bye = True
             conn.closing = True
             conn.wake.set()
         else:
             raise protocol.ProtocolError(f"unexpected message type {kind!r}")
+
+    async def _stats_payload(self) -> dict:
+        """The ``stats_reply`` body; fleet front-ends merge shards here."""
+        snapshot = self.manager.stats()
+        snapshot["metrics"] = self.manager.metrics.snapshot().to_dict()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # migration control
+    # ------------------------------------------------------------------
+    async def _handle_checkpoint(self, conn: _Connection,
+                                 message: dict) -> None:
+        """Capture + detach a session; reply its serialized state."""
+        from repro.serve import checkpoint as ckpt
+        tenant = message.get("tenant")
+        session_id = message.get("session")
+        target = self.manager.get(str(tenant), str(session_id))
+        if target is None:
+            await self._send(conn, protocol.checkpoint_reply(
+                None, error=f"no live session {tenant!r}/{session_id!r}"))
+            return
+        # drop the device connection first so no frame can slip into the
+        # session between capture and detach
+        owner = self._connections.pop(target.key, None)
+        if owner is not None and owner is not conn:
+            owner.closing = True
+            owner.wake.set()
+            with contextlib.suppress(Exception):
+                owner.writer.close()
+        state = ckpt.checkpoint_session(self.manager, target)
+        await self._send(conn, protocol.checkpoint_reply(state))
+
+    async def _handle_restore(self, conn: _Connection,
+                              message: dict) -> None:
+        """Adopt a checkpointed session shipped by a shard peer."""
+        from repro.serve import checkpoint as ckpt
+        state = message.get("state")
+        try:
+            session = ckpt.restore_session(self.manager, state)
+        except (ValueError, KeyError, TypeError) as exc:
+            await self._send(conn, protocol.restore_reply(
+                None, error=f"restore failed: {exc}"))
+            return
+        await self._send(conn, protocol.restore_reply(session.session_id))
 
     # ------------------------------------------------------------------
     # output pump
@@ -348,11 +428,15 @@ class AirFingerServer:
         conn.watch_every = every
         conn.watch_phase = 0
 
+    async def _telemetry_tick(self) -> dict:
+        """One telemetry sample; fleet front-ends refresh shards first."""
+        return self.telemetry.tick()
+
     async def _telemetry_loop(self) -> None:
         plane = self.telemetry
         while True:
             await asyncio.sleep(plane.interval_s)
-            tick = plane.tick()
+            tick = await self._telemetry_tick()
             if self._timeline is not None:
                 self._timeline.write(tick)
             message = None

@@ -25,7 +25,9 @@ Metrics (all on the manager's registry):
 * ``serve.backpressure_drops{tenant=...}``;
 * the ``serve.queue_depth{tenant=,session=}`` gauge — instantaneous
   ingest backlog per session, the telemetry plane's earliest congestion
-  signal;
+  signal.  Per-session series (this gauge and ``serve.session_frames``)
+  are retired when their session closes or is evicted, so registry
+  cardinality tracks live sessions, not lifetime session churn;
 * ``serve.frame_latency_seconds`` — enqueue→processed latency per frame,
   with ``serve.deadline_miss`` counting frames over the configured SLO;
 * ``serve.dispatch_seconds`` / ``serve.dispatch_frames`` histograms for
@@ -148,8 +150,11 @@ class SessionManager:
     metrics / tracer:
         Observability sinks; default to the process globals.
     clock:
-        Injectable monotonic clock (``time.monotonic``); tests freeze it
-        to drive idle eviction deterministically.
+        Injectable monotonic clock (``time.monotonic``).  Every manager
+        timestamp runs through it — idle eviction, enqueue stamps and
+        the dispatch timing that feeds ``serve.frame_latency_seconds`` /
+        ``serve.deadline_miss`` — so frozen-clock tests drive the full
+        latency accounting deterministically.
     """
 
     def __init__(self, config: ServeConfig | None = None,
@@ -179,6 +184,15 @@ class SessionManager:
     def metrics(self) -> MetricsRegistry:
         """The registry every serve and pipeline series records into."""
         return self._metrics
+
+    def new_engine(self) -> AirFinger:
+        """A fresh engine from this manager's factory.
+
+        The restore path builds the destination engine here, so a
+        migrated session gets the same models and config as a session
+        opened natively on this manager.
+        """
+        return self._engine_factory()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -216,9 +230,7 @@ class SessionManager:
         events.extend(session.engine.flush())
         session.events_out += len(events)
         session.closed = True
-        if session.queue_gauge is not None:
-            session.queue_gauge.set(0)
-        self._sessions.pop(session.key, None)
+        self._retire(session)
         counter = ("serve.sessions_evicted" if reason == "idle"
                    else "serve.sessions_closed")
         self._metrics.counter(counter, tenant=session.tenant).inc()
@@ -233,6 +245,63 @@ class SessionManager:
                     lifetime_s=self._clock() - session.opened_s):
                 pass
         return events
+
+    def _retire(self, session: ServeSession) -> None:
+        """Remove *session* from the table and retire its metric series.
+
+        Per-session series are minted on ``open``; leaving them behind
+        would grow the registry without bound under session churn
+        (thousands of short-lived devices), so eviction and close retire
+        them here and snapshot cardinality tracks only live sessions.
+        """
+        self._sessions.pop(session.key, None)
+        session.queue_gauge = None
+        self._metrics.remove("serve.queue_depth", tenant=session.tenant,
+                             session=session.session_id)
+        self._metrics.remove("serve.session_frames", tenant=session.tenant,
+                             session=session.session_id)
+
+    def detach(self, session: ServeSession) -> ServeSession:
+        """Remove *session* without dispatching or flushing its engine.
+
+        The checkpoint path (:mod:`repro.serve.checkpoint`) captures the
+        engine state and the still-queued frames first, then detaches —
+        unlike :meth:`close`, nothing is drained, so an open gesture
+        segment survives the migration instead of being force-flushed.
+        """
+        if session.closed:
+            return session
+        session.closed = True
+        self._retire(session)
+        self._metrics.counter("serve.sessions_migrated",
+                              tenant=session.tenant).inc()
+        self._g_open.set(len(self._sessions))
+        return session
+
+    def adopt(self, tenant: str, session_id: str, engine: AirFinger,
+              *, frames_in: int = 0, events_out: int = 0,
+              dropped: int = 0) -> ServeSession:
+        """Register a session around an externally-restored *engine*.
+
+        The restore path's counterpart to :meth:`detach`: the session
+        enters the table with its lifetime counters carried over and its
+        activity stamp reset on this manager's clock.  Raises if the
+        (tenant, session_id) slot is already live.
+        """
+        key = (tenant, session_id)
+        if key in self._sessions:
+            raise ValueError(
+                f"session {key!r} is already live on this manager")
+        session = ServeSession(tenant, session_id, engine, self._clock())
+        session.frames_in = frames_in
+        session.events_out = events_out
+        session.dropped = dropped
+        self._sessions[key] = session
+        session.queue_gauge = self._metrics.gauge(
+            "serve.queue_depth", tenant=tenant, session=session_id)
+        self._metrics.counter("serve.sessions_restored", tenant=tenant).inc()
+        self._g_open.set(len(self._sessions))
+        return session
 
     def evict_idle(self) -> list[tuple[ServeSession, list]]:
         """Close every session idle past the timeout.
@@ -256,12 +325,12 @@ class SessionManager:
         an index gap and emits a :class:`StreamGap`, so lost data is
         always visible in the event stream, never silently swallowed.
         """
-        now = time.perf_counter()
+        now = self._clock()
         queue = session.queue
         for frame in frames:
             queue.append((frame, now))
         session.frames_in += len(frames)
-        session.last_active_s = self._clock()
+        session.last_active_s = now
         dropped = len(queue) - self.config.max_queue_frames
         if dropped > 0:
             for _ in range(dropped):
@@ -303,7 +372,7 @@ class SessionManager:
         return self._dispatch(session)
 
     def _dispatch(self, session: ServeSession) -> list:
-        t_start = time.perf_counter()
+        t_start = self._clock()
         batch: list[RssFrame] = []
         enqueued: list[float] = []
         queue = session.queue
@@ -316,7 +385,7 @@ class SessionManager:
             session.queue_gauge.set(len(queue))
         events = session.engine.feed_block(batch)
         session.events_out += len(events)
-        t_done = time.perf_counter()
+        t_done = self._clock()
         self._metrics.counter("serve.events",
                               tenant=session.tenant).inc(len(events))
         self._h_dispatch.observe(t_done - t_start)

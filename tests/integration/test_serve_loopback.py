@@ -202,3 +202,78 @@ class TestProtocolLifecycle:
 
         client = asyncio.run(run())
         assert client._bye_seen
+
+
+class _SteppingClock:
+    """Returns scripted values in order, then holds the last one."""
+
+    def __init__(self, *values: float) -> None:
+        self._values = list(values)
+        self._last = values[0]
+
+    def __call__(self) -> float:
+        if self._values:
+            self._last = self._values.pop(0)
+        return self._last
+
+
+class TestClockContract:
+    """Regression: wall vs monotonic mixing in the v2 stats stamps.
+
+    The server used to stamp only ``server_time_s = time.time()`` next
+    to a monotonic uptime — two unrelated clock domains in one message,
+    with no way for a client to diff rates safely across an NTP step.
+    The contract now: ``server_time_s`` is wall and display-only;
+    ``server_mono_s``/``uptime_s`` come from one injected monotonic
+    reading.  These tests fail against the old server (no clock
+    injection, no ``server_mono_s``) and old client (no clock
+    injection in ``ping``).
+    """
+
+    def test_stats_stamps_survive_wall_clock_step(self):
+        # wall steps back a full hour between the two stats calls
+        wall = _SteppingClock(1_700_000_000.0, 1_700_000_000.0,
+                              1_700_000_000.0 - 3600.0)
+        mono = _SteppingClock(50.0, 50.0, 62.5)
+
+        async def run() -> tuple[dict, dict]:
+            manager, _ = _registry_manager()
+            async with AirFingerServer(manager, wall_clock=wall,
+                                       mono_clock=mono) as server:
+                client = await ServeClient.connect(
+                    "127.0.0.1", server.port, "t0", "dev0")
+                first = dict(await client.stats(),
+                             server_time_s=client.server_time_s,
+                             server_mono_s=client.server_mono_s,
+                             uptime_s=client.uptime_s)
+                second = dict(await client.stats(),
+                              server_time_s=client.server_time_s,
+                              server_mono_s=client.server_mono_s,
+                              uptime_s=client.uptime_s)
+                await client.bye()
+                return first, second
+
+        first, second = asyncio.run(run())
+        # wall went BACKWARDS (display-only; allowed to)
+        assert second["server_time_s"] - first["server_time_s"] == -3600.0
+        # ...while the measurement stamps still advanced, coherently:
+        assert second["server_mono_s"] - first["server_mono_s"] == 12.5
+        assert second["uptime_s"] - first["uptime_s"] == 12.5
+        assert first["uptime_s"] == first["server_mono_s"] - 50.0
+
+    def test_ping_rtt_uses_injected_monotonic_clock(self):
+        # one reading at send, one at echo receipt: RTT is exactly their
+        # difference, no matter what the wall clock does meanwhile
+        clock = _SteppingClock(10.0, 10.25)
+
+        async def run() -> float:
+            manager, _ = _registry_manager()
+            async with AirFingerServer(manager) as server:
+                client = await ServeClient.connect(
+                    "127.0.0.1", server.port, "t0", "dev0",
+                    clock=clock)
+                rtt = await client.ping()
+                await client.bye()
+                return rtt
+
+        assert asyncio.run(run()) == 0.25

@@ -1,0 +1,220 @@
+"""UDP transport fidelity: datagrams, loss semantics, TCP equivalence.
+
+Two halves of the datagram contract:
+
+* **Lossless equivalence** — with no loss injected, every golden stream
+  case served over :class:`~repro.serve.udp.UdpAirFingerServer` yields
+  an event stream ``repr``-identical to the in-process replay (the same
+  reference the TCP loopback suite pins against, so UDP ≡ TCP at fault
+  intensity 0).
+* **Loss surfaces as gaps, nothing else** — under a seeded datagram-drop
+  schedule, the received events are exactly what an engine fed the
+  *surviving* frames produces: the missing index runs appear as
+  :class:`~repro.core.events.StreamGap` events (each dropped 25-frame
+  datagram exceeds ``max_gap_samples=10``, the interpolation bridge) and
+  no other divergence exists — no duplicated, reordered or corrupted
+  events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.events import StreamGap
+from repro.core.pipeline import AirFinger
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import (
+    ServeConfig,
+    SessionManager,
+    UdpAirFingerServer,
+    UdpServeClient,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from golden.stream_cases import build_stream_cases  # noqa: E402
+
+#: frames per datagram in the loss tests: one lost datagram must drop
+#: more than ``AirFingerConfig.max_gap_samples`` (10) consecutive
+#: indices, or the pipeline interpolates instead of reporting a gap
+LOSSY_BATCH = 25
+
+
+@pytest.fixture(scope="module")
+def stream_cases():
+    return build_stream_cases()
+
+
+def _manager(config: ServeConfig | None = None) -> SessionManager:
+    registry = MetricsRegistry()
+    return SessionManager(
+        config or ServeConfig(),
+        engine_factory=lambda: AirFinger(metrics=registry,
+                                         tracer=Tracer(sample=0.0)),
+        metrics=registry, tracer=Tracer(sample=0.0))
+
+
+def _reference(frames) -> list[str]:
+    engine = AirFinger(metrics=MetricsRegistry(), tracer=Tracer(sample=0.0))
+    return [repr(e) for e in engine.feed_frames(frames)]
+
+
+async def _serve_udp(frames, chunk: int = 32, send_filter=None) -> "UdpServeClient":
+    manager = _manager()
+    async with UdpAirFingerServer(manager) as server:
+        client = await UdpServeClient.connect(
+            "127.0.0.1", server.port, "golden", "dev0",
+            send_filter=send_filter)
+        for i in range(0, len(frames), chunk):
+            await client.send_frames(frames[i:i + chunk])
+            await client.pump()
+        await client.bye()
+        return client
+
+
+class TestLosslessEquivalence:
+    def test_every_golden_case_matches_tcp_reference(self, stream_cases):
+        """Intensity 0: UDP events ≡ the in-process (and thus TCP) run."""
+        for name, frames in stream_cases:
+            client = asyncio.run(_serve_udp(frames))
+            assert [repr(e) for e in client.events] == _reference(frames), (
+                f"case {name!r}: UDP events diverged from reference")
+
+    def test_chunking_invariance(self, stream_cases):
+        name, frames = stream_cases[0]
+        reference = _reference(frames)
+        for chunk in (8, 64, 256):
+            client = asyncio.run(_serve_udp(frames, chunk=chunk))
+            assert [repr(e) for e in client.events] == reference, (
+                f"case {name!r}: chunk={chunk} changed the events")
+
+
+class TestSeededLoss:
+    def _dropped(self, n_batches: int, seed: int,
+                 p_drop: float = 0.15) -> set[int]:
+        """The seeded drop schedule: which frames datagrams vanish."""
+        rng = random.Random(seed)
+        # never drop datagram 0: its indices anchor the stream start
+        return {i for i in range(1, n_batches)
+                if rng.random() < p_drop}
+
+    def test_drops_surface_only_as_stream_gaps(self, stream_cases):
+        """Wire events == replay of surviving frames, gaps included."""
+        for seed, (name, frames) in zip((1, 2, 3), stream_cases):
+            n_batches = (len(frames) + LOSSY_BATCH - 1) // LOSSY_BATCH
+            dropped = self._dropped(n_batches, seed)
+            assert dropped, "schedule must drop something"
+            client = asyncio.run(_serve_udp(
+                frames, chunk=LOSSY_BATCH,
+                send_filter=lambda ordinal, batch: ordinal not in dropped))
+            assert client.dropped_datagrams == len(dropped)
+            surviving = [
+                f for i in range(n_batches) if i not in dropped
+                for f in frames[i * LOSSY_BATCH:(i + 1) * LOSSY_BATCH]]
+            assert [repr(e) for e in client.events] == _reference(
+                surviving), (
+                f"case {name!r}: loss produced non-gap divergence")
+            gaps = [e for e in client.events if isinstance(e, StreamGap)]
+            assert gaps, "dropped datagrams must surface as StreamGap"
+
+    def test_single_lost_datagram_is_one_gap(self, stream_cases):
+        """Drop exactly one 25-frame datagram: exactly its index run
+        goes missing, reported as a gap covering it."""
+        _, frames = stream_cases[0]
+        drop_ordinal = 6
+        client = asyncio.run(_serve_udp(
+            frames, chunk=LOSSY_BATCH,
+            send_filter=lambda o, b: o != drop_ordinal))
+        lo = drop_ordinal * LOSSY_BATCH
+        hi = lo + LOSSY_BATCH
+        surviving = frames[:lo] + frames[hi:]
+        assert [repr(e) for e in client.events] == _reference(surviving)
+        gaps = [e for e in client.events if isinstance(e, StreamGap)]
+        covering = [g for g in gaps
+                    if g.start_index <= lo and g.end_index >= hi - 1]
+        assert covering, (
+            f"no gap covers the dropped indices [{lo}, {hi})")
+
+
+class TestDatagramPlumbing:
+    def test_heartbeat_rtt_over_udp(self):
+        async def run() -> float:
+            manager = _manager()
+            async with UdpAirFingerServer(manager) as server:
+                client = await UdpServeClient.connect(
+                    "127.0.0.1", server.port, "t", "d")
+                rtt = await client.ping()
+                await client.bye()
+                return rtt
+
+        assert 0.0 <= asyncio.run(run()) < 5.0
+
+    def test_stats_over_udp(self, stream_cases):
+        _, frames = stream_cases[0]
+
+        async def run() -> dict:
+            manager = _manager()
+            async with UdpAirFingerServer(manager) as server:
+                client = await UdpServeClient.connect(
+                    "127.0.0.1", server.port, "t0", "dev0")
+                await client.send_frames(frames[:64])
+                stats = await client.stats()
+                await client.bye()
+                return stats
+
+        stats = asyncio.run(run())
+        assert stats["sessions_open"] == 1
+        counters = stats["metrics"]["counters"]
+        assert counters['serve.frames{tenant="t0"}'] == 64
+
+    def test_frames_for_unknown_session_get_error(self):
+        """Per-datagram addressing: no hello, no session, an error back."""
+        from repro.serve import protocol
+        from repro.serve.udp import encode_datagram
+
+        async def run() -> dict:
+            manager = _manager()
+            async with UdpAirFingerServer(manager) as server:
+                loop = asyncio.get_running_loop()
+                incoming: asyncio.Queue = asyncio.Queue()
+
+                class Proto(asyncio.DatagramProtocol):
+                    def datagram_received(self, data, addr):
+                        import json
+                        incoming.put_nowait(json.loads(data))
+
+                transport, _ = await loop.create_datagram_endpoint(
+                    Proto, remote_addr=("127.0.0.1", server.port))
+                message = protocol.frames_message([])
+                message["tenant"] = "ghost"
+                message["session"] = "nope"
+                transport.sendto(encode_datagram(message))
+                reply = await asyncio.wait_for(incoming.get(), timeout=10)
+                transport.close()
+                return reply
+
+        reply = asyncio.run(run())
+        assert reply["type"] == "error"
+        assert "unknown session" in reply["detail"]
+
+    def test_sessions_shared_with_manager_are_idle_evicted(self):
+        async def run() -> bool:
+            config = ServeConfig(idle_timeout_s=0.2,
+                                 heartbeat_interval_s=0.05)
+            manager = _manager(config)
+            async with UdpAirFingerServer(manager) as server:
+                client = await UdpServeClient.connect(
+                    "127.0.0.1", server.port, "t", "sleepy")
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while (manager.get("t", "sleepy") is not None
+                       and asyncio.get_running_loop().time() < deadline):
+                    await asyncio.sleep(0.05)
+                gone = manager.get("t", "sleepy") is None
+                client._transport.close()
+                return gone
+
+        assert asyncio.run(run())

@@ -1,0 +1,123 @@
+"""Loadgen pacing audit: absolute deadlines must never accumulate drift.
+
+At 1 000 sessions × 100 Hz, a pacing scheme that derives each deadline
+from the *previous send* (relative pacing) turns every scheduling hiccup
+into permanent schedule slip — the offered load quietly sags below the
+configured rate and the benchmark gates measure a lighter workload than
+they claim.  :class:`~repro.serve.loadgen.Pacer` is the extracted,
+injectable-clock pacing core; these tests pin its anchor arithmetic and
+its lag bookkeeping under a virtual clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.loadgen import LoadConfig, LoadReport, Pacer
+
+
+class VirtualClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestAbsoluteDeadlines:
+    def test_deadlines_are_anchored_not_cumulative(self):
+        """1 000 jittery batches: deadline k is EXACTLY start + k·period.
+
+        The sender runs late by a varying amount every single batch; a
+        relative scheme would accumulate the sum of all that lateness
+        (~5 s here).  The absolute scheme's final deadline must sit on
+        the anchor grid to the last bit.
+        """
+        clock = VirtualClock(100.0)
+        period = 0.1
+        pacer = Pacer(period, clock=clock)
+        deadline = None
+        for k in range(1000):
+            clock.now += 0.003 + 0.004 * (k % 3)  # jittery late sends
+            pacer.mark_send()
+            deadline = pacer.next_deadline()
+            # the device then waits for the deadline (or is already past
+            # it); either way the next slot comes off the anchor grid
+            if clock.now < deadline:
+                clock.now = deadline
+        assert deadline == 100.0 + 1000 * period
+        assert pacer.batches == 1000
+
+    def test_contrast_relative_pacing_drifts(self):
+        """The bug the audit was after, reproduced for scale: the same
+        jitter under previous-send-relative deadlines drifts by the sum
+        of per-batch lateness."""
+        clock = VirtualClock(100.0)
+        period = 0.1
+        deadline = clock.now
+        total_late = 0.0
+        for _ in range(1000):
+            late = 0.005
+            clock.now = deadline + late          # send runs late
+            total_late += late
+            deadline = clock.now + period        # relative: drift leaks in
+        drift = deadline - (100.0 + 1000 * period)
+        assert drift == pytest.approx(total_late)  # 5 s of sag at 1k scale
+
+    def test_on_time_sends_book_no_lag(self):
+        clock = VirtualClock(50.0)
+        pacer = Pacer(0.1, clock=clock)
+        for _ in range(100):
+            pacer.mark_send()
+            clock.now = pacer.next_deadline()
+        assert pacer.late_batches == 0
+        assert pacer.max_lag_s == 0.0
+
+    def test_late_sends_are_counted_with_max_lag(self):
+        clock = VirtualClock(0.0)
+        pacer = Pacer(0.1, clock=clock)
+        lags = [0.0, 0.0005, 0.02, 0.5, 0.0]     # per-batch start lag
+        for lag in lags:
+            clock.now = pacer.start_s + pacer.batches * 0.1 + lag
+            pacer.mark_send()
+            next_deadline = pacer.next_deadline()
+            if clock.now < next_deadline:
+                clock.now = next_deadline
+        # 0.0005 s is inside the 1% tolerance; 0.02 and 0.5 are late
+        assert pacer.late_batches == 2
+        assert pacer.max_lag_s == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pacer(0.0)
+        with pytest.raises(ValueError):
+            Pacer(-1.0)
+
+
+class TestLoadConfigTenants:
+    def test_device_tenants_spread_round_robin(self):
+        config = LoadConfig(sessions=8, tenants=3, tenant="acme")
+        tenants = [config.device_tenant(d) for d in range(6)]
+        assert tenants == ["acme-0", "acme-1", "acme-2",
+                           "acme-0", "acme-1", "acme-2"]
+
+    def test_single_tenant_keeps_plain_name(self):
+        config = LoadConfig(sessions=4)
+        assert config.device_tenant(3) == "loadgen"
+
+    def test_tenants_validated(self):
+        with pytest.raises(ValueError):
+            LoadConfig(tenants=0)
+
+    def test_report_carries_pacing_fidelity(self):
+        report = LoadReport(
+            sessions=1, duration_s=1.0, rate_hz=100.0, frames_sent=100,
+            events_received=0, backpressure_drops=0.0,
+            deadline_misses=0.0, frame_latency_p50_s=None,
+            frame_latency_p95_s=None, frame_latency_p99_s=None,
+            latency_slo_s=None, wall_s=1.0, cpu_s=0.5,
+            late_batches=3, max_send_lag_s=0.012, tenants=4)
+        payload = report.to_dict()
+        assert payload["late_batches"] == 3
+        assert payload["max_send_lag_s"] == 0.012
+        assert payload["tenants"] == 4

@@ -230,3 +230,70 @@ class TestControlMessagesV2:
         assert protocol.PROTOCOL_VERSION == 2
 
 
+
+class TestScaleOutMessagesV2:
+    """Additive-within-v2 extensions: the monotonic stats stamp, the
+    shard listing in ``hello_ack`` and the checkpoint/restore pair."""
+
+    def test_stats_reply_monotonic_stamp_roundtrip(self):
+        message = protocol.stats_reply({"counters": {}},
+                                       server_time_s=1.7e9,
+                                       uptime_s=12.5,
+                                       server_mono_s=9876.125)
+        wire = MessageDecoder().feed(encode_message(message))[0]
+        assert wire["server_mono_s"] == 9876.125
+        # the wall stamp rides along, display-only
+        assert wire["server_time_s"] == 1.7e9
+
+    def test_stats_reply_monotonic_stamp_optional(self):
+        # pre-existing peers that never stamp stay valid v2 speakers
+        assert "server_mono_s" not in protocol.stats_reply({})
+
+    def test_hello_ack_shard_listing_roundtrip(self):
+        listing = [{"shard": 0, "host": "127.0.0.1", "port": 7001},
+                   {"shard": 1, "host": "127.0.0.1", "port": 7002}]
+        message = protocol.hello_ack("s0", heartbeat_interval_s=5.0,
+                                     max_batch_frames=512, shards=listing)
+        wire = MessageDecoder().feed(encode_message(message))[0]
+        assert wire["shards"] == listing
+        # types are normalized on encode, not trusted from the caller
+        noisy = protocol.hello_ack(
+            "s0", heartbeat_interval_s=5.0, max_batch_frames=512,
+            shards=[{"shard": "1", "host": "h", "port": "7003"}])
+        assert noisy["shards"] == [{"shard": 1, "host": "h",
+                                    "port": 7003}]
+
+    def test_hello_ack_without_shards_omits_field(self):
+        message = protocol.hello_ack("s0", heartbeat_interval_s=5.0,
+                                     max_batch_frames=512)
+        assert "shards" not in message
+
+    def test_checkpoint_request_reply_roundtrip(self):
+        request = protocol.checkpoint_request("acme", "dev7")
+        wire = MessageDecoder().feed(encode_message(request))[0]
+        assert wire == {"type": "checkpoint", "tenant": "acme",
+                        "session": "dev7"}
+        state = {"schema": 1, "tenant": "acme", "session": "dev7",
+                 "engine": {"cursor": 42}}
+        reply = protocol.checkpoint_reply(state)
+        wire = MessageDecoder().feed(encode_message(reply))[0]
+        assert wire == {"type": "checkpoint_reply", "state": state}
+
+    def test_checkpoint_reply_error(self):
+        reply = protocol.checkpoint_reply(None, error="no live session")
+        assert reply["state"] is None
+        assert reply["error"] == "no live session"
+
+    def test_restore_request_reply_roundtrip(self):
+        state = {"schema": 1, "tenant": "acme", "session": "dev7"}
+        request = protocol.restore_request(state)
+        wire = MessageDecoder().feed(encode_message(request))[0]
+        assert wire == {"type": "restore", "state": state}
+        reply = protocol.restore_reply("dev7")
+        wire = MessageDecoder().feed(encode_message(reply))[0]
+        assert wire == {"type": "restore_reply", "session": "dev7"}
+
+    def test_restore_reply_error(self):
+        reply = protocol.restore_reply(None, error="config mismatch")
+        assert reply["session"] is None
+        assert reply["error"] == "config mismatch"

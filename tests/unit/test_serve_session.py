@@ -184,10 +184,11 @@ class TestDispatch:
         assert [repr(e) for e in got] == [repr(e) for e in ref]
 
     def test_latency_slo_misses_counted(self):
-        config = ServeConfig(latency_slo_s=1e-12)   # everything misses
-        manager, registry, _ = _manager(config)
+        config = ServeConfig(latency_slo_s=0.05)
+        manager, registry, clock = _manager(config)
         session = manager.open("t0", "dev0")
         manager.enqueue(session, _frames(0, 30))
+        clock.now += 0.1                            # everything misses
         manager.dispatch(session)
         assert _counter(registry, "serve.deadline_miss") == 30
         assert registry.snapshot().histograms[
@@ -204,6 +205,148 @@ class TestDispatch:
         assert len(spans) == 1
         assert spans[0].attrs["session"] == "dev0"
         assert "n_events" in spans[0].attrs
+
+
+class TestClockInjection:
+    """Regression: enqueue/dispatch stamps must use the injected clock.
+
+    The enqueue path used ``time.perf_counter()`` for the queue
+    timestamps while eviction used the injected clock — so under a test
+    (or virtual-time) clock, queueing latency silently measured the
+    *host's* clock and the SLO accounting was untestable.  These tests
+    fail against that behaviour.
+    """
+
+    def test_frame_latency_measured_on_injected_clock(self):
+        config = ServeConfig(latency_slo_s=5.0)
+        manager, registry, clock = _manager(config)
+        session = manager.open("t0", "dev0")
+        manager.enqueue(session, _frames(0, 20))
+        clock.now += 10.0          # frames sit queued for 10 virtual s
+        manager.dispatch(session)
+        hist = registry.snapshot().histograms[
+            "serve.frame_latency_seconds"]
+        assert hist["count"] == 20
+        # with a frozen clock the latency is EXACTLY the virtual wait;
+        # a perf_counter leak would record ~microseconds instead
+        assert hist["min"] == pytest.approx(10.0)
+        assert hist["max"] == pytest.approx(10.0)
+        assert _counter(registry, "serve.deadline_miss") == 20
+
+    def test_within_slo_on_injected_clock_counts_no_miss(self):
+        config = ServeConfig(latency_slo_s=5.0)
+        manager, registry, clock = _manager(config)
+        session = manager.open("t0", "dev0")
+        manager.enqueue(session, _frames(0, 20))
+        clock.now += 1.0
+        manager.dispatch(session)
+        assert _counter(registry, "serve.deadline_miss") == 0
+
+    def test_enqueue_refreshes_idle_clock_coherently(self):
+        """last_active and the queue stamps come from one clock read."""
+        manager, _, clock = _manager()
+        session = manager.open("t0", "dev0")
+        clock.now += 7.0
+        manager.enqueue(session, _frames(0, 5))
+        assert session.last_active_s == clock.now
+        assert all(enq_s == clock.now for _f, enq_s in session.queue)
+
+
+class TestSeriesRetirement:
+    """Regression: per-session label series must die with the session.
+
+    Under tenant/session churn the registry otherwise accumulates one
+    ``serve.queue_depth{tenant=,session=}`` (and ``serve.session_frames``)
+    series per session *ever*, growing without bound.
+    """
+
+    def test_close_retires_per_session_series(self):
+        manager, registry, _ = _manager()
+        session = manager.open("acme", "dev0")
+        manager.enqueue(session, _frames(0, 10))
+        snap = registry.snapshot()
+        assert 'serve.queue_depth{session="dev0",tenant="acme"}' \
+            in snap.gauges
+        manager.close(session)
+        snap = registry.snapshot()
+        assert 'serve.queue_depth{session="dev0",tenant="acme"}' \
+            not in snap.gauges
+        assert 'serve.session_frames{session="dev0",tenant="acme"}' \
+            not in snap.counters
+
+    def test_eviction_retires_per_session_series(self):
+        config = ServeConfig(idle_timeout_s=1.0)
+        manager, registry, clock = _manager(config)
+        session = manager.open("acme", "dev0")
+        manager.enqueue(session, _frames(0, 10))
+        clock.now += 2.0
+        assert manager.evict_idle()
+        snap = registry.snapshot()
+        assert not any("dev0" in k for k in snap.gauges)
+        assert not any("serve.session_frames" in k
+                       for k in snap.counters)
+
+    def test_churn_keeps_cardinality_bounded(self):
+        """1 churned session ≈ 500 churned sessions, registry-wise."""
+        manager, registry, _ = _manager()
+
+        def churn(n: int) -> int:
+            for i in range(n):
+                s = manager.open(f"tenant{i}", f"dev{i}")
+                manager.enqueue(s, _frames(0, 5))
+                manager.close(s)
+            return registry.series_count()
+
+        baseline = churn(1)
+        # per-tenant counters (sessions_opened/closed/frames) legitimately
+        # grow with distinct tenants; per-SESSION series must not survive
+        after = churn(500)
+        snap = registry.snapshot()
+        assert not any(k.startswith("serve.queue_depth")
+                       for k in snap.gauges)
+        assert not any(k.startswith("serve.session_frames")
+                       for k in snap.counters)
+        # tenant-labelled families (opened/closed/frames/events) grow 4
+        # counters per distinct tenant; anything beyond that would be
+        # the per-session leak this test pins
+        assert after - baseline <= 4 * 501
+
+
+class TestDetachAdopt:
+    def test_detach_removes_without_flush(self):
+        manager, registry, _ = _manager()
+        session = manager.open("t0", "dev0")
+        manager.enqueue(session, _frames(0, 40))
+        pending_before = session.pending
+        detached = manager.detach(session)
+        assert detached is session
+        assert manager.get("t0", "dev0") is None
+        assert session.pending == pending_before   # nothing dispatched
+        assert session.engine.frames_fed == 0      # nothing flushed
+        assert _counter(registry,
+                        'serve.sessions_migrated{tenant="t0"}') == 1
+        assert _counter(registry,
+                        'serve.sessions_closed{tenant="t0"}') == 0
+        assert registry.snapshot().gauges["serve.sessions_open"] == 0
+
+    def test_adopt_registers_and_counts(self):
+        manager, registry, _ = _manager()
+        engine = manager.new_engine()
+        session = manager.adopt("t0", "dev0", engine,
+                                frames_in=100, events_out=7, dropped=3)
+        assert manager.get("t0", "dev0") is session
+        assert session.frames_in == 100
+        assert session.events_out == 7
+        assert session.dropped == 3
+        assert _counter(registry,
+                        'serve.sessions_restored{tenant="t0"}') == 1
+        assert registry.snapshot().gauges["serve.sessions_open"] == 1
+
+    def test_adopt_refuses_live_slot(self):
+        manager, _, _ = _manager()
+        manager.open("t0", "dev0")
+        with pytest.raises(ValueError):
+            manager.adopt("t0", "dev0", manager.new_engine())
 
 
 class TestConfigAndStats:
